@@ -1,0 +1,334 @@
+//! Tour construction by a single ant.
+//!
+//! At each step the ant sits in a city and must choose the next city among
+//! the unvisited ones. Each candidate city `j` gets a desirability
+//! `τ(current, j)^α · η(current, j)^β` where `τ` is the pheromone trail and
+//! `η = 1 / distance` the heuristic visibility; visited cities get fitness
+//! **zero**. The next city is then drawn by roulette wheel selection over
+//! this fitness vector — this is precisely the workload the paper's
+//! logarithmic random bidding targets: of the `n` fitness values only the
+//! `k` unvisited ones are non-zero, and `k` shrinks to 1 as the tour grows.
+
+use lrb_core::{Fitness, SelectionError, Selector};
+use lrb_rng::RandomSource;
+
+use crate::pheromone::PheromoneMatrix;
+use crate::tsp::{Tour, TspInstance};
+
+/// Construction parameters shared by all ants of a colony.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AntParams {
+    /// Pheromone exponent `α`.
+    pub alpha: f64,
+    /// Heuristic (visibility) exponent `β`.
+    pub beta: f64,
+    /// Ant Colony System pseudo-random-proportional parameter `q₀ ∈ [0, 1]`:
+    /// with probability `q₀` the ant exploits (takes the arg-max
+    /// desirability) and otherwise explores with the roulette wheel
+    /// selection. `0` (the default) is the pure Ant System rule the paper
+    /// assumes; values around `0.9` reproduce the greedy ACS behaviour.
+    pub q0: f64,
+}
+
+impl Default for AntParams {
+    fn default() -> Self {
+        // The classic Ant System defaults (Dorigo & Gambardella).
+        Self {
+            alpha: 1.0,
+            beta: 2.0,
+            q0: 0.0,
+        }
+    }
+}
+
+impl AntParams {
+    /// Desirability of moving from `from` to `to`.
+    pub fn desirability(
+        &self,
+        instance: &TspInstance,
+        pheromone: &PheromoneMatrix,
+        from: usize,
+        to: usize,
+    ) -> f64 {
+        let distance = instance.distance(from, to).max(1e-12);
+        let visibility = 1.0 / distance;
+        pheromone.get(from, to).powf(self.alpha) * visibility.powf(self.beta)
+    }
+}
+
+/// Construct one complete tour starting from `start`, choosing every next
+/// city with the supplied roulette wheel `selector`.
+///
+/// Returns the finished tour. The per-step fitness vector has length `n`
+/// (one slot per city) with zeros for visited cities, so the selector sees
+/// exactly the sparse vectors the paper describes.
+pub fn construct_tour(
+    instance: &TspInstance,
+    pheromone: &PheromoneMatrix,
+    params: &AntParams,
+    selector: &dyn Selector,
+    start: usize,
+    rng: &mut dyn RandomSource,
+) -> Result<Tour, SelectionError> {
+    let n = instance.len();
+    assert_eq!(
+        pheromone.len(),
+        n,
+        "pheromone matrix and instance disagree on the city count"
+    );
+    assert!(start < n, "start city {start} out of range");
+
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut current = start;
+    visited[current] = true;
+    order.push(current);
+
+    assert!(
+        (0.0..=1.0).contains(&params.q0),
+        "q0 must lie in [0, 1], got {}",
+        params.q0
+    );
+    let mut fitness_buf = vec![0.0; n];
+    for _ in 1..n {
+        for (j, slot) in fitness_buf.iter_mut().enumerate() {
+            *slot = if visited[j] {
+                0.0
+            } else {
+                params.desirability(instance, pheromone, current, j)
+            };
+        }
+        // ACS pseudo-random proportional rule: exploit with probability q0,
+        // otherwise fall through to the roulette wheel selection.
+        let next = if params.q0 > 0.0 && rng.next_f64() < params.q0 {
+            fitness_buf
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite desirabilities"))
+                .map(|(j, _)| j)
+                .expect("non-empty fitness vector")
+        } else {
+            let fitness = Fitness::new(fitness_buf.clone())?;
+            selector.select(&fitness, rng)?
+        };
+        debug_assert!(!visited[next], "selector returned a visited city");
+        visited[next] = true;
+        order.push(next);
+        current = next;
+    }
+
+    let length = instance.tour_length(&order);
+    Ok(Tour { order, length })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_core::parallel::{IndependentRouletteSelector, LogBiddingSelector};
+    use lrb_core::sequential::LinearScanSelector;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+
+    fn setup(n: usize, seed: u64) -> (TspInstance, PheromoneMatrix) {
+        let instance = TspInstance::random_euclidean(n, seed);
+        let pheromone = PheromoneMatrix::new(n, 1.0);
+        (instance, pheromone)
+    }
+
+    #[test]
+    fn constructed_tours_are_valid_permutations() {
+        let (instance, pheromone) = setup(30, 1);
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        for selector in [
+            &LinearScanSelector as &dyn Selector,
+            &LogBiddingSelector::default(),
+            &IndependentRouletteSelector,
+        ] {
+            let tour = construct_tour(
+                &instance,
+                &pheromone,
+                &AntParams::default(),
+                selector,
+                0,
+                &mut rng,
+            )
+            .unwrap();
+            assert!(tour.is_valid(30), "{} built an invalid tour", selector.name());
+            assert!(tour.length > 0.0);
+            assert_eq!(tour.order[0], 0);
+        }
+    }
+
+    #[test]
+    fn different_start_cities_are_respected() {
+        let (instance, pheromone) = setup(12, 2);
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+        for start in [0usize, 5, 11] {
+            let tour = construct_tour(
+                &instance,
+                &pheromone,
+                &AntParams::default(),
+                &LogBiddingSelector::default(),
+                start,
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(tour.order[0], start);
+            assert!(tour.is_valid(12));
+        }
+    }
+
+    #[test]
+    fn heavy_pheromone_trail_steers_the_ant() {
+        // Put overwhelming pheromone on the circle order of a circle
+        // instance; with α high and exact selection the ant should follow it
+        // almost always, recovering (near-)optimal tours.
+        let n = 10;
+        let instance = TspInstance::circle(n, 1.0);
+        let mut pheromone = PheromoneMatrix::new(n, 1e-6);
+        let circle_order: Vec<usize> = (0..n).collect();
+        pheromone.deposit_tour(&circle_order, 10.0);
+        let params = AntParams {
+            alpha: 3.0,
+            beta: 1.0,
+            ..AntParams::default()
+        };
+        let mut rng = MersenneTwister64::seed_from_u64(3);
+        let optimum = TspInstance::circle_optimum(n, 1.0);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let tour = construct_tour(
+                &instance,
+                &pheromone,
+                &params,
+                &LogBiddingSelector::default(),
+                0,
+                &mut rng,
+            )
+            .unwrap();
+            if (tour.length - optimum).abs() < 1e-9 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 40, "ant followed the marked trail only {hits}/50 times");
+    }
+
+    #[test]
+    fn high_beta_prefers_short_edges() {
+        // With β large and uniform pheromone the construction approaches the
+        // greedy nearest-neighbour tour, so its length should be comparable.
+        let (instance, pheromone) = setup(40, 4);
+        let params = AntParams {
+            alpha: 0.0,
+            beta: 8.0,
+            ..AntParams::default()
+        };
+        let mut rng = MersenneTwister64::seed_from_u64(4);
+        let nn = instance.nearest_neighbor_tour(0);
+        let tour = construct_tour(
+            &instance,
+            &pheromone,
+            &params,
+            &LogBiddingSelector::default(),
+            0,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            tour.length < nn.length * 1.5,
+            "greedy-ish construction {} much worse than nearest neighbour {}",
+            tour.length,
+            nn.length
+        );
+    }
+
+    #[test]
+    fn desirability_is_monotone_in_pheromone_and_inverse_distance() {
+        let (instance, mut pheromone) = setup(5, 5);
+        let params = AntParams::default();
+        let base = params.desirability(&instance, &pheromone, 0, 1);
+        pheromone.deposit_edge(0, 1, 5.0);
+        let boosted = params.desirability(&instance, &pheromone, 0, 1);
+        assert!(boosted > base);
+    }
+
+    #[test]
+    fn full_exploitation_is_deterministic_and_greedy() {
+        // q0 = 1 turns every step into an arg-max of desirability: with
+        // uniform pheromone this is exactly the nearest-neighbour tour.
+        let (instance, pheromone) = setup(25, 8);
+        let params = AntParams {
+            alpha: 1.0,
+            beta: 1.0,
+            q0: 1.0,
+        };
+        let mut rng_a = MersenneTwister64::seed_from_u64(1);
+        let mut rng_b = MersenneTwister64::seed_from_u64(999);
+        let a = construct_tour(&instance, &pheromone, &params, &LogBiddingSelector::default(), 0, &mut rng_a).unwrap();
+        let b = construct_tour(&instance, &pheromone, &params, &LogBiddingSelector::default(), 0, &mut rng_b).unwrap();
+        assert_eq!(a.order, b.order, "pure exploitation must not depend on the RNG");
+        let nn = instance.nearest_neighbor_tour(0);
+        assert_eq!(a.order, nn.order);
+    }
+
+    #[test]
+    fn intermediate_q0_still_builds_valid_tours() {
+        let (instance, pheromone) = setup(20, 9);
+        let params = AntParams {
+            alpha: 1.0,
+            beta: 2.0,
+            q0: 0.9,
+        };
+        let mut rng = MersenneTwister64::seed_from_u64(5);
+        for _ in 0..20 {
+            let tour = construct_tour(
+                &instance,
+                &pheromone,
+                &params,
+                &LogBiddingSelector::default(),
+                3,
+                &mut rng,
+            )
+            .unwrap();
+            assert!(tour.is_valid(20));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn q0_outside_the_unit_interval_panics() {
+        let (instance, pheromone) = setup(5, 10);
+        let params = AntParams {
+            alpha: 1.0,
+            beta: 1.0,
+            q0: 1.5,
+        };
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        let _ = construct_tour(
+            &instance,
+            &pheromone,
+            &params,
+            &LogBiddingSelector::default(),
+            0,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn three_city_instance_works() {
+        let instance = TspInstance::from_coords(vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        let pheromone = PheromoneMatrix::new(3, 1.0);
+        let mut rng = MersenneTwister64::seed_from_u64(6);
+        let tour = construct_tour(
+            &instance,
+            &pheromone,
+            &AntParams::default(),
+            &LinearScanSelector,
+            0,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(tour.is_valid(3));
+        // All 3-city tours have the same length.
+        assert!((tour.length - (1.0 + 1.0 + 2f64.sqrt())).abs() < 1e-12);
+    }
+}

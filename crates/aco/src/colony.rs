@@ -1,0 +1,320 @@
+//! The colony loop: Ant System (AS) and MAX-MIN Ant System (MMAS).
+//!
+//! Each iteration, `ants` tours are constructed (in parallel via rayon, one
+//! reproducible random stream per ant), pheromone evaporates, and deposits
+//! reinforce good tours — all ants in AS, only the iteration/global best in
+//! MMAS, with trail clamping. The roulette wheel selection strategy used
+//! inside the tour construction is a parameter, which is how the experiments
+//! compare the exact logarithmic bidding against the biased independent
+//! roulette end to end.
+
+use lrb_core::{SelectionError, Selector};
+use lrb_rng::{RandomSource, StreamFamily, Xoshiro256PlusPlus};
+use rayon::prelude::*;
+
+use crate::ant::{construct_tour, AntParams};
+use crate::local_search::two_opt;
+use crate::pheromone::PheromoneMatrix;
+use crate::tsp::{Tour, TspInstance};
+
+/// Which pheromone-update rule the colony uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColonyVariant {
+    /// Classic Ant System: every ant deposits `Q / length` on its tour.
+    #[default]
+    AntSystem,
+    /// MAX-MIN Ant System: only the best tour deposits, trails are clamped to
+    /// `[τ_min, τ_max]` derived from the best tour length.
+    MaxMin,
+}
+
+/// Colony configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ColonyParams {
+    /// Number of ants per iteration.
+    pub ants: usize,
+    /// Construction parameters (α, β).
+    pub ant_params: AntParams,
+    /// Pheromone evaporation rate ρ.
+    pub evaporation: f64,
+    /// Deposit scale Q (AS deposits `Q / length`).
+    pub deposit: f64,
+    /// Update rule.
+    pub variant: ColonyVariant,
+    /// Whether to polish each constructed tour with 2-opt local search.
+    pub local_search: bool,
+}
+
+impl Default for ColonyParams {
+    fn default() -> Self {
+        Self {
+            ants: 16,
+            ant_params: AntParams::default(),
+            evaporation: 0.1,
+            deposit: 1.0,
+            variant: ColonyVariant::AntSystem,
+            local_search: false,
+        }
+    }
+}
+
+/// Statistics of one colony iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationStats {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Length of the best tour found in this iteration.
+    pub iteration_best: f64,
+    /// Length of the best tour found so far.
+    pub global_best: f64,
+    /// Mean tour length over this iteration's ants.
+    pub mean_length: f64,
+}
+
+/// An ant colony bound to one TSP instance and one selection strategy.
+pub struct Colony<'a> {
+    instance: &'a TspInstance,
+    selector: &'a dyn Selector,
+    params: ColonyParams,
+    pheromone: PheromoneMatrix,
+    streams: StreamFamily,
+    best: Option<Tour>,
+    iteration: usize,
+}
+
+impl<'a> Colony<'a> {
+    /// Create a colony. `seed` drives every random decision (ant streams and
+    /// start cities), so a `(seed, selector, params)` triple is fully
+    /// reproducible.
+    pub fn new(
+        instance: &'a TspInstance,
+        selector: &'a dyn Selector,
+        params: ColonyParams,
+        seed: u64,
+    ) -> Self {
+        assert!(params.ants >= 1, "a colony needs at least one ant");
+        let n = instance.len();
+        // AS initialises trails to a moderate constant; MMAS to the upper
+        // bound derived from the nearest-neighbour tour.
+        let pheromone = match params.variant {
+            ColonyVariant::AntSystem => PheromoneMatrix::new(n, 1.0),
+            ColonyVariant::MaxMin => {
+                let nn = instance.nearest_neighbor_tour(0);
+                let tau_max = 1.0 / (params.evaporation.max(1e-9) * nn.length);
+                let tau_min = tau_max / (2.0 * n as f64);
+                PheromoneMatrix::with_bounds(n, tau_min, tau_max)
+            }
+        };
+        Self {
+            instance,
+            selector,
+            params,
+            pheromone,
+            streams: StreamFamily::new(seed),
+            best: Option::None,
+            iteration: 0,
+        }
+    }
+
+    /// The best tour found so far, if any iteration has run.
+    pub fn best_tour(&self) -> Option<&Tour> {
+        self.best.as_ref()
+    }
+
+    /// The pheromone matrix (for inspection and tests).
+    pub fn pheromone(&self) -> &PheromoneMatrix {
+        &self.pheromone
+    }
+
+    /// Run one iteration: construct all ant tours, update the pheromone, and
+    /// return the iteration statistics.
+    pub fn run_iteration(&mut self) -> Result<IterationStats, SelectionError> {
+        let n = self.instance.len();
+        let iteration = self.iteration;
+        let instance = self.instance;
+        let pheromone = &self.pheromone;
+        let params = &self.params;
+        let selector = self.selector;
+        let streams = &self.streams;
+
+        // Construct tours in parallel: ant `a` of iteration `t` owns stream
+        // `t·ants + a`, so results do not depend on the thread schedule.
+        let tours: Result<Vec<Tour>, SelectionError> = (0..params.ants)
+            .into_par_iter()
+            .map(|ant| {
+                let stream_id = (iteration * params.ants + ant) as u64;
+                let mut rng: Xoshiro256PlusPlus = streams.stream(stream_id);
+                let start = (rng.next_u64() % n as u64) as usize;
+                let mut tour = construct_tour(
+                    instance,
+                    pheromone,
+                    &params.ant_params,
+                    selector,
+                    start,
+                    &mut rng,
+                )?;
+                if params.local_search {
+                    tour = two_opt(instance, &tour, 2 * n);
+                }
+                Ok(tour)
+            })
+            .collect();
+        let tours = tours?;
+
+        // Iteration statistics.
+        let mean_length = tours.iter().map(|t| t.length).sum::<f64>() / tours.len() as f64;
+        let iteration_best = tours
+            .iter()
+            .min_by(|a, b| a.length.partial_cmp(&b.length).expect("finite lengths"))
+            .expect("at least one ant")
+            .clone();
+
+        // Update the global best.
+        let improved = self
+            .best
+            .as_ref()
+            .map_or(true, |b| iteration_best.length < b.length);
+        if improved {
+            self.best = Some(iteration_best.clone());
+        }
+        let global_best = self.best.as_ref().expect("best set above").clone();
+
+        // Pheromone update.
+        self.pheromone.evaporate(self.params.evaporation);
+        match self.params.variant {
+            ColonyVariant::AntSystem => {
+                for tour in &tours {
+                    self.pheromone
+                        .deposit_tour(&tour.order, self.params.deposit / tour.length);
+                }
+            }
+            ColonyVariant::MaxMin => {
+                // Re-derive the clamping bounds from the global best, then let
+                // only the global-best tour deposit.
+                let tau_max = 1.0 / (self.params.evaporation.max(1e-9) * global_best.length);
+                let tau_min = tau_max / (2.0 * n as f64);
+                self.pheromone.set_bounds(tau_min, tau_max);
+                self.pheromone
+                    .deposit_tour(&global_best.order, self.params.deposit / global_best.length);
+            }
+        }
+
+        self.iteration += 1;
+        Ok(IterationStats {
+            iteration,
+            iteration_best: iteration_best.length,
+            global_best: global_best.length,
+            mean_length,
+        })
+    }
+
+    /// Run `iterations` iterations and return the per-iteration statistics.
+    pub fn run(&mut self, iterations: usize) -> Result<Vec<IterationStats>, SelectionError> {
+        (0..iterations).map(|_| self.run_iteration()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_core::parallel::{IndependentRouletteSelector, LogBiddingSelector};
+
+    #[test]
+    fn colony_improves_over_random_tours_on_a_circle() {
+        let instance = TspInstance::circle(20, 1.0);
+        let selector = LogBiddingSelector::default();
+        let mut colony = Colony::new(&instance, &selector, ColonyParams::default(), 1);
+        let stats = colony.run(30).unwrap();
+        let optimum = TspInstance::circle_optimum(20, 1.0);
+        let best = colony.best_tour().unwrap();
+        assert!(best.is_valid(20));
+        // The colony should get within 30% of the optimum on this easy
+        // instance, and must improve monotonically in its global best.
+        assert!(best.length < optimum * 1.3, "best {} vs optimum {optimum}", best.length);
+        for w in stats.windows(2) {
+            assert!(w[1].global_best <= w[0].global_best + 1e-12);
+        }
+    }
+
+    #[test]
+    fn global_best_is_never_worse_than_iteration_best() {
+        let instance = TspInstance::random_euclidean(25, 3);
+        let selector = LogBiddingSelector::default();
+        let mut colony = Colony::new(&instance, &selector, ColonyParams::default(), 2);
+        for _ in 0..10 {
+            let s = colony.run_iteration().unwrap();
+            assert!(s.global_best <= s.iteration_best + 1e-12);
+            assert!(s.iteration_best <= s.mean_length + 1e-12);
+        }
+    }
+
+    #[test]
+    fn colonies_are_reproducible_for_a_fixed_seed() {
+        let instance = TspInstance::random_euclidean(15, 4);
+        let selector = LogBiddingSelector::default();
+        let run = |seed: u64| {
+            let mut colony = Colony::new(&instance, &selector, ColonyParams::default(), seed);
+            colony.run(5).unwrap().last().unwrap().global_best
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn mmas_keeps_trails_within_bounds() {
+        let instance = TspInstance::random_euclidean(12, 5);
+        let selector = LogBiddingSelector::default();
+        let params = ColonyParams {
+            variant: ColonyVariant::MaxMin,
+            ..ColonyParams::default()
+        };
+        let mut colony = Colony::new(&instance, &selector, params, 3);
+        colony.run(10).unwrap();
+        let (min, max) = colony.pheromone().bounds();
+        assert!(colony.pheromone().max_value() <= max + 1e-12);
+        assert!(colony.pheromone().min_off_diagonal() >= min - 1e-12);
+        assert!(min > 0.0 && max > min);
+    }
+
+    #[test]
+    fn local_search_variant_produces_no_worse_tours() {
+        let instance = TspInstance::random_euclidean(20, 6);
+        let selector = LogBiddingSelector::default();
+        let base = {
+            let mut c = Colony::new(&instance, &selector, ColonyParams::default(), 11);
+            c.run(8).unwrap().last().unwrap().global_best
+        };
+        let polished = {
+            let params = ColonyParams {
+                local_search: true,
+                ..ColonyParams::default()
+            };
+            let mut c = Colony::new(&instance, &selector, params, 11);
+            c.run(8).unwrap().last().unwrap().global_best
+        };
+        assert!(polished <= base + 1e-9, "2-opt made things worse: {polished} vs {base}");
+    }
+
+    #[test]
+    fn independent_roulette_also_runs_but_is_flagged_inexact() {
+        // End-to-end sanity: the biased selector still yields valid tours;
+        // quality comparison is exercised in the integration tests.
+        let instance = TspInstance::random_euclidean(15, 7);
+        let selector = IndependentRouletteSelector;
+        let mut colony = Colony::new(&instance, &selector, ColonyParams::default(), 4);
+        colony.run(5).unwrap();
+        assert!(colony.best_tour().unwrap().is_valid(15));
+        assert!(!selector.is_exact());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ants_is_rejected() {
+        let instance = TspInstance::random_euclidean(10, 8);
+        let selector = LogBiddingSelector::default();
+        let params = ColonyParams {
+            ants: 0,
+            ..ColonyParams::default()
+        };
+        let _ = Colony::new(&instance, &selector, params, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! A small undirected graph type for the vertex-coloring application.
+
+use lrb_rng::{RandomSource, SeedableSource, Xoshiro256PlusPlus};
+
+/// An undirected simple graph stored as adjacency lists plus an adjacency
+/// matrix for O(1) edge queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adjacency: Vec<Vec<usize>>,
+    matrix: Vec<bool>,
+}
+
+impl Graph {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a graph needs at least one vertex");
+        Self {
+            n,
+            adjacency: vec![Vec::new(); n],
+            matrix: vec![false; n * n],
+        }
+    }
+
+    /// Add an undirected edge; self-loops and duplicate edges are ignored.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "edge ({a},{b}) out of range");
+        if a == b || self.matrix[a * self.n + b] {
+            return;
+        }
+        self.matrix[a * self.n + b] = true;
+        self.matrix[b * self.n + a] = true;
+        self.adjacency[a].push(b);
+        self.adjacency[b].push(a);
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has zero vertices (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether vertices `a` and `b` are adjacent.
+    #[inline]
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.matrix[a * self.n + b]
+    }
+
+    /// Neighbours of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The cycle graph `C_n`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3);
+        let mut g = Self::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Self::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    /// An Erdős–Rényi random graph `G(n, p)`.
+    pub fn random(n: usize, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut g = Self::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.next_f64() < p {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// The Petersen graph (10 vertices, 15 edges, chromatic number 3) — a
+    /// classic fixture for coloring tests.
+    pub fn petersen() -> Self {
+        let mut g = Self::new(10);
+        // Outer 5-cycle, inner 5-star, and the spokes.
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+            g.add_edge(5 + i, 5 + (i + 2) % 5);
+            g.add_edge(i, 5 + i);
+        }
+        g
+    }
+
+    /// Validate a proper coloring: adjacent vertices get different colors.
+    pub fn is_proper_coloring(&self, colors: &[usize]) -> bool {
+        if colors.len() != self.n {
+            return false;
+        }
+        for a in 0..self.n {
+            for &b in &self.adjacency[a] {
+                if colors[a] == colors[b] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of distinct colors used by a coloring.
+    pub fn colors_used(colors: &[usize]) -> usize {
+        let mut sorted: Vec<usize> = colors.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_undirected_and_deduplicated() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn cycle_and_complete_graph_shapes() {
+        let c = Graph::cycle(6);
+        assert_eq!(c.edge_count(), 6);
+        assert_eq!(c.max_degree(), 2);
+        let k = Graph::complete(5);
+        assert_eq!(k.edge_count(), 10);
+        assert_eq!(k.max_degree(), 4);
+    }
+
+    #[test]
+    fn petersen_graph_shape() {
+        let p = Graph::petersen();
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.edge_count(), 15);
+        assert_eq!(p.max_degree(), 3);
+        assert!((0..10).all(|v| p.degree(v) == 3), "Petersen is 3-regular");
+    }
+
+    #[test]
+    fn random_graph_edge_density_tracks_p() {
+        let g = Graph::random(100, 0.3, 1);
+        let possible = 100 * 99 / 2;
+        let density = g.edge_count() as f64 / possible as f64;
+        assert!((density - 0.3).abs() < 0.05, "density {density}");
+        // Reproducibility.
+        assert_eq!(Graph::random(100, 0.3, 1), g);
+    }
+
+    #[test]
+    fn proper_coloring_validation() {
+        let g = Graph::cycle(4);
+        assert!(g.is_proper_coloring(&[0, 1, 0, 1]));
+        assert!(!g.is_proper_coloring(&[0, 0, 1, 1]));
+        assert!(!g.is_proper_coloring(&[0, 1, 0]));
+        assert_eq!(Graph::colors_used(&[0, 1, 0, 1]), 2);
+        assert_eq!(Graph::colors_used(&[2, 2, 2]), 1);
+    }
+
+    #[test]
+    fn odd_cycle_needs_three_colors() {
+        let g = Graph::cycle(5);
+        // No proper 2-coloring exists; a 3-coloring does.
+        assert!(!g.is_proper_coloring(&[0, 1, 0, 1, 0]));
+        assert!(g.is_proper_coloring(&[0, 1, 0, 1, 2]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! # lrb-aco — ant colony optimization on top of the selection library
+//!
+//! The paper motivates the logarithmic random bidding with ant colony
+//! optimization (ACO): when an ant constructs a TSP tour, the next city is
+//! chosen by roulette wheel selection over the unvisited cities, and the
+//! already-visited cities have fitness zero — exactly the "many zero fitness
+//! values, small `k`" regime in which the `O(log k)` algorithm shines. This
+//! crate builds that application end-to-end:
+//!
+//! * [`tsp`] — TSP instances (random Euclidean, circle and grid generators
+//!   with known structure), tours, and tour-length evaluation.
+//! * [`pheromone`] — the pheromone matrix with evaporation, deposit and
+//!   MAX-MIN clamping.
+//! * [`ant`] — tour construction: desirability `τ^α · η^β`, next-city choice
+//!   through any [`lrb_core::Selector`], zero fitness for visited cities.
+//! * [`colony`] — the Ant System and MAX-MIN Ant System loops, with ants run
+//!   in parallel via rayon (one reproducible random stream per ant).
+//! * [`local_search`] — 2-opt improvement.
+//! * [`graph`] / [`coloring`] — the vertex-coloring ACO the paper cites as a
+//!   second application of roulette wheel selection.
+//!
+//! Swapping the selection strategy (exact logarithmic bidding vs the biased
+//! independent roulette) is a one-line change in [`colony::ColonyParams`],
+//! which is how the integration tests and benches quantify the end-to-end
+//! effect of selection bias on solution quality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ant;
+pub mod coloring;
+pub mod colony;
+pub mod graph;
+pub mod local_search;
+pub mod pheromone;
+pub mod tsp;
+
+pub use ant::{construct_tour, AntParams};
+pub use colony::{Colony, ColonyParams, ColonyVariant, IterationStats};
+pub use graph::Graph;
+pub use pheromone::PheromoneMatrix;
+pub use tsp::{Tour, TspInstance};

@@ -1,0 +1,290 @@
+//! Traveling salesman problem instances and tours.
+
+use lrb_rng::{uniform, RandomSource, SeedableSource, Xoshiro256PlusPlus};
+
+/// A symmetric Euclidean TSP instance: city coordinates plus a precomputed
+/// distance matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TspInstance {
+    coords: Vec<(f64, f64)>,
+    distances: Vec<f64>,
+}
+
+impl TspInstance {
+    /// Build an instance from explicit city coordinates.
+    ///
+    /// Panics if fewer than 3 cities are given (a tour needs at least 3).
+    pub fn from_coords(coords: Vec<(f64, f64)>) -> Self {
+        assert!(coords.len() >= 3, "a TSP instance needs at least 3 cities");
+        let n = coords.len();
+        let mut distances = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = coords[i].0 - coords[j].0;
+                let dy = coords[i].1 - coords[j].1;
+                distances[i * n + j] = (dx * dx + dy * dy).sqrt();
+            }
+        }
+        Self { coords, distances }
+    }
+
+    /// `n` cities placed uniformly at random in the unit square.
+    pub fn random_euclidean(n: usize, seed: u64) -> Self {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let coords = (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+        Self::from_coords(coords)
+    }
+
+    /// `n` cities evenly spaced on a circle of radius `radius`.
+    ///
+    /// The optimal tour is the circle order, with length
+    /// `2·n·radius·sin(π/n)` — a convenient known optimum for tests.
+    pub fn circle(n: usize, radius: f64) -> Self {
+        let coords = (0..n)
+            .map(|i| {
+                let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                (radius * angle.cos(), radius * angle.sin())
+            })
+            .collect();
+        Self::from_coords(coords)
+    }
+
+    /// A `width × height` grid of cities with unit spacing.
+    pub fn grid(width: usize, height: usize) -> Self {
+        assert!(width * height >= 3);
+        let coords = (0..width * height)
+            .map(|i| ((i % width) as f64, (i / width) as f64))
+            .collect();
+        Self::from_coords(coords)
+    }
+
+    /// Length of the optimal tour of a [`circle`](TspInstance::circle)
+    /// instance with the given parameters.
+    pub fn circle_optimum(n: usize, radius: f64) -> f64 {
+        2.0 * n as f64 * radius * (std::f64::consts::PI / n as f64).sin()
+    }
+
+    /// Number of cities.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the instance has no cities (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// City coordinates.
+    pub fn coords(&self) -> &[(f64, f64)] {
+        &self.coords
+    }
+
+    /// Distance between cities `a` and `b`.
+    #[inline]
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        self.distances[a * self.coords.len() + b]
+    }
+
+    /// Length of a closed tour visiting the given city order.
+    pub fn tour_length(&self, order: &[usize]) -> f64 {
+        if order.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for w in order.windows(2) {
+            total += self.distance(w[0], w[1]);
+        }
+        total + self.distance(*order.last().unwrap(), order[0])
+    }
+
+    /// The greedy nearest-neighbour tour starting at `start` — the standard
+    /// construction baseline (and the tour MMAS uses to set its initial
+    /// pheromone level).
+    pub fn nearest_neighbor_tour(&self, start: usize) -> Tour {
+        let n = self.len();
+        assert!(start < n);
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut current = start;
+        visited[current] = true;
+        order.push(current);
+        for _ in 1..n {
+            let mut best = usize::MAX;
+            let mut best_dist = f64::INFINITY;
+            for next in 0..n {
+                if !visited[next] && self.distance(current, next) < best_dist {
+                    best_dist = self.distance(current, next);
+                    best = next;
+                }
+            }
+            visited[best] = true;
+            order.push(best);
+            current = best;
+        }
+        let length = self.tour_length(&order);
+        Tour { order, length }
+    }
+
+    /// A uniformly random tour (for baselines and tests).
+    pub fn random_tour(&self, rng: &mut dyn RandomSource) -> Tour {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        uniform::shuffle(rng, &mut order);
+        let length = self.tour_length(&order);
+        Tour { order, length }
+    }
+}
+
+/// A closed tour: a permutation of the cities and its length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tour {
+    /// Visit order (a permutation of `0..n`).
+    pub order: Vec<usize>,
+    /// Total length of the closed tour.
+    pub length: f64,
+}
+
+impl Tour {
+    /// Validate that the tour visits every city of an `n`-city instance
+    /// exactly once.
+    pub fn is_valid(&self, n: usize) -> bool {
+        if self.order.len() != n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for &city in &self.order {
+            if city >= n || seen[city] {
+                return false;
+            }
+            seen[city] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::MersenneTwister64;
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let inst = TspInstance::random_euclidean(20, 1);
+        for i in 0..20 {
+            assert_eq!(inst.distance(i, i), 0.0);
+            for j in 0..20 {
+                assert!((inst.distance(i, j) - inst.distance(j, i)).abs() < 1e-12);
+                assert!(inst.distance(i, j) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds_for_euclidean_instances() {
+        let inst = TspInstance::random_euclidean(15, 2);
+        for a in 0..15 {
+            for b in 0..15 {
+                for c in 0..15 {
+                    assert!(
+                        inst.distance(a, c) <= inst.distance(a, b) + inst.distance(b, c) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn circle_optimum_formula_matches_the_circle_order_tour() {
+        let n = 12;
+        let inst = TspInstance::circle(n, 5.0);
+        let order: Vec<usize> = (0..n).collect();
+        let length = inst.tour_length(&order);
+        assert!((length - TspInstance::circle_optimum(n, 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn any_permutation_of_a_circle_is_at_least_the_optimum() {
+        let n = 8;
+        let inst = TspInstance::circle(n, 1.0);
+        let opt = TspInstance::circle_optimum(n, 1.0);
+        let mut rng = MersenneTwister64::default_seed();
+        for _ in 0..200 {
+            let tour = inst.random_tour(&mut rng);
+            assert!(tour.length >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn tour_length_is_rotation_invariant() {
+        let inst = TspInstance::random_euclidean(10, 3);
+        let order: Vec<usize> = (0..10).collect();
+        let rotated: Vec<usize> = (0..10).map(|i| (i + 3) % 10).collect();
+        assert!((inst.tour_length(&order) - inst.tour_length(&rotated)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_neighbor_tour_is_valid_and_beats_random_on_average() {
+        let inst = TspInstance::random_euclidean(50, 4);
+        let nn = inst.nearest_neighbor_tour(0);
+        assert!(nn.is_valid(50));
+        let mut rng = MersenneTwister64::default_seed();
+        let random_avg: f64 =
+            (0..20).map(|_| inst.random_tour(&mut rng).length).sum::<f64>() / 20.0;
+        assert!(nn.length < random_avg, "nn {} vs random {random_avg}", nn.length);
+    }
+
+    #[test]
+    fn grid_instance_has_expected_size_and_spacing() {
+        let inst = TspInstance::grid(4, 3);
+        assert_eq!(inst.len(), 12);
+        assert!((inst.distance(0, 1) - 1.0).abs() < 1e-12);
+        assert!((inst.distance(0, 4) - 1.0).abs() < 1e-12);
+        assert!((inst.distance(0, 5) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_tour_is_a_permutation() {
+        let inst = TspInstance::random_euclidean(30, 5);
+        let mut rng = MersenneTwister64::default_seed();
+        let tour = inst.random_tour(&mut rng);
+        assert!(tour.is_valid(30));
+    }
+
+    #[test]
+    fn tour_validation_catches_bad_tours() {
+        let good = Tour {
+            order: vec![0, 1, 2],
+            length: 0.0,
+        };
+        assert!(good.is_valid(3));
+        let repeated = Tour {
+            order: vec![0, 1, 1],
+            length: 0.0,
+        };
+        assert!(!repeated.is_valid(3));
+        let short = Tour {
+            order: vec![0, 1],
+            length: 0.0,
+        };
+        assert!(!short.is_valid(3));
+        let out_of_range = Tour {
+            order: vec![0, 1, 3],
+            length: 0.0,
+        };
+        assert!(!out_of_range.is_valid(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_cities_panics() {
+        TspInstance::from_coords(vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn random_instances_are_reproducible_by_seed() {
+        let a = TspInstance::random_euclidean(10, 7);
+        let b = TspInstance::random_euclidean(10, 7);
+        let c = TspInstance::random_euclidean(10, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,107 @@
+//! A minimal `--key value` argument parser for the experiment binaries
+//! (no external CLI dependency needed for three flags).
+
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Options {
+    values: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parse `--key value` pairs from an iterator of arguments (the program
+    /// name should already be stripped). Unknown keys are collected verbatim;
+    /// a trailing key without a value is an error.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --key, got '{arg}'"))?
+                .to_string();
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("missing value for --{key}"))?;
+            values.insert(key, value);
+        }
+        Ok(Self { values })
+    }
+
+    /// Parse the process arguments (skipping the program name), exiting with
+    /// a message on malformed input.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("usage: --trials N --seed N (all optional)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Look up an integer flag, falling back to `default`.
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// Look up a usize flag, falling back to `default`.
+    pub fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.u64_or(key, default as u64) as usize
+    }
+
+    /// Whether a flag was supplied at all.
+    pub fn contains(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let o = parse(&["--trials", "1000", "--seed", "7"]).unwrap();
+        assert_eq!(o.u64_or("trials", 5), 1000);
+        assert_eq!(o.u64_or("seed", 0), 7);
+        assert_eq!(o.u64_or("missing", 42), 42);
+        assert!(o.contains("trials"));
+        assert!(!o.contains("missing"));
+    }
+
+    #[test]
+    fn empty_arguments_are_fine() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.usize_or("trials", 9), 9);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["--trials"]).is_err());
+    }
+
+    #[test]
+    fn non_flag_argument_is_an_error() {
+        assert!(parse(&["trials", "7"]).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_integer_value_panics_on_lookup() {
+        let o = parse(&["--trials", "abc"]).unwrap();
+        o.u64_or("trials", 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # lrb-bench — the experiment harness
+//!
+//! Everything needed to regenerate the paper's evaluation:
+//!
+//! * [`probability_table`] — runs the Monte-Carlo probability experiments
+//!   behind **Table I** and **Table II**: for a fitness workload and a trial
+//!   budget, it tabulates the exact `F_i`, the analytic independent-roulette
+//!   probability, and the empirical frequencies of the independent roulette
+//!   and the logarithmic random bidding.
+//! * [`theorem1`] — measures the while-loop iteration count and shared-memory
+//!   footprint of the CRCW logarithmic bidding as a function of `k`, the
+//!   number of non-zero fitness values (the quantity bounded by Theorem 1).
+//! * [`cli`] — a tiny argument parser shared by the three experiment
+//!   binaries (`table1`, `table2`, `theorem1`).
+//!
+//! The Criterion benches under `benches/` cover the supplementary wall-clock
+//! comparisons and the ablations listed in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod probability_table;
+pub mod theorem1;
+
+pub use probability_table::{run_probability_experiment, ProbabilityReport, SelectorColumn};
+pub use theorem1::{run_theorem1_experiment, Theorem1Report, Theorem1Row};

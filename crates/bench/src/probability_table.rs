@@ -1,0 +1,268 @@
+//! The Monte-Carlo probability experiment behind Table I and Table II.
+//!
+//! For a fitness workload the experiment runs `trials` independent selections
+//! with each configured selector, counts the selection frequencies, and puts
+//! them side by side with the exact `F_i` and (for the independent roulette)
+//! the analytic probability it actually follows. The paper uses 10⁹
+//! iterations and a Mersenne Twister; we default to 10⁶ (configurable up to
+//! the paper's budget) with the same generator family, which already pins
+//! every table entry to about three decimal places.
+
+use lrb_core::analysis::independent_roulette_probabilities;
+use lrb_core::{Fitness, Selector};
+use lrb_rng::{MersenneTwister64, SeedableSource};
+use lrb_stats::EmpiricalDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Empirical results for one selector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectorColumn {
+    /// The selector's reporting name.
+    pub name: String,
+    /// Whether the selector is supposed to follow `F_i` exactly.
+    pub exact: bool,
+    /// Empirical selection frequencies per index.
+    pub frequencies: Vec<f64>,
+    /// Largest absolute deviation from the exact `F_i`.
+    pub max_abs_deviation: f64,
+    /// Total-variation distance from the exact distribution.
+    pub tv_distance: f64,
+    /// Chi-square goodness-of-fit p-value against the exact distribution.
+    pub p_value: f64,
+}
+
+/// A complete probability table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbabilityReport {
+    /// Human-readable name of the workload ("Table I", "Table II", …).
+    pub workload: String,
+    /// The fitness values of the workload.
+    pub fitness: Vec<f64>,
+    /// Number of Monte-Carlo trials per selector.
+    pub trials: u64,
+    /// The exact target probabilities `F_i`.
+    pub exact: Vec<f64>,
+    /// The closed-form probabilities of the independent roulette.
+    pub independent_analytic: Vec<f64>,
+    /// One column per selector.
+    pub columns: Vec<SelectorColumn>,
+}
+
+/// Run the probability experiment.
+///
+/// `selectors` are run one after another, each with its own Mersenne Twister
+/// stream derived from `seed`, so adding or removing a selector does not
+/// perturb the others' results.
+pub fn run_probability_experiment(
+    workload: &str,
+    fitness: &Fitness,
+    selectors: &[Box<dyn Selector>],
+    trials: u64,
+    seed: u64,
+) -> ProbabilityReport {
+    let exact = fitness.probabilities();
+    let independent_analytic = independent_roulette_probabilities(fitness);
+
+    let columns = selectors
+        .iter()
+        .enumerate()
+        .map(|(which, selector)| {
+            let mut rng = MersenneTwister64::seed_from_u64(seed ^ ((which as u64 + 1) << 32));
+            let mut dist = EmpiricalDistribution::new(fitness.len());
+            for _ in 0..trials {
+                match selector.select(fitness, &mut rng) {
+                    Ok(index) => dist.record(index),
+                    Err(_) => dist.record_none(),
+                }
+            }
+            // A degenerate all-zero workload has no target distribution to
+            // test against; report p = 1 (nothing to reject) in that case.
+            let p_value = if fitness.is_all_zero() {
+                1.0
+            } else {
+                dist.goodness_of_fit(&exact).p_value
+            };
+            SelectorColumn {
+                name: selector.name().to_string(),
+                exact: selector.is_exact(),
+                frequencies: dist.frequencies(),
+                max_abs_deviation: dist.max_abs_deviation(&exact),
+                tv_distance: dist.tv_distance(&exact),
+                p_value,
+            }
+        })
+        .collect();
+
+    ProbabilityReport {
+        workload: workload.to_string(),
+        fitness: fitness.values().to_vec(),
+        trials,
+        exact,
+        independent_analytic,
+        columns,
+    }
+}
+
+impl ProbabilityReport {
+    /// Render the report as a paper-style text table, showing the first
+    /// `max_rows` indices (Table II prints only the first 10 of 100).
+    pub fn render(&self, max_rows: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} — {} trials per selector\n",
+            self.workload, self.trials
+        ));
+        out.push_str(&format!("{:>4} {:>10} {:>12} {:>12}", "i", "f_i", "F_i (exact)", "indep.(analytic)"));
+        for column in &self.columns {
+            out.push_str(&format!(" {:>28}", column.name));
+        }
+        out.push('\n');
+        let rows = self.fitness.len().min(max_rows);
+        for i in 0..rows {
+            out.push_str(&format!(
+                "{:>4} {:>10.4} {:>12.6} {:>12.6}",
+                i, self.fitness[i], self.exact[i], self.independent_analytic[i]
+            ));
+            for column in &self.columns {
+                out.push_str(&format!(" {:>28.6}", column.frequencies[i]));
+            }
+            out.push('\n');
+        }
+        out.push_str("summary:\n");
+        for column in &self.columns {
+            out.push_str(&format!(
+                "  {:<28} max|Δ|={:.6}  TV={:.6}  chi2 p={:.4}  ({})\n",
+                column.name,
+                column.max_abs_deviation,
+                column.tv_distance,
+                column.p_value,
+                if column.exact { "exact by design" } else { "biased by design" }
+            ));
+        }
+        out
+    }
+
+    /// Serialise the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_core::parallel::{IndependentRouletteSelector, LogBiddingSelector};
+
+    fn selectors() -> Vec<Box<dyn Selector>> {
+        vec![
+            Box::new(IndependentRouletteSelector),
+            Box::new(LogBiddingSelector::default()),
+        ]
+    }
+
+    #[test]
+    fn table1_shape_is_reproduced_even_with_modest_trials() {
+        let report = run_probability_experiment(
+            "Table I",
+            &Fitness::table1(),
+            &selectors(),
+            60_000,
+            1,
+        );
+        assert_eq!(report.columns.len(), 2);
+        let independent = &report.columns[0];
+        let logarithmic = &report.columns[1];
+        // Logarithmic bidding matches F_i closely; independent roulette does not.
+        assert!(logarithmic.max_abs_deviation < 0.01);
+        assert!(independent.max_abs_deviation > 0.1);
+        assert!(logarithmic.p_value > 0.001);
+        assert!(independent.p_value < 1e-6);
+        // Index 9's exact probability is 0.2; the independent roulette gives ~0.39.
+        assert!((report.exact[9] - 0.2).abs() < 1e-12);
+        assert!(independent.frequencies[9] > 0.35);
+        // The analytic column matches the empirical independent column.
+        for i in 0..10 {
+            assert!(
+                (report.independent_analytic[i] - independent.frequencies[i]).abs() < 0.01,
+                "index {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_shape_is_reproduced() {
+        let report = run_probability_experiment(
+            "Table II",
+            &Fitness::table2(),
+            &selectors(),
+            40_000,
+            2,
+        );
+        let independent = &report.columns[0];
+        let logarithmic = &report.columns[1];
+        // Index 0: exact 1/199, log-bidding close to it, independent never.
+        assert!((report.exact[0] - 1.0 / 199.0).abs() < 1e-9);
+        assert_eq!(independent.frequencies[0], 0.0);
+        assert!((logarithmic.frequencies[0] - 1.0 / 199.0).abs() < 0.003);
+        assert!(report.independent_analytic[0] < 1e-30);
+    }
+
+    #[test]
+    fn render_contains_the_headline_numbers() {
+        let report = run_probability_experiment(
+            "Table I",
+            &Fitness::table1(),
+            &selectors(),
+            5_000,
+            3,
+        );
+        let text = report.render(10);
+        assert!(text.contains("Table I"));
+        assert!(text.contains("independent-roulette-sequential"));
+        assert!(text.contains("log-bidding-sequential"));
+        assert!(text.contains("max|Δ|"));
+        // One line per index plus headers/summary.
+        assert!(text.lines().count() >= 13);
+    }
+
+    #[test]
+    fn render_truncates_to_max_rows() {
+        let report = run_probability_experiment(
+            "Table II",
+            &Fitness::table2(),
+            &selectors(),
+            1_000,
+            4,
+        );
+        let text = report.render(10);
+        // Row for index 9 present, index 10 absent.
+        assert!(text.lines().any(|l| l.trim_start().starts_with("9 ")));
+        assert!(!text.lines().any(|l| l.trim_start().starts_with("10 ")));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = run_probability_experiment(
+            "Table I",
+            &Fitness::table1(),
+            &selectors(),
+            1_000,
+            5,
+        );
+        let json = report.to_json();
+        let parsed: ProbabilityReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.workload, "Table I");
+        assert_eq!(parsed.columns.len(), 2);
+        assert_eq!(parsed.trials, 1_000);
+    }
+
+    #[test]
+    fn all_zero_trials_record_nothing_but_do_not_crash() {
+        let fitness = Fitness::new(vec![0.0, 0.0, 0.0]).unwrap();
+        let report =
+            run_probability_experiment("degenerate", &fitness, &selectors(), 100, 6);
+        for column in &report.columns {
+            assert!(column.frequencies.iter().all(|&f| f == 0.0));
+        }
+    }
+}

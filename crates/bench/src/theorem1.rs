@@ -1,0 +1,192 @@
+//! The Theorem 1 experiment: measure the expected number of while-loop
+//! iterations of the CRCW logarithmic bidding as a function of `k`, the
+//! number of non-zero fitness values, and confirm the `O(1)` shared-memory
+//! footprint.
+//!
+//! The paper proves the expectation is `O(log k)` (at most `2⌈log₂ k⌉`
+//! success-halving rounds plus lower-order terms). The experiment sweeps `k`
+//! over powers of two inside a fixed processor count `n`, runs many
+//! independent selections per point, and reports mean / p95 / max iteration
+//! counts together with the theorem's `2⌈log₂ k⌉` reference line.
+
+use lrb_core::parallel::CrcwLogBiddingSelector;
+use lrb_core::Fitness;
+use lrb_rng::{MersenneTwister64, SeedableSource};
+use lrb_stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Measurements for one value of `k`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Theorem1Row {
+    /// Total number of processors (fitness entries).
+    pub n: usize,
+    /// Number of non-zero fitness entries.
+    pub k: usize,
+    /// Number of independent selections measured.
+    pub trials: usize,
+    /// Mean while-loop iterations.
+    pub mean_iterations: f64,
+    /// 95th-percentile iterations.
+    pub p95_iterations: f64,
+    /// Maximum iterations observed.
+    pub max_iterations: f64,
+    /// The paper's reference bound `2·⌈log₂ k⌉` (1 for `k = 1`).
+    pub reference_bound: f64,
+    /// Largest shared-memory footprint observed (must stay at 2 cells).
+    pub max_memory_cells: usize,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Theorem1Report {
+    /// One row per `k` value.
+    pub rows: Vec<Theorem1Row>,
+}
+
+/// Run the sweep: `k` takes powers of two from 1 up to `max_k` (inclusive if
+/// it is itself a power of two), inside fitness vectors of length `n`.
+pub fn run_theorem1_experiment(
+    n: usize,
+    max_k: usize,
+    trials: usize,
+    seed: u64,
+) -> Theorem1Report {
+    assert!(n >= 1 && max_k >= 1 && max_k <= n && trials >= 1);
+    let selector = CrcwLogBiddingSelector;
+    let mut rows = Vec::new();
+
+    let mut k = 1usize;
+    while k <= max_k {
+        let fitness = Fitness::sparse(n, k, 1.0).expect("sparse workload is valid");
+        let mut rng = MersenneTwister64::seed_from_u64(seed ^ (k as u64));
+        let mut iterations = Vec::with_capacity(trials);
+        let mut max_memory = 0usize;
+        for _ in 0..trials {
+            let outcome = selector
+                .select_with_stats(&fitness, &mut rng)
+                .expect("k >= 1 so selection succeeds");
+            iterations.push(outcome.while_iterations as f64);
+            max_memory = max_memory.max(outcome.cost.memory_footprint);
+            debug_assert!(fitness.values()[outcome.selected.unwrap()] > 0.0);
+        }
+        let summary = Summary::of(&iterations);
+        let reference_bound = if k == 1 {
+            1.0
+        } else {
+            2.0 * (k as f64).log2().ceil()
+        };
+        rows.push(Theorem1Row {
+            n,
+            k,
+            trials,
+            mean_iterations: summary.mean,
+            p95_iterations: summary.p95,
+            max_iterations: summary.max,
+            reference_bound,
+            max_memory_cells: max_memory,
+        });
+        k *= 2;
+    }
+
+    Theorem1Report { rows }
+}
+
+impl Theorem1Report {
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>8} {:>8} {:>8} {:>12} {:>12} {:>12} {:>14} {:>10}\n",
+            "n", "k", "trials", "mean iters", "p95 iters", "max iters", "2*ceil(log2 k)", "mem cells"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:>8} {:>8} {:>8} {:>12.3} {:>12.1} {:>12.0} {:>14.0} {:>10}\n",
+                row.n,
+                row.k,
+                row.trials,
+                row.mean_iterations,
+                row.p95_iterations,
+                row.max_iterations,
+                row.reference_bound,
+                row.max_memory_cells
+            ));
+        }
+        out
+    }
+
+    /// Serialise as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_row_per_power_of_two() {
+        let report = run_theorem1_experiment(64, 32, 10, 1);
+        let ks: Vec<usize> = report.rows.iter().map(|r| r.k).collect();
+        assert_eq!(ks, vec![1, 2, 4, 8, 16, 32]);
+        assert!(report.rows.iter().all(|r| r.n == 64));
+    }
+
+    #[test]
+    fn memory_footprint_is_always_two_cells() {
+        let report = run_theorem1_experiment(128, 64, 15, 2);
+        assert!(report.rows.iter().all(|r| r.max_memory_cells == 2));
+    }
+
+    #[test]
+    fn k_equals_one_always_takes_exactly_one_iteration() {
+        let report = run_theorem1_experiment(256, 1, 20, 3);
+        let row = &report.rows[0];
+        assert_eq!(row.mean_iterations, 1.0);
+        assert_eq!(row.max_iterations, 1.0);
+    }
+
+    #[test]
+    fn mean_iterations_grow_logarithmically_not_linearly() {
+        let report = run_theorem1_experiment(512, 256, 25, 4);
+        let last = report.rows.last().unwrap();
+        // With k = 256, a linear-growth algorithm would need ~128 expected
+        // iterations; the logarithmic one stays near log2(256) = 8 and below
+        // the paper's 2·log2(k) = 16 reference.
+        assert!(
+            last.mean_iterations < last.reference_bound,
+            "mean {} exceeds the reference bound {}",
+            last.mean_iterations,
+            last.reference_bound
+        );
+        assert!(last.mean_iterations < 20.0);
+        // Monotone-ish growth in k: the k=256 mean exceeds the k=2 mean.
+        assert!(last.mean_iterations > report.rows[1].mean_iterations);
+    }
+
+    #[test]
+    fn iterations_never_exceed_k() {
+        // The champion bid strictly increases each iteration, so the count is
+        // bounded by the number of distinct active bids, i.e. by k.
+        let report = run_theorem1_experiment(128, 32, 20, 5);
+        for row in &report.rows {
+            assert!(
+                row.max_iterations <= row.k as f64,
+                "k={} saw {} iterations",
+                row.k,
+                row.max_iterations
+            );
+        }
+    }
+
+    #[test]
+    fn render_and_json_round_trip() {
+        let report = run_theorem1_experiment(32, 8, 5, 6);
+        let text = report.render();
+        assert!(text.contains("mean iters"));
+        assert!(text.lines().count() >= 5);
+        let parsed: Theorem1Report = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(parsed.rows.len(), report.rows.len());
+    }
+}

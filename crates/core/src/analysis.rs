@@ -1,0 +1,223 @@
+//! Closed-form selection probabilities.
+//!
+//! Two analytic quantities accompany the empirical tables:
+//!
+//! * [`exact_probabilities`] — the target `F_i = f_i / Σf_j` (trivial, but
+//!   kept here so tables read uniformly from one module).
+//! * [`independent_roulette_probabilities`] — the probabilities the
+//!   *independent roulette* actually follows. With `r_j` uniform on
+//!   `[0, f_j)`, index `i` wins when its draw exceeds everyone else's:
+//!
+//!   `P(i wins) = ∫₀^{f_i} (1/f_i) · Π_{j≠i} min(x / f_j, 1) dx`.
+//!
+//!   The integrand is piecewise polynomial between the sorted fitness values,
+//!   so the integral evaluates exactly in `O(n log n)` per index (`O(n² log
+//!   n)` overall), computed in log-space so that Table II's ~10⁻³² values do
+//!   not underflow intermediate products. This reproduces the analysis of
+//!   Lloyd & Amos (2017) that the paper cites, and the paper's own worked
+//!   example (`n = 2, f = [2, 1] → 3/4`).
+//!
+//! Ties between the top draws occur with probability zero for continuous
+//! uniforms, so they do not affect the probabilities.
+
+use crate::fitness::Fitness;
+
+/// The exact roulette-wheel target distribution `F_i`.
+pub fn exact_probabilities(fitness: &Fitness) -> Vec<f64> {
+    fitness.probabilities()
+}
+
+/// The exact selection distribution of the independent roulette
+/// (`r_i = f_i·u_i`, arg-max), computed by piecewise integration.
+///
+/// Indices with zero fitness have probability zero. If every fitness is zero
+/// the result is all zeros.
+pub fn independent_roulette_probabilities(fitness: &Fitness) -> Vec<f64> {
+    let values = fitness.values();
+    let n = values.len();
+    if fitness.is_all_zero() {
+        return vec![0.0; n];
+    }
+
+    (0..n)
+        .map(|i| independent_win_probability(values, i))
+        .collect()
+}
+
+/// P(index `i` has the strictly largest draw) for the independent roulette.
+fn independent_win_probability(values: &[f64], i: usize) -> f64 {
+    let f_i = values[i];
+    if f_i <= 0.0 {
+        return 0.0;
+    }
+
+    // Breakpoints of the piecewise integrand inside [0, f_i]: the other
+    // fitness values (where a competitor's CDF saturates at 1), clipped to
+    // the integration range.
+    let mut breaks: Vec<f64> = values
+        .iter()
+        .enumerate()
+        .filter(|&(j, &f)| j != i && f > 0.0 && f < f_i)
+        .map(|(_, &f)| f)
+        .collect();
+    breaks.push(0.0);
+    breaks.push(f_i);
+    breaks.sort_by(|a, b| a.partial_cmp(b).expect("finite fitness"));
+    breaks.dedup();
+
+    // Pre-sort the competitors so that on each interval we can count how many
+    // are still "active" (f_j >= x) and accumulate Σ ln f_j of the active set
+    // incrementally from the largest interval down… simpler: recompute per
+    // interval; n is small for the workloads where this is called (tables).
+    let mut probability = 0.0;
+    for window in breaks.windows(2) {
+        let (a, b) = (window[0], window[1]);
+        if b <= a {
+            continue;
+        }
+        // On (a, b): competitors with f_j <= a have CDF 1; competitors with
+        // f_j >= b contribute x / f_j.
+        let mut active = 0usize;
+        let mut ln_denominator = 0.0;
+        for (j, &f_j) in values.iter().enumerate() {
+            if j == i || f_j <= 0.0 {
+                continue;
+            }
+            if f_j >= b {
+                active += 1;
+                ln_denominator += f_j.ln();
+            } else if f_j > a {
+                // Cannot happen: (a, b) contains no breakpoint.
+                unreachable!("breakpoint {f_j} strictly inside interval ({a}, {b})");
+            }
+        }
+        // ∫_a^b x^active dx / (f_i · Π active f_j)
+        // = (b^(active+1) − a^(active+1)) / ((active+1) · f_i · Π f_j),
+        // evaluated in log space to avoid under/overflow for large `active`.
+        let m = active as f64 + 1.0;
+        let log_scale = -(m.ln() + f_i.ln() + ln_denominator);
+        let upper = (m * b.ln() + log_scale).exp();
+        let lower = if a == 0.0 {
+            0.0
+        } else {
+            (m * a.ln() + log_scale).exp()
+        };
+        probability += upper - lower;
+    }
+    probability
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::IndependentRouletteSelector;
+    use crate::traits::Selector;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+    use lrb_stats::EmpiricalDistribution;
+
+    #[test]
+    fn exact_probabilities_are_just_the_normalised_fitness() {
+        let f = Fitness::new(vec![1.0, 3.0]).unwrap();
+        assert_eq!(exact_probabilities(&f), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn paper_worked_example_two_processors() {
+        // n = 2, f = [2, 1]: the paper derives 3/4 and 1/4.
+        let f = Fitness::new(vec![2.0, 1.0]).unwrap();
+        let p = independent_roulette_probabilities(&f);
+        assert!((p[0] - 0.75).abs() < 1e-12, "{p:?}");
+        assert!((p[1] - 0.25).abs() < 1e-12, "{p:?}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_when_some_fitness_is_positive() {
+        for values in [
+            vec![1.0, 2.0, 3.0],
+            vec![5.0, 5.0, 5.0],
+            vec![0.0, 1.0, 10.0, 0.5],
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        ] {
+            let f = Fitness::new(values.clone()).unwrap();
+            let p = independent_roulette_probabilities(&f);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{values:?} → {p:?} (sum {sum})");
+        }
+    }
+
+    #[test]
+    fn equal_fitness_gives_uniform_probabilities() {
+        let f = Fitness::uniform(5, 2.0).unwrap();
+        let p = independent_roulette_probabilities(&f);
+        for &x in &p {
+            assert!((x - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_fitness_and_all_zero_cases() {
+        let f = Fitness::new(vec![0.0, 1.0, 0.0]).unwrap();
+        let p = independent_roulette_probabilities(&f);
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[2], 0.0);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+
+        let all_zero = Fitness::new(vec![0.0, 0.0]).unwrap();
+        assert_eq!(independent_roulette_probabilities(&all_zero), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn table1_matches_the_papers_independent_column() {
+        // Table I (empirical over 10⁹ trials) reports for f_i = i:
+        // i=2: 0.000088, i=5: 0.038787, i=9: 0.393536. Our closed form should
+        // agree to the paper's printed precision.
+        let f = Fitness::table1();
+        let p = independent_roulette_probabilities(&f);
+        assert!(p[0].abs() < 1e-15);
+        assert!(p[1] < 1e-5, "p[1] = {}", p[1]);
+        assert!((p[2] - 0.000088).abs() < 2e-5, "p[2] = {}", p[2]);
+        assert!((p[3] - 0.001708).abs() < 5e-5, "p[3] = {}", p[3]);
+        assert!((p[5] - 0.038787).abs() < 2e-4, "p[5] = {}", p[5]);
+        assert!((p[8] - 0.282382).abs() < 5e-4, "p[8] = {}", p[8]);
+        assert!((p[9] - 0.393536).abs() < 5e-4, "p[9] = {}", p[9]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_index_zero_probability_matches_the_papers_analysis() {
+        // The paper derives (1/2)^99 · 1/100 ≈ 1.57772·10⁻³² for index 0.
+        let f = Fitness::table2();
+        let p = independent_roulette_probabilities(&f);
+        let expected = 0.5f64.powi(99) / 100.0;
+        assert!(
+            (p[0] - expected).abs() < expected * 1e-6,
+            "p[0] = {}, expected {expected}",
+            p[0]
+        );
+        // The other 99 indices share the rest equally.
+        let others = (1.0 - p[0]) / 99.0;
+        for &x in &p[1..] {
+            assert!((x - others).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_simulation() {
+        let f = Fitness::new(vec![0.5, 1.0, 2.0, 4.0]).unwrap();
+        let p = independent_roulette_probabilities(&f);
+        let mut rng = MersenneTwister64::seed_from_u64(13);
+        let mut dist = EmpiricalDistribution::new(f.len());
+        for _ in 0..300_000 {
+            dist.record(IndependentRouletteSelector.select(&f, &mut rng).unwrap());
+        }
+        for i in 0..f.len() {
+            assert!(
+                (dist.frequency(i) - p[i]).abs() < 0.004,
+                "index {i}: simulated {}, analytic {}",
+                dist.frequency(i),
+                p[i]
+            );
+        }
+    }
+}

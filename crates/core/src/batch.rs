@@ -1,0 +1,188 @@
+//! Batch selection: run many independent selections of the same fitness
+//! vector at once, parallelised over the *trials* with rayon.
+//!
+//! The probability experiments (Tables I and II) and Monte-Carlo users need
+//! millions of independent selections from one fitness vector. Parallelising
+//! over trials is embarrassingly parallel and keeps each individual selection
+//! identical to the one-shot API: trial `t` gets its own counter-based Philox
+//! stream derived from one master seed, so the batch result is a
+//! deterministic function of `(fitness, selector, master_seed, trials)` and
+//! does not depend on the rayon schedule.
+
+use lrb_rng::Philox4x32;
+use rayon::prelude::*;
+
+use crate::error::SelectionError;
+use crate::fitness::Fitness;
+use crate::traits::Selector;
+
+/// Counts of how often each index was selected in a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchCounts {
+    counts: Vec<u64>,
+    trials: u64,
+}
+
+impl BatchCounts {
+    /// Raw per-index counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of trials in the batch.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Empirical frequencies.
+    pub fn frequencies(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.trials as f64)
+            .collect()
+    }
+
+    fn merge(mut self, other: BatchCounts) -> BatchCounts {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.trials += other.trials;
+        self
+    }
+}
+
+/// Run `trials` independent selections of `fitness` with `selector`,
+/// parallelised over trials, and return the per-index counts.
+///
+/// Fails fast with the selector's error if the fitness vector is degenerate
+/// (empty support).
+pub fn batch_select_counts(
+    selector: &dyn Selector,
+    fitness: &Fitness,
+    trials: u64,
+    master_seed: u64,
+) -> Result<BatchCounts, SelectionError> {
+    if fitness.is_all_zero() {
+        return Err(SelectionError::AllZeroFitness);
+    }
+    let chunk: u64 = 4_096;
+    let chunks: Vec<(u64, u64)> = (0..trials)
+        .step_by(chunk as usize)
+        .map(|start| (start, (start + chunk).min(trials)))
+        .collect();
+
+    let empty = || BatchCounts {
+        counts: vec![0; fitness.len()],
+        trials: 0,
+    };
+
+    let result = chunks
+        .par_iter()
+        .map(|&(start, end)| {
+            let mut local = empty();
+            for trial in start..end {
+                // One provably independent stream per trial.
+                let mut rng = Philox4x32::for_substream(master_seed, trial);
+                let index = selector.select(fitness, &mut rng)?;
+                local.counts[index] += 1;
+                local.trials += 1;
+            }
+            Ok(local)
+        })
+        .try_reduce(empty, |a, b| Ok(a.merge(b)))?;
+
+    Ok(result)
+}
+
+/// Run `trials` independent selections and return the selected indices in
+/// trial order (useful when the caller needs the raw sequence, e.g. to feed a
+/// downstream simulation).
+pub fn batch_select_indices(
+    selector: &dyn Selector,
+    fitness: &Fitness,
+    trials: u64,
+    master_seed: u64,
+) -> Result<Vec<usize>, SelectionError> {
+    if fitness.is_all_zero() {
+        return Err(SelectionError::AllZeroFitness);
+    }
+    (0..trials)
+        .into_par_iter()
+        .map(|trial| {
+            let mut rng = Philox4x32::for_substream(master_seed, trial);
+            selector.select(fitness, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{IndependentRouletteSelector, LogBiddingSelector};
+    use crate::sequential::LinearScanSelector;
+
+    #[test]
+    fn counts_sum_to_the_trial_budget() {
+        let fitness = Fitness::table1();
+        let batch =
+            batch_select_counts(&LogBiddingSelector::default(), &fitness, 10_000, 1).unwrap();
+        assert_eq!(batch.trials(), 10_000);
+        assert_eq!(batch.counts().iter().sum::<u64>(), 10_000);
+        assert_eq!(batch.counts()[0], 0, "zero-fitness index never selected");
+    }
+
+    #[test]
+    fn frequencies_match_the_exact_distribution_for_exact_selectors() {
+        let fitness = Fitness::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let batch =
+            batch_select_counts(&LogBiddingSelector::default(), &fitness, 100_000, 2).unwrap();
+        let freqs = batch.frequencies();
+        for (i, target) in fitness.probabilities().iter().enumerate() {
+            assert!(
+                (freqs[i] - target).abs() < 0.006,
+                "index {i}: {} vs {target}",
+                freqs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_results_are_independent_of_the_rayon_schedule() {
+        // Deterministic by construction: same master seed → same counts.
+        let fitness = Fitness::new(vec![2.0, 1.0, 4.0]).unwrap();
+        let a = batch_select_counts(&LinearScanSelector, &fitness, 20_000, 3).unwrap();
+        let b = batch_select_counts(&LinearScanSelector, &fitness, 20_000, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indices_and_counts_agree() {
+        let fitness = Fitness::new(vec![1.0, 1.0, 2.0]).unwrap();
+        let selector = IndependentRouletteSelector;
+        let indices = batch_select_indices(&selector, &fitness, 5_000, 4).unwrap();
+        let counts = batch_select_counts(&selector, &fitness, 5_000, 4).unwrap();
+        let mut recount = vec![0u64; fitness.len()];
+        for &i in &indices {
+            recount[i] += 1;
+        }
+        assert_eq!(recount, counts.counts());
+    }
+
+    #[test]
+    fn all_zero_fitness_is_rejected() {
+        let fitness = Fitness::new(vec![0.0, 0.0]).unwrap();
+        assert!(batch_select_counts(&LinearScanSelector, &fitness, 10, 5).is_err());
+        assert!(batch_select_indices(&LinearScanSelector, &fitness, 10, 5).is_err());
+    }
+
+    #[test]
+    fn zero_trials_is_a_valid_empty_batch() {
+        let fitness = Fitness::new(vec![1.0]).unwrap();
+        let batch = batch_select_counts(&LinearScanSelector, &fitness, 0, 6).unwrap();
+        assert_eq!(batch.trials(), 0);
+        assert_eq!(batch.counts(), &[0]);
+        assert!(batch_select_indices(&LinearScanSelector, &fitness, 0, 6)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by every selector in the crate.
+
+use std::fmt;
+
+/// Reasons a roulette wheel selection can fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionError {
+    /// The fitness vector was empty.
+    EmptyFitness,
+    /// Every fitness value was zero, so the target distribution is undefined.
+    AllZeroFitness,
+    /// A fitness value was negative, NaN or infinite.
+    InvalidFitness {
+        /// Index of the offending value.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A sampler was asked for more distinct items than there are indices
+    /// with positive fitness (sampling without replacement only).
+    NotEnoughCandidates {
+        /// How many items were requested.
+        requested: usize,
+        /// How many indices have positive fitness.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectionError::EmptyFitness => write!(f, "the fitness vector is empty"),
+            SelectionError::AllZeroFitness => {
+                write!(f, "all fitness values are zero; the selection probabilities are undefined")
+            }
+            SelectionError::InvalidFitness { index, value } => write!(
+                f,
+                "fitness[{index}] = {value} is invalid: values must be finite and non-negative"
+            ),
+            SelectionError::NotEnoughCandidates {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot sample {requested} distinct items: only {available} indices have positive fitness"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SelectionError::EmptyFitness.to_string().contains("empty"));
+        assert!(SelectionError::AllZeroFitness.to_string().contains("zero"));
+        let e = SelectionError::InvalidFitness {
+            index: 4,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains("-1"));
+        let e = SelectionError::NotEnoughCandidates {
+            requested: 5,
+            available: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn works_as_a_boxed_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SelectionError::EmptyFitness);
+        assert!(!e.to_string().is_empty());
+    }
+}

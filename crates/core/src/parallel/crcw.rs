@@ -1,0 +1,112 @@
+//! The logarithmic random bidding executed on the simulated CRCW-PRAM.
+//!
+//! This is the execution the paper's Theorem 1 is about: the arg-max over the
+//! bids is found by the constant-memory CRCW while-loop of
+//! [`lrb_pram::algorithms::bid_max`], taking expected `O(log k)` iterations
+//! with `O(1)` shared cells. The selector exposes both the plain
+//! [`Selector`] interface (for uniform comparison with the other algorithms)
+//! and [`CrcwLogBiddingSelector::select_with_stats`], which additionally
+//! returns the measured iteration count and PRAM cost so the Theorem 1
+//! experiment can tabulate them.
+
+use lrb_pram::algorithms::roulette::{log_bidding_selection, PramSelection};
+use lrb_rng::RandomSource;
+
+use crate::error::SelectionError;
+use crate::fitness::Fitness;
+use crate::traits::Selector;
+
+/// Logarithmic random bidding on the simulated CRCW-PRAM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrcwLogBiddingSelector;
+
+impl CrcwLogBiddingSelector {
+    /// Run one selection and return the full PRAM-level outcome (winner,
+    /// while-loop iterations, cost report).
+    pub fn select_with_stats(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+    ) -> Result<PramSelection, SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let master_seed = rng.next_u64();
+        log_bidding_selection(fitness.values(), master_seed)
+            .map_err(|_| SelectionError::AllZeroFitness)
+    }
+}
+
+impl Selector for CrcwLogBiddingSelector {
+    fn name(&self) -> &'static str {
+        "log-bidding-crcw-pram"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn select(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+    ) -> Result<usize, SelectionError> {
+        let outcome = self.select_with_stats(fitness, rng)?;
+        outcome.selected.ok_or(SelectionError::AllZeroFitness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+    use lrb_stats::EmpiricalDistribution;
+
+    #[test]
+    fn distribution_matches_targets() {
+        let fitness = Fitness::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let selector = CrcwLogBiddingSelector;
+        let mut rng = MersenneTwister64::seed_from_u64(41);
+        let trials = 30_000;
+        let mut dist = EmpiricalDistribution::new(fitness.len());
+        for _ in 0..trials {
+            dist.record(selector.select(&fitness, &mut rng).unwrap());
+        }
+        assert!(dist.max_abs_deviation(&fitness.probabilities()) < 0.012);
+        assert!(dist.goodness_of_fit(&fitness.probabilities()).is_consistent(0.001));
+    }
+
+    #[test]
+    fn stats_report_constant_memory_and_low_iterations() {
+        let fitness = Fitness::sparse(512, 8, 1.0).unwrap();
+        let selector = CrcwLogBiddingSelector;
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+        for _ in 0..20 {
+            let s = selector.select_with_stats(&fitness, &mut rng).unwrap();
+            assert!(s.cost.memory_footprint <= 2);
+            assert!(s.while_iterations >= 1 && s.while_iterations <= 8);
+            assert!(fitness.values()[s.selected.unwrap()] > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_zero_rejected() {
+        let fitness = Fitness::new(vec![0.0, 0.0]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+        assert!(CrcwLogBiddingSelector.select(&fitness, &mut rng).is_err());
+        assert!(CrcwLogBiddingSelector
+            .select_with_stats(&fitness, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_fitness_indices_never_win() {
+        let fitness = Fitness::new(vec![0.0, 1.0, 0.0, 2.0]).unwrap();
+        let selector = CrcwLogBiddingSelector;
+        let mut rng = MersenneTwister64::seed_from_u64(3);
+        for _ in 0..500 {
+            let i = selector.select(&fitness, &mut rng).unwrap();
+            assert!(i == 1 || i == 3);
+        }
+    }
+}

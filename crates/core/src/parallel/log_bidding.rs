@@ -1,0 +1,350 @@
+//! The paper's contribution: roulette wheel selection by **logarithmic random
+//! bidding**.
+//!
+//! Every index draws a bid `r_i = ln(u_i) / f_i` (with `u_i` uniform on
+//! `(0, 1)`); the index with the largest bid is selected. Because `−r_i` is
+//! exponentially distributed with rate `f_i`, the minimum of the exponentials
+//! (= maximum of the bids) lands on index `i` with probability exactly
+//! `f_i / Σ_j f_j` — the proof is the paper's Section II integral, and the
+//! same fact underlies the Gumbel-max trick and Efraimidis–Spirakis sampling.
+//!
+//! Three selectors share this mathematics:
+//!
+//! * [`LogBiddingSelector`] — a sequential streaming arg-max (one pass, no
+//!   allocation); this is what a single thread of the ACO application uses.
+//! * [`ParallelLogBiddingSelector`] — a rayon `map → reduce` arg-max over the
+//!   fitness slice; this is the "real multicore machine" execution.
+//! * [`GumbelMaxSelector`] — the algebraically equivalent Gumbel-key variant
+//!   (`ln f_i − ln(−ln u_i)`), kept separate so the benches can compare the
+//!   two formulas' cost and verify they induce the same distribution.
+
+use lrb_rng::exponential::{log_bid, ExponentialSampler};
+use lrb_rng::{Philox4x32, RandomSource};
+use rayon::prelude::*;
+
+use crate::error::SelectionError;
+use crate::fitness::Fitness;
+use crate::parallel::max_by_key_then_index;
+use crate::traits::Selector;
+
+/// Sequential streaming logarithmic random bidding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogBiddingSelector {
+    /// Which exponential sampler generates the bids (`ln(u)/f` by inversion,
+    /// or the Ziggurat). Both are exact; the choice only affects speed.
+    pub sampler: ExponentialSampler,
+}
+
+impl Selector for LogBiddingSelector {
+    fn name(&self) -> &'static str {
+        "log-bidding-sequential"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn select(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+    ) -> Result<usize, SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (i, &f) in fitness.values().iter().enumerate() {
+            if f == 0.0 {
+                continue;
+            }
+            // r_i = ln(u)/f  ==  −Exp(rate f); both samplers produce the same
+            // distribution, the Ziggurat just avoids the ln call.
+            let bid = match self.sampler {
+                ExponentialSampler::InverseCdf => log_bid(rng, f),
+                ExponentialSampler::Ziggurat => -self.sampler.sample_rate(rng, f),
+            };
+            best = max_by_key_then_index(best, (bid, i));
+        }
+        Ok(best.1)
+    }
+}
+
+/// Rayon data-parallel logarithmic random bidding.
+///
+/// The per-index uniforms come from counter-based Philox streams derived from
+/// one master draw of the caller's generator, so the result is reproducible
+/// regardless of thread count or work-stealing order, and the arg-max
+/// reduction is deterministic (ties broken by index).
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelLogBiddingSelector {
+    /// Inputs shorter than this are handled sequentially; the rayon overhead
+    /// is not worth paying for a handful of items.
+    pub sequential_cutoff: usize,
+}
+
+impl Default for ParallelLogBiddingSelector {
+    fn default() -> Self {
+        Self {
+            sequential_cutoff: 1024,
+        }
+    }
+}
+
+impl ParallelLogBiddingSelector {
+    fn bid_for(master: u64, index: usize, f: f64) -> (f64, usize) {
+        if f == 0.0 {
+            return (f64::NEG_INFINITY, index);
+        }
+        let mut stream = Philox4x32::for_substream(master, index as u64);
+        (log_bid(&mut stream, f), index)
+    }
+}
+
+impl Selector for ParallelLogBiddingSelector {
+    fn name(&self) -> &'static str {
+        "log-bidding-rayon"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn select(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+    ) -> Result<usize, SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let master = rng.next_u64();
+        let values = fitness.values();
+
+        let best = if values.len() < self.sequential_cutoff {
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| Self::bid_for(master, i, f))
+                .fold((f64::NEG_INFINITY, usize::MAX), max_by_key_then_index)
+        } else {
+            values
+                .par_iter()
+                .enumerate()
+                .map(|(i, &f)| Self::bid_for(master, i, f))
+                .reduce(
+                    || (f64::NEG_INFINITY, usize::MAX),
+                    max_by_key_then_index,
+                )
+        };
+        Ok(best.1)
+    }
+}
+
+/// The Gumbel-max formulation of the same selection rule: key
+/// `g_i = ln f_i − ln(−ln u_i)`, arg-max.
+///
+/// Monotone-equivalent to the logarithmic bid, so the induced distribution is
+/// identical; included because it is the form most common in the machine
+/// learning literature and it behaves differently numerically (it tolerates
+/// fitness values spanning hundreds of orders of magnitude since `ln f_i` is
+/// additive rather than `1/f_i` multiplicative).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GumbelMaxSelector;
+
+impl Selector for GumbelMaxSelector {
+    fn name(&self) -> &'static str {
+        "gumbel-max"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn select(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+    ) -> Result<usize, SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (i, &f) in fitness.values().iter().enumerate() {
+            if f == 0.0 {
+                continue;
+            }
+            let u = rng.next_f64_open();
+            let gumbel = -(-u.ln()).ln();
+            best = max_by_key_then_index(best, (f.ln() + gumbel, i));
+        }
+        Ok(best.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+    use lrb_stats::EmpiricalDistribution;
+
+    fn check_distribution(selector: &dyn Selector, fitness: &Fitness, trials: usize, tol: f64) {
+        let mut rng = MersenneTwister64::seed_from_u64(1234);
+        let mut dist = EmpiricalDistribution::new(fitness.len());
+        for _ in 0..trials {
+            dist.record(selector.select(fitness, &mut rng).unwrap());
+        }
+        let dev = dist.max_abs_deviation(&fitness.probabilities());
+        assert!(
+            dev < tol,
+            "{}: max deviation {dev} exceeds {tol}",
+            selector.name()
+        );
+        assert!(
+            dist.goodness_of_fit(&fitness.probabilities()).is_consistent(0.001),
+            "{}: chi-square rejects the target distribution",
+            selector.name()
+        );
+    }
+
+    #[test]
+    fn sequential_log_bidding_is_exact_on_table1() {
+        check_distribution(&LogBiddingSelector::default(), &Fitness::table1(), 200_000, 0.005);
+    }
+
+    #[test]
+    fn ziggurat_variant_is_also_exact() {
+        let selector = LogBiddingSelector {
+            sampler: ExponentialSampler::Ziggurat,
+        };
+        check_distribution(&selector, &Fitness::new(vec![1.0, 2.0, 3.0]).unwrap(), 150_000, 0.005);
+    }
+
+    #[test]
+    fn rayon_log_bidding_is_exact() {
+        check_distribution(
+            &ParallelLogBiddingSelector::default(),
+            &Fitness::new(vec![5.0, 1.0, 3.0, 1.0]).unwrap(),
+            150_000,
+            0.006,
+        );
+    }
+
+    #[test]
+    fn gumbel_max_is_exact() {
+        check_distribution(
+            &GumbelMaxSelector,
+            &Fitness::new(vec![2.0, 1.0, 1.0]).unwrap(),
+            150_000,
+            0.006,
+        );
+    }
+
+    #[test]
+    fn paper_intro_example_two_processors() {
+        // n = 2, f = [2, 1]: the exact probability of selecting 0 is 2/3
+        // (the independent roulette gets 3/4 — see the independent module).
+        let fitness = Fitness::new(vec![2.0, 1.0]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(5);
+        let selector = LogBiddingSelector::default();
+        let trials = 300_000;
+        let zero = (0..trials)
+            .filter(|_| selector.select(&fitness, &mut rng).unwrap() == 0)
+            .count();
+        let freq = zero as f64 / trials as f64;
+        assert!((freq - 2.0 / 3.0).abs() < 0.004, "frequency {freq}");
+    }
+
+    #[test]
+    fn zero_fitness_indices_never_win() {
+        let fitness = Fitness::new(vec![0.0, 1.0, 0.0, 0.5, 0.0]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(6);
+        for selector in [
+            &LogBiddingSelector::default() as &dyn Selector,
+            &ParallelLogBiddingSelector::default(),
+            &GumbelMaxSelector,
+        ] {
+            for _ in 0..5000 {
+                let i = selector.select(&fitness, &mut rng).unwrap();
+                assert!(i == 1 || i == 3, "{} chose {i}", selector.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_is_rejected() {
+        let fitness = Fitness::new(vec![0.0, 0.0]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(6);
+        assert!(LogBiddingSelector::default().select(&fitness, &mut rng).is_err());
+        assert!(ParallelLogBiddingSelector::default().select(&fitness, &mut rng).is_err());
+        assert!(GumbelMaxSelector.select(&fitness, &mut rng).is_err());
+    }
+
+    #[test]
+    fn rayon_selector_is_reproducible_for_a_fixed_caller_stream() {
+        // Same caller RNG state → same master seed → same selection, no
+        // matter how the parallel reduction is scheduled.
+        let fitness = Fitness::linear(5000).unwrap();
+        let selector = ParallelLogBiddingSelector {
+            sequential_cutoff: 0,
+        };
+        let a = selector
+            .select(&fitness, &mut MersenneTwister64::seed_from_u64(99))
+            .unwrap();
+        let b = selector
+            .select(&fitness, &mut MersenneTwister64::seed_from_u64(99))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_and_sequential_cutoff_paths_agree() {
+        // Forcing the parallel path and the sequential path with the same
+        // master seed must give the same winner (same per-index streams).
+        let fitness = Fitness::new((1..=200).map(|i| (i % 13) as f64).collect()).unwrap();
+        let par = ParallelLogBiddingSelector {
+            sequential_cutoff: 0,
+        };
+        let seq = ParallelLogBiddingSelector {
+            sequential_cutoff: usize::MAX,
+        };
+        for seed in 0..50 {
+            let a = par
+                .select(&fitness, &mut MersenneTwister64::seed_from_u64(seed))
+                .unwrap();
+            let b = seq
+                .select(&fitness, &mut MersenneTwister64::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_candidate_is_always_selected() {
+        let fitness = Fitness::new(vec![0.0, 0.0, 4.0]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(LogBiddingSelector::default().select(&fitness, &mut rng).unwrap(), 2);
+            assert_eq!(GumbelMaxSelector.select(&fitness, &mut rng).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn table2_small_probability_index_is_still_selected() {
+        // The heart of Table II: index 0 has probability ~0.005; over 100k
+        // trials the logarithmic bidding must select it a few hundred times
+        // (the independent roulette selects it zero times — tested in the
+        // independent module).
+        let fitness = Fitness::table2();
+        let selector = LogBiddingSelector::default();
+        let mut rng = MersenneTwister64::seed_from_u64(77);
+        let trials = 100_000;
+        let zero_count = (0..trials)
+            .filter(|_| selector.select(&fitness, &mut rng).unwrap() == 0)
+            .count();
+        let freq = zero_count as f64 / trials as f64;
+        assert!(
+            (freq - 1.0 / 199.0).abs() < 0.002,
+            "index 0 frequency {freq}, expected ≈ 0.005025"
+        );
+    }
+}

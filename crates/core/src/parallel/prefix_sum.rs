@@ -1,0 +1,238 @@
+//! The prefix-sum-based parallel roulette wheel selection (the classical
+//! exact algorithm the paper reviews in Section I), executed as a
+//! chunked rayon computation.
+//!
+//! 1. split the fitness slice into chunks and sum each chunk in parallel,
+//! 2. scan the chunk totals sequentially (there are only `n / chunk` of them),
+//! 3. draw `R = u · Σf`, locate the chunk whose cumulative range contains
+//!    `R`, and scan inside that one chunk.
+//!
+//! Probabilities are exact; the work is `O(n)` like the logarithmic bidding,
+//! but the algorithm needs the two-phase structure (sum, then locate) where
+//! the bidding needs only a single arg-max pass — which is exactly the
+//! trade-off the throughput benches measure.
+
+use lrb_rng::RandomSource;
+use rayon::prelude::*;
+
+use crate::error::SelectionError;
+use crate::fitness::Fitness;
+use crate::traits::Selector;
+
+/// Chunked rayon prefix-sum selection.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixSumSelector {
+    /// Number of fitness values handled per chunk.
+    pub chunk_size: usize,
+    /// Inputs shorter than this are processed entirely sequentially.
+    pub sequential_cutoff: usize,
+}
+
+impl Default for PrefixSumSelector {
+    fn default() -> Self {
+        Self {
+            chunk_size: 4096,
+            sequential_cutoff: 8192,
+        }
+    }
+}
+
+impl PrefixSumSelector {
+    fn locate_in_slice(values: &[f64], mut r: f64) -> Option<usize> {
+        for (i, &f) in values.iter().enumerate() {
+            if f <= 0.0 {
+                continue;
+            }
+            if r < f {
+                return Some(i);
+            }
+            r -= f;
+        }
+        None
+    }
+}
+
+impl Selector for PrefixSumSelector {
+    fn name(&self) -> &'static str {
+        "prefix-sum-rayon"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn select(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+    ) -> Result<usize, SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let values = fitness.values();
+        let chunk = self.chunk_size.max(1);
+
+        // Phase 1: chunk sums (parallel when the input is large enough).
+        let chunk_sums: Vec<f64> = if values.len() < self.sequential_cutoff {
+            values.chunks(chunk).map(|c| c.iter().sum()).collect()
+        } else {
+            values
+                .par_chunks(chunk)
+                .map(|c| c.iter().sum())
+                .collect()
+        };
+        let total: f64 = chunk_sums.iter().sum();
+
+        // Phase 2: draw the threshold and locate the owning chunk.
+        let mut r = rng.next_f64() * total;
+        let mut chunk_index = chunk_sums.len() - 1;
+        for (ci, &cs) in chunk_sums.iter().enumerate() {
+            if r < cs {
+                chunk_index = ci;
+                break;
+            }
+            r -= cs;
+        }
+
+        // Phase 3: locate the index inside the chunk. Rounding can push `r`
+        // past the chunk's own mass; walk back to earlier chunks until a
+        // positive-fitness index absorbs the draw.
+        loop {
+            let start = chunk_index * chunk;
+            let end = (start + chunk).min(values.len());
+            if let Some(offset) = Self::locate_in_slice(&values[start..end], r) {
+                return Ok(start + offset);
+            }
+            // Exhausted this chunk without absorbing r (possible only through
+            // floating-point rounding at the right edge): attribute the draw
+            // to the last positive-fitness index seen so far.
+            if let Some(i) = values[..end].iter().rposition(|&f| f > 0.0) {
+                return Ok(i);
+            }
+            // No positive fitness up to this chunk; move forward.
+            chunk_index += 1;
+            r = 0.0;
+            if chunk_index * chunk >= values.len() {
+                // Cannot happen for a validated non-all-zero vector.
+                return Err(SelectionError::AllZeroFitness);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+    use lrb_stats::EmpiricalDistribution;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distribution_matches_targets_small_input() {
+        let fitness = Fitness::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let selector = PrefixSumSelector::default();
+        let mut rng = MersenneTwister64::seed_from_u64(31);
+        let mut dist = EmpiricalDistribution::new(fitness.len());
+        for _ in 0..200_000 {
+            dist.record(selector.select(&fitness, &mut rng).unwrap());
+        }
+        assert!(dist.max_abs_deviation(&fitness.probabilities()) < 0.005);
+        assert!(dist.goodness_of_fit(&fitness.probabilities()).is_consistent(0.001));
+    }
+
+    #[test]
+    fn distribution_matches_targets_with_tiny_chunks() {
+        // Chunk size 3 over 10 values exercises the chunk-walk logic heavily.
+        let fitness = Fitness::table1();
+        let selector = PrefixSumSelector {
+            chunk_size: 3,
+            sequential_cutoff: 0,
+        };
+        let mut rng = MersenneTwister64::seed_from_u64(32);
+        let mut dist = EmpiricalDistribution::new(fitness.len());
+        for _ in 0..200_000 {
+            dist.record(selector.select(&fitness, &mut rng).unwrap());
+        }
+        assert!(dist.max_abs_deviation(&fitness.probabilities()) < 0.005);
+        assert_eq!(dist.counts()[0], 0);
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_given_the_same_randomness() {
+        // Both algorithms consume exactly one uniform per selection and place
+        // the threshold identically, so with a shared seed they must agree.
+        use crate::sequential::LinearScanSelector;
+        let fitness = Fitness::new(vec![0.3, 0.0, 2.0, 1.7, 0.0, 5.0]).unwrap();
+        let selector = PrefixSumSelector {
+            chunk_size: 2,
+            sequential_cutoff: 0,
+        };
+        let mut rng_a = MersenneTwister64::seed_from_u64(12);
+        let mut rng_b = MersenneTwister64::seed_from_u64(12);
+        for _ in 0..5000 {
+            assert_eq!(
+                selector.select(&fitness, &mut rng_a).unwrap(),
+                LinearScanSelector.select(&fitness, &mut rng_b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_fitness_never_selected() {
+        let fitness = Fitness::sparse(1000, 5, 2.0).unwrap();
+        let selector = PrefixSumSelector {
+            chunk_size: 64,
+            sequential_cutoff: 0,
+        };
+        let mut rng = MersenneTwister64::seed_from_u64(4);
+        for _ in 0..5000 {
+            let i = selector.select(&fitness, &mut rng).unwrap();
+            assert!(fitness.values()[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_zero_rejected() {
+        let fitness = Fitness::new(vec![0.0; 10]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(4);
+        assert!(PrefixSumSelector::default().select(&fitness, &mut rng).is_err());
+    }
+
+    #[test]
+    fn large_parallel_path_matches_probabilities_roughly() {
+        // 20k values, forced through the parallel chunk-sum path.
+        let fitness = Fitness::from_fn(20_000, |i| if i % 100 == 0 { 50.0 } else { 0.5 }).unwrap();
+        let selector = PrefixSumSelector {
+            chunk_size: 1024,
+            sequential_cutoff: 0,
+        };
+        let mut rng = MersenneTwister64::seed_from_u64(5);
+        // The 200 "heavy" indices carry 50·200 = 10000 of the total 19900.
+        let heavy_mass: f64 = 50.0 * 200.0 / fitness.total();
+        let trials = 20_000;
+        let heavy = (0..trials)
+            .filter(|_| {
+                let i = selector.select(&fitness, &mut rng).unwrap();
+                i % 100 == 0
+            })
+            .count();
+        let freq = heavy as f64 / trials as f64;
+        assert!((freq - heavy_mass).abs() < 0.02, "freq {freq}, expected {heavy_mass}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_selected_index_has_positive_fitness(
+            values in proptest::collection::vec(0.0f64..10.0, 1..300),
+            seed: u64,
+            chunk in 1usize..64,
+        ) {
+            prop_assume!(values.iter().any(|&v| v > 0.0));
+            let fitness = Fitness::new(values).unwrap();
+            let selector = PrefixSumSelector { chunk_size: chunk, sequential_cutoff: 0 };
+            let mut rng = MersenneTwister64::seed_from_u64(seed);
+            let i = selector.select(&fitness, &mut rng).unwrap();
+            prop_assert!(fitness.values()[i] > 0.0);
+        }
+    }
+}

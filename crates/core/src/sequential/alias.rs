@@ -1,0 +1,198 @@
+//! The Walker/Vose alias method: `O(n)` build, `O(1)` per draw, exact
+//! probabilities.
+//!
+//! The fastest known approach when many draws are taken from a *fixed*
+//! distribution; included as the strongest prepared-sampling baseline for the
+//! throughput benches.
+
+use lrb_rng::RandomSource;
+
+use crate::error::SelectionError;
+use crate::fitness::Fitness;
+use crate::traits::PreparedSampler;
+
+/// An alias table built with Vose's numerically stable construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasSampler {
+    /// Probability of keeping the column's own index (scaled to [0, 1]).
+    keep: Vec<f64>,
+    /// The alias index used when the column's own index is rejected.
+    alias: Vec<usize>,
+}
+
+impl AliasSampler {
+    /// Build the alias table from a fitness vector.
+    pub fn new(fitness: &Fitness) -> Result<Self, SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let n = fitness.len();
+        let total = fitness.total();
+        // Scaled probabilities: mean 1 across columns.
+        let scaled: Vec<f64> = fitness
+            .values()
+            .iter()
+            .map(|&v| v * n as f64 / total)
+            .collect();
+
+        let mut keep = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let mut work = scaled;
+        for (i, &w) in work.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            keep[s] = work[s];
+            alias[s] = l;
+            // The large column donates the mass that fills column s up to 1.
+            work[l] = (work[l] + work[s]) - 1.0;
+            if work[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains (numerical leftovers) keeps its own index with
+        // probability 1.
+        for &i in large.iter().chain(small.iter()) {
+            keep[i] = 1.0;
+            alias[i] = i;
+        }
+
+        Ok(Self { keep, alias })
+    }
+
+    /// The keep-probability table (exposed for tests and diagnostics).
+    pub fn keep_probabilities(&self) -> &[f64] {
+        &self.keep
+    }
+
+    /// The alias table (exposed for tests and diagnostics).
+    pub fn aliases(&self) -> &[usize] {
+        &self.alias
+    }
+}
+
+impl PreparedSampler for AliasSampler {
+    fn len(&self) -> usize {
+        self.keep.len()
+    }
+
+    fn sample(&self, rng: &mut dyn RandomSource) -> usize {
+        let n = self.keep.len();
+        let column = rng.next_u64_below(n as u64) as usize;
+        if rng.next_f64() < self.keep[column] {
+            column
+        } else {
+            self.alias[column]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+    use lrb_stats::EmpiricalDistribution;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_zero_rejected() {
+        let f = Fitness::new(vec![0.0, 0.0]).unwrap();
+        assert_eq!(AliasSampler::new(&f), Err(SelectionError::AllZeroFitness));
+    }
+
+    #[test]
+    fn uniform_distribution_keeps_every_column() {
+        let f = Fitness::uniform(8, 3.0).unwrap();
+        let s = AliasSampler::new(&f).unwrap();
+        assert!(s.keep_probabilities().iter().all(|&k| (k - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn implied_probabilities_match_targets() {
+        // Reconstruct each index's total probability from the table:
+        // P(i) = (keep_i + Σ_{j: alias_j = i} (1 − keep_j)) / n.
+        let f = Fitness::new(vec![0.5, 1.5, 3.0, 0.0, 5.0]).unwrap();
+        let s = AliasSampler::new(&f).unwrap();
+        let n = f.len();
+        let mut implied = vec![0.0; n];
+        for i in 0..n {
+            implied[i] += s.keep_probabilities()[i];
+            let j = s.aliases()[i];
+            implied[j] += 1.0 - s.keep_probabilities()[i];
+        }
+        for (i, p) in implied.iter_mut().enumerate() {
+            *p /= n as f64;
+            assert!(
+                (*p - f.probability(i)).abs() < 1e-12,
+                "index {i}: implied {p}, target {}",
+                f.probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_fitness_indices_are_never_sampled() {
+        let f = Fitness::new(vec![0.0, 1.0, 0.0, 2.0, 0.0]).unwrap();
+        let s = AliasSampler::new(&f).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(4);
+        for _ in 0..20_000 {
+            let i = s.sample(&mut rng);
+            assert!(f.values()[i] > 0.0, "sampled zero-fitness index {i}");
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_matches_table1() {
+        let f = Fitness::table1();
+        let s = AliasSampler::new(&f).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(8);
+        let trials = 300_000;
+        let mut dist = EmpiricalDistribution::new(f.len());
+        for _ in 0..trials {
+            dist.record(s.sample(&mut rng));
+        }
+        assert!(dist.max_abs_deviation(&f.probabilities()) < 0.004);
+        assert!(dist.goodness_of_fit(&f.probabilities()).is_consistent(0.001));
+    }
+
+    #[test]
+    fn single_element_distribution() {
+        let f = Fitness::new(vec![4.0]).unwrap();
+        let s = AliasSampler::new(&f).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(8);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_alias_table_conserves_probability_mass(
+            values in proptest::collection::vec(0.0f64..100.0, 1..64)
+        ) {
+            prop_assume!(values.iter().any(|&v| v > 0.0));
+            let f = Fitness::new(values).unwrap();
+            let s = AliasSampler::new(&f).unwrap();
+            let n = f.len();
+            let mut implied = vec![0.0; n];
+            for i in 0..n {
+                implied[i] += s.keep_probabilities()[i];
+                implied[s.aliases()[i]] += 1.0 - s.keep_probabilities()[i];
+            }
+            for (i, p) in implied.iter().enumerate() {
+                prop_assert!((p / n as f64 - f.probability(i)).abs() < 1e-9);
+            }
+        }
+    }
+}

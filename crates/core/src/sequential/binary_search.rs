@@ -1,0 +1,170 @@
+//! Prepared sampling by binary search over the cumulative distribution:
+//! `O(n)` build, `O(log n)` per draw, exact probabilities.
+
+use lrb_rng::RandomSource;
+
+use crate::error::SelectionError;
+use crate::fitness::Fitness;
+use crate::traits::PreparedSampler;
+
+/// A sampler that stores the inclusive prefix sums of the fitness values and
+/// answers each draw with a binary search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl CdfSampler {
+    /// Build the sampler from a fitness vector.
+    pub fn new(fitness: &Fitness) -> Result<Self, SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let mut cumulative = Vec::with_capacity(fitness.len());
+        let mut acc = 0.0;
+        for &v in fitness.values() {
+            acc += v;
+            cumulative.push(acc);
+        }
+        Ok(Self {
+            cumulative,
+            total: acc,
+        })
+    }
+
+    /// The prefix sums the sampler searches over.
+    pub fn cumulative(&self) -> &[f64] {
+        &self.cumulative
+    }
+
+    fn locate(&self, r: f64) -> usize {
+        // partition_point returns the first index whose cumulative sum is
+        // strictly greater than r, i.e. the slot [p_{i-1}, p_i) containing r.
+        // Zero-fitness slots have empty intervals and can never be returned
+        // except through exact ties, which the strict comparison avoids.
+        let idx = self.cumulative.partition_point(|&c| c <= r);
+        if idx < self.cumulative.len() {
+            return idx;
+        }
+        // r can only reach the total through floating-point rounding of
+        // `u · total`; attribute such a draw to the last positive-fitness
+        // slot (the last index where the cumulative sum actually increases).
+        let mut i = self.cumulative.len() - 1;
+        while i > 0 && self.cumulative[i - 1] == self.cumulative[i] {
+            i -= 1;
+        }
+        i
+    }
+}
+
+impl PreparedSampler for CdfSampler {
+    fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    fn sample(&self, rng: &mut dyn RandomSource) -> usize {
+        let r = rng.next_f64() * self.total;
+        self.locate(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+    use lrb_stats::EmpiricalDistribution;
+    use proptest::prelude::*;
+
+    #[test]
+    fn build_stores_prefix_sums() {
+        let f = Fitness::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let s = CdfSampler::new(&f).unwrap();
+        assert_eq!(s.cumulative(), &[1.0, 3.0, 6.0]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn all_zero_rejected() {
+        let f = Fitness::new(vec![0.0, 0.0]).unwrap();
+        assert_eq!(CdfSampler::new(&f), Err(SelectionError::AllZeroFitness));
+    }
+
+    #[test]
+    fn locate_picks_the_right_slot() {
+        let f = Fitness::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let s = CdfSampler::new(&f).unwrap();
+        assert_eq!(s.locate(0.0), 0);
+        assert_eq!(s.locate(0.999), 0);
+        assert_eq!(s.locate(1.0), 1);
+        assert_eq!(s.locate(2.5), 1);
+        assert_eq!(s.locate(3.0), 2);
+        assert_eq!(s.locate(5.999), 2);
+    }
+
+    #[test]
+    fn locate_at_or_beyond_the_total_falls_back_to_the_last_positive_slot() {
+        let f = Fitness::new(vec![1.0, 2.0, 0.0, 0.0]).unwrap();
+        let s = CdfSampler::new(&f).unwrap();
+        assert_eq!(s.locate(3.0), 1);
+        assert_eq!(s.locate(100.0), 1);
+    }
+
+    #[test]
+    fn zero_fitness_slots_are_skipped() {
+        let f = Fitness::new(vec![0.0, 1.0, 0.0, 1.0]).unwrap();
+        let s = CdfSampler::new(&f).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let i = s.sample(&mut rng);
+            assert!(i == 1 || i == 3, "selected zero-fitness slot {i}");
+        }
+    }
+
+    #[test]
+    fn distribution_matches_targets() {
+        let f = Fitness::table1();
+        let s = CdfSampler::new(&f).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(3);
+        let trials = 200_000;
+        let mut dist = EmpiricalDistribution::new(f.len());
+        for _ in 0..trials {
+            dist.record(s.sample(&mut rng));
+        }
+        assert!(dist.max_abs_deviation(&f.probabilities()) < 0.005);
+        assert_eq!(dist.counts()[0], 0, "index 0 has zero fitness in Table I");
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_under_the_same_randomness() {
+        use crate::sequential::LinearScanSelector;
+        use crate::traits::Selector;
+        let f = Fitness::new(vec![0.5, 0.0, 2.5, 1.0, 0.25]).unwrap();
+        let s = CdfSampler::new(&f).unwrap();
+        let mut rng_a = MersenneTwister64::seed_from_u64(17);
+        let mut rng_b = MersenneTwister64::seed_from_u64(17);
+        for _ in 0..5000 {
+            assert_eq!(
+                s.sample(&mut rng_a),
+                LinearScanSelector.select(&f, &mut rng_b).unwrap()
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_samples_are_in_support(
+            values in proptest::collection::vec(0.0f64..10.0, 1..100),
+            seed: u64,
+        ) {
+            prop_assume!(values.iter().any(|&v| v > 0.0));
+            let f = Fitness::new(values).unwrap();
+            let s = CdfSampler::new(&f).unwrap();
+            let mut rng = MersenneTwister64::seed_from_u64(seed);
+            for _ in 0..100 {
+                let i = s.sample(&mut rng);
+                prop_assert!(f.values()[i] > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Sequential (single-processor) roulette wheel selection algorithms.
+//!
+//! These serve three roles in the reproduction:
+//!
+//! 1. **Ground truth** — the linear CDF scan is the textbook algorithm whose
+//!    probabilities are exact by construction; every parallel algorithm is
+//!    validated against it.
+//! 2. **Baselines** — the prepared samplers (binary search, alias method)
+//!    are what a practitioner uses when the fitness vector is fixed and many
+//!    draws are needed; the benches compare the paper's one-shot algorithms
+//!    against them.
+//! 3. **Building blocks** — stochastic acceptance shows the classic
+//!    alternative trade-off (O(1) expected per draw, but needs the maximum
+//!    fitness and its cost degrades with skew).
+
+mod alias;
+mod binary_search;
+mod linear;
+mod stochastic_acceptance;
+
+pub use alias::AliasSampler;
+pub use binary_search::CdfSampler;
+pub use linear::LinearScanSelector;
+pub use stochastic_acceptance::StochasticAcceptanceSelector;

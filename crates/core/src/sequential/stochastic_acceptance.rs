@@ -1,0 +1,139 @@
+//! Roulette wheel selection by stochastic acceptance (Lipowski & Lipowska,
+//! 2012): repeatedly pick a uniform index and accept it with probability
+//! `f_i / f_max`.
+//!
+//! Exact probabilities, `O(1)` expected time per draw when the fitness values
+//! are reasonably balanced, but the expected number of rejection rounds grows
+//! as `n·f_max / Σf` — the benches show exactly where this crosses over
+//! against the other methods.
+
+use lrb_rng::RandomSource;
+
+use crate::error::SelectionError;
+use crate::fitness::Fitness;
+use crate::traits::Selector;
+
+/// Stochastic-acceptance (rejection) roulette wheel selection.
+#[derive(Debug, Clone, Copy)]
+pub struct StochasticAcceptanceSelector {
+    /// Hard cap on rejection rounds before falling back to a linear scan,
+    /// which keeps worst-case behaviour bounded on pathologically skewed
+    /// inputs (e.g. one huge fitness among thousands of tiny ones).
+    pub max_rounds: usize,
+}
+
+impl Default for StochasticAcceptanceSelector {
+    fn default() -> Self {
+        Self { max_rounds: 10_000 }
+    }
+}
+
+impl Selector for StochasticAcceptanceSelector {
+    fn name(&self) -> &'static str {
+        "sequential-stochastic-acceptance"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn select(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+    ) -> Result<usize, SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let values = fitness.values();
+        let n = values.len();
+        let f_max = values.iter().cloned().fold(0.0, f64::max);
+
+        for _ in 0..self.max_rounds {
+            let candidate = rng.next_u64_below(n as u64) as usize;
+            let f = values[candidate];
+            if f <= 0.0 {
+                continue;
+            }
+            if f >= f_max || rng.next_f64() * f_max < f {
+                return Ok(candidate);
+            }
+        }
+        // Statistically unreachable for sane inputs; keep exactness by
+        // falling back to the linear scan rather than returning a biased
+        // "best so far".
+        crate::sequential::LinearScanSelector.select(fitness, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+    use lrb_stats::EmpiricalDistribution;
+
+    #[test]
+    fn distribution_matches_targets() {
+        let fitness = Fitness::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let selector = StochasticAcceptanceSelector::default();
+        let mut rng = MersenneTwister64::seed_from_u64(21);
+        let trials = 200_000;
+        let mut dist = EmpiricalDistribution::new(fitness.len());
+        for _ in 0..trials {
+            dist.record(selector.select(&fitness, &mut rng).unwrap());
+        }
+        assert!(dist.max_abs_deviation(&fitness.probabilities()) < 0.005);
+        assert!(dist.goodness_of_fit(&fitness.probabilities()).is_consistent(0.001));
+    }
+
+    #[test]
+    fn zero_fitness_entries_are_never_accepted() {
+        let fitness = Fitness::new(vec![0.0, 5.0, 0.0]).unwrap();
+        let selector = StochasticAcceptanceSelector::default();
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+        for _ in 0..5000 {
+            assert_eq!(selector.select(&fitness, &mut rng).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn all_zero_rejected() {
+        let fitness = Fitness::new(vec![0.0]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+        assert_eq!(
+            StochasticAcceptanceSelector::default().select(&fitness, &mut rng),
+            Err(SelectionError::AllZeroFitness)
+        );
+    }
+
+    #[test]
+    fn tiny_round_budget_still_returns_an_exact_result() {
+        // With max_rounds = 0 the selector falls straight back to the linear
+        // scan, so the result is still exact (and never a zero-fitness index).
+        let fitness = Fitness::new(vec![0.0, 1.0, 9.0]).unwrap();
+        let selector = StochasticAcceptanceSelector { max_rounds: 0 };
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+        let mut dist = EmpiricalDistribution::new(fitness.len());
+        for _ in 0..50_000 {
+            dist.record(selector.select(&fitness, &mut rng).unwrap());
+        }
+        assert_eq!(dist.counts()[0], 0);
+        assert!(dist.max_abs_deviation(&fitness.probabilities()) < 0.01);
+    }
+
+    #[test]
+    fn highly_skewed_fitness_still_exact() {
+        let fitness = Fitness::new(vec![1000.0, 1.0, 1.0]).unwrap();
+        let selector = StochasticAcceptanceSelector::default();
+        let mut rng = MersenneTwister64::seed_from_u64(5);
+        let trials = 100_000;
+        let mut dist = EmpiricalDistribution::new(fitness.len());
+        for _ in 0..trials {
+            dist.record(selector.select(&fitness, &mut rng).unwrap());
+        }
+        let probs = fitness.probabilities();
+        assert!((dist.frequency(0) - probs[0]).abs() < 0.005);
+        // The two rare indices are each ~0.001; they should at least appear.
+        assert!(dist.counts()[1] > 0 && dist.counts()[2] > 0);
+    }
+}

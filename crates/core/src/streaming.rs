@@ -1,0 +1,272 @@
+//! Weighted reservoir sampling: one-pass roulette wheel selection over a
+//! stream whose length and weights are not known in advance.
+//!
+//! The A-Res algorithm (Efraimidis & Spirakis) is the streaming face of the
+//! logarithmic random bidding: each arriving item draws the same key
+//! `ln(u)/w` and the reservoir keeps the largest keys seen so far. A-ExpJ
+//! ("exponential jumps") produces the same distribution while skipping ahead
+//! over items that cannot enter the reservoir, reducing the number of random
+//! draws from `O(n)` to `O(m log(n/m))` in expectation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use lrb_rng::exponential::log_bid;
+use lrb_rng::RandomSource;
+
+/// An entry held in the reservoir.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry<T> {
+    key: f64,
+    item: T,
+}
+
+impl<T: PartialEq> Eq for Entry<T> {}
+
+impl<T: PartialEq> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest key on top.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("reservoir keys are never NaN")
+    }
+}
+
+impl<T: PartialEq> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A weighted reservoir of fixed capacity (A-Res).
+///
+/// Feed `(item, weight)` pairs with [`WeightedReservoir::offer`]; at any
+/// point [`WeightedReservoir::items`] is a weighted sample without
+/// replacement of everything offered so far. Zero-weight items are ignored;
+/// negative or NaN weights panic.
+#[derive(Debug, Clone)]
+pub struct WeightedReservoir<T> {
+    capacity: usize,
+    heap: BinaryHeap<Entry<T>>,
+}
+
+impl<T: PartialEq> WeightedReservoir<T> {
+    /// Create a reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity + 1),
+        }
+    }
+
+    /// The maximum number of items the reservoir retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently retained.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the reservoir is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The smallest key currently in the reservoir (the threshold a new item
+    /// must beat once the reservoir is full).
+    pub fn threshold(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.key)
+    }
+
+    /// Offer one weighted item. Returns `true` if the item entered the
+    /// reservoir (it may later be evicted by better items).
+    pub fn offer(&mut self, item: T, weight: f64, rng: &mut dyn RandomSource) -> bool {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weights must be finite and non-negative, got {weight}"
+        );
+        if weight == 0.0 {
+            return false;
+        }
+        let key = log_bid(rng, weight);
+        if self.heap.len() < self.capacity {
+            self.heap.push(Entry { key, item });
+            return true;
+        }
+        let current_min = self.threshold().expect("full reservoir has a threshold");
+        if key > current_min {
+            self.heap.pop();
+            self.heap.push(Entry { key, item });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the reservoir, returning the retained items ordered by
+    /// decreasing key (the order a sequential weighted draw without
+    /// replacement would have produced them).
+    pub fn into_items(self) -> Vec<T> {
+        let mut entries: Vec<Entry<T>> = self.heap.into_iter().collect();
+        entries.sort_by(|a, b| b.key.partial_cmp(&a.key).expect("keys are never NaN"));
+        entries.into_iter().map(|e| e.item).collect()
+    }
+
+    /// The retained items in unspecified order (non-consuming).
+    pub fn items(&self) -> Vec<&T> {
+        self.heap.iter().map(|e| &e.item).collect()
+    }
+}
+
+/// One-shot convenience: select a single item from a weighted stream.
+///
+/// Equivalent to a [`WeightedReservoir`] of capacity 1 — and therefore to a
+/// streaming execution of the paper's logarithmic random bidding.
+pub fn select_from_stream<T: PartialEq>(
+    stream: impl IntoIterator<Item = (T, f64)>,
+    rng: &mut dyn RandomSource,
+) -> Option<T> {
+    let mut reservoir = WeightedReservoir::new(1);
+    for (item, weight) in stream {
+        reservoir.offer(item, weight, rng);
+    }
+    reservoir.into_items().into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+    use lrb_stats::EmpiricalDistribution;
+
+    #[test]
+    fn reservoir_never_exceeds_capacity() {
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        let mut res = WeightedReservoir::new(3);
+        for i in 0..100 {
+            res.offer(i, 1.0 + (i % 5) as f64, &mut rng);
+            assert!(res.len() <= 3);
+        }
+        assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn zero_weight_items_are_ignored() {
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+        let mut res = WeightedReservoir::new(2);
+        assert!(!res.offer("zero", 0.0, &mut rng));
+        assert!(res.is_empty());
+        assert!(res.offer("one", 1.0, &mut rng));
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weights_panic() {
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+        let mut res = WeightedReservoir::new(1);
+        res.offer("bad", -1.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = WeightedReservoir::<u32>::new(0);
+    }
+
+    #[test]
+    fn fewer_items_than_capacity_keeps_everything() {
+        let mut rng = MersenneTwister64::seed_from_u64(3);
+        let mut res = WeightedReservoir::new(10);
+        for i in 0..4 {
+            res.offer(i, 1.0, &mut rng);
+        }
+        let mut items = res.into_items();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_item_selection_follows_the_roulette_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let total: f64 = weights.iter().sum();
+        let mut rng = MersenneTwister64::seed_from_u64(4);
+        let trials = 150_000;
+        let mut dist = EmpiricalDistribution::new(weights.len());
+        for _ in 0..trials {
+            let picked =
+                select_from_stream(weights.iter().copied().enumerate(), &mut rng).unwrap();
+            dist.record(picked);
+        }
+        let target: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        assert!(dist.max_abs_deviation(&target) < 0.005);
+        assert!(dist.goodness_of_fit(&target).is_consistent(0.001));
+    }
+
+    #[test]
+    fn select_from_all_zero_stream_returns_none() {
+        let mut rng = MersenneTwister64::seed_from_u64(5);
+        assert_eq!(
+            select_from_stream([(0usize, 0.0), (1, 0.0)], &mut rng),
+            None
+        );
+        assert_eq!(select_from_stream(Vec::<(usize, f64)>::new(), &mut rng), None);
+    }
+
+    #[test]
+    fn threshold_is_the_smallest_retained_key() {
+        let mut rng = MersenneTwister64::seed_from_u64(6);
+        let mut res = WeightedReservoir::new(2);
+        assert_eq!(res.threshold(), None);
+        res.offer(1, 1.0, &mut rng);
+        res.offer(2, 1.0, &mut rng);
+        let t = res.threshold().unwrap();
+        assert!(t < 0.0, "log bids are negative, got {t}");
+    }
+
+    #[test]
+    fn heavier_items_are_retained_more_often() {
+        let mut rng = MersenneTwister64::seed_from_u64(7);
+        let trials = 20_000;
+        let mut heavy_kept = 0usize;
+        let mut light_kept = 0usize;
+        for _ in 0..trials {
+            let mut res = WeightedReservoir::new(1);
+            res.offer("light", 1.0, &mut rng);
+            res.offer("heavy", 9.0, &mut rng);
+            match res.into_items()[0] {
+                "heavy" => heavy_kept += 1,
+                _ => light_kept += 1,
+            }
+        }
+        let frac = heavy_kept as f64 / trials as f64;
+        assert!((frac - 0.9).abs() < 0.01, "heavy retained {frac}");
+        assert_eq!(heavy_kept + light_kept, trials);
+    }
+
+    #[test]
+    fn into_items_orders_by_decreasing_key() {
+        // With capacity equal to the stream length, the first returned item
+        // is the overall roulette winner; check against a one-shot selection
+        // under the same seed by re-running with capacity 1.
+        let weights = [(0usize, 2.0), (1, 5.0), (2, 1.0)];
+        let full = {
+            let mut rng = MersenneTwister64::seed_from_u64(8);
+            let mut res = WeightedReservoir::new(3);
+            for &(i, w) in &weights {
+                res.offer(i, w, &mut rng);
+            }
+            res.into_items()
+        };
+        let single = {
+            let mut rng = MersenneTwister64::seed_from_u64(8);
+            select_from_stream(weights.iter().copied(), &mut rng).unwrap()
+        };
+        assert_eq!(full[0], single);
+        assert_eq!(full.len(), 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! The selector abstractions shared by every algorithm in the crate.
+
+use lrb_rng::RandomSource;
+
+use crate::error::SelectionError;
+use crate::fitness::Fitness;
+
+/// A one-shot roulette wheel selector: given a fitness vector, pick one index.
+///
+/// The trait is object-safe (the random source is passed as `&mut dyn
+/// RandomSource`), so benches and tables can iterate over
+/// `Vec<Box<dyn Selector>>` and treat every algorithm uniformly.
+pub trait Selector: Send + Sync {
+    /// A short, stable, machine-friendly name (used in tables and benches).
+    fn name(&self) -> &'static str;
+
+    /// Whether the selection probabilities are exactly `F_i = f_i / Σ f_j`.
+    ///
+    /// `true` for every algorithm here except the independent roulette
+    /// variants, whose bias is the paper's motivating observation.
+    fn is_exact(&self) -> bool;
+
+    /// Select one index according to the algorithm's distribution.
+    fn select(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+    ) -> Result<usize, SelectionError>;
+
+    /// Select `count` indices independently (with replacement), reusing any
+    /// per-call setup where the algorithm allows it. The default simply calls
+    /// [`select`](Selector::select) in a loop.
+    fn select_many(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+        count: usize,
+    ) -> Result<Vec<usize>, SelectionError> {
+        (0..count).map(|_| self.select(fitness, rng)).collect()
+    }
+}
+
+/// A sampler that pre-processes a fitness vector once and then draws many
+/// independent selections cheaply (alias method, binary search over prefix
+/// sums).
+///
+/// Prepared samplers complement [`Selector`]: the paper's setting is "the
+/// fitness values change every round" (ant colony construction), where
+/// one-shot selection is the right primitive, but repeated sampling from a
+/// fixed distribution is common enough downstream to deserve first-class
+/// support.
+pub trait PreparedSampler: Send + Sync {
+    /// Number of categories the sampler was built over.
+    fn len(&self) -> usize;
+
+    /// Whether the sampler has zero categories.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Draw one index.
+    fn sample(&self, rng: &mut dyn RandomSource) -> usize;
+
+    /// Draw `count` independent indices.
+    fn sample_many(&self, rng: &mut dyn RandomSource, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+
+    /// A trivial selector used to exercise the default methods.
+    struct FirstPositive;
+
+    impl Selector for FirstPositive {
+        fn name(&self) -> &'static str {
+            "first-positive"
+        }
+        fn is_exact(&self) -> bool {
+            false
+        }
+        fn select(
+            &self,
+            fitness: &Fitness,
+            _rng: &mut dyn RandomSource,
+        ) -> Result<usize, SelectionError> {
+            fitness
+                .values()
+                .iter()
+                .position(|&v| v > 0.0)
+                .ok_or(SelectionError::AllZeroFitness)
+        }
+    }
+
+    #[test]
+    fn select_many_default_uses_select() {
+        let fitness = Fitness::new(vec![0.0, 3.0, 1.0]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        let picks = FirstPositive.select_many(&fitness, &mut rng, 5).unwrap();
+        assert_eq!(picks, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn selector_is_usable_as_a_trait_object() {
+        let boxed: Box<dyn Selector> = Box::new(FirstPositive);
+        let fitness = Fitness::new(vec![2.0]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        assert_eq!(boxed.select(&fitness, &mut rng).unwrap(), 0);
+        assert_eq!(boxed.name(), "first-positive");
+    }
+
+    struct AlwaysZero;
+    impl PreparedSampler for AlwaysZero {
+        fn len(&self) -> usize {
+            1
+        }
+        fn sample(&self, _rng: &mut dyn RandomSource) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn prepared_sampler_defaults() {
+        let s = AlwaysZero;
+        assert!(!s.is_empty());
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        assert_eq!(s.sample_many(&mut rng, 3), vec![0, 0, 0]);
+    }
+}

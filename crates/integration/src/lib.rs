@@ -1,0 +1,24 @@
+//! Helper crate that anchors the repository-root `tests/` (cross-crate
+//! integration tests) and `examples/` (runnable demonstrations) to the cargo
+//! workspace. It re-exports the workspace crates so tests and examples can
+//! use one import root if they wish.
+
+#![forbid(unsafe_code)]
+
+pub use lrb_aco as aco;
+pub use lrb_bench as bench;
+pub use lrb_core as core;
+pub use lrb_pram as pram;
+pub use lrb_rng as rng;
+pub use lrb_stats as stats;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn re_exports_are_wired() {
+        let fitness = crate::core::Fitness::table1();
+        assert_eq!(fitness.len(), 10);
+        let graph = crate::aco::Graph::petersen();
+        assert_eq!(graph.len(), 10);
+    }
+}

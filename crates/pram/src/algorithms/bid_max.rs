@@ -1,0 +1,253 @@
+//! The paper's constant-memory CRCW maximum finder (Section III).
+//!
+//! Every processor holds a bid `r_i`. Shared memory consists of two cells:
+//! `s` (the current champion bid) and `output` (the index of the champion).
+//! Each processor repeatedly executes `while s < r_i { s ← r_i }`; write
+//! conflicts are resolved arbitrarily, so each iteration installs the bid of
+//! one uniformly random *active* processor (a processor is active while its
+//! bid still exceeds `s`). When the loop quiesces, `s` holds the maximum bid
+//! and a final step writes the winning index into `output`.
+//!
+//! The paper proves the expected number of while-loop iterations is
+//! `O(log k)`, where `k` is the number of processors whose fitness (and hence
+//! bid) is non-trivial; [`BidMaxOutcome::while_iterations`] reports the exact
+//! count for each run so the Theorem 1 experiment can measure the constant.
+//!
+//! One detail differs from the paper's prose: the paper says `s` is
+//! "initialized to zero", but the logarithmic bids are all negative, so a
+//! zero initial value would terminate the loop immediately. We initialise `s`
+//! to `−∞`, which is the value the proof implicitly assumes (any value below
+//! every admissible bid behaves identically).
+
+use crate::error::PramError;
+use crate::machine::{AccessMode, Pram, WritePolicy};
+use crate::memory::{Word, WriteRequest};
+use crate::trace::CostReport;
+
+/// Shared-memory layout used by the algorithm.
+const CELL_S: usize = 0;
+const CELL_OUTPUT: usize = 1;
+/// Total shared cells — the paper's `O(1)`.
+pub const SHARED_CELLS: usize = 2;
+
+/// Outcome of the constant-memory CRCW maximum finder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BidMaxOutcome {
+    /// Index of the processor holding the maximum bid.
+    pub winner: usize,
+    /// The maximum bid value.
+    pub max_bid: Word,
+    /// Number of while-loop iterations in which at least one processor wrote
+    /// (the quantity bounded by Theorem 1).
+    pub while_iterations: usize,
+    /// Full PRAM cost, including the final quiescence check and the output
+    /// step.
+    pub cost: CostReport,
+}
+
+/// Per-processor local state: its bid.
+#[derive(Debug, Clone, Copy, Default)]
+struct Local {
+    bid: Word,
+}
+
+/// Run the paper's maximum-finding loop over `bids` on a CRCW-PRAM with an
+/// arbitrary (seeded-random) write-conflict policy.
+///
+/// Returns `Ok(None)` when every bid is `−∞` (i.e. every fitness value was
+/// zero), in which case no processor ever becomes active and no winner
+/// exists. Bids must not be NaN.
+pub fn bid_max(bids: &[Word], seed: u64) -> Result<Option<BidMaxOutcome>, PramError> {
+    if bids.is_empty() {
+        return Ok(None);
+    }
+    assert!(
+        bids.iter().all(|b| !b.is_nan()),
+        "bids must not contain NaN"
+    );
+    if bids.iter().all(|&b| b == f64::NEG_INFINITY) {
+        return Ok(None);
+    }
+
+    let locals: Vec<Local> = bids.iter().map(|&bid| Local { bid }).collect();
+    let mut pram = Pram::with_locals(
+        locals,
+        SHARED_CELLS,
+        AccessMode::Crcw,
+        WritePolicy::Arbitrary,
+        seed,
+    );
+    pram.memory_mut()[CELL_S] = f64::NEG_INFINITY;
+    pram.memory_mut()[CELL_OUTPUT] = -1.0;
+
+    // The while loop: each step, every processor whose bid still beats `s`
+    // attempts to install it. The step in which nobody writes is the
+    // barrier/termination check, not an iteration of the loop body.
+    let mut while_iterations = 0usize;
+    loop {
+        let outcome = pram.step(|_, local, mem| {
+            let s = mem.read(CELL_S);
+            if s < local.bid {
+                vec![WriteRequest::new(CELL_S, local.bid)]
+            } else {
+                vec![]
+            }
+        })?;
+        if outcome.active_writers == 0 {
+            break;
+        }
+        while_iterations += 1;
+        if while_iterations > bids.len() + 64 {
+            // The loop strictly increases `s`, so it can never exceed the
+            // number of distinct bids; this is a safety net only.
+            return Err(PramError::StepLimitExceeded {
+                limit: bids.len() + 64,
+            });
+        }
+    }
+
+    // Final step: the processor whose bid equals `s` announces its index.
+    pram.step(|pid, local, mem| {
+        let s = mem.read(CELL_S);
+        if s == local.bid {
+            vec![WriteRequest::new(CELL_OUTPUT, pid as Word)]
+        } else {
+            vec![]
+        }
+    })?;
+
+    let winner = pram.memory()[CELL_OUTPUT];
+    debug_assert!(winner >= 0.0, "no processor matched the maximum bid");
+    Ok(Some(BidMaxOutcome {
+        winner: winner as usize,
+        max_bid: pram.memory()[CELL_S],
+        while_iterations,
+        cost: pram.total_cost(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn finds_the_maximum_and_its_index() {
+        let bids = [-3.0, -0.5, -7.0, -1.0];
+        let out = bid_max(&bids, 1).unwrap().unwrap();
+        assert_eq!(out.winner, 1);
+        assert_eq!(out.max_bid, -0.5);
+    }
+
+    #[test]
+    fn works_with_positive_bids_too() {
+        let bids = [1.0, 5.0, 3.0];
+        let out = bid_max(&bids, 2).unwrap().unwrap();
+        assert_eq!(out.winner, 1);
+        assert_eq!(out.max_bid, 5.0);
+    }
+
+    #[test]
+    fn single_processor() {
+        let out = bid_max(&[-2.5], 3).unwrap().unwrap();
+        assert_eq!(out.winner, 0);
+        assert_eq!(out.while_iterations, 1);
+    }
+
+    #[test]
+    fn empty_input_and_all_inactive_input() {
+        assert_eq!(bid_max(&[], 1).unwrap(), None);
+        assert_eq!(
+            bid_max(&[f64::NEG_INFINITY, f64::NEG_INFINITY], 1).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn zero_fitness_processors_never_win() {
+        // −∞ bids model zero-fitness processors; the winner must be among the
+        // finite bids even when they are tiny.
+        let mut bids = vec![f64::NEG_INFINITY; 50];
+        bids[17] = -1e9;
+        bids[33] = -2e9;
+        for seed in 0..20 {
+            let out = bid_max(&bids, seed).unwrap().unwrap();
+            assert_eq!(out.winner, 17);
+        }
+    }
+
+    #[test]
+    fn shared_memory_footprint_is_constant() {
+        for n in [2usize, 16, 256, 4096] {
+            let bids: Vec<Word> = (0..n).map(|i| -((i + 1) as f64)).collect();
+            let out = bid_max(&bids, 7).unwrap().unwrap();
+            assert_eq!(out.cost.memory_footprint, SHARED_CELLS, "n={n}");
+            assert_eq!(out.winner, 0);
+        }
+    }
+
+    #[test]
+    fn iterations_never_exceed_number_of_distinct_bids() {
+        // s strictly increases, so the count of while iterations is at most
+        // the number of active processors.
+        let bids: Vec<Word> = (0..64).map(|i| -(i as f64) - 1.0).collect();
+        for seed in 0..10 {
+            let out = bid_max(&bids, seed).unwrap().unwrap();
+            assert!(out.while_iterations <= 64);
+            assert!(out.while_iterations >= 1);
+        }
+    }
+
+    #[test]
+    fn expected_iterations_grow_slowly_with_k() {
+        // Empirical check of the O(log k) behaviour: with k = 256 active
+        // processors the mean iteration count over seeds should be well below
+        // k and in the ballpark of log2(k) = 8 (the paper's bound is
+        // 2·⌈log₂ k⌉ = 16 plus lower-order terms).
+        let k = 256usize;
+        let bids: Vec<Word> = (0..k).map(|i| -1.0 - (i as f64) / k as f64).collect();
+        let trials = 50;
+        let total: usize = (0..trials)
+            .map(|seed| bid_max(&bids, seed).unwrap().unwrap().while_iterations)
+            .sum();
+        let mean = total as f64 / trials as f64;
+        assert!(mean < 20.0, "mean iterations {mean} looks super-logarithmic");
+        assert!(mean > 2.0, "mean iterations {mean} looks implausibly small");
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let bids: Vec<Word> = (0..32).map(|i| -((i * 7 % 13) as f64) - 0.5).collect();
+        let a = bid_max(&bids, 11).unwrap().unwrap();
+        let b = bid_max(&bids, 11).unwrap().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_bids_are_rejected() {
+        let _ = bid_max(&[0.0, f64::NAN], 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_winner_holds_the_maximum(
+            bids in proptest::collection::vec(-1e6f64..-1e-6, 1..100),
+            seed: u64,
+        ) {
+            let out = bid_max(&bids, seed).unwrap().unwrap();
+            let max = bids.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(out.max_bid, max);
+            prop_assert_eq!(bids[out.winner], max);
+        }
+
+        #[test]
+        fn prop_constant_memory(
+            bids in proptest::collection::vec(-1e3f64..-1e-3, 1..200),
+            seed: u64,
+        ) {
+            let out = bid_max(&bids, seed).unwrap().unwrap();
+            prop_assert_eq!(out.cost.memory_footprint, SHARED_CELLS);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Broadcasting one value to all processors.
+//!
+//! The prefix-sum-based selection needs the random threshold `R` known to all
+//! processors. Under CREW/CRCW this is a single concurrent read; under EREW
+//! it takes `⌈log₂ n⌉` doubling steps.
+
+use crate::error::PramError;
+use crate::machine::{AccessMode, Pram, WritePolicy};
+use crate::memory::{Word, WriteRequest};
+use crate::trace::CostReport;
+
+/// Result of a broadcast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BroadcastResult {
+    /// The value as received by every processor, in processor order.
+    pub received: Vec<Word>,
+    /// PRAM cost of the broadcast.
+    pub cost: CostReport,
+}
+
+/// Broadcast `value` to `processors` processors with one concurrent read
+/// (CREW-PRAM, 1 step, 1 shared cell).
+pub fn broadcast_crew(value: Word, processors: usize) -> Result<BroadcastResult, PramError> {
+    if processors == 0 {
+        return Ok(BroadcastResult {
+            received: vec![],
+            cost: CostReport::default(),
+        });
+    }
+    let mut pram: Pram<Word> = Pram::new(processors, 1, AccessMode::Crew, WritePolicy::Priority, 0);
+    pram.memory_mut()[0] = value;
+    pram.step(|_, local, mem| {
+        *local = mem.read(0);
+        vec![]
+    })?;
+    Ok(BroadcastResult {
+        received: pram.locals().to_vec(),
+        cost: pram.total_cost(),
+    })
+}
+
+/// Broadcast `value` to `processors` processors by recursive doubling
+/// (EREW-PRAM, `⌈log₂ n⌉` copy steps plus one local read step, `n` cells).
+pub fn broadcast_erew(value: Word, processors: usize) -> Result<BroadcastResult, PramError> {
+    if processors == 0 {
+        return Ok(BroadcastResult {
+            received: vec![],
+            cost: CostReport::default(),
+        });
+    }
+    let n = processors;
+    let mut pram: Pram<Word> = Pram::new(n, n, AccessMode::Erew, WritePolicy::Priority, 0);
+    pram.memory_mut()[0] = value;
+
+    // Doubling: after round r, cells 0..2^(r+1) hold the value.
+    let mut have = 1usize;
+    while have < n {
+        let h = have;
+        pram.step(|pid, _, mem| {
+            if pid < h && pid + h < n {
+                let v = mem.read(pid);
+                vec![WriteRequest::new(pid + h, v)]
+            } else {
+                vec![]
+            }
+        })?;
+        have *= 2;
+    }
+
+    // Every processor reads its own cell into its local state.
+    pram.step(|pid, local, mem| {
+        *local = mem.read(pid);
+        vec![]
+    })?;
+
+    Ok(BroadcastResult {
+        received: pram.locals().to_vec(),
+        cost: pram.total_cost(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crew_broadcast_reaches_everyone_in_one_step() {
+        let r = broadcast_crew(3.25, 16).unwrap();
+        assert_eq!(r.received, vec![3.25; 16]);
+        assert_eq!(r.cost.steps, 1);
+        assert_eq!(r.cost.memory_footprint, 1);
+    }
+
+    #[test]
+    fn erew_broadcast_reaches_everyone() {
+        for n in [1usize, 2, 3, 5, 8, 17, 100] {
+            let r = broadcast_erew(-1.5, n).unwrap();
+            assert_eq!(r.received, vec![-1.5; n], "n={n}");
+            assert_eq!(r.cost.read_conflicts, 0, "n={n}");
+            assert_eq!(r.cost.write_conflicts, 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn erew_broadcast_step_count_is_logarithmic() {
+        let r = broadcast_erew(1.0, 1024).unwrap();
+        // 10 doubling steps + 1 local read step.
+        assert_eq!(r.cost.steps, 11);
+    }
+
+    #[test]
+    fn zero_processors_is_trivial() {
+        assert!(broadcast_crew(1.0, 0).unwrap().received.is_empty());
+        assert!(broadcast_erew(1.0, 0).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn single_processor_broadcast() {
+        let r = broadcast_erew(9.0, 1).unwrap();
+        assert_eq!(r.received, vec![9.0]);
+    }
+
+    #[test]
+    fn crew_read_conflicts_are_counted_but_allowed() {
+        let r = broadcast_crew(1.0, 8).unwrap();
+        assert_eq!(r.cost.read_conflicts, 1);
+    }
+}

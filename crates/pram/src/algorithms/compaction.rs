@@ -1,0 +1,129 @@
+//! Parallel array compaction: gather the indices with non-zero fitness into a
+//! dense prefix of shared memory.
+//!
+//! This is the *other* classical way to exploit sparsity (`k ≪ n`): first
+//! compact the `k` live indices in `O(log n)` EREW steps with a prefix sum,
+//! then run any selection algorithm on the dense length-`k` array. The
+//! paper's logarithmic random bidding avoids the compaction entirely — its
+//! while-loop simply never hears from the zero-fitness processors — which is
+//! why its cost is `O(log k)` with `O(1)` memory while compaction pays
+//! `O(log n)` time and `O(n)` memory before the selection even starts. The
+//! `zero_fitness_handling` ablation bench quantifies the difference.
+
+use crate::algorithms::prefix_sum::prefix_sums_blelloch;
+use crate::error::PramError;
+use crate::machine::{AccessMode, Pram, WritePolicy};
+use crate::memory::{Word, WriteRequest};
+use crate::trace::CostReport;
+
+/// Result of a compaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionResult {
+    /// The original indices of the non-zero entries, in ascending order.
+    pub live_indices: Vec<usize>,
+    /// PRAM cost of the compaction (scan + scatter).
+    pub cost: CostReport,
+}
+
+/// Compact the indices of the strictly positive entries of `values` to the
+/// front of a fresh array, preserving order.
+pub fn compact_non_zero(values: &[Word]) -> Result<CompactionResult, PramError> {
+    if values.is_empty() {
+        return Ok(CompactionResult {
+            live_indices: vec![],
+            cost: CostReport::default(),
+        });
+    }
+    assert!(
+        values.iter().all(|v| v.is_finite() && *v >= 0.0),
+        "values must be finite and non-negative"
+    );
+    let n = values.len();
+
+    // Phase 1: prefix sums over the 0/1 liveness flags give each live index
+    // its destination slot (EREW, O(log n) steps, O(n) cells).
+    let flags: Vec<Word> = values.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+    let scan = prefix_sums_blelloch(&flags)?;
+    let mut cost = scan.cost;
+    let destinations = scan.prefix;
+    let live_count = *destinations.last().expect("non-empty input") as usize;
+
+    // Phase 2: one scatter step — live processor i writes its index into its
+    // destination cell. Destinations are unique, so the step is EREW-clean.
+    let mut pram: Pram<()> = Pram::new(n, n.max(1), AccessMode::Erew, WritePolicy::Priority, 0);
+    pram.memory_mut().iter_mut().for_each(|c| *c = -1.0);
+    pram.step(|pid, _, _| {
+        if flags[pid] > 0.0 {
+            let slot = destinations[pid] as usize - 1;
+            vec![WriteRequest::new(slot, pid as Word)]
+        } else {
+            vec![]
+        }
+    })?;
+    cost.absorb(&pram.total_cost());
+
+    let live_indices = pram.memory()[..live_count]
+        .iter()
+        .map(|&w| w as usize)
+        .collect();
+    Ok(CompactionResult {
+        live_indices,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn compacts_a_mixed_vector_in_order() {
+        let values = [0.0, 2.0, 0.0, 0.0, 5.0, 1.0, 0.0];
+        let result = compact_non_zero(&values).unwrap();
+        assert_eq!(result.live_indices, vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn all_zero_and_all_live_edges() {
+        assert!(compact_non_zero(&[0.0, 0.0]).unwrap().live_indices.is_empty());
+        assert_eq!(
+            compact_non_zero(&[1.0, 2.0, 3.0]).unwrap().live_indices,
+            vec![0, 1, 2]
+        );
+        assert!(compact_non_zero(&[]).unwrap().live_indices.is_empty());
+    }
+
+    #[test]
+    fn cost_scales_with_n_not_k() {
+        // Even with a single live element the compaction pays the full
+        // O(log n) scan — the contrast with bid_max's O(log k).
+        let mut values = vec![0.0; 1024];
+        values[777] = 1.0;
+        let result = compact_non_zero(&values).unwrap();
+        assert_eq!(result.live_indices, vec![777]);
+        assert!(result.cost.steps >= 20, "steps {}", result.cost.steps);
+        assert!(result.cost.memory_footprint >= 1024);
+    }
+
+    #[test]
+    fn scatter_step_is_erew_clean() {
+        let values = [0.0, 1.0, 1.0, 0.0, 1.0];
+        let result = compact_non_zero(&values).unwrap();
+        assert_eq!(result.cost.write_conflicts, 0);
+        assert_eq!(result.cost.read_conflicts, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_sequential_filter(values in proptest::collection::vec(0.0f64..5.0, 0..200)) {
+            let expected: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &v)| (v > 0.0).then_some(i))
+                .collect();
+            let result = compact_non_zero(&values).unwrap();
+            prop_assert_eq!(result.live_indices, expected);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The classic `O(1)`-time CRCW maximum with `n²` processors — the textbook
+//! alternative to the paper's constant-memory loop.
+//!
+//! Every pair `(i, j)` is checked simultaneously: processor `(i, j)` writes
+//! "i is not the maximum" when `values[j] > values[i]` (or when `j < i` and
+//! the values tie, to break ties deterministically). A second step lets the
+//! single surviving index announce itself. The price for the two-step runtime
+//! is `Θ(n²)` processors and `Θ(n)` shared memory — exactly the trade-off the
+//! paper's logarithmic random bidding avoids (it needs only `n` processors and
+//! `O(1)` memory, at the cost of `O(log k)` expected steps). The ablation
+//! bench compares all three maximum-finding strategies.
+
+use crate::error::PramError;
+use crate::machine::{AccessMode, Pram, WritePolicy};
+use crate::memory::{Word, WriteRequest};
+use crate::trace::CostReport;
+
+/// Result of the constant-time maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantTimeMaxOutcome {
+    /// Index of the maximum value (ties broken towards the smaller index).
+    pub winner: usize,
+    /// The maximum value.
+    pub max_value: Word,
+    /// PRAM cost (always 2 steps; `n + 1` shared cells; `n²` processors).
+    pub cost: CostReport,
+}
+
+/// Find the arg-max of `values` in two CRCW steps using `n²` processors.
+///
+/// Returns `None` for an empty input. NaN values are rejected.
+pub fn constant_time_max(values: &[Word]) -> Result<Option<ConstantTimeMaxOutcome>, PramError> {
+    if values.is_empty() {
+        return Ok(None);
+    }
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "values must not contain NaN"
+    );
+    let n = values.len();
+    // Shared memory layout: cells [0..n) are the "defeated" flags, cell n is
+    // the announced winner index.
+    let mut pram: Pram<()> = Pram::new(n * n, n + 1, AccessMode::Crcw, WritePolicy::Common, 0);
+    pram.memory_mut()[n] = -1.0;
+
+    // Step 1: every ordered pair (i, j) with i ≠ j marks the loser.
+    pram.step(|pid, _, _| {
+        let i = pid / n;
+        let j = pid % n;
+        if i == j {
+            return vec![];
+        }
+        let i_loses = values[j] > values[i] || (values[j] == values[i] && j < i);
+        if i_loses {
+            // All writers to cell i agree on the value 1.0, so the Common
+            // policy is satisfied.
+            vec![WriteRequest::new(i, 1.0)]
+        } else {
+            vec![]
+        }
+    })?;
+
+    // Step 2: the unique undefeated index announces itself. Only the diagonal
+    // processors (i, i) participate, so the write is exclusive.
+    pram.step(|pid, _, mem| {
+        let i = pid / n;
+        let j = pid % n;
+        if i != j {
+            return vec![];
+        }
+        if mem.read(i) == 0.0 {
+            vec![WriteRequest::new(n, i as Word)]
+        } else {
+            vec![]
+        }
+    })?;
+
+    let winner = pram.memory()[n];
+    debug_assert!(winner >= 0.0, "exactly one index must remain undefeated");
+    let winner = winner as usize;
+    Ok(Some(ConstantTimeMaxOutcome {
+        winner,
+        max_value: values[winner],
+        cost: pram.total_cost(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn finds_the_maximum_in_exactly_two_steps() {
+        let values = [3.0, 9.5, -2.0, 9.0];
+        let out = constant_time_max(&values).unwrap().unwrap();
+        assert_eq!(out.winner, 1);
+        assert_eq!(out.max_value, 9.5);
+        assert_eq!(out.cost.steps, 2);
+    }
+
+    #[test]
+    fn ties_break_towards_the_smaller_index() {
+        let values = [1.0, 7.0, 7.0, 3.0];
+        let out = constant_time_max(&values).unwrap().unwrap();
+        assert_eq!(out.winner, 1);
+    }
+
+    #[test]
+    fn single_element_and_empty_inputs() {
+        assert_eq!(constant_time_max(&[]).unwrap(), None);
+        let out = constant_time_max(&[4.25]).unwrap().unwrap();
+        assert_eq!(out.winner, 0);
+        assert_eq!(out.max_value, 4.25);
+    }
+
+    #[test]
+    fn memory_footprint_is_linear_not_constant() {
+        let n = 32;
+        let values: Vec<Word> = (0..n).map(|i| (i % 7) as f64).collect();
+        let out = constant_time_max(&values).unwrap().unwrap();
+        assert_eq!(out.cost.memory_footprint, n + 1);
+        // This is the contrast with the paper's bid_max, which uses 2 cells.
+    }
+
+    #[test]
+    fn negative_infinity_entries_lose() {
+        let values = [f64::NEG_INFINITY, -5.0, f64::NEG_INFINITY];
+        let out = constant_time_max(&values).unwrap().unwrap();
+        assert_eq!(out.winner, 1);
+    }
+
+    #[test]
+    fn works_with_common_write_policy_without_conflict_errors() {
+        // Many processors write "defeated" to the same cell with the same
+        // value; the Common CRCW policy must accept that.
+        let values: Vec<Word> = (0..20).map(|i| ((i * 13) % 17) as f64).collect();
+        let out = constant_time_max(&values).unwrap().unwrap();
+        let expected = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .unwrap()
+            .0;
+        assert_eq!(out.winner, expected);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_sequential_argmax(values in proptest::collection::vec(-1e6f64..1e6, 1..40)) {
+            let out = constant_time_max(&values).unwrap().unwrap();
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(out.max_value, max);
+            prop_assert_eq!(values[out.winner], max);
+            prop_assert_eq!(out.cost.steps, 2);
+        }
+    }
+}

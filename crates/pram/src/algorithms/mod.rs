@@ -1,0 +1,23 @@
+//! Classic PRAM algorithms expressed as programs for the [`crate::Pram`]
+//! machine, plus the paper's constant-memory CRCW maximum-finding loop and
+//! the two exact parallel roulette-wheel-selection procedures built on them.
+//!
+//! Every routine returns both its *result* and a [`crate::CostReport`], so
+//! callers can compare algorithms in the PRAM cost model (steps, memory
+//! footprint, conflicts) exactly as the paper does.
+
+pub mod bid_max;
+pub mod broadcast;
+pub mod compaction;
+pub mod constant_time_max;
+pub mod prefix_sum;
+pub mod reduce;
+pub mod roulette;
+
+pub use bid_max::{bid_max, BidMaxOutcome};
+pub use broadcast::{broadcast_crew, broadcast_erew, BroadcastResult};
+pub use compaction::{compact_non_zero, CompactionResult};
+pub use constant_time_max::{constant_time_max, ConstantTimeMaxOutcome};
+pub use prefix_sum::{prefix_sums_blelloch, prefix_sums_hillis_steele, PrefixSumResult};
+pub use reduce::{reduce_max, reduce_sum, ReduceResult};
+pub use roulette::{log_bidding_selection, prefix_sum_selection, PramSelection};

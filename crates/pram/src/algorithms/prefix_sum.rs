@@ -1,0 +1,274 @@
+//! Parallel prefix sums (scans) on the PRAM.
+//!
+//! The prefix-sum-based roulette wheel selection needs all prefix sums
+//! `p_i = f_0 + … + f_i`. Two classic algorithms are provided:
+//!
+//! * [`prefix_sums_hillis_steele`] — `⌈log₂ n⌉` steps, `O(n log n)` work,
+//!   needs concurrent reads (CREW).
+//! * [`prefix_sums_blelloch`] — `O(log n)` steps, `O(n)` work, exclusive
+//!   reads and writes only (EREW); this is the variant the paper's
+//!   `O(log n)`-time EREW claim refers to.
+
+use crate::error::PramError;
+use crate::machine::{AccessMode, Pram, WritePolicy};
+use crate::memory::{Word, WriteRequest};
+use crate::trace::CostReport;
+
+/// Result of a parallel scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixSumResult {
+    /// Inclusive prefix sums: `prefix[i] = values[0] + … + values[i]`.
+    pub prefix: Vec<Word>,
+    /// PRAM cost of the scan.
+    pub cost: CostReport,
+}
+
+/// Inclusive scan by the Hillis–Steele doubling algorithm (CREW-PRAM).
+pub fn prefix_sums_hillis_steele(values: &[Word]) -> Result<PrefixSumResult, PramError> {
+    let n = values.len();
+    if n == 0 {
+        return Ok(PrefixSumResult {
+            prefix: vec![],
+            cost: CostReport::default(),
+        });
+    }
+    // Double buffer: cells [cur..cur+n) hold the current partial sums,
+    // [next..next+n) receive the updated ones; the roles swap every round.
+    let mut pram: Pram<()> = Pram::new(n, 2 * n, AccessMode::Crew, WritePolicy::Priority, 0);
+    pram.memory_mut()[..n].copy_from_slice(values);
+
+    let mut cur = 0usize;
+    let mut next = n;
+    let mut d = 1usize;
+    while d < n {
+        let (c, x, dd) = (cur, next, d);
+        pram.step(|pid, _, mem| {
+            let own = mem.read(c + pid);
+            let new = if pid >= dd {
+                own + mem.read(c + pid - dd)
+            } else {
+                own
+            };
+            vec![WriteRequest::new(x + pid, new)]
+        })?;
+        std::mem::swap(&mut cur, &mut next);
+        d *= 2;
+    }
+
+    let prefix = pram.memory()[cur..cur + n].to_vec();
+    Ok(PrefixSumResult {
+        prefix,
+        cost: pram.total_cost(),
+    })
+}
+
+/// Inclusive scan by the work-efficient Blelloch algorithm (EREW-PRAM).
+///
+/// The input is padded to the next power of two internally; the scratch copy
+/// of the original values costs one extra parallel step, and the final
+/// inclusive fix-up one more, so the step count is `2⌈log₂ n⌉ + O(1)`.
+pub fn prefix_sums_blelloch(values: &[Word]) -> Result<PrefixSumResult, PramError> {
+    let n = values.len();
+    if n == 0 {
+        return Ok(PrefixSumResult {
+            prefix: vec![],
+            cost: CostReport::default(),
+        });
+    }
+    let m = n.next_power_of_two();
+    // Layout: cells [0..m) — scan workspace, [m..2m) — pristine copy of the
+    // inputs, [2m..3m) — the inclusive result.
+    let mut pram: Pram<()> = Pram::new(m, 3 * m, AccessMode::Erew, WritePolicy::Priority, 0);
+    {
+        let mem = pram.memory_mut();
+        mem[..n].copy_from_slice(values);
+        mem[m..m + n].copy_from_slice(values);
+    }
+
+    // Up-sweep: build the reduction tree in place.
+    let mut d = 1usize;
+    while d < m {
+        let dd = d;
+        pram.step(|pid, _, mem| {
+            if (pid + 1) % (2 * dd) == 0 {
+                let right = mem.read(pid);
+                let left = mem.read(pid - dd);
+                vec![WriteRequest::new(pid, left + right)]
+            } else {
+                vec![]
+            }
+        })?;
+        d *= 2;
+    }
+
+    // Clear the root (processor m−1 does it alone).
+    pram.step(|pid, _, _| {
+        if pid == m - 1 {
+            vec![WriteRequest::new(m - 1, 0.0)]
+        } else {
+            vec![]
+        }
+    })?;
+
+    // Down-sweep: propagate the exclusive sums back down the tree.
+    let mut d = m / 2;
+    while d >= 1 {
+        let dd = d;
+        pram.step(|pid, _, mem| {
+            if (pid + 1) % (2 * dd) == 0 {
+                let right = mem.read(pid);
+                let left = mem.read(pid - dd);
+                vec![
+                    WriteRequest::new(pid - dd, right),
+                    WriteRequest::new(pid, left + right),
+                ]
+            } else {
+                vec![]
+            }
+        })?;
+        if d == 1 {
+            break;
+        }
+        d /= 2;
+    }
+
+    // Inclusive fix-up: prefix[i] = exclusive[i] + original[i].
+    pram.step(|pid, _, mem| {
+        let exclusive = mem.read(pid);
+        let original = mem.read(m + pid);
+        vec![WriteRequest::new(2 * m + pid, exclusive + original)]
+    })?;
+
+    let prefix = pram.memory()[2 * m..2 * m + n].to_vec();
+    Ok(PrefixSumResult {
+        prefix,
+        cost: pram.total_cost(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sequential_prefix(values: &[Word]) -> Vec<Word> {
+        let mut out = Vec::with_capacity(values.len());
+        let mut acc = 0.0;
+        for &v in values {
+            acc += v;
+            out.push(acc);
+        }
+        out
+    }
+
+    fn assert_close(a: &[Word], b: &[Word]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn hillis_steele_small_example() {
+        let r = prefix_sums_hillis_steele(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_close(&r.prefix, &[1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn blelloch_small_example() {
+        let r = prefix_sums_blelloch(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_close(&r.prefix, &[1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(prefix_sums_hillis_steele(&[]).unwrap().prefix.is_empty());
+        assert!(prefix_sums_blelloch(&[]).unwrap().prefix.is_empty());
+        assert_eq!(prefix_sums_hillis_steele(&[5.0]).unwrap().prefix, vec![5.0]);
+        assert_eq!(prefix_sums_blelloch(&[5.0]).unwrap().prefix, vec![5.0]);
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        for n in [3usize, 5, 6, 7, 9, 31, 33, 100] {
+            let values: Vec<Word> = (0..n).map(|i| (i % 5) as f64 + 0.5).collect();
+            let expect = sequential_prefix(&values);
+            assert_close(&prefix_sums_hillis_steele(&values).unwrap().prefix, &expect);
+            assert_close(&prefix_sums_blelloch(&values).unwrap().prefix, &expect);
+        }
+    }
+
+    #[test]
+    fn hillis_steele_step_count_is_log_n() {
+        let n = 1024;
+        let values = vec![1.0; n];
+        let r = prefix_sums_hillis_steele(&values).unwrap();
+        assert_eq!(r.cost.steps, 10);
+    }
+
+    #[test]
+    fn blelloch_step_count_is_about_two_log_n() {
+        let n = 1024;
+        let values = vec![1.0; n];
+        let r = prefix_sums_blelloch(&values).unwrap();
+        // up-sweep (10) + clear (1) + down-sweep (10) + fix-up (1)
+        assert_eq!(r.cost.steps, 22);
+    }
+
+    #[test]
+    fn blelloch_is_erew_clean() {
+        let values: Vec<Word> = (0..200).map(|i| i as f64).collect();
+        let r = prefix_sums_blelloch(&values).unwrap();
+        assert_eq!(r.cost.read_conflicts, 0);
+        assert_eq!(r.cost.write_conflicts, 0);
+    }
+
+    #[test]
+    fn hillis_steele_uses_concurrent_reads_but_no_write_conflicts() {
+        let values: Vec<Word> = (0..64).map(|i| i as f64).collect();
+        let r = prefix_sums_hillis_steele(&values).unwrap();
+        assert!(r.cost.read_conflicts > 0, "doubling scan should share reads");
+        assert_eq!(r.cost.write_conflicts, 0);
+    }
+
+    #[test]
+    fn memory_footprint_is_linear() {
+        let n = 100;
+        let values = vec![1.0; n];
+        let hs = prefix_sums_hillis_steele(&values).unwrap();
+        assert!(hs.cost.memory_footprint <= 2 * n);
+        let bl = prefix_sums_blelloch(&values).unwrap();
+        assert!(bl.cost.memory_footprint <= 3 * n.next_power_of_two());
+    }
+
+    #[test]
+    fn last_prefix_equals_total() {
+        let values = [0.5, 0.25, 3.25, 1.0, 7.0];
+        let total: f64 = values.iter().sum();
+        let r = prefix_sums_blelloch(&values).unwrap();
+        assert!((r.prefix.last().unwrap() - total).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_both_match_sequential(values in proptest::collection::vec(0.0f64..100.0, 1..150)) {
+            let expect = sequential_prefix(&values);
+            let hs = prefix_sums_hillis_steele(&values).unwrap();
+            let bl = prefix_sums_blelloch(&values).unwrap();
+            for i in 0..values.len() {
+                prop_assert!((hs.prefix[i] - expect[i]).abs() < 1e-6);
+                prop_assert!((bl.prefix[i] - expect[i]).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_prefix_is_monotone_for_non_negative_inputs(
+            values in proptest::collection::vec(0.0f64..10.0, 1..100)
+        ) {
+            let bl = prefix_sums_blelloch(&values).unwrap();
+            for w in bl.prefix.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-12);
+            }
+        }
+    }
+}

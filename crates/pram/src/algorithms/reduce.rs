@@ -1,0 +1,156 @@
+//! Tree reduction on the EREW-PRAM: `O(log n)` steps, `O(n)` shared memory.
+//!
+//! This is the "obvious" parallel maximum the paper contrasts its
+//! constant-memory CRCW loop against: imagine a binary tree with `n` leaves;
+//! every internal node takes the max (or sum) of its two children, level by
+//! level, so the root holds the result after `⌈log₂ n⌉` synchronous steps.
+
+use crate::error::PramError;
+use crate::machine::{AccessMode, Pram, WritePolicy};
+use crate::memory::{Word, WriteRequest};
+use crate::trace::CostReport;
+
+/// Result of a tree reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReduceResult {
+    /// The reduced value (max or sum of the inputs).
+    pub value: Word,
+    /// PRAM cost of the reduction.
+    pub cost: CostReport,
+}
+
+fn tree_reduce(
+    values: &[Word],
+    op: fn(Word, Word) -> Word,
+    identity: Word,
+) -> Result<ReduceResult, PramError> {
+    if values.is_empty() {
+        return Ok(ReduceResult {
+            value: identity,
+            cost: CostReport::default(),
+        });
+    }
+    let n = values.len();
+    let mut pram: Pram<()> = Pram::new(n, n, AccessMode::Erew, WritePolicy::Priority, 0);
+    pram.memory_mut().copy_from_slice(values);
+
+    let mut stride = 1usize;
+    while stride < n {
+        let s = stride;
+        pram.step(|pid, _, mem| {
+            // Processor `pid` combines cells pid and pid+stride when it sits
+            // at the left child of a live pair; all pairs are disjoint, so the
+            // accesses are exclusive.
+            if pid % (2 * s) == 0 && pid + s < n {
+                let left = mem.read(pid);
+                let right = mem.read(pid + s);
+                vec![WriteRequest::new(pid, op(left, right))]
+            } else {
+                vec![]
+            }
+        })?;
+        stride *= 2;
+    }
+
+    Ok(ReduceResult {
+        value: pram.memory()[0],
+        cost: pram.total_cost(),
+    })
+}
+
+/// Maximum of `values` by EREW tree reduction.
+pub fn reduce_max(values: &[Word]) -> Result<ReduceResult, PramError> {
+    tree_reduce(values, f64::max, f64::NEG_INFINITY)
+}
+
+/// Sum of `values` by EREW tree reduction.
+pub fn reduce_sum(values: &[Word]) -> Result<ReduceResult, PramError> {
+    tree_reduce(values, |a, b| a + b, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn max_of_small_vector() {
+        let r = reduce_max(&[3.0, 9.0, 1.0, 4.0, 1.0, 5.0]).unwrap();
+        assert_eq!(r.value, 9.0);
+    }
+
+    #[test]
+    fn sum_of_small_vector() {
+        let r = reduce_sum(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(r.value, 10.0);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(reduce_max(&[7.5]).unwrap().value, 7.5);
+        assert_eq!(reduce_sum(&[7.5]).unwrap().value, 7.5);
+        assert_eq!(reduce_max(&[7.5]).unwrap().cost.steps, 0);
+    }
+
+    #[test]
+    fn empty_input_returns_identity() {
+        assert_eq!(reduce_max(&[]).unwrap().value, f64::NEG_INFINITY);
+        assert_eq!(reduce_sum(&[]).unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        for n in [2usize, 3, 5, 7, 13, 100, 255] {
+            let values: Vec<Word> = (0..n).map(|i| (i * 7 % 23) as f64).collect();
+            let expect_max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let expect_sum: f64 = values.iter().sum();
+            assert_eq!(reduce_max(&values).unwrap().value, expect_max, "n={n}");
+            assert!((reduce_sum(&values).unwrap().value - expect_sum).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn step_count_is_logarithmic() {
+        for n in [2usize, 4, 16, 64, 1000, 1024] {
+            let values = vec![1.0; n];
+            let r = reduce_sum(&values).unwrap();
+            let expected_steps = (n as f64).log2().ceil() as usize;
+            assert_eq!(r.cost.steps, expected_steps, "n={n}");
+            assert_eq!(r.value, n as f64);
+        }
+    }
+
+    #[test]
+    fn memory_footprint_is_linear_not_more() {
+        let n = 300;
+        let values = vec![2.0; n];
+        let r = reduce_max(&values).unwrap();
+        assert!(r.cost.memory_footprint <= n);
+    }
+
+    #[test]
+    fn erew_accesses_never_conflict() {
+        let values: Vec<Word> = (0..129).map(|i| i as f64).collect();
+        let r = reduce_max(&values).unwrap();
+        assert_eq!(r.cost.write_conflicts, 0);
+        assert_eq!(r.cost.read_conflicts, 0);
+        assert_eq!(r.value, 128.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_sequential_max(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let expect = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let got = reduce_max(&values).unwrap().value;
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn prop_matches_sequential_sum(values in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+            let expect: f64 = values.iter().sum();
+            let got = reduce_sum(&values).unwrap().value;
+            // Different association order: allow floating error.
+            prop_assert!((got - expect).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Complete parallel roulette-wheel-selection procedures expressed in the
+//! PRAM cost model.
+//!
+//! Two *exact* algorithms are provided, matching the two the paper analyses:
+//!
+//! * [`prefix_sum_selection`] — the prefix-sum-based algorithm: `O(log n)`
+//!   steps and `O(n)` shared memory on the EREW-PRAM.
+//! * [`log_bidding_selection`] — the paper's logarithmic random bidding:
+//!   expected `O(log k)` steps and `O(1)` shared memory on the CRCW-PRAM,
+//!   where `k` is the number of non-zero fitness values.
+//!
+//! Both return which processor was selected together with the measured PRAM
+//! cost, so the Theorem 1 experiment can tabulate steps and memory for the
+//! same fitness vectors.
+
+use lrb_rng::{exponential::log_bid, RandomSource, StreamFamily, Xoshiro256PlusPlus};
+
+use crate::algorithms::bid_max::{bid_max, SHARED_CELLS};
+use crate::algorithms::prefix_sum::prefix_sums_blelloch;
+use crate::error::PramError;
+use crate::machine::{AccessMode, Pram, WritePolicy};
+use crate::memory::{Word, WriteRequest};
+use crate::trace::CostReport;
+
+/// The outcome of a PRAM roulette wheel selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PramSelection {
+    /// Index of the selected processor, or `None` if every fitness was zero.
+    pub selected: Option<usize>,
+    /// Number of while-loop iterations (log-bidding only; 0 for prefix-sum).
+    pub while_iterations: usize,
+    /// Total PRAM cost of the selection.
+    pub cost: CostReport,
+}
+
+/// Prefix-sum-based parallel roulette wheel selection (EREW, `O(log n)` time,
+/// `O(n)` shared memory).
+///
+/// Steps, following the paper's Section I description:
+/// 1. compute all prefix sums `p_i` (work-efficient Blelloch scan),
+/// 2. processor 0 draws `R = rand() · p_{n−1}`,
+/// 3. the threshold `R` is broadcast (EREW doubling) and the unique processor
+///    with `p_{i−1} ≤ R < p_i` writes its index into the output cell.
+pub fn prefix_sum_selection<R: RandomSource + ?Sized>(
+    fitness: &[f64],
+    rng: &mut R,
+) -> Result<PramSelection, PramError> {
+    let n = fitness.len();
+    if n == 0 || fitness.iter().all(|&f| f == 0.0) {
+        return Ok(PramSelection {
+            selected: None,
+            while_iterations: 0,
+            cost: CostReport::default(),
+        });
+    }
+    assert!(
+        fitness.iter().all(|&f| f.is_finite() && f >= 0.0),
+        "fitness values must be finite and non-negative"
+    );
+
+    // Phase 1: prefix sums on the EREW machine.
+    let scan = prefix_sums_blelloch(fitness)?;
+    let mut cost = scan.cost;
+    let prefix = scan.prefix;
+    let total = *prefix.last().expect("non-empty fitness");
+
+    // Phase 2+3 run on a fresh machine whose memory holds the prefix sums in
+    // cells [0..n), the broadcast tree in [n..2n), and the output in cell 2n.
+    let mut pram: Pram<PrefixLocal> = Pram::with_locals(
+        vec![PrefixLocal::default(); n],
+        2 * n + 1,
+        AccessMode::Erew,
+        WritePolicy::Priority,
+        0,
+    );
+    pram.memory_mut()[..n].copy_from_slice(&prefix);
+    pram.memory_mut()[2 * n] = -1.0;
+
+    // Processor 0 draws R and stores it at the root of the broadcast tree.
+    // The random draw itself is local computation; only the write costs.
+    let r_value = rng.next_f64() * total;
+    pram.step(|pid, _, _| {
+        if pid == 0 {
+            vec![WriteRequest::new(n, r_value)]
+        } else {
+            vec![]
+        }
+    })?;
+
+    // EREW broadcast of R through cells [n..2n).
+    let mut have = 1usize;
+    while have < n {
+        let h = have;
+        pram.step(|pid, _, mem| {
+            if pid < h && pid + h < n {
+                let v = mem.read(n + pid);
+                vec![WriteRequest::new(n + pid + h, v)]
+            } else {
+                vec![]
+            }
+        })?;
+        have *= 2;
+    }
+
+    // Each processor reads its own copy of R and its own prefix sum.
+    pram.step(|pid, local, mem| {
+        local.r = mem.read(n + pid);
+        local.p_i = mem.read(pid);
+        vec![]
+    })?;
+
+    // Each processor (except 0) reads its left neighbour's prefix sum; this
+    // is a different cell per processor, so the step stays exclusive-read.
+    pram.step(|pid, local, mem| {
+        local.p_prev = if pid == 0 { 0.0 } else { mem.read(pid - 1) };
+        vec![]
+    })?;
+
+    // The unique winner announces its index.
+    pram.step(|pid, local, _| {
+        if local.p_prev <= local.r && local.r < local.p_i {
+            vec![WriteRequest::new(2 * n, pid as Word)]
+        } else {
+            vec![]
+        }
+    })?;
+
+    cost.absorb(&pram.total_cost());
+    let raw = pram.memory()[2 * n];
+    let selected = if raw >= 0.0 {
+        Some(raw as usize)
+    } else {
+        // R can only fail to land in a slot through floating-point rounding at
+        // the extreme right edge; attribute the draw to the last non-zero slot.
+        fitness.iter().rposition(|&f| f > 0.0)
+    };
+    Ok(PramSelection {
+        selected,
+        while_iterations: 0,
+        cost,
+    })
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PrefixLocal {
+    r: Word,
+    p_i: Word,
+    p_prev: Word,
+}
+
+/// The paper's logarithmic random bidding selection on the CRCW-PRAM:
+/// each processor draws `r_i = ln(u_i) / f_i` from its own random stream and
+/// the constant-memory CRCW maximum loop picks the arg-max.
+///
+/// `master_seed` derives both the per-processor bid streams and the
+/// write-conflict randomness, so a run is fully reproducible.
+pub fn log_bidding_selection(
+    fitness: &[f64],
+    master_seed: u64,
+) -> Result<PramSelection, PramError> {
+    if fitness.is_empty() {
+        return Ok(PramSelection {
+            selected: None,
+            while_iterations: 0,
+            cost: CostReport::default(),
+        });
+    }
+    assert!(
+        fitness.iter().all(|&f| f.is_finite() && f >= 0.0),
+        "fitness values must be finite and non-negative"
+    );
+
+    // Step 1 (local): every processor computes its bid from its own stream.
+    let family = StreamFamily::new(master_seed);
+    let bids: Vec<Word> = fitness
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            let mut stream: Xoshiro256PlusPlus = family.stream(i as u64);
+            log_bid(&mut stream, f)
+        })
+        .collect();
+
+    // Step 2 (shared): the CRCW maximum loop.
+    match bid_max(&bids, family.seed_for(u64::MAX))? {
+        None => Ok(PramSelection {
+            selected: None,
+            while_iterations: 0,
+            cost: CostReport::default(),
+        }),
+        Some(outcome) => Ok(PramSelection {
+            selected: Some(outcome.winner),
+            while_iterations: outcome.while_iterations,
+            cost: outcome.cost,
+        }),
+    }
+}
+
+/// Convenience: assert that a log-bidding selection used only the constant
+/// number of shared cells. Exposed for tests and the Theorem 1 harness.
+pub fn log_bidding_memory_is_constant(selection: &PramSelection) -> bool {
+    selection.cost.memory_footprint <= SHARED_CELLS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+
+    fn empirical_distribution(
+        fitness: &[f64],
+        trials: usize,
+        mut select: impl FnMut(u64) -> Option<usize>,
+    ) -> Vec<f64> {
+        let mut counts = vec![0usize; fitness.len()];
+        for t in 0..trials {
+            if let Some(i) = select(t as u64) {
+                counts[i] += 1;
+            }
+        }
+        counts.iter().map(|&c| c as f64 / trials as f64).collect()
+    }
+
+    #[test]
+    fn prefix_sum_selection_matches_target_probabilities() {
+        let fitness = [1.0, 2.0, 3.0, 4.0];
+        let total: f64 = fitness.iter().sum();
+        let mut rng = MersenneTwister64::seed_from_u64(7);
+        let trials = 40_000;
+        let mut counts = vec![0usize; fitness.len()];
+        for _ in 0..trials {
+            let sel = prefix_sum_selection(&fitness, &mut rng).unwrap();
+            counts[sel.selected.unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let got = c as f64 / trials as f64;
+            let want = fitness[i] / total;
+            assert!(
+                (got - want).abs() < 0.01,
+                "index {i}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_bidding_selection_matches_target_probabilities() {
+        let fitness = [1.0, 2.0, 3.0, 4.0];
+        let total: f64 = fitness.iter().sum();
+        let trials = 40_000;
+        let probs = empirical_distribution(&fitness, trials, |seed| {
+            log_bidding_selection(&fitness, seed).unwrap().selected
+        });
+        for (i, &got) in probs.iter().enumerate() {
+            let want = fitness[i] / total;
+            assert!(
+                (got - want).abs() < 0.01,
+                "index {i}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_fitness_is_never_selected_by_either_algorithm() {
+        let fitness = [0.0, 3.0, 0.0, 2.0];
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        for seed in 0..2000u64 {
+            let a = prefix_sum_selection(&fitness, &mut rng).unwrap().selected.unwrap();
+            let b = log_bidding_selection(&fitness, seed).unwrap().selected.unwrap();
+            assert!(fitness[a] > 0.0);
+            assert!(fitness[b] > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_zero_fitness_selects_nothing() {
+        let fitness = [0.0, 0.0, 0.0];
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        assert_eq!(prefix_sum_selection(&fitness, &mut rng).unwrap().selected, None);
+        assert_eq!(log_bidding_selection(&fitness, 3).unwrap().selected, None);
+    }
+
+    #[test]
+    fn empty_fitness_selects_nothing() {
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        assert_eq!(prefix_sum_selection(&[], &mut rng).unwrap().selected, None);
+        assert_eq!(log_bidding_selection(&[], 3).unwrap().selected, None);
+    }
+
+    #[test]
+    fn log_bidding_uses_constant_memory_and_prefix_sum_uses_linear() {
+        let n = 64usize;
+        let fitness: Vec<f64> = (0..n).map(|i| (i % 7) as f64 + 1.0).collect();
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+
+        let lb = log_bidding_selection(&fitness, 5).unwrap();
+        assert!(log_bidding_memory_is_constant(&lb));
+
+        let ps = prefix_sum_selection(&fitness, &mut rng).unwrap();
+        assert!(
+            ps.cost.memory_footprint >= n,
+            "prefix-sum selection must use Ω(n) cells, used {}",
+            ps.cost.memory_footprint
+        );
+    }
+
+    #[test]
+    fn log_bidding_iterations_shrink_when_k_is_small() {
+        // n = 1024 processors but only 4 non-zero fitness values: the while
+        // loop should finish in a handful of iterations.
+        let n = 1024usize;
+        let mut fitness = vec![0.0; n];
+        for i in [10usize, 200, 600, 1000] {
+            fitness[i] = 1.0;
+        }
+        let mut max_iters = 0usize;
+        for seed in 0..50 {
+            let sel = log_bidding_selection(&fitness, seed).unwrap();
+            max_iters = max_iters.max(sel.while_iterations);
+        }
+        assert!(max_iters <= 4, "k=4 but saw {max_iters} iterations");
+    }
+
+    #[test]
+    fn prefix_sum_single_positive_entry_is_always_selected() {
+        let fitness = [0.0, 0.0, 5.0, 0.0];
+        let mut rng = MersenneTwister64::seed_from_u64(3);
+        for _ in 0..200 {
+            let sel = prefix_sum_selection(&fitness, &mut rng).unwrap();
+            assert_eq!(sel.selected, Some(2));
+        }
+    }
+
+    #[test]
+    fn selections_are_reproducible_for_fixed_seeds() {
+        let fitness = [0.5, 1.5, 2.5];
+        let a = log_bidding_selection(&fitness, 42).unwrap();
+        let b = log_bidding_selection(&fitness, 42).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type for PRAM model violations and malformed programs.
+
+use std::fmt;
+
+/// Errors raised by the PRAM simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PramError {
+    /// Two or more processors read the same cell in one step under EREW.
+    ConcurrentRead {
+        /// The shared-memory address that was read concurrently.
+        address: usize,
+        /// How many processors read it in the offending step.
+        readers: usize,
+    },
+    /// Two or more processors wrote the same cell in one step under EREW or CREW.
+    ConcurrentWrite {
+        /// The shared-memory address that was written concurrently.
+        address: usize,
+        /// How many processors wrote it in the offending step.
+        writers: usize,
+    },
+    /// Under the Common CRCW policy, concurrent writers disagreed on the value.
+    CommonWriteDisagreement {
+        /// The shared-memory address in question.
+        address: usize,
+    },
+    /// A processor addressed a cell outside the shared memory.
+    AddressOutOfBounds {
+        /// The offending address.
+        address: usize,
+        /// The size of the shared memory.
+        memory_size: usize,
+    },
+    /// A program exceeded the configured step limit (guards against
+    /// non-terminating while-loops in user programs).
+    StepLimitExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The program was asked to run on zero processors.
+    NoProcessors,
+}
+
+impl fmt::Display for PramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PramError::ConcurrentRead { address, readers } => write!(
+                f,
+                "EREW violation: {readers} processors read cell {address} in one step"
+            ),
+            PramError::ConcurrentWrite { address, writers } => write!(
+                f,
+                "exclusive-write violation: {writers} processors wrote cell {address} in one step"
+            ),
+            PramError::CommonWriteDisagreement { address } => write!(
+                f,
+                "Common CRCW violation: concurrent writers to cell {address} disagreed on the value"
+            ),
+            PramError::AddressOutOfBounds {
+                address,
+                memory_size,
+            } => write!(
+                f,
+                "address {address} is outside the shared memory of {memory_size} cells"
+            ),
+            PramError::StepLimitExceeded { limit } => {
+                write!(f, "program exceeded the step limit of {limit}")
+            }
+            PramError::NoProcessors => write!(f, "a PRAM needs at least one processor"),
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_address() {
+        let e = PramError::ConcurrentRead {
+            address: 7,
+            readers: 3,
+        };
+        assert!(e.to_string().contains('7'));
+        let e = PramError::ConcurrentWrite {
+            address: 9,
+            writers: 2,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = PramError::AddressOutOfBounds {
+            address: 100,
+            memory_size: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(PramError::NoProcessors);
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(
+            PramError::StepLimitExceeded { limit: 5 },
+            PramError::StepLimitExceeded { limit: 5 }
+        );
+        assert_ne!(
+            PramError::StepLimitExceeded { limit: 5 },
+            PramError::StepLimitExceeded { limit: 6 }
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # lrb-pram — a synchronous PRAM simulator
+//!
+//! The paper analyses the logarithmic random bidding on the **CRCW-PRAM**
+//! model: `n` synchronous processors sharing a memory, where simultaneous
+//! writes to one cell are resolved by letting a *randomly chosen* writer
+//! succeed. Its cost claims (expected `O(log k)` iterations, `O(1)` shared
+//! memory) are statements about that model, not about any particular
+//! hardware. This crate therefore provides a faithful, instrumented simulator
+//! of the model so those quantities can be measured directly:
+//!
+//! * [`Pram`] — the machine: a vector of local processor states, a shared
+//!   memory of [`Word`]s, an [`AccessMode`] (EREW / CREW / CRCW) that checks
+//!   the model's access rules, and a [`WritePolicy`] that resolves write
+//!   conflicts (Arbitrary, Priority, Common, or combining Max/Sum).
+//! * [`machine::StepOutcome`] / [`trace::CostReport`] — per-step and
+//!   whole-run accounting: steps executed, reads, writes, conflicts, and the
+//!   highest shared-memory address touched (= memory footprint).
+//! * [`algorithms`] — the textbook building blocks the paper refers to
+//!   (tree reduction, prefix sums, broadcast) plus the paper's own
+//!   constant-memory CRCW maximum-finding loop ([`algorithms::bid_max`]) and
+//!   the complete prefix-sum-based roulette wheel selection.
+//!
+//! ## Example: one synchronous step
+//!
+//! ```
+//! use lrb_pram::{AccessMode, Pram, WritePolicy, WriteRequest};
+//!
+//! // Four processors concurrently write their id into cell 0 (CRCW).
+//! let mut pram: Pram<()> = Pram::new(4, 1, AccessMode::Crcw, WritePolicy::Arbitrary, 42);
+//! let outcome = pram
+//!     .step(|pid, _local, _mem| vec![WriteRequest::new(0, pid as f64)])
+//!     .unwrap();
+//! assert_eq!(outcome.write_conflicts, 1); // one conflicting cell
+//! let winner = pram.memory()[0];
+//! assert!((0.0..4.0).contains(&winner));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod error;
+pub mod machine;
+pub mod memory;
+pub mod trace;
+
+pub use error::PramError;
+pub use machine::{AccessMode, Pram, StepOutcome, WritePolicy};
+pub use memory::{MemoryView, Word, WriteRequest};
+pub use trace::CostReport;

@@ -1,0 +1,587 @@
+//! The synchronous PRAM machine.
+//!
+//! A [`Pram`] holds `n` processor-local states and a shared memory of
+//! [`Word`]s. A program is expressed as a sequence of *steps*: in each step
+//! every processor receives a read-only view of the shared memory as it was
+//! at the start of the step plus mutable access to its own local state, and
+//! returns the write requests it wants to perform. The machine then checks
+//! the access rules of the configured [`AccessMode`], resolves write
+//! conflicts with the configured [`WritePolicy`], applies the surviving
+//! writes, and reports the step's cost.
+//!
+//! This mirrors the textbook synchronous PRAM: all reads of a step happen
+//! before all writes of that step, and the result of concurrent writes is
+//! governed by the machine's conflict-resolution rule. The paper assumes the
+//! *Arbitrary* rule ("a randomly selected one among the multiple memory write
+//! operations succeeds"), which is [`WritePolicy::Arbitrary`] here.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use lrb_rng::{RandomSource, SeedableSource, Xoshiro256PlusPlus};
+
+use crate::error::PramError;
+use crate::memory::{MemoryView, Word, WriteRequest};
+use crate::trace::CostReport;
+
+/// Which simultaneous accesses the model permits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Exclusive read, exclusive write: at most one processor may touch a
+    /// given cell per step, whether reading or writing.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent read, concurrent write (conflicts resolved by the
+    /// [`WritePolicy`]). This is the model the paper uses.
+    Crcw,
+}
+
+/// How concurrent writes to one cell are resolved under CRCW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// A uniformly random writer succeeds (the paper's model).
+    Arbitrary,
+    /// The writer with the smallest processor id succeeds.
+    Priority,
+    /// All writers must agree on the value; disagreement is an error.
+    Common,
+    /// The maximum of the written values is stored (combining CRCW).
+    MaxCombining,
+    /// The sum of the written values is stored (combining CRCW).
+    SumCombining,
+}
+
+/// Cost and bookkeeping information for a single step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepOutcome {
+    /// Shared-memory reads issued by all processors this step.
+    pub reads: usize,
+    /// Write requests issued by all processors this step.
+    pub writes: usize,
+    /// Cells written by more than one processor this step.
+    pub write_conflicts: usize,
+    /// Cells read by more than one processor this step.
+    pub read_conflicts: usize,
+    /// Number of processors that issued at least one write this step.
+    pub active_writers: usize,
+    /// Highest address touched this step plus one.
+    pub memory_footprint: usize,
+}
+
+impl StepOutcome {
+    fn as_cost(&self) -> CostReport {
+        CostReport {
+            steps: 1,
+            reads: self.reads,
+            writes: self.writes,
+            write_conflicts: self.write_conflicts,
+            read_conflicts: self.read_conflicts,
+            memory_footprint: self.memory_footprint,
+        }
+    }
+}
+
+/// The default guard against non-terminating programs.
+pub const DEFAULT_STEP_LIMIT: usize = 1_000_000;
+
+/// A synchronous PRAM with processor-local state of type `L`.
+pub struct Pram<L> {
+    memory: Vec<Word>,
+    locals: Vec<L>,
+    mode: AccessMode,
+    policy: WritePolicy,
+    rng: Xoshiro256PlusPlus,
+    total: CostReport,
+    step_limit: usize,
+}
+
+impl<L: Default + Clone> Pram<L> {
+    /// Create a machine with `processors` processors (default-initialised
+    /// local state), `memory_cells` shared cells initialised to `0.0`, the
+    /// given access mode and write policy, and a seed for the arbitrary
+    /// conflict-resolution randomness.
+    pub fn new(
+        processors: usize,
+        memory_cells: usize,
+        mode: AccessMode,
+        policy: WritePolicy,
+        seed: u64,
+    ) -> Self {
+        Self::with_locals(
+            vec![L::default(); processors],
+            memory_cells,
+            mode,
+            policy,
+            seed,
+        )
+    }
+}
+
+impl<L> Pram<L> {
+    /// Create a machine from explicit per-processor local states.
+    pub fn with_locals(
+        locals: Vec<L>,
+        memory_cells: usize,
+        mode: AccessMode,
+        policy: WritePolicy,
+        seed: u64,
+    ) -> Self {
+        Self {
+            memory: vec![0.0; memory_cells],
+            locals,
+            mode,
+            policy,
+            rng: Xoshiro256PlusPlus::seed_from_u64(seed),
+            total: CostReport::default(),
+            step_limit: DEFAULT_STEP_LIMIT,
+        }
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// The shared memory contents.
+    pub fn memory(&self) -> &[Word] {
+        &self.memory
+    }
+
+    /// Mutable access to the shared memory (for initialising inputs before a
+    /// program runs; does not count towards the cost report).
+    pub fn memory_mut(&mut self) -> &mut [Word] {
+        &mut self.memory
+    }
+
+    /// The per-processor local states.
+    pub fn locals(&self) -> &[L] {
+        &self.locals
+    }
+
+    /// Mutable access to the per-processor local states.
+    pub fn locals_mut(&mut self) -> &mut [L] {
+        &mut self.locals
+    }
+
+    /// Accumulated cost since construction (or the last
+    /// [`reset_cost`](Pram::reset_cost)).
+    pub fn total_cost(&self) -> CostReport {
+        self.total
+    }
+
+    /// Reset the accumulated cost report to zero.
+    pub fn reset_cost(&mut self) {
+        self.total = CostReport::default();
+    }
+
+    /// Override the step limit used by [`run_until`](Pram::run_until).
+    pub fn set_step_limit(&mut self, limit: usize) {
+        self.step_limit = limit;
+    }
+
+    /// Execute one synchronous step.
+    ///
+    /// `program` is called once per processor with `(processor id, local
+    /// state, memory view)` and returns that processor's write requests. The
+    /// requests of all processors are then checked and applied together.
+    pub fn step<F>(&mut self, mut program: F) -> Result<StepOutcome, PramError>
+    where
+        F: FnMut(usize, &mut L, &MemoryView<'_>) -> Vec<WriteRequest>,
+    {
+        if self.locals.is_empty() {
+            return Err(PramError::NoProcessors);
+        }
+
+        let memory = &self.memory;
+        let mut outcome = StepOutcome::default();
+        // Distinct readers / writer lists per cell for conflict checking.
+        let mut readers_per_cell: HashMap<usize, usize> = HashMap::new();
+        let mut writes_per_cell: HashMap<usize, Vec<(usize, Word)>> = HashMap::new();
+
+        for (pid, local) in self.locals.iter_mut().enumerate() {
+            let reads = RefCell::new(Vec::new());
+            let view = MemoryView::new(memory, &reads);
+            let requests = program(pid, local, &view);
+
+            let mut read_list = reads.into_inner();
+            outcome.reads += read_list.len();
+            // One processor touching a cell several times in a step counts as
+            // a single access for conflict purposes.
+            read_list.sort_unstable();
+            read_list.dedup();
+            for addr in read_list {
+                *readers_per_cell.entry(addr).or_insert(0) += 1;
+                outcome.memory_footprint = outcome.memory_footprint.max(addr + 1);
+            }
+
+            if !requests.is_empty() {
+                outcome.active_writers += 1;
+            }
+            for req in requests {
+                if req.address >= memory.len() {
+                    return Err(PramError::AddressOutOfBounds {
+                        address: req.address,
+                        memory_size: memory.len(),
+                    });
+                }
+                outcome.writes += 1;
+                outcome.memory_footprint = outcome.memory_footprint.max(req.address + 1);
+                writes_per_cell
+                    .entry(req.address)
+                    .or_default()
+                    .push((pid, req.value));
+            }
+        }
+
+        // Access-rule checks.
+        for (&addr, &readers) in &readers_per_cell {
+            if readers > 1 {
+                outcome.read_conflicts += 1;
+                if self.mode == AccessMode::Erew {
+                    return Err(PramError::ConcurrentRead {
+                        address: addr,
+                        readers,
+                    });
+                }
+            }
+        }
+        for (&addr, writers) in &writes_per_cell {
+            if writers.len() > 1 {
+                outcome.write_conflicts += 1;
+                if self.mode != AccessMode::Crcw {
+                    return Err(PramError::ConcurrentWrite {
+                        address: addr,
+                        writers: writers.len(),
+                    });
+                }
+            }
+        }
+
+        // Conflict resolution and memory update.
+        // Sort addresses so the winner choice consumes randomness in a
+        // deterministic order, keeping runs reproducible for a given seed.
+        let mut addresses: Vec<usize> = writes_per_cell.keys().copied().collect();
+        addresses.sort_unstable();
+        for addr in addresses {
+            let writers = &writes_per_cell[&addr];
+            let value = match self.policy {
+                WritePolicy::Arbitrary => {
+                    let pick = if writers.len() == 1 {
+                        0
+                    } else {
+                        self.rng.next_u64_below(writers.len() as u64) as usize
+                    };
+                    writers[pick].1
+                }
+                WritePolicy::Priority => {
+                    writers
+                        .iter()
+                        .min_by_key(|(pid, _)| *pid)
+                        .expect("non-empty writer list")
+                        .1
+                }
+                WritePolicy::Common => {
+                    let first = writers[0].1;
+                    if writers.iter().any(|&(_, v)| v != first && !(v.is_nan() && first.is_nan())) {
+                        return Err(PramError::CommonWriteDisagreement { address: addr });
+                    }
+                    first
+                }
+                WritePolicy::MaxCombining => writers
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .fold(f64::NEG_INFINITY, f64::max),
+                WritePolicy::SumCombining => writers.iter().map(|&(_, v)| v).sum(),
+            };
+            self.memory[addr] = value;
+        }
+
+        self.total.absorb(&outcome.as_cost());
+        Ok(outcome)
+    }
+
+    /// Repeatedly execute `program` steps until it reports no write requests
+    /// from any processor, returning the number of steps taken.
+    ///
+    /// This is the shape of the paper's `while s < r_i do s ← r_i` loop: the
+    /// loop terminates exactly when no processor is still "active". The
+    /// machine's step limit guards against programs that never quiesce.
+    pub fn run_until_quiescent<F>(&mut self, mut program: F) -> Result<usize, PramError>
+    where
+        F: FnMut(usize, &mut L, &MemoryView<'_>) -> Vec<WriteRequest>,
+    {
+        let mut steps = 0;
+        loop {
+            if steps >= self.step_limit {
+                return Err(PramError::StepLimitExceeded {
+                    limit: self.step_limit,
+                });
+            }
+            let outcome = self.step(&mut program)?;
+            steps += 1;
+            if outcome.active_writers == 0 {
+                return Ok(steps);
+            }
+        }
+    }
+}
+
+impl<L> std::fmt::Debug for Pram<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pram")
+            .field("processors", &self.locals.len())
+            .field("memory_cells", &self.memory.len())
+            .field("mode", &self.mode)
+            .field("policy", &self.policy)
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn writers_pram(policy: WritePolicy) -> Pram<()> {
+        Pram::new(8, 4, AccessMode::Crcw, policy, 1)
+    }
+
+    #[test]
+    fn zero_processors_is_an_error() {
+        let mut pram: Pram<()> = Pram::with_locals(vec![], 1, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
+        assert_eq!(
+            pram.step(|_, _, _| vec![]).unwrap_err(),
+            PramError::NoProcessors
+        );
+    }
+
+    #[test]
+    fn priority_policy_lowest_pid_wins() {
+        let mut pram = writers_pram(WritePolicy::Priority);
+        pram.step(|pid, _, _| vec![WriteRequest::new(0, pid as f64 + 10.0)])
+            .unwrap();
+        assert_eq!(pram.memory()[0], 10.0);
+    }
+
+    #[test]
+    fn arbitrary_policy_picks_one_of_the_written_values() {
+        let mut pram = writers_pram(WritePolicy::Arbitrary);
+        pram.step(|pid, _, _| vec![WriteRequest::new(0, pid as f64)])
+            .unwrap();
+        let v = pram.memory()[0];
+        assert!(v.fract() == 0.0 && (0.0..8.0).contains(&v));
+    }
+
+    #[test]
+    fn arbitrary_policy_is_not_always_priority() {
+        // Over many seeds the arbitrary winner should not always be processor
+        // 0; this distinguishes Arbitrary from Priority behaviourally.
+        let mut non_zero_wins = 0;
+        for seed in 0..50 {
+            let mut pram: Pram<()> =
+                Pram::new(8, 1, AccessMode::Crcw, WritePolicy::Arbitrary, seed);
+            pram.step(|pid, _, _| vec![WriteRequest::new(0, pid as f64)])
+                .unwrap();
+            if pram.memory()[0] != 0.0 {
+                non_zero_wins += 1;
+            }
+        }
+        assert!(non_zero_wins > 20, "arbitrary winner looks deterministic");
+    }
+
+    #[test]
+    fn arbitrary_winner_distribution_is_roughly_uniform() {
+        let mut counts = [0usize; 4];
+        for seed in 0..4000 {
+            let mut pram: Pram<()> =
+                Pram::new(4, 1, AccessMode::Crcw, WritePolicy::Arbitrary, seed);
+            pram.step(|pid, _, _| vec![WriteRequest::new(0, pid as f64)])
+                .unwrap();
+            counts[pram.memory()[0] as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / 4000.0;
+            assert!(
+                (frac - 0.25).abs() < 0.05,
+                "processor {i} wins with frequency {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn common_policy_accepts_agreement_and_rejects_disagreement() {
+        let mut pram = writers_pram(WritePolicy::Common);
+        pram.step(|_, _, _| vec![WriteRequest::new(1, 3.5)]).unwrap();
+        assert_eq!(pram.memory()[1], 3.5);
+
+        let err = pram
+            .step(|pid, _, _| vec![WriteRequest::new(1, pid as f64)])
+            .unwrap_err();
+        assert_eq!(err, PramError::CommonWriteDisagreement { address: 1 });
+    }
+
+    #[test]
+    fn max_combining_stores_the_maximum() {
+        let mut pram = writers_pram(WritePolicy::MaxCombining);
+        pram.step(|pid, _, _| vec![WriteRequest::new(0, pid as f64)])
+            .unwrap();
+        assert_eq!(pram.memory()[0], 7.0);
+    }
+
+    #[test]
+    fn sum_combining_stores_the_sum() {
+        let mut pram = writers_pram(WritePolicy::SumCombining);
+        pram.step(|_, _, _| vec![WriteRequest::new(0, 1.0)]).unwrap();
+        assert_eq!(pram.memory()[0], 8.0);
+    }
+
+    #[test]
+    fn erew_rejects_concurrent_reads() {
+        let mut pram: Pram<()> = Pram::new(2, 2, AccessMode::Erew, WritePolicy::Priority, 1);
+        let err = pram
+            .step(|_, _, mem| {
+                mem.read(0);
+                vec![]
+            })
+            .unwrap_err();
+        assert!(matches!(err, PramError::ConcurrentRead { address: 0, readers: 2 }));
+    }
+
+    #[test]
+    fn erew_allows_disjoint_access() {
+        let mut pram: Pram<()> = Pram::new(4, 4, AccessMode::Erew, WritePolicy::Priority, 1);
+        let outcome = pram
+            .step(|pid, _, mem| {
+                let v = mem.read(pid);
+                vec![WriteRequest::new(pid, v + 1.0)]
+            })
+            .unwrap();
+        assert_eq!(outcome.write_conflicts, 0);
+        assert_eq!(pram.memory(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn crew_allows_concurrent_reads_but_not_writes() {
+        let mut pram: Pram<()> = Pram::new(4, 2, AccessMode::Crew, WritePolicy::Priority, 1);
+        // Concurrent read is fine.
+        pram.step(|_, _, mem| {
+            mem.read(0);
+            vec![]
+        })
+        .unwrap();
+        // Concurrent write is not.
+        let err = pram
+            .step(|_, _, _| vec![WriteRequest::new(1, 2.0)])
+            .unwrap_err();
+        assert!(matches!(err, PramError::ConcurrentWrite { address: 1, writers: 4 }));
+    }
+
+    #[test]
+    fn out_of_bounds_write_is_reported() {
+        let mut pram: Pram<()> = Pram::new(1, 2, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
+        let err = pram.step(|_, _, _| vec![WriteRequest::new(5, 1.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            PramError::AddressOutOfBounds {
+                address: 5,
+                memory_size: 2
+            }
+        );
+    }
+
+    #[test]
+    fn reads_observe_start_of_step_values() {
+        // Synchronous semantics: every processor reads the value from before
+        // the step, even though another processor writes the cell this step.
+        let mut pram: Pram<f64> =
+            Pram::new(2, 1, AccessMode::Crcw, WritePolicy::Priority, 1);
+        pram.memory_mut()[0] = 42.0;
+        pram.step(|pid, local, mem| {
+            *local = mem.read(0);
+            if pid == 1 {
+                vec![WriteRequest::new(0, 7.0)]
+            } else {
+                vec![]
+            }
+        })
+        .unwrap();
+        assert_eq!(pram.locals(), &[42.0, 42.0]);
+        assert_eq!(pram.memory()[0], 7.0);
+    }
+
+    #[test]
+    fn cost_accumulates_across_steps() {
+        let mut pram: Pram<()> = Pram::new(4, 4, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
+        for _ in 0..3 {
+            pram.step(|pid, _, mem| {
+                mem.read(pid);
+                vec![WriteRequest::new(0, pid as f64)]
+            })
+            .unwrap();
+        }
+        let total = pram.total_cost();
+        assert_eq!(total.steps, 3);
+        assert_eq!(total.reads, 12);
+        assert_eq!(total.writes, 12);
+        assert_eq!(total.write_conflicts, 3);
+        assert_eq!(total.memory_footprint, 4);
+        pram.reset_cost();
+        assert_eq!(pram.total_cost(), CostReport::default());
+    }
+
+    #[test]
+    fn run_until_quiescent_counts_steps() {
+        // Each processor writes once in the step equal to its id, then stops.
+        let mut pram: Pram<usize> =
+            Pram::new(3, 1, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
+        let steps = pram
+            .run_until_quiescent(|pid, counter, _| {
+                let step = *counter;
+                *counter += 1;
+                if step < pid {
+                    vec![WriteRequest::new(0, pid as f64)]
+                } else {
+                    vec![]
+                }
+            })
+            .unwrap();
+        // Processor 2 writes in steps 0 and 1, so step 2 is the first
+        // quiescent one: 3 steps in total.
+        assert_eq!(steps, 3);
+    }
+
+    #[test]
+    fn run_until_quiescent_honours_step_limit() {
+        let mut pram: Pram<()> = Pram::new(1, 1, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
+        pram.set_step_limit(10);
+        let err = pram
+            .run_until_quiescent(|_, _, _| vec![WriteRequest::new(0, 1.0)])
+            .unwrap_err();
+        assert_eq!(err, PramError::StepLimitExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn same_seed_same_arbitrary_winners() {
+        let run = |seed: u64| -> Vec<f64> {
+            let mut pram: Pram<()> =
+                Pram::new(16, 1, AccessMode::Crcw, WritePolicy::Arbitrary, seed);
+            (0..20)
+                .map(|_| {
+                    pram.step(|pid, _, _| vec![WriteRequest::new(0, pid as f64)])
+                        .unwrap();
+                    pram.memory()[0]
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn debug_format_mentions_processor_count() {
+        let pram: Pram<()> = Pram::new(5, 2, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
+        let s = format!("{pram:?}");
+        assert!(s.contains('5'));
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared-memory cells, read views and write requests.
+
+use std::cell::RefCell;
+
+/// The value stored in one shared-memory cell.
+///
+/// The algorithms in this workspace only need real-valued cells (bids, prefix
+/// sums) and small integers (processor indices), which `f64` represents
+/// exactly up to 2⁵³, so a single word type keeps the machine simple.
+pub type Word = f64;
+
+/// A request by one processor to write `value` into shared cell `address`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteRequest {
+    /// Target shared-memory address.
+    pub address: usize,
+    /// Value to store.
+    pub value: Word,
+}
+
+impl WriteRequest {
+    /// Convenience constructor.
+    pub fn new(address: usize, value: Word) -> Self {
+        Self { address, value }
+    }
+}
+
+/// A read-only, read-tracking view of the shared memory handed to each
+/// processor during a step.
+///
+/// All reads in a step observe the memory as it was at the *start* of the
+/// step (synchronous PRAM semantics); the addresses read are recorded so the
+/// machine can enforce EREW rules and count read traffic.
+pub struct MemoryView<'a> {
+    cells: &'a [Word],
+    reads: &'a RefCell<Vec<usize>>,
+}
+
+impl<'a> MemoryView<'a> {
+    pub(crate) fn new(cells: &'a [Word], reads: &'a RefCell<Vec<usize>>) -> Self {
+        Self { cells, reads }
+    }
+
+    /// Read the cell at `address`, recording the access.
+    ///
+    /// Panics if the address is out of bounds; the machine validates the
+    /// memory size up front, so an out-of-bounds read is a program bug.
+    pub fn read(&self, address: usize) -> Word {
+        assert!(
+            address < self.cells.len(),
+            "read of cell {address} outside shared memory of {} cells",
+            self.cells.len()
+        );
+        self.reads.borrow_mut().push(address);
+        self.cells[address]
+    }
+
+    /// Number of cells in the shared memory.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the shared memory has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Peek at a cell *without* recording the access.
+    ///
+    /// Only intended for assertions and debugging; algorithm implementations
+    /// must use [`read`](MemoryView::read) so the access accounting stays
+    /// faithful to the model.
+    pub fn peek(&self, address: usize) -> Word {
+        self.cells[address]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_recorded() {
+        let cells = vec![1.0, 2.0, 3.0];
+        let reads = RefCell::new(Vec::new());
+        let view = MemoryView::new(&cells, &reads);
+        assert_eq!(view.read(0), 1.0);
+        assert_eq!(view.read(2), 3.0);
+        assert_eq!(view.read(2), 3.0);
+        assert_eq!(*reads.borrow(), vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn peek_is_not_recorded() {
+        let cells = vec![5.0];
+        let reads = RefCell::new(Vec::new());
+        let view = MemoryView::new(&cells, &reads);
+        assert_eq!(view.peek(0), 5.0);
+        assert!(reads.borrow().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let cells = vec![1.0];
+        let reads = RefCell::new(Vec::new());
+        let view = MemoryView::new(&cells, &reads);
+        view.read(1);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let cells: Vec<Word> = vec![];
+        let reads = RefCell::new(Vec::new());
+        let view = MemoryView::new(&cells, &reads);
+        assert_eq!(view.len(), 0);
+        assert!(view.is_empty());
+    }
+
+    #[test]
+    fn write_request_constructor() {
+        let w = WriteRequest::new(3, 1.5);
+        assert_eq!(w.address, 3);
+        assert_eq!(w.value, 1.5);
+    }
+}

@@ -1,0 +1,112 @@
+//! Cost accounting for PRAM programs.
+//!
+//! The paper's claims are *cost-model* claims: the logarithmic random bidding
+//! takes expected `O(log k)` steps and `O(1)` shared memory on the
+//! CRCW-PRAM. [`CostReport`] captures exactly those quantities for a program
+//! run on the simulator, so the Theorem 1 experiment can print and check
+//! them.
+
+/// Aggregate cost of a PRAM program run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostReport {
+    /// Number of synchronous steps executed.
+    pub steps: usize,
+    /// Total shared-memory read operations issued across all processors.
+    pub reads: usize,
+    /// Total shared-memory write requests issued across all processors.
+    pub writes: usize,
+    /// Number of (cell, step) pairs in which more than one processor wrote.
+    pub write_conflicts: usize,
+    /// Number of (cell, step) pairs in which more than one processor read.
+    pub read_conflicts: usize,
+    /// Highest shared-memory address touched plus one (0 if none touched).
+    ///
+    /// This is the measured shared-memory footprint of the program: the
+    /// constant-memory CRCW algorithms of the paper must keep it `O(1)`
+    /// regardless of the processor count.
+    pub memory_footprint: usize,
+}
+
+impl CostReport {
+    /// Merge the outcome of one more step into the running totals.
+    pub fn absorb(&mut self, other: &CostReport) {
+        self.steps += other.steps;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.write_conflicts += other.write_conflicts;
+        self.read_conflicts += other.read_conflicts;
+        self.memory_footprint = self.memory_footprint.max(other.memory_footprint);
+    }
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steps={} reads={} writes={} write_conflicts={} read_conflicts={} memory={}",
+            self.steps,
+            self.reads,
+            self.writes,
+            self.write_conflicts,
+            self.read_conflicts,
+            self.memory_footprint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let r = CostReport::default();
+        assert_eq!(r.steps, 0);
+        assert_eq!(r.reads, 0);
+        assert_eq!(r.writes, 0);
+        assert_eq!(r.memory_footprint, 0);
+    }
+
+    #[test]
+    fn absorb_adds_counts_and_maxes_memory() {
+        let mut a = CostReport {
+            steps: 2,
+            reads: 10,
+            writes: 5,
+            write_conflicts: 1,
+            read_conflicts: 0,
+            memory_footprint: 4,
+        };
+        let b = CostReport {
+            steps: 3,
+            reads: 7,
+            writes: 2,
+            write_conflicts: 0,
+            read_conflicts: 2,
+            memory_footprint: 2,
+        };
+        a.absorb(&b);
+        assert_eq!(a.steps, 5);
+        assert_eq!(a.reads, 17);
+        assert_eq!(a.writes, 7);
+        assert_eq!(a.write_conflicts, 1);
+        assert_eq!(a.read_conflicts, 2);
+        assert_eq!(a.memory_footprint, 4);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let r = CostReport {
+            steps: 1,
+            reads: 2,
+            writes: 3,
+            write_conflicts: 4,
+            read_conflicts: 5,
+            memory_footprint: 6,
+        };
+        let s = r.to_string();
+        for needle in ["steps=1", "reads=2", "writes=3", "write_conflicts=4", "read_conflicts=5", "memory=6"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+}

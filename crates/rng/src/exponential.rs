@@ -1,0 +1,252 @@
+//! Exponential variates.
+//!
+//! The logarithmic random bidding computes `r_i = ln(u) / f_i`, which is the
+//! negative of an `Exp(f_i)` variate. This module provides the inverse-CDF
+//! sampler the paper implies (`−ln(u)`), a rate-parameterised sampler, and a
+//! Ziggurat sampler as a faster alternative for the throughput benches, all
+//! behind one [`ExponentialSampler`] enum so callers can ablate the choice.
+
+use crate::traits::RandomSource;
+
+/// Draw a standard exponential variate (rate 1) by inversion: `−ln(U)` with
+/// `U` uniform on `(0, 1)`.
+#[inline]
+pub fn standard_exponential<R: RandomSource + ?Sized>(rng: &mut R) -> f64 {
+    -rng.next_f64_open().ln()
+}
+
+/// Draw an exponential variate with the given `rate` (mean `1 / rate`).
+///
+/// Panics if `rate` is not strictly positive and finite.
+#[inline]
+pub fn exponential<R: RandomSource + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+    standard_exponential(rng) / rate
+}
+
+/// The raw logarithmic bid of the paper: `ln(U) / fitness`, a value in
+/// `(−∞, 0)` for positive fitness and `−∞` for zero fitness.
+///
+/// This is the quantity each PRAM processor computes in step 1 of the
+/// logarithmic-random-bidding algorithm; the processor with the **maximum**
+/// bid is the selected one.
+#[inline]
+pub fn log_bid<R: RandomSource + ?Sized>(rng: &mut R, fitness: f64) -> f64 {
+    debug_assert!(fitness >= 0.0, "fitness must be non-negative");
+    if fitness == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    rng.next_f64_open().ln() / fitness
+}
+
+// --- Ziggurat sampler -------------------------------------------------------
+
+/// Number of Ziggurat layers.
+const ZIG_LAYERS: usize = 256;
+/// Tail cut point `r` such that the area of each layer equals `v`.
+const ZIG_R: f64 = 7.697_117_470_131_049_7;
+/// Common layer area.
+const ZIG_V: f64 = 3.949_659_822_581_571_9e-3;
+
+/// Pre-computed Ziggurat tables for the standard exponential distribution
+/// (Marsaglia & Tsang, 2000).
+///
+/// `x[0] = v·eʳ` is the right edge of the base strip (which also owns the
+/// tail beyond `r`), `x[1] = r`, and `x[i]` decreases to `x[256] = 0`.
+/// `y[i] = exp(−x[i])` is the density at each abscissa.
+struct ZigguratTables {
+    x: [f64; ZIG_LAYERS + 1],
+    y: [f64; ZIG_LAYERS + 1],
+}
+
+fn build_tables() -> ZigguratTables {
+    let mut x = [0.0f64; ZIG_LAYERS + 1];
+    let f = |t: f64| (-t).exp();
+    x[0] = ZIG_V / f(ZIG_R);
+    x[1] = ZIG_R;
+    // Each strip i ≥ 1 has area v: x[i]·(f(x[i+1]) − f(x[i])) = v, so
+    // x[i+1] = f⁻¹(f(x[i]) + v / x[i]).
+    for i in 2..ZIG_LAYERS {
+        x[i] = -(f(x[i - 1]) + ZIG_V / x[i - 1]).ln();
+    }
+    x[ZIG_LAYERS] = 0.0;
+    let mut y = [0.0f64; ZIG_LAYERS + 1];
+    for i in 0..=ZIG_LAYERS {
+        y[i] = f(x[i]);
+    }
+    ZigguratTables { x, y }
+}
+
+thread_local! {
+    static TABLES: ZigguratTables = build_tables();
+}
+
+/// Draw a standard exponential variate using the Ziggurat method.
+///
+/// Statistically identical to [`standard_exponential`] but faster on most
+/// hardware because the common path avoids the `ln` call.
+pub fn standard_exponential_ziggurat<R: RandomSource + ?Sized>(rng: &mut R) -> f64 {
+    TABLES.with(|t| loop {
+        let bits = rng.next_u64();
+        // The layer index uses the low 8 bits; the uniform uses the top 52
+        // bits, so the two are disjoint.
+        let layer = (bits & 0xFF) as usize;
+        let u = crate::uniform::f64_open_open(bits);
+        let x = u * t.x[layer];
+        // Fast accept: strictly inside the part of the strip that is fully
+        // under the density curve.
+        if x < t.x[layer + 1] {
+            return x;
+        }
+        if layer == 0 {
+            // Tail: the exponential tail beyond r is itself exponential.
+            return ZIG_R + standard_exponential(rng);
+        }
+        // Wedge: accept with probability proportional to how far under the
+        // density the point falls.
+        let y = t.y[layer] + rng.next_f64() * (t.y[layer + 1] - t.y[layer]);
+        if y < (-x).exp() {
+            return x;
+        }
+    })
+}
+
+/// Selects which exponential sampling algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExponentialSampler {
+    /// Inverse-CDF `−ln(U)`, as written in the paper.
+    #[default]
+    InverseCdf,
+    /// Marsaglia–Tsang Ziggurat.
+    Ziggurat,
+}
+
+impl ExponentialSampler {
+    /// Draw one standard-exponential variate with this sampler.
+    pub fn sample<R: RandomSource + ?Sized>(self, rng: &mut R) -> f64 {
+        match self {
+            ExponentialSampler::InverseCdf => standard_exponential(rng),
+            ExponentialSampler::Ziggurat => standard_exponential_ziggurat(rng),
+        }
+    }
+
+    /// Draw an exponential variate with the given rate.
+    pub fn sample_rate<R: RandomSource + ?Sized>(self, rng: &mut R, rate: f64) -> f64 {
+        assert!(rate > 0.0 && rate.is_finite());
+        self.sample(rng) / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableSource, SplitMix64, Xoshiro256PlusPlus};
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn inverse_cdf_moments() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let samples: Vec<f64> = (0..200_000).map(|_| standard_exponential(&mut rng)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn ziggurat_moments() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let samples: Vec<f64> = (0..200_000)
+            .map(|_| standard_exponential_ziggurat(&mut rng))
+            .collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn ziggurat_and_inverse_cdf_agree_in_distribution() {
+        // Compare empirical CDFs of both samplers at a few quantile points.
+        let mut rng_a = SplitMix64::seed_from_u64(3);
+        let mut rng_b = SplitMix64::seed_from_u64(4);
+        let n = 100_000;
+        let a: Vec<f64> = (0..n).map(|_| standard_exponential(&mut rng_a)).collect();
+        let b: Vec<f64> = (0..n).map(|_| standard_exponential_ziggurat(&mut rng_b)).collect();
+        for q in [0.1, 0.5, 1.0, 2.0, 3.0] {
+            let ca = a.iter().filter(|&&x| x <= q).count() as f64 / n as f64;
+            let cb = b.iter().filter(|&&x| x <= q).count() as f64 / n as f64;
+            let exact = 1.0 - (-q as f64).exp();
+            assert!((ca - exact).abs() < 0.01, "inverse cdf at {q}: {ca} vs {exact}");
+            assert!((cb - exact).abs() < 0.01, "ziggurat at {q}: {cb} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn rate_scaling() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let rate = 4.0;
+        let mean = (0..100_000).map(|_| exponential(&mut rng, rate)).sum::<f64>() / 100_000.0;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn log_bid_zero_fitness_is_negative_infinity() {
+        let mut rng = SplitMix64::seed_from_u64(6);
+        assert_eq!(log_bid(&mut rng, 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_bid_is_always_negative_for_positive_fitness() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let bid = log_bid(&mut rng, 2.5);
+            assert!(bid < 0.0 && bid.is_finite());
+        }
+    }
+
+    #[test]
+    fn log_bid_scales_inversely_with_fitness() {
+        // E[ln(U)/f] = −1/f; check the empirical mean tracks that.
+        let mut rng = SplitMix64::seed_from_u64(8);
+        for f in [0.5, 1.0, 2.0, 10.0] {
+            let mean = (0..100_000).map(|_| log_bid(&mut rng, f)).sum::<f64>() / 100_000.0;
+            assert!(
+                (mean + 1.0 / f).abs() < 0.02,
+                "fitness {f}: mean {mean}, expected {}",
+                -1.0 / f
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_enum_dispatch() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        for sampler in [ExponentialSampler::InverseCdf, ExponentialSampler::Ziggurat] {
+            let x = sampler.sample(&mut rng);
+            assert!(x >= 0.0 && x.is_finite());
+            let y = sampler.sample_rate(&mut rng, 3.0);
+            assert!(y >= 0.0 && y.is_finite());
+        }
+    }
+
+    #[test]
+    fn samples_are_non_negative() {
+        let mut rng = SplitMix64::seed_from_u64(10);
+        for _ in 0..50_000 {
+            assert!(standard_exponential(&mut rng) >= 0.0);
+            assert!(standard_exponential_ziggurat(&mut rng) >= 0.0);
+        }
+    }
+}

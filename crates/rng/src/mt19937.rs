@@ -1,0 +1,260 @@
+//! MT19937: the 32-bit Mersenne Twister of Matsumoto & Nishimura (1998).
+//!
+//! The paper's experiments use the Mersenne Twister as the `rand()` primitive,
+//! so this crate carries a faithful from-scratch implementation of the
+//! reference `mt19937ar.c`: same state size (624 words), same tempering, same
+//! `init_genrand` scalar seeding and `init_by_array` array seeding, validated
+//! against the reference output for the default seed.
+
+use crate::splitmix64::SplitMix64;
+use crate::traits::{RandomSource, SeedableSource};
+
+const N: usize = 624;
+const M: usize = 397;
+const MATRIX_A: u32 = 0x9908_B0DF;
+const UPPER_MASK: u32 = 0x8000_0000;
+const LOWER_MASK: u32 = 0x7FFF_FFFF;
+
+/// The 32-bit Mersenne Twister generator (period 2^19937 − 1).
+#[derive(Clone)]
+pub struct MersenneTwister {
+    state: [u32; N],
+    index: usize,
+}
+
+impl std::fmt::Debug for MersenneTwister {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MersenneTwister")
+            .field("index", &self.index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MersenneTwister {
+    /// The scalar seed used by the reference implementation when none is given.
+    pub const DEFAULT_SEED: u32 = 5489;
+
+    /// Construct from a 32-bit scalar seed (reference `init_genrand`).
+    pub fn new(seed: u32) -> Self {
+        let mut state = [0u32; N];
+        state[0] = seed;
+        for i in 1..N {
+            state[i] = 1_812_433_253u32
+                .wrapping_mul(state[i - 1] ^ (state[i - 1] >> 30))
+                .wrapping_add(i as u32);
+        }
+        Self { state, index: N }
+    }
+
+    /// Construct with the reference default seed (5489).
+    pub fn default_seed() -> Self {
+        Self::new(Self::DEFAULT_SEED)
+    }
+
+    /// Construct from an array seed (reference `init_by_array`).
+    pub fn from_seed_array(key: &[u32]) -> Self {
+        let mut mt = Self::new(19_650_218);
+        let mut i = 1usize;
+        let mut j = 0usize;
+        let mut k = N.max(key.len());
+        while k > 0 {
+            mt.state[i] = (mt.state[i]
+                ^ (mt.state[i - 1] ^ (mt.state[i - 1] >> 30)).wrapping_mul(1_664_525))
+            .wrapping_add(key[j])
+            .wrapping_add(j as u32);
+            i += 1;
+            j += 1;
+            if i >= N {
+                mt.state[0] = mt.state[N - 1];
+                i = 1;
+            }
+            if j >= key.len() {
+                j = 0;
+            }
+            k -= 1;
+        }
+        k = N - 1;
+        while k > 0 {
+            mt.state[i] = (mt.state[i]
+                ^ (mt.state[i - 1] ^ (mt.state[i - 1] >> 30)).wrapping_mul(1_566_083_941))
+            .wrapping_sub(i as u32);
+            i += 1;
+            if i >= N {
+                mt.state[0] = mt.state[N - 1];
+                i = 1;
+            }
+            k -= 1;
+        }
+        mt.state[0] = 0x8000_0000;
+        mt
+    }
+
+    fn generate_block(&mut self) {
+        for i in 0..N {
+            let y = (self.state[i] & UPPER_MASK) | (self.state[(i + 1) % N] & LOWER_MASK);
+            let mut next = self.state[(i + M) % N] ^ (y >> 1);
+            if y & 1 != 0 {
+                next ^= MATRIX_A;
+            }
+            self.state[i] = next;
+        }
+        self.index = 0;
+    }
+
+    /// The next tempered 32-bit output (reference `genrand_int32`).
+    pub fn next_u32_mt(&mut self) -> u32 {
+        if self.index >= N {
+            self.generate_block();
+        }
+        let mut y = self.state[self.index];
+        self.index += 1;
+        y ^= y >> 11;
+        y ^= (y << 7) & 0x9D2C_5680;
+        y ^= (y << 15) & 0xEFC6_0000;
+        y ^= y >> 18;
+        y
+    }
+
+    /// A 53-bit-resolution double in `[0, 1)` (reference `genrand_res53`).
+    ///
+    /// Combines two 32-bit outputs exactly as the reference code does:
+    /// `(a·2²⁶ + b) / 2⁵³` with `a` the top 27 bits of the first output and
+    /// `b` the top 26 bits of the second.
+    pub fn next_res53(&mut self) -> f64 {
+        let a = (self.next_u32_mt() >> 5) as f64; // 27 bits
+        let b = (self.next_u32_mt() >> 6) as f64; // 26 bits
+        (a * 67_108_864.0 + b) * (1.0 / 9_007_199_254_740_992.0)
+    }
+}
+
+impl RandomSource for MersenneTwister {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u32_mt()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Two tempered 32-bit words; high word drawn first so that the
+        // sequence of u64s is a deterministic function of the reference
+        // 32-bit stream.
+        let hi = self.next_u32_mt() as u64;
+        let lo = self.next_u32_mt() as u64;
+        (hi << 32) | lo
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.next_res53()
+    }
+}
+
+impl SeedableSource for MersenneTwister {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 4-word key through SplitMix64 so that
+        // nearby u64 seeds produce unrelated MT states.
+        let mut sm = SplitMix64::new(seed);
+        let k0 = sm.next_u64();
+        let k1 = sm.next_u64();
+        let key = [
+            k0 as u32,
+            (k0 >> 32) as u32,
+            k1 as u32,
+            (k1 >> 32) as u32,
+        ];
+        Self::from_seed_array(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference output of `genrand_int32` after `init_genrand(5489)`.
+    /// These values are the de-facto standard test vector for MT19937 and are
+    /// reproduced by every faithful implementation (C reference, C++11
+    /// `std::mt19937`, NumPy's legacy RandomState core, …).
+    #[test]
+    fn reference_vector_default_seed() {
+        let mut mt = MersenneTwister::default_seed();
+        let expected: [u32; 10] = [
+            3_499_211_612,
+            581_869_302,
+            3_890_346_734,
+            3_586_334_585,
+            545_404_204,
+            4_161_255_391,
+            3_922_919_429,
+            949_333_985,
+            2_715_962_298,
+            1_323_567_403,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(mt.next_u32_mt(), e, "mismatch at output {i}");
+        }
+    }
+
+    /// C++11 defines `std::mt19937`'s 10000th output (1-indexed) from the
+    /// default seed as 4123659995; checking it exercises many full block
+    /// regenerations.
+    #[test]
+    fn ten_thousandth_output_matches_cpp11() {
+        let mut mt = MersenneTwister::default_seed();
+        let mut last = 0u32;
+        for _ in 0..10_000 {
+            last = mt.next_u32_mt();
+        }
+        assert_eq!(last, 4_123_659_995);
+    }
+
+    #[test]
+    fn res53_is_in_unit_interval_and_has_53_bit_grid() {
+        let mut mt = MersenneTwister::default_seed();
+        for _ in 0..10_000 {
+            let x = mt.next_res53();
+            assert!((0.0..1.0).contains(&x));
+            let scaled = x * 9_007_199_254_740_992.0;
+            assert_eq!(scaled, scaled.trunc(), "value not on the 2^-53 grid");
+        }
+    }
+
+    #[test]
+    fn scalar_seeds_differ() {
+        let mut a = MersenneTwister::new(1);
+        let mut b = MersenneTwister::new(2);
+        let matches = (0..1000).filter(|_| a.next_u32_mt() == b.next_u32_mt()).count();
+        assert!(matches < 3);
+    }
+
+    #[test]
+    fn array_seeding_differs_from_scalar_seeding() {
+        let mut a = MersenneTwister::new(0x123);
+        let mut b = MersenneTwister::from_seed_array(&[0x123]);
+        let matches = (0..100).filter(|_| a.next_u32_mt() == b.next_u32_mt()).count();
+        assert!(matches < 3);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = MersenneTwister::seed_from_u64(99);
+        let mut b = MersenneTwister::seed_from_u64(99);
+        for _ in 0..640 {
+            assert_eq!(a.next_u32_mt(), b.next_u32_mt());
+        }
+    }
+
+    #[test]
+    fn mean_of_outputs_is_near_half() {
+        let mut mt = MersenneTwister::default_seed();
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| mt.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn empty_like_small_key_array_is_accepted() {
+        let mut mt = MersenneTwister::from_seed_array(&[42]);
+        // Just exercise it; a single-word key must still mix the whole state.
+        let first = mt.next_u32_mt();
+        let mut mt2 = MersenneTwister::from_seed_array(&[43]);
+        assert_ne!(first, mt2.next_u32_mt());
+    }
+}

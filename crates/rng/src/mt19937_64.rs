@@ -1,0 +1,225 @@
+//! MT19937-64: the 64-bit Mersenne Twister of Nishimura & Matsumoto (2004).
+//!
+//! Identical design to the 32-bit MT19937 (see [`crate::mt19937`]) but with a
+//! 312-word 64-bit state, making it the natural choice when 53-bit doubles are
+//! consumed one per output word. This is the workspace default generator.
+
+use crate::splitmix64::SplitMix64;
+use crate::traits::{RandomSource, SeedableSource};
+
+const NN: usize = 312;
+const MM: usize = 156;
+const MATRIX_A: u64 = 0xB502_6F5A_A966_19E9;
+const UPPER_MASK: u64 = 0xFFFF_FFFF_8000_0000;
+const LOWER_MASK: u64 = 0x0000_0000_7FFF_FFFF;
+
+/// The 64-bit Mersenne Twister generator (period 2^19937 − 1).
+#[derive(Clone)]
+pub struct MersenneTwister64 {
+    state: [u64; NN],
+    index: usize,
+}
+
+impl std::fmt::Debug for MersenneTwister64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MersenneTwister64")
+            .field("index", &self.index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MersenneTwister64 {
+    /// The scalar seed used by the reference implementation when none is given.
+    pub const DEFAULT_SEED: u64 = 5489;
+
+    /// Construct from a 64-bit scalar seed (reference `init_genrand64`).
+    pub fn new(seed: u64) -> Self {
+        let mut state = [0u64; NN];
+        state[0] = seed;
+        for i in 1..NN {
+            state[i] = 6_364_136_223_846_793_005u64
+                .wrapping_mul(state[i - 1] ^ (state[i - 1] >> 62))
+                .wrapping_add(i as u64);
+        }
+        Self { state, index: NN }
+    }
+
+    /// Construct with the reference default seed (5489).
+    pub fn default_seed() -> Self {
+        Self::new(Self::DEFAULT_SEED)
+    }
+
+    /// Construct from an array seed (reference `init_by_array64`).
+    pub fn from_seed_array(key: &[u64]) -> Self {
+        let mut mt = Self::new(19_650_218);
+        let mut i = 1usize;
+        let mut j = 0usize;
+        let mut k = NN.max(key.len());
+        while k > 0 {
+            mt.state[i] = (mt.state[i]
+                ^ (mt.state[i - 1] ^ (mt.state[i - 1] >> 62))
+                    .wrapping_mul(3_935_559_000_370_003_845))
+            .wrapping_add(key[j])
+            .wrapping_add(j as u64);
+            i += 1;
+            j += 1;
+            if i >= NN {
+                mt.state[0] = mt.state[NN - 1];
+                i = 1;
+            }
+            if j >= key.len() {
+                j = 0;
+            }
+            k -= 1;
+        }
+        k = NN - 1;
+        while k > 0 {
+            mt.state[i] = (mt.state[i]
+                ^ (mt.state[i - 1] ^ (mt.state[i - 1] >> 62))
+                    .wrapping_mul(2_862_933_555_777_941_757))
+            .wrapping_sub(i as u64);
+            i += 1;
+            if i >= NN {
+                mt.state[0] = mt.state[NN - 1];
+                i = 1;
+            }
+            k -= 1;
+        }
+        mt.state[0] = 1u64 << 63;
+        mt
+    }
+
+    fn generate_block(&mut self) {
+        for i in 0..NN {
+            let x = (self.state[i] & UPPER_MASK) | (self.state[(i + 1) % NN] & LOWER_MASK);
+            let mut next = self.state[(i + MM) % NN] ^ (x >> 1);
+            if x & 1 != 0 {
+                next ^= MATRIX_A;
+            }
+            self.state[i] = next;
+        }
+        self.index = 0;
+    }
+
+    /// The next tempered 64-bit output (reference `genrand64_int64`).
+    pub fn next_u64_mt(&mut self) -> u64 {
+        if self.index >= NN {
+            self.generate_block();
+        }
+        let mut x = self.state[self.index];
+        self.index += 1;
+        x ^= (x >> 29) & 0x5555_5555_5555_5555;
+        x ^= (x << 17) & 0x71D6_7FFF_EDA6_0000;
+        x ^= (x << 37) & 0xFFF7_EEE0_0000_0000;
+        x ^= x >> 43;
+        x
+    }
+
+    /// A 53-bit-resolution double in `[0, 1)` (reference `genrand64_res53`).
+    pub fn next_res53(&mut self) -> f64 {
+        (self.next_u64_mt() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+}
+
+impl RandomSource for MersenneTwister64 {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_mt()
+    }
+}
+
+impl SeedableSource for MersenneTwister64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let key = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self::from_seed_array(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference output of `genrand64_int64` after
+    /// `init_by_array64({0x12345, 0x23456, 0x34567, 0x45678})`, from the
+    /// mt19937-64 reference distribution's `mt19937-64.out`.
+    #[test]
+    fn reference_vector_array_seed() {
+        let mut mt =
+            MersenneTwister64::from_seed_array(&[0x12345, 0x23456, 0x34567, 0x45678]);
+        let expected: [u64; 5] = [
+            7_266_447_313_870_364_031,
+            4_946_485_549_665_804_864,
+            16_945_909_448_695_747_420,
+            16_394_063_075_524_226_720,
+            4_873_882_236_456_199_058,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(mt.next_u64_mt(), e, "mismatch at output {i}");
+        }
+    }
+
+    /// C++11 defines `std::mt19937_64`'s 10000th output (1-indexed) from the
+    /// default seed 5489 as 9981545732273789042.
+    #[test]
+    fn ten_thousandth_output_matches_cpp11() {
+        let mut mt = MersenneTwister64::default_seed();
+        let mut last = 0u64;
+        for _ in 0..10_000 {
+            last = mt.next_u64_mt();
+        }
+        assert_eq!(last, 9_981_545_732_273_789_042);
+    }
+
+    #[test]
+    fn res53_matches_top_53_bits() {
+        let mut a = MersenneTwister64::default_seed();
+        let mut b = MersenneTwister64::default_seed();
+        for _ in 0..1000 {
+            let x = a.next_res53();
+            let bits = b.next_u64_mt() >> 11;
+            assert_eq!(x, bits as f64 / 9_007_199_254_740_992.0);
+        }
+    }
+
+    #[test]
+    fn default_trait_f64_is_in_unit_interval() {
+        let mut mt = MersenneTwister64::default_seed();
+        for _ in 0..10_000 {
+            let x = mt.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_seed_sensitive() {
+        let mut a = MersenneTwister64::seed_from_u64(4);
+        let mut b = MersenneTwister64::seed_from_u64(4);
+        let mut c = MersenneTwister64::seed_from_u64(5);
+        let mut diff = 0;
+        for _ in 0..700 {
+            let (x, y, z) = (a.next_u64_mt(), b.next_u64_mt(), c.next_u64_mt());
+            assert_eq!(x, y);
+            if x != z {
+                diff += 1;
+            }
+        }
+        assert!(diff > 690);
+    }
+
+    #[test]
+    fn mean_and_variance_are_plausible() {
+        let mut mt = MersenneTwister64::seed_from_u64(2024);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = mt.next_f64();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.003, "variance {var}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Optional bridge to the `rand` crate (feature `rand-compat`).
+//!
+//! Downstream users who already have `rand`-based code can wrap any
+//! [`RandomSource`] in [`RandAdapter`] to obtain a `rand::RngCore`, or wrap an
+//! existing `rand` generator in [`SourceAdapter`] to drive this workspace's
+//! selection algorithms with it.
+
+use crate::traits::RandomSource;
+use rand::RngCore;
+
+/// Expose a [`RandomSource`] as a `rand::RngCore`.
+#[derive(Debug, Clone)]
+pub struct RandAdapter<R>(pub R);
+
+impl<R: RandomSource> RngCore for RandAdapter<R> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.0.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Expose a `rand::RngCore` as a [`RandomSource`].
+#[derive(Debug, Clone)]
+pub struct SourceAdapter<R>(pub R);
+
+impl<R: RngCore> RandomSource for SourceAdapter<R> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableSource, SplitMix64};
+    use rand::Rng;
+
+    #[test]
+    fn rand_adapter_produces_same_u64_stream() {
+        let mut direct = SplitMix64::seed_from_u64(1);
+        let mut adapted = RandAdapter(SplitMix64::seed_from_u64(1));
+        for _ in 0..100 {
+            assert_eq!(direct.next_u64(), adapted.next_u64());
+        }
+    }
+
+    #[test]
+    fn rand_adapter_supports_gen_range() {
+        let mut adapted = RandAdapter(SplitMix64::seed_from_u64(2));
+        for _ in 0..1000 {
+            let x: u32 = adapted.gen_range(0..10);
+            assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn source_adapter_round_trip() {
+        let inner = RandAdapter(SplitMix64::seed_from_u64(3));
+        let mut wrapped = SourceAdapter(inner);
+        let x = wrapped.next_f64();
+        assert!((0.0..1.0).contains(&x));
+    }
+}

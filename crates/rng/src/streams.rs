@@ -1,0 +1,137 @@
+//! Construction of families of independent generators for parallel work.
+//!
+//! Parallel roulette wheel selection needs one random stream per logical
+//! processor (PRAM model) or per worker thread (rayon execution). This module
+//! provides [`StreamFamily`], which derives any number of independent
+//! generators from a single master seed, and [`spawn_streams`], a convenience
+//! for materialising the first `n` of them.
+//!
+//! Two derivation strategies are offered:
+//!
+//! * **Keyed** (default): stream `i` is seeded with `mix64(master ⊕ φ·i)`,
+//!   which works for every [`SeedableSource`] and gives streams that are
+//!   independent for all practical purposes.
+//! * **Counter-based**: for [`Philox4x32`] the stream id is placed directly
+//!   in the counter, giving *provably* non-overlapping streams.
+
+use crate::philox::Philox4x32;
+use crate::splitmix64::{SplitMix64, GOLDEN_GAMMA};
+use crate::traits::SeedableSource;
+
+/// A factory for independent generator streams derived from one master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamFamily {
+    master_seed: u64,
+}
+
+impl StreamFamily {
+    /// Create a family rooted at `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        Self { master_seed }
+    }
+
+    /// The master seed this family was created with.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Derive the 64-bit seed of stream `index`.
+    ///
+    /// Uses a SplitMix64 finalizer over `master ⊕ (index + 1)·φ`, so adjacent
+    /// indices map to unrelated seeds and index 0 does not degenerate to the
+    /// master seed itself.
+    pub fn seed_for(&self, index: u64) -> u64 {
+        SplitMix64::mix64(
+            self.master_seed ^ index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA),
+        )
+    }
+
+    /// Construct the generator for stream `index`.
+    pub fn stream<R: SeedableSource>(&self, index: u64) -> R {
+        R::seed_from_u64(self.seed_for(index))
+    }
+
+    /// Construct a counter-based Philox stream for `index`
+    /// (provably non-overlapping with every other index).
+    pub fn philox_stream(&self, index: u64) -> Philox4x32 {
+        Philox4x32::for_substream(SplitMix64::mix64(self.master_seed), index)
+    }
+}
+
+/// Materialise the first `n` streams of a family as a vector of generators.
+pub fn spawn_streams<R: SeedableSource>(master_seed: u64, n: usize) -> Vec<R> {
+    let family = StreamFamily::new(master_seed);
+    (0..n as u64).map(|i| family.stream(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MersenneTwister64, RandomSource, Xoshiro256PlusPlus};
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeds_are_distinct_across_indices() {
+        let family = StreamFamily::new(7);
+        let seeds: HashSet<u64> = (0..10_000).map(|i| family.seed_for(i)).collect();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn seeds_differ_across_master_seeds() {
+        let a = StreamFamily::new(1);
+        let b = StreamFamily::new(2);
+        let same = (0..1000).filter(|&i| a.seed_for(i) == b.seed_for(i)).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_zero_is_not_the_master_seed_itself() {
+        let family = StreamFamily::new(12345);
+        assert_ne!(family.seed_for(0), 12345);
+    }
+
+    #[test]
+    fn spawn_streams_produces_independent_sequences() {
+        let mut streams: Vec<Xoshiro256PlusPlus> = spawn_streams(99, 8);
+        let outputs: Vec<Vec<u64>> = streams
+            .iter_mut()
+            .map(|s| (0..200).map(|_| s.next_u64()).collect())
+            .collect();
+        for i in 0..outputs.len() {
+            for j in (i + 1)..outputs.len() {
+                let overlap = outputs[i].iter().filter(|x| outputs[j].contains(x)).count();
+                assert!(overlap < 2, "streams {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn family_is_reproducible() {
+        let family = StreamFamily::new(5);
+        let mut a: MersenneTwister64 = family.stream(3);
+        let mut b: MersenneTwister64 = family.stream(3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn philox_streams_match_for_substream_construction() {
+        let family = StreamFamily::new(21);
+        let mut a = family.philox_stream(4);
+        let mut b = Philox4x32::for_substream(SplitMix64::mix64(21), 4);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn per_stream_uniform_means_are_plausible() {
+        let mut streams: Vec<MersenneTwister64> = spawn_streams(1234, 16);
+        for (i, s) in streams.iter_mut().enumerate() {
+            let mean = (0..20_000).map(|_| s.next_f64()).sum::<f64>() / 20_000.0;
+            assert!((mean - 0.5).abs() < 0.02, "stream {i} mean {mean}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Core generator traits consumed by the rest of the workspace.
+//!
+//! The selection library, the PRAM simulator and the ACO application all take
+//! `&mut dyn RandomSource` or a generic `R: RandomSource`, so any generator in
+//! this crate (or a user-supplied one) can drive them.
+
+use crate::uniform;
+
+/// A source of uniformly distributed pseudo-random bits.
+///
+/// Implementors only have to provide [`next_u64`](RandomSource::next_u64);
+/// every other method has a sound default in terms of it. The trait is
+/// object-safe so heterogeneous code can hold `Box<dyn RandomSource>`.
+pub trait RandomSource {
+    /// Return the next 64 uniformly distributed pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next 32 uniformly distributed pseudo-random bits.
+    ///
+    /// The default takes the high half of [`next_u64`](RandomSource::next_u64)
+    /// because for some generator families (notably xoshiro) the high bits are
+    /// of better quality than the low bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Return a uniformly distributed `f64` in the half-open interval `[0, 1)`.
+    ///
+    /// Uses the 53-high-bit conversion (`uniform::f64_from_bits_53`), the same
+    /// strategy as the Mersenne Twister reference `genrand_res53` and rand's
+    /// `Standard` distribution: every representable value is a multiple of
+    /// 2⁻⁵³ and `1.0` is never returned.
+    fn next_f64(&mut self) -> f64 {
+        uniform::f64_from_bits_53(self.next_u64())
+    }
+
+    /// Return a uniformly distributed `f64` in the open interval `(0, 1)`.
+    ///
+    /// Useful wherever a logarithm of the variate is taken (the logarithmic
+    /// random bidding does `ln(u)`), because it can never produce `ln(0)`.
+    fn next_f64_open(&mut self) -> f64 {
+        uniform::f64_open_open(self.next_u64())
+    }
+
+    /// Return a uniformly distributed integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method; unbiased for every
+    /// `bound > 0`. Panics if `bound == 0`.
+    fn next_u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_u64_below requires a positive bound");
+        uniform::u64_below(self, bound)
+    }
+
+    /// Fill `dest` with pseudo-random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RandomSource + ?Sized> RandomSource for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_f64(&mut self) -> f64 {
+        (**self).next_f64()
+    }
+    fn next_f64_open(&mut self) -> f64 {
+        (**self).next_f64_open()
+    }
+}
+
+impl<R: RandomSource + ?Sized> RandomSource for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_f64(&mut self) -> f64 {
+        (**self).next_f64()
+    }
+    fn next_f64_open(&mut self) -> f64 {
+        (**self).next_f64_open()
+    }
+}
+
+/// Generators that can be constructed deterministically from a 64-bit seed.
+pub trait SeedableSource: Sized {
+    /// Construct the generator from a 64-bit seed.
+    ///
+    /// Implementations must expand the seed so that low-entropy seeds (0, 1,
+    /// 2, …) still yield well-mixed initial states; the conventional choice in
+    /// this crate is a [`SplitMix64`](crate::SplitMix64) expansion, matching
+    /// the recommendation of the xoshiro authors.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        for len in 0..=17 {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} produced all zeros");
+            }
+        }
+    }
+
+    #[test]
+    fn next_u64_below_respects_bound() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        for bound in [1u64, 2, 3, 7, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.next_u64_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn next_u64_below_zero_bound_panics() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        rng.next_u64_below(0);
+    }
+
+    #[test]
+    fn next_u64_below_small_bound_is_roughly_uniform() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        let trials = 50_000;
+        for _ in 0..trials {
+            counts[rng.next_u64_below(5) as usize] += 1;
+        }
+        let expected = trials as f64 / 5.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.05, "bucket {i} off by {rel}");
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let mut boxed: Box<dyn RandomSource> = Box::new(SplitMix64::seed_from_u64(5));
+        let x = boxed.next_f64();
+        assert!((0.0..1.0).contains(&x));
+        let r: &mut dyn RandomSource = &mut *boxed;
+        let y = r.next_f64_open();
+        assert!(y > 0.0 && y < 1.0);
+    }
+
+    #[test]
+    fn open_interval_never_returns_zero() {
+        let mut rng = SplitMix64::seed_from_u64(1234);
+        for _ in 0..100_000 {
+            let x = rng.next_f64_open();
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Conversion of raw 64-bit words to uniform variates.
+//!
+//! Getting `u64 → f64 in [0, 1)` right matters for the logarithmic random
+//! bidding: the algorithm computes `ln(rand())`, so the conversion must (a)
+//! never produce exactly `1.0` (the closed end) and, for the `ln` path, never
+//! produce exactly `0.0` either (which would give `-∞` and make a zero-fitness
+//! and a tiny-fitness processor indistinguishable). The helpers here expose
+//! both the standard half-open conversion and an open-interval conversion.
+
+use crate::traits::RandomSource;
+
+/// 2⁻⁵³, the spacing of the 53-bit uniform grid.
+pub const F64_EPS_53: f64 = 1.0 / 9_007_199_254_740_992.0;
+
+/// Convert the top 53 bits of `word` to an `f64` uniform on `[0, 1)`.
+///
+/// Every output is a multiple of 2⁻⁵³; the maximum value is `1 − 2⁻⁵³`.
+#[inline]
+pub fn f64_from_bits_53(word: u64) -> f64 {
+    (word >> 11) as f64 * F64_EPS_53
+}
+
+/// Convert the top 52 bits of `word` to an `f64` uniform on the open interval
+/// `(0, 1)`.
+///
+/// Uses the "add half a step" construction: `(k + 0.5) · 2⁻⁵²` for the 52-bit
+/// integer `k`, so the smallest output is 2⁻⁵³ and the largest is `1 − 2⁻⁵³`.
+/// This is the conversion used for logarithm arguments.
+#[inline]
+pub fn f64_open_open(word: u64) -> f64 {
+    ((word >> 12) as f64 + 0.5) * (1.0 / 4_503_599_627_370_496.0)
+}
+
+/// Convert to an `f64` uniform on the half-open interval `(0, 1]`.
+///
+/// Occasionally useful when a variate will be used as a divisor.
+#[inline]
+pub fn f64_open_closed(word: u64) -> f64 {
+    ((word >> 11) as f64 + 1.0) * F64_EPS_53
+}
+
+/// Draw a uniform integer in `[0, bound)` using Lemire's multiply-shift
+/// rejection method (unbiased, at most a handful of retries in expectation).
+pub fn u64_below<R: RandomSource + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Fast path for power-of-two bounds: mask the high bits.
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Draw a uniform `f64` in `[low, high)`.
+///
+/// Panics if the range is empty or not finite.
+pub fn f64_in_range<R: RandomSource + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+    assert!(
+        low.is_finite() && high.is_finite() && low < high,
+        "invalid range [{low}, {high})"
+    );
+    let x = low + (high - low) * rng.next_f64();
+    // Floating-point rounding can land exactly on `high`; clamp back inside.
+    if x >= high {
+        high - (high - low) * F64_EPS_53
+    } else {
+        x
+    }
+}
+
+/// Fisher–Yates shuffle of a slice using the supplied generator.
+pub fn shuffle<T, R: RandomSource + ?Sized>(rng: &mut R, items: &mut [T]) {
+    let n = items.len();
+    if n < 2 {
+        return;
+    }
+    for i in (1..n).rev() {
+        let j = rng.next_u64_below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Choose a uniformly random element of a non-empty slice.
+pub fn choose<'a, T, R: RandomSource + ?Sized>(rng: &mut R, items: &'a [T]) -> &'a T {
+    assert!(!items.is_empty(), "cannot choose from an empty slice");
+    &items[rng.next_u64_below(items.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableSource, SplitMix64};
+    use proptest::prelude::*;
+
+    #[test]
+    fn half_open_conversion_bounds() {
+        assert_eq!(f64_from_bits_53(0), 0.0);
+        assert_eq!(f64_from_bits_53(u64::MAX), 1.0 - F64_EPS_53);
+        assert!(f64_from_bits_53(u64::MAX) < 1.0);
+    }
+
+    #[test]
+    fn open_open_conversion_bounds() {
+        assert_eq!(f64_open_open(0), F64_EPS_53);
+        assert!(f64_open_open(u64::MAX) < 1.0);
+        assert!(f64_open_open(u64::MAX) > 0.999_999_999);
+    }
+
+    #[test]
+    fn open_closed_conversion_bounds() {
+        assert!(f64_open_closed(0) > 0.0);
+        assert_eq!(f64_open_closed(u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn range_sampling_stays_in_range() {
+        let mut rng = SplitMix64::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let x = f64_in_range(&mut rng, -3.0, 7.5);
+            assert!((-3.0..7.5).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut rng = SplitMix64::seed_from_u64(8);
+        f64_in_range(&mut rng, 1.0, 1.0);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = SplitMix64::seed_from_u64(10);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_lengths() {
+        let mut rng = SplitMix64::seed_from_u64(10);
+        let mut empty: Vec<u32> = vec![];
+        shuffle(&mut rng, &mut empty);
+        let mut one = vec![42];
+        shuffle(&mut rng, &mut one);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn shuffle_is_roughly_uniform_over_permutations() {
+        // For 3 elements there are 6 permutations; each should appear ~1/6 of
+        // the time over many shuffles.
+        let mut rng = SplitMix64::seed_from_u64(77);
+        let trials = 60_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..trials {
+            let mut v = [0u8, 1, 2];
+            shuffle(&mut rng, &mut v);
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (&perm, &c) in &counts {
+            let frac = c as f64 / trials as f64;
+            assert!(
+                (frac - 1.0 / 6.0).abs() < 0.01,
+                "permutation {perm:?} frequency {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_returns_members() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(choose(&mut rng, &items)));
+        }
+    }
+
+    #[test]
+    fn lemire_bound_one_always_returns_zero() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(u64_below(&mut rng, 1), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_half_open_in_unit_interval(word: u64) {
+            let x = f64_from_bits_53(word);
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn prop_open_open_strictly_inside(word: u64) {
+            let x = f64_open_open(word);
+            prop_assert!(x > 0.0 && x < 1.0);
+        }
+
+        #[test]
+        fn prop_u64_below_in_bounds(seed: u64, bound in 1u64..=u64::MAX) {
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let x = u64_below(&mut rng, bound);
+            prop_assert!(x < bound);
+        }
+
+        #[test]
+        fn prop_range_sampling(seed: u64, a in -1e6f64..1e6, width in 1e-3f64..1e6) {
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let x = f64_in_range(&mut rng, a, a + width);
+            prop_assert!(x >= a && x < a + width);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Pearson's chi-square goodness-of-fit test.
+//!
+//! Used by the Table I / Table II experiments to decide whether the empirical
+//! selection counts of an algorithm are consistent with the exact target
+//! probabilities `F_i` (they are for the logarithmic random bidding, and are
+//! spectacularly not for the independent roulette).
+
+use crate::special::chi_square_cdf;
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The test statistic `Σ (observed − expected)² / expected` over the
+    /// categories with non-zero expected count.
+    pub statistic: f64,
+    /// Degrees of freedom (non-zero-expectation categories minus one).
+    pub degrees_of_freedom: usize,
+    /// The p-value: probability of a statistic at least this large under the
+    /// null hypothesis that the observations follow the expected
+    /// distribution.
+    pub p_value: f64,
+}
+
+impl ChiSquareResult {
+    /// Whether the test fails to reject the null hypothesis at the given
+    /// significance level (e.g. `0.01`).
+    pub fn is_consistent(&self, significance: f64) -> bool {
+        self.p_value > significance
+    }
+}
+
+/// Run a chi-square goodness-of-fit test.
+///
+/// `observed[i]` is the number of times category `i` was observed;
+/// `expected_probs[i]` is the null-hypothesis probability of category `i`.
+/// Categories whose expected probability is zero are checked separately: any
+/// observation there makes the test fail outright (statistic = ∞), because a
+/// zero-probability event occurred.
+///
+/// Panics if the slices have different lengths, if the probabilities do not
+/// sum to approximately one, or if there are fewer than two categories with
+/// positive expected probability.
+pub fn chi_square_gof(observed: &[u64], expected_probs: &[f64]) -> ChiSquareResult {
+    assert_eq!(
+        observed.len(),
+        expected_probs.len(),
+        "observed and expected must have the same length"
+    );
+    let prob_sum: f64 = expected_probs.iter().sum();
+    assert!(
+        (prob_sum - 1.0).abs() < 1e-6,
+        "expected probabilities must sum to 1, got {prob_sum}"
+    );
+    assert!(
+        expected_probs.iter().all(|&p| p >= 0.0),
+        "expected probabilities must be non-negative"
+    );
+
+    let total: u64 = observed.iter().sum();
+    let total_f = total as f64;
+
+    let mut statistic = 0.0;
+    let mut categories = 0usize;
+    let mut impossible_observed = false;
+    for (&obs, &p) in observed.iter().zip(expected_probs) {
+        if p == 0.0 {
+            if obs > 0 {
+                impossible_observed = true;
+            }
+            continue;
+        }
+        categories += 1;
+        let expected = p * total_f;
+        let diff = obs as f64 - expected;
+        statistic += diff * diff / expected;
+    }
+    assert!(
+        categories >= 2,
+        "need at least two categories with positive expected probability"
+    );
+
+    if impossible_observed {
+        return ChiSquareResult {
+            statistic: f64::INFINITY,
+            degrees_of_freedom: categories - 1,
+            p_value: 0.0,
+        };
+    }
+
+    let dof = categories - 1;
+    let p_value = 1.0 - chi_square_cdf(statistic, dof as f64);
+    ChiSquareResult {
+        statistic,
+        degrees_of_freedom: dof,
+        p_value: p_value.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_matching_counts_give_statistic_zero() {
+        let observed = [250u64, 250, 250, 250];
+        let expected = [0.25, 0.25, 0.25, 0.25];
+        let r = chi_square_gof(&observed, &expected);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.degrees_of_freedom, 3);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert!(r.is_consistent(0.05));
+    }
+
+    #[test]
+    fn textbook_example_fair_die() {
+        // Classic worked example: 60 rolls of a die with observed counts
+        // [5, 8, 9, 8, 10, 20] gives χ² = 13.4 and p ≈ 0.0199 with 5 dof.
+        let observed = [5u64, 8, 9, 8, 10, 20];
+        let expected = [1.0 / 6.0; 6];
+        let r = chi_square_gof(&observed, &expected);
+        assert!((r.statistic - 13.4).abs() < 1e-9, "statistic {}", r.statistic);
+        assert_eq!(r.degrees_of_freedom, 5);
+        assert!((r.p_value - 0.0199).abs() < 0.001, "p {}", r.p_value);
+        assert!(!r.is_consistent(0.05));
+        assert!(r.is_consistent(0.01));
+    }
+
+    #[test]
+    fn grossly_skewed_counts_are_rejected() {
+        let observed = [900u64, 50, 25, 25];
+        let expected = [0.25, 0.25, 0.25, 0.25];
+        let r = chi_square_gof(&observed, &expected);
+        assert!(r.p_value < 1e-10);
+        assert!(!r.is_consistent(0.001));
+    }
+
+    #[test]
+    fn zero_probability_category_with_observations_fails_hard() {
+        let observed = [10u64, 90, 5];
+        let expected = [0.1, 0.9, 0.0];
+        let r = chi_square_gof(&observed, &expected);
+        assert_eq!(r.statistic, f64::INFINITY);
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    fn zero_probability_category_without_observations_is_ignored() {
+        let observed = [100u64, 900, 0];
+        let expected = [0.1, 0.9, 0.0];
+        let r = chi_square_gof(&observed, &expected);
+        assert_eq!(r.degrees_of_freedom, 1);
+        assert!(r.is_consistent(0.05));
+    }
+
+    #[test]
+    fn proportional_counts_scale_the_statistic_linearly() {
+        // Doubling all counts doubles the statistic when frequencies are off.
+        let observed_small = [60u64, 40];
+        let observed_big = [120u64, 80];
+        let expected = [0.5, 0.5];
+        let small = chi_square_gof(&observed_small, &expected);
+        let big = chi_square_gof(&observed_big, &expected);
+        assert!((big.statistic - 2.0 * small.statistic).abs() < 1e-9);
+        assert!(big.p_value < small.p_value);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        chi_square_gof(&[1, 2], &[0.5, 0.3, 0.2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn probabilities_must_sum_to_one() {
+        chi_square_gof(&[1, 2], &[0.5, 0.6]);
+    }
+
+    #[test]
+    fn large_sample_near_exact_distribution_is_consistent() {
+        // Simulated "correct algorithm" case: frequencies within Poisson noise
+        // of the targets.
+        let expected = [0.1, 0.2, 0.3, 0.4];
+        let n = 1_000_000u64;
+        let observed = [100_300u64, 199_500, 300_400, 399_800];
+        assert_eq!(observed.iter().sum::<u64>(), n);
+        let r = chi_square_gof(&observed, &expected);
+        assert!(r.is_consistent(0.01), "p = {}", r.p_value);
+    }
+}

@@ -1,0 +1,139 @@
+//! Confidence intervals for binomial proportions.
+//!
+//! Each row of Table I / Table II is an estimated selection probability from
+//! `T` Bernoulli-style trials; a Wilson score interval around the empirical
+//! frequency tells us whether the exact `F_i` lies within sampling noise.
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub low: f64,
+    /// Upper bound.
+    pub high: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        self.low <= value && value <= self.high
+    }
+
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// `successes` out of `trials`, with critical value `z` (1.96 for 95%,
+/// 2.576 for 99%). Well-behaved even when the proportion is near 0 or 1,
+/// which matters for Table II's `F_0 ≈ 0.005` row and for the independent
+/// roulette's essentially-zero frequencies.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> ConfidenceInterval {
+    assert!(trials > 0, "cannot build an interval from zero trials");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    assert!(z > 0.0, "critical value must be positive");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ConfidenceInterval {
+        low: (centre - half).max(0.0),
+        high: (centre + half).min(1.0),
+    }
+}
+
+/// Normal-approximation (Wald) interval, provided for comparison and for
+/// large-sample quick estimates.
+pub fn wald_interval(successes: u64, trials: u64, z: f64) -> ConfidenceInterval {
+    assert!(trials > 0, "cannot build an interval from zero trials");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let half = z * (p * (1.0 - p) / n).sqrt();
+    ConfidenceInterval {
+        low: (p - half).max(0.0),
+        high: (p + half).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wilson_interval_contains_the_point_estimate() {
+        let ci = wilson_interval(70, 100, 1.96);
+        assert!(ci.contains(0.7));
+        assert!(ci.low > 0.59 && ci.high < 0.79);
+    }
+
+    #[test]
+    fn wilson_known_value() {
+        // A classic worked example: 10 successes in 50 trials at 95% gives
+        // roughly [0.112, 0.330].
+        let ci = wilson_interval(10, 50, 1.96);
+        assert!((ci.low - 0.112).abs() < 0.005, "low {}", ci.low);
+        assert!((ci.high - 0.330).abs() < 0.005, "high {}", ci.high);
+    }
+
+    #[test]
+    fn zero_successes_still_gives_a_sensible_interval() {
+        let ci = wilson_interval(0, 1000, 1.96);
+        assert_eq!(ci.low, 0.0);
+        assert!(ci.high > 0.0 && ci.high < 0.01);
+    }
+
+    #[test]
+    fn all_successes_still_gives_a_sensible_interval() {
+        let ci = wilson_interval(1000, 1000, 1.96);
+        assert_eq!(ci.high, 1.0);
+        assert!(ci.low < 1.0 && ci.low > 0.99);
+    }
+
+    #[test]
+    fn interval_narrows_with_more_trials() {
+        let small = wilson_interval(50, 100, 1.96);
+        let big = wilson_interval(5000, 10_000, 1.96);
+        assert!(big.width() < small.width());
+    }
+
+    #[test]
+    fn wald_and_wilson_agree_for_large_balanced_samples() {
+        let wilson = wilson_interval(50_000, 100_000, 1.96);
+        let wald = wald_interval(50_000, 100_000, 1.96);
+        assert!((wilson.low - wald.low).abs() < 1e-3);
+        assert!((wilson.high - wald.high).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_trials_panics() {
+        wilson_interval(0, 0, 1.96);
+    }
+
+    #[test]
+    #[should_panic]
+    fn successes_beyond_trials_panics() {
+        wilson_interval(5, 3, 1.96);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wilson_bounds_are_ordered_and_in_unit_interval(
+            trials in 1u64..100_000,
+            frac in 0.0f64..=1.0,
+        ) {
+            let successes = (trials as f64 * frac) as u64;
+            let ci = wilson_interval(successes.min(trials), trials, 1.96);
+            prop_assert!(ci.low <= ci.high);
+            prop_assert!(ci.low >= 0.0 && ci.high <= 1.0);
+            prop_assert!(ci.contains(successes.min(trials) as f64 / trials as f64));
+        }
+    }
+}

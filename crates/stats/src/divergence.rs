@@ -1,0 +1,149 @@
+//! Distances between probability distributions.
+//!
+//! The reproduction summarises "how wrong" the independent roulette selection
+//! is (and "how right" the logarithmic random bidding is) as a single number
+//! per experiment; total-variation distance is the headline metric, with KL
+//! divergence and chi-square distance available for the curious.
+
+/// Total-variation distance `½ Σ |p_i − q_i|` between two distributions over
+/// the same categories. Ranges from 0 (identical) to 1 (disjoint support).
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share a support");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Kullback–Leibler divergence `Σ p_i ln(p_i / q_i)` in nats.
+///
+/// Terms with `p_i = 0` contribute zero. A term with `p_i > 0` and `q_i = 0`
+/// makes the divergence infinite — which is precisely what happens when the
+/// independent roulette assigns probability ~0 to an index whose true
+/// probability is positive.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share a support");
+    let mut sum = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        debug_assert!(a >= 0.0 && b >= 0.0);
+        if a == 0.0 {
+            continue;
+        }
+        if b == 0.0 {
+            return f64::INFINITY;
+        }
+        sum += a * (a / b).ln();
+    }
+    sum
+}
+
+/// Neyman chi-square distance `Σ (p_i − q_i)² / q_i` over categories with
+/// `q_i > 0`; categories with `q_i = 0` and `p_i > 0` make it infinite.
+pub fn chi_square_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must share a support");
+    let mut sum = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        if b == 0.0 {
+            if a > 0.0 {
+                return f64::INFINITY;
+            }
+            continue;
+        }
+        let d = a - b;
+        sum += d * d / b;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let p = [0.2, 0.3, 0.5];
+        assert_eq!(total_variation(&p, &p), 0.0);
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+        assert_eq!(chi_square_distance(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_tv_one() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-15);
+        assert_eq!(kl_divergence(&p, &q), f64::INFINITY);
+    }
+
+    #[test]
+    fn tv_known_value() {
+        let p = [0.5, 0.5];
+        let q = [0.75, 0.25];
+        assert!((total_variation(&p, &q) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // KL([0.5,0.5] || [0.75,0.25]) = 0.5 ln(2/3) + 0.5 ln 2.
+        let p = [0.5, 0.5];
+        let q = [0.75, 0.25];
+        let expect = 0.5 * (0.5f64 / 0.75).ln() + 0.5 * (0.5f64 / 0.25).ln();
+        assert!((kl_divergence(&p, &q) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_ignores_zero_p_categories() {
+        let p = [0.0, 1.0];
+        let q = [0.5, 0.5];
+        let expect = 1.0 * (1.0f64 / 0.5).ln();
+        assert!((kl_divergence(&p, &q) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_distance_known_value() {
+        let p = [0.6, 0.4];
+        let q = [0.5, 0.5];
+        let expect = 0.01 / 0.5 + 0.01 / 0.5;
+        assert!((chi_square_distance(&p, &q) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_distance_infinite_when_support_mismatch() {
+        assert_eq!(chi_square_distance(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+        assert_eq!(chi_square_distance(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        total_variation(&[1.0], &[0.5, 0.5]);
+    }
+
+    fn normalised(v: Vec<f64>) -> Vec<f64> {
+        let s: f64 = v.iter().sum();
+        v.iter().map(|x| x / s).collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tv_symmetric_and_bounded(
+            a in proptest::collection::vec(0.001f64..1.0, 5),
+            b in proptest::collection::vec(0.001f64..1.0, 5),
+        ) {
+            let p = normalised(a);
+            let q = normalised(b);
+            let d1 = total_variation(&p, &q);
+            let d2 = total_variation(&q, &p);
+            prop_assert!((d1 - d2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&d1));
+        }
+
+        #[test]
+        fn prop_kl_non_negative(
+            a in proptest::collection::vec(0.001f64..1.0, 5),
+            b in proptest::collection::vec(0.001f64..1.0, 5),
+        ) {
+            let p = normalised(a);
+            let q = normalised(b);
+            prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+        }
+    }
+}

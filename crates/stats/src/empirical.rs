@@ -1,0 +1,244 @@
+//! Empirical distributions built from repeated selections.
+//!
+//! This is the bookkeeping behind every "probability table" in the
+//! reproduction: run an algorithm for `T` trials, count how often each index
+//! was selected, and compare the frequencies against the exact `F_i`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chi_square::{chi_square_gof, ChiSquareResult};
+use crate::ci::{wilson_interval, ConfidenceInterval};
+use crate::divergence::total_variation;
+
+/// Selection counts over a fixed index range `0..categories`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmpiricalDistribution {
+    counts: Vec<u64>,
+    trials: u64,
+}
+
+impl EmpiricalDistribution {
+    /// Create an empty distribution over `categories` indices.
+    pub fn new(categories: usize) -> Self {
+        Self {
+            counts: vec![0; categories],
+            trials: 0,
+        }
+    }
+
+    /// Build a distribution directly from an iterator of selected indices.
+    pub fn from_selections(categories: usize, selections: impl IntoIterator<Item = usize>) -> Self {
+        let mut dist = Self::new(categories);
+        for s in selections {
+            dist.record(s);
+        }
+        dist
+    }
+
+    /// Record one selection of index `index`.
+    ///
+    /// Panics if the index is outside the category range.
+    pub fn record(&mut self, index: usize) {
+        assert!(
+            index < self.counts.len(),
+            "index {index} outside 0..{}",
+            self.counts.len()
+        );
+        self.counts[index] += 1;
+        self.trials += 1;
+    }
+
+    /// Record a trial where nothing was selected (still counts towards the
+    /// trial total so frequencies remain honest).
+    pub fn record_none(&mut self) {
+        self.trials += 1;
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of recorded trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Raw counts per category.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Empirical frequency of category `index`.
+    pub fn frequency(&self, index: usize) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.counts[index] as f64 / self.trials as f64
+        }
+    }
+
+    /// All empirical frequencies.
+    pub fn frequencies(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|i| self.frequency(i)).collect()
+    }
+
+    /// Merge another distribution over the same categories into this one.
+    pub fn merge(&mut self, other: &EmpiricalDistribution) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge distributions over different category counts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.trials += other.trials;
+    }
+
+    /// Wilson 95% confidence interval for the frequency of category `index`.
+    pub fn frequency_interval(&self, index: usize) -> ConfidenceInterval {
+        wilson_interval(self.counts[index], self.trials, 1.96)
+    }
+
+    /// Chi-square goodness-of-fit test against exact target probabilities.
+    pub fn goodness_of_fit(&self, target: &[f64]) -> ChiSquareResult {
+        chi_square_gof(&self.counts, target)
+    }
+
+    /// Total-variation distance between the empirical frequencies and a
+    /// target distribution.
+    pub fn tv_distance(&self, target: &[f64]) -> f64 {
+        total_variation(&self.frequencies(), target)
+    }
+
+    /// Largest absolute deviation `|frequency_i − target_i|` over all
+    /// categories, the number quoted when we say a table "matches to within
+    /// x".
+    pub fn max_abs_deviation(&self, target: &[f64]) -> f64 {
+        assert_eq!(self.counts.len(), target.len());
+        self.frequencies()
+            .iter()
+            .zip(target)
+            .map(|(f, t)| (f - t).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_and_frequencies() {
+        let mut d = EmpiricalDistribution::new(3);
+        for _ in 0..6 {
+            d.record(0);
+        }
+        for _ in 0..3 {
+            d.record(1);
+        }
+        d.record(2);
+        assert_eq!(d.trials(), 10);
+        assert_eq!(d.counts(), &[6, 3, 1]);
+        assert_eq!(d.frequency(0), 0.6);
+        assert_eq!(d.frequencies(), vec![0.6, 0.3, 0.1]);
+    }
+
+    #[test]
+    fn from_selections_constructor() {
+        let d = EmpiricalDistribution::from_selections(4, [0usize, 1, 1, 3, 3, 3]);
+        assert_eq!(d.counts(), &[1, 2, 0, 3]);
+        assert_eq!(d.trials(), 6);
+    }
+
+    #[test]
+    fn record_none_counts_towards_trials() {
+        let mut d = EmpiricalDistribution::new(2);
+        d.record(0);
+        d.record_none();
+        assert_eq!(d.trials(), 2);
+        assert_eq!(d.frequency(0), 0.5);
+    }
+
+    #[test]
+    fn empty_distribution_has_zero_frequencies() {
+        let d = EmpiricalDistribution::new(5);
+        assert_eq!(d.frequency(3), 0.0);
+        assert_eq!(d.trials(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let mut d = EmpiricalDistribution::new(2);
+        d.record(2);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = EmpiricalDistribution::from_selections(3, [0usize, 1, 2, 2]);
+        let mut b = EmpiricalDistribution::from_selections(3, [1usize, 1]);
+        b.merge(&a);
+        assert_eq!(b.counts(), &[1, 3, 2]);
+        assert_eq!(b.trials(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_requires_matching_categories() {
+        let a = EmpiricalDistribution::new(3);
+        let mut b = EmpiricalDistribution::new(4);
+        b.merge(&a);
+    }
+
+    #[test]
+    fn max_abs_deviation_and_tv() {
+        let d = EmpiricalDistribution::from_selections(
+            2,
+            std::iter::repeat(0usize).take(60).chain(std::iter::repeat(1).take(40)),
+        );
+        let target = [0.5, 0.5];
+        assert!((d.max_abs_deviation(&target) - 0.1).abs() < 1e-12);
+        assert!((d.tv_distance(&target) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodness_of_fit_consistent_for_matching_counts() {
+        let mut d = EmpiricalDistribution::new(2);
+        for _ in 0..500 {
+            d.record(0);
+        }
+        for _ in 0..500 {
+            d.record(1);
+        }
+        let r = d.goodness_of_fit(&[0.5, 0.5]);
+        assert!(r.is_consistent(0.05));
+    }
+
+    #[test]
+    fn frequency_interval_contains_the_frequency() {
+        let d = EmpiricalDistribution::from_selections(
+            2,
+            std::iter::repeat(0usize).take(70).chain(std::iter::repeat(1).take(30)),
+        );
+        let ci = d.frequency_interval(0);
+        assert!(ci.low <= 0.7 && 0.7 <= ci.high);
+        assert!(ci.low > 0.5 && ci.high < 0.9);
+    }
+
+    #[test]
+    fn clone_and_equality() {
+        let d = EmpiricalDistribution::from_selections(3, [0usize, 2, 2]);
+        let e = d.clone();
+        assert_eq!(d, e);
+    }
+
+    // The Serialize/Deserialize derives are exercised by the bench crate,
+    // which writes experiment reports as JSON.
+    fn _assert_serde_impls()
+    where
+        EmpiricalDistribution: serde::Serialize + for<'de> serde::Deserialize<'de>,
+    {
+    }
+}

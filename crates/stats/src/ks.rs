@@ -1,0 +1,135 @@
+//! One-sample Kolmogorov–Smirnov test against a known continuous CDF.
+//!
+//! Used to validate the *continuous* building blocks of the reproduction —
+//! the uniform `[0, 1)` conversions and the exponential samplers behind the
+//! logarithmic bids — where a chi-square over bins would waste information.
+
+/// Result of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D_n = sup |F_empirical − F|`.
+    pub statistic: f64,
+    /// Number of samples.
+    pub n: usize,
+    /// Asymptotic p-value (Kolmogorov distribution; accurate for `n ≳ 35`).
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// Whether the sample is consistent with the reference distribution at
+    /// the given significance level.
+    pub fn is_consistent(&self, significance: f64) -> bool {
+        self.p_value > significance
+    }
+}
+
+/// Run a one-sample KS test of `samples` against the continuous CDF `cdf`.
+///
+/// Panics on an empty sample or NaN values.
+pub fn ks_test(samples: &[f64], cdf: impl Fn(f64) -> f64) -> KsResult {
+    assert!(!samples.is_empty(), "KS test needs at least one sample");
+    assert!(
+        samples.iter().all(|x| !x.is_nan()),
+        "samples must not contain NaN"
+    );
+    let n = samples.len();
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        let upper = (i as f64 + 1.0) / n as f64 - f;
+        let lower = f - i as f64 / n as f64;
+        d = d.max(upper).max(lower);
+    }
+
+    KsResult {
+        statistic: d,
+        n,
+        p_value: kolmogorov_survival((n as f64).sqrt() * d),
+    }
+}
+
+/// The survival function of the Kolmogorov distribution,
+/// `Q(t) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² t²)`.
+fn kolmogorov_survival(t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * t * t).exp();
+        if term < 1e-18 {
+            break;
+        }
+        sum += if j % 2 == 1 { term } else { -term };
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic low-discrepancy sequence that is (by construction)
+    /// consistent with the uniform distribution.
+    fn uniform_grid(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect()
+    }
+
+    #[test]
+    fn uniform_grid_is_accepted_against_uniform_cdf() {
+        let samples = uniform_grid(1000);
+        let result = ks_test(&samples, |x| x.clamp(0.0, 1.0));
+        assert!(result.statistic < 0.01);
+        assert!(result.is_consistent(0.05));
+    }
+
+    #[test]
+    fn shifted_sample_is_rejected() {
+        let samples: Vec<f64> = uniform_grid(1000).iter().map(|x| x * 0.5).collect();
+        let result = ks_test(&samples, |x| x.clamp(0.0, 1.0));
+        assert!(result.statistic > 0.4);
+        assert!(!result.is_consistent(0.01));
+    }
+
+    #[test]
+    fn exponential_grid_matches_exponential_cdf() {
+        // Inverse-transform the uniform grid: exact exponential quantiles.
+        let samples: Vec<f64> = uniform_grid(2000).iter().map(|u| -(1.0 - u).ln()).collect();
+        let result = ks_test(&samples, |x| 1.0 - (-x).exp());
+        assert!(result.is_consistent(0.05), "D = {}", result.statistic);
+    }
+
+    #[test]
+    fn exponential_sample_against_wrong_rate_is_rejected() {
+        let samples: Vec<f64> = uniform_grid(2000).iter().map(|u| -(1.0 - u).ln()).collect();
+        // Test against rate 2 instead of 1.
+        let result = ks_test(&samples, |x| 1.0 - (-2.0 * x).exp());
+        assert!(!result.is_consistent(0.01));
+    }
+
+    #[test]
+    fn kolmogorov_survival_known_values() {
+        // Q(0) = 1; Q(∞) = 0; the 95% critical point is ≈ 1.358.
+        assert_eq!(kolmogorov_survival(0.0), 1.0);
+        assert!(kolmogorov_survival(10.0) < 1e-12);
+        let q = kolmogorov_survival(1.358);
+        assert!((q - 0.05).abs() < 0.005, "Q(1.358) = {q}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sample_panics() {
+        ks_test(&[], |x| x);
+    }
+
+    #[test]
+    fn small_sample_still_produces_a_statistic_in_range() {
+        let result = ks_test(&[0.1, 0.5, 0.9], |x| x.clamp(0.0, 1.0));
+        assert!((0.0..=1.0).contains(&result.statistic));
+        assert!((0.0..=1.0).contains(&result.p_value));
+        assert_eq!(result.n, 3);
+    }
+}

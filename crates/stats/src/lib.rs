@@ -1,0 +1,34 @@
+//! # lrb-stats — statistical verification substrate
+//!
+//! The paper's evaluation is entirely about *probability precision*: Tables I
+//! and II compare the empirical selection frequencies of two algorithms
+//! against the exact target probabilities `F_i`. This crate supplies the
+//! machinery to make that comparison quantitative rather than visual:
+//!
+//! * [`EmpiricalDistribution`] — counts selections and turns them into
+//!   frequencies with exact-target comparison helpers.
+//! * [`chi_square`] — Pearson's chi-square goodness-of-fit test, including the
+//!   p-value (via the regularized incomplete gamma function in [`special`]).
+//! * [`divergence`] — total-variation distance, Kullback–Leibler divergence
+//!   and chi-square distance between distributions.
+//! * [`summary`] — streaming mean/variance (Welford) and order statistics.
+//! * [`ci`] — Wilson score confidence intervals for the per-index selection
+//!   frequencies, used to decide whether a deviation from `F_i` is noise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chi_square;
+pub mod ci;
+pub mod divergence;
+pub mod empirical;
+pub mod ks;
+pub mod special;
+pub mod summary;
+
+pub use chi_square::{chi_square_gof, ChiSquareResult};
+pub use ci::{wilson_interval, ConfidenceInterval};
+pub use divergence::{chi_square_distance, kl_divergence, total_variation};
+pub use empirical::EmpiricalDistribution;
+pub use ks::{ks_test, KsResult};
+pub use summary::{OnlineStats, Summary};

@@ -1,0 +1,293 @@
+//! Summary statistics: streaming moments (Welford) and order statistics.
+//!
+//! The Theorem 1 experiment reports the mean, standard deviation and upper
+//! percentiles of the while-loop iteration counts across many trials; these
+//! helpers compute them without storing gigabytes of samples (the streaming
+//! path) or from a retained sample vector (the percentile path).
+
+/// Streaming mean/variance accumulator (Welford's algorithm), numerically
+/// stable for long runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The population variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// The sample (Bessel-corrected) variance.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction of
+    /// partial statistics, Chan et al.).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let total_f = total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total_f;
+        self.mean += delta * other.count as f64 / total_f;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Summary of a retained sample: moments plus selected percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary of a non-empty sample.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample");
+        let mut online = OnlineStats::new();
+        for &x in samples {
+            online.push(x);
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        Summary {
+            count: samples.len(),
+            mean: online.mean(),
+            std_dev: online.std_dev(),
+            min: sorted[0],
+            median: percentile_of_sorted(&sorted, 50.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted sample.
+pub fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&pct), "percentile must be in [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn online_stats_basic_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single_observation_edge_cases() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.variance(), 0.0);
+        let mut s = OnlineStats::new();
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn sample_variance_uses_bessel_correction() {
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.0, 3.0] {
+            s.push(x);
+        }
+        assert!((s.variance() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &data[..400] {
+            left.push(x);
+        }
+        for &x in &data[400..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn percentiles_of_small_samples() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_of_sorted(&sorted, 50.0), 3.0);
+        assert_eq!(percentile_of_sorted(&sorted, 100.0), 5.0);
+        assert!((percentile_of_sorted(&sorted, 25.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 22.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 3.0);
+        assert!(s.p95 > 4.0 && s.p95 <= 100.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn summary_of_empty_sample_panics() {
+        Summary::of(&[]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_online_matches_naive(data in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+            let mut s = OnlineStats::new();
+            for &x in &data {
+                s.push(x);
+            }
+            let n = data.len() as f64;
+            let mean = data.iter().sum::<f64>() / n;
+            let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() < 1e-6);
+            prop_assert!((s.variance() - var).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_percentile_is_within_range(
+            data in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            pct in 0.0f64..100.0,
+        ) {
+            let mut sorted = data.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let p = percentile_of_sorted(&sorted, pct);
+            prop_assert!(p >= sorted[0] - 1e-12);
+            prop_assert!(p <= sorted[sorted.len() - 1] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! A quick-running version of the paper's Table I and Table II (the full
+//! binaries in `lrb-bench` accept `--trials` up to the paper's 10⁹).
+//!
+//! ```text
+//! cargo run -p lrb-integration --release --example probability_tables
+//! ```
+
+use lrb_bench::run_probability_experiment;
+use lrb_core::parallel::{IndependentRouletteSelector, LogBiddingSelector};
+use lrb_core::{Fitness, Selector};
+
+fn main() {
+    let trials = 200_000;
+    let selectors: Vec<Box<dyn Selector>> = vec![
+        Box::new(IndependentRouletteSelector),
+        Box::new(LogBiddingSelector::default()),
+    ];
+
+    let table1 = run_probability_experiment(
+        "Table I (f_i = i, 0 <= i <= 9)",
+        &Fitness::table1(),
+        &selectors,
+        trials,
+        1,
+    );
+    println!("{}", table1.render(10));
+
+    let table2 = run_probability_experiment(
+        "Table II (n = 100, f_0 = 1, f_1..99 = 2) — first 10 processors",
+        &Fitness::table2(),
+        &selectors,
+        trials,
+        2,
+    );
+    println!("{}", table2.render(10));
+
+    println!(
+        "independent roulette's analytic probability of Table II index 0: {:.3e} (paper: 1.57772e-32)",
+        table2.independent_analytic[0]
+    );
+}

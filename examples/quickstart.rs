@@ -1,0 +1,49 @@
+//! Quickstart: pick an index proportionally to its fitness, with every
+//! algorithm in the library, and see how close each one gets to the exact
+//! probabilities.
+//!
+//! ```text
+//! cargo run -p lrb-integration --release --example quickstart
+//! ```
+
+use lrb_core::{all_selectors, Fitness};
+use lrb_rng::{MersenneTwister64, SeedableSource};
+use lrb_stats::EmpiricalDistribution;
+
+fn main() {
+    // A small fitness vector with a zero entry, like an ACO step where one
+    // city has already been visited.
+    let fitness = Fitness::new(vec![0.0, 1.0, 2.0, 3.0, 4.0]).expect("valid fitness");
+    println!("fitness         : {:?}", fitness.values());
+    println!("exact F_i       : {:?}\n", rounded(&fitness.probabilities()));
+
+    // One-off selection with the paper's logarithmic random bidding.
+    let selector = lrb_core::parallel::LogBiddingSelector::default();
+    let mut rng = MersenneTwister64::seed_from_u64(42);
+    let chosen = lrb_core::Selector::select(&selector, &fitness, &mut rng).expect("selection");
+    println!("single selection with {}: index {chosen}\n", lrb_core::Selector::name(&selector));
+
+    // Empirical frequencies of every algorithm over 100k trials.
+    let trials = 100_000;
+    println!("empirical frequencies over {trials} trials:");
+    for selector in all_selectors() {
+        // The CRCW-PRAM simulation is much slower per trial; sample it less.
+        let budget = if selector.name().contains("crcw") { 5_000 } else { trials };
+        let mut rng = MersenneTwister64::seed_from_u64(7);
+        let mut dist = EmpiricalDistribution::new(fitness.len());
+        for _ in 0..budget {
+            dist.record(selector.select(&fitness, &mut rng).expect("selection"));
+        }
+        println!(
+            "  {:<34} {:?}   max|Δ| = {:.4} {}",
+            selector.name(),
+            rounded(&dist.frequencies()),
+            dist.max_abs_deviation(&fitness.probabilities()),
+            if selector.is_exact() { "(exact)" } else { "(biased by design)" }
+        );
+    }
+}
+
+fn rounded(values: &[f64]) -> Vec<f64> {
+    values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect()
+}

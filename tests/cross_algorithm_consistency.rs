@@ -1,0 +1,111 @@
+//! Integration test: every *exact* selector in the library induces the same
+//! distribution — the roulette wheel target `F_i` — on a shared set of
+//! workloads, while the independent roulette does not. This is the
+//! cross-crate statement of the paper's central claim.
+
+use lrb_core::{exact_selectors, Fitness, Selector};
+use lrb_core::parallel::IndependentRouletteSelector;
+use lrb_core::sequential::{AliasSampler, CdfSampler};
+use lrb_core::{without_replacement::sample_without_replacement, PreparedSampler};
+use lrb_rng::{MersenneTwister64, SeedableSource};
+use lrb_stats::{chi_square_gof, EmpiricalDistribution};
+
+fn workloads() -> Vec<(&'static str, Fitness)> {
+    vec![
+        ("table1", Fitness::table1()),
+        ("skewed", Fitness::new(vec![0.1, 0.1, 0.1, 5.0]).unwrap()),
+        ("with-zeros", Fitness::new(vec![0.0, 2.0, 0.0, 1.0, 3.0]).unwrap()),
+    ]
+}
+
+#[test]
+fn every_exact_selector_passes_a_chi_square_test_against_f_i() {
+    for (name, fitness) in workloads() {
+        let target = fitness.probabilities();
+        for selector in exact_selectors() {
+            // The CRCW simulation is slow per draw: smaller sample, looser test.
+            let trials: u64 = if selector.name().contains("crcw") { 8_000 } else { 60_000 };
+            let mut rng = MersenneTwister64::seed_from_u64(17);
+            let mut dist = EmpiricalDistribution::new(fitness.len());
+            for _ in 0..trials {
+                dist.record(selector.select(&fitness, &mut rng).unwrap());
+            }
+            let gof = chi_square_gof(dist.counts(), &target);
+            assert!(
+                gof.is_consistent(0.0001),
+                "{} on {name}: chi2 = {:.2}, p = {:.2e}",
+                selector.name(),
+                gof.statistic,
+                gof.p_value
+            );
+        }
+    }
+}
+
+#[test]
+fn prepared_samplers_agree_with_the_exact_selectors() {
+    for (name, fitness) in workloads() {
+        let target = fitness.probabilities();
+        let alias = AliasSampler::new(&fitness).unwrap();
+        let cdf = CdfSampler::new(&fitness).unwrap();
+        for (label, sampler) in [("alias", &alias as &dyn PreparedSampler), ("cdf", &cdf)] {
+            let mut rng = MersenneTwister64::seed_from_u64(23);
+            let mut dist = EmpiricalDistribution::new(fitness.len());
+            for _ in 0..60_000 {
+                dist.record(sampler.sample(&mut rng));
+            }
+            let gof = chi_square_gof(dist.counts(), &target);
+            assert!(
+                gof.is_consistent(0.0001),
+                "{label} on {name}: p = {:.2e}",
+                gof.p_value
+            );
+        }
+    }
+}
+
+#[test]
+fn the_independent_roulette_fails_the_same_test_on_uneven_weights() {
+    let fitness = Fitness::table1();
+    let target = fitness.probabilities();
+    let mut rng = MersenneTwister64::seed_from_u64(29);
+    let mut dist = EmpiricalDistribution::new(fitness.len());
+    for _ in 0..60_000 {
+        dist.record(IndependentRouletteSelector.select(&fitness, &mut rng).unwrap());
+    }
+    let gof = chi_square_gof(dist.counts(), &target);
+    assert!(
+        !gof.is_consistent(0.0001),
+        "the biased selector unexpectedly passed: p = {}",
+        gof.p_value
+    );
+}
+
+#[test]
+fn without_replacement_first_draw_matches_the_one_shot_selectors() {
+    // Sampling k items without replacement and keeping the first is the same
+    // distribution as a one-shot roulette selection; tie the two APIs together.
+    let fitness = Fitness::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+    let target = fitness.probabilities();
+    let mut rng = MersenneTwister64::seed_from_u64(31);
+    let mut dist = EmpiricalDistribution::new(fitness.len());
+    for _ in 0..60_000 {
+        let picks = sample_without_replacement(&fitness, 3, &mut rng).unwrap();
+        dist.record(picks[0]);
+    }
+    let gof = chi_square_gof(dist.counts(), &target);
+    assert!(gof.is_consistent(0.0001), "p = {:.2e}", gof.p_value);
+}
+
+#[test]
+fn exact_selectors_never_select_outside_the_support() {
+    let fitness = Fitness::sparse(200, 3, 1.0).unwrap();
+    for selector in exact_selectors() {
+        let trials = if selector.name().contains("crcw") { 50 } else { 2_000 };
+        let mut rng = MersenneTwister64::seed_from_u64(37);
+        for _ in 0..trials {
+            let i = selector.select(&fitness, &mut rng).unwrap();
+            assert!(fitness.values()[i] > 0.0, "{} escaped the support", selector.name());
+        }
+    }
+}

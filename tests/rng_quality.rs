@@ -1,0 +1,105 @@
+//! Integration test: the random substrate actually produces the
+//! distributions the selection algorithms rely on — uniforms are uniform,
+//! exponential samplers are exponential, and the logarithmic bids have the
+//! exponential-race distribution the paper's proof assumes.
+
+use lrb_rng::exponential::{log_bid, standard_exponential, standard_exponential_ziggurat};
+use lrb_rng::{
+    MersenneTwister, MersenneTwister64, Pcg64, Philox4x32, RandomSource, SeedableSource,
+    Xoshiro256PlusPlus,
+};
+use lrb_stats::ks_test;
+
+fn uniform_cdf(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+#[test]
+fn every_generator_passes_a_ks_test_for_uniformity() {
+    let n = 20_000;
+    let cases: Vec<(&str, Vec<f64>)> = vec![
+        ("mt19937", {
+            let mut g = MersenneTwister::seed_from_u64(1);
+            (0..n).map(|_| g.next_f64()).collect()
+        }),
+        ("mt19937-64", {
+            let mut g = MersenneTwister64::seed_from_u64(2);
+            (0..n).map(|_| g.next_f64()).collect()
+        }),
+        ("xoshiro256++", {
+            let mut g = Xoshiro256PlusPlus::seed_from_u64(3);
+            (0..n).map(|_| g.next_f64()).collect()
+        }),
+        ("pcg64", {
+            let mut g = Pcg64::seed_from_u64(4);
+            (0..n).map(|_| g.next_f64()).collect()
+        }),
+        ("philox4x32", {
+            let mut g = Philox4x32::seed_from_u64(5);
+            (0..n).map(|_| g.next_f64()).collect()
+        }),
+    ];
+    for (name, samples) in cases {
+        let result = ks_test(&samples, uniform_cdf);
+        assert!(
+            result.is_consistent(0.001),
+            "{name}: D = {}, p = {}",
+            result.statistic,
+            result.p_value
+        );
+    }
+}
+
+#[test]
+fn exponential_samplers_pass_a_ks_test() {
+    let n = 30_000;
+    let exponential_cdf = |x: f64| if x <= 0.0 { 0.0 } else { 1.0 - (-x).exp() };
+
+    let mut rng = MersenneTwister64::seed_from_u64(6);
+    let inverse: Vec<f64> = (0..n).map(|_| standard_exponential(&mut rng)).collect();
+    let result = ks_test(&inverse, exponential_cdf);
+    assert!(result.is_consistent(0.001), "inverse CDF sampler: p = {}", result.p_value);
+
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+    let ziggurat: Vec<f64> = (0..n)
+        .map(|_| standard_exponential_ziggurat(&mut rng))
+        .collect();
+    let result = ks_test(&ziggurat, exponential_cdf);
+    assert!(result.is_consistent(0.001), "ziggurat sampler: p = {}", result.p_value);
+}
+
+#[test]
+fn logarithmic_bids_follow_the_negated_exponential_distribution() {
+    // The paper's Section II derives Pr(r_i ≤ x) = exp(x·f_i) for x < 0;
+    // equivalently −r_i ~ Exp(f_i). Check it for a couple of rates.
+    let n = 30_000;
+    for fitness in [0.5f64, 1.0, 4.0] {
+        let mut rng = MersenneTwister64::seed_from_u64(fitness.to_bits());
+        let negated: Vec<f64> = (0..n).map(|_| -log_bid(&mut rng, fitness)).collect();
+        let cdf = |x: f64| if x <= 0.0 { 0.0 } else { 1.0 - (-fitness * x).exp() };
+        let result = ks_test(&negated, cdf);
+        assert!(
+            result.is_consistent(0.001),
+            "fitness {fitness}: D = {}, p = {}",
+            result.statistic,
+            result.p_value
+        );
+    }
+}
+
+#[test]
+fn bids_of_different_processors_are_independent_enough_to_race_fairly() {
+    // Two processors with equal fitness must each win the race about half the
+    // time when their bids come from distinct streams of one family.
+    let trials = 40_000;
+    let mut wins_first = 0usize;
+    for t in 0..trials {
+        let mut a = Philox4x32::for_substream(99, 2 * t as u64);
+        let mut b = Philox4x32::for_substream(99, 2 * t as u64 + 1);
+        if log_bid(&mut a, 2.0) > log_bid(&mut b, 2.0) {
+            wins_first += 1;
+        }
+    }
+    let frac = wins_first as f64 / trials as f64;
+    assert!((frac - 0.5).abs() < 0.01, "first processor wins {frac}");
+}

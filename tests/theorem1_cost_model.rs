@@ -1,0 +1,100 @@
+//! Integration test for the paper's Theorem 1: on the simulated CRCW-PRAM the
+//! logarithmic random bidding selects with the right probabilities in
+//! expected O(log k) while-loop iterations and O(1) shared memory, while the
+//! prefix-sum-based algorithm needs Θ(log n) steps and Θ(n) memory.
+
+use lrb_bench::run_theorem1_experiment;
+use lrb_core::parallel::CrcwLogBiddingSelector;
+use lrb_core::{Fitness, Selector};
+use lrb_pram::algorithms::{log_bidding_selection, prefix_sum_selection};
+use lrb_rng::{MersenneTwister64, SeedableSource};
+
+#[test]
+fn iterations_grow_logarithmically_in_k_and_memory_stays_constant() {
+    let report = run_theorem1_experiment(1024, 512, 20, 123);
+    for row in &report.rows {
+        assert_eq!(row.max_memory_cells, 2, "k = {}", row.k);
+        assert!(
+            row.max_iterations <= row.k as f64,
+            "k = {}: {} iterations",
+            row.k,
+            row.max_iterations
+        );
+        if row.k >= 4 {
+            assert!(
+                row.mean_iterations <= row.reference_bound,
+                "k = {}: mean {} exceeds 2*ceil(log2 k) = {}",
+                row.k,
+                row.mean_iterations,
+                row.reference_bound
+            );
+        }
+    }
+    // Doubling k repeatedly should grow the mean by roughly a constant
+    // (logarithmic growth), far slower than doubling.
+    let first = &report.rows[1]; // k = 2
+    let last = report.rows.last().unwrap(); // k = 512
+    assert!(last.mean_iterations < first.mean_iterations + 12.0);
+    assert!(last.mean_iterations > first.mean_iterations);
+}
+
+#[test]
+fn crcw_log_bidding_is_exact_even_with_heavily_skewed_weights() {
+    // Mix a tiny weight with large ones; the selection frequencies must still
+    // follow F_i (this is the "precise probabilities" half of Theorem 1).
+    let fitness = Fitness::new(vec![0.05, 1.0, 2.0, 5.0]).unwrap();
+    let probs = fitness.probabilities();
+    let selector = CrcwLogBiddingSelector;
+    let mut rng = MersenneTwister64::seed_from_u64(9);
+    let trials = 20_000;
+    let mut counts = vec![0usize; fitness.len()];
+    for _ in 0..trials {
+        counts[selector.select(&fitness, &mut rng).unwrap()] += 1;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        let freq = c as f64 / trials as f64;
+        assert!(
+            (freq - probs[i]).abs() < 0.01,
+            "index {i}: frequency {freq}, exact {}",
+            probs[i]
+        );
+    }
+}
+
+#[test]
+fn prefix_sum_and_log_bidding_pram_costs_have_the_papers_shape() {
+    let n = 256usize;
+    let k = 4usize;
+    let fitness = Fitness::sparse(n, k, 1.0).unwrap();
+    let mut rng = MersenneTwister64::seed_from_u64(5);
+
+    let ps = prefix_sum_selection(fitness.values(), &mut rng).unwrap();
+    let lb = log_bidding_selection(fitness.values(), 77).unwrap();
+
+    // Prefix-sum: Θ(log n) steps (Blelloch scan + broadcast), Θ(n) memory.
+    assert!(ps.cost.steps >= 2 * 8, "prefix-sum steps {}", ps.cost.steps);
+    assert!(ps.cost.memory_footprint >= n);
+    // Log bidding: steps track k (here ≤ k + 2), memory exactly 2 cells.
+    assert!(lb.cost.steps <= k + 2, "log-bidding steps {}", lb.cost.steps);
+    assert_eq!(lb.cost.memory_footprint, 2);
+    // Both selected something in the support.
+    assert!(fitness.values()[ps.selected.unwrap()] > 0.0);
+    assert!(fitness.values()[lb.selected.unwrap()] > 0.0);
+}
+
+#[test]
+fn zero_fitness_processors_never_activate_the_while_loop() {
+    // k = 1: exactly one processor is active, so the loop always takes one
+    // iteration no matter how large n is — the strongest form of "runtime
+    // depends on k, not n".
+    for n in [16usize, 256, 2048] {
+        let fitness = Fitness::sparse(n, 1, 3.0).unwrap();
+        let selector = CrcwLogBiddingSelector;
+        let mut rng = MersenneTwister64::seed_from_u64(n as u64);
+        for _ in 0..10 {
+            let stats = selector.select_with_stats(&fitness, &mut rng).unwrap();
+            assert_eq!(stats.while_iterations, 1, "n = {n}");
+            assert_eq!(stats.cost.memory_footprint, 2);
+        }
+    }
+}
