@@ -12,6 +12,7 @@
 use lrb_core::{Fitness, SelectionError, Selector};
 use lrb_rng::RandomSource;
 
+use crate::desirability::DesirabilityTables;
 use crate::pheromone::PheromoneMatrix;
 use crate::tsp::{Tour, TspInstance};
 
@@ -121,6 +122,90 @@ pub fn construct_tour(
     Ok(Tour { order, length })
 }
 
+/// Construct one complete tour using shared [`DesirabilityTables`] instead
+/// of re-deriving the desirability vector at every step.
+///
+/// This is the dynamic-selection fast path: the tables are built (and
+/// incrementally maintained) once per colony iteration, each step draws the
+/// next city in `O(log n)` expected work through the row Fenwick trees, and
+/// no per-step allocation or `Fitness` validation happens at all. The
+/// selection probabilities are identical to [`construct_tour`] with an exact
+/// selector: both draw city `j` with probability
+/// `w_j / Σ_{u unvisited} w_u`.
+///
+/// # Example
+///
+/// ```
+/// use lrb_aco::{construct_tour_dynamic, AntParams, DesirabilityTables, PheromoneMatrix, TspInstance};
+/// use lrb_rng::{MersenneTwister64, SeedableSource};
+///
+/// let instance = TspInstance::random_euclidean(15, 3);
+/// let pheromone = PheromoneMatrix::new(15, 1.0);
+/// let params = AntParams::default();
+/// let tables = DesirabilityTables::new(&instance, &pheromone, &params);
+/// let mut rng = MersenneTwister64::seed_from_u64(1);
+/// let tour = construct_tour_dynamic(&instance, &tables, &params, 0, &mut rng).unwrap();
+/// assert!(tour.is_valid(15));
+/// ```
+pub fn construct_tour_dynamic(
+    instance: &TspInstance,
+    tables: &DesirabilityTables,
+    params: &AntParams,
+    start: usize,
+    rng: &mut dyn RandomSource,
+) -> Result<Tour, SelectionError> {
+    let n = instance.len();
+    assert_eq!(
+        tables.len(),
+        n,
+        "desirability tables and instance disagree on the city count"
+    );
+    assert!(start < n, "start city {start} out of range");
+    assert!(
+        (0.0..=1.0).contains(&params.q0),
+        "q0 must lie in [0, 1], got {}",
+        params.q0
+    );
+
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    // The unvisited set as a swap-removable list plus an index-position map,
+    // so removals are O(1) and the exact fallback scan is O(k).
+    let mut unvisited: Vec<usize> = (0..n).filter(|&j| j != start).collect();
+    let mut position: Vec<usize> = vec![usize::MAX; n];
+    for (slot, &city) in unvisited.iter().enumerate() {
+        position[city] = slot;
+    }
+    let mut current = start;
+    visited[current] = true;
+    order.push(current);
+
+    for _ in 1..n {
+        let next = if params.q0 > 0.0 && rng.next_f64() < params.q0 {
+            tables
+                .best_unvisited(current, &unvisited)
+                .expect("unvisited cities remain")
+        } else {
+            tables.next_city(current, &visited, &unvisited, rng)?
+        };
+        debug_assert!(!visited[next], "drew a visited city");
+        visited[next] = true;
+        // Swap-remove `next` from the unvisited list.
+        let slot = position[next];
+        let moved = *unvisited.last().expect("unvisited cities remain");
+        unvisited.swap_remove(slot);
+        if slot < unvisited.len() {
+            position[moved] = slot;
+        }
+        position[next] = usize::MAX;
+        order.push(next);
+        current = next;
+    }
+
+    let length = instance.tour_length(&order);
+    Ok(Tour { order, length })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,7 +237,11 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-            assert!(tour.is_valid(30), "{} built an invalid tour", selector.name());
+            assert!(
+                tour.is_valid(30),
+                "{} built an invalid tour",
+                selector.name()
+            );
             assert!(tour.length > 0.0);
             assert_eq!(tour.order[0], 0);
         }
@@ -209,7 +298,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 40, "ant followed the marked trail only {hits}/50 times");
+        assert!(
+            hits > 40,
+            "ant followed the marked trail only {hits}/50 times"
+        );
     }
 
     #[test]
@@ -263,9 +355,28 @@ mod tests {
         };
         let mut rng_a = MersenneTwister64::seed_from_u64(1);
         let mut rng_b = MersenneTwister64::seed_from_u64(999);
-        let a = construct_tour(&instance, &pheromone, &params, &LogBiddingSelector::default(), 0, &mut rng_a).unwrap();
-        let b = construct_tour(&instance, &pheromone, &params, &LogBiddingSelector::default(), 0, &mut rng_b).unwrap();
-        assert_eq!(a.order, b.order, "pure exploitation must not depend on the RNG");
+        let a = construct_tour(
+            &instance,
+            &pheromone,
+            &params,
+            &LogBiddingSelector::default(),
+            0,
+            &mut rng_a,
+        )
+        .unwrap();
+        let b = construct_tour(
+            &instance,
+            &pheromone,
+            &params,
+            &LogBiddingSelector::default(),
+            0,
+            &mut rng_b,
+        )
+        .unwrap();
+        assert_eq!(
+            a.order, b.order,
+            "pure exploitation must not depend on the RNG"
+        );
         let nn = instance.nearest_neighbor_tour(0);
         assert_eq!(a.order, nn.order);
     }
@@ -311,6 +422,75 @@ mod tests {
             0,
             &mut rng,
         );
+    }
+
+    #[test]
+    fn dynamic_construction_builds_valid_tours() {
+        let (instance, pheromone) = setup(30, 21);
+        let params = AntParams::default();
+        let tables = DesirabilityTables::new(&instance, &pheromone, &params);
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        for start in [0usize, 7, 29] {
+            let tour =
+                construct_tour_dynamic(&instance, &tables, &params, start, &mut rng).unwrap();
+            assert!(tour.is_valid(30));
+            assert_eq!(tour.order[0], start);
+        }
+    }
+
+    #[test]
+    fn dynamic_first_step_matches_the_selector_path_in_distribution() {
+        // For a fixed pheromone state the first step is a pure roulette
+        // selection over n − 1 cities; the dynamic path must follow the same
+        // distribution as the exact one-shot selectors.
+        let (instance, pheromone) = setup(12, 22);
+        let params = AntParams::default();
+        let tables = DesirabilityTables::new(&instance, &pheromone, &params);
+        let trials = 30_000;
+
+        let mut dynamic_counts = [0usize; 12];
+        let mut rng = MersenneTwister64::seed_from_u64(5);
+        for _ in 0..trials {
+            let tour = construct_tour_dynamic(&instance, &tables, &params, 0, &mut rng).unwrap();
+            dynamic_counts[tour.order[1]] += 1;
+        }
+
+        let mut selector_counts = [0usize; 12];
+        let mut rng = MersenneTwister64::seed_from_u64(6);
+        for _ in 0..trials {
+            let tour = construct_tour(
+                &instance,
+                &pheromone,
+                &params,
+                &LinearScanSelector,
+                0,
+                &mut rng,
+            )
+            .unwrap();
+            selector_counts[tour.order[1]] += 1;
+        }
+
+        let max_gap = dynamic_counts
+            .iter()
+            .zip(&selector_counts)
+            .map(|(&a, &b)| ((a as f64 - b as f64) / trials as f64).abs())
+            .fold(0.0, f64::max);
+        assert!(max_gap < 0.015, "paths disagree by {max_gap}");
+    }
+
+    #[test]
+    fn dynamic_full_exploitation_matches_nearest_neighbour() {
+        let (instance, pheromone) = setup(25, 23);
+        let params = AntParams {
+            alpha: 1.0,
+            beta: 1.0,
+            q0: 1.0,
+        };
+        let tables = DesirabilityTables::new(&instance, &pheromone, &params);
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        let tour = construct_tour_dynamic(&instance, &tables, &params, 0, &mut rng).unwrap();
+        let nn = instance.nearest_neighbor_tour(0);
+        assert_eq!(tour.order, nn.order);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use lrb_core::{SelectionError, Selector};
 use lrb_rng::{RandomSource, StreamFamily, Xoshiro256PlusPlus};
 use rayon::prelude::*;
 
-use crate::ant::{construct_tour, AntParams};
+use crate::ant::{construct_tour, construct_tour_dynamic, AntParams};
+use crate::desirability::DesirabilityTables;
 use crate::local_search::two_opt;
 use crate::pheromone::PheromoneMatrix;
 use crate::tsp::{Tour, TspInstance};
@@ -26,6 +27,24 @@ pub enum ColonyVariant {
     /// MAX-MIN Ant System: only the best tour deposits, trails are clamped to
     /// `[τ_min, τ_max]` derived from the best tour length.
     MaxMin,
+}
+
+/// How each ant turns desirabilities into next-city choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConstructionBackend {
+    /// Re-derive the desirability vector at every step and run the
+    /// configured one-shot [`Selector`] over it (the paper's setting, and
+    /// the path that lets experiments swap in the biased independent
+    /// roulette).
+    #[default]
+    OneShotSelector,
+    /// Shared per-city Fenwick rows ([`DesirabilityTables`]) maintained
+    /// incrementally across iterations: pheromone updates cost `O(log n)`
+    /// per touched edge instead of triggering a full per-ant re-derivation,
+    /// and each construction step draws in `O(log n)` expected time. The
+    /// selection distribution is identical to `OneShotSelector` with an
+    /// exact selector.
+    DynamicFenwick,
 }
 
 /// Colony configuration.
@@ -43,6 +62,9 @@ pub struct ColonyParams {
     pub variant: ColonyVariant,
     /// Whether to polish each constructed tour with 2-opt local search.
     pub local_search: bool,
+    /// How ants draw their next city (one-shot selector vs dynamic Fenwick
+    /// tables).
+    pub construction: ConstructionBackend,
 }
 
 impl Default for ColonyParams {
@@ -54,6 +76,7 @@ impl Default for ColonyParams {
             deposit: 1.0,
             variant: ColonyVariant::AntSystem,
             local_search: false,
+            construction: ConstructionBackend::OneShotSelector,
         }
     }
 }
@@ -77,6 +100,9 @@ pub struct Colony<'a> {
     selector: &'a dyn Selector,
     params: ColonyParams,
     pheromone: PheromoneMatrix,
+    /// Incrementally maintained desirability rows
+    /// (`ConstructionBackend::DynamicFenwick` only).
+    tables: Option<DesirabilityTables>,
     streams: StreamFamily,
     best: Option<Tour>,
     iteration: usize,
@@ -105,11 +131,20 @@ impl<'a> Colony<'a> {
                 PheromoneMatrix::with_bounds(n, tau_min, tau_max)
             }
         };
+        let tables = match params.construction {
+            ConstructionBackend::OneShotSelector => None,
+            ConstructionBackend::DynamicFenwick => Some(DesirabilityTables::new(
+                instance,
+                &pheromone,
+                &params.ant_params,
+            )),
+        };
         Self {
             instance,
             selector,
             params,
             pheromone,
+            tables,
             streams: StreamFamily::new(seed),
             best: Option::None,
             iteration: 0,
@@ -138,21 +173,36 @@ impl<'a> Colony<'a> {
         let streams = &self.streams;
 
         // Construct tours in parallel: ant `a` of iteration `t` owns stream
-        // `t·ants + a`, so results do not depend on the thread schedule.
+        // `t·ants + a`, so results do not depend on the thread schedule. The
+        // dynamic tables are read-only during this phase and shared by all
+        // ants.
+        let tables = self.tables.as_ref();
+        // Each item is a whole tour construction — expensive enough that the
+        // fan-out is worth it even for a handful of ants.
         let tours: Result<Vec<Tour>, SelectionError> = (0..params.ants)
             .into_par_iter()
+            .with_min_len(1)
             .map(|ant| {
                 let stream_id = (iteration * params.ants + ant) as u64;
                 let mut rng: Xoshiro256PlusPlus = streams.stream(stream_id);
                 let start = (rng.next_u64() % n as u64) as usize;
-                let mut tour = construct_tour(
-                    instance,
-                    pheromone,
-                    &params.ant_params,
-                    selector,
-                    start,
-                    &mut rng,
-                )?;
+                let mut tour = match tables {
+                    Some(tables) => construct_tour_dynamic(
+                        instance,
+                        tables,
+                        &params.ant_params,
+                        start,
+                        &mut rng,
+                    )?,
+                    None => construct_tour(
+                        instance,
+                        pheromone,
+                        &params.ant_params,
+                        selector,
+                        start,
+                        &mut rng,
+                    )?,
+                };
                 if params.local_search {
                     tour = two_opt(instance, &tour, 2 * n);
                 }
@@ -173,19 +223,31 @@ impl<'a> Colony<'a> {
         let improved = self
             .best
             .as_ref()
-            .map_or(true, |b| iteration_best.length < b.length);
+            .is_none_or(|b| iteration_best.length < b.length);
         if improved {
             self.best = Some(iteration_best.clone());
         }
         let global_best = self.best.as_ref().expect("best set above").clone();
 
-        // Pheromone update.
+        // Pheromone update, mirrored into the dynamic tables where they
+        // exist: Ant System evaporation is a pure scaling (absorbed into the
+        // per-row scale factors in O(n)) and each deposited edge is an
+        // O(log n) Fenwick refresh — no full rebuild. MMAS re-clamps the
+        // whole matrix, so its tables are reloaded once per iteration.
         self.pheromone.evaporate(self.params.evaporation);
         match self.params.variant {
             ColonyVariant::AntSystem => {
+                if let Some(tables) = &mut self.tables {
+                    tables.evaporate(self.params.evaporation);
+                }
                 for tour in &tours {
                     self.pheromone
                         .deposit_tour(&tour.order, self.params.deposit / tour.length);
+                }
+                if let Some(tables) = &mut self.tables {
+                    for tour in &tours {
+                        tables.refresh_tour_edges(&self.pheromone, &tour.order);
+                    }
                 }
             }
             ColonyVariant::MaxMin => {
@@ -196,6 +258,9 @@ impl<'a> Colony<'a> {
                 self.pheromone.set_bounds(tau_min, tau_max);
                 self.pheromone
                     .deposit_tour(&global_best.order, self.params.deposit / global_best.length);
+                if let Some(tables) = &mut self.tables {
+                    tables.reload(&self.pheromone);
+                }
             }
         }
 
@@ -230,7 +295,11 @@ mod tests {
         assert!(best.is_valid(20));
         // The colony should get within 30% of the optimum on this easy
         // instance, and must improve monotonically in its global best.
-        assert!(best.length < optimum * 1.3, "best {} vs optimum {optimum}", best.length);
+        assert!(
+            best.length < optimum * 1.3,
+            "best {} vs optimum {optimum}",
+            best.length
+        );
         for w in stats.windows(2) {
             assert!(w[1].global_best <= w[0].global_best + 1e-12);
         }
@@ -291,7 +360,10 @@ mod tests {
             let mut c = Colony::new(&instance, &selector, params, 11);
             c.run(8).unwrap().last().unwrap().global_best
         };
-        assert!(polished <= base + 1e-9, "2-opt made things worse: {polished} vs {base}");
+        assert!(
+            polished <= base + 1e-9,
+            "2-opt made things worse: {polished} vs {base}"
+        );
     }
 
     #[test]
@@ -304,6 +376,73 @@ mod tests {
         colony.run(5).unwrap();
         assert!(colony.best_tour().unwrap().is_valid(15));
         assert!(!selector.is_exact());
+    }
+
+    #[test]
+    fn dynamic_backend_improves_over_random_tours_on_a_circle() {
+        let instance = TspInstance::circle(20, 1.0);
+        let selector = LogBiddingSelector::default();
+        let params = ColonyParams {
+            construction: ConstructionBackend::DynamicFenwick,
+            ..ColonyParams::default()
+        };
+        let mut colony = Colony::new(&instance, &selector, params, 1);
+        let stats = colony.run(30).unwrap();
+        let optimum = TspInstance::circle_optimum(20, 1.0);
+        let best = colony.best_tour().unwrap();
+        assert!(best.is_valid(20));
+        assert!(
+            best.length < optimum * 1.3,
+            "best {} vs optimum {optimum}",
+            best.length
+        );
+        for w in stats.windows(2) {
+            assert!(w[1].global_best <= w[0].global_best + 1e-12);
+        }
+    }
+
+    #[test]
+    fn dynamic_backend_is_reproducible_and_works_for_both_variants() {
+        let instance = TspInstance::random_euclidean(18, 12);
+        let selector = LogBiddingSelector::default();
+        for variant in [ColonyVariant::AntSystem, ColonyVariant::MaxMin] {
+            let params = ColonyParams {
+                variant,
+                construction: ConstructionBackend::DynamicFenwick,
+                ..ColonyParams::default()
+            };
+            let run = |seed: u64| {
+                let mut colony = Colony::new(&instance, &selector, params, seed);
+                colony.run(8).unwrap().last().unwrap().global_best
+            };
+            assert_eq!(run(5), run(5), "{variant:?} not reproducible");
+            let mut colony = Colony::new(&instance, &selector, params, 5);
+            colony.run(8).unwrap();
+            assert!(colony.best_tour().unwrap().is_valid(18), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn dynamic_backend_matches_selector_backend_quality() {
+        // Same instance, same budget: the dynamic construction follows the
+        // same distribution as the exact selectors, so the tour quality must
+        // land in the same range (not bitwise: the RNG consumption differs).
+        let instance = TspInstance::random_euclidean(30, 14);
+        let selector = LogBiddingSelector::default();
+        let quality = |construction: ConstructionBackend| {
+            let params = ColonyParams {
+                construction,
+                ..ColonyParams::default()
+            };
+            let mut colony = Colony::new(&instance, &selector, params, 9);
+            colony.run(20).unwrap().last().unwrap().global_best
+        };
+        let one_shot = quality(ConstructionBackend::OneShotSelector);
+        let dynamic = quality(ConstructionBackend::DynamicFenwick);
+        assert!(
+            (dynamic - one_shot).abs() / one_shot < 0.15,
+            "one-shot {one_shot} vs dynamic {dynamic}"
+        );
     }
 
     #[test]

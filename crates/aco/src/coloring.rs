@@ -151,8 +151,7 @@ impl<'a> ColoringColony<'a> {
                         0.0
                     } else {
                         let popularity = 1.0 + color_usage[c] as f64;
-                        self.tau(v, c).powf(self.params.alpha)
-                            * popularity.powf(self.params.beta)
+                        self.tau(v, c).powf(self.params.alpha) * popularity.powf(self.params.beta)
                     }
                 })
                 .collect();
@@ -180,7 +179,7 @@ impl<'a> ColoringColony<'a> {
             let result = self.construct_coloring(&mut rng)?;
             if iteration_best
                 .as_ref()
-                .map_or(true, |b| result.colors_used < b.colors_used)
+                .is_none_or(|b| result.colors_used < b.colors_used)
             {
                 iteration_best = Some(result);
             }
@@ -190,7 +189,7 @@ impl<'a> ColoringColony<'a> {
         if self
             .best
             .as_ref()
-            .map_or(true, |b| iteration_best.colors_used < b.colors_used)
+            .is_none_or(|b| iteration_best.colors_used < b.colors_used)
         {
             self.best = Some(iteration_best);
         }

@@ -13,6 +13,10 @@
 //!   MAX-MIN clamping.
 //! * [`ant`] — tour construction: desirability `τ^α · η^β`, next-city choice
 //!   through any [`lrb_core::Selector`], zero fitness for visited cities.
+//! * [`desirability`] — shared per-city Fenwick rows (`lrb-dynamic`) that
+//!   absorb pheromone updates incrementally (`O(1)` evaporation via scale
+//!   factors, `O(log n)` per deposited edge), powering the
+//!   [`ConstructionBackend::DynamicFenwick`] fast path.
 //! * [`colony`] — the Ant System and MAX-MIN Ant System loops, with ants run
 //!   in parallel via rayon (one reproducible random stream per ant).
 //! * [`local_search`] — 2-opt improvement.
@@ -28,15 +32,17 @@
 #![warn(missing_docs)]
 
 pub mod ant;
-pub mod coloring;
 pub mod colony;
+pub mod coloring;
+pub mod desirability;
 pub mod graph;
 pub mod local_search;
 pub mod pheromone;
 pub mod tsp;
 
-pub use ant::{construct_tour, AntParams};
-pub use colony::{Colony, ColonyParams, ColonyVariant, IterationStats};
+pub use ant::{construct_tour, construct_tour_dynamic, AntParams};
+pub use colony::{Colony, ColonyParams, ColonyVariant, ConstructionBackend, IterationStats};
+pub use desirability::DesirabilityTables;
 pub use graph::Graph;
 pub use pheromone::PheromoneMatrix;
 pub use tsp::{Tour, TspInstance};

@@ -82,7 +82,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 8, "2-opt recovered a near-optimal circle only {hits}/10 times");
+        assert!(
+            hits >= 8,
+            "2-opt recovered a near-optimal circle only {hits}/10 times"
+        );
     }
 
     #[test]

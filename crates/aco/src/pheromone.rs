@@ -65,7 +65,10 @@ impl PheromoneMatrix {
     /// Multiply every trail by `1 − rate` (evaporation), respecting the
     /// clamping bounds.
     pub fn evaporate(&mut self, rate: f64) {
-        assert!((0.0..=1.0).contains(&rate), "evaporation rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "evaporation rate must be in [0, 1]"
+        );
         let keep = 1.0 - rate;
         let (min, max) = (self.min, self.max);
         for v in &mut self.values {

@@ -111,8 +111,8 @@ impl TspInstance {
         for _ in 1..n {
             let mut best = usize::MAX;
             let mut best_dist = f64::INFINITY;
-            for next in 0..n {
-                if !visited[next] && self.distance(current, next) < best_dist {
+            for (next, seen) in visited.iter().enumerate() {
+                if !seen && self.distance(current, next) < best_dist {
                     best_dist = self.distance(current, next);
                     best = next;
                 }
@@ -227,9 +227,15 @@ mod tests {
         let nn = inst.nearest_neighbor_tour(0);
         assert!(nn.is_valid(50));
         let mut rng = MersenneTwister64::default_seed();
-        let random_avg: f64 =
-            (0..20).map(|_| inst.random_tour(&mut rng).length).sum::<f64>() / 20.0;
-        assert!(nn.length < random_avg, "nn {} vs random {random_avg}", nn.length);
+        let random_avg: f64 = (0..20)
+            .map(|_| inst.random_tour(&mut rng).length)
+            .sum::<f64>()
+            / 20.0;
+        assert!(
+            nn.length < random_avg,
+            "nn {} vs random {random_avg}",
+            nn.length
+        );
     }
 
     #[test]

@@ -3,23 +3,23 @@
 //!
 //! Groups:
 //! * `table_workloads`       — one selection on the Table I / Table II
-//!                             workloads, every algorithm (the wall-clock
-//!                             companion to the probability tables).
+//!   workloads, every algorithm (the wall-clock
+//!   companion to the probability tables).
 //! * `selection_throughput`  — one selection as a function of `n` for the
-//!                             paper's three algorithms plus the sequential
-//!                             ground truth.
+//!   paper's three algorithms plus the sequential
+//!   ground truth.
 //! * `sparse_scaling`        — one selection as a function of `k` at fixed
-//!                             `n` (the regime Theorem 1 targets), including
-//!                             the CRCW-PRAM simulation's iteration behaviour.
+//!   `n` (the regime Theorem 1 targets), including
+//!   the CRCW-PRAM simulation's iteration behaviour.
 //! * `bid_formula`           — ablation: `ln(u)/f` vs Ziggurat exponential vs
-//!                             Gumbel keys.
+//!   Gumbel keys.
 //! * `rng_cost`              — ablation: MT19937-64 vs xoshiro256++ vs Philox
-//!                             as the uniform source.
+//!   as the uniform source.
 //! * `prepared_samplers`     — alias method and CDF binary search, the
-//!                             "sample many times from a fixed distribution"
-//!                             baselines.
+//!   "sample many times from a fixed distribution"
+//!   baselines.
 //! * `aco_construction`      — one ant tour construction per selection
-//!                             strategy (the end-to-end application cost).
+//!   strategy (the end-to-end application cost).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -167,15 +167,27 @@ fn bench_rng_cost(c: &mut Criterion) {
 
     let mut mt = MersenneTwister64::seed_from_u64(5);
     group.bench_function("mt19937_64_exponential", |b| {
-        b.iter(|| (0..draws).map(|_| standard_exponential(&mut mt)).sum::<f64>())
+        b.iter(|| {
+            (0..draws)
+                .map(|_| standard_exponential(&mut mt))
+                .sum::<f64>()
+        })
     });
     let mut xo = Xoshiro256PlusPlus::seed_from_u64(5);
     group.bench_function("xoshiro256pp_exponential", |b| {
-        b.iter(|| (0..draws).map(|_| standard_exponential(&mut xo)).sum::<f64>())
+        b.iter(|| {
+            (0..draws)
+                .map(|_| standard_exponential(&mut xo))
+                .sum::<f64>()
+        })
     });
     let mut philox = Philox4x32::seed_from_u64(5);
     group.bench_function("philox4x32_exponential", |b| {
-        b.iter(|| (0..draws).map(|_| standard_exponential(&mut philox)).sum::<f64>())
+        b.iter(|| {
+            (0..draws)
+                .map(|_| standard_exponential(&mut philox))
+                .sum::<f64>()
+        })
     });
     group.finish();
 }
@@ -189,9 +201,15 @@ fn bench_prepared_samplers(c: &mut Criterion) {
 
     let mut rng = MersenneTwister64::seed_from_u64(6);
     group.bench_function("alias_sample", |b| b.iter(|| alias.sample(&mut rng)));
-    group.bench_function("cdf_binary_search_sample", |b| b.iter(|| cdf.sample(&mut rng)));
-    group.bench_function("alias_build", |b| b.iter(|| AliasSampler::new(&fitness).unwrap()));
-    group.bench_function("cdf_build", |b| b.iter(|| CdfSampler::new(&fitness).unwrap()));
+    group.bench_function("cdf_binary_search_sample", |b| {
+        b.iter(|| cdf.sample(&mut rng))
+    });
+    group.bench_function("alias_build", |b| {
+        b.iter(|| AliasSampler::new(&fitness).unwrap())
+    });
+    group.bench_function("cdf_build", |b| {
+        b.iter(|| CdfSampler::new(&fitness).unwrap())
+    });
     group.finish();
 }
 
@@ -211,8 +229,15 @@ fn bench_aco_construction(c: &mut Criterion) {
         let mut rng = MersenneTwister64::seed_from_u64(8);
         group.bench_function(BenchmarkId::new("tour_100_cities", selector.name()), |b| {
             b.iter(|| {
-                construct_tour(&instance, &pheromone, &params, selector.as_ref(), 0, &mut rng)
-                    .unwrap()
+                construct_tour(
+                    &instance,
+                    &pheromone,
+                    &params,
+                    selector.as_ref(),
+                    0,
+                    &mut rng,
+                )
+                .unwrap()
             })
         });
     }
@@ -246,7 +271,11 @@ fn bench_argmax_strategies(c: &mut Criterion) {
         b.iter(|| lrb_pram::algorithms::reduce_max(&bids).unwrap())
     });
     group.bench_function("crcw_n_squared_constant_time", |b| {
-        b.iter(|| lrb_pram::algorithms::constant_time_max(&bids).unwrap().unwrap())
+        b.iter(|| {
+            lrb_pram::algorithms::constant_time_max(&bids)
+                .unwrap()
+                .unwrap()
+        })
     });
     group.finish();
 }

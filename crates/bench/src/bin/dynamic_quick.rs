@@ -1,0 +1,50 @@
+//! Quick comparison of the dynamic engines at `n = 2^16` with a 1:1
+//! update:sample ratio — the headline number for the `lrb-dynamic` crate:
+//! the Fenwick tree pays `O(log n)` per round where the alias table pays
+//! `O(n)` for its rebuild, so the speedup is expected to be well over 10×.
+//!
+//! ```text
+//! cargo run -p lrb-bench --release --bin dynamic_quick [-- --n 65536 --rounds 2000]
+//! ```
+//!
+//! Exits non-zero if the Fenwick engine fails to beat the alias rebuild by
+//! at least 10×, so CI can use it as a regression gate.
+
+use lrb_bench::cli::Options;
+use lrb_bench::dynamic_workload::{time_churn, workload};
+use lrb_dynamic::{FenwickSampler, RebuildingAliasSampler, ShardedArena};
+
+fn main() {
+    let options = Options::from_env();
+    let n = options.usize_or("n", 1 << 16);
+    let rounds = options.usize_or("rounds", 2_000);
+
+    println!("dynamic engines, n = {n}, {rounds} rounds of 1 update + 1 sample\n");
+
+    let mut fenwick = FenwickSampler::from_weights(workload(n)).expect("valid workload");
+    let fenwick_s = time_churn(&mut fenwick, rounds, 1);
+
+    let mut arena = ShardedArena::from_weights(workload(n), 16).expect("valid workload");
+    let arena_s = time_churn(&mut arena, rounds, 1);
+
+    // The alias engine rebuilds per round; keep its round count sane.
+    let alias_rounds = rounds.min(400);
+    let mut alias = RebuildingAliasSampler::from_weights(workload(n)).expect("valid workload");
+    let alias_s = time_churn(&mut alias, alias_rounds, 1) * (rounds as f64 / alias_rounds as f64);
+
+    let per_round = |secs: f64| format!("{:>10.2} µs/round", secs / rounds as f64 * 1e6);
+    println!("  fenwick        {}", per_round(fenwick_s));
+    println!("  sharded-arena  {}", per_round(arena_s));
+    println!(
+        "  alias-rebuild  {}   (extrapolated from {alias_rounds} rounds)",
+        per_round(alias_s)
+    );
+
+    let speedup = alias_s / fenwick_s;
+    println!("\nfenwick vs alias-rebuild speedup at 1:1 update:sample — {speedup:.1}x");
+    if speedup < 10.0 {
+        eprintln!("FAIL: expected >= 10x");
+        std::process::exit(1);
+    }
+    println!("OK (>= 10x)");
+}

@@ -36,7 +36,13 @@ fn main() {
         .partition(|s| s.name() != "log-bidding-crcw-pram");
 
     let fitness = Fitness::table1();
-    let mut report = run_probability_experiment("Table I (f_i = i, 0 <= i <= 9)", &fitness, &fast, trials, seed);
+    let mut report = run_probability_experiment(
+        "Table I (f_i = i, 0 <= i <= 9)",
+        &fitness,
+        &fast,
+        trials,
+        seed,
+    );
     let crcw_trials = trials.min(20_000);
     let crcw_report = run_probability_experiment("crcw", &fitness, &slow, crcw_trials, seed);
     report.columns.extend(crcw_report.columns);

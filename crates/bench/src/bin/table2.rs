@@ -12,7 +12,9 @@
 
 use lrb_bench::cli::Options;
 use lrb_bench::run_probability_experiment;
-use lrb_core::parallel::{IndependentRouletteSelector, LogBiddingSelector, ParallelLogBiddingSelector};
+use lrb_core::parallel::{
+    IndependentRouletteSelector, LogBiddingSelector, ParallelLogBiddingSelector,
+};
 use lrb_core::{Fitness, Selector};
 
 fn main() {

@@ -12,6 +12,9 @@
 //!   number of non-zero fitness values (the quantity bounded by Theorem 1).
 //! * [`cli`] — a tiny argument parser shared by the three experiment
 //!   binaries (`table1`, `table2`, `theorem1`).
+//! * [`dynamic_workload`] — the shared mutate-and-sample churn workload
+//!   behind the dynamic benches, the `dynamic_quick` gate and the
+//!   `dynamic_updates` example.
 //!
 //! The Criterion benches under `benches/` cover the supplementary wall-clock
 //! comparisons and the ablations listed in `DESIGN.md`.
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod dynamic_workload;
 pub mod probability_table;
 pub mod theorem1;
 

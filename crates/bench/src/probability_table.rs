@@ -112,7 +112,10 @@ impl ProbabilityReport {
             "{} — {} trials per selector\n",
             self.workload, self.trials
         ));
-        out.push_str(&format!("{:>4} {:>10} {:>12} {:>12}", "i", "f_i", "F_i (exact)", "indep.(analytic)"));
+        out.push_str(&format!(
+            "{:>4} {:>10} {:>12} {:>12}",
+            "i", "f_i", "F_i (exact)", "indep.(analytic)"
+        ));
         for column in &self.columns {
             out.push_str(&format!(" {:>28}", column.name));
         }
@@ -136,7 +139,11 @@ impl ProbabilityReport {
                 column.max_abs_deviation,
                 column.tv_distance,
                 column.p_value,
-                if column.exact { "exact by design" } else { "biased by design" }
+                if column.exact {
+                    "exact by design"
+                } else {
+                    "biased by design"
+                }
             ));
         }
         out
@@ -162,13 +169,8 @@ mod tests {
 
     #[test]
     fn table1_shape_is_reproduced_even_with_modest_trials() {
-        let report = run_probability_experiment(
-            "Table I",
-            &Fitness::table1(),
-            &selectors(),
-            60_000,
-            1,
-        );
+        let report =
+            run_probability_experiment("Table I", &Fitness::table1(), &selectors(), 60_000, 1);
         assert_eq!(report.columns.len(), 2);
         let independent = &report.columns[0];
         let logarithmic = &report.columns[1];
@@ -191,13 +193,8 @@ mod tests {
 
     #[test]
     fn table2_shape_is_reproduced() {
-        let report = run_probability_experiment(
-            "Table II",
-            &Fitness::table2(),
-            &selectors(),
-            40_000,
-            2,
-        );
+        let report =
+            run_probability_experiment("Table II", &Fitness::table2(), &selectors(), 40_000, 2);
         let independent = &report.columns[0];
         let logarithmic = &report.columns[1];
         // Index 0: exact 1/199, log-bidding close to it, independent never.
@@ -209,13 +206,8 @@ mod tests {
 
     #[test]
     fn render_contains_the_headline_numbers() {
-        let report = run_probability_experiment(
-            "Table I",
-            &Fitness::table1(),
-            &selectors(),
-            5_000,
-            3,
-        );
+        let report =
+            run_probability_experiment("Table I", &Fitness::table1(), &selectors(), 5_000, 3);
         let text = report.render(10);
         assert!(text.contains("Table I"));
         assert!(text.contains("independent-roulette-sequential"));
@@ -227,13 +219,8 @@ mod tests {
 
     #[test]
     fn render_truncates_to_max_rows() {
-        let report = run_probability_experiment(
-            "Table II",
-            &Fitness::table2(),
-            &selectors(),
-            1_000,
-            4,
-        );
+        let report =
+            run_probability_experiment("Table II", &Fitness::table2(), &selectors(), 1_000, 4);
         let text = report.render(10);
         // Row for index 9 present, index 10 absent.
         assert!(text.lines().any(|l| l.trim_start().starts_with("9 ")));
@@ -242,13 +229,8 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let report = run_probability_experiment(
-            "Table I",
-            &Fitness::table1(),
-            &selectors(),
-            1_000,
-            5,
-        );
+        let report =
+            run_probability_experiment("Table I", &Fitness::table1(), &selectors(), 1_000, 5);
         let json = report.to_json();
         let parsed: ProbabilityReport = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.workload, "Table I");
@@ -259,8 +241,7 @@ mod tests {
     #[test]
     fn all_zero_trials_record_nothing_but_do_not_crash() {
         let fitness = Fitness::new(vec![0.0, 0.0, 0.0]).unwrap();
-        let report =
-            run_probability_experiment("degenerate", &fitness, &selectors(), 100, 6);
+        let report = run_probability_experiment("degenerate", &fitness, &selectors(), 100, 6);
         for column in &report.columns {
             assert!(column.frequencies.iter().all(|&f| f == 0.0));
         }

@@ -45,12 +45,7 @@ pub struct Theorem1Report {
 
 /// Run the sweep: `k` takes powers of two from 1 up to `max_k` (inclusive if
 /// it is itself a power of two), inside fitness vectors of length `n`.
-pub fn run_theorem1_experiment(
-    n: usize,
-    max_k: usize,
-    trials: usize,
-    seed: u64,
-) -> Theorem1Report {
+pub fn run_theorem1_experiment(n: usize, max_k: usize, trials: usize, seed: u64) -> Theorem1Report {
     assert!(n >= 1 && max_k >= 1 && max_k <= n && trials >= 1);
     let selector = CrcwLogBiddingSelector;
     let mut rows = Vec::new();
@@ -97,7 +92,14 @@ impl Theorem1Report {
         let mut out = String::new();
         out.push_str(&format!(
             "{:>8} {:>8} {:>8} {:>12} {:>12} {:>12} {:>14} {:>10}\n",
-            "n", "k", "trials", "mean iters", "p95 iters", "max iters", "2*ceil(log2 k)", "mem cells"
+            "n",
+            "k",
+            "trials",
+            "mean iters",
+            "p95 iters",
+            "max iters",
+            "2*ceil(log2 k)",
+            "mem cells"
         ));
         for row in &self.rows {
             out.push_str(&format!(

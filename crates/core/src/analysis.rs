@@ -163,7 +163,10 @@ mod tests {
         assert!((p[1] - 1.0).abs() < 1e-12);
 
         let all_zero = Fitness::new(vec![0.0, 0.0]).unwrap();
-        assert_eq!(independent_roulette_probabilities(&all_zero), vec![0.0, 0.0]);
+        assert_eq!(
+            independent_roulette_probabilities(&all_zero),
+            vec![0.0, 0.0]
+        );
     }
 
     #[test]
@@ -211,12 +214,11 @@ mod tests {
         for _ in 0..300_000 {
             dist.record(IndependentRouletteSelector.select(&f, &mut rng).unwrap());
         }
-        for i in 0..f.len() {
+        for (i, &target) in p.iter().enumerate() {
             assert!(
-                (dist.frequency(i) - p[i]).abs() < 0.004,
-                "index {i}: simulated {}, analytic {}",
+                (dist.frequency(i) - target).abs() < 0.004,
+                "index {i}: simulated {}, analytic {target}",
                 dist.frequency(i),
-                p[i]
             );
         }
     }

@@ -58,7 +58,7 @@ pub mod without_replacement;
 
 pub use error::SelectionError;
 pub use fitness::Fitness;
-pub use traits::{PreparedSampler, Selector};
+pub use traits::{DynamicSampler, PreparedSampler, Selector};
 
 /// All one-shot selectors in the crate behind one constructor, keyed by name.
 ///
@@ -68,19 +68,22 @@ pub fn all_selectors() -> Vec<Box<dyn Selector>> {
         Box::new(sequential::LinearScanSelector),
         Box::new(sequential::StochasticAcceptanceSelector::default()),
         Box::new(parallel::PrefixSumSelector::default()),
-        Box::new(parallel::IndependentRouletteSelector::default()),
+        Box::new(parallel::IndependentRouletteSelector),
         Box::new(parallel::LogBiddingSelector::default()),
         Box::new(parallel::ParallelLogBiddingSelector::default()),
         Box::new(parallel::ParallelIndependentRouletteSelector::default()),
-        Box::new(parallel::GumbelMaxSelector::default()),
-        Box::new(parallel::CrcwLogBiddingSelector::default()),
+        Box::new(parallel::GumbelMaxSelector),
+        Box::new(parallel::CrcwLogBiddingSelector),
     ]
 }
 
 /// The selectors whose selection probabilities are exactly `F_i`
 /// (i.e. everything except the independent roulette variants).
 pub fn exact_selectors() -> Vec<Box<dyn Selector>> {
-    all_selectors().into_iter().filter(|s| s.is_exact()).collect()
+    all_selectors()
+        .into_iter()
+        .filter(|s| s.is_exact())
+        .collect()
 }
 
 #[cfg(test)]
@@ -94,7 +97,11 @@ mod tests {
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(names.len(), dedup.len(), "duplicate selector names: {names:?}");
+        assert_eq!(
+            names.len(),
+            dedup.len(),
+            "duplicate selector names: {names:?}"
+        );
     }
 
     #[test]

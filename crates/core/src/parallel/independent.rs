@@ -108,10 +108,7 @@ impl Selector for ParallelIndependentRouletteSelector {
                 .par_iter()
                 .enumerate()
                 .map(|(i, &f)| Self::key_for(master, i, f))
-                .reduce(
-                    || (f64::NEG_INFINITY, usize::MAX),
-                    max_by_key_then_index,
-                )
+                .reduce(|| (f64::NEG_INFINITY, usize::MAX), max_by_key_then_index)
         };
         Ok(best.1)
     }
@@ -135,7 +132,10 @@ mod tests {
             .filter(|_| selector.select(&fitness, &mut rng).unwrap() == 0)
             .count();
         let freq = zero as f64 / trials as f64;
-        assert!((freq - 0.75).abs() < 0.004, "frequency {freq}, expected 0.75");
+        assert!(
+            (freq - 0.75).abs() < 0.004,
+            "frequency {freq}, expected 0.75"
+        );
         assert!(
             (freq - 2.0 / 3.0).abs() > 0.05,
             "the bias should be clearly visible"
@@ -169,7 +169,10 @@ mod tests {
         let zero = (0..trials)
             .filter(|_| selector.select(&fitness, &mut rng).unwrap() == 0)
             .count();
-        assert_eq!(zero, 0, "index 0 should never win under independent roulette");
+        assert_eq!(
+            zero, 0,
+            "index 0 should never win under independent roulette"
+        );
     }
 
     #[test]
@@ -189,7 +192,9 @@ mod tests {
         // … while the largest index is grossly over-selected (0.3935 vs 0.2).
         assert!(dist.frequency(9) > 0.35);
         // And the chi-square test rejects the exact distribution decisively.
-        assert!(!dist.goodness_of_fit(&fitness.probabilities()).is_consistent(0.001));
+        assert!(!dist
+            .goodness_of_fit(&fitness.probabilities())
+            .is_consistent(0.001));
     }
 
     #[test]
@@ -197,10 +202,17 @@ mod tests {
         let fitness = Fitness::new(vec![0.0, 1.0, 0.0]).unwrap();
         let mut rng = MersenneTwister64::seed_from_u64(2);
         for _ in 0..2000 {
-            assert_eq!(IndependentRouletteSelector.select(&fitness, &mut rng).unwrap(), 1);
+            assert_eq!(
+                IndependentRouletteSelector
+                    .select(&fitness, &mut rng)
+                    .unwrap(),
+                1
+            );
         }
         let all_zero = Fitness::new(vec![0.0, 0.0]).unwrap();
-        assert!(IndependentRouletteSelector.select(&all_zero, &mut rng).is_err());
+        assert!(IndependentRouletteSelector
+            .select(&all_zero, &mut rng)
+            .is_err());
         assert!(ParallelIndependentRouletteSelector::default()
             .select(&all_zero, &mut rng)
             .is_err());

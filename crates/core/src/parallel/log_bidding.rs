@@ -131,10 +131,7 @@ impl Selector for ParallelLogBiddingSelector {
                 .par_iter()
                 .enumerate()
                 .map(|(i, &f)| Self::bid_for(master, i, f))
-                .reduce(
-                    || (f64::NEG_INFINITY, usize::MAX),
-                    max_by_key_then_index,
-                )
+                .reduce(|| (f64::NEG_INFINITY, usize::MAX), max_by_key_then_index)
         };
         Ok(best.1)
     }
@@ -200,7 +197,8 @@ mod tests {
             selector.name()
         );
         assert!(
-            dist.goodness_of_fit(&fitness.probabilities()).is_consistent(0.001),
+            dist.goodness_of_fit(&fitness.probabilities())
+                .is_consistent(0.001),
             "{}: chi-square rejects the target distribution",
             selector.name()
         );
@@ -208,7 +206,12 @@ mod tests {
 
     #[test]
     fn sequential_log_bidding_is_exact_on_table1() {
-        check_distribution(&LogBiddingSelector::default(), &Fitness::table1(), 200_000, 0.005);
+        check_distribution(
+            &LogBiddingSelector::default(),
+            &Fitness::table1(),
+            200_000,
+            0.005,
+        );
     }
 
     #[test]
@@ -216,7 +219,12 @@ mod tests {
         let selector = LogBiddingSelector {
             sampler: ExponentialSampler::Ziggurat,
         };
-        check_distribution(&selector, &Fitness::new(vec![1.0, 2.0, 3.0]).unwrap(), 150_000, 0.005);
+        check_distribution(
+            &selector,
+            &Fitness::new(vec![1.0, 2.0, 3.0]).unwrap(),
+            150_000,
+            0.005,
+        );
     }
 
     #[test]
@@ -274,8 +282,12 @@ mod tests {
     fn all_zero_is_rejected() {
         let fitness = Fitness::new(vec![0.0, 0.0]).unwrap();
         let mut rng = MersenneTwister64::seed_from_u64(6);
-        assert!(LogBiddingSelector::default().select(&fitness, &mut rng).is_err());
-        assert!(ParallelLogBiddingSelector::default().select(&fitness, &mut rng).is_err());
+        assert!(LogBiddingSelector::default()
+            .select(&fitness, &mut rng)
+            .is_err());
+        assert!(ParallelLogBiddingSelector::default()
+            .select(&fitness, &mut rng)
+            .is_err());
         assert!(GumbelMaxSelector.select(&fitness, &mut rng).is_err());
     }
 
@@ -323,7 +335,12 @@ mod tests {
         let fitness = Fitness::new(vec![0.0, 0.0, 4.0]).unwrap();
         let mut rng = MersenneTwister64::seed_from_u64(1);
         for _ in 0..100 {
-            assert_eq!(LogBiddingSelector::default().select(&fitness, &mut rng).unwrap(), 2);
+            assert_eq!(
+                LogBiddingSelector::default()
+                    .select(&fitness, &mut rng)
+                    .unwrap(),
+                2
+            );
             assert_eq!(GumbelMaxSelector.select(&fitness, &mut rng).unwrap(), 2);
         }
     }

@@ -30,10 +30,7 @@ pub use prefix_sum::PrefixSumSelector;
 /// Deterministic lexicographic arg-max used by every parallel reduction in
 /// this module: compare by key first, then by index, so the result does not
 /// depend on how rayon splits the input.
-pub(crate) fn max_by_key_then_index(
-    a: (f64, usize),
-    b: (f64, usize),
-) -> (f64, usize) {
+pub(crate) fn max_by_key_then_index(a: (f64, usize), b: (f64, usize)) -> (f64, usize) {
     if b.0 > a.0 || (b.0 == a.0 && b.1 > a.1) {
         b
     } else {
@@ -66,7 +63,13 @@ mod tests {
 
     #[test]
     fn argmax_is_associative_on_samples() {
-        let items = [(-1.5, 0usize), (-0.25, 1), (-0.25, 2), (f64::NEG_INFINITY, 3), (-7.0, 4)];
+        let items = [
+            (-1.5, 0usize),
+            (-0.25, 1),
+            (-0.25, 2),
+            (f64::NEG_INFINITY, 3),
+            (-7.0, 4),
+        ];
         // ((a b) c) == (a (b c)) for every consecutive triple.
         for w in items.windows(3) {
             let left = max_by_key_then_index(max_by_key_then_index(w[0], w[1]), w[2]);

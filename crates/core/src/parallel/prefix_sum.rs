@@ -76,10 +76,7 @@ impl Selector for PrefixSumSelector {
         let chunk_sums: Vec<f64> = if values.len() < self.sequential_cutoff {
             values.chunks(chunk).map(|c| c.iter().sum()).collect()
         } else {
-            values
-                .par_chunks(chunk)
-                .map(|c| c.iter().sum())
-                .collect()
+            values.par_chunks(chunk).map(|c| c.iter().sum()).collect()
         };
         let total: f64 = chunk_sums.iter().sum();
 
@@ -118,6 +115,56 @@ impl Selector for PrefixSumSelector {
             }
         }
     }
+
+    /// Batch selection builds the prefix table **once** and then answers
+    /// every draw with an `O(log n)` binary search, instead of re-scanning
+    /// (and re-summing) the fitness vector per call as the default loop
+    /// would — the hot-path fix surfaced by the dynamic-selection benches.
+    fn select_many(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+        count: usize,
+    ) -> Result<Vec<usize>, SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let values = fitness.values();
+        // Inclusive prefix sums: cumulative[i] = f_0 + … + f_i.
+        let mut cumulative = Vec::with_capacity(values.len());
+        let mut running = 0.0;
+        for &f in values {
+            running += f;
+            cumulative.push(running);
+        }
+        let total = running;
+        let last_positive = values
+            .iter()
+            .rposition(|&f| f > 0.0)
+            .expect("non-all-zero vector has a positive entry");
+
+        (0..count)
+            .map(|_| {
+                let r = rng.next_f64() * total;
+                // First index whose cumulative mass exceeds r. Ties on the
+                // boundary (cumulative == r) move right, matching the strict
+                // `r < f` comparison of the sequential scan.
+                let index = cumulative.partition_point(|&c| c <= r);
+                // Rounding at the right edge can land past the end or on a
+                // zero-fitness index; attribute such draws to the last
+                // positive-fitness index, as `select` does.
+                let index = index.min(last_positive);
+                Ok(if values[index] > 0.0 {
+                    index
+                } else {
+                    values[..index]
+                        .iter()
+                        .rposition(|&f| f > 0.0)
+                        .unwrap_or(last_positive)
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -137,7 +184,9 @@ mod tests {
             dist.record(selector.select(&fitness, &mut rng).unwrap());
         }
         assert!(dist.max_abs_deviation(&fitness.probabilities()) < 0.005);
-        assert!(dist.goodness_of_fit(&fitness.probabilities()).is_consistent(0.001));
+        assert!(dist
+            .goodness_of_fit(&fitness.probabilities())
+            .is_consistent(0.001));
     }
 
     #[test]
@@ -195,7 +244,9 @@ mod tests {
     fn all_zero_rejected() {
         let fitness = Fitness::new(vec![0.0; 10]).unwrap();
         let mut rng = MersenneTwister64::seed_from_u64(4);
-        assert!(PrefixSumSelector::default().select(&fitness, &mut rng).is_err());
+        assert!(PrefixSumSelector::default()
+            .select(&fitness, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -217,7 +268,47 @@ mod tests {
             })
             .count();
         let freq = heavy as f64 / trials as f64;
-        assert!((freq - heavy_mass).abs() < 0.02, "freq {freq}, expected {heavy_mass}");
+        assert!(
+            (freq - heavy_mass).abs() < 0.02,
+            "freq {freq}, expected {heavy_mass}"
+        );
+    }
+
+    #[test]
+    fn select_many_agrees_with_repeated_select_on_a_shared_stream() {
+        // The batch path consumes exactly one uniform per draw and inverts
+        // the same CDF, so with a shared seed it tracks the one-at-a-time
+        // sequence draw for draw. Agreement is not guaranteed bit-for-bit —
+        // `select` subtracts iteratively (r -= f) while the batch path
+        // compares against a precomputed cumulative table, and a threshold
+        // within one ulp of a CDF boundary can round to different indices —
+        // so a vanishing number of boundary mismatches is tolerated.
+        let fitness = Fitness::new(vec![0.3, 0.0, 2.0, 1.7, 0.0, 5.0]).unwrap();
+        let selector = PrefixSumSelector::default();
+        let mut rng_a = MersenneTwister64::seed_from_u64(77);
+        let mut rng_b = MersenneTwister64::seed_from_u64(77);
+        let trials = 5_000;
+        let batch = selector.select_many(&fitness, &mut rng_a, trials).unwrap();
+        let mismatches = (0..trials)
+            .filter(|&t| batch[t] != selector.select(&fitness, &mut rng_b).unwrap())
+            .count();
+        assert!(
+            mismatches <= 2,
+            "batch and single paths disagreed on {mismatches} of {trials} draws"
+        );
+    }
+
+    #[test]
+    fn select_many_rejects_all_zero_and_handles_zero_count() {
+        let selector = PrefixSumSelector::default();
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        let zeros = Fitness::new(vec![0.0, 0.0]).unwrap();
+        assert!(selector.select_many(&zeros, &mut rng, 3).is_err());
+        let fitness = Fitness::table1();
+        assert!(selector
+            .select_many(&fitness, &mut rng, 0)
+            .unwrap()
+            .is_empty());
     }
 
     proptest! {

@@ -115,7 +115,10 @@ mod tests {
     fn uniform_distribution_keeps_every_column() {
         let f = Fitness::uniform(8, 3.0).unwrap();
         let s = AliasSampler::new(&f).unwrap();
-        assert!(s.keep_probabilities().iter().all(|&k| (k - 1.0).abs() < 1e-12));
+        assert!(s
+            .keep_probabilities()
+            .iter()
+            .all(|&k| (k - 1.0).abs() < 1e-12));
     }
 
     #[test]
@@ -163,7 +166,9 @@ mod tests {
             dist.record(s.sample(&mut rng));
         }
         assert!(dist.max_abs_deviation(&f.probabilities()) < 0.004);
-        assert!(dist.goodness_of_fit(&f.probabilities()).is_consistent(0.001));
+        assert!(dist
+            .goodness_of_fit(&f.probabilities())
+            .is_consistent(0.001));
     }
 
     #[test]

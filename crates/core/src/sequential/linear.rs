@@ -72,7 +72,9 @@ mod tests {
             "deviation {}",
             dist.max_abs_deviation(&fitness.probabilities())
         );
-        assert!(dist.goodness_of_fit(&fitness.probabilities()).is_consistent(0.001));
+        assert!(dist
+            .goodness_of_fit(&fitness.probabilities())
+            .is_consistent(0.001));
     }
 
     #[test]
@@ -127,7 +129,9 @@ mod tests {
     fn select_many_returns_requested_count() {
         let fitness = Fitness::new(vec![1.0, 1.0]).unwrap();
         let mut rng = MersenneTwister64::seed_from_u64(5);
-        let picks = LinearScanSelector.select_many(&fitness, &mut rng, 1000).unwrap();
+        let picks = LinearScanSelector
+            .select_many(&fitness, &mut rng, 1000)
+            .unwrap();
         assert_eq!(picks.len(), 1000);
         assert!(picks.iter().all(|&i| i < 2));
     }

@@ -83,7 +83,9 @@ mod tests {
             dist.record(selector.select(&fitness, &mut rng).unwrap());
         }
         assert!(dist.max_abs_deviation(&fitness.probabilities()) < 0.005);
-        assert!(dist.goodness_of_fit(&fitness.probabilities()).is_consistent(0.001));
+        assert!(dist
+            .goodness_of_fit(&fitness.probabilities())
+            .is_consistent(0.001));
     }
 
     #[test]

@@ -198,8 +198,7 @@ mod tests {
         let trials = 150_000;
         let mut dist = EmpiricalDistribution::new(weights.len());
         for _ in 0..trials {
-            let picked =
-                select_from_stream(weights.iter().copied().enumerate(), &mut rng).unwrap();
+            let picked = select_from_stream(weights.iter().copied().enumerate(), &mut rng).unwrap();
             dist.record(picked);
         }
         let target: Vec<f64> = weights.iter().map(|w| w / total).collect();
@@ -214,7 +213,10 @@ mod tests {
             select_from_stream([(0usize, 0.0), (1, 0.0)], &mut rng),
             None
         );
-        assert_eq!(select_from_stream(Vec::<(usize, f64)>::new(), &mut rng), None);
+        assert_eq!(
+            select_from_stream(Vec::<(usize, f64)>::new(), &mut rng),
+            None
+        );
     }
 
     #[test]

@@ -67,6 +67,93 @@ pub trait PreparedSampler: Send + Sync {
     }
 }
 
+/// A weighted sampler whose weights can be **updated in place** between
+/// draws.
+///
+/// This is the dynamic counterpart of [`Selector`] (one-shot, immutable
+/// input) and [`PreparedSampler`] (many draws, frozen input): the paper's
+/// motivating workload — ant colony construction — mutates the fitness
+/// vector every round, and rebuilding a prepared sampler from scratch after
+/// every change costs `O(n)`. Implementations in the `lrb-dynamic` crate
+/// support `O(log n)` point updates (Fenwick tree), amortised rebuilds
+/// (dirty-tracked alias tables) and sharded concurrent updates.
+///
+/// The trait is object-safe; the random source is passed as
+/// `&mut dyn RandomSource` just like [`Selector::select`].
+///
+/// # Contract
+///
+/// * `sample` returns index `i` with probability exactly
+///   `w_i / total_weight()`, and never returns an index whose weight is zero.
+/// * `update(i, w)` with a finite `w ≥ 0` replaces weight `i`; subsequent
+///   draws follow the new distribution.
+/// * When every weight is zero, `sample` fails with
+///   [`SelectionError::AllZeroFitness`].
+///
+/// # Example
+///
+/// ```
+/// use lrb_core::{DynamicSampler, Fitness};
+/// # // The trait lives here; the implementations live in `lrb-dynamic`.
+/// fn drain(sampler: &mut dyn DynamicSampler, rng: &mut dyn lrb_rng::RandomSource) {
+///     while sampler.total_weight() > 0.0 {
+///         let i = sampler.sample(rng).expect("positive mass remains");
+///         sampler.update(i, 0.0).expect("index in range");
+///     }
+/// }
+/// ```
+pub trait DynamicSampler: Send + Sync {
+    /// Number of categories (fixed at construction).
+    fn len(&self) -> usize;
+
+    /// Whether the sampler has zero categories.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current weight of category `index`.
+    ///
+    /// Panics if `index` is out of range.
+    fn weight(&self, index: usize) -> f64;
+
+    /// Sum of all current weights.
+    fn total_weight(&self) -> f64;
+
+    /// Draw one index with probability proportional to its current weight.
+    fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError>;
+
+    /// Replace the weight of category `index` with `new_weight`.
+    ///
+    /// Fails with [`SelectionError::InvalidFitness`] when the weight is
+    /// negative, NaN or infinite. Updating the last positive weight to zero
+    /// is allowed; subsequent draws then fail with
+    /// [`SelectionError::AllZeroFitness`].
+    fn update(&mut self, index: usize, new_weight: f64) -> Result<(), SelectionError>;
+
+    /// Apply many `(index, new_weight)` updates.
+    ///
+    /// The default applies them in order; implementations may override to
+    /// batch tree maintenance or reduce locking.
+    fn update_many(&mut self, updates: &[(usize, f64)]) -> Result<(), SelectionError> {
+        for &(index, weight) in updates {
+            self.update(index, weight)?;
+        }
+        Ok(())
+    }
+
+    /// Draw `count` indices independently (with replacement).
+    ///
+    /// The default loops over [`sample`](DynamicSampler::sample);
+    /// implementations with cheap snapshots may override to batch.
+    fn sample_many(
+        &self,
+        rng: &mut dyn RandomSource,
+        count: usize,
+    ) -> Result<Vec<usize>, SelectionError> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +215,59 @@ mod tests {
         assert!(!s.is_empty());
         let mut rng = MersenneTwister64::seed_from_u64(1);
         assert_eq!(s.sample_many(&mut rng, 3), vec![0, 0, 0]);
+    }
+
+    /// A two-category dynamic sampler exercising the trait defaults.
+    struct TwoWeights {
+        weights: [f64; 2],
+    }
+
+    impl DynamicSampler for TwoWeights {
+        fn len(&self) -> usize {
+            2
+        }
+        fn weight(&self, index: usize) -> f64 {
+            self.weights[index]
+        }
+        fn total_weight(&self) -> f64 {
+            self.weights.iter().sum()
+        }
+        fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
+            let total = self.total_weight();
+            if total <= 0.0 {
+                return Err(SelectionError::AllZeroFitness);
+            }
+            let r = rng.next_f64() * total;
+            Ok(if r < self.weights[0] { 0 } else { 1 })
+        }
+        fn update(&mut self, index: usize, new_weight: f64) -> Result<(), SelectionError> {
+            if !new_weight.is_finite() || new_weight < 0.0 {
+                return Err(SelectionError::InvalidFitness {
+                    index,
+                    value: new_weight,
+                });
+            }
+            self.weights[index] = new_weight;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dynamic_sampler_is_object_safe_with_working_defaults() {
+        let mut boxed: Box<dyn DynamicSampler> = Box::new(TwoWeights {
+            weights: [1.0, 3.0],
+        });
+        let mut rng = MersenneTwister64::seed_from_u64(9);
+        assert_eq!(boxed.len(), 2);
+        assert!(!boxed.is_empty());
+        assert_eq!(boxed.total_weight(), 4.0);
+        let draws = boxed.sample_many(&mut rng, 100).unwrap();
+        assert!(draws.iter().all(|&i| i < 2));
+        boxed.update_many(&[(0, 0.0), (1, 0.0)]).unwrap();
+        assert!(matches!(
+            boxed.sample(&mut rng),
+            Err(SelectionError::AllZeroFitness)
+        ));
+        assert!(boxed.update(0, f64::NAN).is_err());
     }
 }

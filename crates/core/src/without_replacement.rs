@@ -271,18 +271,12 @@ mod tests {
     #[test]
     fn parallel_version_is_reproducible() {
         let fitness = Fitness::linear(2000).unwrap();
-        let a = par_sample_without_replacement(
-            &fitness,
-            10,
-            &mut MersenneTwister64::seed_from_u64(9),
-        )
-        .unwrap();
-        let b = par_sample_without_replacement(
-            &fitness,
-            10,
-            &mut MersenneTwister64::seed_from_u64(9),
-        )
-        .unwrap();
+        let a =
+            par_sample_without_replacement(&fitness, 10, &mut MersenneTwister64::seed_from_u64(9))
+                .unwrap();
+        let b =
+            par_sample_without_replacement(&fitness, 10, &mut MersenneTwister64::seed_from_u64(9))
+                .unwrap();
         assert_eq!(a, b);
     }
 

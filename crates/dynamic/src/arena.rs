@@ -1,0 +1,341 @@
+//! A sharded concurrent selection arena: categories are partitioned across
+//! independently locked shards, each holding a [`FenwickSampler`].
+//!
+//! A draw walks two levels — pick the owning shard by total weight, then
+//! delegate the inverse-CDF descent to that shard — consuming a single
+//! uniform variate, so the overall distribution is exactly
+//! `F_i = w_i / Σ w_j`, identical to one flat Fenwick tree over the same
+//! weights. The point of the sharding is the locking: updates to categories
+//! in different shards take different `RwLock`s and proceed concurrently,
+//! which is what a production engine serving mutate-and-sample traffic
+//! needs. [`ShardedArena::update_shared`] exposes the `&self` update path;
+//! the [`DynamicSampler`] implementation delegates to it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use lrb_core::error::SelectionError;
+use lrb_core::fitness::Fitness;
+use lrb_core::traits::DynamicSampler;
+use lrb_rng::RandomSource;
+
+use crate::fenwick::FenwickSampler;
+use crate::validate_weight;
+
+/// A concurrent, updatable weighted sampler partitioned into shards.
+///
+/// # Example
+///
+/// ```
+/// use lrb_core::DynamicSampler;
+/// use lrb_dynamic::ShardedArena;
+/// use lrb_rng::{MersenneTwister64, SeedableSource};
+///
+/// let arena = ShardedArena::from_weights(vec![1.0; 64], 8).unwrap();
+/// arena.update_shared(10, 100.0).unwrap();      // &self: no exclusive borrow
+/// let mut rng = MersenneTwister64::seed_from_u64(3);
+/// let mut hits = 0;
+/// for _ in 0..1_000 {
+///     if arena.sample(&mut rng).unwrap() == 10 {
+///         hits += 1;
+///     }
+/// }
+/// assert!(hits > 500); // index 10 now holds 100 of the 163 total mass
+/// ```
+#[derive(Debug)]
+pub struct ShardedArena {
+    /// Contiguous partition: shard `j` owns categories
+    /// `offsets[j]..offsets[j + 1]`.
+    offsets: Vec<usize>,
+    shards: Vec<RwLock<FenwickSampler>>,
+    /// Per-shard total weights, cached as `f64` bits so the shard pick in
+    /// [`DynamicSampler::sample`] is lock-free: each entry is refreshed by
+    /// the writer while it still holds that shard's write lock.
+    cached_totals: Vec<AtomicU64>,
+}
+
+impl ShardedArena {
+    /// Build an arena over raw weights, split into `shards` contiguous
+    /// shards (clamped to the category count).
+    pub fn from_weights(weights: Vec<f64>, shards: usize) -> Result<Self, SelectionError> {
+        if weights.is_empty() {
+            return Err(SelectionError::EmptyFitness);
+        }
+        for (index, &value) in weights.iter().enumerate() {
+            validate_weight(index, value)?;
+        }
+        Ok(Self::from_validated(weights, shards))
+    }
+
+    /// Build an arena from an already-validated [`Fitness`] vector.
+    pub fn from_fitness(fitness: &Fitness, shards: usize) -> Self {
+        Self::from_validated(fitness.values().to_vec(), shards)
+    }
+
+    fn from_validated(weights: Vec<f64>, shards: usize) -> Self {
+        let n = weights.len();
+        let shard_count = shards.clamp(1, n);
+        let base = n / shard_count;
+        let remainder = n % shard_count;
+        let mut offsets = Vec::with_capacity(shard_count + 1);
+        let mut shard_samplers = Vec::with_capacity(shard_count);
+        let mut start = 0usize;
+        for j in 0..shard_count {
+            let len = base + usize::from(j < remainder);
+            offsets.push(start);
+            shard_samplers.push(RwLock::new(
+                FenwickSampler::from_weights(weights[start..start + len].to_vec())
+                    .expect("non-empty validated shard"),
+            ));
+            start += len;
+        }
+        offsets.push(n);
+        let cached_totals = shard_samplers
+            .iter()
+            .map(|shard| {
+                let total = shard.read().expect("fresh lock").total_weight();
+                AtomicU64::new(total.to_bits())
+            })
+            .collect();
+        Self {
+            offsets,
+            shards: shard_samplers,
+            cached_totals,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning a global category index.
+    fn shard_of(&self, index: usize) -> usize {
+        debug_assert!(index < *self.offsets.last().expect("offsets non-empty"));
+        // offsets is sorted; partition_point returns the first shard whose
+        // start exceeds `index`, so subtract one.
+        self.offsets.partition_point(|&start| start <= index) - 1
+    }
+
+    /// Update a weight through a shared reference: only the owning shard's
+    /// lock is taken, so updates to different shards run concurrently. The
+    /// shard's cached total is refreshed while the write lock is still held,
+    /// so readers never observe a total older than the last completed
+    /// update.
+    pub fn update_shared(&self, index: usize, new_weight: f64) -> Result<(), SelectionError> {
+        let n = *self.offsets.last().expect("offsets non-empty");
+        assert!(index < n, "index {index} outside 0..{n}");
+        validate_weight(index, new_weight)?;
+        let shard = self.shard_of(index);
+        let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+        guard.update(index - self.offsets[shard], new_weight)?;
+        self.cached_totals[shard].store(guard.total_weight().to_bits(), Ordering::Release);
+        Ok(())
+    }
+
+    /// Per-shard total weights, read lock-free from the cached atomics.
+    pub fn shard_totals(&self) -> Vec<f64> {
+        self.cached_totals
+            .iter()
+            .map(|bits| f64::from_bits(bits.load(Ordering::Acquire)))
+            .collect()
+    }
+}
+
+impl DynamicSampler for ShardedArena {
+    fn len(&self) -> usize {
+        *self.offsets.last().expect("offsets non-empty")
+    }
+
+    fn weight(&self, index: usize) -> f64 {
+        let n = self.len();
+        assert!(index < n, "index {index} outside 0..{n}");
+        let shard = self.shard_of(index);
+        self.shards[shard]
+            .read()
+            .expect("shard lock poisoned")
+            .weight(index - self.offsets[shard])
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.shard_totals().iter().sum()
+    }
+
+    fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
+        // Two-level inverse CDF on one uniform: locate the shard by
+        // cumulative snapshot total (lock-free, from the cached atomics —
+        // only the single landing shard is then read-locked), and delegate
+        // the in-shard descent. The residual is renormalised against the
+        // *snapshot* total of the landing shard (not a re-read one), so a
+        // concurrent update racing between the snapshot and the shard lock
+        // rescales the draw proportionally into the shard's new mass
+        // instead of clamping it onto the rightmost index. Draws are exact
+        // whenever no update races this call; under racing updates they
+        // remain proportional per shard.
+        let totals = self.shard_totals();
+        let total: f64 = totals.iter().sum();
+        if total <= 0.0 {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let mut r = rng.next_f64() * total;
+        let mut shard = totals.len() - 1;
+        for (j, &t) in totals.iter().enumerate() {
+            if r < t {
+                shard = j;
+                break;
+            }
+            r -= t;
+        }
+        // Walk left from the landing shard if it turned out empty (possible
+        // through rounding at a shard edge or a concurrent update).
+        for j in (0..=shard).rev() {
+            let guard = self.shards[j].read().expect("shard lock poisoned");
+            match guard.sample(&mut ClampedDraw {
+                r,
+                total: totals[j],
+            }) {
+                Ok(local) => return Ok(self.offsets[j] + local),
+                Err(SelectionError::AllZeroFitness) => {
+                    r = f64::MAX; // fall back to "rightmost mass" in earlier shards
+                    continue;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        // Everything left of the landing shard is empty; scan right instead.
+        for (j, shard_lock) in self.shards.iter().enumerate().skip(shard + 1) {
+            let guard = shard_lock.read().expect("shard lock poisoned");
+            let total = guard.total_weight();
+            if let Ok(local) = guard.sample(&mut ClampedDraw { r: 0.0, total }) {
+                return Ok(self.offsets[j] + local);
+            }
+        }
+        Err(SelectionError::AllZeroFitness)
+    }
+
+    fn update(&mut self, index: usize, new_weight: f64) -> Result<(), SelectionError> {
+        self.update_shared(index, new_weight)
+    }
+}
+
+/// A one-shot "random source" that replays a pre-drawn threshold.
+///
+/// The arena draws a single uniform for the whole two-level walk; the
+/// in-shard [`FenwickSampler::sample`] expects to draw its own uniform, so
+/// this adapter feeds it `r / total`, making the delegated descent continue
+/// the arena-level draw exactly.
+struct ClampedDraw {
+    r: f64,
+    total: f64,
+}
+
+impl RandomSource for ClampedDraw {
+    fn next_u64(&mut self) -> u64 {
+        unreachable!("ClampedDraw only serves next_f64")
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        (self.r / self.total).clamp(0.0, 1.0 - f64::EPSILON)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+
+    #[test]
+    fn partition_covers_every_index_once() {
+        for (n, shards) in [(10, 3), (64, 8), (7, 7), (5, 16), (1, 1)] {
+            let arena = ShardedArena::from_weights(vec![1.0; n], shards).unwrap();
+            assert_eq!(arena.len(), n);
+            assert!(arena.shard_count() <= n.max(1));
+            for i in 0..n {
+                assert_eq!(arena.weight(i), 1.0, "n={n} shards={shards} i={i}");
+            }
+            assert!((arena.total_weight() - n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distribution_matches_a_flat_fenwick_tree() {
+        let weights: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+        let arena = ShardedArena::from_weights(weights.clone(), 5).unwrap();
+        let total: f64 = weights.iter().sum();
+        let mut rng = MersenneTwister64::seed_from_u64(21);
+        let trials = 200_000;
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..trials {
+            counts[arena.sample(&mut rng).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            let target = weights[i] / total;
+            assert!(
+                (freq - target).abs() < 0.006,
+                "index {i}: {freq} vs {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn updates_route_to_the_owning_shard() {
+        let arena = ShardedArena::from_weights(vec![1.0; 12], 4).unwrap();
+        arena.update_shared(0, 0.0).unwrap();
+        arena.update_shared(11, 9.0).unwrap();
+        arena.update_shared(5, 2.5).unwrap();
+        assert_eq!(arena.weight(0), 0.0);
+        assert_eq!(arena.weight(11), 9.0);
+        assert_eq!(arena.weight(5), 2.5);
+        // 9 untouched unit weights plus the three updates.
+        assert!((arena.total_weight() - (9.0 + 2.5 + 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeroing_everything_yields_all_zero_error() {
+        let mut arena = ShardedArena::from_weights(vec![1.0, 1.0, 1.0], 2).unwrap();
+        for i in 0..3 {
+            arena.update(i, 0.0).unwrap();
+        }
+        let mut rng = MersenneTwister64::seed_from_u64(5);
+        assert_eq!(arena.sample(&mut rng), Err(SelectionError::AllZeroFitness));
+    }
+
+    #[test]
+    fn empty_shards_are_walked_over() {
+        // Mass only in the last shard: the cumulative walk must cross the
+        // empty shards and still land on a positive weight.
+        let mut weights = vec![0.0; 30];
+        weights[29] = 1.0;
+        weights[28] = 1.0;
+        let arena = ShardedArena::from_weights(weights, 6).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(6);
+        for _ in 0..2_000 {
+            let i = arena.sample(&mut rng).unwrap();
+            assert!(i == 28 || i == 29);
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_to_disjoint_shards_are_safe() {
+        let arena = ShardedArena::from_weights(vec![1.0; 256], 8).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let arena = &arena;
+                scope.spawn(move || {
+                    for step in 0..1_000usize {
+                        let index = t * 32 + step % 32;
+                        arena.update_shared(index, (step % 5) as f64).unwrap();
+                    }
+                });
+            }
+        });
+        // Final state: every index i holds ((999 - (999 % 32) + i % 32) % 5)
+        // … simpler: just verify the totals are consistent with the weights.
+        let recomputed: f64 = (0..256).map(|i| arena.weight(i)).sum();
+        assert!((arena.total_weight() - recomputed).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Trial-parallel batch sampling for dynamic samplers, mirroring
+//! `lrb_core::batch` and inheriting its determinism contract: trial `t`
+//! draws from its own counter-based Philox stream derived from one master
+//! seed, so the result is a pure function of
+//! `(sampler state, master_seed, trials)` and never depends on the rayon
+//! schedule or thread count.
+
+use lrb_core::error::SelectionError;
+use lrb_core::traits::DynamicSampler;
+use lrb_rng::Philox4x32;
+use rayon::prelude::*;
+
+/// Run `trials` independent draws and return per-index counts.
+///
+/// # Example
+///
+/// ```
+/// use lrb_dynamic::{batch_sample_counts, FenwickSampler};
+///
+/// let sampler = FenwickSampler::from_weights(vec![0.0, 1.0, 3.0]).unwrap();
+/// let counts = batch_sample_counts(&sampler, 8_000, 7).unwrap();
+/// assert_eq!(counts[0], 0);                       // zero weight, never drawn
+/// assert_eq!(counts.iter().sum::<u64>(), 8_000);
+/// assert!(counts[2] > counts[1]);                 // 3:1 mass ratio
+/// ```
+pub fn batch_sample_counts(
+    sampler: &dyn DynamicSampler,
+    trials: u64,
+    master_seed: u64,
+) -> Result<Vec<u64>, SelectionError> {
+    // Fan out per trial (not per fixed-size chunk) so the parallelism kicks
+    // in at realistic batch sizes; the sequential counting pass afterwards
+    // is a trivial fraction of the per-trial sampling work.
+    let indices = batch_sample_indices(sampler, trials, master_seed)?;
+    let mut counts = vec![0u64; sampler.len()];
+    for index in indices {
+        counts[index] += 1;
+    }
+    Ok(counts)
+}
+
+/// Run `trials` independent draws and return the selected indices in trial
+/// order.
+///
+/// # Example
+///
+/// ```
+/// use lrb_dynamic::{batch_sample_indices, ShardedArena};
+///
+/// let arena = ShardedArena::from_weights(vec![1.0, 1.0, 1.0, 1.0], 2).unwrap();
+/// let a = batch_sample_indices(&arena, 100, 42).unwrap();
+/// let b = batch_sample_indices(&arena, 100, 42).unwrap();
+/// assert_eq!(a, b); // same master seed, same trials → identical sequence
+/// ```
+pub fn batch_sample_indices(
+    sampler: &dyn DynamicSampler,
+    trials: u64,
+    master_seed: u64,
+) -> Result<Vec<usize>, SelectionError> {
+    (0..trials)
+        .into_par_iter()
+        .map(|trial| {
+            let mut rng = Philox4x32::for_substream(master_seed, trial);
+            sampler.sample(&mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FenwickSampler, ShardedArena};
+    use lrb_core::DynamicSampler;
+
+    #[test]
+    fn counts_and_indices_agree() {
+        let sampler = FenwickSampler::from_weights(vec![1.0, 2.0, 1.0]).unwrap();
+        let counts = batch_sample_counts(&sampler, 5_000, 3).unwrap();
+        let indices = batch_sample_indices(&sampler, 5_000, 3).unwrap();
+        let mut recount = vec![0u64; sampler.len()];
+        for &i in &indices {
+            recount[i] += 1;
+        }
+        assert_eq!(recount, counts);
+    }
+
+    #[test]
+    fn batches_are_deterministic_per_seed() {
+        let arena = ShardedArena::from_weights(vec![2.0, 1.0, 4.0, 3.0], 2).unwrap();
+        let a = batch_sample_counts(&arena, 20_000, 9).unwrap();
+        let b = batch_sample_counts(&arena, 20_000, 9).unwrap();
+        assert_eq!(a, b);
+        let c = batch_sample_counts(&arena, 20_000, 10).unwrap();
+        assert_ne!(a, c, "different master seeds should differ");
+    }
+
+    #[test]
+    fn all_zero_sampler_fails_fast() {
+        let sampler = FenwickSampler::from_weights(vec![0.0, 0.0]).unwrap();
+        assert!(batch_sample_counts(&sampler, 10, 1).is_err());
+        assert!(batch_sample_indices(&sampler, 10, 1).is_err());
+    }
+
+    #[test]
+    fn zero_trials_is_an_empty_batch() {
+        let sampler = FenwickSampler::from_weights(vec![1.0]).unwrap();
+        assert_eq!(batch_sample_counts(&sampler, 0, 1).unwrap(), vec![0]);
+        assert!(batch_sample_indices(&sampler, 0, 1).unwrap().is_empty());
+    }
+}

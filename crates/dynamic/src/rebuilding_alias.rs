@@ -1,0 +1,251 @@
+//! A Vose-alias sampler with dirty tracking and deferred, amortised
+//! rebuilds: the "sample-heavy, update-light" baseline.
+//!
+//! Draws are `O(1)` while the weights rest. Any [`update`] merely records
+//! the new weight and marks the alias table dirty; the table is rebuilt
+//! (`O(n)`) lazily on the next draw. Between two updates, any number of
+//! draws share a single rebuild — the amortisation that makes this engine
+//! competitive when the update:sample ratio is low, and hopeless when it is
+//! 1:1 (which is exactly what the `dynamic_benches` sweep shows against
+//! [`FenwickSampler`](crate::FenwickSampler)).
+//!
+//! [`update`]: lrb_core::DynamicSampler::update
+
+use std::sync::Mutex;
+
+use lrb_core::error::SelectionError;
+use lrb_core::fitness::Fitness;
+use lrb_core::sequential::AliasSampler;
+use lrb_core::traits::{DynamicSampler, PreparedSampler};
+use lrb_rng::RandomSource;
+
+use crate::validate_weight;
+
+/// Interior state guarded by a mutex so `sample(&self)` can rebuild lazily.
+#[derive(Debug)]
+struct Cache {
+    /// The alias table, or `None` when an update invalidated it.
+    table: Option<AliasSampler>,
+    /// How many times the table has been (re)built — exposed so benches and
+    /// tests can observe the amortisation.
+    rebuilds: u64,
+    /// Cached weight sum, accumulated in O(1) per update and recomputed
+    /// exactly at every rebuild (so drift is bounded by one dirty window).
+    total: f64,
+}
+
+/// An updatable sampler that rebuilds a Vose alias table on demand.
+///
+/// # Example
+///
+/// ```
+/// use lrb_core::DynamicSampler;
+/// use lrb_dynamic::RebuildingAliasSampler;
+/// use lrb_rng::{MersenneTwister64, SeedableSource};
+///
+/// let mut sampler = RebuildingAliasSampler::from_weights(vec![1.0, 3.0]).unwrap();
+/// let mut rng = MersenneTwister64::seed_from_u64(2);
+/// let _ = sampler.sample(&mut rng).unwrap();   // builds the table
+/// assert_eq!(sampler.rebuild_count(), 1);
+/// let _ = sampler.sample(&mut rng).unwrap();   // reuses it
+/// assert_eq!(sampler.rebuild_count(), 1);
+/// sampler.update(0, 2.0).unwrap();             // marks it dirty
+/// let _ = sampler.sample(&mut rng).unwrap();   // rebuilds once
+/// assert_eq!(sampler.rebuild_count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct RebuildingAliasSampler {
+    weights: Vec<f64>,
+    non_zero: usize,
+    cache: Mutex<Cache>,
+}
+
+impl RebuildingAliasSampler {
+    /// Build from raw weights, validating them like [`Fitness::new`].
+    pub fn from_weights(weights: Vec<f64>) -> Result<Self, SelectionError> {
+        if weights.is_empty() {
+            return Err(SelectionError::EmptyFitness);
+        }
+        for (index, &value) in weights.iter().enumerate() {
+            validate_weight(index, value)?;
+        }
+        Ok(Self::from_validated(weights))
+    }
+
+    /// Build from an already-validated [`Fitness`] vector.
+    pub fn from_fitness(fitness: &Fitness) -> Self {
+        Self::from_validated(fitness.values().to_vec())
+    }
+
+    fn from_validated(weights: Vec<f64>) -> Self {
+        let total = weights.iter().sum();
+        let non_zero = weights.iter().filter(|&&w| w > 0.0).count();
+        Self {
+            weights,
+            non_zero,
+            cache: Mutex::new(Cache {
+                table: None,
+                rebuilds: 0,
+                total,
+            }),
+        }
+    }
+
+    /// How many times the alias table has been built so far.
+    pub fn rebuild_count(&self) -> u64 {
+        self.cache.lock().expect("cache lock poisoned").rebuilds
+    }
+
+    /// Whether the next draw will have to rebuild the table.
+    pub fn is_dirty(&self) -> bool {
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .table
+            .is_none()
+    }
+
+    /// Draw using a locked, up-to-date cache (rebuilding it if dirty).
+    fn sample_locked(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
+        if self.non_zero == 0 {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let mut cache = self.cache.lock().expect("cache lock poisoned");
+        if cache.table.is_none() {
+            let fitness = Fitness::new(self.weights.clone())?;
+            // The rebuild is already O(n); refresh the exact total here so
+            // the O(1) per-update accumulation cannot drift across windows.
+            cache.total = fitness.total();
+            cache.table = Some(AliasSampler::new(&fitness)?);
+            cache.rebuilds += 1;
+        }
+        let table = cache.table.as_ref().expect("table built above");
+        Ok(table.sample(rng))
+    }
+}
+
+impl DynamicSampler for RebuildingAliasSampler {
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn weight(&self, index: usize) -> f64 {
+        self.weights[index]
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.cache.lock().expect("cache lock poisoned").total
+    }
+
+    fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
+        self.sample_locked(rng)
+    }
+
+    fn update(&mut self, index: usize, new_weight: f64) -> Result<(), SelectionError> {
+        assert!(
+            index < self.weights.len(),
+            "index {index} outside 0..{}",
+            self.weights.len()
+        );
+        validate_weight(index, new_weight)?;
+        let old = self.weights[index];
+        if old > 0.0 && new_weight == 0.0 {
+            self.non_zero -= 1;
+        } else if old == 0.0 && new_weight > 0.0 {
+            self.non_zero += 1;
+        }
+        self.weights[index] = new_weight;
+        // O(1) accumulation keeps the update cheap (the whole point of this
+        // engine's dirty tracking); the exact sum is recomputed for free
+        // inside the next O(n) lazy rebuild, which bounds any drift to the
+        // updates applied since the last draw.
+        let cache = self.cache.get_mut().expect("cache lock poisoned");
+        cache.total += new_weight - old;
+        cache.table = None;
+        Ok(())
+    }
+
+    fn update_many(&mut self, updates: &[(usize, f64)]) -> Result<(), SelectionError> {
+        for &(index, weight) in updates {
+            assert!(index < self.weights.len());
+            validate_weight(index, weight)?;
+        }
+        for &(index, weight) in updates {
+            self.weights[index] = weight;
+        }
+        self.non_zero = self.weights.iter().filter(|&&w| w > 0.0).count();
+        let cache = self.cache.get_mut().expect("cache lock poisoned");
+        cache.total = self.weights.iter().sum();
+        cache.table = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+
+    #[test]
+    fn draws_match_the_weights_in_distribution() {
+        let sampler = RebuildingAliasSampler::from_weights(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(11);
+        let trials = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..trials {
+            counts[sampler.sample(&mut rng).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            let target = (i + 1) as f64 / 10.0;
+            assert!(
+                (freq - target).abs() < 0.005,
+                "index {i}: {freq} vs {target}"
+            );
+        }
+        assert_eq!(sampler.rebuild_count(), 1, "resting weights need one build");
+    }
+
+    #[test]
+    fn updates_invalidate_and_draws_rebuild_once() {
+        let mut sampler = RebuildingAliasSampler::from_weights(vec![1.0, 1.0]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(12);
+        assert!(sampler.is_dirty());
+        let _ = sampler.sample(&mut rng).unwrap();
+        assert!(!sampler.is_dirty());
+        sampler.update(0, 3.0).unwrap();
+        sampler.update(1, 4.0).unwrap();
+        assert!(sampler.is_dirty());
+        for _ in 0..10 {
+            let _ = sampler.sample(&mut rng).unwrap();
+        }
+        assert_eq!(sampler.rebuild_count(), 2, "ten draws shared one rebuild");
+        assert!((sampler.total_weight() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_updates_count_as_one_invalidation() {
+        let mut sampler = RebuildingAliasSampler::from_weights(vec![1.0; 6]).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(13);
+        sampler
+            .update_many(&[(0, 0.0), (1, 2.0), (5, 9.0)])
+            .unwrap();
+        assert!((sampler.total_weight() - 14.0).abs() < 1e-12);
+        for _ in 0..1_000 {
+            let i = sampler.sample(&mut rng).unwrap();
+            assert_ne!(i, 0, "drew the zeroed index");
+        }
+        assert_eq!(sampler.rebuild_count(), 1);
+    }
+
+    #[test]
+    fn all_zero_after_updates_is_reported() {
+        let mut sampler = RebuildingAliasSampler::from_weights(vec![2.0, 0.0]).unwrap();
+        sampler.update(0, 0.0).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(14);
+        assert_eq!(
+            sampler.sample(&mut rng),
+            Err(SelectionError::AllZeroFitness)
+        );
+    }
+}

@@ -211,7 +211,10 @@ mod tests {
             .map(|seed| bid_max(&bids, seed).unwrap().unwrap().while_iterations)
             .sum();
         let mean = total as f64 / trials as f64;
-        assert!(mean < 20.0, "mean iterations {mean} looks super-logarithmic");
+        assert!(
+            mean < 20.0,
+            "mean iterations {mean} looks super-logarithmic"
+        );
         assert!(mean > 2.0, "mean iterations {mean} looks implausibly small");
     }
 

@@ -42,7 +42,10 @@ pub fn compact_non_zero(values: &[Word]) -> Result<CompactionResult, PramError> 
 
     // Phase 1: prefix sums over the 0/1 liveness flags give each live index
     // its destination slot (EREW, O(log n) steps, O(n) cells).
-    let flags: Vec<Word> = values.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+    let flags: Vec<Word> = values
+        .iter()
+        .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+        .collect();
     let scan = prefix_sums_blelloch(&flags)?;
     let mut cost = scan.cost;
     let destinations = scan.prefix;
@@ -66,10 +69,7 @@ pub fn compact_non_zero(values: &[Word]) -> Result<CompactionResult, PramError> 
         .iter()
         .map(|&w| w as usize)
         .collect();
-    Ok(CompactionResult {
-        live_indices,
-        cost,
-    })
+    Ok(CompactionResult { live_indices, cost })
 }
 
 #[cfg(test)]
@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn all_zero_and_all_live_edges() {
-        assert!(compact_non_zero(&[0.0, 0.0]).unwrap().live_indices.is_empty());
+        assert!(compact_non_zero(&[0.0, 0.0])
+            .unwrap()
+            .live_indices
+            .is_empty());
         assert_eq!(
             compact_non_zero(&[1.0, 2.0, 3.0]).unwrap().live_indices,
             vec![0, 1, 2]

@@ -164,7 +164,10 @@ mod tests {
     fn assert_close(a: &[Word], b: &[Word]) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "index {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-9 * (1.0 + y.abs()),
+                "index {i}: {x} vs {y}"
+            );
         }
     }
 
@@ -227,7 +230,10 @@ mod tests {
     fn hillis_steele_uses_concurrent_reads_but_no_write_conflicts() {
         let values: Vec<Word> = (0..64).map(|i| i as f64).collect();
         let r = prefix_sums_hillis_steele(&values).unwrap();
-        assert!(r.cost.read_conflicts > 0, "doubling scan should share reads");
+        assert!(
+            r.cost.read_conflicts > 0,
+            "doubling scan should share reads"
+        );
         assert_eq!(r.cost.write_conflicts, 0);
     }
 
@@ -255,9 +261,9 @@ mod tests {
             let expect = sequential_prefix(&values);
             let hs = prefix_sums_hillis_steele(&values).unwrap();
             let bl = prefix_sums_blelloch(&values).unwrap();
-            for i in 0..values.len() {
-                prop_assert!((hs.prefix[i] - expect[i]).abs() < 1e-6);
-                prop_assert!((bl.prefix[i] - expect[i]).abs() < 1e-6);
+            for (i, &e) in expect.iter().enumerate() {
+                prop_assert!((hs.prefix[i] - e).abs() < 1e-6);
+                prop_assert!((bl.prefix[i] - e).abs() < 1e-6);
             }
         }
 

@@ -105,7 +105,10 @@ mod tests {
             let expect_max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let expect_sum: f64 = values.iter().sum();
             assert_eq!(reduce_max(&values).unwrap().value, expect_max, "n={n}");
-            assert!((reduce_sum(&values).unwrap().value - expect_sum).abs() < 1e-9, "n={n}");
+            assert!(
+                (reduce_sum(&values).unwrap().value - expect_sum).abs() < 1e-9,
+                "n={n}"
+            );
         }
     }
 

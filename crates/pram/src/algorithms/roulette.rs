@@ -264,8 +264,14 @@ mod tests {
         let fitness = [0.0, 3.0, 0.0, 2.0];
         let mut rng = MersenneTwister64::seed_from_u64(1);
         for seed in 0..2000u64 {
-            let a = prefix_sum_selection(&fitness, &mut rng).unwrap().selected.unwrap();
-            let b = log_bidding_selection(&fitness, seed).unwrap().selected.unwrap();
+            let a = prefix_sum_selection(&fitness, &mut rng)
+                .unwrap()
+                .selected
+                .unwrap();
+            let b = log_bidding_selection(&fitness, seed)
+                .unwrap()
+                .selected
+                .unwrap();
             assert!(fitness[a] > 0.0);
             assert!(fitness[b] > 0.0);
         }
@@ -275,7 +281,10 @@ mod tests {
     fn all_zero_fitness_selects_nothing() {
         let fitness = [0.0, 0.0, 0.0];
         let mut rng = MersenneTwister64::seed_from_u64(1);
-        assert_eq!(prefix_sum_selection(&fitness, &mut rng).unwrap().selected, None);
+        assert_eq!(
+            prefix_sum_selection(&fitness, &mut rng).unwrap().selected,
+            None
+        );
         assert_eq!(log_bidding_selection(&fitness, 3).unwrap().selected, None);
     }
 

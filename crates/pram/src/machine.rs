@@ -283,7 +283,10 @@ impl<L> Pram<L> {
                 }
                 WritePolicy::Common => {
                     let first = writers[0].1;
-                    if writers.iter().any(|&(_, v)| v != first && !(v.is_nan() && first.is_nan())) {
+                    if writers
+                        .iter()
+                        .any(|&(_, v)| v != first && !(v.is_nan() && first.is_nan()))
+                    {
                         return Err(PramError::CommonWriteDisagreement { address: addr });
                     }
                     first
@@ -349,7 +352,8 @@ mod tests {
 
     #[test]
     fn zero_processors_is_an_error() {
-        let mut pram: Pram<()> = Pram::with_locals(vec![], 1, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
+        let mut pram: Pram<()> =
+            Pram::with_locals(vec![], 1, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
         assert_eq!(
             pram.step(|_, _, _| vec![]).unwrap_err(),
             PramError::NoProcessors
@@ -412,7 +416,8 @@ mod tests {
     #[test]
     fn common_policy_accepts_agreement_and_rejects_disagreement() {
         let mut pram = writers_pram(WritePolicy::Common);
-        pram.step(|_, _, _| vec![WriteRequest::new(1, 3.5)]).unwrap();
+        pram.step(|_, _, _| vec![WriteRequest::new(1, 3.5)])
+            .unwrap();
         assert_eq!(pram.memory()[1], 3.5);
 
         let err = pram
@@ -432,7 +437,8 @@ mod tests {
     #[test]
     fn sum_combining_stores_the_sum() {
         let mut pram = writers_pram(WritePolicy::SumCombining);
-        pram.step(|_, _, _| vec![WriteRequest::new(0, 1.0)]).unwrap();
+        pram.step(|_, _, _| vec![WriteRequest::new(0, 1.0)])
+            .unwrap();
         assert_eq!(pram.memory()[0], 8.0);
     }
 
@@ -445,7 +451,13 @@ mod tests {
                 vec![]
             })
             .unwrap_err();
-        assert!(matches!(err, PramError::ConcurrentRead { address: 0, readers: 2 }));
+        assert!(matches!(
+            err,
+            PramError::ConcurrentRead {
+                address: 0,
+                readers: 2
+            }
+        ));
     }
 
     #[test]
@@ -474,13 +486,21 @@ mod tests {
         let err = pram
             .step(|_, _, _| vec![WriteRequest::new(1, 2.0)])
             .unwrap_err();
-        assert!(matches!(err, PramError::ConcurrentWrite { address: 1, writers: 4 }));
+        assert!(matches!(
+            err,
+            PramError::ConcurrentWrite {
+                address: 1,
+                writers: 4
+            }
+        ));
     }
 
     #[test]
     fn out_of_bounds_write_is_reported() {
         let mut pram: Pram<()> = Pram::new(1, 2, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
-        let err = pram.step(|_, _, _| vec![WriteRequest::new(5, 1.0)]).unwrap_err();
+        let err = pram
+            .step(|_, _, _| vec![WriteRequest::new(5, 1.0)])
+            .unwrap_err();
         assert_eq!(
             err,
             PramError::AddressOutOfBounds {
@@ -494,8 +514,7 @@ mod tests {
     fn reads_observe_start_of_step_values() {
         // Synchronous semantics: every processor reads the value from before
         // the step, even though another processor writes the cell this step.
-        let mut pram: Pram<f64> =
-            Pram::new(2, 1, AccessMode::Crcw, WritePolicy::Priority, 1);
+        let mut pram: Pram<f64> = Pram::new(2, 1, AccessMode::Crcw, WritePolicy::Priority, 1);
         pram.memory_mut()[0] = 42.0;
         pram.step(|pid, local, mem| {
             *local = mem.read(0);
@@ -533,8 +552,7 @@ mod tests {
     #[test]
     fn run_until_quiescent_counts_steps() {
         // Each processor writes once in the step equal to its id, then stops.
-        let mut pram: Pram<usize> =
-            Pram::new(3, 1, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
+        let mut pram: Pram<usize> = Pram::new(3, 1, AccessMode::Crcw, WritePolicy::Arbitrary, 1);
         let steps = pram
             .run_until_quiescent(|pid, counter, _| {
                 let step = *counter;

@@ -105,7 +105,14 @@ mod tests {
             memory_footprint: 6,
         };
         let s = r.to_string();
-        for needle in ["steps=1", "reads=2", "writes=3", "write_conflicts=4", "read_conflicts=5", "memory=6"] {
+        for needle in [
+            "steps=1",
+            "reads=2",
+            "writes=3",
+            "write_conflicts=4",
+            "read_conflicts=5",
+            "memory=6",
+        ] {
             assert!(s.contains(needle), "missing {needle} in {s}");
         }
     }

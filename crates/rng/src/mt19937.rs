@@ -153,12 +153,7 @@ impl SeedableSource for MersenneTwister {
         let mut sm = SplitMix64::new(seed);
         let k0 = sm.next_u64();
         let k1 = sm.next_u64();
-        let key = [
-            k0 as u32,
-            (k0 >> 32) as u32,
-            k1 as u32,
-            (k1 >> 32) as u32,
-        ];
+        let key = [k0 as u32, (k0 >> 32) as u32, k1 as u32, (k1 >> 32) as u32];
         Self::from_seed_array(&key)
     }
 }
@@ -219,7 +214,9 @@ mod tests {
     fn scalar_seeds_differ() {
         let mut a = MersenneTwister::new(1);
         let mut b = MersenneTwister::new(2);
-        let matches = (0..1000).filter(|_| a.next_u32_mt() == b.next_u32_mt()).count();
+        let matches = (0..1000)
+            .filter(|_| a.next_u32_mt() == b.next_u32_mt())
+            .count();
         assert!(matches < 3);
     }
 
@@ -227,7 +224,9 @@ mod tests {
     fn array_seeding_differs_from_scalar_seeding() {
         let mut a = MersenneTwister::new(0x123);
         let mut b = MersenneTwister::from_seed_array(&[0x123]);
-        let matches = (0..100).filter(|_| a.next_u32_mt() == b.next_u32_mt()).count();
+        let matches = (0..100)
+            .filter(|_| a.next_u32_mt() == b.next_u32_mt())
+            .count();
         assert!(matches < 3);
     }
 

@@ -144,8 +144,7 @@ mod tests {
     /// mt19937-64 reference distribution's `mt19937-64.out`.
     #[test]
     fn reference_vector_array_seed() {
-        let mut mt =
-            MersenneTwister64::from_seed_array(&[0x12345, 0x23456, 0x34567, 0x45678]);
+        let mut mt = MersenneTwister64::from_seed_array(&[0x12345, 0x23456, 0x34567, 0x45678]);
         let expected: [u64; 5] = [
             7_266_447_313_870_364_031,
             4_946_485_549_665_804_864,

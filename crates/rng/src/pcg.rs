@@ -36,10 +36,7 @@ impl Pcg32 {
 
     #[inline]
     fn step(&mut self) {
-        self.state = self
-            .state
-            .wrapping_mul(PCG32_MULT)
-            .wrapping_add(self.inc);
+        self.state = self.state.wrapping_mul(PCG32_MULT).wrapping_add(self.inc);
     }
 
     /// The next 32-bit output (reference `pcg32_random_r`).
@@ -99,10 +96,7 @@ impl Pcg64 {
 
     #[inline]
     fn step(&mut self) {
-        self.state = self
-            .state
-            .wrapping_mul(PCG64_MULT)
-            .wrapping_add(self.inc);
+        self.state = self.state.wrapping_mul(PCG64_MULT).wrapping_add(self.inc);
     }
 }
 
@@ -152,7 +146,9 @@ mod tests {
     fn pcg32_streams_are_independent() {
         let mut a = Pcg32::new(42, 1);
         let mut b = Pcg32::new(42, 2);
-        let matches = (0..1000).filter(|_| a.next_u32_pcg() == b.next_u32_pcg()).count();
+        let matches = (0..1000)
+            .filter(|_| a.next_u32_pcg() == b.next_u32_pcg())
+            .count();
         assert!(matches < 3);
     }
 

@@ -176,7 +176,7 @@ mod tests {
     fn counter_carry_propagates() {
         let mut g = Philox4x32::at(7, u32::MAX as u128);
         g.next_lane(); // consumes block at counter = u32::MAX
-        // After the refill the counter must have carried into word 1.
+                       // After the refill the counter must have carried into word 1.
         assert_eq!(g.counter, [0, 1, 0, 0]);
     }
 

@@ -41,9 +41,7 @@ impl StreamFamily {
     /// indices map to unrelated seeds and index 0 does not degenerate to the
     /// master seed itself.
     pub fn seed_for(&self, index: u64) -> u64 {
-        SplitMix64::mix64(
-            self.master_seed ^ index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA),
-        )
+        SplitMix64::mix64(self.master_seed ^ index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA))
     }
 
     /// Construct the generator for stream `index`.
@@ -81,7 +79,9 @@ mod tests {
     fn seeds_differ_across_master_seeds() {
         let a = StreamFamily::new(1);
         let b = StreamFamily::new(2);
-        let same = (0..1000).filter(|&i| a.seed_for(i) == b.seed_for(i)).count();
+        let same = (0..1000)
+            .filter(|&i| a.seed_for(i) == b.seed_for(i))
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -1,0 +1,334 @@
+//! An offline shim for the subset of [criterion] this workspace uses.
+//!
+//! Provides `Criterion`, benchmark groups with `sample_size` /
+//! `warm_up_time` / `measurement_time`, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a straightforward
+//! monotonic-clock loop: warm up, then run batches until the measurement
+//! budget is spent, and report the mean and best time per iteration.
+//!
+//! Set `LRB_BENCH_QUICK=1` to shrink warm-up and measurement budgets ~10×
+//! (used by CI smoke runs).
+//!
+//! [criterion]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measurement abstraction (only wall-clock time in the shim).
+pub mod measurement {
+    /// Marker trait mirroring criterion's `Measurement`.
+    pub trait Measurement {}
+
+    /// Wall-clock time measurement.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+
+    impl Measurement for WallTime {}
+}
+
+/// The benchmark harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            quick: std::env::var("LRB_BENCH_QUICK")
+                .map(|v| v != "0")
+                .unwrap_or(false),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            quick: self.quick,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter display into one id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so `bench_function` accepts both
+/// string literals and explicit ids (as in criterion).
+pub trait IntoBenchmarkId {
+    /// Convert into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// A group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a, M: measurement::Measurement> {
+    _criterion: &'a Criterion,
+    quick: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M: measurement::Measurement> BenchmarkGroup<'_, M> {
+    /// Accepted for compatibility; the shim sizes samples by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for compatibility; throughput is not reported by the shim.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher::new(self.budget());
+        f(&mut bencher);
+        bencher.report(&id.label);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.budget());
+        f(&mut bencher, input);
+        bencher.report(&id.label);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn budget(&self) -> (Duration, Duration) {
+        if self.quick {
+            (self.warm_up / 10, self.measurement / 10)
+        } else {
+            (self.warm_up, self.measurement)
+        }
+    }
+}
+
+/// Throughput hints (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs the measured closure and records per-iteration timings.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    mean_ns: f64,
+    best_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new((warm_up, measurement): (Duration, Duration)) -> Self {
+        Self {
+            warm_up,
+            measurement,
+            mean_ns: f64::NAN,
+            best_ns: f64::NAN,
+            iterations: 0,
+        }
+    }
+
+    /// Measure `f`, called repeatedly inside timing batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: also estimates the per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+
+        // Batches of ~1ms so Instant overhead stays negligible.
+        let batch = ((1_000_000.0 / est_ns).ceil() as u64).clamp(1, 1 << 24);
+        let mut total = Duration::ZERO;
+        let mut iterations: u64 = 0;
+        let mut best_ns = f64::INFINITY;
+        while total < self.measurement {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            iterations += batch;
+            let per_iter = elapsed.as_nanos() as f64 / batch as f64;
+            if per_iter < best_ns {
+                best_ns = per_iter;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iterations as f64;
+        self.best_ns = best_ns;
+        self.iterations = iterations;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iterations == 0 {
+            println!("  {label:<48} (no measurement)");
+        } else {
+            println!(
+                "  {label:<48} mean {:>12}  best {:>12}  ({} iters)",
+                format_ns(self.mean_ns),
+                format_ns(self.best_ns),
+                self.iterations
+            );
+        }
+    }
+
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    pub fn mean_ns(&self) -> f64 {
+        self.mean_ns
+    }
+}
+
+/// Render a nanosecond quantity with a human-friendly unit.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        std::env::set_var("LRB_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(10));
+        let mut x = 0u64;
+        group.bench_function("incr", |b| b.iter(|| x = x.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &v| {
+            b.iter(|| v * v)
+        });
+        group.finish();
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+    }
+}

@@ -1,0 +1,316 @@
+//! An offline shim for the subset of [proptest] this workspace uses.
+//!
+//! Supports the `proptest! { #[test] fn name(x in strategy, y: Type) {...} }`
+//! macro with range strategies (`0.0f64..5.0`, `1usize..64`),
+//! `proptest::collection::vec(strategy, size)` and plain-typed parameters
+//! (`seed: u64`), plus `prop_assert!`, `prop_assert_eq!` and `prop_assume!`.
+//!
+//! Each property runs for a fixed number of cases (default 64, override with
+//! the `PROPTEST_CASES` environment variable) driven by a deterministic
+//! SplitMix64 generator, so failures are reproducible. There is no shrinking:
+//! a failing case reports its assertion message directly.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+/// The deterministic generator driving every property run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create the generator for one property function.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        // Multiply-shift; bias is irrelevant for test-case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` env override).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128 + 1).max(1) as u64;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// Types with a default whole-domain strategy (the `name: Type` parameter
+/// form of the `proptest!` macro).
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric values spanning many magnitudes.
+        rng.next_f64() * 2e6 - 1e6
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A length specification: fixed or ranged.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self { min: len, max: len }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(range.end > range.start, "empty size range");
+            Self {
+                min: range.start,
+                max: range.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *range.start(),
+                max: *range.end(),
+            }
+        }
+    }
+
+    /// Strategy producing vectors of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Create a vector strategy (`proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len =
+                self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The macro-facing prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Strategy,
+        TestRng,
+    };
+}
+
+/// Define property tests. See the crate docs for the supported forms.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: a sequence of test functions.
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $($crate::proptest!(@one $(#[$meta])* fn $name($($params)*) $body);)*
+    };
+
+    (@one $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            // Seed per property name so cases differ across properties but
+            // are stable across runs.
+            let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in stringify!($name).bytes() {
+                __seed = (__seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut __rng = $crate::TestRng::new(__seed);
+            for __case in 0..$crate::cases() {
+                let _ = __case;
+                $crate::proptest!(@bind __rng, $($params)*);
+                $body
+            }
+        }
+    };
+
+    // Parameter binding: `name in strategy` and `name: Type` forms,
+    // tt-munched left to right, with or without a trailing comma.
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $name:ident in $strategy:expr) => {
+        let $name = $crate::Strategy::generate(&$strategy, &mut $rng);
+    };
+    (@bind $rng:ident, $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&$strategy, &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+}
+
+/// Assert inside a property (no shrinking in the shim — plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let x = (0.5f64..2.5).generate(&mut rng);
+            assert!((0.5..2.5).contains(&x));
+            let n = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0.0f64..1.0, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let fixed = crate::collection::vec(0u64..9, 4).generate(&mut rng);
+            assert_eq!(fixed.len(), 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_both_param_forms(
+            values in crate::collection::vec(0.0f64..10.0, 1..50),
+            seed: u64,
+        ) {
+            prop_assume!(!values.is_empty());
+            prop_assert!(values.iter().all(|v| (0.0..10.0).contains(v)));
+            let _ = seed;
+            prop_assert_eq!(values.len(), values.len());
+        }
+
+        #[test]
+        fn macro_supports_multiple_functions(x in 0usize..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! An offline, API-compatible shim for the subset of [rayon] this workspace
+//! uses.
+//!
+//! The build environment has no network access, so the real `rayon` cannot be
+//! fetched from crates.io. This crate implements the same surface — parallel
+//! iterators over slices, vectors and ranges with `map` / `filter` /
+//! `enumerate` / `reduce` / `try_reduce` / `collect`, plus a
+//! [`ThreadPoolBuilder`] whose `num_threads` is honoured — on top of
+//! `std::thread::scope`.
+//!
+//! Semantics match rayon where the workspace depends on them:
+//!
+//! * item order is preserved through every combinator, so `collect` returns
+//!   the same vector a sequential iterator would;
+//! * `reduce` assumes an associative operator (as rayon does) and combines
+//!   per-chunk partials left-to-right, so results are deterministic for
+//!   associative, order-insensitive operators (all uses in this workspace);
+//! * closures must be `Sync` and items `Send`, mirroring rayon's bounds.
+//!
+//! Work is only fanned out across threads when an iterator stage has at least
+//! [`PARALLEL_THRESHOLD`] items; below that, thread-spawn overhead dominates
+//! and the stage runs inline. `ThreadPoolBuilder::num_threads(1)` forces
+//! fully sequential execution.
+//!
+//! [rayon]: https://docs.rs/rayon
+
+use std::cell::Cell;
+
+/// Minimum number of items per stage before threads are spawned.
+pub const PARALLEL_THRESHOLD: usize = 1024;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn configured_threads() -> usize {
+    THREAD_OVERRIDE.with(|o| o.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The number of threads parallel stages may use on this thread.
+pub fn current_num_threads() -> usize {
+    configured_threads()
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+///
+/// The shim has no persistent pool; the builder records the thread budget and
+/// [`ThreadPool::install`] applies it for the duration of a closure, which is
+/// exactly how the workspace's reproducibility tests vary the thread count.
+#[derive(Debug, Default, Clone)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never constructed).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Create a builder with the default thread budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of threads stages run under `install` may use.
+    /// `0` means "use the default" (as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the (virtual) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A virtual thread pool: a scoped thread-count override.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread budget applied to every parallel
+    /// stage reached from the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = THREAD_OVERRIDE.with(|o| o.replace(self.num_threads));
+        let result = op();
+        THREAD_OVERRIDE.with(|o| o.set(previous));
+        result
+    }
+
+    /// The pool's thread budget.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(configured_threads)
+    }
+}
+
+/// Split `items` into at most `parts` contiguous chunks, preserving order.
+fn split_chunks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.clamp(1, n.max(1));
+    let chunk = n.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    while items.len() > chunk {
+        let tail = items.split_off(chunk);
+        out.push(items);
+        items = tail;
+    }
+    out.push(items);
+    out
+}
+
+fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(
+    items: Vec<T>,
+    f: &F,
+    min_len: usize,
+) -> Vec<R> {
+    let threads = configured_threads();
+    if threads <= 1 || items.len() < min_len.max(2) {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = split_chunks(items, threads);
+    let nested: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    nested.into_iter().flatten().collect()
+}
+
+fn parallel_fold<T: Send, A: Send>(
+    items: Vec<T>,
+    identity: &(impl Fn() -> A + Sync),
+    fold: &(impl Fn(A, T) -> A + Sync),
+    combine: impl Fn(A, A) -> A,
+    min_len: usize,
+) -> A {
+    let threads = configured_threads();
+    if threads <= 1 || items.len() < min_len.max(2) {
+        return items.into_iter().fold(identity(), fold);
+    }
+    let chunks = split_chunks(items, threads);
+    let partials: Vec<A> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().fold(identity(), fold)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    partials.into_iter().fold(identity(), combine)
+}
+
+/// A materialised parallel iterator: combinators apply eagerly, fanning the
+/// work out across scoped threads when the stage is large enough.
+pub struct ParIter<T> {
+    items: Vec<T>,
+    /// Stage size below which work runs inline (see [`PARALLEL_THRESHOLD`]).
+    min_len: usize,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Override the stage size below which work runs inline, mirroring
+    /// rayon's `IndexedParallelIterator::with_min_len`. The default
+    /// ([`PARALLEL_THRESHOLD`]) assumes cheap per-item work; stages with
+    /// expensive items (whole tour constructions, batch chunks) should
+    /// lower it — `with_min_len(1)` forces fan-out whenever more than one
+    /// item and one thread are available.
+    pub fn with_min_len(mut self, min_len: usize) -> ParIter<T> {
+        self.min_len = min_len;
+        self
+    }
+
+    /// Apply `f` to every item (in parallel for large stages).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        let min_len = self.min_len;
+        ParIter {
+            items: parallel_map(self.items, &f, min_len),
+            min_len,
+        }
+    }
+
+    /// Keep the items satisfying `predicate`, preserving order.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, predicate: F) -> ParIter<T> {
+        let items = self.items.into_iter().filter(|t| predicate(t)).collect();
+        ParIter {
+            items,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        let items = self.items.into_iter().enumerate().collect();
+        ParIter {
+            items,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Reduce with an associative operator, as `rayon`'s `reduce`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let min_len = self.min_len;
+        parallel_fold(self.items, &identity, &|a, t| op(a, t), &op, min_len)
+    }
+
+    /// Execute `f` on every item for its side effects.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let min_len = self.min_len;
+        parallel_map(self.items, &|t| f(t), min_len);
+    }
+
+    /// Collect into any [`FromParallelIterator`] target (order preserved).
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par_iter_items(self.items)
+    }
+
+    /// Number of items in the stage.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<U: Send, E: Send> ParIter<Result<U, E>> {
+    /// Short-circuiting reduce over `Result` items, as `rayon`'s
+    /// `try_reduce`: the first `Err` wins, otherwise partials are combined
+    /// with `op`.
+    pub fn try_reduce<ID, OP>(self, identity: ID, op: OP) -> Result<U, E>
+    where
+        ID: Fn() -> U + Sync,
+        OP: Fn(U, U) -> Result<U, E> + Sync,
+    {
+        let mut acc = identity();
+        for item in self.items {
+            acc = op(acc, item?)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// Conversion from a materialised parallel stage, mirroring rayon's
+/// `FromParallelIterator`.
+pub trait FromParallelIterator<T>: Sized {
+    /// Build the collection from the stage's items (already in order).
+    fn from_par_iter_items(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter_items(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Types convertible into a [`ParIter`], mirroring rayon's
+/// `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting stage.
+    type Item: Send;
+    /// Convert into a parallel stage.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self,
+            min_len: PARALLEL_THRESHOLD,
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+            min_len: PARALLEL_THRESHOLD,
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+            min_len: PARALLEL_THRESHOLD,
+        }
+    }
+}
+
+/// Borrowing conversions, mirroring rayon's `IntoParallelRefIterator`
+/// (`par_iter`) and `ParallelSlice` (`par_chunks`).
+pub trait ParallelSliceExt<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over `chunk_size`-sized sub-slices.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: PARALLEL_THRESHOLD,
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+            min_len: PARALLEL_THRESHOLD,
+        }
+    }
+}
+
+impl<T: Sync> ParallelSliceExt<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<&T> {
+        self.as_slice().par_iter()
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        self.as_slice().par_chunks(chunk_size)
+    }
+}
+
+/// The rayon prelude: everything call sites need in scope.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSliceExt};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let values: Vec<f64> = (0..5_000).map(|i| i as f64).collect();
+        let par_sum = values.par_iter().map(|&x| x).reduce(|| 0.0, |a, b| a + b);
+        let seq_sum: f64 = values.iter().sum();
+        assert!((par_sum - seq_sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_reduce_short_circuits_on_err() {
+        let r: Result<u64, &'static str> = (0..100u64)
+            .into_par_iter()
+            .map(|i| if i == 57 { Err("boom") } else { Ok(i) })
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(r, Err("boom"));
+    }
+
+    #[test]
+    fn collect_into_result_vec() {
+        let ok: Result<Vec<u64>, ()> = (0..10u64).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_every_element() {
+        let values: Vec<f64> = (0..4_321).map(|i| i as f64).collect();
+        let sums: Vec<f64> = values.par_chunks(100).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 44);
+        let total: f64 = sums.iter().sum();
+        assert_eq!(total, values.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn enumerate_filter_pipeline() {
+        let values = vec![0.0, 1.0, 0.0, 2.0];
+        let picked: Vec<usize> = values
+            .par_iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(picked, vec![1, 3]);
+    }
+
+    #[test]
+    fn with_min_len_fans_out_small_expensive_stages() {
+        // 8 items is far below the default threshold; with_min_len(1) must
+        // still produce the same ordered result through the threaded path.
+        let expensive = |i: u64| -> u64 {
+            let mut acc = i;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let fanned: Vec<u64> = (0..8u64)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(expensive)
+            .collect();
+        let inline: Vec<u64> = (0..8u64).map(expensive).collect();
+        assert_eq!(fanned, inline);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let run = |threads: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                (0..50_000u64)
+                    .into_par_iter()
+                    .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .collect()
+            })
+        };
+        let one = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(one, run(threads));
+        }
+    }
+}

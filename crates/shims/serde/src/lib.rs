@@ -1,0 +1,230 @@
+//! An offline, API-compatible shim for the subset of [serde] this workspace
+//! uses: `#[derive(Serialize, Deserialize)]` on plain structs with named
+//! fields, round-tripped through JSON by the sibling `serde_json` shim.
+//!
+//! Unlike real serde, which is format-agnostic via visitor-based
+//! serializers, this shim serialises into an owned JSON-like [`Value`] tree.
+//! That is exactly what the workspace needs (pretty-printed experiment
+//! reports and their round-trip tests) and keeps the derive macro small
+//! enough to hand-write without `syn`/`quote` (no network access).
+//!
+//! [serde]: https://docs.rs/serde
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`; integers up to 2^53 round-trip exactly).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object value.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value's JSON type name (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    fn as_number(&self) -> Result<f64, Error> {
+        match self {
+            Value::Number(x) => Ok(*x),
+            other => Err(Error::new(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Create an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be serialised into a [`Value`].
+pub trait Serialize {
+    /// Convert `self` into an owned JSON value.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`].
+///
+/// The lifetime parameter exists for signature compatibility with real
+/// serde's `for<'de> Deserialize<'de>` bounds; the shim always deserialises
+/// from an owned tree.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstruct a value from a JSON tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_serde_for_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                Ok(value.as_number()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_for_number!(f64, f32, u64, u32, u16, u8, i64, i32, i16, i8, usize, isize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        let s = "hi".to_string();
+        assert_eq!(String::deserialize(&s.serialize()).unwrap(), "hi");
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.serialize()).unwrap(), v);
+    }
+
+    #[test]
+    fn field_lookup_reports_missing_fields() {
+        let obj = Value::Object(vec![("a".into(), Value::Number(1.0))]);
+        assert!(obj.field("a").is_ok());
+        assert!(obj.field("b").unwrap_err().to_string().contains("missing"));
+        assert!(Value::Null.field("a").is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! serde shim.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs with
+//! named fields (any visibility, any attributes). No `syn`/`quote` — the
+//! struct name and field names are extracted by walking the raw
+//! `TokenStream`, and the impls are emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parse `struct Name { fields... }` out of a derive input stream.
+///
+/// Panics (surfacing as a compile error) on enums, tuple structs or generic
+/// structs, which this shim does not support.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility up to the `struct` keyword.
+    let mut name = None;
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let text = ident.to_string();
+            if text == "enum" || text == "union" {
+                panic!("serde shim derive supports only structs, found `{text}`");
+            }
+            if text == "struct" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("no `struct` keyword in derive input");
+
+    // The next token must be the brace group with the named fields; a `<`
+    // would mean generics, a parenthesis a tuple struct.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                break group.stream();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive does not support generic structs");
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive does not support tuple structs");
+            }
+            Some(_) => continue,
+            None => panic!("struct `{name}` has no body"),
+        }
+    };
+
+    // Walk the fields: skip attributes and visibility, take the identifier
+    // before each top-level `:`, then skip the type up to the next top-level
+    // comma (angle-bracket depth tracked so `Vec<(u64, f64)>` parses).
+    let mut fields = Vec::new();
+    let mut body_tokens = body.into_iter().peekable();
+    'fields: loop {
+        // Skip leading attributes on the field.
+        loop {
+            match body_tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    body_tokens.next();
+                    body_tokens.next(); // the `[...]` group
+                }
+                _ => break,
+            }
+        }
+        // Field name: the identifier immediately before `:` (skipping `pub`
+        // and `pub(...)`).
+        let field = loop {
+            match body_tokens.next() {
+                Some(TokenTree::Ident(ident)) => {
+                    let text = ident.to_string();
+                    if text == "pub" {
+                        if let Some(TokenTree::Group(_)) = body_tokens.peek() {
+                            body_tokens.next(); // `pub(crate)` and friends
+                        }
+                        continue;
+                    }
+                    break text;
+                }
+                Some(other) => panic!("unexpected token in struct body: {other}"),
+                None => break 'fields,
+            }
+        };
+        fields.push(field);
+        match body_tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type up to the next comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match body_tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break 'fields,
+            }
+        }
+    }
+
+    StructShape { name, fields }
+}
+
+/// Derive the shim's `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let pushes: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "entries.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+            )
+        })
+        .collect();
+    let name = &shape.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(entries)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive the shim's `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let field_inits: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::deserialize(value.field({f:?})?)?,\n"))
+        .collect();
+    let name = &shape.name;
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok(Self {{ {field_inits} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -118,7 +118,11 @@ mod tests {
         let observed = [5u64, 8, 9, 8, 10, 20];
         let expected = [1.0 / 6.0; 6];
         let r = chi_square_gof(&observed, &expected);
-        assert!((r.statistic - 13.4).abs() < 1e-9, "statistic {}", r.statistic);
+        assert!(
+            (r.statistic - 13.4).abs() < 1e-9,
+            "statistic {}",
+            r.statistic
+        );
         assert_eq!(r.degrees_of_freedom, 5);
         assert!((r.p_value - 0.0199).abs() < 0.001, "p {}", r.p_value);
         assert!(!r.is_consistent(0.05));

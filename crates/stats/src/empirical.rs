@@ -196,7 +196,7 @@ mod tests {
     fn max_abs_deviation_and_tv() {
         let d = EmpiricalDistribution::from_selections(
             2,
-            std::iter::repeat(0usize).take(60).chain(std::iter::repeat(1).take(40)),
+            std::iter::repeat_n(0usize, 60).chain(std::iter::repeat_n(1, 40)),
         );
         let target = [0.5, 0.5];
         assert!((d.max_abs_deviation(&target) - 0.1).abs() < 1e-12);
@@ -220,7 +220,7 @@ mod tests {
     fn frequency_interval_contains_the_frequency() {
         let d = EmpiricalDistribution::from_selections(
             2,
-            std::iter::repeat(0usize).take(70).chain(std::iter::repeat(1).take(30)),
+            std::iter::repeat_n(0usize, 70).chain(std::iter::repeat_n(1, 30)),
         );
         let ci = d.frequency_interval(0);
         assert!(ci.low <= 0.7 && 0.7 <= ci.high);

@@ -146,7 +146,10 @@ impl Summary {
 /// Linear-interpolated percentile of an ascending-sorted sample.
 pub fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
     assert!(!sorted.is_empty(), "empty sample");
-    assert!((0.0..=100.0).contains(&pct), "percentile must be in [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile must be in [0, 100]"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

@@ -15,20 +15,30 @@ fn main() {
     // city has already been visited.
     let fitness = Fitness::new(vec![0.0, 1.0, 2.0, 3.0, 4.0]).expect("valid fitness");
     println!("fitness         : {:?}", fitness.values());
-    println!("exact F_i       : {:?}\n", rounded(&fitness.probabilities()));
+    println!(
+        "exact F_i       : {:?}\n",
+        rounded(&fitness.probabilities())
+    );
 
     // One-off selection with the paper's logarithmic random bidding.
     let selector = lrb_core::parallel::LogBiddingSelector::default();
     let mut rng = MersenneTwister64::seed_from_u64(42);
     let chosen = lrb_core::Selector::select(&selector, &fitness, &mut rng).expect("selection");
-    println!("single selection with {}: index {chosen}\n", lrb_core::Selector::name(&selector));
+    println!(
+        "single selection with {}: index {chosen}\n",
+        lrb_core::Selector::name(&selector)
+    );
 
     // Empirical frequencies of every algorithm over 100k trials.
     let trials = 100_000;
     println!("empirical frequencies over {trials} trials:");
     for selector in all_selectors() {
         // The CRCW-PRAM simulation is much slower per trial; sample it less.
-        let budget = if selector.name().contains("crcw") { 5_000 } else { trials };
+        let budget = if selector.name().contains("crcw") {
+            5_000
+        } else {
+            trials
+        };
         let mut rng = MersenneTwister64::seed_from_u64(7);
         let mut dist = EmpiricalDistribution::new(fitness.len());
         for _ in 0..budget {
@@ -39,11 +49,18 @@ fn main() {
             selector.name(),
             rounded(&dist.frequencies()),
             dist.max_abs_deviation(&fitness.probabilities()),
-            if selector.is_exact() { "(exact)" } else { "(biased by design)" }
+            if selector.is_exact() {
+                "(exact)"
+            } else {
+                "(biased by design)"
+            }
         );
     }
 }
 
 fn rounded(values: &[f64]) -> Vec<f64> {
-    values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect()
+    values
+        .iter()
+        .map(|v| (v * 1000.0).round() / 1000.0)
+        .collect()
 }

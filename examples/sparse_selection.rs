@@ -37,7 +37,11 @@ fn main() {
             iters.push(stats.while_iterations as f64);
             mem = mem.max(stats.cost.memory_footprint);
         }
-        let bound = if k == 1 { 1.0 } else { 2.0 * (k as f64).log2().ceil() };
+        let bound = if k == 1 {
+            1.0
+        } else {
+            2.0 * (k as f64).log2().ceil()
+        };
         println!(
             "{:>8} {:>14.2} {:>14.0} {:>12.0} {:>10}",
             k,

@@ -5,7 +5,9 @@
 //! values makes its construction greedier.
 
 use lrb_aco::coloring::{greedy_coloring, ColoringColony, ColoringParams};
-use lrb_aco::{construct_tour, AntParams, Colony, ColonyParams, Graph, PheromoneMatrix, TspInstance};
+use lrb_aco::{
+    construct_tour, AntParams, Colony, ColonyParams, Graph, PheromoneMatrix, TspInstance,
+};
 use lrb_core::parallel::{IndependentRouletteSelector, LogBiddingSelector};
 use lrb_core::sequential::LinearScanSelector;
 use lrb_core::Selector;
@@ -45,9 +47,10 @@ fn exact_strategies_produce_statistically_identical_first_steps() {
 
     let first_step_distribution = |selector: &dyn Selector, seed: u64| -> Vec<f64> {
         let mut rng = MersenneTwister64::seed_from_u64(seed);
-        let mut counts = vec![0usize; 12];
+        let mut counts = [0usize; 12];
         for _ in 0..trials {
-            let tour = construct_tour(&instance, &pheromone, &params, selector, 0, &mut rng).unwrap();
+            let tour =
+                construct_tour(&instance, &pheromone, &params, selector, 0, &mut rng).unwrap();
             counts[tour.order[1]] += 1;
         }
         counts.iter().map(|&c| c as f64 / trials as f64).collect()
@@ -62,7 +65,10 @@ fn exact_strategies_produce_statistically_identical_first_steps() {
         .zip(&log_bid)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0, f64::max);
-    assert!(max_gap_exact < 0.015, "exact strategies disagree by {max_gap_exact}");
+    assert!(
+        max_gap_exact < 0.015,
+        "exact strategies disagree by {max_gap_exact}"
+    );
 
     // The independent roulette concentrates on the most desirable city; its
     // largest single-city probability should exceed the exact strategy's.

@@ -3,9 +3,9 @@
 //! workloads, while the independent roulette does not. This is the
 //! cross-crate statement of the paper's central claim.
 
-use lrb_core::{exact_selectors, Fitness, Selector};
 use lrb_core::parallel::IndependentRouletteSelector;
 use lrb_core::sequential::{AliasSampler, CdfSampler};
+use lrb_core::{exact_selectors, Fitness, Selector};
 use lrb_core::{without_replacement::sample_without_replacement, PreparedSampler};
 use lrb_rng::{MersenneTwister64, SeedableSource};
 use lrb_stats::{chi_square_gof, EmpiricalDistribution};
@@ -14,7 +14,10 @@ fn workloads() -> Vec<(&'static str, Fitness)> {
     vec![
         ("table1", Fitness::table1()),
         ("skewed", Fitness::new(vec![0.1, 0.1, 0.1, 5.0]).unwrap()),
-        ("with-zeros", Fitness::new(vec![0.0, 2.0, 0.0, 1.0, 3.0]).unwrap()),
+        (
+            "with-zeros",
+            Fitness::new(vec![0.0, 2.0, 0.0, 1.0, 3.0]).unwrap(),
+        ),
     ]
 }
 
@@ -24,7 +27,11 @@ fn every_exact_selector_passes_a_chi_square_test_against_f_i() {
         let target = fitness.probabilities();
         for selector in exact_selectors() {
             // The CRCW simulation is slow per draw: smaller sample, looser test.
-            let trials: u64 = if selector.name().contains("crcw") { 8_000 } else { 60_000 };
+            let trials: u64 = if selector.name().contains("crcw") {
+                8_000
+            } else {
+                60_000
+            };
             let mut rng = MersenneTwister64::seed_from_u64(17);
             let mut dist = EmpiricalDistribution::new(fitness.len());
             for _ in 0..trials {
@@ -71,7 +78,11 @@ fn the_independent_roulette_fails_the_same_test_on_uneven_weights() {
     let mut rng = MersenneTwister64::seed_from_u64(29);
     let mut dist = EmpiricalDistribution::new(fitness.len());
     for _ in 0..60_000 {
-        dist.record(IndependentRouletteSelector.select(&fitness, &mut rng).unwrap());
+        dist.record(
+            IndependentRouletteSelector
+                .select(&fitness, &mut rng)
+                .unwrap(),
+        );
     }
     let gof = chi_square_gof(dist.counts(), &target);
     assert!(
@@ -101,11 +112,19 @@ fn without_replacement_first_draw_matches_the_one_shot_selectors() {
 fn exact_selectors_never_select_outside_the_support() {
     let fitness = Fitness::sparse(200, 3, 1.0).unwrap();
     for selector in exact_selectors() {
-        let trials = if selector.name().contains("crcw") { 50 } else { 2_000 };
+        let trials = if selector.name().contains("crcw") {
+            50
+        } else {
+            2_000
+        };
         let mut rng = MersenneTwister64::seed_from_u64(37);
         for _ in 0..trials {
             let i = selector.select(&fitness, &mut rng).unwrap();
-            assert!(fitness.values()[i] > 0.0, "{} escaped the support", selector.name());
+            assert!(
+                fitness.values()[i] > 0.0,
+                "{} escaped the support",
+                selector.name()
+            );
         }
     }
 }

@@ -5,7 +5,9 @@
 
 use lrb_bench::run_probability_experiment;
 use lrb_core::analysis::independent_roulette_probabilities;
-use lrb_core::parallel::{IndependentRouletteSelector, LogBiddingSelector, ParallelLogBiddingSelector};
+use lrb_core::parallel::{
+    IndependentRouletteSelector, LogBiddingSelector, ParallelLogBiddingSelector,
+};
 use lrb_core::{Fitness, Selector};
 
 fn selectors() -> Vec<Box<dyn Selector>> {
@@ -19,8 +21,7 @@ fn selectors() -> Vec<Box<dyn Selector>> {
 #[test]
 fn table1_logarithmic_matches_exact_and_independent_does_not() {
     let fitness = Fitness::table1();
-    let report =
-        run_probability_experiment("Table I", &fitness, &selectors(), 120_000, 42);
+    let report = run_probability_experiment("Table I", &fitness, &selectors(), 120_000, 42);
 
     let independent = &report.columns[0];
     let log_sequential = &report.columns[1];
@@ -30,8 +31,18 @@ fn table1_logarithmic_matches_exact_and_independent_does_not() {
     // reject, max deviation small)…
     for column in [log_sequential, log_rayon] {
         assert!(column.exact);
-        assert!(column.max_abs_deviation < 0.006, "{}: {}", column.name, column.max_abs_deviation);
-        assert!(column.p_value > 0.001, "{}: p = {}", column.name, column.p_value);
+        assert!(
+            column.max_abs_deviation < 0.006,
+            "{}: {}",
+            column.name,
+            column.max_abs_deviation
+        );
+        assert!(
+            column.p_value > 0.001,
+            "{}: p = {}",
+            column.name,
+            column.p_value
+        );
     }
     // …while the independent roulette is rejected decisively and shows the
     // paper's qualitative pattern: small indices starved, index 9 inflated
@@ -74,8 +85,7 @@ fn table1_empirical_independent_column_matches_the_closed_form() {
 #[test]
 fn table2_index_zero_is_selected_by_log_bidding_but_never_by_independent() {
     let fitness = Fitness::table2();
-    let report =
-        run_probability_experiment("Table II", &fitness, &selectors(), 80_000, 11);
+    let report = run_probability_experiment("Table II", &fitness, &selectors(), 80_000, 11);
 
     let independent = &report.columns[0];
     let log_sequential = &report.columns[1];

@@ -6,7 +6,7 @@
 
 use lrb_core::Fitness;
 use lrb_pram::algorithms::{
-    bid_max, compact_non_zero, constant_time_max, reduce_max, prefix_sums_blelloch,
+    bid_max, compact_non_zero, constant_time_max, prefix_sums_blelloch, reduce_max,
 };
 use lrb_rng::exponential::log_bid;
 use lrb_rng::{MersenneTwister64, RandomSource, SeedableSource, StreamFamily, Xoshiro256PlusPlus};
@@ -78,7 +78,10 @@ fn compaction_plus_dense_selection_matches_direct_selection_probabilities() {
 
     let compaction = compact_non_zero(&values).unwrap();
     assert_eq!(compaction.live_indices, vec![5, 17, 40, 63]);
-    assert!(compaction.cost.steps > 10, "compaction pays the Θ(log n) scan");
+    assert!(
+        compaction.cost.steps > 10,
+        "compaction pays the Θ(log n) scan"
+    );
 
     // Dense roulette over the compacted weights via prefix sums.
     let dense: Vec<f64> = compaction.live_indices.iter().map(|&i| values[i]).collect();
@@ -89,7 +92,10 @@ fn compaction_plus_dense_selection_matches_direct_selection_probabilities() {
     let mut counts = vec![0usize; dense.len()];
     for _ in 0..trials {
         let r = rng.next_f64() * total;
-        let slot = scan.prefix.partition_point(|&p| p <= r).min(dense.len() - 1);
+        let slot = scan
+            .prefix
+            .partition_point(|&p| p <= r)
+            .min(dense.len() - 1);
         counts[slot] += 1;
     }
     for (slot, &count) in counts.iter().enumerate() {

@@ -14,7 +14,9 @@ fn selections_are_bit_reproducible_across_runs() {
     let selector = ParallelLogBiddingSelector::default();
     let run = |seed: u64| -> Vec<usize> {
         let mut rng = MersenneTwister64::seed_from_u64(seed);
-        (0..200).map(|_| selector.select(&fitness, &mut rng).unwrap()).collect()
+        (0..200)
+            .map(|_| selector.select(&fitness, &mut rng).unwrap())
+            .collect()
     };
     assert_eq!(run(1), run(1));
     assert_ne!(run(1), run(2));

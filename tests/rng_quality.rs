@@ -58,14 +58,22 @@ fn exponential_samplers_pass_a_ks_test() {
     let mut rng = MersenneTwister64::seed_from_u64(6);
     let inverse: Vec<f64> = (0..n).map(|_| standard_exponential(&mut rng)).collect();
     let result = ks_test(&inverse, exponential_cdf);
-    assert!(result.is_consistent(0.001), "inverse CDF sampler: p = {}", result.p_value);
+    assert!(
+        result.is_consistent(0.001),
+        "inverse CDF sampler: p = {}",
+        result.p_value
+    );
 
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
     let ziggurat: Vec<f64> = (0..n)
         .map(|_| standard_exponential_ziggurat(&mut rng))
         .collect();
     let result = ks_test(&ziggurat, exponential_cdf);
-    assert!(result.is_consistent(0.001), "ziggurat sampler: p = {}", result.p_value);
+    assert!(
+        result.is_consistent(0.001),
+        "ziggurat sampler: p = {}",
+        result.p_value
+    );
 }
 
 #[test]
@@ -76,7 +84,13 @@ fn logarithmic_bids_follow_the_negated_exponential_distribution() {
     for fitness in [0.5f64, 1.0, 4.0] {
         let mut rng = MersenneTwister64::seed_from_u64(fitness.to_bits());
         let negated: Vec<f64> = (0..n).map(|_| -log_bid(&mut rng, fitness)).collect();
-        let cdf = |x: f64| if x <= 0.0 { 0.0 } else { 1.0 - (-fitness * x).exp() };
+        let cdf = |x: f64| {
+            if x <= 0.0 {
+                0.0
+            } else {
+                1.0 - (-fitness * x).exp()
+            }
+        };
         let result = ks_test(&negated, cdf);
         assert!(
             result.is_consistent(0.001),

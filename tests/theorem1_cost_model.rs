@@ -75,7 +75,11 @@ fn prefix_sum_and_log_bidding_pram_costs_have_the_papers_shape() {
     assert!(ps.cost.steps >= 2 * 8, "prefix-sum steps {}", ps.cost.steps);
     assert!(ps.cost.memory_footprint >= n);
     // Log bidding: steps track k (here ≤ k + 2), memory exactly 2 cells.
-    assert!(lb.cost.steps <= k + 2, "log-bidding steps {}", lb.cost.steps);
+    assert!(
+        lb.cost.steps <= k + 2,
+        "log-bidding steps {}",
+        lb.cost.steps
+    );
     assert_eq!(lb.cost.memory_footprint, 2);
     // Both selected something in the support.
     assert!(fitness.values()[ps.selected.unwrap()] > 0.0);
