@@ -10,14 +10,14 @@
 //! Exits non-zero if the Fenwick engine fails to beat the alias rebuild by
 //! at least 10×, so CI can use it as a regression gate.
 
-use lrb_bench::cli::Options;
+use lrb_bench::cli::{Options, OrExit};
 use lrb_bench::dynamic_workload::{time_churn, workload};
 use lrb_dynamic::{FenwickSampler, RebuildingAliasSampler, ShardedArena};
 
 fn main() {
     let options = Options::from_env();
-    let n = options.usize_or("n", 1 << 16);
-    let rounds = options.usize_or("rounds", 2_000);
+    let n = options.usize_or("n", 1 << 16).or_exit();
+    let rounds = options.usize_or("rounds", 2_000).or_exit();
 
     println!("dynamic engines, n = {n}, {rounds} rounds of 1 update + 1 sample\n");
 

@@ -1,0 +1,124 @@
+//! Quick throughput check for the `lrb-engine` serving layer — the
+//! snapshot-isolation headline: reader threads sample lock-free against
+//! immutable snapshots, so sample throughput should scale with readers
+//! while a writer publishes concurrently.
+//!
+//! ```text
+//! cargo run -p lrb-bench --release --bin engine_quick \
+//!     [-- --n 4096 --readers 8 --ratio 16 --duration-ms 250 \
+//!         --min-speedup 3.0 --json 1]
+//! ```
+//!
+//! Measures samples/sec at 1 reader and at `--readers` readers (default 8)
+//! with a 1:`--ratio` update:sample mix (default 1:16), plus a per-backend
+//! single-reader comparison. Exits non-zero when the reader-scaling speedup
+//! falls below `--min-speedup` — but only on hosts that actually have
+//! `--readers` hardware threads; on smaller hosts the gate is advisory
+//! (printed, not enforced), because the scaling being measured is physical
+//! parallelism.
+
+use lrb_bench::cli::{Options, OrExit};
+use lrb_bench::engine_workload::{run_driver, DriverConfig, DriverReport};
+use lrb_engine::{BackendChoice, BackendKind};
+use serde::Serialize;
+
+/// The machine-readable report (`--json 1`), recorded as the
+/// `BENCH_engine.json` baseline.
+#[derive(Debug, Serialize)]
+struct QuickReport {
+    host_threads: u64,
+    min_speedup: f64,
+    speedup: f64,
+    gate_enforced: bool,
+    reader_scaling: Vec<DriverReport>,
+    backends: Vec<DriverReport>,
+}
+
+fn main() {
+    let options = Options::from_env();
+    let n = options.usize_or("n", 4096).or_exit();
+    let readers = options.usize_or("readers", 8).or_exit().max(2);
+    let ratio = options.u64_or("ratio", 16).or_exit().max(1);
+    let duration_ms = options.u64_or("duration-ms", 250).or_exit();
+    let min_speedup = options.f64_or("min-speedup", 3.0).or_exit();
+    let seed = options.u64_or("seed", 2024).or_exit();
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+
+    let base = DriverConfig {
+        categories: n,
+        samples_per_update: ratio,
+        duration_ms,
+        seed,
+        ..DriverConfig::default()
+    };
+
+    println!(
+        "engine_quick: n = {n}, 1:{ratio} update:sample, {duration_ms} ms windows, \
+         host threads = {host_threads}\n"
+    );
+
+    println!("reader scaling (auto backend, writer publishing concurrently):");
+    let mut reader_scaling = Vec::new();
+    for r in [1usize, readers] {
+        let report = run_driver(&DriverConfig { readers: r, ..base });
+        println!(
+            "  {:>2} readers   {:>12.0} samples/s   ({} publishes, backend {})",
+            r, report.samples_per_sec, report.publishes, report.backend
+        );
+        reader_scaling.push(report);
+    }
+    let speedup = reader_scaling[1].samples_per_sec / reader_scaling[0].samples_per_sec.max(1.0);
+
+    println!("\nbackends at 1 reader (fixed choice):");
+    let mut backends = Vec::new();
+    for kind in BackendKind::all() {
+        let report = run_driver(&DriverConfig {
+            readers: 1,
+            backend: BackendChoice::Fixed(kind),
+            ..base
+        });
+        println!(
+            "  {:<22} {:>12.0} samples/s",
+            report.backend, report.samples_per_sec
+        );
+        backends.push(report);
+    }
+
+    // The gate measures physical reader parallelism; a host with fewer
+    // hardware threads than readers cannot exhibit it, so there the result
+    // is advisory.
+    let gate_enforced = host_threads >= readers;
+    println!(
+        "\nsnapshot-isolated read scaling 1 -> {readers} readers: {speedup:.2}x \
+         (gate: >= {min_speedup}x, {})",
+        if gate_enforced {
+            "enforced"
+        } else {
+            "advisory on this host"
+        }
+    );
+
+    if options.contains("json") {
+        let report = QuickReport {
+            host_threads: host_threads as u64,
+            min_speedup,
+            speedup,
+            gate_enforced,
+            reader_scaling,
+            backends,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serialisation cannot fail")
+        );
+    }
+
+    if gate_enforced && speedup < min_speedup {
+        eprintln!("FAIL: expected >= {min_speedup}x");
+        std::process::exit(1);
+    }
+    println!("OK");
+}

@@ -9,7 +9,7 @@
 //! exactly (the default of 10⁶ already reproduces every entry to ~3 decimal
 //! places). Pass `--json 1` to also print the machine-readable report.
 
-use lrb_bench::cli::Options;
+use lrb_bench::cli::{Options, OrExit};
 use lrb_bench::run_probability_experiment;
 use lrb_core::parallel::{
     CrcwLogBiddingSelector, IndependentRouletteSelector, LogBiddingSelector,
@@ -19,8 +19,8 @@ use lrb_core::{Fitness, Selector};
 
 fn main() {
     let options = Options::from_env();
-    let trials = options.u64_or("trials", 1_000_000);
-    let seed = options.u64_or("seed", 2024);
+    let trials = options.u64_or("trials", 1_000_000).or_exit();
+    let seed = options.u64_or("seed", 2024).or_exit();
 
     let selectors: Vec<Box<dyn Selector>> = vec![
         Box::new(IndependentRouletteSelector),

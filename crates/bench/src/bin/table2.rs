@@ -10,7 +10,7 @@
 //! independent roulette's analytic probability is `(1/2)⁹⁹/100 ≈ 1.58·10⁻³²`
 //! — it never selects index 0 in any feasible number of trials.
 
-use lrb_bench::cli::Options;
+use lrb_bench::cli::{Options, OrExit};
 use lrb_bench::run_probability_experiment;
 use lrb_core::parallel::{
     IndependentRouletteSelector, LogBiddingSelector, ParallelLogBiddingSelector,
@@ -19,8 +19,8 @@ use lrb_core::{Fitness, Selector};
 
 fn main() {
     let options = Options::from_env();
-    let trials = options.u64_or("trials", 1_000_000);
-    let seed = options.u64_or("seed", 2024);
+    let trials = options.u64_or("trials", 1_000_000).or_exit();
+    let seed = options.u64_or("seed", 2024).or_exit();
 
     let selectors: Vec<Box<dyn Selector>> = vec![
         Box::new(IndependentRouletteSelector),

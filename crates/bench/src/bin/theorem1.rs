@@ -11,15 +11,15 @@
 //! measured means should sit well below it and grow logarithmically in `k`
 //! while the memory column stays at 2 cells.
 
-use lrb_bench::cli::Options;
+use lrb_bench::cli::{Options, OrExit};
 use lrb_bench::run_theorem1_experiment;
 
 fn main() {
     let options = Options::from_env();
-    let n = options.usize_or("n", 16_384);
-    let max_k = options.usize_or("max-k", 4_096).min(n);
-    let trials = options.usize_or("trials", 30);
-    let seed = options.u64_or("seed", 2024);
+    let n = options.usize_or("n", 16_384).or_exit();
+    let max_k = options.usize_or("max-k", 4_096).or_exit().min(n);
+    let trials = options.usize_or("trials", 30).or_exit();
+    let seed = options.u64_or("seed", 2024).or_exit();
 
     let report = run_theorem1_experiment(n, max_k, trials, seed);
     println!(

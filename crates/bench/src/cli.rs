@@ -1,7 +1,13 @@
 //! A minimal `--key value` argument parser for the experiment binaries
-//! (no external CLI dependency needed for three flags).
+//! (no external CLI dependency needed for a handful of flags).
+//!
+//! Malformed input is reported through [`lrb_core::error::ConfigError`]
+//! rather than panicking, so library callers get a typed error and the
+//! binaries exit with a clean message (see [`OrExit`]).
 
 use std::collections::HashMap;
+
+use lrb_core::error::ConfigError;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -13,17 +19,19 @@ impl Options {
     /// Parse `--key value` pairs from an iterator of arguments (the program
     /// name should already be stripped). Unknown keys are collected verbatim;
     /// a trailing key without a value is an error.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ConfigError> {
         let mut values = HashMap::new();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             let key = arg
                 .strip_prefix("--")
-                .ok_or_else(|| format!("expected --key, got '{arg}'"))?
+                .ok_or(ConfigError::NotAFlag {
+                    argument: arg.clone(),
+                })?
                 .to_string();
             let value = iter
                 .next()
-                .ok_or_else(|| format!("missing value for --{key}"))?;
+                .ok_or_else(|| ConfigError::MissingValue { key: key.clone() })?;
             values.insert(key, value);
         }
         Ok(Self { values })
@@ -34,28 +42,42 @@ impl Options {
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
             Ok(options) => options,
-            Err(message) => {
-                eprintln!("error: {message}");
-                eprintln!("usage: --trials N --seed N (all optional)");
-                std::process::exit(2);
-            }
+            Err(error) => exit_with(&error),
         }
     }
 
-    /// Look up an integer flag, falling back to `default`.
-    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
-        self.values
-            .get(key)
-            .map(|v| {
-                v.parse::<u64>()
-                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'"))
-            })
-            .unwrap_or(default)
+    /// Look up an integer flag, falling back to `default`. A present but
+    /// non-integer value is a [`ConfigError::InvalidValue`].
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ConfigError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(value) => value.parse::<u64>().map_err(|_| ConfigError::InvalidValue {
+                key: key.to_string(),
+                value: value.clone(),
+                expected: "an unsigned integer",
+            }),
+        }
     }
 
     /// Look up a usize flag, falling back to `default`.
-    pub fn usize_or(&self, key: &str, default: usize) -> usize {
-        self.u64_or(key, default as u64) as usize
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, ConfigError> {
+        self.u64_or(key, default as u64).map(|v| v as usize)
+    }
+
+    /// Look up a floating-point flag, falling back to `default`. Rejects
+    /// non-finite values (a NaN bound or budget is always a typo).
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ConfigError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(value) => match value.parse::<f64>() {
+                Ok(parsed) if parsed.is_finite() => Ok(parsed),
+                _ => Err(ConfigError::InvalidValue {
+                    key: key.to_string(),
+                    value: value.clone(),
+                    expected: "a finite number",
+                }),
+            },
+        }
     }
 
     /// Whether a flag was supplied at all.
@@ -64,20 +86,44 @@ impl Options {
     }
 }
 
+/// Print a configuration error and terminate with the conventional usage
+/// exit code.
+fn exit_with(error: &ConfigError) -> ! {
+    eprintln!("error: {error}");
+    eprintln!("usage: --key value pairs only (e.g. --trials 1000000 --seed 7)");
+    std::process::exit(2);
+}
+
+/// Binary-side sugar: unwrap a flag lookup or exit(2) with the message.
+/// Library callers should match on the [`ConfigError`] instead.
+pub trait OrExit<T> {
+    /// Return the value or terminate the process with a clean message.
+    fn or_exit(self) -> T;
+}
+
+impl<T> OrExit<T> for Result<T, ConfigError> {
+    fn or_exit(self) -> T {
+        match self {
+            Ok(value) => value,
+            Err(error) => exit_with(&error),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Result<Options, String> {
+    fn parse(args: &[&str]) -> Result<Options, ConfigError> {
         Options::parse(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn parses_key_value_pairs() {
         let o = parse(&["--trials", "1000", "--seed", "7"]).unwrap();
-        assert_eq!(o.u64_or("trials", 5), 1000);
-        assert_eq!(o.u64_or("seed", 0), 7);
-        assert_eq!(o.u64_or("missing", 42), 42);
+        assert_eq!(o.u64_or("trials", 5).unwrap(), 1000);
+        assert_eq!(o.u64_or("seed", 0).unwrap(), 7);
+        assert_eq!(o.u64_or("missing", 42).unwrap(), 42);
         assert!(o.contains("trials"));
         assert!(!o.contains("missing"));
     }
@@ -85,23 +131,54 @@ mod tests {
     #[test]
     fn empty_arguments_are_fine() {
         let o = parse(&[]).unwrap();
-        assert_eq!(o.usize_or("trials", 9), 9);
+        assert_eq!(o.usize_or("trials", 9).unwrap(), 9);
+        assert_eq!(o.f64_or("ratio", 0.5).unwrap(), 0.5);
     }
 
     #[test]
     fn missing_value_is_an_error() {
-        assert!(parse(&["--trials"]).is_err());
+        assert_eq!(
+            parse(&["--trials"]),
+            Err(ConfigError::MissingValue {
+                key: "trials".into()
+            })
+        );
     }
 
     #[test]
     fn non_flag_argument_is_an_error() {
-        assert!(parse(&["trials", "7"]).is_err());
+        assert_eq!(
+            parse(&["trials", "7"]),
+            Err(ConfigError::NotAFlag {
+                argument: "trials".into()
+            })
+        );
     }
 
     #[test]
-    #[should_panic]
-    fn non_integer_value_panics_on_lookup() {
+    fn non_integer_value_is_a_typed_error_not_a_panic() {
         let o = parse(&["--trials", "abc"]).unwrap();
-        o.u64_or("trials", 1);
+        assert_eq!(
+            o.u64_or("trials", 1),
+            Err(ConfigError::InvalidValue {
+                key: "trials".into(),
+                value: "abc".into(),
+                expected: "an unsigned integer",
+            })
+        );
+        // A negative count is rejected by the same path.
+        let o = parse(&["--trials", "-3"]).unwrap();
+        assert!(o.u64_or("trials", 1).is_err());
+        // The error carries enough to render a useful message.
+        let message = o.u64_or("trials", 1).unwrap_err().to_string();
+        assert!(message.contains("--trials"));
+        assert!(message.contains("-3"));
+    }
+
+    #[test]
+    fn float_flags_parse_and_reject_non_finite() {
+        let o = parse(&["--ratio", "2.5", "--bad", "nan"]).unwrap();
+        assert_eq!(o.f64_or("ratio", 1.0).unwrap(), 2.5);
+        assert!(o.f64_or("bad", 1.0).is_err());
     }
 }

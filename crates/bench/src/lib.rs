@@ -15,6 +15,9 @@
 //! * [`dynamic_workload`] — the shared mutate-and-sample churn workload
 //!   behind the dynamic benches, the `dynamic_quick` gate and the
 //!   `dynamic_updates` example.
+//! * [`engine_workload`] — the closed-loop reader/writer throughput driver
+//!   for the `lrb-engine` serving layer, behind the `engine_quick` gate and
+//!   the `BENCH_engine.json` baseline.
 //!
 //! The Criterion benches under `benches/` cover the supplementary wall-clock
 //! comparisons and the ablations listed in `DESIGN.md`.
@@ -24,6 +27,7 @@
 
 pub mod cli;
 pub mod dynamic_workload;
+pub mod engine_workload;
 pub mod probability_table;
 pub mod theorem1;
 

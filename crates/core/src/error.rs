@@ -24,6 +24,23 @@ pub enum SelectionError {
         /// How many indices have positive fitness.
         available: usize,
     },
+    /// A category index was outside the sampler's `0..len` range.
+    ///
+    /// The in-place samplers historically panicked here; the concurrent
+    /// engine routes writer mistakes through `Result` instead, because a
+    /// misbehaving client must not poison shared snapshots.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of categories in the sampler.
+        len: usize,
+    },
+    /// A multiplicative weight scale (e.g. an evaporation factor) was
+    /// negative, NaN or infinite.
+    InvalidScale {
+        /// The offending factor.
+        factor: f64,
+    },
 }
 
 impl fmt::Display for SelectionError {
@@ -44,11 +61,65 @@ impl fmt::Display for SelectionError {
                 f,
                 "cannot sample {requested} distinct items: only {available} indices have positive fitness"
             ),
+            SelectionError::IndexOutOfRange { index, len } => {
+                write!(f, "category index {index} is outside 0..{len}")
+            }
+            SelectionError::InvalidScale { factor } => write!(
+                f,
+                "scale factor {factor} is invalid: factors must be finite and non-negative"
+            ),
         }
     }
 }
 
 impl std::error::Error for SelectionError {}
+
+/// Errors from parsing configuration input — command-line flags of the
+/// experiment binaries and engine workload descriptions.
+///
+/// Shared here (rather than in `lrb-bench`) so library code can validate
+/// configuration without depending on the harness crate, and so every binary
+/// reports malformed input the same way instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// An argument did not look like a `--key` flag.
+    NotAFlag {
+        /// The argument as given.
+        argument: String,
+    },
+    /// A `--key` flag was not followed by a value.
+    MissingValue {
+        /// The flag name (without the `--` prefix).
+        key: String,
+    },
+    /// A flag's value failed to parse as the expected type.
+    InvalidValue {
+        /// The flag name (without the `--` prefix).
+        key: String,
+        /// The value as given.
+        value: String,
+        /// What the flag expects (e.g. `"an unsigned integer"`).
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotAFlag { argument } => {
+                write!(f, "expected --key, got '{argument}'")
+            }
+            ConfigError::MissingValue { key } => write!(f, "missing value for --{key}"),
+            ConfigError::InvalidValue {
+                key,
+                value,
+                expected,
+            } => write!(f, "--{key} expects {expected}, got '{value}'"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -70,6 +141,32 @@ mod tests {
         };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains('3'));
+        let e = SelectionError::IndexOutOfRange { index: 9, len: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        let e = SelectionError::InvalidScale { factor: -0.5 };
+        assert!(e.to_string().contains("-0.5"));
+    }
+
+    #[test]
+    fn config_error_display_is_informative() {
+        let e = ConfigError::NotAFlag {
+            argument: "trials".into(),
+        };
+        assert!(e.to_string().contains("trials"));
+        let e = ConfigError::MissingValue { key: "seed".into() };
+        assert!(e.to_string().contains("--seed"));
+        let e = ConfigError::InvalidValue {
+            key: "trials".into(),
+            value: "abc".into(),
+            expected: "an unsigned integer",
+        };
+        let text = e.to_string();
+        assert!(text.contains("--trials"));
+        assert!(text.contains("abc"));
+        assert!(text.contains("unsigned integer"));
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(!boxed.to_string().is_empty());
     }
 
     #[test]

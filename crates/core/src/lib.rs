@@ -56,9 +56,9 @@ pub mod streaming;
 pub mod traits;
 pub mod without_replacement;
 
-pub use error::SelectionError;
+pub use error::{ConfigError, SelectionError};
 pub use fitness::Fitness;
-pub use traits::{DynamicSampler, PreparedSampler, Selector};
+pub use traits::{DynamicSampler, FrozenSampler, PreparedSampler, Selector};
 
 /// All one-shot selectors in the crate behind one constructor, keyed by name.
 ///

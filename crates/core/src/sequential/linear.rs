@@ -10,6 +10,36 @@ use crate::error::SelectionError;
 use crate::fitness::Fitness;
 use crate::traits::Selector;
 
+/// The shared linear CDF inversion over raw weights: draw `R = u · total`
+/// and return the first index whose cumulative positive weight exceeds it.
+///
+/// Consumes exactly one uniform. Zero weights are skipped, so they are never
+/// returned; when floating-point rounding leaves the accumulated sum a hair
+/// below `total`, the residual draw belongs to the last positive weight.
+/// This is the single definition behind [`LinearScanSelector`], the
+/// stochastic-acceptance round-budget fallback here, and the dynamic
+/// `StochasticAcceptanceSampler`'s degenerate-weight fallback in
+/// `lrb-dynamic` — one rounding rule, everywhere.
+///
+/// The caller must guarantee `total > 0` (i.e. at least one positive
+/// weight); an all-zero vector would return index 0 regardless of weight.
+pub fn linear_scan_weights(weights: &[f64], total: f64, rng: &mut dyn RandomSource) -> usize {
+    let r = rng.next_f64() * total;
+    let mut acc = 0.0;
+    let mut last_positive = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        acc += w;
+        last_positive = i;
+        if r < acc {
+            return i;
+        }
+    }
+    last_positive
+}
+
 /// Linear-scan roulette wheel selection.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LinearScanSelector;
@@ -31,23 +61,7 @@ impl Selector for LinearScanSelector {
         if fitness.is_all_zero() {
             return Err(SelectionError::AllZeroFitness);
         }
-        let total = fitness.total();
-        let r = rng.next_f64() * total;
-        let mut acc = 0.0;
-        let values = fitness.values();
-        for (i, &f) in values.iter().enumerate() {
-            acc += f;
-            if r < acc {
-                return Ok(i);
-            }
-        }
-        // Floating-point rounding can leave `acc` a hair below `total`; the
-        // draw then belongs to the last index with positive fitness.
-        Ok(fitness
-            .support()
-            .last()
-            .copied()
-            .expect("non-all-zero fitness has support"))
+        Ok(linear_scan_weights(fitness.values(), fitness.total(), rng))
     }
 }
 

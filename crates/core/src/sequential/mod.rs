@@ -20,5 +20,5 @@ mod stochastic_acceptance;
 
 pub use alias::AliasSampler;
 pub use binary_search::CdfSampler;
-pub use linear::LinearScanSelector;
-pub use stochastic_acceptance::StochasticAcceptanceSelector;
+pub use linear::{linear_scan_weights, LinearScanSelector};
+pub use stochastic_acceptance::{acceptance_rounds, StochasticAcceptanceSelector};

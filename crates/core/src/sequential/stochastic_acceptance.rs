@@ -13,6 +13,36 @@ use crate::error::SelectionError;
 use crate::fitness::Fitness;
 use crate::traits::Selector;
 
+/// The shared acceptance loop over raw weights: propose a uniform index,
+/// accept it with probability `w_i / f_max`, for at most `max_rounds`
+/// rounds. Returns `None` when the round budget runs out (the caller falls
+/// back to an exact linear scan).
+///
+/// This is the single definition behind both [`StochasticAcceptanceSelector`]
+/// and the dynamic `StochasticAcceptanceSampler` in `lrb-dynamic`, so the
+/// acceptance test (`w >= f_max || u · f_max < w`) can never diverge between
+/// them. The caller must guarantee a non-empty vector with at least one
+/// positive weight and `f_max` equal to the maximum weight.
+pub fn acceptance_rounds(
+    weights: &[f64],
+    f_max: f64,
+    max_rounds: usize,
+    rng: &mut dyn RandomSource,
+) -> Option<usize> {
+    let n = weights.len() as u64;
+    for _ in 0..max_rounds {
+        let candidate = rng.next_u64_below(n) as usize;
+        let w = weights[candidate];
+        if w <= 0.0 {
+            continue;
+        }
+        if w >= f_max || rng.next_f64() * f_max < w {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
 /// Stochastic-acceptance (rejection) roulette wheel selection.
 #[derive(Debug, Clone, Copy)]
 pub struct StochasticAcceptanceSelector {
@@ -46,18 +76,9 @@ impl Selector for StochasticAcceptanceSelector {
             return Err(SelectionError::AllZeroFitness);
         }
         let values = fitness.values();
-        let n = values.len();
         let f_max = values.iter().cloned().fold(0.0, f64::max);
-
-        for _ in 0..self.max_rounds {
-            let candidate = rng.next_u64_below(n as u64) as usize;
-            let f = values[candidate];
-            if f <= 0.0 {
-                continue;
-            }
-            if f >= f_max || rng.next_f64() * f_max < f {
-                return Ok(candidate);
-            }
+        if let Some(candidate) = acceptance_rounds(values, f_max, self.max_rounds, rng) {
+            return Ok(candidate);
         }
         // Statistically unreachable for sane inputs; keep exactness by
         // falling back to the linear scan rather than returning a biased

@@ -152,6 +152,65 @@ pub trait DynamicSampler: Send + Sync {
     ) -> Result<Vec<usize>, SelectionError> {
         (0..count).map(|_| self.sample(rng)).collect()
     }
+
+    /// A consistent copy of every current weight, `weights[i] = weight(i)`.
+    ///
+    /// This is the hand-off point between the mutable samplers and the
+    /// snapshot-isolated serving path: batch sampling and the `lrb-engine`
+    /// snapshots freeze this vector and draw against the frozen copy, so a
+    /// concurrent (or interleaved) update can never tear a batch.
+    ///
+    /// The default reads the weights one by one, which is consistent for
+    /// single-owner samplers; internally locked samplers (e.g. a sharded
+    /// arena) must override it to take a mutually consistent cut.
+    fn snapshot_weights(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.weight(i)).collect()
+    }
+}
+
+/// A **frozen** weighted sampler: read-only draws with exact probabilities.
+///
+/// This is the read side of the `lrb-engine` snapshot contract: a snapshot
+/// exposes draws and aggregate inspection but no mutation, so a reader
+/// holding one can never perturb what other readers see. Every
+/// [`DynamicSampler`] satisfies the shape (its `sample` already takes
+/// `&self`); the blanket impl below makes each one usable as a frozen
+/// backend the moment it stops being updated.
+pub trait FrozenSampler: Send + Sync {
+    /// Number of categories.
+    fn len(&self) -> usize;
+
+    /// Whether the sampler has zero categories.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current weight of category `index` (panics if out of range).
+    fn weight(&self, index: usize) -> f64;
+
+    /// Sum of all weights.
+    fn total_weight(&self) -> f64;
+
+    /// Draw one index with probability `w_i / total_weight()`.
+    fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError>;
+}
+
+impl<T: DynamicSampler> FrozenSampler for T {
+    fn len(&self) -> usize {
+        DynamicSampler::len(self)
+    }
+
+    fn weight(&self, index: usize) -> f64 {
+        DynamicSampler::weight(self, index)
+    }
+
+    fn total_weight(&self) -> f64 {
+        DynamicSampler::total_weight(self)
+    }
+
+    fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
+        DynamicSampler::sample(self, rng)
+    }
 }
 
 #[cfg(test)]
@@ -233,7 +292,9 @@ mod tests {
             self.weights.iter().sum()
         }
         fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
-            let total = self.total_weight();
+            // Qualified: the `FrozenSampler` blanket impl offers the same
+            // method name whenever both traits are in scope.
+            let total = DynamicSampler::total_weight(self);
             if total <= 0.0 {
                 return Err(SelectionError::AllZeroFitness);
             }
@@ -269,5 +330,27 @@ mod tests {
             Err(SelectionError::AllZeroFitness)
         ));
         assert!(boxed.update(0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn snapshot_weights_default_copies_every_weight() {
+        let sampler = TwoWeights {
+            weights: [1.5, 2.5],
+        };
+        assert_eq!(sampler.snapshot_weights(), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn every_dynamic_sampler_is_a_frozen_sampler() {
+        let sampler = TwoWeights {
+            weights: [1.0, 3.0],
+        };
+        let frozen: &dyn FrozenSampler = &sampler;
+        assert_eq!(frozen.len(), 2);
+        assert!(!frozen.is_empty());
+        assert_eq!(frozen.weight(1), 3.0);
+        assert_eq!(frozen.total_weight(), 4.0);
+        let mut rng = MersenneTwister64::seed_from_u64(2);
+        assert!(frozen.sample(&mut rng).unwrap() < 2);
     }
 }

@@ -140,6 +140,14 @@ impl ShardedArena {
             .map(|bits| f64::from_bits(bits.load(Ordering::Acquire)))
             .collect()
     }
+
+    /// Freeze the arena into a flat [`FenwickSampler`] over a consistent cut
+    /// of the weights — the snapshot the batch path and the `lrb-engine`
+    /// serving layer draw against.
+    pub fn freeze(&self) -> FenwickSampler {
+        FenwickSampler::from_weights(self.snapshot_weights())
+            .expect("a non-empty arena snapshots to non-empty weights")
+    }
 }
 
 impl DynamicSampler for ShardedArena {
@@ -215,6 +223,23 @@ impl DynamicSampler for ShardedArena {
 
     fn update(&mut self, index: usize, new_weight: f64) -> Result<(), SelectionError> {
         self.update_shared(index, new_weight)
+    }
+
+    /// A mutually consistent cut: every shard's read lock is held
+    /// simultaneously while copying, so the returned vector corresponds to
+    /// one instant between updates — the default trait method's
+    /// weight-by-weight reads could interleave with writers and tear.
+    fn snapshot_weights(&self) -> Vec<f64> {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| shard.read().expect("shard lock poisoned"))
+            .collect();
+        let mut weights = Vec::with_capacity(self.len());
+        for guard in &guards {
+            weights.extend_from_slice(guard.weights());
+        }
+        weights
     }
 }
 

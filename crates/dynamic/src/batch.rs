@@ -4,11 +4,21 @@
 //! seed, so the result is a pure function of
 //! `(sampler state, master_seed, trials)` and never depends on the rayon
 //! schedule or thread count.
+//!
+//! Every batch is **snapshot-isolated**: the sampler's weights are frozen
+//! once (via [`DynamicSampler::snapshot_weights`], which internally locked
+//! samplers override with a mutually consistent cut) into a private Fenwick
+//! tree, and all trials draw against that frozen copy. Concurrent updates —
+//! e.g. writers mutating a [`ShardedArena`](crate::ShardedArena) mid-batch —
+//! therefore cannot tear a batch across two distributions, and per-trial
+//! draws skip the arena's shard locks entirely.
 
 use lrb_core::error::SelectionError;
 use lrb_core::traits::DynamicSampler;
 use lrb_rng::Philox4x32;
 use rayon::prelude::*;
+
+use crate::fenwick::FenwickSampler;
 
 /// Run `trials` independent draws and return per-index counts.
 ///
@@ -57,11 +67,18 @@ pub fn batch_sample_indices(
     trials: u64,
     master_seed: u64,
 ) -> Result<Vec<usize>, SelectionError> {
+    if trials == 0 {
+        return Ok(Vec::new());
+    }
+    // Freeze one consistent snapshot and serve the whole batch from it; for
+    // a flat Fenwick sampler the frozen tree inverts the identical CDF, so
+    // the drawn indices are unchanged from sampling the live tree.
+    let frozen = FenwickSampler::from_weights(sampler.snapshot_weights())?;
     (0..trials)
         .into_par_iter()
         .map(|trial| {
             let mut rng = Philox4x32::for_substream(master_seed, trial);
-            sampler.sample(&mut rng)
+            frozen.sample(&mut rng)
         })
         .collect()
 }
@@ -106,5 +123,49 @@ mod tests {
         let sampler = FenwickSampler::from_weights(vec![1.0]).unwrap();
         assert_eq!(batch_sample_counts(&sampler, 0, 1).unwrap(), vec![0]);
         assert!(batch_sample_indices(&sampler, 0, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn arena_batches_go_through_the_frozen_snapshot_path() {
+        // Batching the live arena and batching its explicit freeze() must
+        // agree draw for draw: both freeze the same weights into the same
+        // Fenwick tree before any trial runs.
+        let arena = ShardedArena::from_weights(vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0], 3).unwrap();
+        let live = batch_sample_indices(&arena, 10_000, 77).unwrap();
+        let frozen = batch_sample_indices(&arena.freeze(), 10_000, 77).unwrap();
+        assert_eq!(live, frozen);
+        assert!(live.iter().all(|&i| i != 3), "drew the zero-weight index");
+    }
+
+    #[test]
+    fn batches_are_isolated_from_concurrent_arena_updates() {
+        // A writer hammers the arena while batches run: every batch must
+        // match SOME consistent snapshot. The writer keeps an invariant —
+        // indices 0 and 1 always carry equal weight — so any torn cut
+        // (observing index 0 mid-update but index 1 pre-update) would show
+        // up as a lopsided batch distribution.
+        let arena = ShardedArena::from_weights(vec![4.0, 4.0], 2).unwrap();
+        std::thread::scope(|scope| {
+            let arena_ref = &arena;
+            let writer = scope.spawn(move || {
+                for step in 0..200u64 {
+                    let w = (step % 9 + 1) as f64;
+                    arena_ref.update_shared(0, w).unwrap();
+                    arena_ref.update_shared(1, w).unwrap();
+                }
+            });
+            for round in 0..20u64 {
+                let counts = batch_sample_counts(arena_ref, 2_000, round).unwrap();
+                let share = counts[0] as f64 / 2_000.0;
+                // Snapshot cuts land between the two update_shared calls at
+                // most one update apart, bounding the weight ratio to
+                // [w/(w+9), 9/(w+1)] — far looser than this band.
+                assert!(
+                    (0.2..=0.8).contains(&share),
+                    "round {round}: lopsided batch {counts:?}"
+                );
+            }
+            writer.join().expect("writer panicked");
+        });
     }
 }

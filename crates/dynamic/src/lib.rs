@@ -17,6 +17,11 @@
 //!   tracking: `O(1)` draws while the weights rest, a deferred `O(n)` rebuild
 //!   on the first draw after a change. The right tool when updates are rare
 //!   and draws dominate, and the baseline the benches compare against.
+//! * [`StochasticAcceptanceSampler`] — stochastic acceptance (Lipowski &
+//!   Lipowska): `O(1)` expected draws by rejection against the maximum
+//!   weight, `O(1)` typical updates, with an exact linear-scan fallback for
+//!   degenerate (single-survivor or extremely skewed) weight vectors. The
+//!   cheapest backend when the weights are balanced.
 //! * [`ShardedArena`] — a concurrent engine that partitions the categories
 //!   across independently locked shards (each holding a [`FenwickSampler`]),
 //!   samples a shard by total weight and then delegates within it. Supports
@@ -47,11 +52,13 @@ pub mod arena;
 pub mod batch;
 pub mod fenwick;
 pub mod rebuilding_alias;
+pub mod stochastic_acceptance;
 
 pub use arena::ShardedArena;
 pub use batch::{batch_sample_counts, batch_sample_indices};
 pub use fenwick::FenwickSampler;
 pub use rebuilding_alias::RebuildingAliasSampler;
+pub use stochastic_acceptance::StochasticAcceptanceSampler;
 
 use lrb_core::error::SelectionError;
 
@@ -69,7 +76,9 @@ mod tests {
     use lrb_core::{DynamicSampler, Fitness};
     use lrb_rng::{MersenneTwister64, SeedableSource};
 
-    use crate::{FenwickSampler, RebuildingAliasSampler, ShardedArena};
+    use crate::{
+        FenwickSampler, RebuildingAliasSampler, ShardedArena, StochasticAcceptanceSampler,
+    };
 
     /// Every engine in the crate, behind the object-safe trait.
     fn engines(fitness: &Fitness) -> Vec<(&'static str, Box<dyn DynamicSampler>)> {
@@ -78,6 +87,10 @@ mod tests {
             (
                 "rebuilding-alias",
                 Box::new(RebuildingAliasSampler::from_fitness(fitness)),
+            ),
+            (
+                "stochastic-acceptance",
+                Box::new(StochasticAcceptanceSampler::from_fitness(fitness)),
             ),
             (
                 "sharded-arena",

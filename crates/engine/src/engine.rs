@@ -1,0 +1,490 @@
+//! The concurrent selection engine: coalescing writers, atomically swapped
+//! immutable snapshots, lock-free-in-spirit readers.
+//!
+//! ## Concurrency protocol
+//!
+//! * **Readers** call [`SelectionEngine::snapshot`], which clones the
+//!   current `Arc<Snapshot>` under a briefly held read lock (the lock guards
+//!   only the pointer swap, never any sampling work), then draw against the
+//!   immutable snapshot with no further coordination. A reader keeps its
+//!   snapshot for as many draws as it wants; publication of newer versions
+//!   cannot mutate what it holds, so every draw is exact against *some*
+//!   published state — the snapshot-isolation guarantee.
+//! * **Writers** enqueue weight overrides and evaporation scales into a
+//!   mutex-guarded [coalescing batch](crate::queue), then call
+//!   [`publish`](SelectionEngine::publish), which folds the batch over the
+//!   previous weights, freezes a new [`Snapshot`] (choosing a backend by
+//!   cost model under [`BackendChoice::Auto`]) and swaps the `Arc`. The
+//!   batch mutex is held across the whole publish, serialising publishers,
+//!   so versions are strictly ordered and no batch is ever lost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use lrb_core::error::SelectionError;
+use lrb_core::fitness::Fitness;
+use lrb_rng::RandomSource;
+
+use crate::heuristic::{choose_backend, BackendChoice, BackendKind, WorkloadProfile};
+use crate::queue::CoalescingQueue;
+use crate::snapshot::Snapshot;
+
+/// Tuning knobs for a [`SelectionEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// How snapshot backends are chosen at publish time.
+    pub backend: BackendChoice,
+    /// Cost-model hint under [`BackendChoice::Auto`]: how many draws one
+    /// snapshot is expected to serve before the next publish.
+    pub expected_draws_per_publish: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            backend: BackendChoice::Auto,
+            expected_draws_per_publish: 1024.0,
+        }
+    }
+}
+
+/// Aggregate engine counters (all monotone since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Snapshots published (the initial build is not counted).
+    pub publishes: u64,
+    /// Weight overrides accepted from writers.
+    pub enqueued: u64,
+    /// Overrides that were overwritten before ever being published.
+    pub coalesced: u64,
+}
+
+/// A snapshot-isolated concurrent weighted-selection service.
+///
+/// # Example
+///
+/// ```
+/// use lrb_engine::{EngineConfig, SelectionEngine};
+/// use lrb_rng::{MersenneTwister64, SeedableSource};
+///
+/// let engine = SelectionEngine::new(vec![1.0, 2.0, 3.0], EngineConfig::default())?;
+/// let mut rng = MersenneTwister64::seed_from_u64(7);
+///
+/// // Readers sample a consistent snapshot:
+/// let snapshot = engine.snapshot();
+/// let i = snapshot.sample(&mut rng)?;
+///
+/// // Writers batch updates and publish them atomically:
+/// engine.enqueue(i, 0.0)?;      // last-write-wins per category
+/// engine.scale_all(0.9)?;       // evaporation folds into one factor
+/// let version = engine.publish()?;
+/// assert_eq!(version, 1);
+/// assert_eq!(engine.snapshot().weight(i), 0.0);
+///
+/// // The old snapshot is untouched — that is the isolation guarantee:
+/// assert_eq!(snapshot.version(), 0);
+/// assert!(snapshot.weight(i) > 0.0);
+/// # Ok::<(), lrb_core::SelectionError>(())
+/// ```
+pub struct SelectionEngine {
+    /// The current snapshot; the lock guards only the `Arc` swap.
+    current: RwLock<Arc<Snapshot>>,
+    /// Pending writer batch. Held across the whole publish, so publishers
+    /// are serialised and `current` only ever moves forward one batch at a
+    /// time.
+    pending: Mutex<CoalescingQueue>,
+    config: EngineConfig,
+    len: usize,
+    publishes: AtomicU64,
+    enqueued_total: AtomicU64,
+    coalesced_total: AtomicU64,
+}
+
+impl SelectionEngine {
+    /// Build an engine over raw weights (validated like `Fitness::new`,
+    /// except that an all-zero vector is allowed — sampling then fails with
+    /// [`SelectionError::AllZeroFitness`] until a writer revives a weight).
+    pub fn new(weights: Vec<f64>, config: EngineConfig) -> Result<Self, SelectionError> {
+        if weights.is_empty() {
+            return Err(SelectionError::EmptyFitness);
+        }
+        for (index, &value) in weights.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(SelectionError::InvalidFitness { index, value });
+            }
+        }
+        let len = weights.len();
+        let backend = Self::pick_backend(&config, &weights);
+        let snapshot = Snapshot::build(0, weights, backend)?;
+        Ok(Self {
+            current: RwLock::new(Arc::new(snapshot)),
+            pending: Mutex::new(CoalescingQueue::new()),
+            config,
+            len,
+            publishes: AtomicU64::new(0),
+            enqueued_total: AtomicU64::new(0),
+            coalesced_total: AtomicU64::new(0),
+        })
+    }
+
+    /// Build an engine from an already-validated [`Fitness`] vector.
+    pub fn from_fitness(fitness: &Fitness, config: EngineConfig) -> Self {
+        Self::new(fitness.values().to_vec(), config)
+            .expect("a validated fitness vector is non-empty and finite")
+    }
+
+    fn pick_backend(config: &EngineConfig, weights: &[f64]) -> BackendKind {
+        match config.backend {
+            BackendChoice::Fixed(kind) => kind,
+            BackendChoice::Auto => choose_backend(&WorkloadProfile::measure(
+                weights,
+                config.expected_draws_per_publish,
+            )),
+        }
+    }
+
+    /// Number of categories (fixed at construction).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the engine has zero categories (never true — construction
+    /// rejects empty weight vectors).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The current snapshot. The read lock is held only long enough to
+    /// clone the `Arc`; all sampling happens against the returned immutable
+    /// snapshot with no locks at all.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Version of the current snapshot (0 for the initial state).
+    pub fn version(&self) -> u64 {
+        self.snapshot().version()
+    }
+
+    /// Convenience: one draw against the current snapshot. Loops that draw
+    /// repeatedly should hold a [`snapshot`](SelectionEngine::snapshot)
+    /// instead, both for speed and for distribution stability.
+    pub fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
+        self.snapshot().sample(rng)
+    }
+
+    /// Enqueue an absolute weight for one category; visible to readers only
+    /// after the next [`publish`](SelectionEngine::publish). Last write wins
+    /// when the same category is enqueued twice in one batch.
+    pub fn enqueue(&self, index: usize, weight: f64) -> Result<(), SelectionError> {
+        if index >= self.len {
+            return Err(SelectionError::IndexOutOfRange {
+                index,
+                len: self.len,
+            });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(SelectionError::InvalidFitness {
+                index,
+                value: weight,
+            });
+        }
+        let coalesced = self
+            .pending
+            .lock()
+            .expect("batch lock poisoned")
+            .set(index, weight);
+        self.enqueued_total.fetch_add(1, Ordering::Relaxed);
+        if coalesced {
+            self.coalesced_total.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Enqueue many `(index, weight)` pairs; the whole slice is validated
+    /// before any of it is enqueued, so a bad entry cannot half-apply.
+    pub fn enqueue_many(&self, updates: &[(usize, f64)]) -> Result<(), SelectionError> {
+        for &(index, weight) in updates {
+            if index >= self.len {
+                return Err(SelectionError::IndexOutOfRange {
+                    index,
+                    len: self.len,
+                });
+            }
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(SelectionError::InvalidFitness {
+                    index,
+                    value: weight,
+                });
+            }
+        }
+        let mut pending = self.pending.lock().expect("batch lock poisoned");
+        let mut coalesced = 0;
+        for &(index, weight) in updates {
+            if pending.set(index, weight) {
+                coalesced += 1;
+            }
+        }
+        drop(pending);
+        self.enqueued_total
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+        self.coalesced_total.fetch_add(coalesced, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Enqueue a multiplicative factor over every weight — evaporation in
+    /// the ant-colony reading. Folds with any pending scale in `O(1)` plus
+    /// the pending-override count (never `O(n)` before publish).
+    pub fn scale_all(&self, factor: f64) -> Result<(), SelectionError> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(SelectionError::InvalidScale { factor });
+        }
+        self.pending
+            .lock()
+            .expect("batch lock poisoned")
+            .scale(factor);
+        Ok(())
+    }
+
+    /// Fold the pending batch over the current weights, freeze the result
+    /// into a new snapshot and atomically swap it in. Returns the version
+    /// now current. A publish with nothing pending is a no-op returning the
+    /// unchanged version.
+    pub fn publish(&self) -> Result<u64, SelectionError> {
+        let mut pending = self.pending.lock().expect("batch lock poisoned");
+        if pending.is_empty() {
+            return Ok(self.snapshot().version());
+        }
+        let batch = pending.drain();
+        let previous = self.snapshot();
+        let mut weights = previous.weights().to_vec();
+        if batch.scale != 1.0 {
+            for w in weights.iter_mut() {
+                *w *= batch.scale;
+            }
+        }
+        for &(index, weight) in &batch.overrides {
+            weights[index] = weight;
+        }
+        let backend = Self::pick_backend(&self.config, &weights);
+        let snapshot = Snapshot::build(previous.version() + 1, weights, backend)?;
+        let version = snapshot.version();
+        *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        // `pending` (still held) unlocks here, admitting the next publisher.
+        Ok(version)
+    }
+
+    /// Aggregate counters since construction.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            publishes: self.publishes.load(Ordering::Relaxed),
+            enqueued: self.enqueued_total.load(Ordering::Relaxed),
+            coalesced: self.coalesced_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for SelectionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelectionEngine")
+            .field("len", &self.len)
+            .field("current", &self.snapshot())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+
+    fn engine(weights: Vec<f64>) -> SelectionEngine {
+        SelectionEngine::new(weights, EngineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_weights() {
+        assert_eq!(
+            SelectionEngine::new(vec![], EngineConfig::default()).map(|_| ()),
+            Err(SelectionError::EmptyFitness)
+        );
+        assert!(matches!(
+            SelectionEngine::new(vec![1.0, -1.0], EngineConfig::default()).map(|_| ()),
+            Err(SelectionError::InvalidFitness { index: 1, .. })
+        ));
+        // All-zero is allowed; draws fail until a writer revives a weight.
+        let e = engine(vec![0.0, 0.0]);
+        let mut rng = MersenneTwister64::seed_from_u64(1);
+        assert_eq!(e.sample(&mut rng), Err(SelectionError::AllZeroFitness));
+        e.enqueue(0, 2.0).unwrap();
+        e.publish().unwrap();
+        assert_eq!(e.sample(&mut rng).unwrap(), 0);
+    }
+
+    #[test]
+    fn enqueue_validates_index_and_weight() {
+        let e = engine(vec![1.0, 1.0]);
+        assert_eq!(
+            e.enqueue(2, 1.0),
+            Err(SelectionError::IndexOutOfRange { index: 2, len: 2 })
+        );
+        assert!(matches!(
+            e.enqueue(0, f64::NAN),
+            Err(SelectionError::InvalidFitness { index: 0, .. })
+        ));
+        assert_eq!(
+            e.enqueue_many(&[(0, 1.0), (5, 1.0)]),
+            Err(SelectionError::IndexOutOfRange { index: 5, len: 2 })
+        );
+        // The failed batch enqueued nothing.
+        assert_eq!(e.publish().unwrap(), 0);
+        assert_eq!(e.stats().enqueued, 0);
+    }
+
+    #[test]
+    fn scale_all_validates_the_factor() {
+        let e = engine(vec![1.0, 2.0]);
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(e.scale_all(bad), Err(SelectionError::InvalidScale { .. })),
+                "factor {bad} was accepted"
+            );
+        }
+        // Rejected factors must not have dirtied the batch.
+        assert_eq!(e.publish().unwrap(), 0);
+    }
+
+    #[test]
+    fn updates_are_invisible_until_published() {
+        let e = engine(vec![1.0, 1.0]);
+        e.enqueue(0, 99.0).unwrap();
+        assert_eq!(e.snapshot().weight(0), 1.0, "not yet published");
+        assert_eq!(e.version(), 0);
+        let v = e.publish().unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(e.snapshot().weight(0), 99.0);
+    }
+
+    #[test]
+    fn old_snapshots_survive_publication_untouched() {
+        let e = engine(vec![1.0, 3.0]);
+        let old = e.snapshot();
+        e.enqueue(1, 0.0).unwrap();
+        e.publish().unwrap();
+        assert_eq!(old.version(), 0);
+        assert_eq!(old.weight(1), 3.0);
+        let mut rng = MersenneTwister64::seed_from_u64(3);
+        // The old snapshot still draws index 1; the new one never does.
+        let old_draws = old.sample_many(&mut rng, 500).unwrap();
+        assert!(old_draws.contains(&1));
+        let new = e.snapshot();
+        let new_draws = new.sample_many(&mut rng, 500).unwrap();
+        assert!(!new_draws.contains(&1));
+    }
+
+    #[test]
+    fn evaporation_folds_with_overrides_in_arrival_order() {
+        let e = engine(vec![8.0, 8.0, 8.0]);
+        e.enqueue(0, 4.0).unwrap(); // then scaled by 0.5 → 2.0
+        e.scale_all(0.5).unwrap();
+        e.enqueue(1, 4.0).unwrap(); // absolute, after the scale → 4.0
+        e.publish().unwrap();
+        let snap = e.snapshot();
+        assert_eq!(snap.weight(0), 2.0);
+        assert_eq!(snap.weight(1), 4.0);
+        assert_eq!(snap.weight(2), 4.0); // 8.0 · 0.5
+    }
+
+    #[test]
+    fn empty_publish_is_a_cheap_no_op() {
+        let e = engine(vec![1.0]);
+        assert_eq!(e.publish().unwrap(), 0);
+        assert_eq!(e.publish().unwrap(), 0);
+        assert_eq!(e.stats().publishes, 0);
+    }
+
+    #[test]
+    fn stats_count_publishes_and_coalescing() {
+        let e = engine(vec![1.0; 8]);
+        e.enqueue(3, 1.0).unwrap();
+        e.enqueue(3, 2.0).unwrap();
+        e.enqueue(3, 3.0).unwrap();
+        e.enqueue(4, 1.0).unwrap();
+        e.publish().unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.publishes, 1);
+        assert_eq!(stats.enqueued, 4);
+        assert_eq!(stats.coalesced, 2, "two of the three writes to 3 died");
+        // Last write wins: index 3 carries the final value.
+        assert_eq!(e.snapshot().weight(3), 3.0);
+    }
+
+    #[test]
+    fn fixed_backend_choice_is_honoured_across_publishes() {
+        for kind in BackendKind::all() {
+            let config = EngineConfig {
+                backend: BackendChoice::Fixed(kind),
+                ..EngineConfig::default()
+            };
+            let e = SelectionEngine::new(vec![1.0, 2.0, 3.0], config).unwrap();
+            assert_eq!(e.snapshot().backend(), kind);
+            e.enqueue(0, 5.0).unwrap();
+            e.publish().unwrap();
+            assert_eq!(e.snapshot().backend(), kind);
+        }
+    }
+
+    #[test]
+    fn auto_backend_reacts_to_skew_changes() {
+        // Balanced weights with a moderate draw hint → stochastic
+        // acceptance; a pathological spike → anything but.
+        let config = EngineConfig {
+            backend: BackendChoice::Auto,
+            expected_draws_per_publish: 64.0,
+        };
+        let e = SelectionEngine::new(vec![1.0; 4096], config).unwrap();
+        assert_eq!(e.snapshot().backend(), BackendKind::StochasticAcceptance);
+        e.enqueue(0, 1.0e9).unwrap();
+        e.publish().unwrap();
+        assert_ne!(e.snapshot().backend(), BackendKind::StochasticAcceptance);
+    }
+
+    #[test]
+    fn concurrent_enqueues_all_land() {
+        let e = engine(vec![0.0; 256]);
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let e = &e;
+                scope.spawn(move || {
+                    for i in 0..32 {
+                        e.enqueue(t * 32 + i, (t + 1) as f64).unwrap();
+                    }
+                });
+            }
+        });
+        e.publish().unwrap();
+        let snap = e.snapshot();
+        for t in 0..8 {
+            for i in 0..32 {
+                assert_eq!(snap.weight(t * 32 + i), (t + 1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn from_fitness_builds_the_same_engine() {
+        let fitness = Fitness::new(vec![1.0, 2.0]).unwrap();
+        let e = SelectionEngine::from_fitness(&fitness, EngineConfig::default());
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        assert_eq!(e.snapshot().weights(), &[1.0, 2.0]);
+        assert!(format!("{e:?}").contains("SelectionEngine"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The backend cost model: pick the cheapest sampler for a workload.
+//!
+//! Every publish freezes the weight vector into a new immutable snapshot, so
+//! the relevant cost per publish window is
+//! `build(backend) + draws · per_draw(backend)`. The three backends trade
+//! these off differently:
+//!
+//! | backend | build | per draw |
+//! |---|---|---|
+//! | Fenwick tree | `n` | `log₂ n` |
+//! | Vose alias table | `≈ 3n` | `O(1)` |
+//! | stochastic acceptance | `n` | `≈ skew` expected rejection rounds |
+//!
+//! where `skew = w_max / w_mean` is exactly the expected rejection round
+//! count `n · w_max / Σ w`. The heuristic evaluates the three closed forms
+//! and takes the arg-min, so the choice degrades gracefully instead of
+//! flipping on hand-tuned thresholds.
+
+/// The sampler families a snapshot can be built over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Fenwick tree: `O(log n)` draws, cheapest build, skew-immune.
+    Fenwick,
+    /// Vose alias table: `O(1)` draws after the priciest build.
+    AliasRebuild,
+    /// Stochastic acceptance: `O(1)` expected draws on balanced weights.
+    StochasticAcceptance,
+}
+
+impl BackendKind {
+    /// A short, stable, machine-friendly name (used in reports and JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Fenwick => "fenwick",
+            BackendKind::AliasRebuild => "alias",
+            BackendKind::StochasticAcceptance => "stochastic-acceptance",
+        }
+    }
+
+    /// Every backend, in a stable order (for sweeps and conformance tests).
+    pub fn all() -> [BackendKind; 3] {
+        [
+            BackendKind::Fenwick,
+            BackendKind::AliasRebuild,
+            BackendKind::StochasticAcceptance,
+        ]
+    }
+}
+
+/// How the engine should pick its snapshot backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Re-run the cost model at every publish against the fresh weights.
+    #[default]
+    Auto,
+    /// Always use one backend (benches and conformance tests pin this).
+    Fixed(BackendKind),
+}
+
+/// The workload shape the cost model scores backends against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Number of categories `n`.
+    pub categories: usize,
+    /// Expected draws served by one snapshot before the next publish.
+    pub draws_per_publish: f64,
+    /// Weight skew `w_max / w_mean` (≥ 1 for any non-degenerate vector);
+    /// equals the expected stochastic-acceptance rejection rounds.
+    pub skew: f64,
+}
+
+impl WorkloadProfile {
+    /// Measure the skew of a weight vector (1.0 for all-zero or empty
+    /// vectors, where every backend degenerates identically anyway).
+    pub fn measure(weights: &[f64], draws_per_publish: f64) -> Self {
+        let total: f64 = weights.iter().sum();
+        let max = weights.iter().cloned().fold(0.0, f64::max);
+        let skew = if total > 0.0 {
+            weights.len() as f64 * max / total
+        } else {
+            1.0
+        };
+        Self {
+            categories: weights.len(),
+            draws_per_publish,
+            skew,
+        }
+    }
+}
+
+/// Mirror of the stochastic-acceptance degenerate-skew threshold: past it a
+/// draw falls back to an `O(n)` linear scan, which the model must price in.
+const SA_DEGENERATE_ROUNDS: f64 = 256.0;
+
+/// Score one backend: `build + draws · per_draw` in abstract weight-ops.
+fn cost(kind: BackendKind, profile: &WorkloadProfile) -> f64 {
+    let n = profile.categories.max(1) as f64;
+    let draws = profile.draws_per_publish.max(0.0);
+    match kind {
+        BackendKind::Fenwick => n + draws * n.log2().max(1.0),
+        // Vose's build makes three passes (split, two worklists); each draw
+        // is one table lookup plus one comparison — call it 2 ops.
+        BackendKind::AliasRebuild => 3.0 * n + draws * 2.0,
+        // Each rejection round costs ~2 RNG calls; past the degenerate
+        // threshold the sampler linear-scans at O(n) per draw.
+        BackendKind::StochasticAcceptance => {
+            let per_draw = if profile.skew > SA_DEGENERATE_ROUNDS {
+                n
+            } else {
+                2.0 * profile.skew.max(1.0)
+            };
+            n + draws * per_draw
+        }
+    }
+}
+
+/// Pick the cheapest backend for the profile (ties break toward the
+/// Fenwick tree, the most predictable engine).
+pub fn choose_backend(profile: &WorkloadProfile) -> BackendKind {
+    let mut best = BackendKind::Fenwick;
+    let mut best_cost = cost(best, profile);
+    for kind in [BackendKind::AliasRebuild, BackendKind::StochasticAcceptance] {
+        let c = cost(kind, profile);
+        if c < best_cost {
+            best = kind;
+            best_cost = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_weights_with_moderate_draws_pick_stochastic_acceptance() {
+        // skew ≈ 1: SA draws are ~2 ops with a build as cheap as Fenwick's.
+        let profile = WorkloadProfile {
+            categories: 1 << 16,
+            draws_per_publish: 1024.0,
+            skew: 1.2,
+        };
+        assert_eq!(choose_backend(&profile), BackendKind::StochasticAcceptance);
+    }
+
+    #[test]
+    fn draw_heavy_windows_amortise_the_alias_build() {
+        // Many draws per publish: alias' O(1) draws beat SA once the skew
+        // makes SA rounds pricier than a table lookup.
+        let profile = WorkloadProfile {
+            categories: 4096,
+            draws_per_publish: 1.0e6,
+            skew: 8.0,
+        };
+        assert_eq!(choose_backend(&profile), BackendKind::AliasRebuild);
+    }
+
+    #[test]
+    fn degenerate_skew_never_picks_stochastic_acceptance() {
+        let profile = WorkloadProfile {
+            categories: 1 << 14,
+            draws_per_publish: 256.0,
+            skew: 10_000.0,
+        };
+        let choice = choose_backend(&profile);
+        assert_ne!(choice, BackendKind::StochasticAcceptance);
+    }
+
+    #[test]
+    fn few_draws_per_publish_pick_the_cheap_build() {
+        // One draw per publish: build cost dominates, alias' 3n loses.
+        let profile = WorkloadProfile {
+            categories: 1 << 12,
+            draws_per_publish: 1.0,
+            skew: 4.0,
+        };
+        assert_ne!(choose_backend(&profile), BackendKind::AliasRebuild);
+    }
+
+    #[test]
+    fn measure_computes_the_skew_as_expected_rounds() {
+        let p = WorkloadProfile::measure(&[1.0, 1.0, 6.0], 10.0);
+        assert_eq!(p.categories, 3);
+        assert!((p.skew - 3.0 * 6.0 / 8.0).abs() < 1e-12);
+        let zero = WorkloadProfile::measure(&[0.0, 0.0], 10.0);
+        assert_eq!(zero.skew, 1.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(BackendKind::Fenwick.name(), "fenwick");
+        assert_eq!(BackendKind::AliasRebuild.name(), "alias");
+        assert_eq!(
+            BackendKind::StochasticAcceptance.name(),
+            "stochastic-acceptance"
+        );
+        assert_eq!(BackendKind::all().len(), 3);
+        assert_eq!(BackendChoice::default(), BackendChoice::Auto);
+    }
+}

@@ -1,0 +1,57 @@
+//! # lrb-engine — a snapshot-isolated concurrent selection service
+//!
+//! The paper gives exact-probability roulette selection for a *single
+//! owner*; the production setting the ROADMAP aims at is many reader
+//! threads sampling **while** writers mutate the weights. This crate
+//! supplies that serving layer:
+//!
+//! * [`SelectionEngine`] — writers enqueue weight overrides and
+//!   multiplicative evaporation scales into a **coalescing batch**
+//!   (last-write-wins per category, scales folded into one factor — the
+//!   `DesirabilityTables` algebra lifted to the serving layer), then
+//!   [`publish`](SelectionEngine::publish) freezes the folded weights into
+//!   an immutable [`Snapshot`] and atomically swaps it in.
+//! * [`Snapshot`] — a versioned, immutable frozen sampler. Readers clone
+//!   the `Arc<Snapshot>` once and then draw with **no locks at all**; every
+//!   draw is exact (`F_i = w_i / Σ w_j`) against the snapshot's weights, so
+//!   concurrent publication can never tear a reader across two
+//!   distributions.
+//! * [`choose_backend`] — a cost model picking the cheapest frozen backend
+//!   per publish: Fenwick tree (`O(log n)` draws, skew-immune), Vose alias
+//!   table (`O(1)` draws, priciest build) or stochastic acceptance
+//!   (`O(1)` expected draws on balanced weights).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lrb_engine::{EngineConfig, SelectionEngine};
+//! use lrb_rng::{MersenneTwister64, SeedableSource};
+//!
+//! let engine = SelectionEngine::new(vec![1.0, 2.0, 3.0, 4.0], EngineConfig::default())?;
+//! let mut rng = MersenneTwister64::seed_from_u64(7);
+//!
+//! // Reader side: grab a snapshot, draw freely.
+//! let snapshot = engine.snapshot();
+//! let picks = snapshot.sample_many(&mut rng, 1_000)?;
+//! assert_eq!(picks.len(), 1_000);
+//!
+//! // Writer side: batch, evaporate, publish.
+//! engine.scale_all(0.5)?;
+//! engine.enqueue(0, 10.0)?;
+//! engine.publish()?;
+//! assert_eq!(engine.snapshot().weight(0), 10.0);
+//! assert_eq!(engine.snapshot().weight(3), 2.0);
+//! # Ok::<(), lrb_core::SelectionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod heuristic;
+mod queue;
+pub mod snapshot;
+
+pub use engine::{EngineConfig, EngineStats, SelectionEngine};
+pub use heuristic::{choose_backend, BackendChoice, BackendKind, WorkloadProfile};
+pub use snapshot::Snapshot;

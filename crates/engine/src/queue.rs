@@ -1,0 +1,125 @@
+//! The coalescing write batch between two publishes.
+//!
+//! Writers do not touch live samplers: they enqueue intents — absolute
+//! weight overrides and multiplicative whole-vector scales (evaporation) —
+//! which the engine folds into the next snapshot at publish time. Two rules
+//! keep the batch equivalent to applying every operation in arrival order:
+//!
+//! * **last write wins** per category: a later `set(i, …)` replaces an
+//!   earlier pending one (the earlier write is *coalesced* — it was never
+//!   observable, because no snapshot was published between them);
+//! * **scales fold**: `scale_all(a)` then `scale_all(b)` pends `a·b`, and a
+//!   scale arriving *after* a pending override also multiplies that override
+//!   (the override had already replaced the category's weight, so the scale
+//!   applies to the replacement). An override arriving after a scale is
+//!   absolute — it overwrites whatever the scale would have produced.
+//!
+//! This is the same algebra `lrb_aco::DesirabilityTables` uses to make
+//! pheromone evaporation `O(1)` per round, lifted to the serving layer.
+
+use std::collections::HashMap;
+
+/// Pending, coalesced writer operations (engine-internal; guarded by the
+/// engine's batch mutex; the engine's atomics do the stats bookkeeping).
+#[derive(Debug)]
+pub(crate) struct CoalescingQueue {
+    /// Folded multiplicative factor applied to every non-overridden weight.
+    scale: f64,
+    /// Last-write-wins absolute weights, keyed by category.
+    overrides: HashMap<usize, f64>,
+}
+
+/// Everything the engine needs to build the next snapshot from the previous
+/// weights: `new_w[i] = overrides[i]` if present, else `old_w[i] · scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DrainedBatch {
+    pub scale: f64,
+    /// Sorted by category index (deterministic application and logging).
+    pub overrides: Vec<(usize, f64)>,
+}
+
+impl CoalescingQueue {
+    pub fn new() -> Self {
+        Self {
+            scale: 1.0,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Whether draining now would change nothing.
+    pub fn is_empty(&self) -> bool {
+        self.scale == 1.0 && self.overrides.is_empty()
+    }
+
+    /// Enqueue an absolute weight for one category (validated by the
+    /// engine). Returns whether an earlier pending write was coalesced.
+    pub fn set(&mut self, index: usize, weight: f64) -> bool {
+        self.overrides.insert(index, weight).is_some()
+    }
+
+    /// Fold a multiplicative factor over the whole pending batch.
+    pub fn scale(&mut self, factor: f64) {
+        self.scale *= factor;
+        for pending in self.overrides.values_mut() {
+            *pending *= factor;
+        }
+    }
+
+    /// Take the batch, leaving the queue empty.
+    pub fn drain(&mut self) -> DrainedBatch {
+        let mut overrides: Vec<(usize, f64)> = self.overrides.drain().collect();
+        overrides.sort_unstable_by_key(|&(index, _)| index);
+        let batch = DrainedBatch {
+            scale: self.scale,
+            overrides,
+        };
+        self.scale = 1.0;
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_and_drains_empty() {
+        let mut q = CoalescingQueue::new();
+        assert!(q.is_empty());
+        let batch = q.drain();
+        assert_eq!(batch.scale, 1.0);
+        assert!(batch.overrides.is_empty());
+    }
+
+    #[test]
+    fn last_write_wins_and_reports_coalescing() {
+        let mut q = CoalescingQueue::new();
+        assert!(!q.set(3, 1.0));
+        assert!(!q.set(5, 2.0));
+        assert!(q.set(3, 9.0), "replacing a pending write reports true");
+        let batch = q.drain();
+        assert_eq!(batch.overrides, vec![(3, 9.0), (5, 2.0)]);
+        assert!(q.is_empty(), "drain must reset the queue");
+    }
+
+    #[test]
+    fn scales_fold_and_apply_to_earlier_overrides_only() {
+        let mut q = CoalescingQueue::new();
+        q.set(0, 4.0); // before the scale: will be scaled
+        q.scale(0.5);
+        q.scale(0.5);
+        q.set(1, 4.0); // after the scales: absolute
+        let batch = q.drain();
+        assert_eq!(batch.scale, 0.25);
+        assert_eq!(batch.overrides, vec![(0, 1.0), (1, 4.0)]);
+    }
+
+    #[test]
+    fn scale_only_batches_are_not_empty() {
+        let mut q = CoalescingQueue::new();
+        q.scale(0.9);
+        assert!(!q.is_empty());
+        assert_eq!(q.drain().scale, 0.9);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! Immutable, versioned sampler snapshots — the read side of the engine.
+//!
+//! A [`Snapshot`] freezes one weight vector behind a
+//! [`FrozenSampler`](lrb_core::FrozenSampler) backend. It is never mutated
+//! after construction, so any number of reader threads can draw from the
+//! same `Arc<Snapshot>` without coordination, and a reader that keeps an old
+//! snapshot keeps sampling the exact distribution it observed — publication
+//! of newer versions cannot tear its draws.
+
+use lrb_core::error::SelectionError;
+use lrb_core::fitness::Fitness;
+use lrb_core::sequential::AliasSampler;
+use lrb_core::traits::{FrozenSampler, PreparedSampler};
+use lrb_dynamic::{FenwickSampler, StochasticAcceptanceSampler};
+use lrb_rng::{Philox4x32, RandomSource};
+use rayon::prelude::*;
+
+use crate::heuristic::BackendKind;
+
+/// A Vose alias table frozen at snapshot-build time, so readers never pay
+/// the lazy first-draw rebuild that `RebuildingAliasSampler` would do under
+/// its internal mutex.
+struct FrozenAlias {
+    weights: Vec<f64>,
+    total: f64,
+    /// `None` when every weight is zero (the table cannot be built; draws
+    /// fail with [`SelectionError::AllZeroFitness`]).
+    table: Option<AliasSampler>,
+}
+
+impl FrozenAlias {
+    fn build(weights: Vec<f64>) -> Result<Self, SelectionError> {
+        let total: f64 = weights.iter().sum();
+        let table = if total > 0.0 {
+            let fitness = Fitness::new(weights.clone())?;
+            Some(AliasSampler::new(&fitness)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            weights,
+            total,
+            table,
+        })
+    }
+}
+
+impl FrozenSampler for FrozenAlias {
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn weight(&self, index: usize) -> f64 {
+        self.weights[index]
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
+        match &self.table {
+            Some(table) => Ok(table.sample(rng)),
+            None => Err(SelectionError::AllZeroFitness),
+        }
+    }
+}
+
+/// One immutable published state of the engine: a version number, the frozen
+/// weights, and a backend ready to draw with exact probabilities
+/// `F_i = w_i / Σ w_j`.
+pub struct Snapshot {
+    version: u64,
+    backend: BackendKind,
+    weights: Vec<f64>,
+    total: f64,
+    sampler: Box<dyn FrozenSampler>,
+}
+
+impl Snapshot {
+    /// Freeze `weights` (already validated by the engine) under `backend`.
+    pub(crate) fn build(
+        version: u64,
+        weights: Vec<f64>,
+        backend: BackendKind,
+    ) -> Result<Self, SelectionError> {
+        if weights.is_empty() {
+            return Err(SelectionError::EmptyFitness);
+        }
+        let total: f64 = weights.iter().sum();
+        let sampler: Box<dyn FrozenSampler> = match backend {
+            BackendKind::Fenwick => Box::new(FenwickSampler::from_weights(weights.clone())?),
+            BackendKind::AliasRebuild => Box::new(FrozenAlias::build(weights.clone())?),
+            BackendKind::StochasticAcceptance => {
+                Box::new(StochasticAcceptanceSampler::from_weights(weights.clone())?)
+            }
+        };
+        Ok(Self {
+            version,
+            backend,
+            weights,
+            total,
+            sampler,
+        })
+    }
+
+    /// The snapshot's publication version (monotonically increasing; the
+    /// engine's initial state is version 0).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Which backend this snapshot was frozen under.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the snapshot has zero categories (never true — construction
+    /// rejects empty weight vectors).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The frozen weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Weight of one category (panics if out of range).
+    pub fn weight(&self, index: usize) -> f64 {
+        self.weights[index]
+    }
+
+    /// Sum of the frozen weights.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// The exact selection probabilities `F_i = w_i / Σ w_j` (all zeros when
+    /// the total mass is zero).
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total <= 0.0 {
+            return vec![0.0; self.weights.len()];
+        }
+        self.weights.iter().map(|w| w / self.total).collect()
+    }
+
+    /// Draw one index with probability exactly `w_i / Σ w_j`.
+    pub fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
+        self.sampler.sample(rng)
+    }
+
+    /// Draw `count` indices independently (with replacement).
+    pub fn sample_many(
+        &self,
+        rng: &mut dyn RandomSource,
+        count: usize,
+    ) -> Result<Vec<usize>, SelectionError> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draw `trials` indices in trial order, rayon-parallel and
+    /// deterministic: trial `t` uses its own counter-based Philox stream, so
+    /// the result is a pure function of `(snapshot, master_seed, trials)`
+    /// regardless of thread count — the same contract as
+    /// `lrb_dynamic::batch_sample_indices`.
+    pub fn batch_indices(
+        &self,
+        trials: u64,
+        master_seed: u64,
+    ) -> Result<Vec<usize>, SelectionError> {
+        (0..trials)
+            .into_par_iter()
+            .map(|trial| {
+                let mut rng = Philox4x32::for_substream(master_seed, trial);
+                self.sample(&mut rng)
+            })
+            .collect()
+    }
+
+    /// Like [`batch_indices`](Snapshot::batch_indices) but tabulated into
+    /// per-index counts.
+    pub fn batch_counts(&self, trials: u64, master_seed: u64) -> Result<Vec<u64>, SelectionError> {
+        let indices = self.batch_indices(trials, master_seed)?;
+        let mut counts = vec![0u64; self.weights.len()];
+        for index in indices {
+            counts[index] += 1;
+        }
+        Ok(counts)
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("version", &self.version)
+            .field("backend", &self.backend)
+            .field("len", &self.weights.len())
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+
+    #[test]
+    fn every_backend_freezes_and_draws_the_same_distribution() {
+        let weights = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        for backend in BackendKind::all() {
+            let snap = Snapshot::build(7, weights.clone(), backend).unwrap();
+            assert_eq!(snap.version(), 7);
+            assert_eq!(snap.backend(), backend);
+            assert_eq!(snap.len(), 5);
+            assert!(!snap.is_empty());
+            assert!((snap.total_weight() - 10.0).abs() < 1e-12);
+            assert_eq!(snap.weight(3), 3.0);
+            let probs = snap.probabilities();
+            assert!((probs[4] - 0.4).abs() < 1e-12);
+            let mut rng = MersenneTwister64::seed_from_u64(5);
+            for _ in 0..2_000 {
+                let i = snap.sample(&mut rng).unwrap();
+                assert_ne!(i, 0, "{} drew a zero-weight index", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_weights_are_rejected() {
+        assert_eq!(
+            Snapshot::build(0, vec![], BackendKind::Fenwick).map(|_| ()),
+            Err(SelectionError::EmptyFitness)
+        );
+    }
+
+    #[test]
+    fn all_zero_snapshots_build_but_refuse_to_draw() {
+        for backend in BackendKind::all() {
+            let snap = Snapshot::build(1, vec![0.0, 0.0], backend).unwrap();
+            assert_eq!(snap.total_weight(), 0.0);
+            assert_eq!(snap.probabilities(), vec![0.0, 0.0]);
+            let mut rng = MersenneTwister64::seed_from_u64(2);
+            assert_eq!(
+                snap.sample(&mut rng),
+                Err(SelectionError::AllZeroFitness),
+                "{}",
+                backend.name()
+            );
+            assert!(snap.batch_indices(5, 1).is_err());
+        }
+    }
+
+    #[test]
+    fn batch_draws_are_deterministic_and_counted() {
+        let snap = Snapshot::build(3, vec![1.0, 2.0, 1.0], BackendKind::Fenwick).unwrap();
+        let a = snap.batch_indices(5_000, 11).unwrap();
+        let b = snap.batch_indices(5_000, 11).unwrap();
+        assert_eq!(a, b);
+        let counts = snap.batch_counts(5_000, 11).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 5_000);
+        let mut recount = vec![0u64; 3];
+        for &i in &a {
+            recount[i] += 1;
+        }
+        assert_eq!(recount, counts);
+    }
+
+    #[test]
+    fn sample_many_draws_the_requested_count() {
+        let snap = Snapshot::build(0, vec![2.0, 2.0], BackendKind::StochasticAcceptance).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(9);
+        let picks = snap.sample_many(&mut rng, 100).unwrap();
+        assert_eq!(picks.len(), 100);
+        assert!(picks.iter().all(|&i| i < 2));
+    }
+
+    #[test]
+    fn debug_format_names_the_essentials() {
+        let snap = Snapshot::build(4, vec![1.0], BackendKind::AliasRebuild).unwrap();
+        let text = format!("{snap:?}");
+        assert!(text.contains("version"));
+        assert!(text.contains('4'));
+    }
+}

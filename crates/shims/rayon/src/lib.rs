@@ -35,6 +35,16 @@ thread_local! {
 
 fn configured_threads() -> usize {
     THREAD_OVERRIDE.with(|o| o.get()).unwrap_or_else(|| {
+        // `LRB_THREADS` pins the default thread budget process-wide (the CI
+        // matrix runs the suite at 1, 2 and 8 threads with it); an explicit
+        // `ThreadPool::install` still wins over the environment.
+        if let Some(env_threads) = std::env::var("LRB_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return env_threads;
+        }
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -445,6 +455,26 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         assert_eq!(pool.current_num_threads(), 3);
         pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn lrb_threads_env_sets_the_default_but_loses_to_install() {
+        // Save and restore any pre-existing value (the CI matrix sets
+        // LRB_THREADS job-wide; other tests must keep seeing it). The
+        // assertions use `install`-scoped or thread-local-free reads, so the
+        // brief global mutation cannot fail concurrent tests — their
+        // parallel stages are order-preserving at every thread count.
+        let previous = std::env::var("LRB_THREADS").ok();
+        std::env::set_var("LRB_THREADS", "5");
+        assert_eq!(current_num_threads(), 5);
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+        std::env::set_var("LRB_THREADS", "not-a-number");
+        assert!(current_num_threads() >= 1, "garbage values fall through");
+        match previous {
+            Some(value) => std::env::set_var("LRB_THREADS", value),
+            None => std::env::remove_var("LRB_THREADS"),
+        }
     }
 
     #[test]
