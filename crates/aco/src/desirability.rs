@@ -228,11 +228,21 @@ impl DesirabilityTables {
         // Rejection sampling pays while the acceptance rate is decent; once
         // most cities are visited (k ≪ n) the exact fallback is cheaper.
         if 4 * k >= self.n {
-            for _ in 0..MAX_REJECTIONS {
-                let candidate = self.rows[current].sample(rng)?;
-                if !visited[candidate] {
-                    return Ok(candidate);
-                }
+            // First attempt alone: in the common high-acceptance case it
+            // succeeds immediately and nothing else is paid.
+            let candidate = self.rows[current].sample(rng)?;
+            if !visited[candidate] {
+                return Ok(candidate);
+            }
+            // Rejected: draw the remaining attempts as one burst through the
+            // batch primitive, which hoists the row's O(log n) total-weight
+            // read out of the per-attempt loop. Scanning the buffer in order
+            // is distribution-identical to sequential rejection attempts
+            // (each entry is an independent draw from the same row).
+            let mut burst = [0usize; MAX_REJECTIONS - 1];
+            self.rows[current].sample_into(rng, &mut burst)?;
+            if let Some(&candidate) = burst.iter().find(|&&c| !visited[c]) {
+                return Ok(candidate);
             }
         }
         // Exact conditional draw over the unvisited list (tree weights share

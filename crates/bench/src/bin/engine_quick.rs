@@ -1,25 +1,39 @@
-//! Quick throughput check for the `lrb-engine` serving layer — the
-//! snapshot-isolation headline: reader threads sample lock-free against
-//! immutable snapshots, so sample throughput should scale with readers
-//! while a writer publishes concurrently.
+//! Quick gates for the `lrb-engine` serving layer.
 //!
 //! ```text
 //! cargo run -p lrb-bench --release --bin engine_quick \
 //!     [-- --n 4096 --readers 8 --ratio 16 --duration-ms 250 \
-//!         --min-speedup 3.0 --json 1]
+//!         --min-speedup 3.0 --trials 120000 --json 1]
 //! ```
 //!
-//! Measures samples/sec at 1 reader and at `--readers` readers (default 8)
-//! with a 1:`--ratio` update:sample mix (default 1:16), plus a per-backend
-//! single-reader comparison. Exits non-zero when the reader-scaling speedup
-//! falls below `--min-speedup` — but only on hosts that actually have
-//! `--readers` hardware threads; on smaller hosts the gate is advisory
-//! (printed, not enforced), because the scaling being measured is physical
-//! parallelism.
+//! Two checks:
+//!
+//! 1. **Snapshot-isolation scaling** — reader threads sample lock-free
+//!    against immutable snapshots, so sample throughput should scale with
+//!    readers while a writer publishes concurrently. Measures samples/sec at
+//!    1 reader and at `--readers` readers (default 8) with a 1:`--ratio`
+//!    update:sample mix (default 1:16), plus a per-backend single-reader
+//!    comparison. Exits non-zero when the reader-scaling speedup falls below
+//!    `--min-speedup` — but only on hosts that actually have `--readers`
+//!    hardware threads; on smaller hosts the gate is advisory (printed, not
+//!    enforced), because the scaling being measured is physical parallelism.
+//! 2. **Adaptive decider** — a calibrated engine runs the skew-shifting
+//!    workload (draw-heavy uniform → write-heavy spike → recovery): the
+//!    telemetry-driven decider must log at least one backend switch, and
+//!    every phase's served draws must stay chi-square-consistent
+//!    (p > 0.01) with the exact probabilities — conformance maintained
+//!    across the switches. This gate is statistical but seed-deterministic
+//!    per backend choice, and is enforced everywhere.
+//!
+//! The `--json 1` report (recorded as the `BENCH_engine.json` baseline)
+//! includes the calibrated per-op cost constants and the full
+//! backend-switch history of the adaptive run.
 
 use lrb_bench::cli::{Options, OrExit};
-use lrb_bench::engine_workload::{run_driver, DriverConfig, DriverReport};
-use lrb_engine::{BackendChoice, BackendKind};
+use lrb_bench::engine_workload::{
+    run_driver, run_skew_shift, DriverConfig, DriverReport, SkewShiftConfig, SkewShiftReport,
+};
+use lrb_engine::{BackendChoice, BackendRegistry};
 use serde::Serialize;
 
 /// The machine-readable report (`--json 1`), recorded as the
@@ -32,6 +46,7 @@ struct QuickReport {
     gate_enforced: bool,
     reader_scaling: Vec<DriverReport>,
     backends: Vec<DriverReport>,
+    adaptive: SkewShiftReport,
 }
 
 fn main() {
@@ -41,6 +56,7 @@ fn main() {
     let ratio = options.u64_or("ratio", 16).or_exit().max(1);
     let duration_ms = options.u64_or("duration-ms", 250).or_exit();
     let min_speedup = options.f64_or("min-speedup", 3.0).or_exit();
+    let trials = options.u64_or("trials", 120_000).or_exit();
     let seed = options.u64_or("seed", 2024).or_exit();
 
     let host_threads = std::thread::available_parallelism()
@@ -74,10 +90,10 @@ fn main() {
 
     println!("\nbackends at 1 reader (fixed choice):");
     let mut backends = Vec::new();
-    for kind in BackendKind::all() {
+    for name in BackendRegistry::standard().names() {
         let report = run_driver(&DriverConfig {
             readers: 1,
-            backend: BackendChoice::Fixed(kind),
+            backend: BackendChoice::Fixed(name),
             ..base
         });
         println!(
@@ -87,9 +103,44 @@ fn main() {
         backends.push(report);
     }
 
-    // The gate measures physical reader parallelism; a host with fewer
-    // hardware threads than readers cannot exhibit it, so there the result
-    // is advisory.
+    println!("\nadaptive decider on a skew-shifting workload (calibrated):");
+    let adaptive = run_skew_shift(&SkewShiftConfig {
+        categories: n,
+        trials,
+        seed,
+        ..SkewShiftConfig::default()
+    });
+    for phase in &adaptive.phases {
+        println!(
+            "  phase {:<8} backend {:<22} chi-square p = {:.4}",
+            phase.phase, phase.backend, phase.chi_square_p
+        );
+    }
+    for switch in &adaptive.switches {
+        println!(
+            "  switch @v{:<4} {} -> {}{} ({} draws served)",
+            switch.version,
+            switch.from,
+            switch.to,
+            if switch.mid_stream {
+                " [mid-stream]"
+            } else {
+                ""
+            },
+            switch.draws_served
+        );
+    }
+    println!("  calibrated cost constants (ns per abstract op):");
+    for constants in &adaptive.cost_constants {
+        println!(
+            "    {:<22} build {:>8.3}   draw {:>8.3}",
+            constants.backend, constants.build_ns_per_op, constants.draw_ns_per_op
+        );
+    }
+
+    // The scaling gate measures physical reader parallelism; a host with
+    // fewer hardware threads than readers cannot exhibit it, so there the
+    // result is advisory.
     let gate_enforced = host_threads >= readers;
     println!(
         "\nsnapshot-isolated read scaling 1 -> {readers} readers: {speedup:.2}x \
@@ -109,6 +160,7 @@ fn main() {
             gate_enforced,
             reader_scaling,
             backends,
+            adaptive: adaptive.clone(),
         };
         println!(
             "{}",
@@ -116,8 +168,25 @@ fn main() {
         );
     }
 
+    let mut failed = false;
+    if adaptive.switches.is_empty() {
+        eprintln!("FAIL: the adaptive decider never switched backends");
+        failed = true;
+    }
+    for phase in &adaptive.phases {
+        if phase.chi_square_p <= 0.01 {
+            eprintln!(
+                "FAIL: phase {} lost chi-square conformance (p = {})",
+                phase.phase, phase.chi_square_p
+            );
+            failed = true;
+        }
+    }
     if gate_enforced && speedup < min_speedup {
-        eprintln!("FAIL: expected >= {min_speedup}x");
+        eprintln!("FAIL: expected >= {min_speedup}x reader scaling");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("OK");

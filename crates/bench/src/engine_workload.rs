@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use lrb_engine::{BackendChoice, EngineConfig, SelectionEngine};
 use lrb_rng::{Philox4x32, RandomSource};
+use lrb_stats::chi_square_gof;
 use serde::Serialize;
 
 /// Workload shape for one driver run.
@@ -41,6 +42,9 @@ pub struct DriverConfig {
     pub zipf_exponent: f64,
     /// Snapshot backend selection.
     pub backend: BackendChoice,
+    /// Run the engine's startup micro-calibration and per-publish cost
+    /// telemetry (host-measured constants instead of the unit model).
+    pub calibrate: bool,
     /// Master seed for every thread's Philox stream.
     pub seed: u64,
 }
@@ -57,6 +61,7 @@ impl Default for DriverConfig {
             duration_ms: 250,
             zipf_exponent: 0.0,
             backend: BackendChoice::Auto,
+            calibrate: false,
             seed: 2024,
         }
     }
@@ -88,6 +93,8 @@ pub struct DriverReport {
     pub coalesced: u64,
     /// Snapshots published.
     pub publishes: u64,
+    /// Publishes whose backend differed from the previous snapshot's.
+    pub backend_switches: u64,
     /// Draws per second across all readers.
     pub samples_per_sec: f64,
     /// Achieved samples-per-update ratio (≈ the configured target once the
@@ -119,6 +126,7 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
             backend: config.backend,
             expected_draws_per_publish: (config.samples_per_update
                 * config.updates_per_publish.max(1)) as f64,
+            calibrate: config.calibrate,
         },
     )
     .expect("driver weights are valid");
@@ -136,19 +144,21 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
             scope.spawn(move || {
                 let mut rng = Philox4x32::for_substream(config.seed, 1_000 + reader as u64);
                 let mut sink = 0usize;
+                // One buffer per snapshot hold: readers fill it lock-free
+                // through the backend's tight-loop primitive — one virtual
+                // call and one counter increment per buffer, not per draw.
+                let mut buffer = vec![0usize; config.snapshot_every.max(1) as usize];
                 while !stop.load(Ordering::Relaxed) {
                     let snapshot = engine.snapshot();
-                    let mut served = 0u64;
-                    for _ in 0..config.snapshot_every {
-                        match snapshot.sample(&mut rng) {
-                            Ok(index) => {
+                    match snapshot.sample_into(&mut rng, &mut buffer) {
+                        Ok(()) => {
+                            for &index in &buffer {
                                 sink ^= index;
-                                served += 1;
                             }
-                            Err(_) => break, // all-zero interregnum
+                            samples_total.fetch_add(buffer.len() as u64, Ordering::Relaxed);
                         }
+                        Err(_) => std::thread::yield_now(), // all-zero interregnum
                     }
-                    samples_total.fetch_add(served, Ordering::Relaxed);
                 }
                 std::hint::black_box(sink);
             });
@@ -205,14 +215,237 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
         writers: config.writers as u64,
         samples_per_update: config.samples_per_update,
         zipf_exponent: config.zipf_exponent,
-        backend: engine.snapshot().backend().name().to_string(),
+        backend: engine.snapshot().backend().to_string(),
         duration_s,
         samples,
         updates: stats.enqueued,
         coalesced: stats.coalesced,
         publishes: stats.publishes,
+        backend_switches: stats.backend_switches,
         samples_per_sec: samples as f64 / duration_s.max(1e-9),
         achieved_samples_per_update: samples as f64 / (stats.enqueued.max(1)) as f64,
+    }
+}
+
+/// Shape of the deterministic skew-shifting scenario behind the adaptive
+/// `engine_quick` gate.
+#[derive(Debug, Clone, Copy)]
+pub struct SkewShiftConfig {
+    /// Number of weight categories `n`.
+    pub categories: usize,
+    /// Conformance draws served (and chi-square-tested) per phase.
+    pub trials: u64,
+    /// Spike publishes in the write-heavy phase (each publishes a handful
+    /// of overrides and serves no draws, so the observed draw rate decays).
+    pub spike_publishes: u64,
+    /// Master seed for the per-phase conformance batches.
+    pub seed: u64,
+    /// Whether the engine measures real per-op costs (host-calibrated
+    /// constants) or scores the closed-form model at unit cost.
+    pub calibrate: bool,
+}
+
+impl Default for SkewShiftConfig {
+    fn default() -> Self {
+        Self {
+            categories: 4096,
+            trials: 120_000,
+            // Enough zero-draw publishes that the draws-per-publish EWMA
+            // (alpha 0.2) decays from hundreds of thousands to ~single
+            // draws: in that regime the arg-min is the cheapest *measured*
+            // build, which is never the three-pass alias table — so the
+            // decider must move, whatever this host's constants are.
+            spike_publishes: 60,
+            seed: 2024,
+            calibrate: true,
+        }
+    }
+}
+
+/// One phase of the skew-shift scenario: which backend served it and how
+/// the served draws conformed to the exact distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseReport {
+    /// Phase name (`uniform`, `spike`, `recover`).
+    pub phase: String,
+    /// Backend of the snapshot that served this phase's draws.
+    pub backend: String,
+    /// Conformance draws served.
+    pub trials: u64,
+    /// Chi-square goodness-of-fit p-value of the served draws against the
+    /// snapshot's exact probabilities (best of two seeds, so an unlucky
+    /// seed cannot fail a healthy sampler; a genuinely biased one fails
+    /// both).
+    pub chi_square_p: f64,
+}
+
+/// One recorded backend switch (mirror of `lrb_engine::BackendSwitch`,
+/// serialisable for `BENCH_engine.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct SwitchReport {
+    /// Version that introduced the new backend.
+    pub version: u64,
+    /// Previous backend.
+    pub from: String,
+    /// New backend.
+    pub to: String,
+    /// Draws the outgoing snapshot had served.
+    pub draws_served: u64,
+    /// Whether the decider moved mid-stream (no pending writes).
+    pub mid_stream: bool,
+}
+
+/// Calibrated cost constants of one backend (mirror of
+/// `lrb_engine::CostConstants`, serialisable).
+#[derive(Debug, Clone, Serialize)]
+pub struct CostConstantsReport {
+    /// Backend name.
+    pub backend: String,
+    /// EWMA nanoseconds per abstract build op.
+    pub build_ns_per_op: f64,
+    /// EWMA nanoseconds per abstract draw op.
+    pub draw_ns_per_op: f64,
+}
+
+/// Outcome of [`run_skew_shift`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SkewShiftReport {
+    /// Per-phase backends and conformance.
+    pub phases: Vec<PhaseReport>,
+    /// Every backend switch the decider made, oldest first.
+    pub switches: Vec<SwitchReport>,
+    /// The decider's cost constants at the end of the run.
+    pub cost_constants: Vec<CostConstantsReport>,
+    /// The observed draws-per-publish EWMA at the end of the run.
+    pub observed_draws_per_publish: f64,
+}
+
+/// Serve one conformance phase: deterministic batch draws against the
+/// current snapshot, chi-square-tested against its exact probabilities.
+fn conformance_phase(engine: &SelectionEngine, phase: &str, trials: u64, seed: u64) -> PhaseReport {
+    let snapshot = engine.snapshot();
+    let probs = snapshot.probabilities();
+    // Best of two seeds: the gate should flag a biased sampler (which fails
+    // every seed), not an unlucky 1%-tail draw.
+    let p = [seed, seed ^ 0x9E37_79B9]
+        .iter()
+        .map(|&s| {
+            let counts = snapshot
+                .batch_counts(trials, s)
+                .expect("phase weights have positive mass");
+            chi_square_gof(&counts, &probs).p_value
+        })
+        .fold(0.0f64, f64::max);
+    PhaseReport {
+        phase: phase.to_string(),
+        backend: snapshot.backend().to_string(),
+        trials,
+        chi_square_p: p,
+    }
+}
+
+/// Run the skew-shifting workload that the adaptive gate checks: a
+/// draw-heavy uniform phase, a write-heavy phase that spikes a handful of
+/// categories to degenerate skew while the observed draw rate decays, a
+/// mid-stream rebalance opportunity once draws resume, and a draw-heavy
+/// uniform recovery. The decider must switch backends at least once, and
+/// every phase's served draws must stay chi-square-consistent with the
+/// exact probabilities — conformance is maintained **across** the
+/// switches.
+pub fn run_skew_shift(config: &SkewShiftConfig) -> SkewShiftReport {
+    let n = config.categories;
+    assert!(n >= 16, "the scenario needs a non-trivial category count");
+    let engine = SelectionEngine::new(
+        vec![1.0; n],
+        EngineConfig {
+            backend: BackendChoice::Auto,
+            expected_draws_per_publish: config.trials as f64,
+            calibrate: config.calibrate,
+        },
+    )
+    .expect("scenario weights are valid");
+
+    let mut phases = Vec::new();
+
+    // Phase 1 — draw-heavy, uniform: cheap-draw backends win.
+    phases.push(conformance_phase(
+        &engine,
+        "uniform",
+        config.trials,
+        config.seed,
+    ));
+
+    // Phase 2 — write-heavy skew shift: eight fixed categories spike to
+    // `n/2`-fold weight (skew `≈ n/10`, far past where stochastic
+    // acceptance pays) while publishes serve no draws, so the
+    // draws-per-publish EWMA collapses and cheap builds win. The spike set
+    // is small and the weight moderate so every base category's expected
+    // conformance count stays at or above the chi-square validity floor.
+    // Then serve conformance draws from whatever backend the decider
+    // landed on.
+    let spike_weight = (n / 2) as f64;
+    let mut spike_rng = Philox4x32::for_substream(config.seed, 7_000);
+    let spike_set: Vec<usize> = (0..8)
+        .map(|_| spike_rng.next_u64_below(n as u64) as usize)
+        .collect();
+    for step in 0..config.spike_publishes {
+        for lane in 0..2 {
+            let index = spike_set[((2 * step + lane) % 8) as usize];
+            // Jitter keeps every publish a real weight change.
+            let weight = spike_weight + (step % 5) as f64;
+            engine.enqueue(index, weight).expect("index in range");
+        }
+        engine.publish().expect("spike weights stay valid");
+    }
+    phases.push(conformance_phase(
+        &engine,
+        "spike",
+        config.trials,
+        config.seed + 1,
+    ));
+
+    // Mid-stream opportunity: the spike phase's conformance draws all hit
+    // the current snapshot with no publish in sight — exactly the drift the
+    // sunk-cost decider exists for.
+    let _ = engine
+        .maybe_rebalance()
+        .expect("rebalance cannot fail here");
+
+    // Phase 3 — recovery: restore uniform weights and serve draw-heavy
+    // windows again; the observed rate climbs back and cheap draws win.
+    let restore: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+    engine.enqueue_many(&restore).expect("restore is in range");
+    engine.publish().expect("restore weights are valid");
+    phases.push(conformance_phase(
+        &engine,
+        "recover",
+        config.trials,
+        config.seed + 2,
+    ));
+
+    SkewShiftReport {
+        phases,
+        switches: engine
+            .switch_history()
+            .into_iter()
+            .map(|s| SwitchReport {
+                version: s.version,
+                from: s.from.to_string(),
+                to: s.to.to_string(),
+                draws_served: s.draws_served,
+                mid_stream: s.mid_stream,
+            })
+            .collect(),
+        cost_constants: engine
+            .cost_constants()
+            .into_iter()
+            .map(|c| CostConstantsReport {
+                backend: c.backend.to_string(),
+                build_ns_per_op: c.build_ns_per_op,
+                draw_ns_per_op: c.draw_ns_per_op,
+            })
+            .collect(),
+        observed_draws_per_publish: engine.observed_draws_per_publish(),
     }
 }
 
@@ -252,6 +485,38 @@ mod tests {
             report.achieved_samples_per_update >= 1.0,
             "more updates than samples at a 1:4 target: {report:?}"
         );
+    }
+
+    #[test]
+    fn skew_shift_scenario_switches_backends_and_stays_conformant() {
+        // Unit-cost decider for determinism in tests; the engine_quick gate
+        // runs the same scenario calibrated.
+        let report = run_skew_shift(&SkewShiftConfig {
+            categories: 1024,
+            trials: 30_000,
+            spike_publishes: 25,
+            seed: 7,
+            calibrate: false,
+        });
+        assert_eq!(report.phases.len(), 3);
+        assert!(
+            !report.switches.is_empty(),
+            "the decider never switched: {report:?}"
+        );
+        for phase in &report.phases {
+            assert!(
+                phase.chi_square_p > 0.01,
+                "{} phase lost conformance: p = {}",
+                phase.phase,
+                phase.chi_square_p
+            );
+        }
+        assert_eq!(report.cost_constants.len(), 3);
+        // Unit costs: the constants stay at the 1 ns/op seed.
+        assert!(report
+            .cost_constants
+            .iter()
+            .all(|c| c.build_ns_per_op == 1.0 && c.draw_ns_per_op == 1.0));
     }
 
     #[test]

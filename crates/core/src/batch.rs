@@ -1,13 +1,17 @@
-//! Batch selection: run many independent selections of the same fitness
-//! vector at once, parallelised over the *trials* with rayon.
+//! The shared deterministic batch kernel: run many independent draws at
+//! once, parallelised over disjoint chunks of one output buffer.
 //!
-//! The probability experiments (Tables I and II) and Monte-Carlo users need
-//! millions of independent selections from one fitness vector. Parallelising
-//! over trials is embarrassingly parallel and keeps each individual selection
-//! identical to the one-shot API: trial `t` gets its own counter-based Philox
-//! stream derived from one master seed, so the batch result is a
-//! deterministic function of `(fitness, selector, master_seed, trials)` and
-//! does not depend on the rayon schedule.
+//! The probability experiments (Tables I and II), the dynamic samplers'
+//! batch APIs and the `lrb-engine` snapshot readers all need millions of
+//! independent selections from one frozen state. They all reuse the one
+//! [`BatchDriver`] here: the output buffer is split into fixed-size chunks,
+//! chunk `c` draws from its own counter-based Philox substream
+//! `for_substream(master_seed, c)`, and a caller-supplied closure fills each
+//! chunk through the buffer primitives ([`Selector::select_into`],
+//! `sample_into`). Chunk boundaries depend only on the driver's configured
+//! chunk size — never on the rayon schedule or thread count — so a batch is
+//! a pure function of `(state, master_seed, trials, chunk_size)`, while each
+//! chunk amortises the sampler's per-call setup across its whole sub-slice.
 
 use lrb_rng::Philox4x32;
 use rayon::prelude::*;
@@ -15,6 +19,153 @@ use rayon::prelude::*;
 use crate::error::SelectionError;
 use crate::fitness::Fitness;
 use crate::traits::Selector;
+
+/// Default trials per substream chunk: large enough to amortise per-chunk
+/// setup (one Philox construction, one prefix-table build), small enough
+/// that realistic batches produce many chunks to fan out over.
+pub const DEFAULT_CHUNK_SIZE: u64 = 1024;
+
+/// The deterministic Philox-substream batch driver shared by `lrb-core`,
+/// `lrb-dynamic` and `lrb-engine`.
+///
+/// # Example
+///
+/// ```
+/// use lrb_core::batch::BatchDriver;
+/// use lrb_core::sequential::LinearScanSelector;
+/// use lrb_core::{Fitness, Selector};
+///
+/// let fitness = Fitness::new(vec![1.0, 0.0, 3.0]).unwrap();
+/// let driver = BatchDriver::new();
+/// let a = driver
+///     .drive_indices(7, 10_000, |rng, out| {
+///         LinearScanSelector.select_into(&fitness, rng, out)
+///     })
+///     .unwrap();
+/// let b = driver
+///     .drive_indices(7, 10_000, |rng, out| {
+///         LinearScanSelector.select_into(&fitness, rng, out)
+///     })
+///     .unwrap();
+/// assert_eq!(a, b); // same master seed → identical draws, any thread count
+/// assert!(a.iter().all(|&i| i != 1)); // zero-weight index never drawn
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchDriver {
+    chunk_size: u64,
+}
+
+impl Default for BatchDriver {
+    fn default() -> Self {
+        Self {
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+impl BatchDriver {
+    /// A driver with the [`DEFAULT_CHUNK_SIZE`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A driver with an explicit chunk size (must be positive). The chunk
+    /// size is part of the determinism contract: changing it changes which
+    /// substream serves which trial, so results are reproducible per
+    /// `(master_seed, chunk_size)` pair.
+    pub fn with_chunk_size(chunk_size: u64) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self { chunk_size }
+    }
+
+    /// Trials served per substream chunk.
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    /// Fill `out` deterministically: the chunk covering
+    /// `out[c·chunk_size .. (c+1)·chunk_size]` is filled by `fill` with a
+    /// fresh Philox substream `(master_seed, c)`. Chunks run rayon-parallel;
+    /// the first error aborts the batch.
+    pub fn drive_into<E, F>(&self, master_seed: u64, out: &mut [usize], fill: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(&mut Philox4x32, &mut [usize]) -> Result<(), E> + Sync,
+    {
+        out.par_chunks_mut(self.chunk_size as usize)
+            .with_min_len(1)
+            .enumerate()
+            .map(|(chunk, slice)| {
+                let mut rng = Philox4x32::for_substream(master_seed, chunk as u64);
+                fill(&mut rng, slice)
+            })
+            .collect::<Result<Vec<()>, E>>()?;
+        Ok(())
+    }
+
+    /// Run `trials` draws and return the selected indices in trial order.
+    pub fn drive_indices<E, F>(
+        &self,
+        master_seed: u64,
+        trials: u64,
+        fill: F,
+    ) -> Result<Vec<usize>, E>
+    where
+        E: Send,
+        F: Fn(&mut Philox4x32, &mut [usize]) -> Result<(), E> + Sync,
+    {
+        let mut out = vec![0usize; trials as usize];
+        self.drive_into(master_seed, &mut out, fill)?;
+        Ok(out)
+    }
+
+    /// Run `trials` draws over `categories` indices and tabulate them into
+    /// per-index counts.
+    ///
+    /// Counting happens chunk-locally (each chunk fills a transient
+    /// chunk-sized buffer and tabulates it immediately; partial counts are
+    /// merged), so memory stays `O(chunks · categories)` instead of
+    /// materialising every trial index — the Tables I/II regime is millions
+    /// of trials over tens of categories.
+    pub fn drive_counts<E, F>(
+        &self,
+        master_seed: u64,
+        trials: u64,
+        categories: usize,
+        fill: F,
+    ) -> Result<Vec<u64>, E>
+    where
+        E: Send,
+        F: Fn(&mut Philox4x32, &mut [usize]) -> Result<(), E> + Sync,
+    {
+        let chunk_size = self.chunk_size as usize;
+        let chunk_count = (trials as usize).div_ceil(chunk_size.max(1));
+        (0..chunk_count)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|chunk| {
+                let start = chunk * chunk_size;
+                let len = chunk_size.min(trials as usize - start);
+                let mut buffer = vec![0usize; len];
+                let mut rng = Philox4x32::for_substream(master_seed, chunk as u64);
+                fill(&mut rng, &mut buffer)?;
+                let mut local = vec![0u64; categories];
+                for index in buffer {
+                    local[index] += 1;
+                }
+                Ok(local)
+            })
+            .try_reduce(
+                || vec![0u64; categories],
+                |mut acc, local| {
+                    for (a, b) in acc.iter_mut().zip(&local) {
+                        *a += b;
+                    }
+                    Ok(acc)
+                },
+            )
+    }
+}
 
 /// Counts of how often each index was selected in a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,18 +192,10 @@ impl BatchCounts {
             .map(|&c| c as f64 / self.trials as f64)
             .collect()
     }
-
-    fn merge(mut self, other: BatchCounts) -> BatchCounts {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.trials += other.trials;
-        self
-    }
 }
 
-/// Run `trials` independent selections of `fitness` with `selector`,
-/// parallelised over trials, and return the per-index counts.
+/// Run `trials` independent selections of `fitness` with `selector` through
+/// the shared [`BatchDriver`] and return the per-index counts.
 ///
 /// Fails fast with the selector's error if the fitness vector is degenerate
 /// (empty support).
@@ -65,33 +208,11 @@ pub fn batch_select_counts(
     if fitness.is_all_zero() {
         return Err(SelectionError::AllZeroFitness);
     }
-    let chunk: u64 = 4_096;
-    let chunks: Vec<(u64, u64)> = (0..trials)
-        .step_by(chunk as usize)
-        .map(|start| (start, (start + chunk).min(trials)))
-        .collect();
-
-    let empty = || BatchCounts {
-        counts: vec![0; fitness.len()],
-        trials: 0,
-    };
-
-    let result = chunks
-        .par_iter()
-        .map(|&(start, end)| {
-            let mut local = empty();
-            for trial in start..end {
-                // One provably independent stream per trial.
-                let mut rng = Philox4x32::for_substream(master_seed, trial);
-                let index = selector.select(fitness, &mut rng)?;
-                local.counts[index] += 1;
-                local.trials += 1;
-            }
-            Ok(local)
-        })
-        .try_reduce(empty, |a, b| Ok(a.merge(b)))?;
-
-    Ok(result)
+    let counts =
+        BatchDriver::new().drive_counts(master_seed, trials, fitness.len(), |rng, out| {
+            selector.select_into(fitness, rng, out)
+        })?;
+    Ok(BatchCounts { counts, trials })
 }
 
 /// Run `trials` independent selections and return the selected indices in
@@ -106,13 +227,9 @@ pub fn batch_select_indices(
     if fitness.is_all_zero() {
         return Err(SelectionError::AllZeroFitness);
     }
-    (0..trials)
-        .into_par_iter()
-        .map(|trial| {
-            let mut rng = Philox4x32::for_substream(master_seed, trial);
-            selector.select(fitness, &mut rng)
-        })
-        .collect()
+    BatchDriver::new().drive_indices(master_seed, trials, |rng, out| {
+        selector.select_into(fitness, rng, out)
+    })
 }
 
 #[cfg(test)]
@@ -156,6 +273,22 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_overrides_do_not_change_the_batch() {
+        let fitness = Fitness::new(vec![1.0, 3.0, 2.0, 0.5]).unwrap();
+        let reference = batch_select_indices(&LinearScanSelector, &fitness, 30_000, 8).unwrap();
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let indices = pool
+                .install(|| batch_select_indices(&LinearScanSelector, &fitness, 30_000, 8))
+                .unwrap();
+            assert_eq!(indices, reference, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
     fn indices_and_counts_agree() {
         let fitness = Fitness::new(vec![1.0, 1.0, 2.0]).unwrap();
         let selector = IndependentRouletteSelector;
@@ -184,5 +317,41 @@ mod tests {
         assert!(batch_select_indices(&LinearScanSelector, &fitness, 0, 6)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn chunk_size_is_part_of_the_determinism_contract() {
+        // Same seed, same chunk size → identical; a different chunk size
+        // reassigns substreams and is allowed to differ.
+        let fitness = Fitness::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let fill = |rng: &mut lrb_rng::Philox4x32, out: &mut [usize]| {
+            LinearScanSelector.select_into(&fitness, rng, out)
+        };
+        let small = BatchDriver::with_chunk_size(64);
+        let a = small.drive_indices(9, 10_000, fill).unwrap();
+        let b = small.drive_indices(9, 10_000, fill).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(small.chunk_size(), 64);
+        let big = BatchDriver::with_chunk_size(4096);
+        let c = big.drive_indices(9, 10_000, fill).unwrap();
+        assert_ne!(a, c, "different chunk sizes should reassign substreams");
+    }
+
+    #[test]
+    fn drive_into_fills_exactly_the_buffer_it_is_given() {
+        let fitness = Fitness::new(vec![0.0, 5.0]).unwrap();
+        let mut out = vec![99usize; 2_500];
+        BatchDriver::with_chunk_size(1000)
+            .drive_into(3, &mut out, |rng, slice| {
+                LinearScanSelector.select_into(&fitness, rng, slice)
+            })
+            .unwrap();
+        assert!(out.iter().all(|&i| i == 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_size_is_rejected() {
+        let _ = BatchDriver::with_chunk_size(0);
     }
 }

@@ -41,6 +41,13 @@ pub enum SelectionError {
         /// The offending factor.
         factor: f64,
     },
+    /// A sampler backend was requested by a name no registry entry carries
+    /// (the `lrb-engine` backend registry validates fixed choices up
+    /// front, so a typo fails at construction instead of at publish time).
+    UnknownBackend {
+        /// The name that failed to resolve.
+        name: &'static str,
+    },
 }
 
 impl fmt::Display for SelectionError {
@@ -68,6 +75,9 @@ impl fmt::Display for SelectionError {
                 f,
                 "scale factor {factor} is invalid: factors must be finite and non-negative"
             ),
+            SelectionError::UnknownBackend { name } => {
+                write!(f, "no sampler backend named '{name}' is registered")
+            }
         }
     }
 }
@@ -146,6 +156,8 @@ mod tests {
         assert!(e.to_string().contains('4'));
         let e = SelectionError::InvalidScale { factor: -0.5 };
         assert!(e.to_string().contains("-0.5"));
+        let e = SelectionError::UnknownBackend { name: "gpu-table" };
+        assert!(e.to_string().contains("gpu-table"));
     }
 
     #[test]

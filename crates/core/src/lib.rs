@@ -22,6 +22,12 @@
 //!   error), and the **logarithmic random bidding** in three executions:
 //!   sequential streaming, rayon data-parallel, and CRCW-PRAM-simulated
 //!   (`O(log k)` expected steps, `O(1)` shared memory).
+//! * [`batch`] — the shared deterministic batch kernel
+//!   ([`BatchDriver`](batch::BatchDriver)): buffer chunks filled from
+//!   counter-based Philox substreams through the traits' `select_into` /
+//!   `sample_into` primitives, schedule-independent at any thread count.
+//!   `lrb-dynamic` batches, `ShardedArena::sample_batch` and the
+//!   `lrb-engine` snapshot batches all run on it.
 //! * [`analysis`] — closed-form selection probabilities of the independent
 //!   roulette, used to print the "analytic" column next to the empirical one.
 //! * [`without_replacement`] — Efraimidis–Spirakis weighted sampling without

@@ -120,12 +120,12 @@ impl Selector for PrefixSumSelector {
     /// every draw with an `O(log n)` binary search, instead of re-scanning
     /// (and re-summing) the fitness vector per call as the default loop
     /// would — the hot-path fix surfaced by the dynamic-selection benches.
-    fn select_many(
+    fn select_into(
         &self,
         fitness: &Fitness,
         rng: &mut dyn RandomSource,
-        count: usize,
-    ) -> Result<Vec<usize>, SelectionError> {
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
         if fitness.is_all_zero() {
             return Err(SelectionError::AllZeroFitness);
         }
@@ -143,27 +143,26 @@ impl Selector for PrefixSumSelector {
             .rposition(|&f| f > 0.0)
             .expect("non-all-zero vector has a positive entry");
 
-        (0..count)
-            .map(|_| {
-                let r = rng.next_f64() * total;
-                // First index whose cumulative mass exceeds r. Ties on the
-                // boundary (cumulative == r) move right, matching the strict
-                // `r < f` comparison of the sequential scan.
-                let index = cumulative.partition_point(|&c| c <= r);
-                // Rounding at the right edge can land past the end or on a
-                // zero-fitness index; attribute such draws to the last
-                // positive-fitness index, as `select` does.
-                let index = index.min(last_positive);
-                Ok(if values[index] > 0.0 {
-                    index
-                } else {
-                    values[..index]
-                        .iter()
-                        .rposition(|&f| f > 0.0)
-                        .unwrap_or(last_positive)
-                })
-            })
-            .collect()
+        for slot in out.iter_mut() {
+            let r = rng.next_f64() * total;
+            // First index whose cumulative mass exceeds r. Ties on the
+            // boundary (cumulative == r) move right, matching the strict
+            // `r < f` comparison of the sequential scan.
+            let index = cumulative.partition_point(|&c| c <= r);
+            // Rounding at the right edge can land past the end or on a
+            // zero-fitness index; attribute such draws to the last
+            // positive-fitness index, as `select` does.
+            let index = index.min(last_positive);
+            *slot = if values[index] > 0.0 {
+                index
+            } else {
+                values[..index]
+                    .iter()
+                    .rposition(|&f| f > 0.0)
+                    .unwrap_or(last_positive)
+            };
+        }
+        Ok(())
     }
 }
 

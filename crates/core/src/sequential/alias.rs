@@ -96,6 +96,22 @@ impl PreparedSampler for AliasSampler {
             self.alias[column]
         }
     }
+
+    /// Tight-loop fill: one virtual call per buffer instead of per draw,
+    /// with the column count hoisted. Randomness consumption per draw is
+    /// identical to [`sample`](PreparedSampler::sample), so a buffer fill
+    /// and a `sample` loop on equal seeds agree draw for draw.
+    fn sample_into(&self, rng: &mut dyn RandomSource, out: &mut [usize]) {
+        let n = self.keep.len() as u64;
+        for slot in out.iter_mut() {
+            let column = rng.next_u64_below(n) as usize;
+            *slot = if rng.next_f64() < self.keep[column] {
+                column
+            } else {
+                self.alias[column]
+            };
+        }
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,16 @@ impl PreparedSampler for CdfSampler {
         let r = rng.next_f64() * self.total;
         self.locate(r)
     }
+
+    /// Tight-loop fill over the prebuilt prefix table: one virtual call per
+    /// buffer, one uniform and one binary search per draw — exactly the
+    /// per-draw consumption of [`sample`](PreparedSampler::sample).
+    fn sample_into(&self, rng: &mut dyn RandomSource, out: &mut [usize]) {
+        let total = self.total;
+        for slot in out.iter_mut() {
+            *slot = self.locate(rng.next_f64() * total);
+        }
+    }
 }
 
 #[cfg(test)]

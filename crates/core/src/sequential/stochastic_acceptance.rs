@@ -85,6 +85,32 @@ impl Selector for StochasticAcceptanceSelector {
         // "best so far".
         crate::sequential::LinearScanSelector.select(fitness, rng)
     }
+
+    /// Buffer fill with the `O(n)` fitness-maximum scan hoisted out of the
+    /// loop: one max pass per buffer instead of one per draw, with the same
+    /// per-draw acceptance test (and linear-scan fallback) as
+    /// [`select`](Selector::select), so randomness consumption per draw is
+    /// unchanged.
+    fn select_into(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let values = fitness.values();
+        let total = fitness.total();
+        let f_max = values.iter().cloned().fold(0.0, f64::max);
+        for slot in out.iter_mut() {
+            *slot = match acceptance_rounds(values, f_max, self.max_rounds, rng) {
+                Some(candidate) => candidate,
+                None => crate::sequential::linear_scan_weights(values, total, rng),
+            };
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -27,16 +27,37 @@ pub trait Selector: Send + Sync {
         rng: &mut dyn RandomSource,
     ) -> Result<usize, SelectionError>;
 
-    /// Select `count` indices independently (with replacement), reusing any
-    /// per-call setup where the algorithm allows it. The default simply calls
-    /// [`select`](Selector::select) in a loop.
+    /// Fill `out` with independent selections (with replacement), reusing
+    /// any per-call setup where the algorithm allows it. The default simply
+    /// calls [`select`](Selector::select) once per slot; algorithms with
+    /// per-call preprocessing (prefix tables, a fitness maximum) override
+    /// this to hoist that work out of the loop. This is the primitive the
+    /// [`BatchDriver`](crate::batch::BatchDriver) feeds with one
+    /// deterministic substream per buffer chunk.
+    fn select_into(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        for slot in out.iter_mut() {
+            *slot = self.select(fitness, rng)?;
+        }
+        Ok(())
+    }
+
+    /// Select `count` indices independently (with replacement). Allocates a
+    /// buffer and delegates to [`select_into`](Selector::select_into), so
+    /// overriding the buffer primitive speeds up both entry points.
     fn select_many(
         &self,
         fitness: &Fitness,
         rng: &mut dyn RandomSource,
         count: usize,
     ) -> Result<Vec<usize>, SelectionError> {
-        (0..count).map(|_| self.select(fitness, rng)).collect()
+        let mut out = vec![0usize; count];
+        self.select_into(fitness, rng, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -61,9 +82,21 @@ pub trait PreparedSampler: Send + Sync {
     /// Draw one index.
     fn sample(&self, rng: &mut dyn RandomSource) -> usize;
 
-    /// Draw `count` independent indices.
+    /// Fill `out` with independent draws. The default calls
+    /// [`sample`](PreparedSampler::sample) once per slot; implementations
+    /// override it to amortise per-call setup across the buffer.
+    fn sample_into(&self, rng: &mut dyn RandomSource, out: &mut [usize]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng);
+        }
+    }
+
+    /// Draw `count` independent indices (allocating; delegates to
+    /// [`sample_into`](PreparedSampler::sample_into)).
     fn sample_many(&self, rng: &mut dyn RandomSource, count: usize) -> Vec<usize> {
-        (0..count).map(|_| self.sample(rng)).collect()
+        let mut out = vec![0usize; count];
+        self.sample_into(rng, &mut out);
+        out
     }
 }
 
@@ -141,16 +174,35 @@ pub trait DynamicSampler: Send + Sync {
         Ok(())
     }
 
-    /// Draw `count` indices independently (with replacement).
+    /// Fill `out` with independent draws (with replacement).
     ///
-    /// The default loops over [`sample`](DynamicSampler::sample);
-    /// implementations with cheap snapshots may override to batch.
+    /// The default loops over [`sample`](DynamicSampler::sample); samplers
+    /// with per-draw setup (the Fenwick total, the stochastic-acceptance
+    /// regime check, the alias sampler's cache lock) override it to hoist
+    /// that work out of the loop. Overrides must consume randomness exactly
+    /// like the one-at-a-time path, so a buffer fill and a `sample` loop on
+    /// identically seeded generators agree draw for draw.
+    fn sample_into(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng)?;
+        }
+        Ok(())
+    }
+
+    /// Draw `count` indices independently (with replacement; allocating,
+    /// delegates to [`sample_into`](DynamicSampler::sample_into)).
     fn sample_many(
         &self,
         rng: &mut dyn RandomSource,
         count: usize,
     ) -> Result<Vec<usize>, SelectionError> {
-        (0..count).map(|_| self.sample(rng)).collect()
+        let mut out = vec![0usize; count];
+        self.sample_into(rng, &mut out)?;
+        Ok(out)
     }
 
     /// A consistent copy of every current weight, `weights[i] = weight(i)`.
@@ -193,6 +245,20 @@ pub trait FrozenSampler: Send + Sync {
 
     /// Draw one index with probability `w_i / total_weight()`.
     fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError>;
+
+    /// Fill `out` with independent draws. The default loops over
+    /// [`sample`](FrozenSampler::sample); the blanket impl forwards to the
+    /// dynamic sampler's tight-loop override where one exists.
+    fn sample_into(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng)?;
+        }
+        Ok(())
+    }
 }
 
 impl<T: DynamicSampler> FrozenSampler for T {
@@ -210,6 +276,14 @@ impl<T: DynamicSampler> FrozenSampler for T {
 
     fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
         DynamicSampler::sample(self, rng)
+    }
+
+    fn sample_into(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        DynamicSampler::sample_into(self, rng, out)
     }
 }
 

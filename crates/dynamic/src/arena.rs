@@ -148,6 +148,20 @@ impl ShardedArena {
         FenwickSampler::from_weights(self.snapshot_weights())
             .expect("a non-empty arena snapshots to non-empty weights")
     }
+
+    /// Run `trials` deterministic draws against one consistent frozen cut of
+    /// the arena, in trial order — the shared
+    /// [`BatchDriver`](lrb_core::batch::BatchDriver) path (identical to
+    /// [`batch_sample_indices`](crate::batch_sample_indices) on this arena).
+    /// Trials never touch the shard locks: the freeze takes them once, the
+    /// batch draws lock-free from the frozen tree.
+    pub fn sample_batch(
+        &self,
+        trials: u64,
+        master_seed: u64,
+    ) -> Result<Vec<usize>, SelectionError> {
+        crate::batch::batch_sample_indices(self, trials, master_seed)
+    }
 }
 
 impl DynamicSampler for ShardedArena {

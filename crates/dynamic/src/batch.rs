@@ -1,22 +1,23 @@
-//! Trial-parallel batch sampling for dynamic samplers, mirroring
-//! `lrb_core::batch` and inheriting its determinism contract: trial `t`
-//! draws from its own counter-based Philox stream derived from one master
-//! seed, so the result is a pure function of
+//! Batch sampling for dynamic samplers, running on the shared
+//! [`BatchDriver`] and inheriting its
+//! determinism contract: the output buffer is split into fixed chunks, chunk
+//! `c` draws from its own counter-based Philox substream derived from one
+//! master seed, so the result is a pure function of
 //! `(sampler state, master_seed, trials)` and never depends on the rayon
 //! schedule or thread count.
 //!
 //! Every batch is **snapshot-isolated**: the sampler's weights are frozen
 //! once (via [`DynamicSampler::snapshot_weights`], which internally locked
 //! samplers override with a mutually consistent cut) into a private Fenwick
-//! tree, and all trials draw against that frozen copy. Concurrent updates —
-//! e.g. writers mutating a [`ShardedArena`](crate::ShardedArena) mid-batch —
+//! tree, and all trials draw against that frozen copy through its tight-loop
+//! [`sample_into`](DynamicSampler::sample_into). Concurrent updates — e.g.
+//! writers mutating a [`ShardedArena`](crate::ShardedArena) mid-batch —
 //! therefore cannot tear a batch across two distributions, and per-trial
 //! draws skip the arena's shard locks entirely.
 
+use lrb_core::batch::BatchDriver;
 use lrb_core::error::SelectionError;
 use lrb_core::traits::DynamicSampler;
-use lrb_rng::Philox4x32;
-use rayon::prelude::*;
 
 use crate::fenwick::FenwickSampler;
 
@@ -38,9 +39,6 @@ pub fn batch_sample_counts(
     trials: u64,
     master_seed: u64,
 ) -> Result<Vec<u64>, SelectionError> {
-    // Fan out per trial (not per fixed-size chunk) so the parallelism kicks
-    // in at realistic batch sizes; the sequential counting pass afterwards
-    // is a trivial fraction of the per-trial sampling work.
     let indices = batch_sample_indices(sampler, trials, master_seed)?;
     let mut counts = vec![0u64; sampler.len()];
     for index in indices {
@@ -74,13 +72,7 @@ pub fn batch_sample_indices(
     // a flat Fenwick sampler the frozen tree inverts the identical CDF, so
     // the drawn indices are unchanged from sampling the live tree.
     let frozen = FenwickSampler::from_weights(sampler.snapshot_weights())?;
-    (0..trials)
-        .into_par_iter()
-        .map(|trial| {
-            let mut rng = Philox4x32::for_substream(master_seed, trial);
-            frozen.sample(&mut rng)
-        })
-        .collect()
+    BatchDriver::new().drive_indices(master_seed, trials, |rng, out| frozen.sample_into(rng, out))
 }
 
 #[cfg(test)]
@@ -135,6 +127,15 @@ mod tests {
         let frozen = batch_sample_indices(&arena.freeze(), 10_000, 77).unwrap();
         assert_eq!(live, frozen);
         assert!(live.iter().all(|&i| i != 3), "drew the zero-weight index");
+    }
+
+    #[test]
+    fn arena_sample_batch_is_the_same_shared_driver_path() {
+        let arena = ShardedArena::from_weights(vec![2.0, 0.5, 1.0, 4.0], 2).unwrap();
+        assert_eq!(
+            arena.sample_batch(5_000, 13).unwrap(),
+            batch_sample_indices(&arena, 5_000, 13).unwrap()
+        );
     }
 
     #[test]

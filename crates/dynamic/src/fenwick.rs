@@ -193,6 +193,26 @@ impl DynamicSampler for FenwickSampler {
         Ok(self.descend(r))
     }
 
+    /// Tight-loop fill: the support check and the `O(log n)` total-weight
+    /// read happen once per buffer instead of once per draw (the weights
+    /// cannot change behind `&self`), then each draw is one uniform and one
+    /// descent — the same consumption as [`sample`](DynamicSampler::sample),
+    /// so both paths agree draw for draw on equal seeds.
+    fn sample_into(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        if self.non_zero == 0 {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let total = self.total_weight();
+        for slot in out.iter_mut() {
+            *slot = self.descend(rng.next_f64() * total);
+        }
+        Ok(())
+    }
+
     fn update(&mut self, index: usize, new_weight: f64) -> Result<(), SelectionError> {
         assert!(
             index < self.weights.len(),

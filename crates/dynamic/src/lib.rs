@@ -25,8 +25,9 @@
 //! * [`ShardedArena`] — a concurrent engine that partitions the categories
 //!   across independently locked shards (each holding a [`FenwickSampler`]),
 //!   samples a shard by total weight and then delegates within it. Supports
-//!   deterministic rayon batch sampling with one Philox stream per trial —
-//!   the same determinism contract as `lrb_core::batch`.
+//!   deterministic rayon batch sampling through the shared
+//!   `lrb_core::batch::BatchDriver` (one Philox substream per buffer
+//!   chunk — the same determinism contract as `lrb_core::batch`).
 //!
 //! ## Quickstart
 //!

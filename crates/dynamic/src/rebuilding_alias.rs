@@ -105,11 +105,11 @@ impl RebuildingAliasSampler {
             .is_none()
     }
 
-    /// Draw using a locked, up-to-date cache (rebuilding it if dirty).
-    fn sample_locked(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
-        if self.non_zero == 0 {
-            return Err(SelectionError::AllZeroFitness);
-        }
+    /// Lock the cache with an up-to-date alias table (rebuilding if dirty).
+    ///
+    /// The caller must have checked `non_zero > 0` — an all-zero vector has
+    /// no alias table.
+    fn locked_cache(&self) -> Result<std::sync::MutexGuard<'_, Cache>, SelectionError> {
         let mut cache = self.cache.lock().expect("cache lock poisoned");
         if cache.table.is_none() {
             let fitness = Fitness::new(self.weights.clone())?;
@@ -119,6 +119,15 @@ impl RebuildingAliasSampler {
             cache.table = Some(AliasSampler::new(&fitness)?);
             cache.rebuilds += 1;
         }
+        Ok(cache)
+    }
+
+    /// Draw using a locked, up-to-date cache (rebuilding it if dirty).
+    fn sample_locked(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
+        if self.non_zero == 0 {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let cache = self.locked_cache()?;
         let table = cache.table.as_ref().expect("table built above");
         Ok(table.sample(rng))
     }
@@ -139,6 +148,24 @@ impl DynamicSampler for RebuildingAliasSampler {
 
     fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
         self.sample_locked(rng)
+    }
+
+    /// Tight-loop fill: the cache mutex is taken (and the table rebuilt, if
+    /// dirty) **once** per buffer instead of once per draw, then every slot
+    /// is an `O(1)` alias draw with the same per-draw randomness consumption
+    /// as [`sample`](DynamicSampler::sample).
+    fn sample_into(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        if self.non_zero == 0 {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let cache = self.locked_cache()?;
+        let table = cache.table.as_ref().expect("table built above");
+        table.sample_into(rng, out);
+        Ok(())
     }
 
     fn update(&mut self, index: usize, new_weight: f64) -> Result<(), SelectionError> {

@@ -149,6 +149,34 @@ impl DynamicSampler for StochasticAcceptanceSampler {
         Ok(linear_scan_weights(&self.weights, self.total, rng))
     }
 
+    /// Tight-loop fill: the support check and the degenerate-regime decision
+    /// (single survivor or hopeless skew → linear scan) are hoisted out of
+    /// the loop — they depend only on aggregates that cannot change behind
+    /// `&self`. Per-draw randomness consumption matches
+    /// [`sample`](DynamicSampler::sample) exactly on both branches.
+    fn sample_into(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        if self.non_zero == 0 {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        if self.non_zero == 1 || self.expected_rounds() > DEGENERATE_ROUNDS {
+            for slot in out.iter_mut() {
+                *slot = linear_scan_weights(&self.weights, self.total, rng);
+            }
+            return Ok(());
+        }
+        for slot in out.iter_mut() {
+            *slot = match acceptance_rounds(&self.weights, self.max, self.max_rounds, rng) {
+                Some(candidate) => candidate,
+                None => linear_scan_weights(&self.weights, self.total, rng),
+            };
+        }
+        Ok(())
+    }
+
     fn update(&mut self, index: usize, new_weight: f64) -> Result<(), SelectionError> {
         assert!(
             index < self.weights.len(),

@@ -1,0 +1,371 @@
+//! The pluggable frozen-backend registry.
+//!
+//! A [`FrozenBackend`] knows how to freeze a weight vector into a read-only
+//! [`FrozenSampler`] and how to describe its own cost shape to the engine's
+//! decider. The engine dispatches through a [`BackendRegistry`] of trait
+//! objects instead of a closed enum, so new sampler families (NUMA-sharded
+//! trees, GPU tables, …) plug in without touching the engine — the
+//! rocksdb-style "decider picks the data structure from the observed
+//! workload" architecture.
+//!
+//! The [standard registry](BackendRegistry::standard) ships the three
+//! families the paper's setting needs:
+//!
+//! | backend | build (abstract ops) | per draw |
+//! |---|---|---|
+//! | `fenwick` | `n` | `log₂ n` |
+//! | `alias` | `≈ 3n` | `O(1)` |
+//! | `stochastic-acceptance` | `n` | `≈ skew` expected rejection rounds |
+//!
+//! where `skew = n · w_max / Σ w` is exactly the expected rejection round
+//! count. The abstract op counts are scaled into nanoseconds by the engine's
+//! calibrated [`CostEstimator`](crate::heuristic::CostEstimator).
+
+use std::sync::Arc;
+
+use lrb_core::error::SelectionError;
+use lrb_core::fitness::Fitness;
+use lrb_core::sequential::AliasSampler;
+use lrb_core::traits::{FrozenSampler, PreparedSampler};
+use lrb_dynamic::{FenwickSampler, StochasticAcceptanceSampler};
+use lrb_rng::RandomSource;
+
+use crate::heuristic::WorkloadProfile;
+
+/// Mirror of the stochastic-acceptance degenerate-skew threshold: past it a
+/// draw falls back to an `O(n)` linear scan, which the model must price in.
+pub const SA_DEGENERATE_ROUNDS: f64 = 256.0;
+
+/// Abstract cost of one publish window on a backend, in "weight ops" —
+/// scale-free units the calibration converts to nanoseconds per host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendCost {
+    /// Ops to freeze a weight vector into the backend's sampler.
+    pub build_ops: f64,
+    /// Ops per draw served from the frozen sampler.
+    pub per_draw_ops: f64,
+}
+
+/// A sampler family the engine can freeze snapshots under.
+///
+/// Implementations must be cheap to clone behind an [`Arc`] and build
+/// samplers whose draws are exactly `F_i = w_i / Σ w_j` over the weights
+/// they were given.
+pub trait FrozenBackend: Send + Sync {
+    /// A short, stable, machine-friendly name (used in reports, JSON and
+    /// [`BackendChoice::Fixed`](crate::heuristic::BackendChoice)).
+    fn name(&self) -> &'static str;
+
+    /// Freeze `weights` (already validated: non-empty, finite, non-negative;
+    /// an all-zero vector is allowed and must build a sampler whose draws
+    /// fail with [`SelectionError::AllZeroFitness`]).
+    fn build(&self, weights: &[f64]) -> Result<Box<dyn FrozenSampler>, SelectionError>;
+
+    /// Closed-form abstract cost of serving `profile` on this backend.
+    fn model_cost(&self, profile: &WorkloadProfile) -> BackendCost;
+}
+
+/// Fenwick tree: `O(log n)` draws, cheapest build, skew-immune.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FenwickBackend;
+
+impl FrozenBackend for FenwickBackend {
+    fn name(&self) -> &'static str {
+        "fenwick"
+    }
+
+    fn build(&self, weights: &[f64]) -> Result<Box<dyn FrozenSampler>, SelectionError> {
+        Ok(Box::new(FenwickSampler::from_weights(weights.to_vec())?))
+    }
+
+    fn model_cost(&self, profile: &WorkloadProfile) -> BackendCost {
+        let n = profile.categories.max(1) as f64;
+        BackendCost {
+            build_ops: n,
+            per_draw_ops: n.log2().max(1.0),
+        }
+    }
+}
+
+/// A Vose alias table frozen at snapshot-build time, so readers never pay
+/// the lazy first-draw rebuild that `RebuildingAliasSampler` would do under
+/// its internal mutex.
+struct FrozenAlias {
+    weights: Vec<f64>,
+    total: f64,
+    /// `None` when every weight is zero (the table cannot be built; draws
+    /// fail with [`SelectionError::AllZeroFitness`]).
+    table: Option<AliasSampler>,
+}
+
+impl FrozenAlias {
+    fn build(weights: Vec<f64>) -> Result<Self, SelectionError> {
+        let total: f64 = weights.iter().sum();
+        let table = if total > 0.0 {
+            let fitness = Fitness::new(weights.clone())?;
+            Some(AliasSampler::new(&fitness)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            weights,
+            total,
+            table,
+        })
+    }
+}
+
+impl FrozenSampler for FrozenAlias {
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn weight(&self, index: usize) -> f64 {
+        self.weights[index]
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
+        match &self.table {
+            Some(table) => Ok(table.sample(rng)),
+            None => Err(SelectionError::AllZeroFitness),
+        }
+    }
+
+    fn sample_into(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        match &self.table {
+            Some(table) => {
+                table.sample_into(rng, out);
+                Ok(())
+            }
+            None => Err(SelectionError::AllZeroFitness),
+        }
+    }
+}
+
+/// Vose alias table: `O(1)` draws after the priciest build.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AliasBackend;
+
+impl FrozenBackend for AliasBackend {
+    fn name(&self) -> &'static str {
+        "alias"
+    }
+
+    fn build(&self, weights: &[f64]) -> Result<Box<dyn FrozenSampler>, SelectionError> {
+        Ok(Box::new(FrozenAlias::build(weights.to_vec())?))
+    }
+
+    fn model_cost(&self, profile: &WorkloadProfile) -> BackendCost {
+        // Vose's build makes three passes (split, two worklists); each draw
+        // is one table lookup plus one comparison — call it 2 ops.
+        BackendCost {
+            build_ops: 3.0 * profile.categories.max(1) as f64,
+            per_draw_ops: 2.0,
+        }
+    }
+}
+
+/// Stochastic acceptance: `O(1)` expected draws on balanced weights,
+/// degrading with skew.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StochasticAcceptanceBackend;
+
+impl FrozenBackend for StochasticAcceptanceBackend {
+    fn name(&self) -> &'static str {
+        "stochastic-acceptance"
+    }
+
+    fn build(&self, weights: &[f64]) -> Result<Box<dyn FrozenSampler>, SelectionError> {
+        Ok(Box::new(StochasticAcceptanceSampler::from_weights(
+            weights.to_vec(),
+        )?))
+    }
+
+    fn model_cost(&self, profile: &WorkloadProfile) -> BackendCost {
+        let n = profile.categories.max(1) as f64;
+        // Each rejection round costs ~2 RNG calls; past the degenerate
+        // threshold the sampler linear-scans at O(n) per draw.
+        let per_draw_ops = if profile.skew > SA_DEGENERATE_ROUNDS {
+            n
+        } else {
+            2.0 * profile.skew.max(1.0)
+        };
+        BackendCost {
+            build_ops: n,
+            per_draw_ops,
+        }
+    }
+}
+
+/// An ordered, name-keyed collection of [`FrozenBackend`] trait objects.
+///
+/// The order matters twice: cost-model ties break toward earlier entries
+/// (the standard registry lists the Fenwick tree first — the most
+/// predictable engine), and telemetry/calibration vectors are indexed in
+/// registry order.
+#[derive(Clone)]
+pub struct BackendRegistry {
+    entries: Vec<Arc<dyn FrozenBackend>>,
+}
+
+impl BackendRegistry {
+    /// An empty registry (register at least one backend before handing it to
+    /// an engine).
+    pub fn empty() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The standard three backends: `fenwick`, `alias`,
+    /// `stochastic-acceptance`.
+    pub fn standard() -> Self {
+        let mut registry = Self::empty();
+        registry.register(Arc::new(FenwickBackend));
+        registry.register(Arc::new(AliasBackend));
+        registry.register(Arc::new(StochasticAcceptanceBackend));
+        registry
+    }
+
+    /// Add (or replace, by name) a backend.
+    pub fn register(&mut self, backend: Arc<dyn FrozenBackend>) {
+        match self.index_of(backend.name()) {
+            Some(existing) => self.entries[existing] = backend,
+            None => self.entries.push(backend),
+        }
+    }
+
+    /// The registered backends, in registration order.
+    pub fn entries(&self) -> &[Arc<dyn FrozenBackend>] {
+        &self.entries
+    }
+
+    /// Number of registered backends.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry has no backends.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registry position of a backend name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|b| b.name() == name)
+    }
+
+    /// Look a backend up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn FrozenBackend>> {
+        self.index_of(name).map(|i| &self.entries[i])
+    }
+
+    /// Every registered backend name, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|b| b.name()).collect()
+    }
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendRegistry")
+            .field("backends", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{MersenneTwister64, SeedableSource};
+
+    #[test]
+    fn standard_registry_is_ordered_and_name_keyed() {
+        let registry = BackendRegistry::standard();
+        assert_eq!(
+            registry.names(),
+            vec!["fenwick", "alias", "stochastic-acceptance"]
+        );
+        assert_eq!(registry.len(), 3);
+        assert!(!registry.is_empty());
+        assert_eq!(registry.index_of("alias"), Some(1));
+        assert!(registry.get("no-such-backend").is_none());
+        assert!(format!("{registry:?}").contains("fenwick"));
+    }
+
+    #[test]
+    fn registering_an_existing_name_replaces_in_place() {
+        let mut registry = BackendRegistry::standard();
+        registry.register(Arc::new(AliasBackend));
+        assert_eq!(registry.len(), 3);
+        assert_eq!(registry.index_of("alias"), Some(1));
+    }
+
+    #[test]
+    fn every_standard_backend_freezes_the_same_distribution() {
+        let weights = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        for backend in BackendRegistry::standard().entries() {
+            let sampler = backend.build(&weights).unwrap();
+            assert_eq!(sampler.len(), 5);
+            assert!((sampler.total_weight() - 10.0).abs() < 1e-12);
+            assert_eq!(sampler.weight(3), 3.0);
+            let mut rng = MersenneTwister64::seed_from_u64(5);
+            for _ in 0..2_000 {
+                let i = sampler.sample(&mut rng).unwrap();
+                assert_ne!(i, 0, "{} drew a zero-weight index", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_build_but_refuse_to_draw() {
+        for backend in BackendRegistry::standard().entries() {
+            let sampler = backend.build(&[0.0, 0.0]).unwrap();
+            assert_eq!(sampler.total_weight(), 0.0);
+            let mut rng = MersenneTwister64::seed_from_u64(2);
+            assert_eq!(
+                sampler.sample(&mut rng),
+                Err(SelectionError::AllZeroFitness),
+                "{}",
+                backend.name()
+            );
+            let mut buffer = [0usize; 4];
+            assert!(sampler.sample_into(&mut rng, &mut buffer).is_err());
+        }
+    }
+
+    #[test]
+    fn model_costs_have_the_documented_shape() {
+        let profile = WorkloadProfile {
+            categories: 4096,
+            draws_per_publish: 1000.0,
+            skew: 4.0,
+        };
+        let fenwick = FenwickBackend.model_cost(&profile);
+        assert_eq!(fenwick.build_ops, 4096.0);
+        assert_eq!(fenwick.per_draw_ops, 12.0);
+        let alias = AliasBackend.model_cost(&profile);
+        assert_eq!(alias.build_ops, 3.0 * 4096.0);
+        assert_eq!(alias.per_draw_ops, 2.0);
+        let sa = StochasticAcceptanceBackend.model_cost(&profile);
+        assert_eq!(sa.per_draw_ops, 8.0);
+        let degenerate = WorkloadProfile {
+            skew: 100_000.0,
+            ..profile
+        };
+        assert_eq!(
+            StochasticAcceptanceBackend
+                .model_cost(&degenerate)
+                .per_draw_ops,
+            4096.0
+        );
+    }
+}

@@ -1,33 +1,59 @@
 //! The concurrent selection engine: coalescing writers, atomically swapped
-//! immutable snapshots, lock-free-in-spirit readers.
+//! immutable snapshots, lock-free-in-spirit readers, and a telemetry-driven
+//! backend decider.
 //!
 //! ## Concurrency protocol
 //!
 //! * **Readers** call [`SelectionEngine::snapshot`], which clones the
 //!   current `Arc<Snapshot>` under a briefly held read lock (the lock guards
 //!   only the pointer swap, never any sampling work), then draw against the
-//!   immutable snapshot with no further coordination. A reader keeps its
-//!   snapshot for as many draws as it wants; publication of newer versions
-//!   cannot mutate what it holds, so every draw is exact against *some*
-//!   published state — the snapshot-isolation guarantee.
+//!   immutable snapshot with no further coordination — ideally whole buffers
+//!   at a time via [`Snapshot::sample_into`]. A reader keeps its snapshot
+//!   for as many draws as it wants; publication of newer versions cannot
+//!   mutate what it holds, so every draw is exact against *some* published
+//!   state — the snapshot-isolation guarantee.
 //! * **Writers** enqueue weight overrides and evaporation scales into a
-//!   mutex-guarded [coalescing batch](crate::queue), then call
+//!   mutex-guarded coalescing batch, then call
 //!   [`publish`](SelectionEngine::publish), which folds the batch over the
-//!   previous weights, freezes a new [`Snapshot`] (choosing a backend by
-//!   cost model under [`BackendChoice::Auto`]) and swaps the `Arc`. The
-//!   batch mutex is held across the whole publish, serialising publishers,
-//!   so versions are strictly ordered and no batch is ever lost.
+//!   previous weights, freezes a new [`Snapshot`] (choosing a backend from
+//!   the [`BackendRegistry`] under [`BackendChoice::Auto`]) and swaps the
+//!   `Arc`. The batch mutex is held across the whole publish, serialising
+//!   publishers, so versions are strictly ordered and no batch is ever lost.
+//!
+//! ## The decider
+//!
+//! Under [`BackendChoice::Auto`] every publish re-runs the cost model with
+//! **observed** inputs: the draws-per-publish hint is an EWMA of how many
+//! draws each outgoing snapshot actually served (seeded from the config
+//! hint), and — when [`EngineConfig::calibrate`] is set — the per-op cost
+//! constants are seeded by a one-shot startup micro-benchmark and refreshed
+//! by an EWMA of measured build and probe-draw times at each publish.
+//! Between publishes, [`maybe_rebalance`](SelectionEngine::maybe_rebalance)
+//! answers the mid-stream question with the incumbent's build cost treated
+//! as sunk, republishing the same weights under a cheaper backend when the
+//! observed workload has drifted far enough to amortise the switch. Every
+//! change of backend is recorded in the [switch
+//! history](SelectionEngine::switch_history).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use lrb_core::error::SelectionError;
 use lrb_core::fitness::Fitness;
-use lrb_rng::RandomSource;
+use lrb_rng::{Philox4x32, RandomSource};
 
-use crate::heuristic::{choose_backend, BackendChoice, BackendKind, WorkloadProfile};
+use crate::backend::BackendRegistry;
+use crate::heuristic::{BackendChoice, CostConstants, CostEstimator, Ewma, WorkloadProfile};
 use crate::queue::CoalescingQueue;
 use crate::snapshot::Snapshot;
+
+/// Draws timed against each freshly built snapshot to refresh the draw-cost
+/// EWMA (only under [`EngineConfig::calibrate`]).
+const PUBLISH_PROBE_DRAWS: usize = 64;
+
+/// EWMA smoothing factor for the observed draws-per-publish rate.
+const DRAWS_EWMA_ALPHA: f64 = 0.2;
 
 /// Tuning knobs for a [`SelectionEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,8 +61,16 @@ pub struct EngineConfig {
     /// How snapshot backends are chosen at publish time.
     pub backend: BackendChoice,
     /// Cost-model hint under [`BackendChoice::Auto`]: how many draws one
-    /// snapshot is expected to serve before the next publish.
+    /// snapshot is expected to serve before the next publish. Seeds the
+    /// draws-per-publish EWMA; observed serving rates take over from the
+    /// first publish on.
     pub expected_draws_per_publish: f64,
+    /// Measure real costs: run the one-shot startup micro-calibration and
+    /// keep refreshing the per-op constants from build/probe-draw timings at
+    /// each publish. Off by default so backend choices stay a deterministic
+    /// function of the workload (tests, reproducible runs); serving
+    /// deployments should switch it on.
+    pub calibrate: bool,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +78,7 @@ impl Default for EngineConfig {
         Self {
             backend: BackendChoice::Auto,
             expected_draws_per_publish: 1024.0,
+            calibrate: false,
         }
     }
 }
@@ -57,6 +92,34 @@ pub struct EngineStats {
     pub enqueued: u64,
     /// Overrides that were overwritten before ever being published.
     pub coalesced: u64,
+    /// Publishes (or rebalances) whose backend differed from the previous
+    /// snapshot's.
+    pub backend_switches: u64,
+}
+
+/// One recorded backend change, for telemetry and `BENCH_engine.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendSwitch {
+    /// Version of the snapshot that introduced the new backend.
+    pub version: u64,
+    /// Backend of the snapshot being replaced.
+    pub from: &'static str,
+    /// Backend chosen for the new snapshot.
+    pub to: &'static str,
+    /// Draws the outgoing snapshot had served — the observation that drove
+    /// the decision.
+    pub draws_served: u64,
+    /// Whether the switch came from [`SelectionEngine::maybe_rebalance`]
+    /// (workload drift between publishes) rather than a regular publish.
+    pub mid_stream: bool,
+}
+
+/// Mutable decider state, locked only on the (already serialised) publish
+/// path and by telemetry getters.
+struct Telemetry {
+    costs: CostEstimator,
+    draws_per_publish: Ewma,
+    switches: Vec<BackendSwitch>,
 }
 
 /// A snapshot-isolated concurrent weighted-selection service.
@@ -93,18 +156,32 @@ pub struct SelectionEngine {
     /// are serialised and `current` only ever moves forward one batch at a
     /// time.
     pending: Mutex<CoalescingQueue>,
+    registry: BackendRegistry,
+    telemetry: Mutex<Telemetry>,
     config: EngineConfig,
     len: usize,
     publishes: AtomicU64,
     enqueued_total: AtomicU64,
     coalesced_total: AtomicU64,
+    switches_total: AtomicU64,
 }
 
 impl SelectionEngine {
-    /// Build an engine over raw weights (validated like `Fitness::new`,
-    /// except that an all-zero vector is allowed — sampling then fails with
-    /// [`SelectionError::AllZeroFitness`] until a writer revives a weight).
+    /// Build an engine over raw weights with the [standard backend
+    /// registry](BackendRegistry::standard). Weights are validated like
+    /// `Fitness::new`, except that an all-zero vector is allowed — sampling
+    /// then fails with [`SelectionError::AllZeroFitness`] until a writer
+    /// revives a weight.
     pub fn new(weights: Vec<f64>, config: EngineConfig) -> Result<Self, SelectionError> {
+        Self::with_registry(weights, config, BackendRegistry::standard())
+    }
+
+    /// Build an engine dispatching over a caller-supplied backend registry.
+    pub fn with_registry(
+        weights: Vec<f64>,
+        config: EngineConfig,
+        registry: BackendRegistry,
+    ) -> Result<Self, SelectionError> {
         if weights.is_empty() {
             return Err(SelectionError::EmptyFitness);
         }
@@ -113,17 +190,43 @@ impl SelectionEngine {
                 return Err(SelectionError::InvalidFitness { index, value });
             }
         }
+        assert!(
+            !registry.is_empty(),
+            "an engine needs at least one registered backend"
+        );
+        if let BackendChoice::Fixed(name) = config.backend {
+            if registry.get(name).is_none() {
+                return Err(SelectionError::UnknownBackend { name });
+            }
+        }
         let len = weights.len();
-        let backend = Self::pick_backend(&config, &weights);
-        let snapshot = Snapshot::build(0, weights, backend)?;
+        let costs = if config.calibrate {
+            CostEstimator::calibrate(&registry, len)
+        } else {
+            CostEstimator::unit(&registry)
+        };
+        let telemetry = Telemetry {
+            costs,
+            draws_per_publish: Ewma::new(DRAWS_EWMA_ALPHA),
+            switches: Vec::new(),
+        };
+        let profile = WorkloadProfile::measure(&weights, config.expected_draws_per_publish);
+        let entry = match config.backend {
+            BackendChoice::Fixed(name) => registry.index_of(name).expect("validated above"),
+            BackendChoice::Auto => telemetry.costs.cheapest(&registry, &profile),
+        };
+        let snapshot = Snapshot::build(0, weights, &registry.entries()[entry])?;
         Ok(Self {
             current: RwLock::new(Arc::new(snapshot)),
             pending: Mutex::new(CoalescingQueue::new()),
+            registry,
+            telemetry: Mutex::new(telemetry),
             config,
             len,
             publishes: AtomicU64::new(0),
             enqueued_total: AtomicU64::new(0),
             coalesced_total: AtomicU64::new(0),
+            switches_total: AtomicU64::new(0),
         })
     }
 
@@ -131,16 +234,6 @@ impl SelectionEngine {
     pub fn from_fitness(fitness: &Fitness, config: EngineConfig) -> Self {
         Self::new(fitness.values().to_vec(), config)
             .expect("a validated fitness vector is non-empty and finite")
-    }
-
-    fn pick_backend(config: &EngineConfig, weights: &[f64]) -> BackendKind {
-        match config.backend {
-            BackendChoice::Fixed(kind) => kind,
-            BackendChoice::Auto => choose_backend(&WorkloadProfile::measure(
-                weights,
-                config.expected_draws_per_publish,
-            )),
-        }
     }
 
     /// Number of categories (fixed at construction).
@@ -157,6 +250,11 @@ impl SelectionEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The backend registry this engine dispatches over.
+    pub fn registry(&self) -> &BackendRegistry {
+        &self.registry
     }
 
     /// The current snapshot. The read lock is held only long enough to
@@ -271,12 +369,153 @@ impl SelectionEngine {
         for &(index, weight) in &batch.overrides {
             weights[index] = weight;
         }
-        let backend = Self::pick_backend(&self.config, &weights);
-        let snapshot = Snapshot::build(previous.version() + 1, weights, backend)?;
-        let version = snapshot.version();
-        *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+        let version = match self.install(&previous, weights, None) {
+            Ok(version) => version,
+            Err(error) => {
+                // A failed build (e.g. a caller-registered backend, or
+                // folded weights overflowing to ∞) must not lose the batch:
+                // restore it so the writes survive for a later publish. The
+                // queue is still empty here — `pending` has been held
+                // throughout — and re-applying scale-then-overrides
+                // reproduces the drained semantics exactly.
+                pending.scale(batch.scale);
+                for &(index, weight) in &batch.overrides {
+                    pending.set(index, weight);
+                }
+                return Err(error);
+            }
+        };
         self.publishes.fetch_add(1, Ordering::Relaxed);
         // `pending` (still held) unlocks here, admitting the next publisher.
+        Ok(version)
+    }
+
+    /// The decider's mid-stream move: with nothing pending, re-score the
+    /// *current* weights against the observed draw rate, treating the
+    /// incumbent backend's build cost as sunk. When a challenger would be
+    /// cheaper even after paying its build within one expected window, the
+    /// same weights are republished under it (a version bump with unchanged
+    /// distribution) and the switch is recorded. Returns the new version,
+    /// or `None` when staying put is cheapest, pending writes exist (the
+    /// next publish re-decides anyway), or the backend choice is pinned.
+    pub fn maybe_rebalance(&self) -> Result<Option<u64>, SelectionError> {
+        if !matches!(self.config.backend, BackendChoice::Auto) {
+            return Ok(None);
+        }
+        // Serialise with publishers exactly like publish() does.
+        let pending = self.pending.lock().expect("batch lock poisoned");
+        if !pending.is_empty() {
+            return Ok(None);
+        }
+        let previous = self.snapshot();
+        let incumbent = self
+            .registry
+            .index_of(previous.backend())
+            .expect("current snapshot was built from this registry");
+        let challenger = {
+            let telemetry = self.telemetry.lock().expect("telemetry lock poisoned");
+            let draws_hint = Self::mid_stream_draw_hint(&telemetry, &self.config, &previous);
+            let profile = WorkloadProfile::measure(previous.weights(), draws_hint);
+            telemetry
+                .costs
+                .cheapest_given_incumbent(&self.registry, &profile, incumbent)
+        };
+        if challenger == incumbent {
+            return Ok(None);
+        }
+        let version = self.install(&previous, previous.weights().to_vec(), Some(challenger))?;
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        drop(pending);
+        Ok(Some(version))
+    }
+
+    /// The mid-stream draw-rate estimate: the published-window EWMA or the
+    /// current snapshot's already-served count, whichever is larger — a
+    /// snapshot that has served N draws with no publish in sight should
+    /// expect at least N more, which is exactly the drift signal that makes
+    /// an unamortised build worth paying.
+    fn mid_stream_draw_hint(
+        telemetry: &Telemetry,
+        config: &EngineConfig,
+        previous: &Snapshot,
+    ) -> f64 {
+        telemetry
+            .draws_per_publish
+            .get(config.expected_draws_per_publish)
+            .max(previous.served() as f64)
+    }
+
+    /// Shared tail of [`publish`] and [`maybe_rebalance`]: observe the
+    /// outgoing snapshot, choose a backend (unless `rebalance_to` carries
+    /// the already-decided mid-stream target), build (timed), record any
+    /// switch, swap the new snapshot in.
+    ///
+    /// [`publish`]: SelectionEngine::publish
+    /// [`maybe_rebalance`]: SelectionEngine::maybe_rebalance
+    fn install(
+        &self,
+        previous: &Arc<Snapshot>,
+        weights: Vec<f64>,
+        rebalance_to: Option<usize>,
+    ) -> Result<u64, SelectionError> {
+        let mid_stream = rebalance_to.is_some();
+        let mut telemetry = self.telemetry.lock().expect("telemetry lock poisoned");
+        let draws_served = previous.served();
+        // A rebalance happens mid-window; folding its partial draw count
+        // into the EWMA would bias the rate estimate downward.
+        let draws_hint = if mid_stream {
+            Self::mid_stream_draw_hint(&telemetry, &self.config, previous)
+        } else {
+            telemetry.draws_per_publish.observe(draws_served as f64);
+            telemetry
+                .draws_per_publish
+                .get(self.config.expected_draws_per_publish)
+        };
+        let profile = WorkloadProfile::measure(&weights, draws_hint);
+        let entry = match (rebalance_to, self.config.backend) {
+            // maybe_rebalance already decided under the same pending lock.
+            (Some(challenger), _) => challenger,
+            (None, BackendChoice::Fixed(name)) => self
+                .registry
+                .index_of(name)
+                .expect("validated at construction"),
+            (None, BackendChoice::Auto) => telemetry.costs.cheapest(&self.registry, &profile),
+        };
+        let backend = &self.registry.entries()[entry];
+        let cost = backend.model_cost(&profile);
+        let started = Instant::now();
+        let sampler = backend.build(&weights)?;
+        let build_ns = started.elapsed().as_nanos() as f64;
+        if self.config.calibrate {
+            telemetry.costs.observe_build(entry, &cost, build_ns);
+            // Time a short draw burst against the fresh sampler (skipped for
+            // zero-mass snapshots, whose draws only error).
+            let mut probe = [0usize; PUBLISH_PROBE_DRAWS];
+            let mut rng = Philox4x32::for_substream(previous.version() + 1, entry as u64);
+            let started = Instant::now();
+            if sampler.sample_into(&mut rng, &mut probe).is_ok() {
+                telemetry.costs.observe_draws(
+                    entry,
+                    &cost,
+                    PUBLISH_PROBE_DRAWS as f64,
+                    started.elapsed().as_nanos() as f64,
+                );
+            }
+        }
+        let version = previous.version() + 1;
+        let snapshot = Snapshot::from_parts(version, weights, backend.name(), sampler);
+        if snapshot.backend() != previous.backend() {
+            telemetry.switches.push(BackendSwitch {
+                version,
+                from: previous.backend(),
+                to: snapshot.backend(),
+                draws_served,
+                mid_stream,
+            });
+            self.switches_total.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(telemetry);
+        *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
         Ok(version)
     }
 
@@ -286,7 +525,36 @@ impl SelectionEngine {
             publishes: self.publishes.load(Ordering::Relaxed),
             enqueued: self.enqueued_total.load(Ordering::Relaxed),
             coalesced: self.coalesced_total.load(Ordering::Relaxed),
+            backend_switches: self.switches_total.load(Ordering::Relaxed),
         }
+    }
+
+    /// Every backend change so far, oldest first.
+    pub fn switch_history(&self) -> Vec<BackendSwitch> {
+        self.telemetry
+            .lock()
+            .expect("telemetry lock poisoned")
+            .switches
+            .clone()
+    }
+
+    /// The decider's current calibrated cost constants, in registry order.
+    pub fn cost_constants(&self) -> Vec<CostConstants> {
+        self.telemetry
+            .lock()
+            .expect("telemetry lock poisoned")
+            .costs
+            .constants()
+    }
+
+    /// The observed draws-per-publish rate the decider is currently using
+    /// (the config hint until the first publish).
+    pub fn observed_draws_per_publish(&self) -> f64 {
+        self.telemetry
+            .lock()
+            .expect("telemetry lock poisoned")
+            .draws_per_publish
+            .get(self.config.expected_draws_per_publish)
     }
 }
 
@@ -294,6 +562,7 @@ impl std::fmt::Debug for SelectionEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SelectionEngine")
             .field("len", &self.len)
+            .field("registry", &self.registry)
             .field("current", &self.snapshot())
             .field("stats", &self.stats())
             .finish()
@@ -326,6 +595,20 @@ mod tests {
         e.enqueue(0, 2.0).unwrap();
         e.publish().unwrap();
         assert_eq!(e.sample(&mut rng).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_fixed_backend_is_rejected_at_construction() {
+        let config = EngineConfig {
+            backend: BackendChoice::Fixed("no-such-backend"),
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            SelectionEngine::new(vec![1.0], config).map(|_| ()),
+            Err(SelectionError::UnknownBackend {
+                name: "no-such-backend"
+            })
+        );
     }
 
     #[test]
@@ -428,32 +711,143 @@ mod tests {
 
     #[test]
     fn fixed_backend_choice_is_honoured_across_publishes() {
-        for kind in BackendKind::all() {
+        for name in BackendRegistry::standard().names() {
             let config = EngineConfig {
-                backend: BackendChoice::Fixed(kind),
+                backend: BackendChoice::Fixed(name),
                 ..EngineConfig::default()
             };
             let e = SelectionEngine::new(vec![1.0, 2.0, 3.0], config).unwrap();
-            assert_eq!(e.snapshot().backend(), kind);
+            assert_eq!(e.snapshot().backend(), name);
             e.enqueue(0, 5.0).unwrap();
             e.publish().unwrap();
-            assert_eq!(e.snapshot().backend(), kind);
+            assert_eq!(e.snapshot().backend(), name);
+            assert_eq!(e.stats().backend_switches, 0);
+            assert!(e.switch_history().is_empty());
+            assert!(e.maybe_rebalance().unwrap().is_none(), "{name} rebalanced");
         }
     }
 
     #[test]
-    fn auto_backend_reacts_to_skew_changes() {
+    fn auto_backend_reacts_to_skew_changes_and_records_the_switch() {
         // Balanced weights with a moderate draw hint → stochastic
-        // acceptance; a pathological spike → anything but.
+        // acceptance; a pathological spike → anything but, recorded in the
+        // switch history.
         let config = EngineConfig {
             backend: BackendChoice::Auto,
             expected_draws_per_publish: 64.0,
+            ..EngineConfig::default()
         };
         let e = SelectionEngine::new(vec![1.0; 4096], config).unwrap();
-        assert_eq!(e.snapshot().backend(), BackendKind::StochasticAcceptance);
+        assert_eq!(e.snapshot().backend(), "stochastic-acceptance");
+        // Serve enough draws that the observed rate stays near the hint.
+        let mut rng = MersenneTwister64::seed_from_u64(4);
+        let _ = e.snapshot().sample_many(&mut rng, 64).unwrap();
         e.enqueue(0, 1.0e9).unwrap();
         e.publish().unwrap();
-        assert_ne!(e.snapshot().backend(), BackendKind::StochasticAcceptance);
+        assert_ne!(e.snapshot().backend(), "stochastic-acceptance");
+        let history = e.switch_history();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].version, 1);
+        assert_eq!(history[0].from, "stochastic-acceptance");
+        assert!(!history[0].mid_stream);
+        assert_eq!(e.stats().backend_switches, 1);
+    }
+
+    #[test]
+    fn observed_draw_rates_feed_the_decider() {
+        // The config hints at a draw-heavy window (which would amortise an
+        // alias build), but the observed rate is ~zero draws per publish —
+        // after a few publishes the EWMA must pull the choice to the
+        // cheapest build (fenwick).
+        let config = EngineConfig {
+            backend: BackendChoice::Auto,
+            expected_draws_per_publish: 1.0e6,
+            ..EngineConfig::default()
+        };
+        // Mild skew prices SA draws above an alias lookup, so the
+        // draw-heavy hint picks alias at construction.
+        let weights: Vec<f64> = (0..512).map(|i| ((i % 7) + 1) as f64).collect();
+        let e = SelectionEngine::new(weights, config).unwrap();
+        assert_eq!(e.snapshot().backend(), "alias");
+        for step in 0..12 {
+            e.enqueue(step % 512, 2.0).unwrap();
+            e.publish().unwrap();
+        }
+        assert!(e.observed_draws_per_publish() < 1024.0);
+        assert_eq!(e.snapshot().backend(), "fenwick");
+        assert!(e.stats().backend_switches >= 1);
+    }
+
+    #[test]
+    fn maybe_rebalance_switches_mid_stream_on_observed_drift() {
+        // Publish window hint: one draw (nothing amortises an alias build),
+        // so construction picks the cheap-build Fenwick tree. Then readers
+        // hammer the snapshot with no publish in sight: the served counter
+        // is the drift signal, and the mid-stream decider moves onto O(1)
+        // alias draws without any pending write.
+        let config = EngineConfig {
+            backend: BackendChoice::Auto,
+            expected_draws_per_publish: 1.0,
+            ..EngineConfig::default()
+        };
+        let n = 4096;
+        // Skewed weights keep stochastic acceptance out of the running, so
+        // the contest is fenwick (cheap build) vs alias (cheap draws).
+        let weights: Vec<f64> = (0..n).map(|i| if i == 0 { 1.0e6 } else { 1.0 }).collect();
+        let e = SelectionEngine::new(weights, config).unwrap();
+        assert_eq!(e.snapshot().backend(), "fenwick");
+        assert!(e.maybe_rebalance().unwrap().is_none(), "no drift yet");
+        let mut rng = MersenneTwister64::seed_from_u64(9);
+        let _ = e.snapshot().sample_many(&mut rng, 100_000).unwrap();
+        let switched = e.maybe_rebalance().unwrap();
+        assert_eq!(switched, Some(1));
+        assert_eq!(e.snapshot().backend(), "alias");
+        let last = *e.switch_history().last().unwrap();
+        assert!(last.mid_stream);
+        assert_eq!(last.from, "fenwick");
+        assert_eq!(last.to, "alias");
+        assert_eq!(last.draws_served, 100_000);
+        // Same weights, just a different engine underneath.
+        assert_eq!(e.snapshot().weight(0), 1.0e6);
+        // Re-running without further drift is a no-op (the fresh snapshot
+        // has served nothing yet, and alias stays cheapest mid-stream).
+        assert!(e.maybe_rebalance().unwrap().is_none());
+    }
+
+    #[test]
+    fn rebalance_defers_to_pending_writes() {
+        let config = EngineConfig {
+            backend: BackendChoice::Auto,
+            expected_draws_per_publish: 1.0,
+            ..EngineConfig::default()
+        };
+        let e = SelectionEngine::new(vec![1.0; 256], config).unwrap();
+        e.enqueue(0, 3.0).unwrap();
+        assert!(e.maybe_rebalance().unwrap().is_none());
+        assert_eq!(e.version(), 0, "rebalance must not publish pending writes");
+    }
+
+    #[test]
+    fn calibrated_engines_still_serve_exact_snapshots() {
+        let config = EngineConfig {
+            backend: BackendChoice::Auto,
+            calibrate: true,
+            ..EngineConfig::default()
+        };
+        let e = SelectionEngine::new(vec![1.0, 2.0, 3.0, 4.0], config).unwrap();
+        for constants in e.cost_constants() {
+            assert!(constants.build_ns_per_op > 0.0, "{}", constants.backend);
+            assert!(constants.draw_ns_per_op > 0.0, "{}", constants.backend);
+        }
+        e.enqueue(0, 2.0).unwrap();
+        e.publish().unwrap();
+        let snap = e.snapshot();
+        assert_eq!(snap.weights(), &[2.0, 2.0, 3.0, 4.0]);
+        let counts = snap.batch_counts(40_000, 5).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 40_000);
+        // 2/11 of the mass on index 0.
+        let freq = counts[0] as f64 / 40_000.0;
+        assert!((freq - 2.0 / 11.0).abs() < 0.01, "{freq}");
     }
 
     #[test]
@@ -485,6 +879,7 @@ mod tests {
         assert_eq!(e.len(), 2);
         assert!(!e.is_empty());
         assert_eq!(e.snapshot().weights(), &[1.0, 2.0]);
+        assert_eq!(e.registry().len(), 3);
         assert!(format!("{e:?}").contains("SelectionEngine"));
     }
 }

@@ -1,60 +1,46 @@
-//! The backend cost model: pick the cheapest sampler for a workload.
+//! The backend cost model: pick the cheapest sampler for a workload, with
+//! constants that come from **measurement** instead of guesswork.
 //!
 //! Every publish freezes the weight vector into a new immutable snapshot, so
 //! the relevant cost per publish window is
-//! `build(backend) + draws · per_draw(backend)`. The three backends trade
-//! these off differently:
+//! `build(backend) + draws · per_draw(backend)`. Each registered
+//! [`FrozenBackend`](crate::backend::FrozenBackend) supplies its own
+//! closed-form *abstract* cost (in scale-free "weight ops"); the
+//! [`CostEstimator`] here scales those ops into nanoseconds per backend:
 //!
-//! | backend | build | per draw |
-//! |---|---|---|
-//! | Fenwick tree | `n` | `log₂ n` |
-//! | Vose alias table | `≈ 3n` | `O(1)` |
-//! | stochastic acceptance | `n` | `≈ skew` expected rejection rounds |
+//! * [`CostEstimator::unit`] uses 1 ns/op everywhere, reducing the choice to
+//!   the pure closed-form arg-min — deterministic, host-independent, the
+//!   default for tests and fixed workloads;
+//! * [`CostEstimator::calibrate`] runs a one-shot startup micro-benchmark
+//!   (build + a burst of draws per backend) so the constants reflect what
+//!   the ops actually cost *on this host*;
+//! * per-publish observations of real build and draw times feed an EWMA on
+//!   top of either seed, so the estimate tracks drift (cache pressure,
+//!   frequency scaling, changing skew) while the engine runs.
 //!
-//! where `skew = w_max / w_mean` is exactly the expected rejection round
-//! count `n · w_max / Σ w`. The heuristic evaluates the three closed forms
-//! and takes the arg-min, so the choice degrades gracefully instead of
-//! flipping on hand-tuned thresholds.
+//! The estimator also answers the **mid-stream** question
+//! ([`CostEstimator::cheapest_given_incumbent`]): once a snapshot is built,
+//! its build cost is sunk, so switching backends between publishes pays the
+//! challenger's build against only the incumbent's *remaining* draw cost —
+//! the decider logic behind
+//! [`SelectionEngine::maybe_rebalance`](crate::SelectionEngine::maybe_rebalance).
 
-/// The sampler families a snapshot can be built over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BackendKind {
-    /// Fenwick tree: `O(log n)` draws, cheapest build, skew-immune.
-    Fenwick,
-    /// Vose alias table: `O(1)` draws after the priciest build.
-    AliasRebuild,
-    /// Stochastic acceptance: `O(1)` expected draws on balanced weights.
-    StochasticAcceptance,
-}
+use std::time::Instant;
 
-impl BackendKind {
-    /// A short, stable, machine-friendly name (used in reports and JSON).
-    pub fn name(&self) -> &'static str {
-        match self {
-            BackendKind::Fenwick => "fenwick",
-            BackendKind::AliasRebuild => "alias",
-            BackendKind::StochasticAcceptance => "stochastic-acceptance",
-        }
-    }
+use lrb_rng::Philox4x32;
 
-    /// Every backend, in a stable order (for sweeps and conformance tests).
-    pub fn all() -> [BackendKind; 3] {
-        [
-            BackendKind::Fenwick,
-            BackendKind::AliasRebuild,
-            BackendKind::StochasticAcceptance,
-        ]
-    }
-}
+use crate::backend::{BackendCost, BackendRegistry};
 
 /// How the engine should pick its snapshot backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendChoice {
-    /// Re-run the cost model at every publish against the fresh weights.
+    /// Re-run the cost model at every publish against the fresh weights and
+    /// the observed draw rate.
     #[default]
     Auto,
-    /// Always use one backend (benches and conformance tests pin this).
-    Fixed(BackendKind),
+    /// Always use one backend, by registry name (benches and conformance
+    /// tests pin this).
+    Fixed(&'static str),
 }
 
 /// The workload shape the cost model scores backends against.
@@ -88,50 +74,216 @@ impl WorkloadProfile {
     }
 }
 
-/// Mirror of the stochastic-acceptance degenerate-skew threshold: past it a
-/// draw falls back to an `O(n)` linear scan, which the model must price in.
-const SA_DEGENERATE_ROUNDS: f64 = 256.0;
+/// An exponentially weighted moving average over non-negative observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    value: Option<f64>,
+    alpha: f64,
+}
 
-/// Score one backend: `build + draws · per_draw` in abstract weight-ops.
-fn cost(kind: BackendKind, profile: &WorkloadProfile) -> f64 {
-    let n = profile.categories.max(1) as f64;
-    let draws = profile.draws_per_publish.max(0.0);
-    match kind {
-        BackendKind::Fenwick => n + draws * n.log2().max(1.0),
-        // Vose's build makes three passes (split, two worklists); each draw
-        // is one table lookup plus one comparison — call it 2 ops.
-        BackendKind::AliasRebuild => 3.0 * n + draws * 2.0,
-        // Each rejection round costs ~2 RNG calls; past the degenerate
-        // threshold the sampler linear-scans at O(n) per draw.
-        BackendKind::StochasticAcceptance => {
-            let per_draw = if profile.skew > SA_DEGENERATE_ROUNDS {
-                n
-            } else {
-                2.0 * profile.skew.max(1.0)
-            };
-            n + draws * per_draw
+impl Ewma {
+    /// An empty average with smoothing factor `alpha` (weight of the newest
+    /// observation).
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        Self { value: None, alpha }
+    }
+
+    /// Fold one observation in (the first observation seeds the average).
+    pub fn observe(&mut self, sample: f64) {
+        if !sample.is_finite() || sample < 0.0 {
+            return; // clock hiccups must not poison the estimate
         }
+        self.value = Some(match self.value {
+            Some(current) => self.alpha * sample + (1.0 - self.alpha) * current,
+            None => sample,
+        });
+    }
+
+    /// The current average, or `default` before any observation.
+    pub fn get(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Whether any observation has been folded in.
+    pub fn is_seeded(&self) -> bool {
+        self.value.is_some()
     }
 }
 
-/// Pick the cheapest backend for the profile (ties break toward the
-/// Fenwick tree, the most predictable engine).
-pub fn choose_backend(profile: &WorkloadProfile) -> BackendKind {
-    let mut best = BackendKind::Fenwick;
-    let mut best_cost = cost(best, profile);
-    for kind in [BackendKind::AliasRebuild, BackendKind::StochasticAcceptance] {
-        let c = cost(kind, profile);
-        if c < best_cost {
-            best = kind;
-            best_cost = c;
+/// Calibrated nanoseconds-per-abstract-op for one backend (one line of the
+/// estimator's state, exposed for reports and `BENCH_engine.json`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostConstants {
+    /// Registry name of the backend.
+    pub backend: &'static str,
+    /// EWMA nanoseconds per abstract build op.
+    pub build_ns_per_op: f64,
+    /// EWMA nanoseconds per abstract draw op.
+    pub draw_ns_per_op: f64,
+}
+
+/// EWMA smoothing factor for per-publish cost observations: heavy enough to
+/// track drift within tens of publishes, light enough that one noisy timing
+/// cannot flip the decider.
+const COST_EWMA_ALPHA: f64 = 0.2;
+
+/// Draws timed per backend during the one-shot startup micro-calibration.
+const CALIBRATION_DRAWS: usize = 512;
+
+/// Per-backend nanosecond cost constants: a closed-form op model scaled by
+/// measured (or unit) ns/op, updated by EWMA as real publishes are observed.
+#[derive(Debug, Clone)]
+pub struct CostEstimator {
+    names: Vec<&'static str>,
+    build_ns_per_op: Vec<Ewma>,
+    draw_ns_per_op: Vec<Ewma>,
+}
+
+impl CostEstimator {
+    /// Uncalibrated constants: 1 ns per abstract op everywhere, so choices
+    /// reduce to the deterministic closed-form arg-min.
+    pub fn unit(registry: &BackendRegistry) -> Self {
+        Self {
+            names: registry.names(),
+            build_ns_per_op: vec![Ewma::new(COST_EWMA_ALPHA); registry.len()],
+            draw_ns_per_op: vec![Ewma::new(COST_EWMA_ALPHA); registry.len()],
         }
     }
-    best
+
+    /// One-shot startup micro-calibration: for every registered backend,
+    /// build a probe sampler over `probe_categories` mildly skewed weights
+    /// and time the build plus a burst of draws, seeding the ns/op EWMAs
+    /// with what this host actually measures.
+    pub fn calibrate(registry: &BackendRegistry, probe_categories: usize) -> Self {
+        let mut estimator = Self::unit(registry);
+        let n = probe_categories.clamp(16, 8192);
+        // Mild skew keeps stochastic acceptance in its rejection regime, as
+        // in realistic serving, without tripping its degenerate fallback.
+        let weights: Vec<f64> = (0..n).map(|i| ((i % 7) + 1) as f64).collect();
+        let profile = WorkloadProfile::measure(&weights, CALIBRATION_DRAWS as f64);
+        let mut buffer = vec![0usize; CALIBRATION_DRAWS];
+        for (entry, backend) in registry.entries().iter().enumerate() {
+            let cost = backend.model_cost(&profile);
+            let started = Instant::now();
+            let Ok(sampler) = backend.build(&weights) else {
+                continue; // a backend that cannot build the probe keeps unit costs
+            };
+            estimator.observe_build(entry, &cost, started.elapsed().as_nanos() as f64);
+            let mut rng = Philox4x32::for_substream(0xCA11B8, entry as u64);
+            let started = Instant::now();
+            if sampler.sample_into(&mut rng, &mut buffer).is_ok() {
+                estimator.observe_draws(
+                    entry,
+                    &cost,
+                    CALIBRATION_DRAWS as f64,
+                    started.elapsed().as_nanos() as f64,
+                );
+            }
+        }
+        estimator
+    }
+
+    /// Fold in a measured build: `elapsed_ns` for a build the model priced
+    /// at `cost.build_ops` abstract ops.
+    pub fn observe_build(&mut self, entry: usize, cost: &BackendCost, elapsed_ns: f64) {
+        if cost.build_ops > 0.0 {
+            self.build_ns_per_op[entry].observe(elapsed_ns / cost.build_ops);
+        }
+    }
+
+    /// Fold in measured draws: `elapsed_ns` for `draws` draws the model
+    /// priced at `cost.per_draw_ops` abstract ops each.
+    pub fn observe_draws(&mut self, entry: usize, cost: &BackendCost, draws: f64, elapsed_ns: f64) {
+        let ops = draws * cost.per_draw_ops;
+        if ops > 0.0 {
+            self.draw_ns_per_op[entry].observe(elapsed_ns / ops);
+        }
+    }
+
+    /// Predicted nanoseconds for one publish window on `entry`:
+    /// `build + draws · per_draw`, in calibrated ns.
+    pub fn window_ns(&self, entry: usize, cost: &BackendCost, draws: f64) -> f64 {
+        self.build_ns_per_op[entry].get(1.0) * cost.build_ops
+            + draws.max(0.0) * self.draw_ns_per_op[entry].get(1.0) * cost.per_draw_ops
+    }
+
+    /// The cheapest backend for `profile` when the build must be paid (the
+    /// publish-time question). Ties break toward earlier registry entries.
+    pub fn cheapest(&self, registry: &BackendRegistry, profile: &WorkloadProfile) -> usize {
+        self.argmin(registry, profile, None)
+    }
+
+    /// The cheapest backend when `incumbent` is already built (the
+    /// mid-stream question): the incumbent's build cost is sunk, so a
+    /// challenger must amortise its own build against the incumbent's
+    /// remaining draw cost within one expected window. Returns the
+    /// incumbent's index when staying put is cheapest.
+    pub fn cheapest_given_incumbent(
+        &self,
+        registry: &BackendRegistry,
+        profile: &WorkloadProfile,
+        incumbent: usize,
+    ) -> usize {
+        self.argmin(registry, profile, Some(incumbent))
+    }
+
+    fn argmin(
+        &self,
+        registry: &BackendRegistry,
+        profile: &WorkloadProfile,
+        incumbent: Option<usize>,
+    ) -> usize {
+        assert!(!registry.is_empty(), "cannot choose from an empty registry");
+        let draws = profile.draws_per_publish;
+        let mut best = 0;
+        let mut best_ns = f64::INFINITY;
+        for (entry, backend) in registry.entries().iter().enumerate() {
+            let cost = backend.model_cost(profile);
+            let ns = if incumbent == Some(entry) {
+                // Sunk build: only the remaining draws cost anything.
+                draws.max(0.0) * self.draw_ns_per_op[entry].get(1.0) * cost.per_draw_ops
+            } else {
+                self.window_ns(entry, &cost, draws)
+            };
+            if ns < best_ns {
+                best = entry;
+                best_ns = ns;
+            }
+        }
+        best
+    }
+
+    /// The current constants, in registry order (for telemetry reports).
+    pub fn constants(&self) -> Vec<CostConstants> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(entry, &backend)| CostConstants {
+                backend,
+                build_ns_per_op: self.build_ns_per_op[entry].get(1.0),
+                draw_ns_per_op: self.draw_ns_per_op[entry].get(1.0),
+            })
+            .collect()
+    }
+}
+
+/// Pick the cheapest backend for the profile with **unit** cost constants —
+/// the deterministic closed-form arg-min (ties break toward the earliest
+/// registry entry; in the standard registry that is the Fenwick tree, the
+/// most predictable engine).
+pub fn choose_backend(registry: &BackendRegistry, profile: &WorkloadProfile) -> &'static str {
+    let entry = CostEstimator::unit(registry).cheapest(registry, profile);
+    registry.entries()[entry].name()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn registry() -> BackendRegistry {
+        BackendRegistry::standard()
+    }
 
     #[test]
     fn balanced_weights_with_moderate_draws_pick_stochastic_acceptance() {
@@ -141,7 +293,10 @@ mod tests {
             draws_per_publish: 1024.0,
             skew: 1.2,
         };
-        assert_eq!(choose_backend(&profile), BackendKind::StochasticAcceptance);
+        assert_eq!(
+            choose_backend(&registry(), &profile),
+            "stochastic-acceptance"
+        );
     }
 
     #[test]
@@ -153,7 +308,7 @@ mod tests {
             draws_per_publish: 1.0e6,
             skew: 8.0,
         };
-        assert_eq!(choose_backend(&profile), BackendKind::AliasRebuild);
+        assert_eq!(choose_backend(&registry(), &profile), "alias");
     }
 
     #[test]
@@ -163,8 +318,10 @@ mod tests {
             draws_per_publish: 256.0,
             skew: 10_000.0,
         };
-        let choice = choose_backend(&profile);
-        assert_ne!(choice, BackendKind::StochasticAcceptance);
+        assert_ne!(
+            choose_backend(&registry(), &profile),
+            "stochastic-acceptance"
+        );
     }
 
     #[test]
@@ -175,7 +332,7 @@ mod tests {
             draws_per_publish: 1.0,
             skew: 4.0,
         };
-        assert_ne!(choose_backend(&profile), BackendKind::AliasRebuild);
+        assert_ne!(choose_backend(&registry(), &profile), "alias");
     }
 
     #[test]
@@ -188,14 +345,101 @@ mod tests {
     }
 
     #[test]
-    fn names_are_stable() {
-        assert_eq!(BackendKind::Fenwick.name(), "fenwick");
-        assert_eq!(BackendKind::AliasRebuild.name(), "alias");
+    fn ewma_seeds_then_smooths() {
+        let mut avg = Ewma::new(0.5);
+        assert!(!avg.is_seeded());
+        assert_eq!(avg.get(9.0), 9.0);
+        avg.observe(4.0);
+        assert!(avg.is_seeded());
+        assert_eq!(avg.get(9.0), 4.0);
+        avg.observe(8.0);
+        assert_eq!(avg.get(9.0), 6.0);
+        avg.observe(f64::NAN); // ignored
+        avg.observe(-1.0); // ignored
+        assert_eq!(avg.get(9.0), 6.0);
+    }
+
+    #[test]
+    fn observations_steer_the_choice() {
+        // A profile where unit costs pick stochastic acceptance; make SA
+        // draws look 100x more expensive than measured elsewhere and the
+        // arg-min must move off it.
+        let registry = registry();
+        let profile = WorkloadProfile {
+            categories: 4096,
+            draws_per_publish: 1024.0,
+            skew: 1.0,
+        };
+        let mut estimator = CostEstimator::unit(&registry);
+        let sa = registry.index_of("stochastic-acceptance").unwrap();
+        assert_eq!(estimator.cheapest(&registry, &profile), sa);
+        let cost = registry.entries()[sa].model_cost(&profile);
+        for _ in 0..32 {
+            estimator.observe_draws(sa, &cost, 1.0, 100.0 * cost.per_draw_ops);
+        }
+        assert_ne!(estimator.cheapest(&registry, &profile), sa);
+    }
+
+    #[test]
+    fn incumbent_build_cost_is_sunk_mid_stream() {
+        // Few draws left in the window: switching cannot amortise a build,
+        // so the incumbent survives even where a fresh publish would pick
+        // differently.
+        let registry = registry();
+        let estimator = CostEstimator::unit(&registry);
+        let profile = WorkloadProfile {
+            categories: 4096,
+            draws_per_publish: 4.0,
+            skew: 1.0,
+        };
+        let alias = registry.index_of("alias").unwrap();
+        assert_ne!(estimator.cheapest(&registry, &profile), alias);
         assert_eq!(
-            BackendKind::StochasticAcceptance.name(),
-            "stochastic-acceptance"
+            estimator.cheapest_given_incumbent(&registry, &profile, alias),
+            alias,
+            "a sunk build must not be re-charged"
         );
-        assert_eq!(BackendKind::all().len(), 3);
+        // With a huge remaining window the incumbent's per-draw penalty
+        // dominates and the decider switches away.
+        let heavy = WorkloadProfile {
+            categories: 4096,
+            draws_per_publish: 1.0e7,
+            skew: 2_000.0,
+        };
+        let sa = registry.index_of("stochastic-acceptance").unwrap();
+        assert_ne!(
+            estimator.cheapest_given_incumbent(&registry, &heavy, sa),
+            sa,
+            "degenerate skew must push draws off stochastic acceptance"
+        );
+    }
+
+    #[test]
+    fn calibrate_seeds_every_constant() {
+        let registry = registry();
+        let estimator = CostEstimator::calibrate(&registry, 2048);
+        for constants in estimator.constants() {
+            assert!(
+                constants.build_ns_per_op > 0.0 && constants.build_ns_per_op.is_finite(),
+                "{}: build {}",
+                constants.backend,
+                constants.build_ns_per_op
+            );
+            assert!(
+                constants.draw_ns_per_op > 0.0 && constants.draw_ns_per_op.is_finite(),
+                "{}: draw {}",
+                constants.backend,
+                constants.draw_ns_per_op
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
         assert_eq!(BackendChoice::default(), BackendChoice::Auto);
+        assert_eq!(
+            registry().names(),
+            vec!["fenwick", "alias", "stochastic-acceptance"]
+        );
     }
 }

@@ -12,14 +12,26 @@
 //!   [`publish`](SelectionEngine::publish) freezes the folded weights into
 //!   an immutable [`Snapshot`] and atomically swaps it in.
 //! * [`Snapshot`] — a versioned, immutable frozen sampler. Readers clone
-//!   the `Arc<Snapshot>` once and then draw with **no locks at all**; every
-//!   draw is exact (`F_i = w_i / Σ w_j`) against the snapshot's weights, so
-//!   concurrent publication can never tear a reader across two
-//!   distributions.
-//! * [`choose_backend`] — a cost model picking the cheapest frozen backend
-//!   per publish: Fenwick tree (`O(log n)` draws, skew-immune), Vose alias
-//!   table (`O(1)` draws, priciest build) or stochastic acceptance
-//!   (`O(1)` expected draws on balanced weights).
+//!   the `Arc<Snapshot>` once and then draw with **no locks at all** —
+//!   whole buffers at a time through [`Snapshot::sample_into`], or
+//!   deterministic rayon batches through the shared
+//!   `lrb_core::batch::BatchDriver`; every draw is exact
+//!   (`F_i = w_i / Σ w_j`) against the snapshot's weights, so concurrent
+//!   publication can never tear a reader across two distributions.
+//! * [`BackendRegistry`] — the sampler families snapshots can be frozen
+//!   under, as [`FrozenBackend`] trait objects: Fenwick tree (`O(log n)`
+//!   draws, skew-immune), Vose alias table (`O(1)` draws, priciest build),
+//!   stochastic acceptance (`O(1)` expected draws on balanced weights) —
+//!   plus anything the caller registers.
+//! * [`choose_backend`] / [`CostEstimator`] — the decider: each backend
+//!   prices a publish window as `build + draws · per_draw` in abstract ops;
+//!   the estimator scales those ops by per-host constants from a one-shot
+//!   startup micro-calibration plus an EWMA of observed build/draw times,
+//!   and the engine re-decides at every publish — or **mid-stream** via
+//!   [`SelectionEngine::maybe_rebalance`], which treats the incumbent's
+//!   build as sunk and switches only when the observed workload drift pays
+//!   for the new build. Switches land in
+//!   [`SelectionEngine::switch_history`].
 //!
 //! ## Quickstart
 //!
@@ -30,10 +42,10 @@
 //! let engine = SelectionEngine::new(vec![1.0, 2.0, 3.0, 4.0], EngineConfig::default())?;
 //! let mut rng = MersenneTwister64::seed_from_u64(7);
 //!
-//! // Reader side: grab a snapshot, draw freely.
+//! // Reader side: grab a snapshot, fill buffers lock-free.
 //! let snapshot = engine.snapshot();
-//! let picks = snapshot.sample_many(&mut rng, 1_000)?;
-//! assert_eq!(picks.len(), 1_000);
+//! let mut picks = vec![0usize; 1_000];
+//! snapshot.sample_into(&mut rng, &mut picks)?;
 //!
 //! // Writer side: batch, evaporate, publish.
 //! engine.scale_all(0.5)?;
@@ -47,11 +59,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod engine;
 pub mod heuristic;
 mod queue;
 pub mod snapshot;
 
-pub use engine::{EngineConfig, EngineStats, SelectionEngine};
-pub use heuristic::{choose_backend, BackendChoice, BackendKind, WorkloadProfile};
+pub use backend::{
+    AliasBackend, BackendCost, BackendRegistry, FenwickBackend, FrozenBackend,
+    StochasticAcceptanceBackend,
+};
+pub use engine::{BackendSwitch, EngineConfig, EngineStats, SelectionEngine};
+pub use heuristic::{
+    choose_backend, BackendChoice, CostConstants, CostEstimator, Ewma, WorkloadProfile,
+};
 pub use snapshot::Snapshot;

@@ -1,80 +1,36 @@
 //! Immutable, versioned sampler snapshots — the read side of the engine.
 //!
-//! A [`Snapshot`] freezes one weight vector behind a
-//! [`FrozenSampler`](lrb_core::FrozenSampler) backend. It is never mutated
+//! A [`Snapshot`] freezes one weight vector behind a [`FrozenSampler`]
+//! built by a registered [`FrozenBackend`]. It is never mutated
 //! after construction, so any number of reader threads can draw from the
 //! same `Arc<Snapshot>` without coordination, and a reader that keeps an old
 //! snapshot keeps sampling the exact distribution it observed — publication
-//! of newer versions cannot tear its draws.
+//! of newer versions cannot tear its draws. Readers fill whole buffers
+//! lock-free through [`sample_into`](Snapshot::sample_into); the only shared
+//! state a draw touches is a relaxed served-draws counter, which is what
+//! feeds the engine's draws-per-publish telemetry.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lrb_core::batch::BatchDriver;
 use lrb_core::error::SelectionError;
-use lrb_core::fitness::Fitness;
-use lrb_core::sequential::AliasSampler;
-use lrb_core::traits::{FrozenSampler, PreparedSampler};
-use lrb_dynamic::{FenwickSampler, StochasticAcceptanceSampler};
-use lrb_rng::{Philox4x32, RandomSource};
-use rayon::prelude::*;
+use lrb_core::traits::FrozenSampler;
+use lrb_rng::RandomSource;
 
-use crate::heuristic::BackendKind;
-
-/// A Vose alias table frozen at snapshot-build time, so readers never pay
-/// the lazy first-draw rebuild that `RebuildingAliasSampler` would do under
-/// its internal mutex.
-struct FrozenAlias {
-    weights: Vec<f64>,
-    total: f64,
-    /// `None` when every weight is zero (the table cannot be built; draws
-    /// fail with [`SelectionError::AllZeroFitness`]).
-    table: Option<AliasSampler>,
-}
-
-impl FrozenAlias {
-    fn build(weights: Vec<f64>) -> Result<Self, SelectionError> {
-        let total: f64 = weights.iter().sum();
-        let table = if total > 0.0 {
-            let fitness = Fitness::new(weights.clone())?;
-            Some(AliasSampler::new(&fitness)?)
-        } else {
-            None
-        };
-        Ok(Self {
-            weights,
-            total,
-            table,
-        })
-    }
-}
-
-impl FrozenSampler for FrozenAlias {
-    fn len(&self) -> usize {
-        self.weights.len()
-    }
-
-    fn weight(&self, index: usize) -> f64 {
-        self.weights[index]
-    }
-
-    fn total_weight(&self) -> f64 {
-        self.total
-    }
-
-    fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
-        match &self.table {
-            Some(table) => Ok(table.sample(rng)),
-            None => Err(SelectionError::AllZeroFitness),
-        }
-    }
-}
+use crate::backend::FrozenBackend;
 
 /// One immutable published state of the engine: a version number, the frozen
-/// weights, and a backend ready to draw with exact probabilities
-/// `F_i = w_i / Σ w_j`.
+/// weights, and a backend-built sampler ready to draw with exact
+/// probabilities `F_i = w_i / Σ w_j`.
 pub struct Snapshot {
     version: u64,
-    backend: BackendKind,
+    backend: &'static str,
     weights: Vec<f64>,
     total: f64,
     sampler: Box<dyn FrozenSampler>,
+    /// Draws served from this snapshot (relaxed; telemetry only).
+    served: AtomicU64,
 }
 
 impl Snapshot {
@@ -82,26 +38,30 @@ impl Snapshot {
     pub(crate) fn build(
         version: u64,
         weights: Vec<f64>,
-        backend: BackendKind,
+        backend: &Arc<dyn FrozenBackend>,
     ) -> Result<Self, SelectionError> {
-        if weights.is_empty() {
-            return Err(SelectionError::EmptyFitness);
-        }
+        let sampler = backend.build(&weights)?;
+        Ok(Self::from_parts(version, weights, backend.name(), sampler))
+    }
+
+    /// Assemble a snapshot from an already-built sampler (the engine builds
+    /// the sampler itself so it can time the build for telemetry).
+    pub(crate) fn from_parts(
+        version: u64,
+        weights: Vec<f64>,
+        backend: &'static str,
+        sampler: Box<dyn FrozenSampler>,
+    ) -> Self {
+        assert!(!weights.is_empty(), "snapshots cover at least one category");
         let total: f64 = weights.iter().sum();
-        let sampler: Box<dyn FrozenSampler> = match backend {
-            BackendKind::Fenwick => Box::new(FenwickSampler::from_weights(weights.clone())?),
-            BackendKind::AliasRebuild => Box::new(FrozenAlias::build(weights.clone())?),
-            BackendKind::StochasticAcceptance => {
-                Box::new(StochasticAcceptanceSampler::from_weights(weights.clone())?)
-            }
-        };
-        Ok(Self {
+        Self {
             version,
             backend,
             weights,
             total,
             sampler,
-        })
+            served: AtomicU64::new(0),
+        }
     }
 
     /// The snapshot's publication version (monotonically increasing; the
@@ -110,8 +70,8 @@ impl Snapshot {
         self.version
     }
 
-    /// Which backend this snapshot was frozen under.
-    pub fn backend(&self) -> BackendKind {
+    /// Registry name of the backend this snapshot was frozen under.
+    pub fn backend(&self) -> &'static str {
         self.backend
     }
 
@@ -141,6 +101,11 @@ impl Snapshot {
         self.total
     }
 
+    /// Draws served from this snapshot so far (telemetry; relaxed reads).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
     /// The exact selection probabilities `F_i = w_i / Σ w_j` (all zeros when
     /// the total mass is zero).
     pub fn probabilities(&self) -> Vec<f64> {
@@ -152,35 +117,52 @@ impl Snapshot {
 
     /// Draw one index with probability exactly `w_i / Σ w_j`.
     pub fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
-        self.sampler.sample(rng)
+        let index = self.sampler.sample(rng)?;
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Ok(index)
     }
 
-    /// Draw `count` indices independently (with replacement).
+    /// Fill `out` with independent draws, lock-free, through the backend's
+    /// tight-loop buffer primitive — the preferred reader hot path (one
+    /// virtual call and one telemetry increment per buffer instead of per
+    /// draw).
+    pub fn sample_into(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        self.sampler.sample_into(rng, out)?;
+        self.served.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Draw `count` indices independently (with replacement; allocating,
+    /// delegates to [`sample_into`](Snapshot::sample_into)).
     pub fn sample_many(
         &self,
         rng: &mut dyn RandomSource,
         count: usize,
     ) -> Result<Vec<usize>, SelectionError> {
-        (0..count).map(|_| self.sample(rng)).collect()
+        let mut out = vec![0usize; count];
+        self.sample_into(rng, &mut out)?;
+        Ok(out)
     }
 
-    /// Draw `trials` indices in trial order, rayon-parallel and
-    /// deterministic: trial `t` uses its own counter-based Philox stream, so
-    /// the result is a pure function of `(snapshot, master_seed, trials)`
-    /// regardless of thread count — the same contract as
-    /// `lrb_dynamic::batch_sample_indices`.
+    /// Draw `trials` indices in trial order through the shared
+    /// [`BatchDriver`]: rayon-parallel and deterministic — each buffer chunk
+    /// uses its own counter-based Philox substream, so the result is a pure
+    /// function of `(snapshot, master_seed, trials)` regardless of thread
+    /// count, the same contract as `lrb_dynamic::batch_sample_indices`.
     pub fn batch_indices(
         &self,
         trials: u64,
         master_seed: u64,
     ) -> Result<Vec<usize>, SelectionError> {
-        (0..trials)
-            .into_par_iter()
-            .map(|trial| {
-                let mut rng = Philox4x32::for_substream(master_seed, trial);
-                self.sample(&mut rng)
-            })
-            .collect()
+        let indices = BatchDriver::new().drive_indices(master_seed, trials, |rng, out| {
+            self.sampler.sample_into(rng, out)
+        })?;
+        self.served.fetch_add(trials, Ordering::Relaxed);
+        Ok(indices)
     }
 
     /// Like [`batch_indices`](Snapshot::batch_indices) but tabulated into
@@ -202,6 +184,7 @@ impl std::fmt::Debug for Snapshot {
             .field("backend", &self.backend)
             .field("len", &self.weights.len())
             .field("total", &self.total)
+            .field("served", &self.served())
             .finish()
     }
 }
@@ -209,15 +192,21 @@ impl std::fmt::Debug for Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::BackendRegistry;
     use lrb_rng::{MersenneTwister64, SeedableSource};
+
+    fn build(version: u64, weights: Vec<f64>, backend: &str) -> Snapshot {
+        let registry = BackendRegistry::standard();
+        Snapshot::build(version, weights, registry.get(backend).unwrap()).unwrap()
+    }
 
     #[test]
     fn every_backend_freezes_and_draws_the_same_distribution() {
         let weights = vec![0.0, 1.0, 2.0, 3.0, 4.0];
-        for backend in BackendKind::all() {
-            let snap = Snapshot::build(7, weights.clone(), backend).unwrap();
+        for name in BackendRegistry::standard().names() {
+            let snap = build(7, weights.clone(), name);
             assert_eq!(snap.version(), 7);
-            assert_eq!(snap.backend(), backend);
+            assert_eq!(snap.backend(), name);
             assert_eq!(snap.len(), 5);
             assert!(!snap.is_empty());
             assert!((snap.total_weight() - 10.0).abs() < 1e-12);
@@ -227,39 +216,37 @@ mod tests {
             let mut rng = MersenneTwister64::seed_from_u64(5);
             for _ in 0..2_000 {
                 let i = snap.sample(&mut rng).unwrap();
-                assert_ne!(i, 0, "{} drew a zero-weight index", backend.name());
+                assert_ne!(i, 0, "{name} drew a zero-weight index");
             }
         }
     }
 
     #[test]
+    #[should_panic]
     fn empty_weights_are_rejected() {
-        assert_eq!(
-            Snapshot::build(0, vec![], BackendKind::Fenwick).map(|_| ()),
-            Err(SelectionError::EmptyFitness)
-        );
+        let _ = build(0, vec![], "fenwick");
     }
 
     #[test]
     fn all_zero_snapshots_build_but_refuse_to_draw() {
-        for backend in BackendKind::all() {
-            let snap = Snapshot::build(1, vec![0.0, 0.0], backend).unwrap();
+        for name in BackendRegistry::standard().names() {
+            let snap = build(1, vec![0.0, 0.0], name);
             assert_eq!(snap.total_weight(), 0.0);
             assert_eq!(snap.probabilities(), vec![0.0, 0.0]);
             let mut rng = MersenneTwister64::seed_from_u64(2);
             assert_eq!(
                 snap.sample(&mut rng),
                 Err(SelectionError::AllZeroFitness),
-                "{}",
-                backend.name()
+                "{name}"
             );
             assert!(snap.batch_indices(5, 1).is_err());
+            assert_eq!(snap.served(), 0, "failed draws must not count as served");
         }
     }
 
     #[test]
     fn batch_draws_are_deterministic_and_counted() {
-        let snap = Snapshot::build(3, vec![1.0, 2.0, 1.0], BackendKind::Fenwick).unwrap();
+        let snap = build(3, vec![1.0, 2.0, 1.0], "fenwick");
         let a = snap.batch_indices(5_000, 11).unwrap();
         let b = snap.batch_indices(5_000, 11).unwrap();
         assert_eq!(a, b);
@@ -273,19 +260,41 @@ mod tests {
     }
 
     #[test]
-    fn sample_many_draws_the_requested_count() {
-        let snap = Snapshot::build(0, vec![2.0, 2.0], BackendKind::StochasticAcceptance).unwrap();
+    fn sample_into_agrees_with_sample_on_equal_seeds() {
+        for name in BackendRegistry::standard().names() {
+            let snap = build(0, vec![1.0, 0.0, 2.0, 4.0, 0.5], name);
+            let mut rng_a = MersenneTwister64::seed_from_u64(31);
+            let mut rng_b = MersenneTwister64::seed_from_u64(31);
+            let mut buffer = vec![0usize; 2_000];
+            snap.sample_into(&mut rng_a, &mut buffer).unwrap();
+            for (t, &filled) in buffer.iter().enumerate() {
+                assert_eq!(
+                    filled,
+                    snap.sample(&mut rng_b).unwrap(),
+                    "{name} diverged at draw {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn served_counts_every_successful_draw() {
+        let snap = build(0, vec![2.0, 2.0], "stochastic-acceptance");
         let mut rng = MersenneTwister64::seed_from_u64(9);
         let picks = snap.sample_many(&mut rng, 100).unwrap();
         assert_eq!(picks.len(), 100);
         assert!(picks.iter().all(|&i| i < 2));
+        let _ = snap.sample(&mut rng).unwrap();
+        let _ = snap.batch_indices(50, 1).unwrap();
+        assert_eq!(snap.served(), 151);
     }
 
     #[test]
     fn debug_format_names_the_essentials() {
-        let snap = Snapshot::build(4, vec![1.0], BackendKind::AliasRebuild).unwrap();
+        let snap = build(4, vec![1.0], "alias");
         let text = format!("{snap:?}");
         assert!(text.contains("version"));
         assert!(text.contains('4'));
+        assert!(text.contains("alias"));
     }
 }

@@ -17,7 +17,7 @@
 //!   highest shared-memory address touched (= memory footprint).
 //! * [`algorithms`] — the textbook building blocks the paper refers to
 //!   (tree reduction, prefix sums, broadcast) plus the paper's own
-//!   constant-memory CRCW maximum-finding loop ([`algorithms::bid_max`]) and
+//!   constant-memory CRCW maximum-finding loop ([`mod@algorithms::bid_max`]) and
 //!   the complete prefix-sum-based roulette wheel selection.
 //!
 //! ## Example: one synchronous step

@@ -175,7 +175,8 @@ impl<L> Pram<L> {
         self.total = CostReport::default();
     }
 
-    /// Override the step limit used by [`run_until`](Pram::run_until).
+    /// Override the step limit used by
+    /// [`run_until_quiescent`](Pram::run_until_quiescent).
     pub fn set_step_limit(&mut self, limit: usize) {
         self.step_limit = limit;
     }

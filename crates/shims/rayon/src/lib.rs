@@ -369,9 +369,36 @@ impl<T: Sync> ParallelSliceExt<T> for Vec<T> {
     }
 }
 
+/// Mutable chunking, mirroring rayon's `ParallelSliceMut`
+/// (`par_chunks_mut`). The sub-slices are disjoint, so handing one to each
+/// worker thread is safe without any locking — exactly what a batch driver
+/// filling one output buffer needs.
+pub trait ParallelSliceMutExt<T: Send> {
+    /// Parallel iterator over disjoint `chunk_size`-sized mutable sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMutExt<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+            min_len: PARALLEL_THRESHOLD,
+        }
+    }
+}
+
+impl<T: Send> ParallelSliceMutExt<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        self.as_mut_slice().par_chunks_mut(chunk_size)
+    }
+}
+
 /// The rayon prelude: everything call sites need in scope.
 pub mod prelude {
-    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSliceExt};
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelSliceExt, ParallelSliceMutExt,
+    };
 }
 
 #[cfg(test)]
@@ -416,6 +443,17 @@ mod tests {
         assert_eq!(sums.len(), 44);
         let total: f64 = sums.iter().sum();
         assert_eq!(total, values.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_disjoint_sub_slices() {
+        let mut out = vec![0usize; 4_321];
+        out.par_chunks_mut(100).enumerate().for_each(|(c, slice)| {
+            for (i, slot) in slice.iter_mut().enumerate() {
+                *slot = c * 100 + i;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i));
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! The adaptive serving engine end to end: startup micro-calibration,
+//! telemetry-driven backend choice, and a mid-stream switch when the
+//! observed workload drifts.
+//!
+//! ```text
+//! cargo run --example engine_adaptive
+//! ```
+//!
+//! The engine starts on a uniform weight vector with a modest draw-rate
+//! hint, readers hammer it far harder than the hint promised, and the
+//! decider — fed by the snapshot's served-draws telemetry — republishes the
+//! same weights under a cheaper backend without any writer involvement.
+//! Then a writer burst spikes the skew and the publish-time decider reacts
+//! again.
+
+use lrb_engine::{BackendChoice, EngineConfig, SelectionEngine};
+use lrb_rng::Philox4x32;
+
+fn main() -> Result<(), lrb_core::SelectionError> {
+    let n = 4096usize;
+
+    // Calibrate: a one-shot micro-benchmark times each registered backend's
+    // build and draws on this host, seeding the decider's ns/op constants;
+    // every publish refreshes them by EWMA.
+    let engine = SelectionEngine::new(
+        vec![1.0; n],
+        EngineConfig {
+            backend: BackendChoice::Auto,
+            expected_draws_per_publish: 64.0, // a deliberately bad hint
+            calibrate: true,
+        },
+    )?;
+
+    println!("calibrated cost constants (ns per abstract op):");
+    for c in engine.cost_constants() {
+        println!(
+            "  {:<22} build {:>8.3}   draw {:>8.3}",
+            c.backend, c.build_ns_per_op, c.draw_ns_per_op
+        );
+    }
+
+    let snapshot = engine.snapshot();
+    println!(
+        "\nv{} opens on '{}' (hint: {} draws/publish)",
+        snapshot.version(),
+        snapshot.backend(),
+        engine.config().expected_draws_per_publish
+    );
+
+    // Readers fill buffers lock-free; the served counter is the telemetry
+    // the decider reads.
+    let mut rng = Philox4x32::for_substream(2024, 1);
+    let mut buffer = vec![0usize; 4096];
+    for _ in 0..64 {
+        snapshot.sample_into(&mut rng, &mut buffer)?;
+    }
+    println!(
+        "readers served {} draws from v{} — far past the hint",
+        snapshot.served(),
+        snapshot.version()
+    );
+
+    // Mid-stream: no pending writes, but the observed draw rate says a
+    // pricier build with cheaper draws now pays for itself.
+    match engine.maybe_rebalance()? {
+        Some(version) => println!(
+            "mid-stream rebalance -> v{version} on '{}'",
+            engine.snapshot().backend()
+        ),
+        None => println!("decider kept '{}'", engine.snapshot().backend()),
+    }
+
+    // A writer burst makes one category dominate: skew spikes, and the next
+    // publish re-decides with the drifted profile.
+    engine.scale_all(0.5)?;
+    engine.enqueue(17, 1.0e7)?;
+    let version = engine.publish()?;
+    println!(
+        "writer burst -> v{version} on '{}' (observed {:.0} draws/publish)",
+        engine.snapshot().backend(),
+        engine.observed_draws_per_publish()
+    );
+
+    println!("\nswitch history:");
+    for s in engine.switch_history() {
+        println!(
+            "  v{:<4} {} -> {}{} ({} draws served)",
+            s.version,
+            s.from,
+            s.to,
+            if s.mid_stream { " [mid-stream]" } else { "" },
+            s.draws_served
+        );
+    }
+    let stats = engine.stats();
+    println!(
+        "\nstats: {} publishes, {} switches",
+        stats.publishes, stats.backend_switches
+    );
+    Ok(())
+}

@@ -3,33 +3,35 @@
 //! of random updates), degenerate-weight edge cases, and the sharded arena's
 //! batch determinism across rayon thread counts.
 
+mod support;
+
 use lrb_core::sequential::LinearScanSelector;
 use lrb_core::{DynamicSampler, Fitness, SelectionError, Selector};
 use lrb_dynamic::{
     batch_sample_counts, batch_sample_indices, FenwickSampler, RebuildingAliasSampler, ShardedArena,
 };
 use lrb_rng::{MersenneTwister64, RandomSource, SeedableSource};
-use lrb_stats::{chi_square_gof, EmpiricalDistribution};
+use support::assert_conformance;
 
-/// Empirical frequencies of a dynamic sampler over `trials` draws.
-fn empirical(sampler: &dyn DynamicSampler, trials: u64, seed: u64) -> EmpiricalDistribution {
+/// Per-index draw counts of a dynamic sampler over `trials` draws.
+fn empirical(sampler: &dyn DynamicSampler, trials: u64, seed: u64) -> Vec<u64> {
     let mut rng = MersenneTwister64::seed_from_u64(seed);
-    let mut dist = EmpiricalDistribution::new(sampler.len());
+    let mut counts = vec![0u64; sampler.len()];
     for _ in 0..trials {
-        dist.record(sampler.sample(&mut rng).unwrap());
+        counts[sampler.sample(&mut rng).unwrap()] += 1;
     }
-    dist
+    counts
 }
 
-/// Empirical frequencies of the linear-scan ground truth on the same weights.
-fn ground_truth(weights: &[f64], trials: u64, seed: u64) -> EmpiricalDistribution {
+/// Per-index draw counts of the linear-scan ground truth on the same weights.
+fn ground_truth(weights: &[f64], trials: u64, seed: u64) -> Vec<u64> {
     let fitness = Fitness::new(weights.to_vec()).unwrap();
     let mut rng = MersenneTwister64::seed_from_u64(seed);
-    let mut dist = EmpiricalDistribution::new(fitness.len());
+    let mut counts = vec![0u64; fitness.len()];
     for _ in 0..trials {
-        dist.record(LinearScanSelector.select(&fitness, &mut rng).unwrap());
+        counts[LinearScanSelector.select(&fitness, &mut rng).unwrap()] += 1;
     }
-    dist
+    counts
 }
 
 #[test]
@@ -40,21 +42,10 @@ fn fenwick_passes_chi_square_against_linear_scan_before_and_after_updates() {
 
     // Before any update: both the sampler and the ground truth must be
     // consistent with the exact F_i of the initial weights.
-    let target = Fitness::new(initial).unwrap().probabilities();
-    let dist = empirical(&sampler, trials, 101);
-    let gof = chi_square_gof(dist.counts(), &target);
-    assert!(
-        gof.is_consistent(0.001),
-        "before updates: p = {:.3e}",
-        gof.p_value
-    );
+    let counts = empirical(&sampler, trials, 101);
+    assert_conformance("before updates", &counts, &initial, 0.001);
     let truth = ground_truth(sampler.weights(), trials, 202);
-    let truth_gof = chi_square_gof(truth.counts(), &target);
-    assert!(
-        truth_gof.is_consistent(0.001),
-        "ground truth drifted: p = {:.3e}",
-        truth_gof.p_value
-    );
+    assert_conformance("ground truth drifted", &truth, &initial, 0.001);
 
     // Burst of random updates (including some zeroings), then re-test
     // against the *new* exact distribution.
@@ -68,26 +59,14 @@ fn fenwick_passes_chi_square_against_linear_scan_before_and_after_updates() {
         };
         sampler.update(index, weight).unwrap();
     }
-    let new_target = Fitness::new(sampler.weights().to_vec())
-        .unwrap()
-        .probabilities();
-    let dist = empirical(&sampler, trials, 404);
-    let gof = chi_square_gof(dist.counts(), &new_target);
-    assert!(
-        gof.is_consistent(0.001),
-        "after updates: p = {:.3e}",
-        gof.p_value
-    );
+    let mutated = sampler.weights().to_vec();
+    let counts = empirical(&sampler, trials, 404);
+    assert_conformance("after updates", &counts, &mutated, 0.001);
 
     // And it still agrees with the linear-scan ground truth run on the
     // mutated weights (same test, independent stream).
-    let truth = ground_truth(sampler.weights(), trials, 505);
-    let truth_gof = chi_square_gof(truth.counts(), &new_target);
-    assert!(
-        truth_gof.is_consistent(0.001),
-        "p = {:.3e}",
-        truth_gof.p_value
-    );
+    let truth = ground_truth(&mutated, trials, 505);
+    assert_conformance("ground truth after updates", &truth, &mutated, 0.001);
 }
 
 #[test]
@@ -118,7 +97,6 @@ fn fenwick_edge_cases_update_to_zero_and_all_zero() {
 #[test]
 fn all_dynamic_engines_agree_in_distribution() {
     let weights: Vec<f64> = vec![0.0, 1.0, 4.0, 2.0, 0.0, 8.0, 1.0, 0.5];
-    let target = Fitness::new(weights.clone()).unwrap().probabilities();
     let trials = 80_000;
     let engines: Vec<(&str, Box<dyn DynamicSampler>)> = vec![
         (
@@ -131,15 +109,14 @@ fn all_dynamic_engines_agree_in_distribution() {
         ),
         (
             "sharded-arena",
-            Box::new(ShardedArena::from_weights(weights, 3).unwrap()),
+            Box::new(ShardedArena::from_weights(weights.clone(), 3).unwrap()),
         ),
     ];
     for (name, engine) in engines {
-        let dist = empirical(engine.as_ref(), trials, 42);
-        let gof = chi_square_gof(dist.counts(), &target);
-        assert!(gof.is_consistent(0.001), "{name}: p = {:.3e}", gof.p_value);
-        assert_eq!(dist.counts()[0], 0, "{name} drew a zero-weight index");
-        assert_eq!(dist.counts()[4], 0, "{name} drew a zero-weight index");
+        let counts = empirical(engine.as_ref(), trials, 42);
+        assert_conformance(name, &counts, &weights, 0.001);
+        assert_eq!(counts[0], 0, "{name} drew a zero-weight index");
+        assert_eq!(counts[4], 0, "{name} drew a zero-weight index");
     }
 }
 

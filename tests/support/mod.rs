@@ -1,0 +1,38 @@
+//! Shared scaffolding for the statistical integration tests: turn counts
+//! plus a weight vector into a chi-square verdict, one way, everywhere.
+//!
+//! Each integration-test target compiles this module privately (via
+//! `mod support;`), so helpers unused by a particular target are expected —
+//! hence the `dead_code` allowances.
+
+use lrb_stats::chi_square_gof;
+
+/// Exact selection probabilities `F_i = w_i / Σ w_j` of a weight vector.
+#[allow(dead_code)]
+pub fn probabilities(weights: &[f64]) -> Vec<f64> {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "probabilities need positive total mass");
+    weights.iter().map(|w| w / total).collect()
+}
+
+/// Assert that `counts` are chi-square-consistent with the exact
+/// probabilities of `weights` at significance `threshold`
+/// (i.e. p > threshold), with `context` naming the failing configuration.
+#[allow(dead_code)]
+pub fn assert_conformance(context: &str, counts: &[u64], weights: &[f64], threshold: f64) {
+    let probs = probabilities(weights);
+    let gof = chi_square_gof(counts, &probs);
+    assert!(
+        gof.is_consistent(threshold),
+        "{context}: p = {:.3e} <= {threshold} (statistic = {:.3}, dof = {})",
+        gof.p_value,
+        gof.statistic,
+        gof.degrees_of_freedom
+    );
+}
+
+/// [`assert_conformance`] at the suite's standard p > 0.01 bar.
+#[allow(dead_code)]
+pub fn assert_exact(context: &str, counts: &[u64], weights: &[f64]) {
+    assert_conformance(context, counts, weights, 0.01);
+}
