@@ -1,0 +1,157 @@
+//! Quick perf-smoke gate for the block-Philox bid kernel.
+//!
+//! ```text
+//! cargo run -p lrb-bench --release --bin selector_quick \
+//!     [-- --gate-n 65536 --min-speedup 2.0 --seed 2024 --json 1]
+//! ```
+//!
+//! Measures single-thread one-shot selection throughput of the block
+//! kernel (`ParallelLogBiddingSelector`, bid-stream layout v2) against the
+//! legacy per-index substream path (`PerIndexLogBiddingSelector`, layout
+//! v1) across a sweep of problem sizes, plus the kernel's rayon path at the
+//! gate size. Both selectors are forced onto their sequential paths for the
+//! speedup measurement, so the ratio isolates the purged per-index
+//! constants (key schedule, wasted Philox lanes, eager `ln`) rather than
+//! thread fan-out.
+//!
+//! Exits non-zero when the kernel's speedup at `--gate-n` falls below
+//! `--min-speedup` — but, like `engine_quick`, only on hosts with more than
+//! one hardware thread; on single-core machines (CI sandboxes, small
+//! containers) the number is printed and recorded but advisory, since such
+//! hosts are routinely noisy, throttled or oversubscribed. The `--json 1`
+//! report is the `BENCH_selectors.json` baseline.
+
+use lrb_bench::cli::{Options, OrExit};
+use lrb_bench::selector_workload::{bench_fitness, bench_selector, SelectorReport};
+use lrb_core::parallel::bid_kernel::STREAM_LAYOUT_VERSION;
+use lrb_core::parallel::{ParallelLogBiddingSelector, PerIndexLogBiddingSelector};
+use serde::Serialize;
+
+/// One size of the sweep: both single-thread paths and their ratio.
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    n: u64,
+    per_index: SelectorReport,
+    block: SelectorReport,
+    speedup: f64,
+}
+
+/// The machine-readable report (`--json 1`), recorded as the
+/// `BENCH_selectors.json` baseline.
+#[derive(Debug, Serialize)]
+struct QuickReport {
+    host_threads: u64,
+    stream_layout_version: u32,
+    gate_n: u64,
+    min_speedup: f64,
+    speedup: f64,
+    gate_enforced: bool,
+    sweep: Vec<SweepRow>,
+    block_parallel: SelectorReport,
+}
+
+fn main() {
+    let options = Options::from_env();
+    let gate_n = options.usize_or("gate-n", 1 << 16).or_exit();
+    let min_speedup = options.f64_or("min-speedup", 2.0).or_exit();
+    let seed = options.u64_or("seed", 2024).or_exit();
+    let budget = options.u64_or("budget", 1 << 22).or_exit();
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+
+    // Force the sequential path on both selectors: the gate isolates
+    // constant factors, not rayon fan-out.
+    let per_index = PerIndexLogBiddingSelector {
+        sequential_cutoff: usize::MAX,
+    };
+    let block = ParallelLogBiddingSelector {
+        sequential_cutoff: usize::MAX,
+    };
+
+    println!(
+        "selector_quick: block-Philox kernel (layout v{STREAM_LAYOUT_VERSION}) vs \
+         per-index substreams, single thread, host threads = {host_threads}\n"
+    );
+
+    let mut sizes = vec![1 << 12, 1 << 16, 1 << 20];
+    if !sizes.contains(&gate_n) {
+        sizes.push(gate_n);
+        sizes.sort_unstable();
+    }
+    let mut sweep = Vec::new();
+    for n in sizes {
+        // Keep total work roughly constant across sizes.
+        let draws = (budget / n as u64).clamp(8, 4_096);
+        let fitness = bench_fitness(n);
+        let a = bench_selector(&per_index, &fitness, draws, seed);
+        let b = bench_selector(&block, &fitness, draws, seed);
+        let speedup = a.ns_per_select / b.ns_per_select.max(1e-9);
+        println!(
+            "  n = 2^{:<2} per-index {:>10.1} ns/select   block {:>10.1} ns/select   {speedup:>5.2}x",
+            (n as f64).log2() as u32,
+            a.ns_per_select,
+            b.ns_per_select,
+        );
+        sweep.push(SweepRow {
+            n: n as u64,
+            per_index: a,
+            block: b,
+            speedup,
+        });
+    }
+
+    let gate_row = sweep
+        .iter()
+        .find(|row| row.n == gate_n as u64)
+        .expect("gate size is in the sweep");
+    let speedup = gate_row.speedup;
+
+    // The rayon path at the gate size, for the record (identical winner to
+    // the sequential path by construction; faster only with real cores).
+    let rayon_block = ParallelLogBiddingSelector {
+        sequential_cutoff: 0,
+    };
+    let fitness = bench_fitness(gate_n);
+    let draws = (budget / gate_n as u64).clamp(8, 4_096);
+    let block_parallel = bench_selector(&rayon_block, &fitness, draws, seed);
+    println!(
+        "\n  rayon block path at n = {gate_n}: {:.1} ns/select ({} threads available)",
+        block_parallel.ns_per_select, host_threads
+    );
+
+    let gate_enforced = host_threads >= 2;
+    println!(
+        "\nblock kernel vs per-index at n = {gate_n}: {speedup:.2}x \
+         (gate: >= {min_speedup}x, {})",
+        if gate_enforced {
+            "enforced"
+        } else {
+            "advisory on this host"
+        }
+    );
+
+    if options.contains("json") {
+        let report = QuickReport {
+            host_threads: host_threads as u64,
+            stream_layout_version: STREAM_LAYOUT_VERSION,
+            gate_n: gate_n as u64,
+            min_speedup,
+            speedup,
+            gate_enforced,
+            sweep,
+            block_parallel,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serialisation cannot fail")
+        );
+    }
+
+    if gate_enforced && speedup < min_speedup {
+        eprintln!("FAIL: expected the block kernel to be >= {min_speedup}x the per-index path");
+        std::process::exit(1);
+    }
+    println!("OK");
+}

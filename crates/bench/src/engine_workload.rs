@@ -14,6 +14,12 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+/// One cache line per counter: readers bump private cells, the writer sums
+/// them — mirroring the engine's sharded served counter so the measurement
+/// harness itself does not introduce the bounce it is measuring.
+#[repr(align(64))]
+struct PaddedCounter(AtomicU64);
+
 use lrb_engine::{BackendChoice, EngineConfig, SelectionEngine};
 use lrb_rng::{Philox4x32, RandomSource};
 use lrb_stats::chi_square_gof;
@@ -132,30 +138,34 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
     .expect("driver weights are valid");
 
     let stop = AtomicBool::new(false);
-    let samples_total = AtomicU64::new(0);
+    let sample_cells: Vec<PaddedCounter> = (0..config.readers)
+        .map(|_| PaddedCounter(AtomicU64::new(0)))
+        .collect();
     let updates_claimed = AtomicU64::new(0);
     let started = Instant::now();
 
     std::thread::scope(|scope| {
-        for reader in 0..config.readers {
+        for (reader, samples_total) in sample_cells.iter().enumerate() {
             let engine = &engine;
             let stop = &stop;
-            let samples_total = &samples_total;
             scope.spawn(move || {
                 let mut rng = Philox4x32::for_substream(config.seed, 1_000 + reader as u64);
                 let mut sink = 0usize;
                 // One buffer per snapshot hold: readers fill it lock-free
-                // through the backend's tight-loop primitive — one virtual
-                // call and one counter increment per buffer, not per draw.
+                // through `SelectionEngine::read` — on the steady state
+                // that is one relaxed generation probe, a thread-local
+                // cache hit and the backend's tight-loop primitive, with
+                // no shared RMW and no allocation per buffer.
                 let mut buffer = vec![0usize; config.snapshot_every.max(1) as usize];
                 while !stop.load(Ordering::Relaxed) {
-                    let snapshot = engine.snapshot();
-                    match snapshot.sample_into(&mut rng, &mut buffer) {
+                    match engine.read(|snapshot| snapshot.sample_into(&mut rng, &mut buffer)) {
                         Ok(()) => {
                             for &index in &buffer {
                                 sink ^= index;
                             }
-                            samples_total.fetch_add(buffer.len() as u64, Ordering::Relaxed);
+                            samples_total
+                                .0
+                                .fetch_add(buffer.len() as u64, Ordering::Relaxed);
                         }
                         Err(_) => std::thread::yield_now(), // all-zero interregnum
                     }
@@ -166,7 +176,7 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
         for writer in 0..config.writers {
             let engine = &engine;
             let stop = &stop;
-            let samples_total = &samples_total;
+            let sample_cells = &sample_cells;
             let updates_claimed = &updates_claimed;
             let family = &weights;
             scope.spawn(move || {
@@ -174,9 +184,13 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
                 let n = config.categories as u64;
                 let mut since_publish = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    // Pace updates off the sample counter so the measured
+                    // Pace updates off the sample counters so the measured
                     // mix tracks the configured update:sample ratio.
-                    let target = samples_total.load(Ordering::Relaxed) / config.samples_per_update;
+                    let sampled: u64 = sample_cells
+                        .iter()
+                        .map(|cell| cell.0.load(Ordering::Relaxed))
+                        .sum();
+                    let target = sampled / config.samples_per_update;
                     if updates_claimed.load(Ordering::Relaxed) >= target {
                         if since_publish > 0 {
                             engine.publish().expect("driver weights stay valid");
@@ -207,7 +221,10 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
     });
 
     let duration_s = started.elapsed().as_secs_f64();
-    let samples = samples_total.load(Ordering::Relaxed);
+    let samples: u64 = sample_cells
+        .iter()
+        .map(|cell| cell.0.load(Ordering::Relaxed))
+        .sum();
     let stats = engine.stats();
     DriverReport {
         categories: config.categories as u64,

@@ -1,0 +1,101 @@
+//! Single-selection throughput driver for the one-shot selectors — the
+//! workload behind the `selector_quick` gate and the `BENCH_selectors.json`
+//! baseline.
+//!
+//! The interesting comparison is constant factors at fixed `n`: the
+//! block-Philox bid kernel (`ParallelLogBiddingSelector`, stream layout v2)
+//! against the legacy per-index substream path
+//! (`PerIndexLogBiddingSelector`, layout v1). Both are exact, both do `Θ(n)`
+//! work per selection; the kernel's win is purely the purged constants (one
+//! key schedule per chunk, two uniforms per counter bump, lazy `ln`).
+
+use std::time::Instant;
+
+use lrb_core::{Fitness, Selector};
+use lrb_rng::Philox4x32;
+use serde::Serialize;
+
+/// One measured selector at one problem size (serialisable for
+/// `BENCH_selectors.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct SelectorReport {
+    /// Selector name (its [`Selector::name`]).
+    pub selector: String,
+    /// Fitness vector length.
+    pub n: u64,
+    /// Selections timed.
+    pub draws: u64,
+    /// Wall-clock seconds for all draws.
+    pub duration_s: f64,
+    /// Selections per second.
+    pub selects_per_sec: f64,
+    /// Nanoseconds per selected index.
+    pub ns_per_select: f64,
+}
+
+/// The mildly varied fitness family used by every selector measurement:
+/// weights `(i · 7) mod 13 + 1`, so no backend-friendly structure, no zero
+/// weights, and the same vector for every selector at a given `n`.
+pub fn bench_fitness(n: usize) -> Fitness {
+    Fitness::new((0..n).map(|i| ((i * 7) % 13 + 1) as f64).collect()).expect("weights are valid")
+}
+
+/// Time `draws` one-shot selections through `selector.select_into` (one
+/// buffer fill — the tight-loop entry point callers should use), driven by
+/// a deterministic Philox stream.
+pub fn bench_selector(
+    selector: &dyn Selector,
+    fitness: &Fitness,
+    draws: u64,
+    seed: u64,
+) -> SelectorReport {
+    let mut rng = Philox4x32::for_substream(seed, 0);
+    let mut out = vec![0usize; draws as usize];
+    // Warm-up: touch the fitness vector and fault in the buffer.
+    let warm = out.len().min(1);
+    selector
+        .select_into(fitness, &mut rng, &mut out[..warm])
+        .expect("bench fitness has positive mass");
+    let started = Instant::now();
+    selector
+        .select_into(fitness, &mut rng, &mut out)
+        .expect("bench fitness has positive mass");
+    let duration_s = started.elapsed().as_secs_f64();
+    std::hint::black_box(&out);
+    SelectorReport {
+        selector: selector.name().to_string(),
+        n: fitness.len() as u64,
+        draws,
+        duration_s,
+        selects_per_sec: draws as f64 / duration_s.max(1e-9),
+        ns_per_select: duration_s * 1e9 / draws.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_core::parallel::{ParallelLogBiddingSelector, PerIndexLogBiddingSelector};
+
+    #[test]
+    fn reports_measure_positive_throughput() {
+        let fitness = bench_fitness(512);
+        for selector in [
+            &ParallelLogBiddingSelector::default() as &dyn Selector,
+            &PerIndexLogBiddingSelector::default(),
+        ] {
+            let report = bench_selector(selector, &fitness, 50, 7);
+            assert_eq!(report.n, 512);
+            assert_eq!(report.draws, 50);
+            assert!(report.selects_per_sec > 0.0, "{report:?}");
+            assert!(report.ns_per_select > 0.0);
+        }
+    }
+
+    #[test]
+    fn bench_fitness_has_full_support() {
+        let fitness = bench_fitness(100);
+        assert_eq!(fitness.len(), 100);
+        assert!(fitness.values().iter().all(|&w| w >= 1.0));
+    }
+}

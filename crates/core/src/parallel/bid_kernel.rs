@@ -1,0 +1,239 @@
+//! The block-Philox bid kernel: chunked, lazily-logarithmic argmax of
+//! `ln(u_i) / f_i` — the constant-factor-free hot path under
+//! [`ParallelLogBiddingSelector`](crate::parallel::ParallelLogBiddingSelector).
+//!
+//! ## Why a kernel
+//!
+//! The straightforward parallel implementation (kept as
+//! [`PerIndexLogBiddingSelector`](crate::parallel::PerIndexLogBiddingSelector))
+//! pays three per-index constants the mathematics does not require:
+//!
+//! 1. a fresh `Philox4x32::for_substream` per index — a key-schedule setup
+//!    and cursor bookkeeping for every element;
+//! 2. one full Philox block (ten rounds) per index, of which only two of the
+//!    four 32-bit lanes are consumed;
+//! 3. one `ln` call per index, even though only the argmax is wanted.
+//!
+//! The kernel removes all three. Uniforms are drawn through one
+//! [`PhiloxBlock`] per chunk (two 64-bit words per counter bump, round keys
+//! expanded once), and the `ln` is evaluated **lazily** behind a branch-free
+//! filter: since `ln(u) ≤ u − 1` for all `u ∈ (0, 1)`, `(u − 1)/f` is an
+//! upper bound on the true bid, so an index can only win if
+//! `u − 1 ≥ best · f` (the product form of the same comparison — one
+//! multiply, no divide, no zero-fitness special case). Any index failing the
+//! filter is skipped without ever calling `ln`. The running maximum of `n`
+//! i.i.d.-ish bids is beaten `O(log n)` times in expectation, so almost
+//! every index takes the skip path: the kernel performs `Θ(n)` multiplies
+//! but only `O(log n)` expected logarithms and divisions.
+//!
+//! The filter threshold carries `FILTER_SLACK` (a `1e-12` relative
+//! cushion, ~10⁴ ulps) so 1-ulp rounding in `ln`, the multiply or the
+//! division can never skip an index whose *computed* bid would have won:
+//! the kernel's winner is bit-identical to the winner of the full
+//! `ln`-per-index scan over the same uniforms.
+//!
+//! ## Stream layout (versioned)
+//!
+//! The uniforms consumed by one selection are pinned by
+//! [`STREAM_LAYOUT_VERSION`]:
+//!
+//! * **v2 (current)** — index `j` reads word `j` of the *sequential* Philox
+//!   stream keyed by the master draw (the `j`-th
+//!   [`next_u64`](lrb_rng::RandomSource::next_u64) of
+//!   `Philox4x32::with_key(master)`), converted by
+//!   [`f64_open_open`]. Word `j` lives in Philox block `j / 2`, so any
+//!   even-aligned index range can be generated independently — this is what
+//!   makes the layout simultaneously chunkable, thread-count-invariant and
+//!   cheap (two indices per counter bump).
+//! * **v1 (legacy)** — index `j` read the first `next_u64` of
+//!   `Philox4x32::for_substream(master, j)`: one whole block and one key
+//!   setup per index. Kept verbatim in `PerIndexLogBiddingSelector` as the
+//!   differential oracle and the bench baseline.
+//!
+//! Both layouts consume exactly **one** `next_u64` from the *caller's*
+//! generator per selection (the master draw), so selector-level sequences
+//! (`select` loops, `select_into` buffers, the `BatchDriver`) are unchanged
+//! between versions; only the internal bid-stream derivation differs — that
+//! is the consumption contract the draw-for-draw proptests pin.
+
+use lrb_rng::uniform::f64_open_open;
+use lrb_rng::PhiloxBlock;
+use rayon::prelude::*;
+
+use crate::parallel::max_by_key_then_index;
+
+/// Version of the bid-stream layout (see the module docs). Bump whenever
+/// the mapping from `(master, index)` to a uniform changes; reproducibility
+/// of stored selection sequences is per layout version.
+pub const STREAM_LAYOUT_VERSION: u32 = 2;
+
+/// Indices processed per inner fill: the uniforms buffer lives on the
+/// stack, so the kernel allocates nothing. Even by construction (two words
+/// per Philox block).
+pub const KERNEL_CHUNK: usize = 256;
+
+/// Indices per rayon task in the parallel path. A fixed multiple of two so
+/// every task starts on a block boundary; chunk boundaries are part of
+/// *scheduling*, not of the stream layout — any even split yields the same
+/// uniforms, hence the same winner, at any thread count.
+pub const PAR_CHUNK: usize = 8192;
+
+/// Relative slack applied to the filter threshold `best · f` (both sides of
+/// the comparison are ≤ 0, so inflating the threshold's magnitude admits
+/// *more* indices to the exact refinement — strictly conservative). `ln`,
+/// the multiply and the `u − 1` are each faithful to ≲1 ulp (~2.2e-16
+/// relative), so a 1e-12 cushion is ~10⁴ ulps of margin while still
+/// rejecting essentially every non-winning index.
+const FILTER_SLACK: f64 = 1.0 + 1.0e-12;
+
+/// The sequential block kernel over `values[..]`, whose global indices are
+/// `base..base + values.len()`. `base` must be even (block-aligned).
+///
+/// Folds `(bid, index)` candidates into `best` through
+/// [`max_by_key_then_index`], evaluating `ln` only for indices whose proxy
+/// upper bound could beat the running maximum. The filter is the product
+/// form of the proxy test — `u − 1 ≥ best · f` instead of
+/// `(u − 1)/f ≥ best` — which is the same comparison for `f > 0` (both
+/// sides are ≤ 0) but costs a multiply instead of a divide, and needs no
+/// zero-fitness branch at all: for `f = ±0.0` the threshold `best · f` is
+/// `±0.0` (or NaN while `best` is still `−∞`), which `u − 1 < 0` can never
+/// reach, so zero-weight indices are filtered out before the division that
+/// would have mis-signed them.
+#[inline]
+pub(crate) fn block_argmax(
+    values: &[f64],
+    base: usize,
+    master: u64,
+    mut best: (f64, usize),
+) -> (f64, usize) {
+    debug_assert!(
+        base.is_multiple_of(2),
+        "chunks must start on a block boundary"
+    );
+    let mut stream = PhiloxBlock::at_block(master, (base / 2) as u128);
+    let mut uniforms = [0u64; KERNEL_CHUNK];
+    let mut offset = 0;
+    while offset < values.len() {
+        let len = KERNEL_CHUNK.min(values.len() - offset);
+        stream.fill_u64(&mut uniforms[..len]);
+        for (k, &word) in uniforms[..len].iter().enumerate() {
+            let f = values[offset + k];
+            let u = f64_open_open(word);
+            if u - 1.0 >= best.0 * f * FILTER_SLACK {
+                let bid = u.ln() / f;
+                best = max_by_key_then_index(best, (bid, base + offset + k));
+            }
+        }
+        offset += len;
+    }
+    best
+}
+
+/// Select the bid-argmax index of `values` under stream layout v2.
+///
+/// `parallel` chooses between one sequential pass and a rayon
+/// `par_chunks(PAR_CHUNK) → reduce`; both return the same index for the
+/// same `master` because chunk-local argmaxes combine associatively under
+/// [`max_by_key_then_index`] and the uniforms are a pure function of
+/// `(master, index)`.
+pub(crate) fn select_block(values: &[f64], master: u64, parallel: bool) -> usize {
+    let identity = (f64::NEG_INFINITY, usize::MAX);
+    let best = if parallel {
+        values
+            .par_chunks(PAR_CHUNK)
+            .with_min_len(1)
+            .enumerate()
+            .map(|(chunk, slice)| block_argmax(slice, chunk * PAR_CHUNK, master, identity))
+            .reduce(|| identity, max_by_key_then_index)
+    } else {
+        block_argmax(values, 0, master, identity)
+    };
+    best.1
+}
+
+/// The exact bid of one index under layout v2, computed the slow way —
+/// test-support oracle for pinning the layout (`u_j` = word `j` of the
+/// sequential stream) independently of the kernel's skip logic.
+pub fn reference_bid(master: u64, index: usize, fitness: f64) -> f64 {
+    let mut stream = PhiloxBlock::at_block(master, (index / 2) as u128);
+    let words = stream.next_u64_pair();
+    let u = f64_open_open(words[index % 2]);
+    u.ln() / (fitness + 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_rng::{RandomSource, SeedableSource, SplitMix64};
+
+    /// The unfiltered oracle: every index pays the `ln`, same uniforms.
+    fn naive_argmax(values: &[f64], master: u64) -> usize {
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (j, &f) in values.iter().enumerate() {
+            let bid = reference_bid(master, j, f);
+            best = max_by_key_then_index(best, (bid, j));
+        }
+        best.1
+    }
+
+    #[test]
+    fn kernel_matches_the_naive_full_ln_scan() {
+        let mut rng = SplitMix64::seed_from_u64(404);
+        for n in [1usize, 2, 3, 17, 255, 256, 257, 1000, 5000] {
+            let values: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64).collect();
+            if values.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            for _ in 0..20 {
+                let master = rng.next_u64();
+                assert_eq!(
+                    select_block(&values, master, false),
+                    naive_argmax(&values, master),
+                    "n = {n}, master = {master}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_kernels_agree() {
+        let values: Vec<f64> = (0..30_000).map(|i| ((i % 97) + 1) as f64).collect();
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..10 {
+            let master = rng.next_u64();
+            assert_eq!(
+                select_block(&values, master, true),
+                select_block(&values, master, false)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_zero_fitness_never_win() {
+        let values = vec![0.0, -0.0, 5.0, 0.0];
+        let mut rng = SplitMix64::seed_from_u64(9);
+        for _ in 0..200 {
+            assert_eq!(select_block(&values, rng.next_u64(), false), 2);
+        }
+    }
+
+    #[test]
+    fn layout_v2_reads_the_sequential_philox_stream() {
+        // The layout contract in one assertion: index j's uniform is the
+        // j-th next_u64 of the sequential stream keyed by the master.
+        let master = 0xBEEF;
+        let mut seq = lrb_rng::Philox4x32::with_key(master);
+        for j in 0..16usize {
+            let word = seq.next_u64();
+            let expected = lrb_rng::uniform::f64_open_open(word).ln() / 3.0;
+            assert_eq!(reference_bid(master, j, 3.0), expected, "index {j}");
+        }
+    }
+
+    #[test]
+    fn layout_version_is_pinned() {
+        assert_eq!(STREAM_LAYOUT_VERSION, 2);
+        assert_eq!(KERNEL_CHUNK % 2, 0);
+        assert_eq!(PAR_CHUNK % KERNEL_CHUNK, 0);
+    }
+}

@@ -18,12 +18,13 @@
 //!   (`ln f_i − ln(−ln u_i)`), kept separate so the benches can compare the
 //!   two formulas' cost and verify they induce the same distribution.
 
-use lrb_rng::exponential::{log_bid, ExponentialSampler};
+use lrb_rng::exponential::{log_bid, standard_exponential_ziggurat, ExponentialSampler};
 use lrb_rng::{Philox4x32, RandomSource};
 use rayon::prelude::*;
 
 use crate::error::SelectionError;
 use crate::fitness::Fitness;
+use crate::parallel::bid_kernel::select_block;
 use crate::parallel::max_by_key_then_index;
 use crate::traits::Selector;
 
@@ -58,10 +59,12 @@ impl Selector for LogBiddingSelector {
                 continue;
             }
             // r_i = ln(u)/f  ==  −Exp(rate f); both samplers produce the same
-            // distribution, the Ziggurat just avoids the ln call.
+            // distribution, the Ziggurat just avoids the ln call. One direct
+            // call per arm — the enum has already been matched here, so
+            // nothing re-dispatches on `self.sampler` inside the loop.
             let bid = match self.sampler {
                 ExponentialSampler::InverseCdf => log_bid(rng, f),
-                ExponentialSampler::Ziggurat => -self.sampler.sample_rate(rng, f),
+                ExponentialSampler::Ziggurat => -standard_exponential_ziggurat(rng) / f,
             };
             best = max_by_key_then_index(best, (bid, i));
         }
@@ -69,12 +72,18 @@ impl Selector for LogBiddingSelector {
     }
 }
 
-/// Rayon data-parallel logarithmic random bidding.
+/// Rayon data-parallel logarithmic random bidding through the
+/// [block-Philox bid kernel](crate::parallel::bid_kernel).
 ///
-/// The per-index uniforms come from counter-based Philox streams derived from
-/// one master draw of the caller's generator, so the result is reproducible
-/// regardless of thread count or work-stealing order, and the arg-max
-/// reduction is deterministic (ties broken by index).
+/// One master draw of the caller's generator keys a counter-based Philox
+/// stream; the kernel generates two per-index uniforms per counter bump and
+/// evaluates `ln` lazily behind the branch-free `(u − 1)/f` upper bound, so
+/// a selection costs `Θ(n)` arithmetic but only `O(log n)` expected
+/// logarithms. The result is reproducible regardless of thread count or
+/// work-stealing order (fixed even-aligned chunking, deterministic arg-max
+/// reduction with ties broken by index), and the bid-stream layout is
+/// versioned —
+/// [`STREAM_LAYOUT_VERSION`](crate::parallel::bid_kernel::STREAM_LAYOUT_VERSION).
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelLogBiddingSelector {
     /// Inputs shorter than this are handled sequentially; the rayon overhead
@@ -90,7 +99,77 @@ impl Default for ParallelLogBiddingSelector {
     }
 }
 
-impl ParallelLogBiddingSelector {
+impl Selector for ParallelLogBiddingSelector {
+    fn name(&self) -> &'static str {
+        "log-bidding-rayon"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn select(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+    ) -> Result<usize, SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let values = fitness.values();
+        let master = rng.next_u64();
+        Ok(select_block(
+            values,
+            master,
+            values.len() >= self.sequential_cutoff,
+        ))
+    }
+
+    /// Tight-loop fill: the support check happens once per buffer, then
+    /// each draw is one master `next_u64` plus one kernel pass — the same
+    /// caller-generator consumption as a [`select`](Selector::select) loop,
+    /// so both paths agree draw for draw on equal seeds.
+    fn select_into(
+        &self,
+        fitness: &Fitness,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        if fitness.is_all_zero() {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let values = fitness.values();
+        let parallel = values.len() >= self.sequential_cutoff;
+        for slot in out.iter_mut() {
+            *slot = select_block(values, rng.next_u64(), parallel);
+        }
+        Ok(())
+    }
+}
+
+/// The legacy per-index formulation (bid-stream layout **v1**): one
+/// `Philox4x32::for_substream(master, index)` and one eager `ln` per index.
+///
+/// Distributionally identical to [`ParallelLogBiddingSelector`] — both are
+/// exact — but draw-for-draw different, because the per-index substream
+/// layout consumes different uniforms than the block layout. Kept as the
+/// differential oracle for conformance tests and as the baseline the
+/// `selector_quick` gate measures the block kernel against.
+#[derive(Debug, Clone, Copy)]
+pub struct PerIndexLogBiddingSelector {
+    /// Inputs shorter than this are handled sequentially.
+    pub sequential_cutoff: usize,
+}
+
+impl Default for PerIndexLogBiddingSelector {
+    fn default() -> Self {
+        Self {
+            sequential_cutoff: 1024,
+        }
+    }
+}
+
+impl PerIndexLogBiddingSelector {
     fn bid_for(master: u64, index: usize, f: f64) -> (f64, usize) {
         if f == 0.0 {
             return (f64::NEG_INFINITY, index);
@@ -100,9 +179,9 @@ impl ParallelLogBiddingSelector {
     }
 }
 
-impl Selector for ParallelLogBiddingSelector {
+impl Selector for PerIndexLogBiddingSelector {
     fn name(&self) -> &'static str {
-        "log-bidding-rayon"
+        "log-bidding-per-index"
     }
 
     fn is_exact(&self) -> bool {

@@ -17,6 +17,7 @@
 //!   data-parallel reduction, or the simulated CRCW-PRAM constant-memory
 //!   loop whose step count Theorem 1 bounds.
 
+pub mod bid_kernel;
 mod crcw;
 mod independent;
 mod log_bidding;
@@ -24,7 +25,9 @@ mod prefix_sum;
 
 pub use crcw::CrcwLogBiddingSelector;
 pub use independent::{IndependentRouletteSelector, ParallelIndependentRouletteSelector};
-pub use log_bidding::{GumbelMaxSelector, LogBiddingSelector, ParallelLogBiddingSelector};
+pub use log_bidding::{
+    GumbelMaxSelector, LogBiddingSelector, ParallelLogBiddingSelector, PerIndexLogBiddingSelector,
+};
 pub use prefix_sum::PrefixSumSelector;
 
 /// Deterministic lexicographic arg-max used by every parallel reduction in

@@ -20,26 +20,66 @@ pub struct AliasSampler {
     alias: Vec<usize>,
 }
 
+/// Reusable build scratch for [`AliasSampler`]: Vose's scaled-probability
+/// work vector and the two worklists. These are transient — nothing in them
+/// survives the build — so a caller that rebuilds tables repeatedly (the
+/// `lrb-engine` publish path) can pool one `AliasScratch` and stop paying
+/// three allocations per rebuild. A default-constructed scratch is always
+/// valid; buffers grow to the largest table built through them and are
+/// reused thereafter.
+#[derive(Debug, Clone, Default)]
+pub struct AliasScratch {
+    work: Vec<f64>,
+    small: Vec<usize>,
+    large: Vec<usize>,
+}
+
 impl AliasSampler {
     /// Build the alias table from a fitness vector.
     pub fn new(fitness: &Fitness) -> Result<Self, SelectionError> {
         if fitness.is_all_zero() {
             return Err(SelectionError::AllZeroFitness);
         }
-        let n = fitness.len();
-        let total = fitness.total();
-        // Scaled probabilities: mean 1 across columns.
-        let scaled: Vec<f64> = fitness
-            .values()
-            .iter()
-            .map(|&v| v * n as f64 / total)
-            .collect();
+        let mut scratch = AliasScratch::default();
+        Self::from_validated_weights(fitness.values(), fitness.total(), &mut scratch)
+    }
 
+    /// Build the alias table from **already validated** weights (non-empty,
+    /// finite, non-negative, with strictly positive `total`), reusing the
+    /// caller's [`AliasScratch`] for every transient buffer. Only the
+    /// `keep`/`alias` tables that live inside the returned sampler are
+    /// allocated.
+    pub fn from_validated_weights(
+        weights: &[f64],
+        total: f64,
+        scratch: &mut AliasScratch,
+    ) -> Result<Self, SelectionError> {
+        if !total.is_finite() {
+            // Individually valid weights can only get here by their sum
+            // overflowing to +∞ (e.g. an evaporation fold upstream): blame
+            // the largest weight instead of claiming the vector is
+            // all-zero.
+            let (index, &value) = weights
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("a non-finite total needs at least one weight");
+            return Err(SelectionError::InvalidFitness { index, value });
+        }
+        if total <= 0.0 {
+            return Err(SelectionError::AllZeroFitness);
+        }
+        let n = weights.len();
         let mut keep = vec![0.0; n];
         let mut alias = vec![0usize; n];
-        let mut small: Vec<usize> = Vec::new();
-        let mut large: Vec<usize> = Vec::new();
-        let mut work = scaled;
+        let work = &mut scratch.work;
+        let small = &mut scratch.small;
+        let large = &mut scratch.large;
+        work.clear();
+        small.clear();
+        large.clear();
+        // Scaled probabilities: mean 1 across columns.
+        work.extend(weights.iter().map(|&v| v * n as f64 / total));
         for (i, &w) in work.iter().enumerate() {
             if w < 1.0 {
                 small.push(i);

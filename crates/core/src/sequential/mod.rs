@@ -18,7 +18,7 @@ mod binary_search;
 mod linear;
 mod stochastic_acceptance;
 
-pub use alias::AliasSampler;
+pub use alias::{AliasSampler, AliasScratch};
 pub use binary_search::CdfSampler;
 pub use linear::{linear_scan_weights, LinearScanSelector};
 pub use stochastic_acceptance::{acceptance_rounds, StochasticAcceptanceSelector};

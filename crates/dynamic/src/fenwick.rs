@@ -143,6 +143,7 @@ impl FenwickSampler {
 
     /// Find the smallest index whose cumulative weight exceeds `r`
     /// (the inverse-CDF descent), skipping zero-weight indices.
+    #[inline]
     fn descend(&self, mut r: f64) -> usize {
         let n = self.weights.len();
         let mut pos = 0usize; // one-based node position of the found prefix

@@ -24,8 +24,7 @@
 use std::sync::Arc;
 
 use lrb_core::error::SelectionError;
-use lrb_core::fitness::Fitness;
-use lrb_core::sequential::AliasSampler;
+use lrb_core::sequential::{AliasSampler, AliasScratch};
 use lrb_core::traits::{FrozenSampler, PreparedSampler};
 use lrb_dynamic::{FenwickSampler, StochasticAcceptanceSampler};
 use lrb_rng::RandomSource;
@@ -46,6 +45,23 @@ pub struct BackendCost {
     pub per_draw_ops: f64,
 }
 
+/// Pooled transient build buffers, owned by the engine and passed to every
+/// snapshot build on the (serialised) publish path. Nothing in here
+/// survives a build — a snapshot's *retained* storage (its weight vector,
+/// Fenwick tree, alias table) is state, not a buffer, and is still
+/// allocated per publish — but the scratch kills the per-publish transients:
+/// the drained override list and the alias method's worklists and
+/// scaled-probability vector. Buffers grow to the workload's high-water
+/// mark and are reused thereafter, so a steady-state publish performs no
+/// transient allocation.
+#[derive(Debug, Default)]
+pub struct BuildScratch {
+    /// Drained coalesced overrides, reused across publishes.
+    pub(crate) overrides: Vec<(usize, f64)>,
+    /// Vose build worklists for [`AliasBackend`] rebuilds.
+    pub alias: AliasScratch,
+}
+
 /// A sampler family the engine can freeze snapshots under.
 ///
 /// Implementations must be cheap to clone behind an [`Arc`] and build
@@ -60,6 +76,21 @@ pub trait FrozenBackend: Send + Sync {
     /// an all-zero vector is allowed and must build a sampler whose draws
     /// fail with [`SelectionError::AllZeroFitness`]).
     fn build(&self, weights: &[f64]) -> Result<Box<dyn FrozenSampler>, SelectionError>;
+
+    /// Like [`build`](FrozenBackend::build), but with access to the
+    /// engine's pooled [`BuildScratch`] so repeated rebuilds can reuse
+    /// transient buffers. The default ignores the scratch and delegates to
+    /// `build`; backends with allocation-heavy constructions (the alias
+    /// table) override it. Must produce a sampler indistinguishable from
+    /// `build`'s.
+    fn build_pooled(
+        &self,
+        weights: &[f64],
+        scratch: &mut BuildScratch,
+    ) -> Result<Box<dyn FrozenSampler>, SelectionError> {
+        let _ = scratch;
+        self.build(weights)
+    }
 
     /// Closed-form abstract cost of serving `profile` on this backend.
     fn model_cost(&self, profile: &WorkloadProfile) -> BackendCost;
@@ -99,11 +130,21 @@ struct FrozenAlias {
 }
 
 impl FrozenAlias {
-    fn build(weights: Vec<f64>) -> Result<Self, SelectionError> {
+    /// Build the table straight from the engine-validated weights — no
+    /// intermediate `Fitness` copy — reusing the caller's Vose worklists.
+    /// Re-validates each value (a publish-time evaporation fold can push a
+    /// weight to `∞`, which must fail the build, not poison the table).
+    fn build_with(weights: Vec<f64>, scratch: &mut AliasScratch) -> Result<Self, SelectionError> {
+        for (index, &value) in weights.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(SelectionError::InvalidFitness { index, value });
+            }
+        }
         let total: f64 = weights.iter().sum();
         let table = if total > 0.0 {
-            let fitness = Fitness::new(weights.clone())?;
-            Some(AliasSampler::new(&fitness)?)
+            Some(AliasSampler::from_validated_weights(
+                &weights, total, scratch,
+            )?)
         } else {
             None
         };
@@ -160,7 +201,22 @@ impl FrozenBackend for AliasBackend {
     }
 
     fn build(&self, weights: &[f64]) -> Result<Box<dyn FrozenSampler>, SelectionError> {
-        Ok(Box::new(FrozenAlias::build(weights.to_vec())?))
+        let mut scratch = AliasScratch::default();
+        Ok(Box::new(FrozenAlias::build_with(
+            weights.to_vec(),
+            &mut scratch,
+        )?))
+    }
+
+    fn build_pooled(
+        &self,
+        weights: &[f64],
+        scratch: &mut BuildScratch,
+    ) -> Result<Box<dyn FrozenSampler>, SelectionError> {
+        Ok(Box::new(FrozenAlias::build_with(
+            weights.to_vec(),
+            &mut scratch.alias,
+        )?))
     }
 
     fn model_cost(&self, profile: &WorkloadProfile) -> BackendCost {

@@ -4,21 +4,28 @@
 //!
 //! ## Concurrency protocol
 //!
-//! * **Readers** call [`SelectionEngine::snapshot`], which clones the
-//!   current `Arc<Snapshot>` under a briefly held read lock (the lock guards
-//!   only the pointer swap, never any sampling work), then draw against the
-//!   immutable snapshot with no further coordination — ideally whole buffers
-//!   at a time via [`Snapshot::sample_into`]. A reader keeps its snapshot
-//!   for as many draws as it wants; publication of newer versions cannot
-//!   mutate what it holds, so every draw is exact against *some* published
-//!   state — the snapshot-isolation guarantee.
+//! * **Readers** acquire the current snapshot with **no locks at all**:
+//!   the engine's current `Arc<Snapshot>` lives in a hand-rolled
+//!   `hot_swap` cell (an `AtomicPtr` swap with
+//!   generation-checked deferred reclamation), and each reader thread keeps
+//!   a **thread-local, version-checked snapshot cache** so the steady-state
+//!   acquisition is one relaxed generation load plus a TLS lookup — no
+//!   shared RMW whatsoever. [`SelectionEngine::read`] samples against the
+//!   cached snapshot by reference (the fastest path);
+//!   [`SelectionEngine::snapshot`] clones the `Arc` out for callers that
+//!   want to hold a version across publishes. Either way a reader keeps its
+//!   snapshot for as many draws as it wants; publication of newer versions
+//!   cannot mutate what it holds, so every draw is exact against *some*
+//!   published state — the snapshot-isolation guarantee.
 //! * **Writers** enqueue weight overrides and evaporation scales into a
 //!   mutex-guarded coalescing batch, then call
 //!   [`publish`](SelectionEngine::publish), which folds the batch over the
-//!   previous weights, freezes a new [`Snapshot`] (choosing a backend from
-//!   the [`BackendRegistry`] under [`BackendChoice::Auto`]) and swaps the
-//!   `Arc`. The batch mutex is held across the whole publish, serialising
-//!   publishers, so versions are strictly ordered and no batch is ever lost.
+//!   previous weights (through pooled build scratch, so a steady-state
+//!   publish performs no transient allocation), freezes a new [`Snapshot`]
+//!   (choosing a backend from the [`BackendRegistry`] under
+//!   [`BackendChoice::Auto`]) and swaps it in atomically. The batch mutex
+//!   is held across the whole publish, serialising publishers, so versions
+//!   are strictly ordered and no batch is ever lost.
 //!
 //! ## The decider
 //!
@@ -35,22 +42,47 @@
 //! change of backend is recorded in the [switch
 //! history](SelectionEngine::switch_history).
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use lrb_core::error::SelectionError;
 use lrb_core::fitness::Fitness;
 use lrb_rng::{Philox4x32, RandomSource};
 
-use crate::backend::BackendRegistry;
+use crate::backend::{BackendRegistry, BuildScratch};
 use crate::heuristic::{BackendChoice, CostConstants, CostEstimator, Ewma, WorkloadProfile};
+use crate::hot_swap::HotSwap;
 use crate::queue::CoalescingQueue;
 use crate::snapshot::Snapshot;
 
 /// Draws timed against each freshly built snapshot to refresh the draw-cost
 /// EWMA (only under [`EngineConfig::calibrate`]).
 const PUBLISH_PROBE_DRAWS: usize = 64;
+
+/// Engines a single thread's snapshot cache will track before evicting the
+/// least-recently-inserted entry. Processes normally hold a handful of
+/// engines; the cap only bounds pathological churn.
+const SNAPSHOT_CACHE_CAPACITY: usize = 8;
+
+/// Process-wide engine enumerator keying the thread-local snapshot caches.
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// One thread's cached acquisition of one engine's current snapshot.
+struct CachedSnapshot {
+    engine: u64,
+    generation: u64,
+    snapshot: Arc<Snapshot>,
+}
+
+thread_local! {
+    /// Per-thread snapshot cache: while an engine's swap generation is
+    /// unchanged, readers on this thread reuse the cached `Arc` without
+    /// touching any shared cache line (the generation itself mutates only
+    /// at publishes, so polling it is a shared *read*, not an RMW).
+    static SNAPSHOT_CACHE: RefCell<Vec<CachedSnapshot>> = const { RefCell::new(Vec::new()) };
+}
 
 /// EWMA smoothing factor for the observed draws-per-publish rate.
 const DRAWS_EWMA_ALPHA: f64 = 0.2;
@@ -150,12 +182,18 @@ struct Telemetry {
 /// # Ok::<(), lrb_core::SelectionError>(())
 /// ```
 pub struct SelectionEngine {
-    /// The current snapshot; the lock guards only the `Arc` swap.
-    current: RwLock<Arc<Snapshot>>,
+    /// The current snapshot, behind the lock-free swap cell. Readers
+    /// acquire it without locks; writers swap it under the `pending` lock.
+    current: HotSwap<Snapshot>,
+    /// This engine's key in the thread-local snapshot caches.
+    engine_id: u64,
     /// Pending writer batch. Held across the whole publish, so publishers
     /// are serialised and `current` only ever moves forward one batch at a
     /// time.
     pending: Mutex<CoalescingQueue>,
+    /// Pooled transient build buffers for the publish path (locked only by
+    /// the already-serialised publishers).
+    scratch: Mutex<BuildScratch>,
     registry: BackendRegistry,
     telemetry: Mutex<Telemetry>,
     config: EngineConfig,
@@ -217,8 +255,10 @@ impl SelectionEngine {
         };
         let snapshot = Snapshot::build(0, weights, &registry.entries()[entry])?;
         Ok(Self {
-            current: RwLock::new(Arc::new(snapshot)),
+            current: HotSwap::new(Arc::new(snapshot)),
+            engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             pending: Mutex::new(CoalescingQueue::new()),
+            scratch: Mutex::new(BuildScratch::default()),
             registry,
             telemetry: Mutex::new(telemetry),
             config,
@@ -257,23 +297,91 @@ impl SelectionEngine {
         &self.registry
     }
 
-    /// The current snapshot. The read lock is held only long enough to
-    /// clone the `Arc`; all sampling happens against the returned immutable
-    /// snapshot with no locks at all.
+    /// The current snapshot, acquired lock-free. Steady state (no publish
+    /// since this thread's last acquisition) touches no shared mutable
+    /// line at all: one relaxed generation load, a thread-local cache hit
+    /// and an `Arc` clone. All sampling happens against the returned
+    /// immutable snapshot.
+    ///
+    /// The thread-local cache pins at most one snapshot per engine per
+    /// thread; an idle thread can therefore keep the previous snapshot
+    /// alive until it touches the engine again (or the thread exits) — the
+    /// usual price of thread-cached handles.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+        self.with_current(Arc::clone)
+    }
+
+    /// Run `f` against the current snapshot **by reference** — the fastest
+    /// reader hot path: on a cache hit there is no `Arc` refcount traffic
+    /// (which is a shared-line RMW) and no allocation, just the generation
+    /// probe and the thread-local lookup. Prefer this in sampling loops:
+    ///
+    /// ```
+    /// use lrb_engine::{EngineConfig, SelectionEngine};
+    /// use lrb_rng::{MersenneTwister64, SeedableSource};
+    ///
+    /// let engine = SelectionEngine::new(vec![1.0, 2.0], EngineConfig::default())?;
+    /// let mut rng = MersenneTwister64::seed_from_u64(1);
+    /// let mut buffer = [0usize; 64];
+    /// engine.read(|snapshot| snapshot.sample_into(&mut rng, &mut buffer))?;
+    /// # Ok::<(), lrb_core::SelectionError>(())
+    /// ```
+    ///
+    /// Reentrant calls (an `f` that itself acquires from an engine on the
+    /// same thread) are safe; the inner call simply bypasses the cache.
+    pub fn read<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R {
+        self.with_current(|snapshot| f(snapshot))
+    }
+
+    /// Shared reader path: refresh this thread's cached acquisition if the
+    /// swap generation moved, then run `f` against it.
+    fn with_current<R>(&self, f: impl FnOnce(&Arc<Snapshot>) -> R) -> R {
+        let generation = self.current.generation();
+        SNAPSHOT_CACHE.with(|cache| match cache.try_borrow_mut() {
+            Ok(mut entries) => {
+                let entry = match entries.iter_mut().find(|e| e.engine == self.engine_id) {
+                    Some(entry) => {
+                        if entry.generation != generation {
+                            // The generation is re-read *before* the load:
+                            // if the load races a newer publish the cached
+                            // tag stays behind and the next acquisition
+                            // refreshes again — never the reverse.
+                            entry.generation = generation;
+                            entry.snapshot = self.current.load();
+                        }
+                        entry
+                    }
+                    None => {
+                        if entries.len() >= SNAPSHOT_CACHE_CAPACITY {
+                            entries.remove(0);
+                        }
+                        entries.push(CachedSnapshot {
+                            engine: self.engine_id,
+                            generation,
+                            snapshot: self.current.load(),
+                        });
+                        entries.last_mut().expect("just pushed")
+                    }
+                };
+                f(&entry.snapshot)
+            }
+            // The cache is already borrowed on this thread (reentrant
+            // read): acquire directly from the swap cell.
+            Err(_) => f(&self.current.load()),
+        })
     }
 
     /// Version of the current snapshot (0 for the initial state).
     pub fn version(&self) -> u64 {
-        self.snapshot().version()
+        self.with_current(|snapshot| snapshot.version())
     }
 
     /// Convenience: one draw against the current snapshot. Loops that draw
-    /// repeatedly should hold a [`snapshot`](SelectionEngine::snapshot)
-    /// instead, both for speed and for distribution stability.
+    /// repeatedly should use [`read`](SelectionEngine::read) with a buffer
+    /// (or hold a [`snapshot`](SelectionEngine::snapshot)) instead, both
+    /// for speed and for distribution stability.
     pub fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
-        self.snapshot().sample(rng)
+        self.with_current(|snapshot| snapshot.sample(rng))
     }
 
     /// Enqueue an absolute weight for one category; visible to readers only
@@ -356,20 +464,21 @@ impl SelectionEngine {
     pub fn publish(&self) -> Result<u64, SelectionError> {
         let mut pending = self.pending.lock().expect("batch lock poisoned");
         if pending.is_empty() {
-            return Ok(self.snapshot().version());
+            return Ok(self.version());
         }
-        let batch = pending.drain();
-        let previous = self.snapshot();
+        let mut scratch = self.scratch.lock().expect("scratch lock poisoned");
+        let scale = pending.drain_into(&mut scratch.overrides);
+        let previous = self.current.load();
         let mut weights = previous.weights().to_vec();
-        if batch.scale != 1.0 {
+        if scale != 1.0 {
             for w in weights.iter_mut() {
-                *w *= batch.scale;
+                *w *= scale;
             }
         }
-        for &(index, weight) in &batch.overrides {
+        for &(index, weight) in &scratch.overrides {
             weights[index] = weight;
         }
-        let version = match self.install(&previous, weights, None) {
+        let version = match self.install(&previous, weights, None, &mut scratch) {
             Ok(version) => version,
             Err(error) => {
                 // A failed build (e.g. a caller-registered backend, or
@@ -378,8 +487,8 @@ impl SelectionEngine {
                 // queue is still empty here — `pending` has been held
                 // throughout — and re-applying scale-then-overrides
                 // reproduces the drained semantics exactly.
-                pending.scale(batch.scale);
-                for &(index, weight) in &batch.overrides {
+                pending.scale(scale);
+                for &(index, weight) in &scratch.overrides {
                     pending.set(index, weight);
                 }
                 return Err(error);
@@ -407,7 +516,7 @@ impl SelectionEngine {
         if !pending.is_empty() {
             return Ok(None);
         }
-        let previous = self.snapshot();
+        let previous = self.current.load();
         let incumbent = self
             .registry
             .index_of(previous.backend())
@@ -423,7 +532,13 @@ impl SelectionEngine {
         if challenger == incumbent {
             return Ok(None);
         }
-        let version = self.install(&previous, previous.weights().to_vec(), Some(challenger))?;
+        let mut scratch = self.scratch.lock().expect("scratch lock poisoned");
+        let version = self.install(
+            &previous,
+            previous.weights().to_vec(),
+            Some(challenger),
+            &mut scratch,
+        )?;
         self.publishes.fetch_add(1, Ordering::Relaxed);
         drop(pending);
         Ok(Some(version))
@@ -457,6 +572,7 @@ impl SelectionEngine {
         previous: &Arc<Snapshot>,
         weights: Vec<f64>,
         rebalance_to: Option<usize>,
+        scratch: &mut BuildScratch,
     ) -> Result<u64, SelectionError> {
         let mid_stream = rebalance_to.is_some();
         let mut telemetry = self.telemetry.lock().expect("telemetry lock poisoned");
@@ -484,7 +600,7 @@ impl SelectionEngine {
         let backend = &self.registry.entries()[entry];
         let cost = backend.model_cost(&profile);
         let started = Instant::now();
-        let sampler = backend.build(&weights)?;
+        let sampler = backend.build_pooled(&weights, scratch)?;
         let build_ns = started.elapsed().as_nanos() as f64;
         if self.config.calibrate {
             telemetry.costs.observe_build(entry, &cost, build_ns);
@@ -515,7 +631,7 @@ impl SelectionEngine {
             self.switches_total.fetch_add(1, Ordering::Relaxed);
         }
         drop(telemetry);
-        *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+        self.current.store(Arc::new(snapshot));
         Ok(version)
     }
 

@@ -1,0 +1,334 @@
+//! A hand-rolled lock-free atomic `Arc` swap with generation-checked
+//! reclamation — the cell under [`SelectionEngine`]'s current snapshot.
+//!
+//! [`SelectionEngine`]: crate::SelectionEngine
+//!
+//! ## Why not `RwLock<Arc<T>>`
+//!
+//! The engine's read side previously cloned the current `Arc<Snapshot>`
+//! under a briefly-held `RwLock` read guard. Correct, but every reader
+//! acquisition performed two contended RMWs on the lock word *and* the lock
+//! made readers block behind a parked writer — the `engine_quick` scaling
+//! gate showed readers topping out well below linear. crates.io is not
+//! available here (no `arc-swap`), so this module implements the swap by
+//! hand on `AtomicPtr`.
+//!
+//! ## Protocol
+//!
+//! The cell stores `Arc::into_raw` of the current value in an [`AtomicPtr`]
+//! next to a monotone **generation** counter that is bumped *after* every
+//! swap. The unsafe step a reader must perform is
+//! `Arc::increment_strong_count(p)` on a pointer it loaded — which is only
+//! sound if `p` has not been dropped in between. Reclamation is deferred to
+//! make that window safe:
+//!
+//! * **Readers** ([`HotSwap::load`]) claim one of [`SLOTS`] padded hazard
+//!   slots by CAS-ing the observed generation `g` into it, then re-read the
+//!   generation until it is stable, then load the pointer and increment its
+//!   refcount, then vacate the slot. All slot/generation/pointer accesses
+//!   on this path are `SeqCst`.
+//! * **Writers** ([`HotSwap::store`]) swap the pointer, bump the
+//!   generation (`fetch_add` returning the generation `g_r` during which
+//!   the old pointer was last current), push the reconstructed old `Arc`
+//!   onto a mutex-guarded retired list tagged with `g_r`, and then reclaim
+//!   every retired entry whose tag is below the minimum generation
+//!   currently published in any slot.
+//!
+//! **Safety argument.** Suppose reader R claimed slot value `g` (and
+//! re-confirmed the generation is still `g` after the claim), then loaded
+//! pointer `P`. The writer W that retires `P` does so by a swap that must
+//! come after R's pointer load in the `SeqCst` total order (otherwise R
+//! would have loaded W's replacement); W's generation `fetch_add` follows
+//! its swap, hence follows R's generation re-check, so it returns
+//! `g_r ≥ g`. Reclaiming `P` requires every slot to be strictly above
+//! `g_r ≥ g` — but R's slot still holds `g` and is vacated only *after*
+//! the refcount increment. So `P` cannot be freed in R's window. The
+//! claim/re-check is the classic store-buffering pairing (R: store slot,
+//! load generation; W: store generation, load slots): under `SeqCst` at
+//! least one side observes the other, so a reader that raced a swap either
+//! retries with the new generation or is visible to the writer's scan.
+//!
+//! A reader that finds all slots busy falls back to incrementing under the
+//! retired-list mutex; frees also happen under that mutex and the pointer
+//! is re-loaded after acquiring it, so the fallback is trivially sound (and
+//! only reachable under > [`SLOTS`] *simultaneous* acquisitions — steady
+//! state readers hit the engine's thread-local snapshot cache and acquire
+//! rarely).
+//!
+//! The module is the one place in `lrb-engine` allowed to use `unsafe`
+//! (`Arc::into_raw` / `from_raw` / `increment_strong_count`); everything
+//! else in the crate stays `#![deny(unsafe_code)]`-clean.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Pads (and aligns) a value to a cache line, so two hazard slots — or two
+/// shards of a counter — can never produce false sharing.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+pub(crate) struct CachePadded<T>(pub T);
+
+/// Number of hazard slots. Bounds the number of *simultaneous* lock-free
+/// pointer acquisitions, not the number of reader threads: acquisitions
+/// outside the slots take the (correct, slower) mutex fallback.
+pub(crate) const SLOTS: usize = 64;
+
+/// Slot value meaning "no acquisition in flight".
+const VACANT: u64 = u64::MAX;
+
+/// A lock-free swappable `Arc<T>` cell. See the module docs for the
+/// protocol and its safety argument.
+pub(crate) struct HotSwap<T> {
+    /// `Arc::into_raw` of the current value.
+    ptr: AtomicPtr<T>,
+    /// Generation of the current value; bumped after every swap. Readers
+    /// use it both as the hazard tag and as a cheap "has anything changed"
+    /// probe for snapshot caching (the counter mutates only on publish, so
+    /// polling it does not bounce the line the way a lock word would).
+    generation: AtomicU64,
+    /// Hazard slots: the generation each in-flight acquisition observed.
+    slots: Box<[CachePadded<AtomicU64>]>,
+    /// Values swapped out but possibly still being acquired, tagged with
+    /// the generation during which each was last current. The `Arc` is the
+    /// list's owning reference, dropped on reclaim.
+    retired: Mutex<Vec<(u64, Arc<T>)>>,
+}
+
+impl<T> HotSwap<T> {
+    /// A cell currently holding `value`, at generation 0.
+    pub(crate) fn new(value: Arc<T>) -> Self {
+        let slots: Vec<CachePadded<AtomicU64>> = (0..SLOTS)
+            .map(|_| CachePadded(AtomicU64::new(VACANT)))
+            .collect();
+        Self {
+            ptr: AtomicPtr::new(Arc::into_raw(value) as *mut T),
+            generation: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current generation (0 until the first [`store`](HotSwap::store);
+    /// strictly monotone). A relaxed read — callers use it to decide
+    /// whether a cached `Arc` is still current.
+    #[inline]
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Acquire the current value. Lock-free whenever a hazard slot is
+    /// available; never blocks behind a writer.
+    pub(crate) fn load(&self) -> Arc<T> {
+        // Claim any vacant hazard slot with the generation we observe.
+        for slot in self.slots.iter() {
+            let mut g = self.generation.load(Ordering::SeqCst);
+            if slot
+                .0
+                .compare_exchange(VACANT, g, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // Re-confirm: our published tag must match the generation, or a
+            // concurrent writer may already have scanned past us. Repeat
+            // until stable (bounded by writer progress).
+            loop {
+                let now = self.generation.load(Ordering::SeqCst);
+                if now == g {
+                    break;
+                }
+                g = now;
+                slot.0.store(g, Ordering::SeqCst);
+            }
+            let p = self.ptr.load(Ordering::SeqCst);
+            // SAFETY: `p` was stored by `Arc::into_raw` and, per the module
+            // safety argument, cannot have been reclaimed while our slot
+            // publishes a generation at or below its retirement tag.
+            let value = unsafe {
+                Arc::increment_strong_count(p);
+                Arc::from_raw(p)
+            };
+            slot.0.store(VACANT, Ordering::Release);
+            return value;
+        }
+        // All slots busy: acquire under the reclaim mutex instead. Frees
+        // only happen while this mutex is held, and the pointer is loaded
+        // after we hold it, so the increment below cannot race a drop.
+        let guard = self.retired.lock().expect("retired list poisoned");
+        let p = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: see the comment above — reclamation is mutually excluded
+        // for the lifetime of `guard`.
+        let value = unsafe {
+            Arc::increment_strong_count(p);
+            Arc::from_raw(p)
+        };
+        drop(guard);
+        value
+    }
+
+    /// Publish a new value, retiring the old one. Returns the generation of
+    /// the **new** value. Safe under concurrent stores (each swapped-out
+    /// pointer is retired exactly once, tagged at or above the generation
+    /// any in-flight reader could have used to acquire it).
+    pub(crate) fn store(&self, value: Arc<T>) -> u64 {
+        let new_raw = Arc::into_raw(value) as *mut T;
+        let old_raw = self.ptr.swap(new_raw, Ordering::SeqCst);
+        let retired_gen = self.generation.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: `old_raw` came from `Arc::into_raw` (at construction or a
+        // previous store) and the swap above removed the cell's claim on
+        // it; reconstructing transfers that single ownership to the
+        // retired list.
+        let old = unsafe { Arc::from_raw(old_raw) };
+        let mut retired = self.retired.lock().expect("retired list poisoned");
+        retired.push((retired_gen, old));
+        self.reclaim(&mut retired);
+        retired_gen + 1
+    }
+
+    /// Drop every retired value no in-flight acquisition can still reach.
+    fn reclaim(&self, retired: &mut Vec<(u64, Arc<T>)>) {
+        let min_active = self
+            .slots
+            .iter()
+            .map(|slot| slot.0.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(VACANT);
+        // An entry retired at generation g is reachable only by slots at or
+        // below g; it is safe exactly when every active slot is above it.
+        retired.retain(|&(generation, _)| generation >= min_active);
+    }
+
+    /// Number of retired-but-not-yet-reclaimed values (telemetry/tests).
+    #[cfg(test)]
+    fn retired_len(&self) -> usize {
+        self.retired.lock().expect("retired list poisoned").len()
+    }
+}
+
+impl<T> Drop for HotSwap<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access (`&mut self`); the cell holds exactly
+        // one reference to the current pointer, reconstructed and dropped
+        // here. Retired entries drop with the Vec.
+        unsafe {
+            drop(Arc::from_raw(self.ptr.load(Ordering::SeqCst)));
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for HotSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HotSwap")
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counts live instances so the tests can prove nothing leaks and
+    /// nothing double-frees.
+    struct Tracked {
+        id: u64,
+        live: &'static AtomicUsize,
+    }
+
+    impl Tracked {
+        fn new(id: u64, live: &'static AtomicUsize) -> Self {
+            live.fetch_add(1, Ordering::SeqCst);
+            Self { id, live }
+        }
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn load_returns_the_current_value_and_store_advances_generations() {
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        {
+            let cell = HotSwap::new(Arc::new(Tracked::new(0, &LIVE)));
+            assert_eq!(cell.generation(), 0);
+            assert_eq!(cell.load().id, 0);
+            let g1 = cell.store(Arc::new(Tracked::new(1, &LIVE)));
+            assert_eq!(g1, 1);
+            assert_eq!(cell.generation(), 1);
+            assert_eq!(cell.load().id, 1);
+            // No reader holds the old value: it must already be reclaimed.
+            assert_eq!(cell.retired_len(), 0);
+            assert_eq!(LIVE.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0, "drop leaked a value");
+    }
+
+    #[test]
+    fn held_arcs_survive_any_number_of_stores() {
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        let cell = HotSwap::new(Arc::new(Tracked::new(0, &LIVE)));
+        let held = cell.load();
+        for id in 1..=100 {
+            cell.store(Arc::new(Tracked::new(id, &LIVE)));
+        }
+        assert_eq!(held.id, 0, "held value mutated or freed");
+        assert_eq!(cell.load().id, 100);
+        drop(held);
+        // The cell only tracks the current value plus retirees; the held
+        // Arc's refcount kept value 0 alive independently of the list.
+        assert!(LIVE.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_never_tear_or_leak() {
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        {
+            let cell = HotSwap::new(Arc::new(Tracked::new(0, &LIVE)));
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let cell = &cell;
+                    scope.spawn(move || {
+                        let mut last_seen = 0u64;
+                        for _ in 0..2_000 {
+                            let value = cell.load();
+                            // Values only move forward.
+                            assert!(value.id >= last_seen, "went backwards");
+                            last_seen = value.id;
+                        }
+                    });
+                }
+                let cell = &cell;
+                scope.spawn(move || {
+                    for id in 1..=500 {
+                        cell.store(Arc::new(Tracked::new(id, &LIVE)));
+                    }
+                });
+            });
+            assert_eq!(cell.load().id, 500);
+        }
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0, "leak or double-free");
+    }
+
+    #[test]
+    fn generation_is_monotone_under_concurrent_stores() {
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        let cell = HotSwap::new(Arc::new(Tracked::new(0, &LIVE)));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cell = &cell;
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        cell.store(Arc::new(Tracked::new(t * 1_000 + i, &LIVE)));
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.generation(), 800);
+    }
+}

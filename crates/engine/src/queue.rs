@@ -31,6 +31,10 @@ pub(crate) struct CoalescingQueue {
 
 /// Everything the engine needs to build the next snapshot from the previous
 /// weights: `new_w[i] = overrides[i]` if present, else `old_w[i] · scale`.
+/// (The engine itself drains through
+/// [`drain_into`](CoalescingQueue::drain_into) into pooled buffers; this
+/// owned form remains for tests.)
+#[cfg(test)]
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct DrainedBatch {
     pub scale: f64,
@@ -66,15 +70,24 @@ impl CoalescingQueue {
     }
 
     /// Take the batch, leaving the queue empty.
+    #[cfg(test)]
     pub fn drain(&mut self) -> DrainedBatch {
-        let mut overrides: Vec<(usize, f64)> = self.overrides.drain().collect();
-        overrides.sort_unstable_by_key(|&(index, _)| index);
-        let batch = DrainedBatch {
-            scale: self.scale,
-            overrides,
-        };
+        let mut overrides = Vec::new();
+        let scale = self.drain_into(&mut overrides);
+        DrainedBatch { scale, overrides }
+    }
+
+    /// Take the batch into a caller-pooled override buffer (cleared first),
+    /// returning the folded scale. Allocation-free once `out` and the
+    /// internal map have reached the workload's high-water capacity — this
+    /// is the publish-path entry point.
+    pub fn drain_into(&mut self, out: &mut Vec<(usize, f64)>) -> f64 {
+        out.clear();
+        out.extend(self.overrides.drain());
+        out.sort_unstable_by_key(|&(index, _)| index);
+        let scale = self.scale;
         self.scale = 1.0;
-        batch
+        scale
     }
 }
 

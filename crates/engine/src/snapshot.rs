@@ -6,11 +6,13 @@
 //! same `Arc<Snapshot>` without coordination, and a reader that keeps an old
 //! snapshot keeps sampling the exact distribution it observed — publication
 //! of newer versions cannot tear its draws. Readers fill whole buffers
-//! lock-free through [`sample_into`](Snapshot::sample_into); the only shared
-//! state a draw touches is a relaxed served-draws counter, which is what
-//! feeds the engine's draws-per-publish telemetry.
+//! lock-free through [`sample_into`](Snapshot::sample_into); the only
+//! shared state a draw touches is the served-draws telemetry (which feeds
+//! the engine's draws-per-publish estimate), and even that is sharded into
+//! per-reader cache-padded cells so concurrent readers do not bounce a
+//! counter line between cores.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use lrb_core::batch::BatchDriver;
@@ -19,6 +21,23 @@ use lrb_core::traits::FrozenSampler;
 use lrb_rng::RandomSource;
 
 use crate::backend::FrozenBackend;
+use crate::hot_swap::CachePadded;
+
+/// Shards of the served-draws counter. A power of two; each reader thread
+/// is pinned to one shard, so concurrent readers recording telemetry touch
+/// (with high probability) distinct cache lines instead of bouncing a
+/// single hot `fetch_add` line between cores on every buffer.
+const SERVED_SHARDS: usize = 16;
+
+/// Monotone reader-thread enumerator feeding the shard assignment.
+static NEXT_READER: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's served-counter shard (assigned round-robin on first
+    /// use, so up to [`SERVED_SHARDS`] concurrent readers get private
+    /// cells).
+    static READER_SHARD: usize = NEXT_READER.fetch_add(1, Ordering::Relaxed) % SERVED_SHARDS;
+}
 
 /// One immutable published state of the engine: a version number, the frozen
 /// weights, and a backend-built sampler ready to draw with exact
@@ -29,8 +48,9 @@ pub struct Snapshot {
     weights: Vec<f64>,
     total: f64,
     sampler: Box<dyn FrozenSampler>,
-    /// Draws served from this snapshot (relaxed; telemetry only).
-    served: AtomicU64,
+    /// Draws served from this snapshot (relaxed; telemetry only), sharded
+    /// into per-reader cells so recording never bounces a shared line.
+    served: Box<[CachePadded<AtomicU64>]>,
 }
 
 impl Snapshot {
@@ -54,13 +74,16 @@ impl Snapshot {
     ) -> Self {
         assert!(!weights.is_empty(), "snapshots cover at least one category");
         let total: f64 = weights.iter().sum();
+        let served: Vec<CachePadded<AtomicU64>> = (0..SERVED_SHARDS)
+            .map(|_| CachePadded(AtomicU64::new(0)))
+            .collect();
         Self {
             version,
             backend,
             weights,
             total,
             sampler,
-            served: AtomicU64::new(0),
+            served: served.into_boxed_slice(),
         }
     }
 
@@ -101,9 +124,20 @@ impl Snapshot {
         self.total
     }
 
-    /// Draws served from this snapshot so far (telemetry; relaxed reads).
+    /// Draws served from this snapshot so far (telemetry; relaxed reads,
+    /// summed over the per-reader shards).
     pub fn served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.served
+            .iter()
+            .map(|cell| cell.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Record `draws` served draws into this thread's shard.
+    #[inline]
+    fn record_served(&self, draws: u64) {
+        let shard = READER_SHARD.with(|s| *s);
+        self.served[shard].0.fetch_add(draws, Ordering::Relaxed);
     }
 
     /// The exact selection probabilities `F_i = w_i / Σ w_j` (all zeros when
@@ -118,7 +152,7 @@ impl Snapshot {
     /// Draw one index with probability exactly `w_i / Σ w_j`.
     pub fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
         let index = self.sampler.sample(rng)?;
-        self.served.fetch_add(1, Ordering::Relaxed);
+        self.record_served(1);
         Ok(index)
     }
 
@@ -132,7 +166,7 @@ impl Snapshot {
         out: &mut [usize],
     ) -> Result<(), SelectionError> {
         self.sampler.sample_into(rng, out)?;
-        self.served.fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.record_served(out.len() as u64);
         Ok(())
     }
 
@@ -161,7 +195,7 @@ impl Snapshot {
         let indices = BatchDriver::new().drive_indices(master_seed, trials, |rng, out| {
             self.sampler.sample_into(rng, out)
         })?;
-        self.served.fetch_add(trials, Ordering::Relaxed);
+        self.record_served(trials);
         Ok(indices)
     }
 

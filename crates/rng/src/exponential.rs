@@ -126,6 +126,7 @@ pub enum ExponentialSampler {
 
 impl ExponentialSampler {
     /// Draw one standard-exponential variate with this sampler.
+    #[inline]
     pub fn sample<R: RandomSource + ?Sized>(self, rng: &mut R) -> f64 {
         match self {
             ExponentialSampler::InverseCdf => standard_exponential(rng),
@@ -134,6 +135,7 @@ impl ExponentialSampler {
     }
 
     /// Draw an exponential variate with the given rate.
+    #[inline]
     pub fn sample_rate<R: RandomSource + ?Sized>(self, rng: &mut R, rate: f64) -> f64 {
         assert!(rate > 0.0 && rate.is_finite());
         self.sample(rng) / rate

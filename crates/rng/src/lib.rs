@@ -56,7 +56,7 @@ pub use exponential::{standard_exponential, ExponentialSampler};
 pub use mt19937::MersenneTwister;
 pub use mt19937_64::MersenneTwister64;
 pub use pcg::{Pcg32, Pcg64};
-pub use philox::Philox4x32;
+pub use philox::{Philox4x32, PhiloxBlock};
 pub use splitmix64::SplitMix64;
 pub use streams::{spawn_streams, StreamFamily};
 pub use traits::{RandomSource, SeedableSource};

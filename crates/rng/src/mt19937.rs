@@ -128,10 +128,12 @@ impl MersenneTwister {
 }
 
 impl RandomSource for MersenneTwister {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         self.next_u32_mt()
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         // Two tempered 32-bit words; high word drawn first so that the
         // sequence of u64s is a deterministic function of the reference

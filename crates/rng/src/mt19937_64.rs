@@ -122,6 +122,7 @@ impl MersenneTwister64 {
 }
 
 impl RandomSource for MersenneTwister64 {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         self.next_u64_mt()
     }

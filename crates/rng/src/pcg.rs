@@ -56,10 +56,12 @@ impl Pcg32 {
 }
 
 impl RandomSource for Pcg32 {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         self.next_u32_pcg()
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         let hi = self.next_u32_pcg() as u64;
         let lo = self.next_u32_pcg() as u64;

@@ -42,6 +42,7 @@ impl SplitMix64 {
 }
 
 impl RandomSource for SplitMix64 {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
         SplitMix64::mix64(self.state)

@@ -20,6 +20,7 @@ pub trait RandomSource {
     /// The default takes the high half of [`next_u64`](RandomSource::next_u64)
     /// because for some generator families (notably xoshiro) the high bits are
     /// of better quality than the low bits.
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
@@ -30,6 +31,7 @@ pub trait RandomSource {
     /// strategy as the Mersenne Twister reference `genrand_res53` and rand's
     /// `Standard` distribution: every representable value is a multiple of
     /// 2⁻⁵³ and `1.0` is never returned.
+    #[inline]
     fn next_f64(&mut self) -> f64 {
         uniform::f64_from_bits_53(self.next_u64())
     }
@@ -38,6 +40,7 @@ pub trait RandomSource {
     ///
     /// Useful wherever a logarithm of the variate is taken (the logarithmic
     /// random bidding does `ln(u)`), because it can never produce `ln(0)`.
+    #[inline]
     fn next_f64_open(&mut self) -> f64 {
         uniform::f64_open_open(self.next_u64())
     }
@@ -46,6 +49,7 @@ pub trait RandomSource {
     ///
     /// Uses Lemire's multiply-shift rejection method; unbiased for every
     /// `bound > 0`. Panics if `bound == 0`.
+    #[inline]
     fn next_u64_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "next_u64_below requires a positive bound");
         uniform::u64_below(self, bound)
@@ -66,30 +70,38 @@ pub trait RandomSource {
 }
 
 impl<R: RandomSource + ?Sized> RandomSource for &mut R {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
     }
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (**self).next_u32()
     }
+    #[inline]
     fn next_f64(&mut self) -> f64 {
         (**self).next_f64()
     }
+    #[inline]
     fn next_f64_open(&mut self) -> f64 {
         (**self).next_f64_open()
     }
 }
 
 impl<R: RandomSource + ?Sized> RandomSource for Box<R> {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
     }
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (**self).next_u32()
     }
+    #[inline]
     fn next_f64(&mut self) -> f64 {
         (**self).next_f64()
     }
+    #[inline]
     fn next_f64_open(&mut self) -> f64 {
         (**self).next_f64_open()
     }

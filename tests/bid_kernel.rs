@@ -1,0 +1,175 @@
+//! Integration tests for the block-Philox bid kernel (bid-stream layout
+//! v2): chi-square exactness on the paper's fitness vectors, thread-count
+//! invariance of the rayon path, the pinned layout contract, and
+//! draw-for-draw agreement between the selector's one-shot and buffer
+//! entry points.
+
+mod support;
+
+use lrb_core::batch::batch_select_counts;
+use lrb_core::parallel::bid_kernel::{reference_bid, STREAM_LAYOUT_VERSION};
+use lrb_core::parallel::{ParallelLogBiddingSelector, PerIndexLogBiddingSelector};
+use lrb_core::{Fitness, Selector};
+use lrb_rng::{MersenneTwister64, Philox4x32, RandomSource, SeedableSource};
+use rayon::ThreadPoolBuilder;
+use support::assert_exact;
+
+/// Tabulate `trials` one-shot selections driven by one sequential caller
+/// generator (the non-batched path, exercising `select`).
+fn tabulate(selector: &dyn Selector, fitness: &Fitness, trials: usize, seed: u64) -> Vec<u64> {
+    let mut rng = MersenneTwister64::seed_from_u64(seed);
+    let mut counts = vec![0u64; fitness.len()];
+    for _ in 0..trials {
+        counts[selector.select(fitness, &mut rng).unwrap()] += 1;
+    }
+    counts
+}
+
+#[test]
+fn block_kernel_is_exact_on_table1() {
+    let fitness = Fitness::table1();
+    let counts = tabulate(
+        &ParallelLogBiddingSelector::default(),
+        &fitness,
+        120_000,
+        11,
+    );
+    assert_eq!(counts[0], 0, "zero-fitness index must never be selected");
+    assert_exact("block kernel on Table I", &counts, fitness.values());
+}
+
+#[test]
+fn block_kernel_is_exact_on_table2() {
+    // Table II's point: the smallest probability (~0.005) must still be
+    // served at its exact rate.
+    let fitness = Fitness::table2();
+    let counts = tabulate(
+        &ParallelLogBiddingSelector::default(),
+        &fitness,
+        120_000,
+        13,
+    );
+    assert!(counts[0] > 0, "the rare index must appear");
+    assert_exact("block kernel on Table II", &counts, fitness.values());
+}
+
+#[test]
+fn block_kernel_is_exact_through_the_batch_driver() {
+    // The batched path (select_into under BatchDriver substreams) must be
+    // just as exact as the select loop.
+    let fitness = Fitness::table1();
+    let batch = batch_select_counts(
+        &ParallelLogBiddingSelector::default(),
+        &fitness,
+        120_000,
+        17,
+    )
+    .unwrap();
+    assert_exact(
+        "block kernel batched on Table I",
+        batch.counts(),
+        fitness.values(),
+    );
+}
+
+#[test]
+fn block_and_per_index_paths_draw_the_same_distribution() {
+    // Layouts v1 and v2 consume different uniforms but must induce the
+    // identical exact distribution.
+    let fitness = Fitness::new((1..=50).map(|i| ((i * 3) % 7 + 1) as f64).collect()).unwrap();
+    let block = tabulate(&ParallelLogBiddingSelector::default(), &fitness, 80_000, 19);
+    let per_index = tabulate(&PerIndexLogBiddingSelector::default(), &fitness, 80_000, 23);
+    assert_exact("block kernel", &block, fitness.values());
+    assert_exact("per-index reference", &per_index, fitness.values());
+}
+
+#[test]
+fn selection_is_invariant_across_thread_counts() {
+    // The rayon path's chunking is fixed, so the selected sequence is a
+    // pure function of the caller stream — at any thread budget.
+    let fitness = Fitness::new((0..20_000).map(|i| ((i % 29) + 1) as f64).collect()).unwrap();
+    let selector = ParallelLogBiddingSelector {
+        sequential_cutoff: 0,
+    };
+    let run = |threads: usize| -> Vec<usize> {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let mut rng = MersenneTwister64::seed_from_u64(404);
+            (0..50)
+                .map(|_| selector.select(&fitness, &mut rng).unwrap())
+                .collect()
+        })
+    };
+    let reference = run(1);
+    for threads in [2, 3, 8] {
+        assert_eq!(run(threads), reference, "{threads} threads diverged");
+    }
+}
+
+#[test]
+fn select_into_agrees_with_a_select_loop_draw_for_draw() {
+    // The consumption contract: one master next_u64 per selection, so the
+    // buffer fill and the one-at-a-time loop agree on equal seeds.
+    let fitness = Fitness::new((0..300).map(|i| ((i * 5) % 11) as f64).collect()).unwrap();
+    let selector = ParallelLogBiddingSelector::default();
+    for seed in 0..20 {
+        let mut rng_loop = Philox4x32::for_substream(99, seed);
+        let mut rng_fill = Philox4x32::for_substream(99, seed);
+        let mut filled = vec![0usize; 64];
+        selector
+            .select_into(&fitness, &mut rng_fill, &mut filled)
+            .unwrap();
+        for (t, &got) in filled.iter().enumerate() {
+            assert_eq!(
+                got,
+                selector.select(&fitness, &mut rng_loop).unwrap(),
+                "seed {seed} diverged at draw {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_layout_v2_is_pinned_to_the_sequential_philox_stream() {
+    // The layout contract, asserted against raw Philox words: index j's
+    // uniform is the j-th next_u64 of Philox4x32::with_key(master). A
+    // change to the kernel's internal chunking must not move these bids.
+    assert_eq!(STREAM_LAYOUT_VERSION, 2);
+    let master = 0xC0FFEE;
+    let mut stream = Philox4x32::with_key(master);
+    for index in 0..64usize {
+        let word = stream.next_u64();
+        let expected = lrb_rng::uniform::f64_open_open(word).ln() / 2.5;
+        assert_eq!(reference_bid(master, index, 2.5), expected, "index {index}");
+    }
+}
+
+#[test]
+fn kernel_winner_matches_the_reference_bids() {
+    // End to end: the selector's winner must be the argmax of the oracle
+    // bids for the master its caller stream produced.
+    let fitness = Fitness::new((0..2_000).map(|i| ((i % 17) + 1) as f64).collect()).unwrap();
+    let selector = ParallelLogBiddingSelector {
+        sequential_cutoff: 0,
+    };
+    for seed in 0..10u64 {
+        // The selector consumes exactly one u64 as master.
+        let mut caller = MersenneTwister64::seed_from_u64(seed);
+        let master = {
+            let mut probe = MersenneTwister64::seed_from_u64(seed);
+            probe.next_u64()
+        };
+        let chosen = selector.select(&fitness, &mut caller).unwrap();
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (j, &f) in fitness.values().iter().enumerate() {
+            let bid = reference_bid(master, j, f);
+            if bid > best.0 || (bid == best.0 && j > best.1) {
+                best = (bid, j);
+            }
+        }
+        assert_eq!(chosen, best.1, "seed {seed}");
+    }
+}
