@@ -1,0 +1,155 @@
+//! Quick perf-smoke gate for incremental snapshot publishes.
+//!
+//! ```text
+//! cargo run -p lrb-bench --release --bin publish_quick \
+//!     [-- --gate-n 65536 --gate-dirty 0.01 --min-speedup 5.0 --json 1]
+//! ```
+//!
+//! Sweeps publish latency over `n × dirty-fraction × backend`, comparing a
+//! full snapshot rebuild ([`FrozenBackend::build_pooled`] over the folded
+//! weights) against the incremental patch path
+//! ([`FrozenBackend::try_patch`]: Fenwick point updates on a pooled copy,
+//! stochastic-acceptance `O(d)` aggregate maintenance; the alias table has
+//! no patch path — its rebuild classifies the Vose worklists with rayon
+//! `par_chunks` instead). An end-to-end engine section records
+//! `SelectionEngine::publish` latency under `PatchPolicy::Never` versus
+//! `Always`.
+//!
+//! Exits non-zero when the Fenwick patch speedup at `--gate-n` /
+//! `--gate-dirty` falls below `--min-speedup`. The gate is **enforced on
+//! every host** — it compares two single-thread code paths doing the same
+//! logical work, so it needs no cores and no SIMD; only a pathologically
+//! noisy machine could flip it. The `--json 1` report is the
+//! `BENCH_publish.json` baseline.
+//!
+//! [`FrozenBackend::build_pooled`]: lrb_engine::FrozenBackend::build_pooled
+//! [`FrozenBackend::try_patch`]: lrb_engine::FrozenBackend::try_patch
+
+use lrb_bench::cli::{Options, OrExit};
+use lrb_bench::publish_workload::{
+    bench_backend_publish, bench_engine_publish, BackendPublishReport, EnginePublishReport,
+};
+use lrb_engine::{BackendRegistry, PatchPolicy};
+use serde::Serialize;
+
+/// The machine-readable report (`--json 1`), recorded as the
+/// `BENCH_publish.json` baseline.
+#[derive(Debug, Serialize)]
+struct QuickReport {
+    host_threads: u64,
+    gate_n: u64,
+    gate_dirty: f64,
+    min_speedup: f64,
+    speedup: f64,
+    gate_enforced: bool,
+    sweep: Vec<BackendPublishReport>,
+    engine: Vec<EnginePublishReport>,
+}
+
+fn main() {
+    let options = Options::from_env();
+    let gate_n = options.usize_or("gate-n", 1 << 16).or_exit();
+    let gate_dirty = options.f64_or("gate-dirty", 0.01).or_exit();
+    let min_speedup = options.f64_or("min-speedup", 5.0).or_exit();
+    let budget = options.u64_or("budget", 1 << 23).or_exit();
+    let rounds = options.usize_or("rounds", 64).or_exit();
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let registry = BackendRegistry::standard();
+
+    println!(
+        "publish_quick: full rebuild vs incremental patch per backend, \
+         host threads = {host_threads}\n"
+    );
+
+    let mut sizes = vec![1 << 12, 1 << 16, 1 << 18];
+    if !sizes.contains(&gate_n) {
+        sizes.push(gate_n);
+        sizes.sort_unstable();
+    }
+    let dirty_fractions = [0.001, 0.01, 0.1];
+    let mut sweep = Vec::new();
+    for &n in &sizes {
+        for &dirty in &dirty_fractions {
+            for backend in registry.entries() {
+                let report = bench_backend_publish(backend, n, dirty, false, budget);
+                let patch = match (report.patch_us, report.speedup) {
+                    (Some(p), Some(s)) => format!("patch {p:>9.1} us   {s:>5.2}x"),
+                    _ => "patch      (none)".to_string(),
+                };
+                println!(
+                    "  n = 2^{:<2} dirty {:>5.1}%  {:<22} rebuild {:>9.1} us   {patch}",
+                    (n as f64).log2() as u32,
+                    dirty * 100.0,
+                    report.backend,
+                    report.rebuild_us,
+                );
+                sweep.push(report);
+            }
+        }
+        // One evaporation-fold row per size for the record (scale ≠ 1 adds
+        // a multiply pass to every patch).
+        for backend in registry.entries() {
+            sweep.push(bench_backend_publish(backend, n, 0.01, true, budget));
+        }
+    }
+
+    let gate_row = sweep
+        .iter()
+        .find(|r| {
+            r.backend == "fenwick"
+                && r.n == gate_n as u64
+                && !r.scaled
+                && r.dirty == ((gate_n as f64 * gate_dirty) as u64).max(1)
+        })
+        .expect("gate point is in the sweep");
+    let speedup = gate_row.speedup.expect("fenwick has a patch path");
+
+    println!(
+        "\nend-to-end engine publish (fenwick, n = {gate_n}, {:.1}% dirty):",
+        gate_dirty * 100.0
+    );
+    let mut engine = Vec::new();
+    for policy in [PatchPolicy::Never, PatchPolicy::Always] {
+        let report = bench_engine_publish(gate_n, gate_dirty, policy, rounds);
+        println!(
+            "  policy {:<7} {:>9.1} us/publish   ({} of {} patched)",
+            report.policy, report.publish_us, report.patched, report.rounds
+        );
+        engine.push(report);
+    }
+
+    // Two single-thread code paths doing the same logical work: the gate
+    // needs neither cores nor SIMD, so it is enforced everywhere.
+    let gate_enforced = true;
+    println!(
+        "\nfenwick patch vs rebuild at n = {gate_n}, {:.1}% dirty: {speedup:.2}x \
+         (gate: >= {min_speedup}x, enforced)",
+        gate_dirty * 100.0
+    );
+
+    if options.contains("json") {
+        let report = QuickReport {
+            host_threads: host_threads as u64,
+            gate_n: gate_n as u64,
+            gate_dirty,
+            min_speedup,
+            speedup,
+            gate_enforced,
+            sweep,
+            engine,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serialisation cannot fail")
+        );
+    }
+
+    if speedup < min_speedup {
+        eprintln!("FAIL: expected the fenwick patch to be >= {min_speedup}x a full rebuild");
+        std::process::exit(1);
+    }
+    println!("OK");
+}

@@ -133,6 +133,7 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
             expected_draws_per_publish: (config.samples_per_update
                 * config.updates_per_publish.max(1)) as f64,
             calibrate: config.calibrate,
+            ..EngineConfig::default()
         },
     )
     .expect("driver weights are valid");
@@ -322,6 +323,8 @@ pub struct CostConstantsReport {
     pub build_ns_per_op: f64,
     /// EWMA nanoseconds per abstract draw op.
     pub draw_ns_per_op: f64,
+    /// EWMA nanoseconds per abstract incremental-patch op.
+    pub patch_ns_per_op: f64,
 }
 
 /// Outcome of [`run_skew_shift`].
@@ -378,6 +381,7 @@ pub fn run_skew_shift(config: &SkewShiftConfig) -> SkewShiftReport {
             backend: BackendChoice::Auto,
             expected_draws_per_publish: config.trials as f64,
             calibrate: config.calibrate,
+            ..EngineConfig::default()
         },
     )
     .expect("scenario weights are valid");
@@ -460,6 +464,7 @@ pub fn run_skew_shift(config: &SkewShiftConfig) -> SkewShiftReport {
                 backend: c.backend.to_string(),
                 build_ns_per_op: c.build_ns_per_op,
                 draw_ns_per_op: c.draw_ns_per_op,
+                patch_ns_per_op: c.patch_ns_per_op,
             })
             .collect(),
         observed_draws_per_publish: engine.observed_draws_per_publish(),

@@ -29,6 +29,7 @@ pub mod cli;
 pub mod dynamic_workload;
 pub mod engine_workload;
 pub mod probability_table;
+pub mod publish_workload;
 pub mod selector_workload;
 pub mod theorem1;
 

@@ -40,6 +40,39 @@ pub fn bench_fitness(n: usize) -> Fitness {
     Fitness::new((0..n).map(|i| ((i * 7) % 13 + 1) as f64).collect()).expect("weights are valid")
 }
 
+/// Time `draws` one-shot selections as a [`Selector::select`] loop — one
+/// master draw and one full kernel pass per selection. This is the per-draw
+/// baseline the fused batch path is gated against (it is exactly what
+/// `select_into` compiled to before the fused kernel existed).
+pub fn bench_selector_per_draw(
+    selector: &dyn Selector,
+    fitness: &Fitness,
+    draws: u64,
+    seed: u64,
+) -> SelectorReport {
+    let mut rng = Philox4x32::for_substream(seed, 0);
+    let mut out = vec![0usize; draws as usize];
+    let _ = selector
+        .select(fitness, &mut rng)
+        .expect("bench fitness has positive mass");
+    let started = Instant::now();
+    for slot in out.iter_mut() {
+        *slot = selector
+            .select(fitness, &mut rng)
+            .expect("bench fitness has positive mass");
+    }
+    let duration_s = started.elapsed().as_secs_f64();
+    std::hint::black_box(&out);
+    SelectorReport {
+        selector: selector.name().to_string(),
+        n: fitness.len() as u64,
+        draws,
+        duration_s,
+        selects_per_sec: draws as f64 / duration_s.max(1e-9),
+        ns_per_select: duration_s * 1e9 / draws.max(1) as f64,
+    }
+}
+
 /// Time `draws` one-shot selections through `selector.select_into` (one
 /// buffer fill — the tight-loop entry point callers should use), driven by
 /// a deterministic Philox stream.

@@ -55,9 +55,36 @@
 //! (`select` loops, `select_into` buffers, the `BatchDriver`) are unchanged
 //! between versions; only the internal bid-stream derivation differs — that
 //! is the consumption contract the draw-for-draw proptests pin.
+//!
+//! ## The fused multi-draw path
+//!
+//! A *batch* of selections through the per-draw kernel streams the fitness
+//! array once per draw: at `n = 2²⁰` that is 8 MiB of memory traffic per
+//! selection, and the Philox chain of each draw runs latency-bound on its
+//! ten serial rounds. The fused `select_many_block` kernel removes both
+//! costs by
+//! register-blocking [`FUSED_WIDTH`] = 8 draws into **one pass**: each
+//! chunk
+//! of the fitness array is loaded once and tested against eight independent
+//! bid streams, whose uniforms are generated eight-streams-at-a-time by
+//! [`lrb_rng::PhiloxMulti8`] (the same round executed across
+//! eight key schedules — straight-line data parallelism that vectorises
+//! under AVX-512/AVX2 and pipelines even in scalar form), while eight
+//! running maxima sit in registers behind a row-wide lazy-`ln` filter.
+//!
+//! **The stream layout does not change**: [`STREAM_LAYOUT_VERSION`] stays
+//! at 2, because fused draw `m` reads exactly the v2 stream keyed by its
+//! own master draw — word `j` of the sequential Philox stream for index
+//! `j`. The fused path consumes one caller `next_u64` per selection (the
+//! masters are drawn up front, in slot order) and elects the same winners,
+//! so `select_many(M)` is bit-identical, draw for draw, to `M` sequential
+//! [`select`](crate::traits::Selector::select) calls on the same caller
+//! generator — the property the fused proptests pin. Batches whose length
+//! is not a multiple of eight pad the last group with duplicate lanes whose
+//! results are discarded; padding consumes no caller randomness.
 
 use lrb_rng::uniform::f64_open_open;
-use lrb_rng::PhiloxBlock;
+use lrb_rng::{PhiloxBlock, PhiloxMulti8, SimdTier};
 use rayon::prelude::*;
 
 use crate::parallel::max_by_key_then_index;
@@ -151,6 +178,343 @@ pub(crate) fn select_block(values: &[f64], master: u64, parallel: bool) -> usize
     best.1
 }
 
+/// Draws register-blocked per fused pass (equals
+/// [`lrb_rng::MULTI_WIDTH`]): eight running maxima ride one sweep of the
+/// fitness array.
+pub const FUSED_WIDTH: usize = lrb_rng::MULTI_WIDTH;
+
+/// One fused group's running state: eight `(bid, index)` maxima plus the
+/// slack-inflated filter thresholds derived from them (`thresh = best ·
+/// FILTER_SLACK`, kept separately so the row filter is one multiply per
+/// lane).
+#[derive(Debug, Clone, Copy)]
+struct FusedLanes {
+    best: [(f64, usize); FUSED_WIDTH],
+    thresh: [f64; FUSED_WIDTH],
+}
+
+impl FusedLanes {
+    fn identity() -> Self {
+        Self {
+            best: [(f64::NEG_INFINITY, usize::MAX); FUSED_WIDTH],
+            thresh: [f64::NEG_INFINITY; FUSED_WIDTH],
+        }
+    }
+
+    /// Lane-wise argmax merge (associative; used by the rayon reduction).
+    fn merge(mut self, other: Self) -> Self {
+        for m in 0..FUSED_WIDTH {
+            self.best[m] = max_by_key_then_index(self.best[m], other.best[m]);
+            self.thresh[m] = self.best[m].0 * FILTER_SLACK;
+        }
+        self
+    }
+}
+
+/// The sequential fused kernel over `values[..]` (global indices
+/// `base..base + values.len()`, `base` even): every chunk of the fitness
+/// array is loaded once and tested against all groups' bid streams.
+fn fused_argmax(
+    values: &[f64],
+    base: usize,
+    multis: &[PhiloxMulti8],
+    lanes: &mut [FusedLanes],
+    tier: SimdTier,
+) {
+    debug_assert!(
+        base.is_multiple_of(2),
+        "chunks must start on a block boundary"
+    );
+    debug_assert_eq!(multis.len(), lanes.len());
+    let mut uniforms = [0.0f64; KERNEL_CHUNK * FUSED_WIDTH];
+    let mut hits = [(0u16, 0u8); KERNEL_CHUNK];
+    let mut offset = 0;
+    while offset < values.len() {
+        let len = KERNEL_CHUNK.min(values.len() - offset);
+        let rows = len.next_multiple_of(2);
+        let chunk = &values[offset..offset + len];
+        for (group, multi) in multis.iter().enumerate() {
+            multi.fill_uniforms(((base + offset) / 2) as u64, rows, &mut uniforms);
+            let hit_count = filter::rows(tier, chunk, &uniforms, &lanes[group].thresh, &mut hits);
+            if hit_count > 0 {
+                refine_hits(
+                    chunk,
+                    base + offset,
+                    &uniforms,
+                    &hits[..hit_count],
+                    &mut lanes[group],
+                );
+            }
+        }
+        offset += len;
+    }
+}
+
+/// Exact refinement of the rows the filter admitted: re-test against the
+/// *current* (tighter) thresholds — the row filter ran with the thresholds
+/// frozen at chunk entry, which is conservative because thresholds only
+/// rise — then pay the `ln` and fold into the lane's running maximum. Kept
+/// out of line: the running maximum of `n` i.i.d.-ish bids is beaten
+/// `O(log n)` times, so this body runs orders of magnitude less often than
+/// the filter loop and must not bloat it.
+#[inline(never)]
+fn refine_hits(
+    chunk: &[f64],
+    global_base: usize,
+    uniforms: &[f64],
+    hits: &[(u16, u8)],
+    lanes: &mut FusedLanes,
+) {
+    for &(row, mask) in hits {
+        let k = row as usize;
+        let f = chunk[k];
+        for m in 0..FUSED_WIDTH {
+            if mask & (1 << m) != 0 {
+                let u = uniforms[k * FUSED_WIDTH + m];
+                if u - 1.0 >= lanes.thresh[m] * f {
+                    let bid = u.ln() / f;
+                    lanes.best[m] = max_by_key_then_index(lanes.best[m], (bid, global_base + k));
+                    lanes.thresh[m] = lanes.best[m].0 * FILTER_SLACK;
+                }
+            }
+        }
+    }
+}
+
+/// Pad a partial last group with duplicates of its first master; the
+/// padded lanes run like real ones and their winners are discarded, so
+/// padding never touches the caller's generator.
+fn pad_group(group: &[u64]) -> [u64; FUSED_WIDTH] {
+    let mut padded = [group[0]; FUSED_WIDTH];
+    padded[..group.len()].copy_from_slice(group);
+    padded
+}
+
+/// Select the bid-argmax winners of `values` for every master in `masters`
+/// (one selection per master, stream layout v2 per draw) in fused passes
+/// over the fitness array: `out[t]` is the winner `select_block(values,
+/// masters[t], …)` would have produced, computed
+/// `masters.len() / FUSED_WIDTH`-fold cheaper.
+///
+/// `parallel` fans the fitness array out over rayon chunks exactly like the
+/// per-draw kernel; chunk-local lane maxima merge associatively, so the
+/// winners are identical at any thread count.
+///
+/// Small batches take cheaper shapes (same winners, draw for draw): below
+/// a tier-dependent floor the per-draw kernel is simply looped — on the
+/// scalar tier a padded fused group costs up to eight single passes, so
+/// fusing pays only from a full group; on the SIMD tiers two draws already
+/// amortise the vector fill — and a batch that fits one fused group runs
+/// entirely on the stack (no per-call `Vec`s).
+pub(crate) fn select_many_block(
+    values: &[f64],
+    masters: &[u64],
+    parallel: bool,
+    out: &mut [usize],
+) {
+    assert_eq!(masters.len(), out.len());
+    if masters.is_empty() {
+        return;
+    }
+    let tier = lrb_rng::simd_tier();
+    let fused_min = match tier {
+        SimdTier::Scalar => FUSED_WIDTH,
+        _ => 2,
+    };
+    if masters.len() < fused_min {
+        for (slot, &master) in out.iter_mut().zip(masters) {
+            *slot = select_block(values, master, parallel);
+        }
+        return;
+    }
+    if masters.len() <= FUSED_WIDTH {
+        let multi = PhiloxMulti8::new(pad_group(masters));
+        let group = std::slice::from_ref(&multi);
+        let lanes = if parallel {
+            values
+                .par_chunks(PAR_CHUNK)
+                .with_min_len(1)
+                .enumerate()
+                .map(|(chunk, slice)| {
+                    let mut local = [FusedLanes::identity()];
+                    fused_argmax(slice, chunk * PAR_CHUNK, group, &mut local, tier);
+                    local[0]
+                })
+                .reduce(FusedLanes::identity, FusedLanes::merge)
+        } else {
+            let mut local = [FusedLanes::identity()];
+            fused_argmax(values, 0, group, &mut local, tier);
+            local[0]
+        };
+        for (t, slot) in out.iter_mut().enumerate() {
+            *slot = lanes.best[t].1;
+        }
+        return;
+    }
+    let multis: Vec<PhiloxMulti8> = masters
+        .chunks(FUSED_WIDTH)
+        .map(|group| PhiloxMulti8::new(pad_group(group)))
+        .collect();
+    let lanes = if parallel {
+        values
+            .par_chunks(PAR_CHUNK)
+            .with_min_len(1)
+            .enumerate()
+            .map(|(chunk, slice)| {
+                let mut local = vec![FusedLanes::identity(); multis.len()];
+                fused_argmax(slice, chunk * PAR_CHUNK, &multis, &mut local, tier);
+                local
+            })
+            .reduce(
+                || vec![FusedLanes::identity(); multis.len()],
+                |a, b| {
+                    a.into_iter()
+                        .zip(b)
+                        .map(|(x, y)| FusedLanes::merge(x, y))
+                        .collect()
+                },
+            )
+    } else {
+        let mut local = vec![FusedLanes::identity(); multis.len()];
+        fused_argmax(values, 0, &multis, &mut local, tier);
+        local
+    };
+    for (t, slot) in out.iter_mut().enumerate() {
+        *slot = lanes[t / FUSED_WIDTH].best[t % FUSED_WIDTH].1;
+    }
+}
+
+/// The row filter: for every fitness index of the chunk, test all eight
+/// lanes' proxy bound `u − 1 ≥ thresh · f` at once and append rows with any
+/// passing lane (plus their lane masks) to `hits`.
+///
+/// Three tiers with identical semantics: AVX-512 (one 8-lane compare per
+/// row), AVX2 (two 4-lane halves) and scalar (a branchless mask
+/// accumulation). The comparison is `>=` with quiet-NaN-fails ordering in
+/// every tier, so a NaN threshold product (`−∞ · 0` while a lane is still
+/// empty against a zero fitness) rejects the row exactly like the scalar
+/// per-draw kernel.
+///
+/// ## Safety argument (audited `unsafe`)
+///
+/// The SIMD paths contain only `#[target_feature]` entry calls — reached
+/// solely through the tier dispatch, where the tier came from
+/// [`lrb_rng::simd_tier`]'s runtime detection — and unaligned vector loads
+/// whose pointers stay in bounds by the debug-asserted preconditions
+/// (`uniforms.len() ≥ values.len() · 8`, `thresh` is exactly eight lanes).
+#[allow(unsafe_code)]
+mod filter {
+    use super::{SimdTier, FUSED_WIDTH, KERNEL_CHUNK};
+
+    /// Filter one chunk; returns the number of hits written.
+    #[inline]
+    pub(super) fn rows(
+        tier: SimdTier,
+        values: &[f64],
+        uniforms: &[f64],
+        thresh: &[f64; FUSED_WIDTH],
+        hits: &mut [(u16, u8); KERNEL_CHUNK],
+    ) -> usize {
+        debug_assert!(values.len() <= KERNEL_CHUNK);
+        debug_assert!(uniforms.len() >= values.len() * FUSED_WIDTH);
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the tier is the runtime-detected one (module docs).
+            SimdTier::Avx512 => unsafe { rows_avx512(values, uniforms, thresh, hits) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            SimdTier::Avx2 => unsafe { rows_avx2(values, uniforms, thresh, hits) },
+            _ => rows_scalar(values, uniforms, thresh, hits),
+        }
+    }
+
+    fn rows_scalar(
+        values: &[f64],
+        uniforms: &[f64],
+        thresh: &[f64; FUSED_WIDTH],
+        hits: &mut [(u16, u8); KERNEL_CHUNK],
+    ) -> usize {
+        let mut count = 0;
+        for (k, &f) in values.iter().enumerate() {
+            let row = &uniforms[k * FUSED_WIDTH..(k + 1) * FUSED_WIDTH];
+            let mut mask = 0u8;
+            for m in 0..FUSED_WIDTH {
+                let pass = row[m] - 1.0 >= thresh[m] * f;
+                mask |= (pass as u8) << m;
+            }
+            if mask != 0 {
+                hits[count] = (k as u16, mask);
+                count += 1;
+            }
+        }
+        count
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512dq")]
+    fn rows_avx512(
+        values: &[f64],
+        uniforms: &[f64],
+        thresh: &[f64; FUSED_WIDTH],
+        hits: &mut [(u16, u8); KERNEL_CHUNK],
+    ) -> usize {
+        use std::arch::x86_64::*;
+        // SAFETY: thresh is exactly eight f64 (512 bits).
+        let t = unsafe { _mm512_loadu_pd(thresh.as_ptr()) };
+        let one = _mm512_set1_pd(1.0);
+        let mut count = 0;
+        for (k, &f) in values.iter().enumerate() {
+            let fv = _mm512_set1_pd(f);
+            // SAFETY: row k is in bounds (uniforms.len() >= values.len()·8).
+            let u = unsafe { _mm512_loadu_pd(uniforms.as_ptr().add(k * FUSED_WIDTH)) };
+            let lhs = _mm512_sub_pd(u, one);
+            let rhs = _mm512_mul_pd(t, fv);
+            let mask = _mm512_cmp_pd_mask::<_CMP_GE_OQ>(lhs, rhs);
+            if mask != 0 {
+                hits[count] = (k as u16, mask);
+                count += 1;
+            }
+        }
+        count
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn rows_avx2(
+        values: &[f64],
+        uniforms: &[f64],
+        thresh: &[f64; FUSED_WIDTH],
+        hits: &mut [(u16, u8); KERNEL_CHUNK],
+    ) -> usize {
+        use std::arch::x86_64::*;
+        // SAFETY: thresh halves are four f64 each (256 bits).
+        let t_lo = unsafe { _mm256_loadu_pd(thresh.as_ptr()) };
+        let t_hi = unsafe { _mm256_loadu_pd(thresh.as_ptr().add(4)) };
+        let one = _mm256_set1_pd(1.0);
+        let mut count = 0;
+        for (k, &f) in values.iter().enumerate() {
+            let fv = _mm256_set1_pd(f);
+            // SAFETY: row k (both halves) is in bounds as above.
+            let (u_lo, u_hi) = unsafe {
+                (
+                    _mm256_loadu_pd(uniforms.as_ptr().add(k * FUSED_WIDTH)),
+                    _mm256_loadu_pd(uniforms.as_ptr().add(k * FUSED_WIDTH + 4)),
+                )
+            };
+            let pass_lo =
+                _mm256_cmp_pd::<_CMP_GE_OQ>(_mm256_sub_pd(u_lo, one), _mm256_mul_pd(t_lo, fv));
+            let pass_hi =
+                _mm256_cmp_pd::<_CMP_GE_OQ>(_mm256_sub_pd(u_hi, one), _mm256_mul_pd(t_hi, fv));
+            let mask = (_mm256_movemask_pd(pass_lo) | (_mm256_movemask_pd(pass_hi) << 4)) as u8;
+            if mask != 0 {
+                hits[count] = (k as u16, mask);
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
 /// The exact bid of one index under layout v2, computed the slow way —
 /// test-support oracle for pinning the layout (`u_j` = word `j` of the
 /// sequential stream) independently of the kernel's skip logic.
@@ -235,5 +599,58 @@ mod tests {
         assert_eq!(STREAM_LAYOUT_VERSION, 2);
         assert_eq!(KERNEL_CHUNK % 2, 0);
         assert_eq!(PAR_CHUNK % KERNEL_CHUNK, 0);
+        assert_eq!(FUSED_WIDTH, 8);
+    }
+
+    #[test]
+    fn fused_kernel_matches_the_per_draw_kernel_lane_for_lane() {
+        // The fused contract: out[t] == select_block(values, masters[t]) for
+        // every batch length, including lengths that do not divide by 8.
+        let mut rng = SplitMix64::seed_from_u64(2024);
+        for n in [1usize, 2, 17, 255, 256, 257, 1000, 5000] {
+            let values: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64).collect();
+            if values.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            for batch in [1usize, 3, 7, 8, 9, 16, 20] {
+                let masters: Vec<u64> = (0..batch).map(|_| rng.next_u64()).collect();
+                let mut out = vec![0usize; batch];
+                select_many_block(&values, &masters, false, &mut out);
+                for (t, &master) in masters.iter().enumerate() {
+                    assert_eq!(
+                        out[t],
+                        select_block(&values, master, false),
+                        "n = {n}, batch = {batch}, draw {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_parallel_and_sequential_paths_agree() {
+        let values: Vec<f64> = (0..30_000).map(|i| ((i % 97) + 1) as f64).collect();
+        let mut rng = SplitMix64::seed_from_u64(55);
+        let masters: Vec<u64> = (0..19).map(|_| rng.next_u64()).collect();
+        let mut seq = vec![0usize; masters.len()];
+        let mut par = vec![0usize; masters.len()];
+        select_many_block(&values, &masters, false, &mut seq);
+        select_many_block(&values, &masters, true, &mut par);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn fused_kernel_never_elects_zero_fitness_indices() {
+        let values = vec![0.0, -0.0, 5.0, 0.0, 3.0];
+        let mut rng = SplitMix64::seed_from_u64(77);
+        let masters: Vec<u64> = (0..200).map(|_| rng.next_u64()).collect();
+        let mut out = vec![0usize; masters.len()];
+        select_many_block(&values, &masters, false, &mut out);
+        assert!(out.iter().all(|&i| i == 2 || i == 4));
+    }
+
+    #[test]
+    fn fused_kernel_accepts_an_empty_batch() {
+        select_many_block(&[1.0, 2.0], &[], false, &mut []);
     }
 }

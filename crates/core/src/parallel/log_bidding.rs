@@ -24,7 +24,7 @@ use rayon::prelude::*;
 
 use crate::error::SelectionError;
 use crate::fitness::Fitness;
-use crate::parallel::bid_kernel::select_block;
+use crate::parallel::bid_kernel::{select_block, select_many_block};
 use crate::parallel::max_by_key_then_index;
 use crate::traits::Selector;
 
@@ -125,10 +125,14 @@ impl Selector for ParallelLogBiddingSelector {
         ))
     }
 
-    /// Tight-loop fill: the support check happens once per buffer, then
-    /// each draw is one master `next_u64` plus one kernel pass — the same
-    /// caller-generator consumption as a [`select`](Selector::select) loop,
-    /// so both paths agree draw for draw on equal seeds.
+    /// Tight-loop fill through the **fused multi-draw kernel**: the support
+    /// check happens once per buffer, the masters are drawn up front (one
+    /// `next_u64` per slot, in slot order — the same caller-generator
+    /// consumption as a [`select`](Selector::select) loop), and the fitness
+    /// array is then streamed once per
+    /// [`FUSED_WIDTH`](crate::parallel::bid_kernel::FUSED_WIDTH) draws with
+    /// eight bid streams tested per load. Winners are bit-identical to a
+    /// `select` loop on equal seeds; only the throughput differs.
     fn select_into(
         &self,
         fitness: &Fitness,
@@ -140,8 +144,18 @@ impl Selector for ParallelLogBiddingSelector {
         }
         let values = fitness.values();
         let parallel = values.len() >= self.sequential_cutoff;
-        for slot in out.iter_mut() {
-            *slot = select_block(values, rng.next_u64(), parallel);
+        use crate::parallel::bid_kernel::FUSED_WIDTH;
+        if out.len() <= FUSED_WIDTH {
+            // One fused group (or the per-draw fallback) — keep the
+            // masters on the stack so small fills stay allocation-free.
+            let mut masters = [0u64; FUSED_WIDTH];
+            for master in masters[..out.len()].iter_mut() {
+                *master = rng.next_u64();
+            }
+            select_many_block(values, &masters[..out.len()], parallel, out);
+        } else {
+            let masters: Vec<u64> = out.iter().map(|_| rng.next_u64()).collect();
+            select_many_block(values, &masters, parallel, out);
         }
         Ok(())
     }

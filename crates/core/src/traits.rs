@@ -259,9 +259,15 @@ pub trait FrozenSampler: Send + Sync {
         }
         Ok(())
     }
+
+    /// The concrete sampler as [`Any`](std::any::Any), so a backend's
+    /// incremental-publish path can downcast a previous snapshot's sampler
+    /// back to its own type and patch it instead of rebuilding from
+    /// scratch. Implementations return `self`.
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
-impl<T: DynamicSampler> FrozenSampler for T {
+impl<T: DynamicSampler + 'static> FrozenSampler for T {
     fn len(&self) -> usize {
         DynamicSampler::len(self)
     }
@@ -284,6 +290,10 @@ impl<T: DynamicSampler> FrozenSampler for T {
         out: &mut [usize],
     ) -> Result<(), SelectionError> {
         DynamicSampler::sample_into(self, rng, out)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

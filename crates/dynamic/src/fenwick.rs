@@ -120,6 +120,95 @@ impl FenwickSampler {
         Ok(())
     }
 
+    /// Build the **next** sampler from `prev` by applying a coalesced
+    /// publish batch — a whole-vector `scale` fold followed by absolute
+    /// `(index, weight)` overrides — as point updates on a copy of `prev`'s
+    /// state instead of an `O(n)` rebuild.
+    ///
+    /// The copy is two straight `memcpy`s (weights and tree); a `scale ≠ 1`
+    /// adds one multiply pass (scaling every partial sum scales the tree
+    /// consistently); each override then costs `O(log n)`. The resulting
+    /// *weights* are exactly what
+    /// [`from_weights`](FenwickSampler::from_weights) over the folded
+    /// vector would hold — tree node sums may differ from a rebuilt tree in
+    /// the last ulp (sums of scaled terms versus scaled sums), the same
+    /// rounding class [`update`](DynamicSampler::update)'s delta
+    /// maintenance already tolerates.
+    ///
+    /// Overrides are validated like `update`; a scale fold that overflows
+    /// any weight to `∞` fails with the same
+    /// [`SelectionError::InvalidFitness`] the full-rebuild validation
+    /// would raise.
+    pub fn patched_from(
+        prev: &Self,
+        overrides: &[(usize, f64)],
+        scale: f64,
+    ) -> Result<Self, SelectionError> {
+        if !scale.is_finite() || scale < 0.0 {
+            return Err(SelectionError::InvalidScale { factor: scale });
+        }
+        let mut sampler = prev.clone();
+        if scale != 1.0 {
+            // Recount the support while scaling: a tiny scale can underflow
+            // a positive weight to exactly zero, which the non_zero count
+            // must observe for the all-zero guard to stay truthful. An
+            // overflow to ∞ diverts to the reconciliation path *before*
+            // any override applies — a delta update through an ∞ would
+            // poison the tree with NaN even when the override replaces the
+            // overflowed weight with a finite value.
+            let mut non_zero = 0usize;
+            let mut overflowed = false;
+            for w in sampler.weights.iter_mut() {
+                *w *= scale;
+                overflowed |= !w.is_finite();
+                non_zero += (*w > 0.0) as usize;
+            }
+            if overflowed {
+                return Self::reconcile_overflow(sampler.weights, overrides);
+            }
+            for node in sampler.tree.iter_mut() {
+                *node *= scale;
+            }
+            sampler.non_zero = non_zero;
+        }
+        for &(index, weight) in overrides {
+            sampler.update(index, weight)?;
+        }
+        // A non-finite total is only an error when an individual weight
+        // overflowed — the rebuild path validates weights, not their sum.
+        if !sampler.total_weight().is_finite() {
+            if let Some(error) = non_finite_weight_error(&sampler.weights) {
+                return Err(error);
+            }
+        }
+        Ok(sampler)
+    }
+
+    /// The scale fold pushed some weight to `∞`. Validity is decided by
+    /// the **folded** vector, exactly as a rebuild would decide it: the
+    /// overrides may replace every overflowed entry, in which case the
+    /// batch is valid and must succeed. Apply the overrides as plain
+    /// writes (no delta updates through an ∞), then validate and rebuild —
+    /// this pathological batch pays the `O(n)` the fast path saved, and
+    /// returns a sampler identical to a full rebuild's.
+    #[cold]
+    #[inline(never)]
+    fn reconcile_overflow(
+        mut weights: Vec<f64>,
+        overrides: &[(usize, f64)],
+    ) -> Result<Self, SelectionError> {
+        for &(index, weight) in overrides {
+            validate_weight(index, weight)?;
+            weights[index] = weight;
+        }
+        for (index, &value) in weights.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(SelectionError::InvalidFitness { index, value });
+            }
+        }
+        Ok(Self::from_validated(weights))
+    }
+
     /// Prefix sum `w_0 + … + w_{index-1}` in `O(log n)`.
     pub fn prefix_sum(&self, index: usize) -> f64 {
         let mut node = index.min(self.weights.len());
@@ -164,12 +253,36 @@ impl FenwickSampler {
         if self.weights[candidate] > 0.0 {
             return candidate;
         }
+        self.walk_back(candidate)
+    }
+
+    /// The right-edge rounding repair for [`descend`](Self::descend), out
+    /// of line so the `O(log n)` hot path stays compact — it runs only
+    /// when a draw lands past the support.
+    #[cold]
+    #[inline(never)]
+    fn walk_back(&self, candidate: usize) -> usize {
         self.weights[..candidate]
             .iter()
             .rposition(|&w| w > 0.0)
             .or_else(|| self.weights.iter().position(|&w| w > 0.0))
             .expect("descend is only called with positive total mass")
     }
+}
+
+/// Blame the first non-finite weight after a scale fold overflowed —
+/// failure path of the patch constructors, kept out of the hot publish
+/// code. `None` when every weight is individually finite (a sum can still
+/// overflow; the rebuild path validates weights, not totals, so that state
+/// is accepted).
+#[cold]
+#[inline(never)]
+pub(crate) fn non_finite_weight_error(weights: &[f64]) -> Option<SelectionError> {
+    weights
+        .iter()
+        .enumerate()
+        .find(|(_, w)| !w.is_finite())
+        .map(|(index, &value)| SelectionError::InvalidFitness { index, value })
 }
 
 impl DynamicSampler for FenwickSampler {
@@ -340,6 +453,31 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(sampler.sample(&mut rng).unwrap(), 0);
         }
+    }
+
+    #[test]
+    fn patch_scale_overflow_reconciles_exactly_like_a_rebuild() {
+        // A scale fold overflows weight 0 to ∞, but the override replaces
+        // that same weight with a finite value — the folded vector is
+        // valid, so the patch must succeed with a rebuild-identical,
+        // NaN-free sampler (a delta update through the ∞ would have
+        // poisoned the tree).
+        let prev = FenwickSampler::from_weights(vec![f64::MAX / 8.0, 1.0, 2.0, 3.0]).unwrap();
+        let patched = FenwickSampler::patched_from(&prev, &[(0, 5.0)], 16.0).unwrap();
+        let rebuilt = FenwickSampler::from_weights(vec![5.0, 16.0, 32.0, 48.0]).unwrap();
+        assert_eq!(patched.weights(), rebuilt.weights());
+        assert_eq!(patched.non_zero_count(), 4);
+        assert!(patched.total_weight().is_finite());
+        assert_eq!(patched.total_weight(), rebuilt.total_weight());
+        for i in 0..=4 {
+            assert_eq!(patched.prefix_sum(i), rebuilt.prefix_sum(i), "prefix {i}");
+        }
+        // An overflowed weight that no override repairs still fails with
+        // the rebuild path's validation error.
+        assert!(matches!(
+            FenwickSampler::patched_from(&prev, &[(1, 9.0)], 16.0),
+            Err(SelectionError::InvalidFitness { index: 0, .. })
+        ));
     }
 
     #[test]

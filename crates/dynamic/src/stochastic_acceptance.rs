@@ -100,6 +100,81 @@ impl StochasticAcceptanceSampler {
         self.non_zero = self.weights.iter().filter(|&&w| w > 0.0).count();
     }
 
+    /// Build the **next** sampler from `prev` by applying a coalesced
+    /// publish batch — a whole-vector `scale` fold followed by absolute
+    /// `(index, weight)` overrides — on a copy of `prev`'s weights instead
+    /// of an `O(n)` rebuild.
+    ///
+    /// The copy is one `memcpy`; a `scale ≠ 1` adds a single pass that
+    /// re-derives `total`, `max` and the support count exactly while
+    /// scaling; the overrides then apply in `O(d)` with `max` maintained
+    /// incrementally — only when some override lowered a weight that held
+    /// the maximum does one deferred aggregate rescan run at the end
+    /// (applying it per override, as a plain `update` loop would, costs
+    /// `O(d · n)` on adversarial batches). Weights equal exactly what
+    /// [`from_weights`](StochasticAcceptanceSampler::from_weights) over
+    /// the folded vector would hold; a scale fold that overflows fails
+    /// with the full-rebuild path's validation error.
+    pub fn patched_from(
+        prev: &Self,
+        overrides: &[(usize, f64)],
+        scale: f64,
+    ) -> Result<Self, SelectionError> {
+        if !scale.is_finite() || scale < 0.0 {
+            return Err(SelectionError::InvalidScale { factor: scale });
+        }
+        for &(index, weight) in overrides {
+            validate_weight(index, weight)?;
+        }
+        let mut sampler = prev.clone();
+        if scale != 1.0 {
+            let mut total = 0.0;
+            let mut max = 0.0f64;
+            let mut non_zero = 0usize;
+            for w in sampler.weights.iter_mut() {
+                *w *= scale;
+                total += *w;
+                max = max.max(*w);
+                non_zero += (*w > 0.0) as usize;
+            }
+            sampler.total = total;
+            sampler.max = max;
+            sampler.non_zero = non_zero;
+        }
+        let mut max_lowered = false;
+        for &(index, weight) in overrides {
+            assert!(
+                index < sampler.weights.len(),
+                "index {index} outside 0..{}",
+                sampler.weights.len()
+            );
+            let old = sampler.weights[index];
+            sampler.weights[index] = weight;
+            if old > 0.0 && weight == 0.0 {
+                sampler.non_zero -= 1;
+            } else if old == 0.0 && weight > 0.0 {
+                sampler.non_zero += 1;
+            }
+            sampler.total += weight - old;
+            if weight >= sampler.max {
+                sampler.max = weight;
+            } else if old >= sampler.max {
+                max_lowered = true;
+            }
+        }
+        if max_lowered {
+            sampler.recompute_aggregates();
+        }
+        // A non-finite total is only an error when an individual weight
+        // overflowed — the rebuild path validates weights, not their sum.
+        if !sampler.total.is_finite() {
+            if let Some(error) = crate::fenwick::non_finite_weight_error(&sampler.weights) {
+                return Err(error);
+            }
+        }
+        Ok(sampler)
+    }
+
     /// Expected rejection rounds per draw, `n · w_max / Σ w_j`.
     pub fn expected_rounds(&self) -> f64 {
         if self.total <= 0.0 {

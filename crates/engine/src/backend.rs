@@ -11,15 +11,20 @@
 //! The [standard registry](BackendRegistry::standard) ships the three
 //! families the paper's setting needs:
 //!
-//! | backend | build (abstract ops) | per draw |
-//! |---|---|---|
-//! | `fenwick` | `n` | `log₂ n` |
-//! | `alias` | `≈ 3n` | `O(1)` |
-//! | `stochastic-acceptance` | `n` | `≈ skew` expected rejection rounds |
+//! | backend | build (abstract ops) | patch (`d` dirty) | per draw |
+//! |---|---|---|---|
+//! | `fenwick` | `n` | `n/2 + d · log₂ n` | `log₂ n` |
+//! | `alias` | `≈ 3n` | — (rebuilds, worklists rayon-parallel) | `O(1)` |
+//! | `stochastic-acceptance` | `n` | `n/4 + 2d` | `≈ skew` expected rejection rounds |
 //!
 //! where `skew = n · w_max / Σ w` is exactly the expected rejection round
-//! count. The abstract op counts are scaled into nanoseconds by the engine's
-//! calibrated [`CostEstimator`](crate::heuristic::CostEstimator).
+//! count. The *patch* column is [`FrozenBackend::try_patch`] — freezing the
+//! next snapshot from the previous one plus the coalesced batch instead of
+//! rebuilding (the `n`-proportional terms are straight `memcpy`s, priced
+//! fractionally against the rebuild's branchy passes). All abstract op
+//! counts are scaled into nanoseconds by the engine's calibrated
+//! [`CostEstimator`](crate::heuristic::CostEstimator), which learns
+//! build, patch and draw constants separately.
 
 use std::sync::Arc;
 
@@ -94,6 +99,46 @@ pub trait FrozenBackend: Send + Sync {
 
     /// Closed-form abstract cost of serving `profile` on this backend.
     fn model_cost(&self, profile: &WorkloadProfile) -> BackendCost;
+
+    /// Incremental-publish fast path: build the next snapshot's sampler
+    /// from the previous one plus the coalesced batch (`scale` fold first,
+    /// then absolute `overrides`), skipping the `O(n)` rebuild.
+    ///
+    /// Returns `None` when the backend has no patch path (or `prev` is not
+    /// a sampler this backend built — e.g. right after a backend switch);
+    /// the engine then falls back to
+    /// [`build_pooled`](FrozenBackend::build_pooled). A `Some(Err(…))`
+    /// carries the same validation failures a full rebuild over the folded
+    /// weights would raise (a scale fold overflowing a weight to `∞`), so
+    /// the two paths are interchangeable error-for-error.
+    ///
+    /// **Contract:** the patched sampler's weights must equal, bit for
+    /// bit, those of a full rebuild over the folded vector.
+    fn try_patch(
+        &self,
+        prev: &dyn FrozenSampler,
+        overrides: &[(usize, f64)],
+        scale: f64,
+    ) -> Option<Result<Box<dyn FrozenSampler>, SelectionError>> {
+        let _ = (prev, overrides, scale);
+        None
+    }
+
+    /// Abstract op cost of patching `dirty` categories (with a whole-vector
+    /// scale fold when `scaled`) instead of rebuilding; `None` when the
+    /// backend cannot patch. Scaled into nanoseconds by the engine's
+    /// calibrated patch constants, then compared against
+    /// [`model_cost`](FrozenBackend::model_cost)'s build price — the
+    /// patch-versus-rebuild decision the engine makes per publish.
+    fn model_patch_cost(
+        &self,
+        profile: &WorkloadProfile,
+        dirty: usize,
+        scaled: bool,
+    ) -> Option<f64> {
+        let _ = (profile, dirty, scaled);
+        None
+    }
 }
 
 /// Fenwick tree: `O(log n)` draws, cheapest build, skew-immune.
@@ -115,6 +160,34 @@ impl FrozenBackend for FenwickBackend {
             build_ops: n,
             per_draw_ops: n.log2().max(1.0),
         }
+    }
+
+    fn try_patch(
+        &self,
+        prev: &dyn FrozenSampler,
+        overrides: &[(usize, f64)],
+        scale: f64,
+    ) -> Option<Result<Box<dyn FrozenSampler>, SelectionError>> {
+        let prev = prev.as_any().downcast_ref::<FenwickSampler>()?;
+        Some(
+            FenwickSampler::patched_from(prev, overrides, scale)
+                .map(|sampler| Box::new(sampler) as Box<dyn FrozenSampler>),
+        )
+    }
+
+    fn model_patch_cost(
+        &self,
+        profile: &WorkloadProfile,
+        dirty: usize,
+        scaled: bool,
+    ) -> Option<f64> {
+        let n = profile.categories.max(1) as f64;
+        let log_n = n.log2().max(1.0);
+        // Two memcpy passes (weights + tree) priced at a quarter of a build
+        // op per element — straight-line copies against the rebuild's
+        // branchy validate/accumulate passes — plus one multiply pass when
+        // a scale folds, plus O(log n) tree nodes per dirty category.
+        Some(0.5 * n + if scaled { 0.25 * n } else { 0.0 } + dirty as f64 * log_n)
     }
 }
 
@@ -189,6 +262,10 @@ impl FrozenSampler for FrozenAlias {
             None => Err(SelectionError::AllZeroFitness),
         }
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// Vose alias table: `O(1)` draws after the priciest build.
@@ -258,6 +335,33 @@ impl FrozenBackend for StochasticAcceptanceBackend {
             build_ops: n,
             per_draw_ops,
         }
+    }
+
+    fn try_patch(
+        &self,
+        prev: &dyn FrozenSampler,
+        overrides: &[(usize, f64)],
+        scale: f64,
+    ) -> Option<Result<Box<dyn FrozenSampler>, SelectionError>> {
+        let prev = prev
+            .as_any()
+            .downcast_ref::<StochasticAcceptanceSampler>()?;
+        Some(
+            StochasticAcceptanceSampler::patched_from(prev, overrides, scale)
+                .map(|sampler| Box::new(sampler) as Box<dyn FrozenSampler>),
+        )
+    }
+
+    fn model_patch_cost(
+        &self,
+        profile: &WorkloadProfile,
+        dirty: usize,
+        scaled: bool,
+    ) -> Option<f64> {
+        let n = profile.categories.max(1) as f64;
+        // One memcpy pass, one aggregate-rederiving multiply pass when a
+        // scale folds, O(1) aggregate maintenance per dirty category.
+        Some(0.25 * n + if scaled { 0.5 * n } else { 0.0 } + 2.0 * dirty as f64)
     }
 }
 

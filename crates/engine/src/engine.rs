@@ -23,9 +23,14 @@
 //!   previous weights (through pooled build scratch, so a steady-state
 //!   publish performs no transient allocation), freezes a new [`Snapshot`]
 //!   (choosing a backend from the [`BackendRegistry`] under
-//!   [`BackendChoice::Auto`]) and swaps it in atomically. The batch mutex
-//!   is held across the whole publish, serialising publishers, so versions
-//!   are strictly ordered and no batch is ever lost.
+//!   [`BackendChoice::Auto`]) and swaps it in atomically. When the chosen
+//!   backend is the incumbent, the freeze may take the backend's
+//!   **incremental patch path** — the previous sampler plus the coalesced
+//!   batch, `O(d · log n)`-ish instead of `O(n)` for small batches — under
+//!   [`PatchPolicy`]; the cost model compares learned patch and rebuild
+//!   constants per publish. The batch mutex is held across the whole
+//!   publish, serialising publishers, so versions are strictly ordered and
+//!   no batch is ever lost.
 //!
 //! ## The decider
 //!
@@ -87,6 +92,22 @@ thread_local! {
 /// EWMA smoothing factor for the observed draws-per-publish rate.
 const DRAWS_EWMA_ALPHA: f64 = 0.2;
 
+/// When a publish may take a backend's incremental patch path instead of a
+/// full rebuild (the previous snapshot's sampler plus the coalesced batch,
+/// see [`FrozenBackend::try_patch`](crate::backend::FrozenBackend::try_patch)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PatchPolicy {
+    /// Patch when the chosen backend is the incumbent and the cost model
+    /// prices the patch below the rebuild (the default).
+    #[default]
+    Auto,
+    /// Patch whenever the chosen backend is the incumbent and offers a
+    /// patch path, regardless of the model (conformance tests, benches).
+    Always,
+    /// Never patch; every publish rebuilds from the folded weights.
+    Never,
+}
+
 /// Tuning knobs for a [`SelectionEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -103,6 +124,8 @@ pub struct EngineConfig {
     /// function of the workload (tests, reproducible runs); serving
     /// deployments should switch it on.
     pub calibrate: bool,
+    /// Whether publishes may take the incremental patch path.
+    pub patch: PatchPolicy,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +134,7 @@ impl Default for EngineConfig {
             backend: BackendChoice::Auto,
             expected_draws_per_publish: 1024.0,
             calibrate: false,
+            patch: PatchPolicy::default(),
         }
     }
 }
@@ -127,6 +151,9 @@ pub struct EngineStats {
     /// Publishes (or rebalances) whose backend differed from the previous
     /// snapshot's.
     pub backend_switches: u64,
+    /// Publishes that froze their snapshot through the incremental patch
+    /// path instead of a full rebuild.
+    pub patched: u64,
 }
 
 /// One recorded backend change, for telemetry and `BENCH_engine.json`.
@@ -202,6 +229,21 @@ pub struct SelectionEngine {
     enqueued_total: AtomicU64,
     coalesced_total: AtomicU64,
     switches_total: AtomicU64,
+    patched_total: AtomicU64,
+}
+
+/// Failure path of [`SelectionEngine::publish`]: a failed freeze (a
+/// caller-registered backend erroring, or folded weights overflowing to
+/// `∞`) must not lose the batch — re-applying scale-then-overrides under
+/// the still-held lock reproduces the drained semantics exactly. Out of
+/// line: this never runs on a healthy engine.
+#[cold]
+#[inline(never)]
+fn restore_batch(pending: &mut CoalescingQueue, scale: f64, overrides: &[(usize, f64)]) {
+    pending.scale(scale);
+    for &(index, weight) in overrides {
+        pending.set(index, weight);
+    }
 }
 
 impl SelectionEngine {
@@ -267,6 +309,7 @@ impl SelectionEngine {
             enqueued_total: AtomicU64::new(0),
             coalesced_total: AtomicU64::new(0),
             switches_total: AtomicU64::new(0),
+            patched_total: AtomicU64::new(0),
         })
     }
 
@@ -458,7 +501,9 @@ impl SelectionEngine {
     }
 
     /// Fold the pending batch over the current weights, freeze the result
-    /// into a new snapshot and atomically swap it in. Returns the version
+    /// into a new snapshot — through the chosen backend's **incremental
+    /// patch path** when the cost model (or [`PatchPolicy::Always`]) says
+    /// it beats a rebuild — and atomically swap it in. Returns the version
     /// now current. A publish with nothing pending is a no-op returning the
     /// unchanged version.
     pub fn publish(&self) -> Result<u64, SelectionError> {
@@ -467,7 +512,11 @@ impl SelectionEngine {
             return Ok(self.version());
         }
         let mut scratch = self.scratch.lock().expect("scratch lock poisoned");
-        let scale = pending.drain_into(&mut scratch.overrides);
+        // The override buffer is taken out of the scratch so `install` can
+        // borrow the batch and the (alias) build scratch independently; it
+        // returns below either way, keeping the pooled capacity.
+        let mut overrides = std::mem::take(&mut scratch.overrides);
+        let scale = pending.drain_into(&mut overrides);
         let previous = self.current.load();
         let mut weights = previous.weights().to_vec();
         if scale != 1.0 {
@@ -475,25 +524,19 @@ impl SelectionEngine {
                 *w *= scale;
             }
         }
-        for &(index, weight) in &scratch.overrides {
+        for &(index, weight) in &overrides {
             weights[index] = weight;
         }
-        let version = match self.install(&previous, weights, None, &mut scratch) {
+        let result = self.install(&previous, weights, &overrides, scale, None, &mut scratch);
+        let version = match result {
             Ok(version) => version,
             Err(error) => {
-                // A failed build (e.g. a caller-registered backend, or
-                // folded weights overflowing to ∞) must not lose the batch:
-                // restore it so the writes survive for a later publish. The
-                // queue is still empty here — `pending` has been held
-                // throughout — and re-applying scale-then-overrides
-                // reproduces the drained semantics exactly.
-                pending.scale(scale);
-                for &(index, weight) in &scratch.overrides {
-                    pending.set(index, weight);
-                }
+                restore_batch(&mut pending, scale, &overrides);
+                scratch.overrides = overrides;
                 return Err(error);
             }
         };
+        scratch.overrides = overrides;
         self.publishes.fetch_add(1, Ordering::Relaxed);
         // `pending` (still held) unlocks here, admitting the next publisher.
         Ok(version)
@@ -536,6 +579,8 @@ impl SelectionEngine {
         let version = self.install(
             &previous,
             previous.weights().to_vec(),
+            &[],
+            1.0,
             Some(challenger),
             &mut scratch,
         )?;
@@ -561,9 +606,12 @@ impl SelectionEngine {
     }
 
     /// Shared tail of [`publish`] and [`maybe_rebalance`]: observe the
-    /// outgoing snapshot, choose a backend (unless `rebalance_to` carries
-    /// the already-decided mid-stream target), build (timed), record any
-    /// switch, swap the new snapshot in.
+    /// outgoing snapshot, choose a backend *and freeze path* (unless
+    /// `rebalance_to` carries the already-decided mid-stream target) — the
+    /// incumbent may freeze by **patching** the previous sampler with the
+    /// coalesced batch (`overrides` after a `scale` fold) when the policy
+    /// and the learned patch-versus-rebuild constants favour it — build or
+    /// patch (timed), record any switch, swap the new snapshot in.
     ///
     /// [`publish`]: SelectionEngine::publish
     /// [`maybe_rebalance`]: SelectionEngine::maybe_rebalance
@@ -571,6 +619,8 @@ impl SelectionEngine {
         &self,
         previous: &Arc<Snapshot>,
         weights: Vec<f64>,
+        overrides: &[(usize, f64)],
+        scale: f64,
         rebalance_to: Option<usize>,
         scratch: &mut BuildScratch,
     ) -> Result<u64, SelectionError> {
@@ -588,22 +638,75 @@ impl SelectionEngine {
                 .get(self.config.expected_draws_per_publish)
         };
         let profile = WorkloadProfile::measure(&weights, draws_hint);
-        let entry = match (rebalance_to, self.config.backend) {
-            // maybe_rebalance already decided under the same pending lock.
-            (Some(challenger), _) => challenger,
-            (None, BackendChoice::Fixed(name)) => self
-                .registry
-                .index_of(name)
-                .expect("validated at construction"),
-            (None, BackendChoice::Auto) => telemetry.costs.cheapest(&self.registry, &profile),
+        let incumbent = self.registry.index_of(previous.backend());
+        let scaled = scale != 1.0;
+        let (entry, model_patches) = match (rebalance_to, self.config.backend) {
+            // maybe_rebalance already decided under the same pending lock;
+            // a rebalance republishes under a *different* backend, which
+            // can never patch.
+            (Some(challenger), _) => (challenger, false),
+            (None, BackendChoice::Fixed(name)) => {
+                let entry = self
+                    .registry
+                    .index_of(name)
+                    .expect("validated at construction");
+                let patches = incumbent == Some(entry)
+                    && self.registry.entries()[entry]
+                        .model_patch_cost(&profile, overrides.len(), scaled)
+                        .map(|patch_ops| {
+                            let cost = self.registry.entries()[entry].model_cost(&profile);
+                            telemetry.costs.patch_ns(entry, patch_ops)
+                                < telemetry.costs.build_ns(entry, cost.build_ops)
+                        })
+                        .unwrap_or(false);
+                (entry, patches)
+            }
+            // Under `PatchPolicy::Never` the incumbent may not take the
+            // patch path, so pricing it with the patch discount would let
+            // it win publishes on a freeze it is forbidden to perform.
+            (None, BackendChoice::Auto) if self.config.patch == PatchPolicy::Never => {
+                (telemetry.costs.cheapest(&self.registry, &profile), false)
+            }
+            (None, BackendChoice::Auto) => telemetry.costs.cheapest_for_publish(
+                &self.registry,
+                &profile,
+                incumbent,
+                overrides.len(),
+                scaled,
+            ),
         };
         let backend = &self.registry.entries()[entry];
         let cost = backend.model_cost(&profile);
+        let try_patching = !mid_stream
+            && incumbent == Some(entry)
+            && match self.config.patch {
+                PatchPolicy::Never => false,
+                PatchPolicy::Always => true,
+                PatchPolicy::Auto => model_patches,
+            };
         let started = Instant::now();
-        let sampler = backend.build_pooled(&weights, scratch)?;
-        let build_ns = started.elapsed().as_nanos() as f64;
+        let (sampler, patched) = if try_patching {
+            match backend.try_patch(previous.sampler(), overrides, scale) {
+                Some(Ok(sampler)) => (sampler, true),
+                Some(Err(error)) => return Err(error),
+                None => (backend.build_pooled(&weights, scratch)?, false),
+            }
+        } else {
+            (backend.build_pooled(&weights, scratch)?, false)
+        };
+        let freeze_ns = started.elapsed().as_nanos() as f64;
+        if patched {
+            self.patched_total.fetch_add(1, Ordering::Relaxed);
+        }
         if self.config.calibrate {
-            telemetry.costs.observe_build(entry, &cost, build_ns);
+            if patched {
+                if let Some(patch_ops) = backend.model_patch_cost(&profile, overrides.len(), scaled)
+                {
+                    telemetry.costs.observe_patch(entry, patch_ops, freeze_ns);
+                }
+            } else {
+                telemetry.costs.observe_build(entry, &cost, freeze_ns);
+            }
             // Time a short draw burst against the fresh sampler (skipped for
             // zero-mass snapshots, whose draws only error).
             let mut probe = [0usize; PUBLISH_PROBE_DRAWS];
@@ -642,6 +745,7 @@ impl SelectionEngine {
             enqueued: self.enqueued_total.load(Ordering::Relaxed),
             coalesced: self.coalesced_total.load(Ordering::Relaxed),
             backend_switches: self.switches_total.load(Ordering::Relaxed),
+            patched: self.patched_total.load(Ordering::Relaxed),
         }
     }
 
@@ -986,6 +1090,122 @@ mod tests {
                 assert_eq!(snap.weight(t * 32 + i), (t + 1) as f64);
             }
         }
+    }
+
+    #[test]
+    fn auto_policy_patches_small_batches_on_the_incumbent_backend() {
+        // Fenwick incumbent + one dirty category out of 4096: the unit
+        // cost model prices the patch (0.5n + log n) far below the rebuild
+        // (n), so the publish must take the patch path.
+        let config = EngineConfig {
+            backend: BackendChoice::Fixed("fenwick"),
+            ..EngineConfig::default()
+        };
+        let e = SelectionEngine::new(vec![1.0; 4096], config).unwrap();
+        e.enqueue(7, 3.0).unwrap();
+        e.publish().unwrap();
+        assert_eq!(e.stats().patched, 1);
+        assert_eq!(e.snapshot().weight(7), 3.0);
+        // Evaporation folds through the patch path too.
+        e.scale_all(0.5).unwrap();
+        e.enqueue(9, 8.0).unwrap();
+        e.publish().unwrap();
+        assert_eq!(e.stats().patched, 2);
+        assert_eq!(e.snapshot().weight(7), 1.5);
+        assert_eq!(e.snapshot().weight(9), 8.0);
+        assert_eq!(e.snapshot().weight(0), 0.5);
+    }
+
+    #[test]
+    fn never_policy_always_rebuilds() {
+        let config = EngineConfig {
+            backend: BackendChoice::Fixed("fenwick"),
+            patch: PatchPolicy::Never,
+            ..EngineConfig::default()
+        };
+        let e = SelectionEngine::new(vec![1.0; 4096], config).unwrap();
+        e.enqueue(7, 3.0).unwrap();
+        e.publish().unwrap();
+        assert_eq!(e.stats().patched, 0);
+        assert_eq!(e.snapshot().weight(7), 3.0);
+    }
+
+    #[test]
+    fn patched_and_rebuilt_publishes_hold_identical_weights() {
+        for name in BackendRegistry::standard().names() {
+            let run = |patch: PatchPolicy| {
+                let e = SelectionEngine::new(
+                    (0..512).map(|i| ((i % 7) + 1) as f64).collect(),
+                    EngineConfig {
+                        backend: BackendChoice::Fixed(name),
+                        patch,
+                        ..EngineConfig::default()
+                    },
+                )
+                .unwrap();
+                for round in 0..5u64 {
+                    e.scale_all(0.9).unwrap();
+                    for k in 0..17usize {
+                        e.enqueue((k * 31 + round as usize * 7) % 512, k as f64 + 0.5)
+                            .unwrap();
+                    }
+                    e.publish().unwrap();
+                }
+                (e.snapshot().weights().to_vec(), e.stats().patched)
+            };
+            let (patched_weights, patched) = run(PatchPolicy::Always);
+            let (rebuilt_weights, rebuilt) = run(PatchPolicy::Never);
+            assert_eq!(rebuilt, 0);
+            if name != "alias" {
+                assert_eq!(patched, 5, "{name} should have patched every publish");
+            }
+            let identical = patched_weights
+                .iter()
+                .zip(&rebuilt_weights)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "{name}: patched weights diverged from rebuild");
+        }
+    }
+
+    #[test]
+    fn patch_path_propagates_overflow_errors_and_keeps_the_batch() {
+        let config = EngineConfig {
+            backend: BackendChoice::Fixed("fenwick"),
+            patch: PatchPolicy::Always,
+            ..EngineConfig::default()
+        };
+        let e = SelectionEngine::new(vec![f64::MAX / 8.0; 4], config).unwrap();
+        // Scale the batch *up* so the fold overflows weights to ∞ mid-patch.
+        for _ in 0..4 {
+            e.scale_all(2.0).unwrap();
+        }
+        assert!(matches!(
+            e.publish(),
+            Err(SelectionError::InvalidFitness { .. })
+        ));
+        assert_eq!(e.version(), 0, "failed publish must not install");
+        // The batch survived (net scale 16): fold it down to a finite net
+        // factor of 0.5 and the publish succeeds with the restored batch.
+        e.scale_all(1.0 / 32.0).unwrap();
+        assert_eq!(e.publish().unwrap(), 1);
+        assert_eq!(e.snapshot().weight(0), f64::MAX / 16.0);
+    }
+
+    #[test]
+    fn mid_stream_rebalances_never_patch() {
+        let config = EngineConfig {
+            backend: BackendChoice::Auto,
+            expected_draws_per_publish: 1.0,
+            patch: PatchPolicy::Always,
+            ..EngineConfig::default()
+        };
+        let n = 4096;
+        let weights: Vec<f64> = (0..n).map(|i| if i == 0 { 1.0e6 } else { 1.0 }).collect();
+        let e = SelectionEngine::new(weights, config).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(9);
+        let _ = e.snapshot().sample_many(&mut rng, 100_000).unwrap();
+        assert_eq!(e.maybe_rebalance().unwrap(), Some(1));
+        assert_eq!(e.stats().patched, 0, "a backend switch cannot patch");
     }
 
     #[test]

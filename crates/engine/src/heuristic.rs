@@ -121,6 +121,10 @@ pub struct CostConstants {
     pub build_ns_per_op: f64,
     /// EWMA nanoseconds per abstract draw op.
     pub draw_ns_per_op: f64,
+    /// EWMA nanoseconds per abstract incremental-patch op (1.0 until a
+    /// patch has been observed; meaningful only for backends with a patch
+    /// path).
+    pub patch_ns_per_op: f64,
 }
 
 /// EWMA smoothing factor for per-publish cost observations: heavy enough to
@@ -138,6 +142,7 @@ pub struct CostEstimator {
     names: Vec<&'static str>,
     build_ns_per_op: Vec<Ewma>,
     draw_ns_per_op: Vec<Ewma>,
+    patch_ns_per_op: Vec<Ewma>,
 }
 
 impl CostEstimator {
@@ -148,6 +153,7 @@ impl CostEstimator {
             names: registry.names(),
             build_ns_per_op: vec![Ewma::new(COST_EWMA_ALPHA); registry.len()],
             draw_ns_per_op: vec![Ewma::new(COST_EWMA_ALPHA); registry.len()],
+            patch_ns_per_op: vec![Ewma::new(COST_EWMA_ALPHA); registry.len()],
         }
     }
 
@@ -163,6 +169,9 @@ impl CostEstimator {
         let weights: Vec<f64> = (0..n).map(|i| ((i % 7) + 1) as f64).collect();
         let profile = WorkloadProfile::measure(&weights, CALIBRATION_DRAWS as f64);
         let mut buffer = vec![0usize; CALIBRATION_DRAWS];
+        // A small probe batch (~1% dirty) for seeding the patch constants.
+        let probe_overrides: Vec<(usize, f64)> =
+            (0..(n / 100).max(1)).map(|i| ((i * 97) % n, 2.5)).collect();
         for (entry, backend) in registry.entries().iter().enumerate() {
             let cost = backend.model_cost(&profile);
             let started = Instant::now();
@@ -179,6 +188,14 @@ impl CostEstimator {
                     CALIBRATION_DRAWS as f64,
                     started.elapsed().as_nanos() as f64,
                 );
+            }
+            if let Some(patch_ops) =
+                backend.model_patch_cost(&profile, probe_overrides.len(), false)
+            {
+                let started = Instant::now();
+                if let Some(Ok(_)) = backend.try_patch(sampler.as_ref(), &probe_overrides, 1.0) {
+                    estimator.observe_patch(entry, patch_ops, started.elapsed().as_nanos() as f64);
+                }
             }
         }
         estimator
@@ -201,6 +218,24 @@ impl CostEstimator {
         }
     }
 
+    /// Fold in a measured incremental patch: `elapsed_ns` for a patch the
+    /// model priced at `patch_ops` abstract ops.
+    pub fn observe_patch(&mut self, entry: usize, patch_ops: f64, elapsed_ns: f64) {
+        if patch_ops > 0.0 {
+            self.patch_ns_per_op[entry].observe(elapsed_ns / patch_ops);
+        }
+    }
+
+    /// Predicted nanoseconds to freeze via a full build on `entry`.
+    pub fn build_ns(&self, entry: usize, build_ops: f64) -> f64 {
+        self.build_ns_per_op[entry].get(1.0) * build_ops
+    }
+
+    /// Predicted nanoseconds to freeze via an incremental patch on `entry`.
+    pub fn patch_ns(&self, entry: usize, patch_ops: f64) -> f64 {
+        self.patch_ns_per_op[entry].get(1.0) * patch_ops
+    }
+
     /// Predicted nanoseconds for one publish window on `entry`:
     /// `build + draws · per_draw`, in calibrated ns.
     pub fn window_ns(&self, entry: usize, cost: &BackendCost, draws: f64) -> f64 {
@@ -212,6 +247,49 @@ impl CostEstimator {
     /// publish-time question). Ties break toward earlier registry entries.
     pub fn cheapest(&self, registry: &BackendRegistry, profile: &WorkloadProfile) -> usize {
         self.argmin(registry, profile, None)
+    }
+
+    /// The publish-time decision with the incremental fast path priced in:
+    /// every challenger pays its full build, while the `incumbent` (the
+    /// backend the previous snapshot was frozen under) may instead pay its
+    /// patch cost for the `dirty` coalesced categories — whichever of its
+    /// two freeze paths is cheaper. Returns the winning entry and whether
+    /// the incumbent won *because of* (and should take) the patch path.
+    pub fn cheapest_for_publish(
+        &self,
+        registry: &BackendRegistry,
+        profile: &WorkloadProfile,
+        incumbent: Option<usize>,
+        dirty: usize,
+        scaled: bool,
+    ) -> (usize, bool) {
+        assert!(!registry.is_empty(), "cannot choose from an empty registry");
+        let draws = profile.draws_per_publish.max(0.0);
+        let mut best = 0;
+        let mut best_ns = f64::INFINITY;
+        let mut best_patches = false;
+        for (entry, backend) in registry.entries().iter().enumerate() {
+            let cost = backend.model_cost(profile);
+            let build_ns = self.build_ns(entry, cost.build_ops);
+            let mut freeze_ns = build_ns;
+            let mut patches = false;
+            if incumbent == Some(entry) {
+                if let Some(patch_ops) = backend.model_patch_cost(profile, dirty, scaled) {
+                    let patch_ns = self.patch_ns(entry, patch_ops);
+                    if patch_ns < build_ns {
+                        freeze_ns = patch_ns;
+                        patches = true;
+                    }
+                }
+            }
+            let ns = freeze_ns + draws * self.draw_ns_per_op[entry].get(1.0) * cost.per_draw_ops;
+            if ns < best_ns {
+                best = entry;
+                best_ns = ns;
+                best_patches = patches;
+            }
+        }
+        (best, best_patches)
     }
 
     /// The cheapest backend when `incumbent` is already built (the
@@ -263,6 +341,7 @@ impl CostEstimator {
                 backend,
                 build_ns_per_op: self.build_ns_per_op[entry].get(1.0),
                 draw_ns_per_op: self.draw_ns_per_op[entry].get(1.0),
+                patch_ns_per_op: self.patch_ns_per_op[entry].get(1.0),
             })
             .collect()
     }

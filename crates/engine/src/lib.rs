@@ -29,10 +29,17 @@
 //!   stochastic acceptance (`O(1)` expected draws on balanced weights) —
 //!   plus anything the caller registers.
 //! * [`choose_backend`] / [`CostEstimator`] — the decider: each backend
-//!   prices a publish window as `build + draws · per_draw` in abstract ops;
-//!   the estimator scales those ops by per-host constants from a one-shot
-//!   startup micro-calibration plus an EWMA of observed build/draw times,
-//!   and the engine re-decides at every publish — or **mid-stream** via
+//!   prices a publish window as `freeze + draws · per_draw` in abstract
+//!   ops, where *freeze* is a full build — or, for the incumbent backend,
+//!   an **incremental patch** of the previous snapshot with the coalesced
+//!   batch (Fenwick: `O(d · log n)` point updates on a pooled copy;
+//!   stochastic acceptance: `O(d)` aggregate maintenance; the alias table
+//!   always rebuilds, with its Vose worklists classified rayon-parallel).
+//!   The estimator scales those ops by per-host constants from a one-shot
+//!   startup micro-calibration plus an EWMA of observed build/patch/draw
+//!   times, picks patch-versus-rebuild per publish
+//!   ([`PatchPolicy`] overrides it for tests), and re-decides at every
+//!   publish — or **mid-stream** via
 //!   [`SelectionEngine::maybe_rebalance`], which treats the incumbent's
 //!   build as sunk and switches only when the observed workload drift pays
 //!   for the new build. Switches land in
@@ -78,7 +85,7 @@ pub use backend::{
     AliasBackend, BackendCost, BackendRegistry, BuildScratch, FenwickBackend, FrozenBackend,
     StochasticAcceptanceBackend,
 };
-pub use engine::{BackendSwitch, EngineConfig, EngineStats, SelectionEngine};
+pub use engine::{BackendSwitch, EngineConfig, EngineStats, PatchPolicy, SelectionEngine};
 pub use heuristic::{
     choose_backend, BackendChoice, CostConstants, CostEstimator, Ewma, WorkloadProfile,
 };

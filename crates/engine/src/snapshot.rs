@@ -124,6 +124,12 @@ impl Snapshot {
         self.total
     }
 
+    /// The frozen sampler itself — the engine's patch path hands it to the
+    /// backend so the next snapshot can be derived from it incrementally.
+    pub(crate) fn sampler(&self) -> &dyn FrozenSampler {
+        self.sampler.as_ref()
+    }
+
     /// Draws served from this snapshot so far (telemetry; relaxed reads,
     /// summed over the per-reader shards).
     pub fn served(&self) -> u64 {

@@ -28,6 +28,7 @@ fn main() -> Result<(), lrb_core::SelectionError> {
             backend: BackendChoice::Auto,
             expected_draws_per_publish: 64.0, // a deliberately bad hint
             calibrate: true,
+            ..EngineConfig::default()
         },
     )?;
 

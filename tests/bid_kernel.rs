@@ -173,3 +173,116 @@ fn kernel_winner_matches_the_reference_bids() {
         assert_eq!(chosen, best.1, "seed {seed}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// The fused multi-draw path (select_into: eight bid streams per pass).
+// ---------------------------------------------------------------------------
+
+mod fused {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The fused contract, fuzzed: a buffer fill of any length —
+        /// including lengths that do not divide the fused width of 8 —
+        /// agrees draw for draw with a `select` loop on an equally seeded
+        /// caller generator, over arbitrary weight vectors with zeros.
+        #[test]
+        fn prop_fused_fill_equals_a_select_loop(
+            weights in proptest::collection::vec(0.0f64..50.0, 2..600),
+            batch in 1usize..40,
+            seed: u64,
+        ) {
+            prop_assume!(weights.iter().any(|&w| w > 0.0));
+            let fitness = Fitness::new(weights).unwrap();
+            let selector = ParallelLogBiddingSelector::default();
+            let mut rng_fill = Philox4x32::for_substream(seed, 1);
+            let mut rng_loop = Philox4x32::for_substream(seed, 1);
+            let mut filled = vec![0usize; batch];
+            selector.select_into(&fitness, &mut rng_fill, &mut filled).unwrap();
+            for (t, &got) in filled.iter().enumerate() {
+                let expect = selector.select(&fitness, &mut rng_loop).unwrap();
+                prop_assert_eq!(got, expect, "diverged at draw {} of {}", t, batch);
+            }
+            // Both paths consumed the same caller randomness.
+            prop_assert_eq!(rng_fill.next_u64(), rng_loop.next_u64());
+        }
+    }
+
+    #[test]
+    fn fused_fill_is_exact_on_table1() {
+        // Chi-square conformance of the fused path itself: tabulate one
+        // large buffer fill.
+        let fitness = Fitness::table1();
+        let selector = ParallelLogBiddingSelector::default();
+        let mut rng = MersenneTwister64::seed_from_u64(4242);
+        let mut out = vec![0usize; 60_000];
+        selector.select_into(&fitness, &mut rng, &mut out).unwrap();
+        let mut counts = vec![0u64; fitness.len()];
+        for &i in &out {
+            counts[i] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero-fitness index selected");
+        assert_exact("fused select_into on Table I", &counts, fitness.values());
+    }
+
+    #[test]
+    fn fused_fill_is_exact_through_the_batch_driver() {
+        // The BatchDriver feeds select_into per chunk, so its batches run
+        // the fused kernel end to end.
+        let fitness = Fitness::new(vec![5.0, 1.0, 3.0, 1.0, 0.0, 2.0]).unwrap();
+        let selector = ParallelLogBiddingSelector::default();
+        let batch = batch_select_counts(&selector, &fitness, 80_000, 31).unwrap();
+        assert_exact(
+            "fused path through the batch driver",
+            batch.counts(),
+            fitness.values(),
+        );
+    }
+
+    #[test]
+    fn fused_fill_is_invariant_across_thread_counts() {
+        let fitness = Fitness::new((0..20_000).map(|i| ((i % 29) + 1) as f64).collect()).unwrap();
+        let selector = ParallelLogBiddingSelector {
+            sequential_cutoff: 0,
+        };
+        let run = |threads: usize| -> Vec<usize> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut rng = MersenneTwister64::seed_from_u64(808);
+                let mut out = vec![0usize; 41]; // not a multiple of 8
+                selector.select_into(&fitness, &mut rng, &mut out).unwrap();
+                out
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn fused_rayon_and_sequential_cutoff_paths_agree() {
+        // Forcing the parallel path and the sequential path must fill the
+        // same buffer: chunk boundaries are scheduling, not layout.
+        let fitness = Fitness::new((0..9_000).map(|i| ((i * 3) % 23) as f64).collect()).unwrap();
+        let par = ParallelLogBiddingSelector {
+            sequential_cutoff: 0,
+        };
+        let seq = ParallelLogBiddingSelector {
+            sequential_cutoff: usize::MAX,
+        };
+        for seed in 0..8 {
+            let mut rng_a = Philox4x32::for_substream(7, seed);
+            let mut rng_b = Philox4x32::for_substream(7, seed);
+            let mut a = vec![0usize; 27];
+            let mut b = vec![0usize; 27];
+            par.select_into(&fitness, &mut rng_a, &mut a).unwrap();
+            seq.select_into(&fitness, &mut rng_b, &mut b).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+}
