@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p lrb-bench --release --bin engine_quick \
 //!     [-- --n 4096 --readers 8 --ratio 16 --duration-ms 250 \
-//!         --min-speedup 3.0 --trials 120000 --json 1]
+//!         --min-speedup 3.0 --trials 120000 --timing-every 32 --json 1]
 //! ```
 //!
 //! Two checks:
@@ -26,8 +26,12 @@
 //!    per backend choice, and is enforced everywhere.
 //!
 //! The `--json 1` report (recorded as the `BENCH_engine.json` baseline)
-//! includes the calibrated per-op cost constants and the full
-//! backend-switch history of the adaptive run.
+//! includes the calibrated per-op cost constants, the full backend-switch
+//! history of the adaptive run, and — via the engine's observability
+//! layer — the publish-span and sampled reader-draw latency distributions
+//! (p50/p99/p999) of every driver run. `--timing-every N` controls the
+//! 1-in-N reader-timing sample rate (default 32; `0` turns reader timing
+//! off, leaving the sample-latency summaries empty).
 
 use lrb_bench::cli::{Options, OrExit};
 use lrb_bench::engine_workload::{
@@ -57,6 +61,10 @@ fn main() {
     let duration_ms = options.u64_or("duration-ms", 250).or_exit();
     let min_speedup = options.f64_or("min-speedup", 3.0).or_exit();
     let trials = options.u64_or("trials", 120_000).or_exit();
+    let timing_every = options
+        .u64_or("timing-every", 32)
+        .or_exit()
+        .min(u32::MAX as u64) as u32;
     let seed = options.u64_or("seed", 2024).or_exit();
 
     let host_threads = std::thread::available_parallelism()
@@ -67,6 +75,7 @@ fn main() {
         categories: n,
         samples_per_update: ratio,
         duration_ms,
+        reader_timing_every: timing_every,
         seed,
         ..DriverConfig::default()
     };
@@ -83,6 +92,17 @@ fn main() {
         println!(
             "  {:>2} readers   {:>12.0} samples/s   ({} publishes, backend {})",
             r, report.samples_per_sec, report.publishes, report.backend
+        );
+        println!(
+            "              publish ns p50/p99/p999 = {}/{}/{}   \
+             draw ns p50/p99/p999 = {}/{}/{} ({} timed)",
+            report.publish_latency.p50_ns,
+            report.publish_latency.p99_ns,
+            report.publish_latency.p999_ns,
+            report.sample_latency.p50_ns,
+            report.sample_latency.p99_ns,
+            report.sample_latency.p999_ns,
+            report.sample_latency.count
         );
         reader_scaling.push(report);
     }

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 struct PaddedCounter(AtomicU64);
 
 use lrb_engine::{BackendChoice, EngineConfig, SelectionEngine};
+use lrb_obs::HistogramSnapshot;
 use lrb_rng::{Philox4x32, RandomSource};
 use lrb_stats::chi_square_gof;
 use serde::Serialize;
@@ -51,6 +52,10 @@ pub struct DriverConfig {
     /// Run the engine's startup micro-calibration and per-publish cost
     /// telemetry (host-measured constants instead of the unit model).
     pub calibrate: bool,
+    /// Sampled reader timing: each reader thread times one in this many
+    /// snapshot acquisitions (`0` disables, the uninstrumented baseline;
+    /// see `EngineConfig::reader_timing_every`).
+    pub reader_timing_every: u32,
     /// Master seed for every thread's Philox stream.
     pub seed: u64,
 }
@@ -68,7 +73,40 @@ impl Default for DriverConfig {
             zipf_exponent: 0.0,
             backend: BackendChoice::Auto,
             calibrate: false,
+            reader_timing_every: 0,
             seed: 2024,
+        }
+    }
+}
+
+/// Percentile summary of one engine latency histogram (serialisable for
+/// `BENCH_engine.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    /// Spans recorded.
+    pub count: u64,
+    /// Mean nanoseconds.
+    pub mean_ns: f64,
+    /// Median nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile nanoseconds.
+    pub p999_ns: u64,
+    /// Largest recorded span, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarise an observability histogram snapshot.
+    pub fn from_snapshot(snapshot: &HistogramSnapshot) -> Self {
+        Self {
+            count: snapshot.count,
+            mean_ns: snapshot.mean(),
+            p50_ns: snapshot.p50(),
+            p99_ns: snapshot.p99(),
+            p999_ns: snapshot.p999(),
+            max_ns: snapshot.max,
         }
     }
 }
@@ -106,6 +144,11 @@ pub struct DriverReport {
     /// Achieved samples-per-update ratio (≈ the configured target once the
     /// loop warms up).
     pub achieved_samples_per_update: f64,
+    /// Full `publish()` span distribution (nanoseconds).
+    pub publish_latency: LatencySummary,
+    /// Sampled per-draw reader latency (nanoseconds, amortised over each
+    /// timed buffer; all-zero when `reader_timing_every` was 0).
+    pub sample_latency: LatencySummary,
 }
 
 /// Initial weights for a skew setting: uniform at `zipf_exponent == 0`,
@@ -133,6 +176,7 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
             expected_draws_per_publish: (config.samples_per_update
                 * config.updates_per_publish.max(1)) as f64,
             calibrate: config.calibrate,
+            reader_timing_every: config.reader_timing_every,
             ..EngineConfig::default()
         },
     )
@@ -227,6 +271,7 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
         .map(|cell| cell.0.load(Ordering::Relaxed))
         .sum();
     let stats = engine.stats();
+    let obs = engine.observability();
     DriverReport {
         categories: config.categories as u64,
         readers: config.readers as u64,
@@ -242,6 +287,8 @@ pub fn run_driver(config: &DriverConfig) -> DriverReport {
         backend_switches: stats.backend_switches,
         samples_per_sec: samples as f64 / duration_s.max(1e-9),
         achieved_samples_per_update: samples as f64 / (stats.enqueued.max(1)) as f64,
+        publish_latency: LatencySummary::from_snapshot(&obs.publish_latency()),
+        sample_latency: LatencySummary::from_snapshot(&obs.reader_draw_latency()),
     }
 }
 
@@ -269,11 +316,17 @@ impl Default for SkewShiftConfig {
             categories: 4096,
             trials: 120_000,
             // Enough zero-draw publishes that the draws-per-publish EWMA
-            // (alpha 0.2) decays from hundreds of thousands to ~single
-            // draws: in that regime the arg-min is the cheapest *measured*
-            // build, which is never the three-pass alias table — so the
-            // decider must move, whatever this host's constants are.
-            spike_publishes: 60,
+            // (alpha 0.2, seeded at `trials` by the uniform phase) decays
+            // to where the arg-min is build-cost-dominated. The EWMA after
+            // k spike publishes is `trials · 0.8^(k-1)`; the switch off the
+            // alias table needs it below ~0.3 draws (where even stochastic
+            // acceptance's degenerate-skew draw term stops masking its
+            // build advantage over the three-pass alias build), first true
+            // near k = 62. Running to 80 leaves the EWMA ≈ 0.005, so the
+            // final publishes demand a switch with an ~2x margin on the
+            // measured constants — the gate must not hinge on knife-edge
+            // build-time ratios that drift with ambient CPU state.
+            spike_publishes: 80,
             seed: 2024,
             calibrate: true,
         }
@@ -539,6 +592,36 @@ mod tests {
             .cost_constants
             .iter()
             .all(|c| c.build_ns_per_op == 1.0 && c.draw_ns_per_op == 1.0));
+    }
+
+    #[test]
+    fn instrumented_runs_record_latency_distributions() {
+        let report = run_driver(&DriverConfig {
+            categories: 256,
+            duration_ms: 60,
+            samples_per_update: 4,
+            updates_per_publish: 8,
+            reader_timing_every: 2,
+            ..DriverConfig::default()
+        });
+        // The publish histogram and the publish counter are bumped together
+        // under the pending lock, so they agree exactly.
+        assert_eq!(report.publish_latency.count, report.publishes);
+        assert!(report.publish_latency.p50_ns > 0, "publish spans take time");
+        assert!(report.publish_latency.p999_ns >= report.publish_latency.p50_ns);
+        assert!(
+            report.sample_latency.count > 0,
+            "1-in-2 reader timing recorded nothing: {report:?}"
+        );
+        assert!(report.sample_latency.max_ns >= report.sample_latency.p50_ns);
+
+        // The uninstrumented baseline keeps the reader histogram empty.
+        let baseline = run_driver(&DriverConfig {
+            categories: 256,
+            duration_ms: 40,
+            ..DriverConfig::default()
+        });
+        assert_eq!(baseline.sample_latency.count, 0);
     }
 
     #[test]

@@ -23,6 +23,7 @@ mod independent;
 mod log_bidding;
 mod prefix_sum;
 
+pub use bid_kernel::{kernel_counters, KernelCounters};
 pub use crcw::CrcwLogBiddingSelector;
 pub use independent::{IndependentRouletteSelector, ParallelIndependentRouletteSelector};
 pub use log_bidding::{

@@ -61,6 +61,8 @@ use crate::heuristic::{BackendChoice, CostConstants, CostEstimator, Ewma, Worklo
 use crate::hot_swap::HotSwap;
 use crate::queue::CoalescingQueue;
 use crate::snapshot::Snapshot;
+use crate::telemetry::{EngineEvent, EngineTelemetry};
+use lrb_obs::MetricsSnapshot;
 
 /// Draws timed against each freshly built snapshot to refresh the draw-cost
 /// EWMA (only under [`EngineConfig::calibrate`]).
@@ -126,6 +128,16 @@ pub struct EngineConfig {
     pub calibrate: bool,
     /// Whether publishes may take the incremental patch path.
     pub patch: PatchPolicy,
+    /// Sampled reader-draw timing: when non-zero, one in this many reader
+    /// acquisitions per thread is timed and its amortised per-draw
+    /// nanoseconds recorded into
+    /// [`EngineTelemetry::reader_draw_latency`]. `0` (the default) turns
+    /// reader timing off entirely — the hot path then carries no timing
+    /// branch beyond one TLS check. The sampled path itself stays
+    /// allocation-free (one clock read plus relaxed histogram adds), so
+    /// even `1` — time every call — is safe, just measurably slower;
+    /// serving deployments typically want `32`–`256`.
+    pub reader_timing_every: u32,
 }
 
 impl Default for EngineConfig {
@@ -135,11 +147,17 @@ impl Default for EngineConfig {
             expected_draws_per_publish: 1024.0,
             calibrate: false,
             patch: PatchPolicy::default(),
+            reader_timing_every: 0,
         }
     }
 }
 
-/// Aggregate engine counters (all monotone since construction).
+/// Aggregate engine counters (all monotone since construction), read as one
+/// **coherent** snapshot: [`SelectionEngine::stats`] takes the publish lock,
+/// and every counter mutation happens under that same lock, so the fields
+/// always describe a single instant between batch operations — a publish
+/// can never be half-visible (e.g. `publishes` bumped but `patched` not
+/// yet).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
     /// Snapshots published (the initial build is not counted).
@@ -154,6 +172,8 @@ pub struct EngineStats {
     /// Publishes that froze their snapshot through the incremental patch
     /// path instead of a full rebuild.
     pub patched: u64,
+    /// Registry name of the backend serving the current snapshot.
+    pub backend: &'static str,
 }
 
 /// One recorded backend change, for telemetry and `BENCH_engine.json`.
@@ -175,7 +195,7 @@ pub struct BackendSwitch {
 
 /// Mutable decider state, locked only on the (already serialised) publish
 /// path and by telemetry getters.
-struct Telemetry {
+struct DeciderState {
     costs: CostEstimator,
     draws_per_publish: Ewma,
     switches: Vec<BackendSwitch>,
@@ -222,9 +242,16 @@ pub struct SelectionEngine {
     /// the already-serialised publishers).
     scratch: Mutex<BuildScratch>,
     registry: BackendRegistry,
-    telemetry: Mutex<Telemetry>,
+    decider: Mutex<DeciderState>,
+    /// Always-on instrumentation: latency histograms, the SIMD gauge and
+    /// the flight-recorder journal. `Arc` because snapshots hold a handle
+    /// for sampled reader timing.
+    obs: Arc<EngineTelemetry>,
     config: EngineConfig,
     len: usize,
+    /// Counters behind [`EngineStats`]. All mutations happen under the
+    /// `pending` lock (see `stats()` for the coherence argument); they stay
+    /// atomics only so `Debug`/readers may take cheap incoherent peeks.
     publishes: AtomicU64,
     enqueued_total: AtomicU64,
     coalesced_total: AtomicU64,
@@ -280,12 +307,26 @@ impl SelectionEngine {
             }
         }
         let len = weights.len();
+        let obs = Arc::new(EngineTelemetry::new());
+        // Journal what the RNG layer is running on, once, at construction —
+        // the SIMD tier is process-wide and immutable, so this is the one
+        // place a flight-recorder reader can learn it.
+        let tier = lrb_rng::simd_tier();
+        obs.set_simd_tier(tier);
+        obs.record(EngineEvent::SimdTier {
+            tier,
+            overridden: std::env::var_os("LRB_SIMD").is_some(),
+        });
         let costs = if config.calibrate {
-            CostEstimator::calibrate(&registry, len)
+            let costs = CostEstimator::calibrate(&registry, len);
+            for constants in costs.constants() {
+                obs.record(EngineEvent::Calibrated { constants });
+            }
+            costs
         } else {
             CostEstimator::unit(&registry)
         };
-        let telemetry = Telemetry {
+        let decider = DeciderState {
             costs,
             draws_per_publish: Ewma::new(DRAWS_EWMA_ALPHA),
             switches: Vec::new(),
@@ -293,16 +334,20 @@ impl SelectionEngine {
         let profile = WorkloadProfile::measure(&weights, config.expected_draws_per_publish);
         let entry = match config.backend {
             BackendChoice::Fixed(name) => registry.index_of(name).expect("validated above"),
-            BackendChoice::Auto => telemetry.costs.cheapest(&registry, &profile),
+            BackendChoice::Auto => decider.costs.cheapest(&registry, &profile),
         };
-        let snapshot = Snapshot::build(0, weights, &registry.entries()[entry])?;
+        let mut snapshot = Snapshot::build(0, weights, &registry.entries()[entry])?;
+        if config.reader_timing_every > 0 {
+            snapshot.set_reader_timing(config.reader_timing_every, Arc::clone(&obs));
+        }
         Ok(Self {
             current: HotSwap::new(Arc::new(snapshot)),
             engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             pending: Mutex::new(CoalescingQueue::new()),
             scratch: Mutex::new(BuildScratch::default()),
             registry,
-            telemetry: Mutex::new(telemetry),
+            decider: Mutex::new(decider),
+            obs,
             config,
             len,
             publishes: AtomicU64::new(0),
@@ -443,15 +488,15 @@ impl SelectionEngine {
                 value: weight,
             });
         }
-        let coalesced = self
-            .pending
-            .lock()
-            .expect("batch lock poisoned")
-            .set(index, weight);
+        let mut pending = self.pending.lock().expect("batch lock poisoned");
+        let coalesced = pending.set(index, weight);
+        // Counter updates happen while `pending` is held so `stats()` (which
+        // also takes the lock) always observes them coherently.
         self.enqueued_total.fetch_add(1, Ordering::Relaxed);
         if coalesced {
             self.coalesced_total.fetch_add(1, Ordering::Relaxed);
         }
+        drop(pending);
         Ok(())
     }
 
@@ -479,10 +524,11 @@ impl SelectionEngine {
                 coalesced += 1;
             }
         }
-        drop(pending);
+        // Under the lock, for `stats()` coherence (see `stats()`).
         self.enqueued_total
             .fetch_add(updates.len() as u64, Ordering::Relaxed);
         self.coalesced_total.fetch_add(coalesced, Ordering::Relaxed);
+        drop(pending);
         Ok(())
     }
 
@@ -507,6 +553,7 @@ impl SelectionEngine {
     /// now current. A publish with nothing pending is a no-op returning the
     /// unchanged version.
     pub fn publish(&self) -> Result<u64, SelectionError> {
+        let started = Instant::now();
         let mut pending = self.pending.lock().expect("batch lock poisoned");
         if pending.is_empty() {
             return Ok(self.version());
@@ -538,6 +585,7 @@ impl SelectionEngine {
         };
         scratch.overrides = overrides;
         self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.obs.record_publish_span(started);
         // `pending` (still held) unlocks here, admitting the next publisher.
         Ok(version)
     }
@@ -554,6 +602,7 @@ impl SelectionEngine {
         if !matches!(self.config.backend, BackendChoice::Auto) {
             return Ok(None);
         }
+        let started = Instant::now();
         // Serialise with publishers exactly like publish() does.
         let pending = self.pending.lock().expect("batch lock poisoned");
         if !pending.is_empty() {
@@ -565,10 +614,10 @@ impl SelectionEngine {
             .index_of(previous.backend())
             .expect("current snapshot was built from this registry");
         let challenger = {
-            let telemetry = self.telemetry.lock().expect("telemetry lock poisoned");
-            let draws_hint = Self::mid_stream_draw_hint(&telemetry, &self.config, &previous);
+            let decider = self.decider.lock().expect("decider lock poisoned");
+            let draws_hint = Self::mid_stream_draw_hint(&decider, &self.config, &previous);
             let profile = WorkloadProfile::measure(previous.weights(), draws_hint);
-            telemetry
+            decider
                 .costs
                 .cheapest_given_incumbent(&self.registry, &profile, incumbent)
         };
@@ -585,6 +634,7 @@ impl SelectionEngine {
             &mut scratch,
         )?;
         self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.obs.record_publish_span(started);
         drop(pending);
         Ok(Some(version))
     }
@@ -595,11 +645,11 @@ impl SelectionEngine {
     /// expect at least N more, which is exactly the drift signal that makes
     /// an unamortised build worth paying.
     fn mid_stream_draw_hint(
-        telemetry: &Telemetry,
+        decider: &DeciderState,
         config: &EngineConfig,
         previous: &Snapshot,
     ) -> f64 {
-        telemetry
+        decider
             .draws_per_publish
             .get(config.expected_draws_per_publish)
             .max(previous.served() as f64)
@@ -625,15 +675,15 @@ impl SelectionEngine {
         scratch: &mut BuildScratch,
     ) -> Result<u64, SelectionError> {
         let mid_stream = rebalance_to.is_some();
-        let mut telemetry = self.telemetry.lock().expect("telemetry lock poisoned");
+        let mut decider = self.decider.lock().expect("decider lock poisoned");
         let draws_served = previous.served();
         // A rebalance happens mid-window; folding its partial draw count
         // into the EWMA would bias the rate estimate downward.
         let draws_hint = if mid_stream {
-            Self::mid_stream_draw_hint(&telemetry, &self.config, previous)
+            Self::mid_stream_draw_hint(&decider, &self.config, previous)
         } else {
-            telemetry.draws_per_publish.observe(draws_served as f64);
-            telemetry
+            decider.draws_per_publish.observe(draws_served as f64);
+            decider
                 .draws_per_publish
                 .get(self.config.expected_draws_per_publish)
         };
@@ -655,8 +705,8 @@ impl SelectionEngine {
                         .model_patch_cost(&profile, overrides.len(), scaled)
                         .map(|patch_ops| {
                             let cost = self.registry.entries()[entry].model_cost(&profile);
-                            telemetry.costs.patch_ns(entry, patch_ops)
-                                < telemetry.costs.build_ns(entry, cost.build_ops)
+                            decider.costs.patch_ns(entry, patch_ops)
+                                < decider.costs.build_ns(entry, cost.build_ops)
                         })
                         .unwrap_or(false);
                 (entry, patches)
@@ -665,9 +715,9 @@ impl SelectionEngine {
             // patch path, so pricing it with the patch discount would let
             // it win publishes on a freeze it is forbidden to perform.
             (None, BackendChoice::Auto) if self.config.patch == PatchPolicy::Never => {
-                (telemetry.costs.cheapest(&self.registry, &profile), false)
+                (decider.costs.cheapest(&self.registry, &profile), false)
             }
-            (None, BackendChoice::Auto) => telemetry.costs.cheapest_for_publish(
+            (None, BackendChoice::Auto) => decider.costs.cheapest_for_publish(
                 &self.registry,
                 &profile,
                 incumbent,
@@ -695,6 +745,7 @@ impl SelectionEngine {
             (backend.build_pooled(&weights, scratch)?, false)
         };
         let freeze_ns = started.elapsed().as_nanos() as f64;
+        self.obs.record_freeze_ns(freeze_ns as u64);
         if patched {
             self.patched_total.fetch_add(1, Ordering::Relaxed);
         }
@@ -702,10 +753,10 @@ impl SelectionEngine {
             if patched {
                 if let Some(patch_ops) = backend.model_patch_cost(&profile, overrides.len(), scaled)
                 {
-                    telemetry.costs.observe_patch(entry, patch_ops, freeze_ns);
+                    decider.costs.observe_patch(entry, patch_ops, freeze_ns);
                 }
             } else {
-                telemetry.costs.observe_build(entry, &cost, freeze_ns);
+                decider.costs.observe_build(entry, &cost, freeze_ns);
             }
             // Time a short draw burst against the fresh sampler (skipped for
             // zero-mass snapshots, whose draws only error).
@@ -713,7 +764,7 @@ impl SelectionEngine {
             let mut rng = Philox4x32::for_substream(previous.version() + 1, entry as u64);
             let started = Instant::now();
             if sampler.sample_into(&mut rng, &mut probe).is_ok() {
-                telemetry.costs.observe_draws(
+                decider.costs.observe_draws(
                     entry,
                     &cost,
                     PUBLISH_PROBE_DRAWS as f64,
@@ -722,9 +773,21 @@ impl SelectionEngine {
             }
         }
         let version = previous.version() + 1;
-        let snapshot = Snapshot::from_parts(version, weights, backend.name(), sampler);
+        let mut snapshot = Snapshot::from_parts(version, weights, backend.name(), sampler);
+        if self.config.reader_timing_every > 0 {
+            snapshot.set_reader_timing(self.config.reader_timing_every, Arc::clone(&self.obs));
+        }
+        self.obs.record(EngineEvent::Publish {
+            version,
+            backend: snapshot.backend(),
+            patched,
+            freeze_ns: freeze_ns as u64,
+            dirty: overrides.len() as u64,
+            scaled,
+            draws_served,
+        });
         if snapshot.backend() != previous.backend() {
-            telemetry.switches.push(BackendSwitch {
+            decider.switches.push(BackendSwitch {
                 version,
                 from: previous.backend(),
                 to: snapshot.backend(),
@@ -732,37 +795,57 @@ impl SelectionEngine {
                 mid_stream,
             });
             self.switches_total.fetch_add(1, Ordering::Relaxed);
+            self.obs.record(EngineEvent::BackendSwitch {
+                version,
+                from: previous.backend(),
+                to: snapshot.backend(),
+                draws_hint,
+                skew: profile.skew,
+                categories: profile.categories as u64,
+                mid_stream,
+            });
         }
-        drop(telemetry);
+        drop(decider);
         self.current.store(Arc::new(snapshot));
         Ok(version)
     }
 
-    /// Aggregate counters since construction.
+    /// Aggregate counters since construction, as one **coherent** snapshot.
+    ///
+    /// The read holds the publish (`pending`) lock, and every counter
+    /// mutation in the engine happens while that lock is held — enqueues
+    /// bump their totals before releasing it, publishes and rebalances bump
+    /// `publishes`/`patched`/`backend_switches` and swap the snapshot with
+    /// it still held. The returned struct therefore describes a single
+    /// instant between batch operations; a concurrent publish is either
+    /// entirely visible (including the `backend` name of the snapshot it
+    /// installed) or not at all.
     pub fn stats(&self) -> EngineStats {
+        let _pending = self.pending.lock().expect("batch lock poisoned");
         EngineStats {
             publishes: self.publishes.load(Ordering::Relaxed),
             enqueued: self.enqueued_total.load(Ordering::Relaxed),
             coalesced: self.coalesced_total.load(Ordering::Relaxed),
             backend_switches: self.switches_total.load(Ordering::Relaxed),
             patched: self.patched_total.load(Ordering::Relaxed),
+            backend: self.current.load().backend(),
         }
     }
 
     /// Every backend change so far, oldest first.
     pub fn switch_history(&self) -> Vec<BackendSwitch> {
-        self.telemetry
+        self.decider
             .lock()
-            .expect("telemetry lock poisoned")
+            .expect("decider lock poisoned")
             .switches
             .clone()
     }
 
     /// The decider's current calibrated cost constants, in registry order.
     pub fn cost_constants(&self) -> Vec<CostConstants> {
-        self.telemetry
+        self.decider
             .lock()
-            .expect("telemetry lock poisoned")
+            .expect("decider lock poisoned")
             .costs
             .constants()
     }
@@ -770,11 +853,157 @@ impl SelectionEngine {
     /// The observed draws-per-publish rate the decider is currently using
     /// (the config hint until the first publish).
     pub fn observed_draws_per_publish(&self) -> f64 {
-        self.telemetry
+        self.decider
             .lock()
-            .expect("telemetry lock poisoned")
+            .expect("decider lock poisoned")
             .draws_per_publish
             .get(self.config.expected_draws_per_publish)
+    }
+
+    /// The engine's instrumentation bundle: latency histograms, the SIMD
+    /// gauge and the flight-recorder journal.
+    pub fn observability(&self) -> &EngineTelemetry {
+        &self.obs
+    }
+
+    /// Collect every engine metric into one point-in-time
+    /// [`MetricsSnapshot`] — the full catalogue behind
+    /// [`export_prometheus`](Self::export_prometheus) and
+    /// [`export_json`](Self::export_json):
+    ///
+    /// | metric | kind | meaning |
+    /// |---|---|---|
+    /// | `lrb_publishes_total` | counter | snapshots published |
+    /// | `lrb_enqueued_total` | counter | writer overrides accepted |
+    /// | `lrb_coalesced_total` | counter | overrides overwritten pre-publish |
+    /// | `lrb_backend_switches_total` | counter | decider backend changes |
+    /// | `lrb_patched_total` | counter | publishes via the patch path |
+    /// | `lrb_journal_events_total` | counter | flight-recorder pushes |
+    /// | `lrb_snapshot_version` | gauge | current snapshot version |
+    /// | `lrb_snapshot_served` | gauge | draws served by the current snapshot |
+    /// | `lrb_categories` | gauge | categories in the weight vector |
+    /// | `lrb_simd_lanes` | gauge | Philox lanes per SIMD op (8/4/1) |
+    /// | `lrb_draws_per_publish` | gauge | decider's observed draw-rate EWMA |
+    /// | `lrb_cost_<backend>_{build,draw,patch}_ns_per_op` | gauge | cost-model EWMAs |
+    /// | `lrb_publish_ns` | histogram | full publish spans |
+    /// | `lrb_freeze_ns` | histogram | build-or-patch spans |
+    /// | `lrb_reader_draw_ns` | histogram | sampled per-draw reader latency |
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let stats = self.stats();
+        let (version, served) = self.read(|s| (s.version(), s.served()));
+        let mut out = MetricsSnapshot::new();
+        out.counter(
+            "lrb_publishes_total",
+            "Snapshots published",
+            stats.publishes,
+        )
+        .counter(
+            "lrb_enqueued_total",
+            "Writer overrides accepted",
+            stats.enqueued,
+        )
+        .counter(
+            "lrb_coalesced_total",
+            "Overrides overwritten before publishing",
+            stats.coalesced,
+        )
+        .counter(
+            "lrb_backend_switches_total",
+            "Backend changes by the decider",
+            stats.backend_switches,
+        )
+        .counter(
+            "lrb_patched_total",
+            "Publishes frozen through the incremental patch path",
+            stats.patched,
+        )
+        .counter(
+            "lrb_journal_events_total",
+            "Events pushed to the flight recorder",
+            self.obs.events_recorded(),
+        );
+        // Process-wide bid-kernel counters (shared across engines): the
+        // direct measurement of the lazy-ln filter's O(log n) claim.
+        let kernel = lrb_core::parallel::kernel_counters();
+        out.counter(
+            "lrb_bid_ln_calls_total",
+            "ln evaluations the lazy bid filter paid for (process-wide)",
+            kernel.ln_calls,
+        )
+        .counter(
+            "lrb_bid_refine_hits_total",
+            "Rows the fused row filter admitted for refinement (process-wide)",
+            kernel.refine_hits,
+        )
+        .gauge(
+            "lrb_snapshot_version",
+            "Current snapshot version",
+            version as f64,
+        )
+        .gauge(
+            "lrb_snapshot_served",
+            "Draws served by the current snapshot",
+            served as f64,
+        )
+        .gauge(
+            "lrb_categories",
+            "Categories in the weight vector",
+            self.len as f64,
+        )
+        .gauge(
+            "lrb_simd_lanes",
+            "Philox lanes per SIMD op at the active tier (8 = AVX-512, 4 = AVX2, 1 = scalar)",
+            self.obs.simd_lanes(),
+        )
+        .gauge(
+            "lrb_draws_per_publish",
+            "Observed draws-per-publish EWMA driving the decider",
+            self.observed_draws_per_publish(),
+        );
+        for constants in self.cost_constants() {
+            let backend = constants.backend.replace('-', "_");
+            out.gauge(
+                &format!("lrb_cost_{backend}_build_ns_per_op"),
+                "Cost-model EWMA: nanoseconds per abstract build op",
+                constants.build_ns_per_op,
+            )
+            .gauge(
+                &format!("lrb_cost_{backend}_draw_ns_per_op"),
+                "Cost-model EWMA: nanoseconds per abstract draw op",
+                constants.draw_ns_per_op,
+            )
+            .gauge(
+                &format!("lrb_cost_{backend}_patch_ns_per_op"),
+                "Cost-model EWMA: nanoseconds per abstract patch op",
+                constants.patch_ns_per_op,
+            );
+        }
+        out.histogram(
+            "lrb_publish_ns",
+            "Full publish() spans, nanoseconds",
+            &self.obs.publish_latency(),
+        )
+        .histogram(
+            "lrb_freeze_ns",
+            "Snapshot freeze (build or patch) spans, nanoseconds",
+            &self.obs.freeze_latency(),
+        )
+        .histogram(
+            "lrb_reader_draw_ns",
+            "Sampled per-draw reader latency, nanoseconds",
+            &self.obs.reader_draw_latency(),
+        );
+        out
+    }
+
+    /// [`metrics`](Self::metrics) rendered as Prometheus text exposition.
+    pub fn export_prometheus(&self) -> String {
+        self.metrics().to_prometheus()
+    }
+
+    /// [`metrics`](Self::metrics) rendered as a pretty-printed JSON object.
+    pub fn export_json(&self) -> String {
+        self.metrics().to_json()
     }
 }
 
@@ -1206,6 +1435,162 @@ mod tests {
         let _ = e.snapshot().sample_many(&mut rng, 100_000).unwrap();
         assert_eq!(e.maybe_rebalance().unwrap(), Some(1));
         assert_eq!(e.stats().patched, 0, "a backend switch cannot patch");
+    }
+
+    #[test]
+    fn journal_explains_publishes_and_switches() {
+        use crate::telemetry::EngineEvent;
+        let config = EngineConfig {
+            backend: BackendChoice::Auto,
+            expected_draws_per_publish: 64.0,
+            ..EngineConfig::default()
+        };
+        let e = SelectionEngine::new(vec![1.0; 4096], config).unwrap();
+        let journal = e.observability().journal();
+        assert!(
+            matches!(journal[0].event, EngineEvent::SimdTier { .. }),
+            "construction must journal the SIMD tier first"
+        );
+        let mut rng = MersenneTwister64::seed_from_u64(4);
+        let _ = e.snapshot().sample_many(&mut rng, 64).unwrap();
+        e.enqueue(0, 1.0e9).unwrap();
+        e.publish().unwrap();
+        let journal = e.observability().journal();
+        let publish = journal
+            .iter()
+            .find_map(|entry| match entry.event {
+                EngineEvent::Publish {
+                    version,
+                    patched,
+                    dirty,
+                    scaled,
+                    draws_served,
+                    ..
+                } => Some((version, patched, dirty, scaled, draws_served)),
+                _ => None,
+            })
+            .expect("a publish event was journaled");
+        assert_eq!(publish, (1, false, 1, false, 64));
+        let switch = journal
+            .iter()
+            .find_map(|entry| match entry.event {
+                EngineEvent::BackendSwitch { from, to, skew, .. } => Some((from, to, skew)),
+                _ => None,
+            })
+            .expect("the backend switch was journaled");
+        assert_eq!(switch.0, "stochastic-acceptance");
+        assert_eq!(switch.1, e.stats().backend);
+        // skew = n · w_max / Σw ≈ 4096 with all the mass on one category.
+        assert!(switch.2 > 1.0e3, "the degenerate skew drove the switch");
+        // Journal stamps are monotone in push order.
+        assert!(journal.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn latency_histograms_observe_the_publish_path() {
+        let e = engine(vec![1.0; 512]);
+        for i in 0..5 {
+            e.enqueue(i, 2.0).unwrap();
+            e.publish().unwrap();
+        }
+        let publish = e.observability().publish_latency();
+        let freeze = e.observability().freeze_latency();
+        assert_eq!(publish.count, 5);
+        assert_eq!(freeze.count, 5);
+        assert!(
+            publish.p50() >= freeze.p50(),
+            "a publish contains its freeze"
+        );
+        assert!(publish.p999() >= publish.p50());
+        // Reader timing is off by default: no samples.
+        assert_eq!(e.observability().reader_draw_latency().count, 0);
+    }
+
+    #[test]
+    fn sampled_reader_timing_records_when_enabled() {
+        let config = EngineConfig {
+            reader_timing_every: 2,
+            ..EngineConfig::default()
+        };
+        let e = SelectionEngine::new(vec![1.0, 2.0, 3.0], config).unwrap();
+        let mut rng = MersenneTwister64::seed_from_u64(8);
+        let mut buffer = [0usize; 32];
+        for _ in 0..20 {
+            e.read(|s| s.sample_into(&mut rng, &mut buffer)).unwrap();
+        }
+        let timed = e.observability().reader_draw_latency();
+        assert!(
+            (5..=15).contains(&timed.count),
+            "1-in-2 sampling of 20 buffers timed {} of them",
+            timed.count
+        );
+        // Timing survives publishes (the fresh snapshot re-arms).
+        e.enqueue(0, 5.0).unwrap();
+        e.publish().unwrap();
+        for _ in 0..20 {
+            e.read(|s| s.sample_into(&mut rng, &mut buffer)).unwrap();
+        }
+        assert!(e.observability().reader_draw_latency().count > timed.count);
+    }
+
+    #[test]
+    fn exporters_cover_the_metric_catalogue() {
+        let e = engine(vec![1.0; 64]);
+        e.enqueue(1, 3.0).unwrap();
+        e.publish().unwrap();
+        let text = e.export_prometheus();
+        for series in [
+            "lrb_publishes_total 1",
+            "lrb_enqueued_total 1",
+            "# TYPE lrb_publish_ns summary",
+            "lrb_publish_ns{quantile=\"0.99\"}",
+            "lrb_freeze_ns_count 1",
+            "lrb_simd_lanes",
+            "lrb_cost_fenwick_build_ns_per_op",
+            "lrb_cost_stochastic_acceptance_draw_ns_per_op",
+            "lrb_snapshot_version 1",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+        let json = e.export_json();
+        let tree = serde_json::from_str_value(&json).expect("export_json parses");
+        let publishes = tree.field("lrb_publishes_total").unwrap();
+        assert_eq!(
+            *publishes.field("value").unwrap(),
+            serde_json::Value::Number(1.0)
+        );
+        assert!(tree.field("lrb_publish_ns").unwrap().field("p999").is_ok());
+    }
+
+    #[test]
+    fn stats_snapshot_is_coherent_under_concurrent_publishing() {
+        // publishes and patched+switches are counted under the same lock
+        // stats() takes, so a reader can never see a publish half-applied:
+        // every stats() view must satisfy patched + switches ≤ publishes
+        // (each publish bumps publishes exactly once, and at most one of
+        // the other two — switching backends precludes patching).
+        let e = engine(vec![1.0; 1024]);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for round in 0..200usize {
+                    e.enqueue(round % 1024, (round % 9) as f64 + 0.5).unwrap();
+                    e.publish().unwrap();
+                }
+            });
+            for _ in 0..400 {
+                let stats = e.stats();
+                assert!(
+                    stats.patched + stats.backend_switches <= stats.publishes,
+                    "incoherent stats: {stats:?}"
+                );
+                assert!(stats.enqueued >= stats.publishes, "{stats:?}");
+                assert!(!stats.backend.is_empty());
+            }
+            writer.join().unwrap();
+        });
+        let stats = e.stats();
+        assert_eq!(stats.publishes, 200);
+        assert_eq!(stats.enqueued, 200);
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub mod heuristic;
 mod hot_swap;
 mod queue;
 pub mod snapshot;
+pub mod telemetry;
 
 pub use backend::{
     AliasBackend, BackendCost, BackendRegistry, BuildScratch, FenwickBackend, FrozenBackend,
@@ -90,3 +91,4 @@ pub use heuristic::{
     choose_backend, BackendChoice, CostConstants, CostEstimator, Ewma, WorkloadProfile,
 };
 pub use snapshot::Snapshot;
+pub use telemetry::{EngineEvent, EngineTelemetry, JournalEntry, JOURNAL_CAPACITY};

@@ -1,0 +1,195 @@
+//! Engine observability: latency histograms, startup gauges and the
+//! publish **flight recorder**.
+//!
+//! [`EngineTelemetry`] is the engine's always-on instrumentation bundle.
+//! Recording costs are sized for the paths they sit on:
+//!
+//! * the **publish path** records full spans into atomic histograms (a
+//!   handful of relaxed `fetch_add`s per publish — publishes are
+//!   milliseconds apart, so this is free);
+//! * the **reader hot path** is only timed when
+//!   [`EngineConfig::reader_timing_every`](crate::EngineConfig::reader_timing_every)
+//!   is non-zero, and then only on one in *N* acquisitions per thread — a
+//!   TLS tick plus, on the sampled calls, one clock read and one histogram
+//!   record. The steady-state sample stays allocation-free either way
+//!   (proved by `tests/engine_alloc.rs`).
+//!
+//! The **flight recorder** journals the structured [`EngineEvent`]s that
+//! explain a run post-hoc: what every publish did (backend, patched or
+//! rebuilt, freeze nanoseconds, dirty count, scale), why the decider
+//! switched backends (the cost-model inputs that drove it), what the
+//! startup calibration measured, and which SIMD tier the host detected.
+//! The journal keeps the most recent [`JOURNAL_CAPACITY`] events; pushes
+//! are lock-free and never block readers.
+
+use std::time::Instant;
+
+use lrb_obs::{FlightRecorder, Gauge, Histogram, HistogramSnapshot};
+use lrb_rng::SimdTier;
+
+use crate::heuristic::CostConstants;
+
+/// Events the flight recorder retains (the most recent this many).
+pub const JOURNAL_CAPACITY: usize = 256;
+
+/// One structured event in the engine's flight-recorder journal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineEvent {
+    /// The SIMD tier the RNG layer runs at, recorded once at construction.
+    SimdTier {
+        /// Detected (or overridden) tier.
+        tier: SimdTier,
+        /// Whether an `LRB_SIMD` environment override was present.
+        overridden: bool,
+    },
+    /// One backend's startup micro-calibration result (only under
+    /// [`EngineConfig::calibrate`](crate::EngineConfig::calibrate)).
+    Calibrated {
+        /// The measured per-op cost constants.
+        constants: CostConstants,
+    },
+    /// A snapshot was published (regular publish or mid-stream rebalance).
+    Publish {
+        /// Version now current.
+        version: u64,
+        /// Backend the snapshot was frozen under.
+        backend: &'static str,
+        /// Whether the freeze took the incremental patch path.
+        patched: bool,
+        /// Nanoseconds spent freezing (build or patch).
+        freeze_ns: u64,
+        /// Dirty categories folded in (coalesced override count).
+        dirty: u64,
+        /// Whether an evaporation scale was folded in.
+        scaled: bool,
+        /// Draws the outgoing snapshot had served.
+        draws_served: u64,
+    },
+    /// The decider changed backends, with the cost-model inputs that drove
+    /// the decision.
+    BackendSwitch {
+        /// Version of the snapshot that introduced the new backend.
+        version: u64,
+        /// Previous backend.
+        from: &'static str,
+        /// New backend.
+        to: &'static str,
+        /// The draws-per-publish hint the decision was priced against.
+        draws_hint: f64,
+        /// Skew measure of the weight vector at the decision.
+        skew: f64,
+        /// Categories in the weight vector.
+        categories: u64,
+        /// Whether the switch came from `maybe_rebalance` (workload drift
+        /// between publishes) rather than a regular publish.
+        mid_stream: bool,
+    },
+}
+
+/// One journal slot: an [`EngineEvent`] stamped with nanoseconds since the
+/// engine was constructed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalEntry {
+    /// Nanoseconds since engine construction.
+    pub at_ns: u64,
+    /// The event.
+    pub event: EngineEvent,
+}
+
+/// The engine's instrumentation bundle (see the module docs). One per
+/// engine, shared with its snapshots for sampled reader timing.
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    /// Construction instant; journal stamps are offsets from it.
+    started: Instant,
+    /// Full `publish()` spans, nanoseconds (lock wait + fold + freeze +
+    /// swap).
+    publish_ns: Histogram,
+    /// Freeze-only spans, nanoseconds (the build-or-patch section the cost
+    /// model prices).
+    freeze_ns: Histogram,
+    /// Sampled per-draw reader latency, nanoseconds (amortised over the
+    /// timed buffer; empty unless `reader_timing_every > 0`).
+    reader_draw_ns: Histogram,
+    /// Philox lanes per SIMD op at the detected tier (8 = AVX-512,
+    /// 4 = AVX2, 1 = scalar).
+    simd_lanes: Gauge,
+    journal: FlightRecorder<JournalEntry>,
+}
+
+impl EngineTelemetry {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            publish_ns: Histogram::new(),
+            freeze_ns: Histogram::new(),
+            reader_draw_ns: Histogram::new(),
+            simd_lanes: Gauge::new(),
+            journal: FlightRecorder::new(JOURNAL_CAPACITY),
+        }
+    }
+
+    /// Journal an event, stamped with nanoseconds since construction.
+    pub(crate) fn record(&self, event: EngineEvent) {
+        self.journal.push(JournalEntry {
+            at_ns: self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            event,
+        });
+    }
+
+    pub(crate) fn record_publish_span(&self, started: Instant) {
+        self.publish_ns.record_span(started);
+    }
+
+    pub(crate) fn record_freeze_ns(&self, ns: u64) {
+        self.freeze_ns.record(ns);
+    }
+
+    #[inline]
+    pub(crate) fn record_reader_draw_ns(&self, ns: u64) {
+        self.reader_draw_ns.record(ns);
+    }
+
+    pub(crate) fn set_simd_tier(&self, tier: SimdTier) {
+        self.simd_lanes.set(match tier {
+            SimdTier::Avx512 => 8.0,
+            SimdTier::Avx2 => 4.0,
+            SimdTier::Scalar => 1.0,
+        });
+    }
+
+    /// Distribution of full `publish()` spans (nanoseconds).
+    pub fn publish_latency(&self) -> HistogramSnapshot {
+        self.publish_ns.snapshot()
+    }
+
+    /// Distribution of freeze (build-or-patch) spans (nanoseconds).
+    pub fn freeze_latency(&self) -> HistogramSnapshot {
+        self.freeze_ns.snapshot()
+    }
+
+    /// Distribution of sampled per-draw reader latency (nanoseconds,
+    /// amortised over each timed buffer). Empty unless the engine was
+    /// configured with a non-zero
+    /// [`reader_timing_every`](crate::EngineConfig::reader_timing_every).
+    pub fn reader_draw_latency(&self) -> HistogramSnapshot {
+        self.reader_draw_ns.snapshot()
+    }
+
+    /// Philox lanes per SIMD op at the active tier (8 / 4 / 1).
+    pub fn simd_lanes(&self) -> f64 {
+        self.simd_lanes.get()
+    }
+
+    /// The flight-recorder journal: the most recent
+    /// [`JOURNAL_CAPACITY`] events, oldest first.
+    pub fn journal(&self) -> Vec<JournalEntry> {
+        self.journal.snapshot()
+    }
+
+    /// Total events ever journaled (monotone; exceeds the journal length
+    /// once the ring has wrapped).
+    pub fn events_recorded(&self) -> u64 {
+        self.journal.pushed()
+    }
+}

@@ -1,0 +1,251 @@
+//! Exporters: a consistent point-in-time metric collection rendered as
+//! Prometheus text exposition or a JSON object tree.
+//!
+//! [`MetricsSnapshot`] is the export model. Collection is pull-based and
+//! lock-free: the caller reads each live metric exactly once (counters sum
+//! their shards, histograms copy their buckets) into the snapshot, then
+//! renders it as many times as needed. Cross-metric skew is bounded by the
+//! collection pass itself — no metric is read twice, and no reader-visible
+//! lock is taken.
+//!
+//! Histograms export in Prometheus *summary* form (pre-computed
+//! `{quantile="…"}` sample lines plus `_sum`/`_count`) rather than
+//! cumulative `_bucket` series: the log2 buckets are an internal encoding,
+//! and 976 `le` lines per histogram would drown any scrape.
+
+use serde::Value;
+
+use crate::histogram::HistogramSnapshot;
+
+/// The quantiles every exported histogram reports.
+const EXPORT_QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+/// One pre-computed quantile of an exported histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantile {
+    /// The quantile rank, e.g. `0.99`.
+    pub q: f64,
+    /// The histogram value at that rank (nanoseconds for latency series).
+    pub value: u64,
+}
+
+/// One exported histogram: quantiles plus the scalar summary fields.
+#[derive(Debug, Clone)]
+struct HistogramEntry {
+    quantiles: Vec<Quantile>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    mean: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Sample {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramEntry),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    help: String,
+    sample: Sample,
+}
+
+/// A consistent point-in-time collection of metric values (see the module
+/// docs), rendered with [`to_prometheus`](Self::to_prometheus) or
+/// [`to_json`](Self::to_json).
+///
+/// Entries render in insertion order; names should follow Prometheus
+/// conventions (`snake_case`, `_total` suffix on counters, unit suffix like
+/// `_ns` on histograms).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    entries: Vec<Entry>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a monotone counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            sample: Sample::Counter(value),
+        });
+        self
+    }
+
+    /// Add a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            sample: Sample::Gauge(value),
+        });
+        self
+    }
+
+    /// Add a histogram: quantiles are extracted here, once, so every
+    /// rendering of this snapshot reports identical values.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &HistogramSnapshot) -> &mut Self {
+        self.entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            sample: Sample::Histogram(HistogramEntry {
+                quantiles: EXPORT_QUANTILES
+                    .iter()
+                    .map(|&q| Quantile {
+                        q,
+                        value: hist.quantile(q),
+                    })
+                    .collect(),
+                count: hist.count,
+                sum: hist.sum,
+                min: hist.min,
+                max: hist.max,
+                mean: hist.mean(),
+            }),
+        });
+        self
+    }
+
+    /// Render as Prometheus text exposition (version 0.0.4): `# HELP` /
+    /// `# TYPE` headers, plain samples for counters and gauges, summary
+    /// form for histograms.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(64 * self.entries.len().max(1));
+        for entry in &self.entries {
+            let name = &entry.name;
+            out.push_str(&format!("# HELP {name} {}\n", entry.help));
+            match &entry.sample {
+                Sample::Counter(value) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+                }
+                Sample::Gauge(value) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+                }
+                Sample::Histogram(hist) => {
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    for q in &hist.quantiles {
+                        out.push_str(&format!("{name}{{quantile=\"{}\"}} {}\n", q.q, q.value));
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", hist.sum));
+                    out.push_str(&format!("{name}_count {}\n", hist.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a pretty-printed JSON object: one key per metric, each
+    /// value an object carrying `type`, `help` and the sample fields
+    /// (histograms add `count`/`sum`/`min`/`max`/`mean` and a `p50`…`p999`
+    /// block).
+    pub fn to_json(&self) -> String {
+        let tree = Value::Object(
+            self.entries
+                .iter()
+                .map(|entry| (entry.name.clone(), entry_value(entry)))
+                .collect(),
+        );
+        serde_json::to_string_pretty(&tree).expect("Value serialisation is infallible")
+    }
+}
+
+fn entry_value(entry: &Entry) -> Value {
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    let kind = match &entry.sample {
+        Sample::Counter(_) => "counter",
+        Sample::Gauge(_) => "gauge",
+        Sample::Histogram(_) => "histogram",
+    };
+    fields.push(("type".into(), Value::String(kind.into())));
+    fields.push(("help".into(), Value::String(entry.help.clone())));
+    match &entry.sample {
+        Sample::Counter(value) => fields.push(("value".into(), Value::Number(*value as f64))),
+        Sample::Gauge(value) => fields.push(("value".into(), Value::Number(*value))),
+        Sample::Histogram(hist) => {
+            fields.push(("count".into(), Value::Number(hist.count as f64)));
+            fields.push(("sum".into(), Value::Number(hist.sum as f64)));
+            fields.push(("min".into(), Value::Number(hist.min as f64)));
+            fields.push(("max".into(), Value::Number(hist.max as f64)));
+            fields.push(("mean".into(), Value::Number(hist.mean)));
+            for q in &hist.quantiles {
+                let label = format!("p{}", (q.q * 1000.0).round() as u64).replace("p500", "p50");
+                let label = match label.as_str() {
+                    "p900" => "p90".to_string(),
+                    "p990" => "p99".to_string(),
+                    other => other.to_string(),
+                };
+                fields.push((label, Value::Number(q.value as f64)));
+            }
+        }
+    }
+    Value::Object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let hist = Histogram::new();
+        for v in [100u64, 200, 300, 40_000] {
+            hist.record(v);
+        }
+        let mut snapshot = MetricsSnapshot::new();
+        snapshot.counter("draws_total", "Draws served", 42);
+        snapshot.gauge("ewma_build_ns", "EWMA build cost", 1234.5);
+        snapshot.histogram("draw_ns", "Per-draw latency", &hist.snapshot());
+        snapshot
+    }
+
+    #[test]
+    fn prometheus_exposition_has_all_series() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("# TYPE draws_total counter"));
+        assert!(text.contains("draws_total 42"));
+        assert!(text.contains("# TYPE ewma_build_ns gauge"));
+        assert!(text.contains("ewma_build_ns 1234.5"));
+        assert!(text.contains("# TYPE draw_ns summary"));
+        assert!(text.contains("draw_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("draw_ns{quantile=\"0.999\"}"));
+        assert!(text.contains("draw_ns_count 4"));
+        assert!(text.contains("draw_ns_sum 40600"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shim_parser() {
+        let json = sample_snapshot().to_json();
+        let tree = serde_json::from_str_value(&json).expect("exported JSON parses");
+        let counter = tree.field("draws_total").unwrap();
+        assert_eq!(
+            *counter.field("type").unwrap(),
+            Value::String("counter".into())
+        );
+        assert_eq!(*counter.field("value").unwrap(), Value::Number(42.0));
+        let hist = tree.field("draw_ns").unwrap();
+        assert_eq!(*hist.field("count").unwrap(), Value::Number(4.0));
+        assert!(matches!(hist.field("p99").unwrap(), Value::Number(_)));
+        assert!(matches!(hist.field("p999").unwrap(), Value::Number(_)));
+    }
+
+    #[test]
+    fn quantiles_are_extracted_once_at_insertion() {
+        let hist = Histogram::new();
+        hist.record(500);
+        let mut snapshot = MetricsSnapshot::new();
+        snapshot.histogram("h_ns", "test", &hist.snapshot());
+        let first = snapshot.to_prometheus();
+        hist.record(9_999_999); // must not affect the already-taken snapshot
+        assert_eq!(first, snapshot.to_prometheus());
+    }
+}

@@ -205,6 +205,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
