@@ -30,6 +30,7 @@
 
 use lrb_bench::cli::{Options, OrExit};
 use lrb_bench::engine_workload::{run_driver, DriverConfig, DriverReport};
+use lrb_bench::gate::{print_margins, GateMargin};
 use lrb_engine::{EngineConfig, EngineEvent, SelectionEngine};
 use lrb_rng::Philox4x32;
 use serde::Serialize;
@@ -45,6 +46,7 @@ struct ObsReport {
     overhead_ratio: f64,
     journal_events: u64,
     instrumented: DriverReport,
+    margins: Vec<GateMargin>,
 }
 
 /// One off/on pair: the two runs are back-to-back, so their ratio is
@@ -187,6 +189,40 @@ fn main() {
     println!("  reader buffers timed    {draw_count}");
     println!("  journal Publish events  {journal_publishes}");
 
+    // The functional checks are exact counts; the margin record keeps them
+    // alongside the statistical overhead gate so one `margins` array tells
+    // the whole story.
+    let exporters_ok = json_ok
+        && [
+            "lrb_publishes_total",
+            "lrb_publish_ns{quantile=\"0.5\"}",
+            "lrb_reader_draw_ns_count",
+            "lrb_simd_lanes",
+        ]
+        .iter()
+        .all(|series| prometheus.contains(series));
+    let margins = vec![
+        GateMargin::at_least("telemetry_overhead_ratio", best.ratio, min_ratio, true),
+        GateMargin::at_least(
+            "instrumented_timed_buffers",
+            best.on.sample_latency.count as f64,
+            1.0,
+            true,
+        ),
+        GateMargin::conformance(
+            "publish_histogram_matches_counter",
+            best.on.publish_latency.count == best.on.publishes,
+            true,
+        ),
+        GateMargin::conformance(
+            "one_in_one_engine_observed",
+            publish_count == 16 && draw_count == 16 && journal_publishes == 16,
+            true,
+        ),
+        GateMargin::conformance("exporters_emit_catalogue", exporters_ok, true),
+    ];
+    print_margins(&margins);
+
     if options.contains("json") {
         let report = ObsReport {
             pairs_run,
@@ -197,6 +233,7 @@ fn main() {
             overhead_ratio: best.ratio,
             journal_events: obs.events_recorded(),
             instrumented: best.on.clone(),
+            margins: margins.clone(),
         };
         println!(
             "{}",

@@ -1,0 +1,288 @@
+//! Quick perf-smoke gate for the sharded selection service.
+//!
+//! ```text
+//! cargo run -p lrb-bench --release --bin service_quick \
+//!     [-- --categories 4096 --shards 4 --rate 1500 --requests 3000 \
+//!         --max-p99-us 5000 --json 1]
+//! ```
+//!
+//! Spins up a [`ShardedService`] fronted by a [`ServiceServer`] (UDS on
+//! Unix, TCP loopback elsewhere) with per-shard publisher threads and a
+//! background writer churning weights, then drives it with the **open-loop**
+//! [`service_workload`](lrb_bench::service_workload) driver: request `j` is
+//! scheduled at `start + j/rate` and latency is measured from that scheduled
+//! instant, so a stalled write path surfaces in the tail instead of being
+//! hidden by coordinated omission. Two sections run: coalesced single draws
+//! (the flat-combining aggregator) and batch draws (the fused buffer-fill
+//! path).
+//!
+//! Gates (all recorded as [`GateMargin`]s in the `--json 1` report, the
+//! `BENCH_service.json` baseline):
+//!
+//! * `service_single_p99_us` / `service_batch_p99_us` — the open-loop p99
+//!   must stay under `--max-p99-us`. The bound is a *generous absolute*
+//!   number (default 5 ms against a typical sub-100 µs p99) so the gate
+//!   catches stalls, not scheduler jitter; a thin-margin failure is
+//!   re-measured once and the better run kept.
+//! * `service_chi_square` — 30 000 end-to-end socket draws against a
+//!   24-category wheel must match the flat single-level law at the 1 %
+//!   level, best of two connections (a correct sampler fails twice with
+//!   probability ~10⁻⁴).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lrb_bench::cli::{Options, OrExit};
+use lrb_bench::gate::{print_margins, GateMargin};
+use lrb_bench::service_workload::{run_open_loop, ServiceLoadConfig, ServiceLoadReport};
+use lrb_service::{ServerAddr, ServiceClient, ServiceConfig, ServiceServer, ShardedService};
+use lrb_stats::chi_square_gof;
+use serde::Serialize;
+
+/// The machine-readable report (`--json 1`), recorded as the
+/// `BENCH_service.json` baseline.
+#[derive(Debug, Serialize)]
+struct QuickReport {
+    host_threads: u64,
+    categories: u64,
+    shards: u64,
+    publish_interval_ms: u64,
+    transport: String,
+    max_p99_us: f64,
+    single: ServiceLoadReport,
+    batch: ServiceLoadReport,
+    chi_square_consistent: bool,
+    margins: Vec<GateMargin>,
+}
+
+fn p99_us(report: &ServiceLoadReport) -> f64 {
+    report.latency.p99_ns as f64 / 1_000.0
+}
+
+/// Run a section; on a gate miss, re-measure once and keep the better run
+/// (one retry absorbs a one-off scheduler hiccup without masking a real
+/// stall, which fails twice).
+fn measure_with_retry(
+    addr: &ServerAddr,
+    config: &ServiceLoadConfig,
+    max_p99_us: f64,
+) -> ServiceLoadReport {
+    let first = run_open_loop(addr, config).unwrap_or_else(|error| {
+        eprintln!("service load section failed: {error}");
+        std::process::exit(1);
+    });
+    if p99_us(&first) <= max_p99_us {
+        return first;
+    }
+    eprintln!(
+        "  (p99 {:.1} us over the {max_p99_us:.0} us bound; re-measuring once)",
+        p99_us(&first)
+    );
+    let second = run_open_loop(addr, config).unwrap_or_else(|error| {
+        eprintln!("service load section failed: {error}");
+        std::process::exit(1);
+    });
+    if p99_us(&second) < p99_us(&first) {
+        second
+    } else {
+        first
+    }
+}
+
+/// End-to-end conformance: a fresh 24-category service, 30 000 socket
+/// draws, chi-square against the flat law. One connection = one server-side
+/// RNG stream, so "best of two seeds" is best of two connections.
+fn chi_square_end_to_end(seed: u64) -> bool {
+    let weights: Vec<f64> = (1..=24).map(f64::from).collect();
+    let service = ShardedService::new(
+        weights.clone(),
+        ServiceConfig {
+            shards: 6,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("conformance service construction cannot fail");
+    let server = ServiceServer::bind_tcp(service.core(), "127.0.0.1:0", seed)
+        .expect("loopback bind cannot fail");
+    let total: f64 = weights.iter().sum();
+    let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    let consistent = || {
+        let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..10 {
+            for index in client.draw_batch(3_000).expect("draw_batch") {
+                counts[index] += 1;
+            }
+        }
+        chi_square_gof(&counts, &probs).is_consistent(0.01)
+    };
+    consistent() || consistent()
+}
+
+fn main() {
+    let options = Options::from_env();
+    let categories = options.usize_or("categories", 4096).or_exit();
+    let shards = options.usize_or("shards", 4).or_exit();
+    let rate = options.f64_or("rate", 1_500.0).or_exit();
+    let requests = options.u64_or("requests", 3_000).or_exit();
+    let connections = options.usize_or("connections", 4).or_exit();
+    let batch = options.u64_or("batch", 64).or_exit() as u32;
+    let batch_rate = options.f64_or("batch-rate", 100.0).or_exit();
+    let batch_requests = options.u64_or("batch-requests", 200).or_exit();
+    let max_p99_us = options.f64_or("max-p99-us", 5_000.0).or_exit();
+    let publish_interval_ms = options.u64_or("publish-ms", 2).or_exit();
+    let seed = options.u64_or("seed", 0x05EC_71CE).or_exit();
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+
+    println!(
+        "service_quick: open-loop p50/p99/p999 against a {shards}-shard service \
+         over {categories} categories, host threads = {host_threads}\n"
+    );
+
+    // The service under test: per-shard publisher threads on, a writer
+    // churning weights in the background — the latency sections measure the
+    // read path *with* the write path live, which is the regression the
+    // stall fix exists to prevent.
+    let mut service = ShardedService::new(
+        (1..=categories as u64).map(|w| w as f64).collect(),
+        ServiceConfig {
+            shards,
+            publish_interval: Some(Duration::from_millis(publish_interval_ms.max(1))),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service construction cannot fail for linear weights");
+
+    #[cfg(unix)]
+    let (server, transport) = {
+        let path =
+            std::env::temp_dir().join(format!("lrb-service-quick-{}.sock", std::process::id()));
+        let server = ServiceServer::bind_uds(service.core(), &path, seed)
+            .expect("unix-domain bind cannot fail in temp dir");
+        (server, "uds".to_string())
+    };
+    #[cfg(not(unix))]
+    let (server, transport) = (
+        ServiceServer::bind_tcp(service.core(), "127.0.0.1:0", seed)
+            .expect("loopback bind cannot fail"),
+        "tcp".to_string(),
+    );
+    let addr = server.local_addr().clone();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(&addr).expect("writer connect");
+            let mut round = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let index = (round as usize * 97) % categories;
+                client
+                    .update(index, (round % 100 + 1) as f64)
+                    .expect("writer update");
+                if round.is_multiple_of(8) {
+                    client.scale_all(1.0).expect("writer scale");
+                }
+                round += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let single = measure_with_retry(
+        &addr,
+        &ServiceLoadConfig {
+            rate_hz: rate,
+            requests,
+            connections,
+            batch: 0,
+        },
+        max_p99_us,
+    );
+    println!(
+        "  single draws  {:>7.0} req/s offered  p50 {:>8.1} us  p99 {:>8.1} us  p999 {:>8.1} us",
+        single.rate_hz,
+        single.latency.p50_ns as f64 / 1_000.0,
+        p99_us(&single),
+        single.latency.p999_ns as f64 / 1_000.0,
+    );
+
+    let batch_report = measure_with_retry(
+        &addr,
+        &ServiceLoadConfig {
+            rate_hz: batch_rate,
+            requests: batch_requests,
+            connections: connections.min(2),
+            batch,
+        },
+        max_p99_us,
+    );
+    println!(
+        "  batch({batch}) draws {:>6.0} req/s offered  p50 {:>8.1} us  p99 {:>8.1} us  p999 {:>8.1} us",
+        batch_report.rate_hz,
+        batch_report.latency.p50_ns as f64 / 1_000.0,
+        p99_us(&batch_report),
+        batch_report.latency.p999_ns as f64 / 1_000.0,
+    );
+
+    stop.store(true, Ordering::Release);
+    writer.join().expect("writer thread");
+    drop(server);
+    service.shutdown();
+
+    let chi_square_consistent = chi_square_end_to_end(seed ^ 0xC41);
+    println!(
+        "  chi-square conformance over the socket (24 categories, 30k draws): {}",
+        if chi_square_consistent {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        }
+    );
+
+    // All three gates are absolute or statistical — no core-count
+    // dependence — so they are enforced on every host.
+    let margins = vec![
+        GateMargin::at_most("service_single_p99_us", p99_us(&single), max_p99_us, true),
+        GateMargin::at_most(
+            "service_batch_p99_us",
+            p99_us(&batch_report),
+            max_p99_us,
+            true,
+        ),
+        GateMargin::conformance("service_chi_square", chi_square_consistent, true),
+    ];
+    print_margins(&margins);
+
+    let failed = margins.iter().any(|m| m.enforced && !m.passed);
+
+    if options.contains("json") {
+        let report = QuickReport {
+            host_threads: host_threads as u64,
+            categories: categories as u64,
+            shards: shards as u64,
+            publish_interval_ms,
+            transport,
+            max_p99_us,
+            single,
+            batch: batch_report,
+            chi_square_consistent,
+            margins,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serialisation cannot fail")
+        );
+    }
+
+    if failed {
+        eprintln!("FAIL: a service gate missed its threshold (see margins above)");
+        std::process::exit(1);
+    }
+    println!("OK");
+}

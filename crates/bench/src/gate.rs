@@ -1,0 +1,136 @@
+//! Self-describing gate outcomes for the quick perf-smoke binaries.
+//!
+//! Every `*_quick` gate used to print its measured value and threshold in
+//! free text only; a flaky gate then left no machine-readable trace of
+//! *how close* it was. [`GateMargin`] records the measured value, the
+//! threshold, the headroom ratio and whether the gate was enforced on this
+//! host, and every quick binary embeds a `margins` array in its
+//! `BENCH_*.json` report — so a regression shows up as a shrinking margin
+//! long before it becomes a red build, and a flake investigation starts
+//! from numbers instead of CI log archaeology.
+
+use serde::Serialize;
+
+/// One gate's measured-vs-threshold outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct GateMargin {
+    /// Which gate (stable identifier, e.g. `"fenwick_patch_speedup"`).
+    pub gate: String,
+    /// The measured value.
+    pub measured: f64,
+    /// The pass threshold.
+    pub threshold: f64,
+    /// Headroom as a ratio: > 1.0 means the gate passed with that much
+    /// slack (2.0 = twice the required bar), 1.0 is exactly at the bar.
+    pub margin: f64,
+    /// Whether the gate is enforced (exit code) on this host, or advisory
+    /// (e.g. a scaling gate on a host with too few cores).
+    pub enforced: bool,
+    /// Whether the measured value clears the threshold.
+    pub passed: bool,
+}
+
+impl GateMargin {
+    /// A gate that passes when `measured >= threshold` (speedups, scaling
+    /// factors). `margin` is `measured / threshold`.
+    pub fn at_least(gate: &str, measured: f64, threshold: f64, enforced: bool) -> Self {
+        Self {
+            gate: gate.to_string(),
+            measured,
+            threshold,
+            margin: if threshold > 0.0 {
+                measured / threshold
+            } else {
+                f64::INFINITY
+            },
+            enforced,
+            passed: measured >= threshold,
+        }
+    }
+
+    /// A gate that passes when `measured <= threshold` (latency bounds,
+    /// overhead ratios). `margin` is `threshold / measured`.
+    pub fn at_most(gate: &str, measured: f64, threshold: f64, enforced: bool) -> Self {
+        Self {
+            gate: gate.to_string(),
+            measured,
+            threshold,
+            margin: if measured > 0.0 {
+                threshold / measured
+            } else {
+                f64::INFINITY
+            },
+            enforced,
+            passed: measured <= threshold,
+        }
+    }
+
+    /// A boolean conformance gate (chi-square consistency and similar):
+    /// `measured`/`threshold` encode pass as 1.0 vs 1.0.
+    pub fn conformance(gate: &str, passed: bool, enforced: bool) -> Self {
+        Self {
+            gate: gate.to_string(),
+            measured: if passed { 1.0 } else { 0.0 },
+            threshold: 1.0,
+            margin: if passed { 1.0 } else { 0.0 },
+            enforced,
+            passed,
+        }
+    }
+
+    /// One human line for the gate summary block.
+    pub fn describe(&self) -> String {
+        format!(
+            "  gate {:<28} measured {:>12.4} vs {:>10.4}  margin {:>6.2}x  [{}{}]",
+            self.gate,
+            self.measured,
+            self.threshold,
+            self.margin,
+            if self.passed { "pass" } else { "FAIL" },
+            if self.enforced {
+                ", enforced"
+            } else {
+                ", advisory"
+            },
+        )
+    }
+}
+
+/// Print the standard margin block (one line per gate).
+pub fn print_margins(margins: &[GateMargin]) {
+    println!("\ngate margins (measured vs threshold):");
+    for margin in margins {
+        println!("{}", margin.describe());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_margins_are_headroom_ratios() {
+        let margin = GateMargin::at_least("speedup", 6.0, 5.0, true);
+        assert!(margin.passed && margin.enforced);
+        assert!((margin.margin - 1.2).abs() < 1e-12);
+        let failing = GateMargin::at_least("speedup", 4.0, 5.0, true);
+        assert!(!failing.passed);
+        assert!(failing.margin < 1.0);
+    }
+
+    #[test]
+    fn at_most_margins_invert_the_ratio() {
+        let margin = GateMargin::at_most("p99_us", 500.0, 5_000.0, true);
+        assert!(margin.passed);
+        assert!((margin.margin - 10.0).abs() < 1e-12);
+        assert!(!GateMargin::at_most("p99_us", 6_000.0, 5_000.0, true).passed);
+    }
+
+    #[test]
+    fn conformance_is_binary() {
+        assert!(GateMargin::conformance("chi2", true, true).passed);
+        let failing = GateMargin::conformance("chi2", false, true);
+        assert!(!failing.passed);
+        assert_eq!(failing.margin, 0.0);
+    }
+}

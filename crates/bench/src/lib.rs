@@ -18,6 +18,14 @@
 //! * [`engine_workload`] — the closed-loop reader/writer throughput driver
 //!   for the `lrb-engine` serving layer, behind the `engine_quick` gate and
 //!   the `BENCH_engine.json` baseline.
+//! * [`service_workload`] — the **open-loop** socket load driver for the
+//!   `lrb-service` sharded selection service, behind the `service_quick`
+//!   gate and the `BENCH_service.json` baseline. Latency is measured from
+//!   each request's *scheduled* issue time, so queueing delay is charged to
+//!   the service instead of being hidden by coordinated omission.
+//! * [`gate`] — the [`GateMargin`](gate::GateMargin) record every quick
+//!   binary embeds in its `BENCH_*.json`: measured value, threshold and
+//!   headroom ratio per gate, so flake investigations start from numbers.
 //!
 //! The Criterion benches under `benches/` cover the supplementary wall-clock
 //! comparisons and the ablations listed in `DESIGN.md`.
@@ -28,9 +36,11 @@
 pub mod cli;
 pub mod dynamic_workload;
 pub mod engine_workload;
+pub mod gate;
 pub mod probability_table;
 pub mod publish_workload;
 pub mod selector_workload;
+pub mod service_workload;
 pub mod theorem1;
 
 pub use probability_table::{run_probability_experiment, ProbabilityReport, SelectorColumn};

@@ -1,0 +1,204 @@
+//! Open-loop socket load driver for the sharded selection service — the
+//! workload behind the `service_quick` gate and the `BENCH_service.json`
+//! baseline.
+//!
+//! ## Why open-loop
+//!
+//! A closed-loop driver (issue, wait, issue) silently slows down whenever
+//! the service does: a stall shrinks the offered load instead of showing up
+//! in the tail — the *coordinated omission* trap. This driver schedules
+//! request `j` at the fixed instant `start + j/rate` and measures latency
+//! from that **scheduled** time, not from when the request actually hit the
+//! wire. If the service (or a queue in front of it) stalls, every request
+//! scheduled during the stall is charged the full delay, which is exactly
+//! what a p999 is supposed to surface.
+//!
+//! Requests are striped round-robin across a configurable number of client
+//! connections (the protocol is strictly request/response per connection),
+//! and latencies land in one shared lock-free [`Histogram`] whose snapshot
+//! becomes a [`LatencySummary`].
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lrb_obs::Histogram;
+use lrb_service::{ServerAddr, ServiceClient, ServiceError};
+use serde::Serialize;
+
+use crate::engine_workload::LatencySummary;
+
+/// Shape of one open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLoadConfig {
+    /// Offered request rate, requests per second.
+    pub rate_hz: f64,
+    /// Total requests to issue.
+    pub requests: u64,
+    /// Client connections the requests are striped across.
+    pub connections: usize,
+    /// Draws per request: `0` issues single draws (the server coalesces
+    /// them through its flat-combining aggregator), `b > 0` issues
+    /// `draw_batch(b)` (the fused buffer-fill path).
+    pub batch: u32,
+}
+
+impl Default for ServiceLoadConfig {
+    fn default() -> Self {
+        Self {
+            rate_hz: 1_500.0,
+            requests: 3_000,
+            connections: 4,
+            batch: 0,
+        }
+    }
+}
+
+/// Measured outcome of one open-loop run (serialisable for
+/// `BENCH_service.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceLoadReport {
+    /// `"single"` (aggregated draws) or `"batch"` (buffer fills).
+    pub mode: String,
+    /// Offered request rate, requests per second.
+    pub rate_hz: f64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Client connections used.
+    pub connections: u64,
+    /// Draws per request (1 for single-draw mode).
+    pub batch: u64,
+    /// Wall-clock seconds from the first scheduled instant to the last
+    /// completion.
+    pub duration_s: f64,
+    /// Achieved request completion rate.
+    pub achieved_rps: f64,
+    /// Total category draws served.
+    pub draws: u64,
+    /// Request latency measured from the scheduled issue time.
+    pub latency: LatencySummary,
+}
+
+/// Run one open-loop section against a live server. Connects
+/// `config.connections` clients, schedules `config.requests` requests at
+/// `config.rate_hz`, and reports scheduled-time latency percentiles.
+pub fn run_open_loop(
+    addr: &ServerAddr,
+    config: &ServiceLoadConfig,
+) -> Result<ServiceLoadReport, ServiceError> {
+    let connections = config.connections.max(1);
+    let rate_hz = config.rate_hz.max(1.0);
+
+    // Connect and warm every client up-front (TLB/alloc/snapshot warm-up
+    // and the TCP handshake stay out of the measured window).
+    let mut clients = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let mut client = ServiceClient::connect(addr)?;
+        if config.batch == 0 {
+            client.draw()?;
+        } else {
+            client.draw_batch(config.batch)?;
+        }
+        clients.push(client);
+    }
+
+    let histogram = Arc::new(Histogram::new());
+    // A small lead-in so every thread observes `start` in its future.
+    let start = Instant::now() + Duration::from_millis(10);
+
+    let mut handles = Vec::with_capacity(connections);
+    for (lane, mut client) in clients.into_iter().enumerate() {
+        let histogram = Arc::clone(&histogram);
+        let requests = config.requests;
+        let batch = config.batch;
+        let stride = connections as u64;
+        handles.push(std::thread::spawn(move || -> Result<u64, ServiceError> {
+            let mut draws = 0u64;
+            let mut j = lane as u64;
+            while j < requests {
+                let scheduled = start + Duration::from_secs_f64(j as f64 / rate_hz);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                if batch == 0 {
+                    client.draw()?;
+                    draws += 1;
+                } else {
+                    draws += client.draw_batch(batch)?.len() as u64;
+                }
+                // Latency from the *scheduled* instant: queueing delay
+                // (including a stalled service) is charged, not hidden.
+                histogram.record(scheduled.elapsed().as_nanos() as u64);
+                j += stride;
+            }
+            Ok(draws)
+        }));
+    }
+
+    let mut draws = 0u64;
+    for handle in handles {
+        draws += handle.join().expect("load lane panicked")?;
+    }
+    let duration_s = start.elapsed().as_secs_f64();
+
+    Ok(ServiceLoadReport {
+        mode: if config.batch == 0 { "single" } else { "batch" }.to_string(),
+        rate_hz,
+        requests: config.requests,
+        connections: connections as u64,
+        batch: u64::from(config.batch.max(1)),
+        duration_s,
+        achieved_rps: config.requests as f64 / duration_s.max(f64::MIN_POSITIVE),
+        draws,
+        latency: LatencySummary::from_snapshot(&histogram.snapshot()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_service::{ServiceConfig, ServiceServer, ShardedService};
+
+    #[test]
+    fn open_loop_driver_issues_every_request() {
+        let service = ShardedService::new(
+            (1..=32).map(f64::from).collect(),
+            ServiceConfig {
+                shards: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let server = ServiceServer::bind_tcp(service.core(), "127.0.0.1:0", 7).unwrap();
+        let report = run_open_loop(
+            server.local_addr(),
+            &ServiceLoadConfig {
+                rate_hz: 2_000.0,
+                requests: 200,
+                connections: 2,
+                batch: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.mode, "single");
+        assert_eq!(report.requests, 200);
+        assert_eq!(report.draws, 200);
+        assert_eq!(report.latency.count, 200);
+        assert!(report.latency.p99_ns > 0);
+        assert!(report.duration_s >= 200.0 / 2_000.0 * 0.5);
+
+        let batch = run_open_loop(
+            server.local_addr(),
+            &ServiceLoadConfig {
+                rate_hz: 500.0,
+                requests: 20,
+                connections: 1,
+                batch: 16,
+            },
+        )
+        .unwrap();
+        assert_eq!(batch.mode, "batch");
+        assert_eq!(batch.draws, 20 * 16);
+        drop(server);
+    }
+}

@@ -63,12 +63,14 @@ pub mod error;
 pub mod fitness;
 pub mod parallel;
 pub mod sequential;
+pub mod sharding;
 pub mod streaming;
 pub mod traits;
 pub mod without_replacement;
 
 pub use error::{ConfigError, SelectionError};
 pub use fitness::Fitness;
+pub use sharding::{ShardTotals, TotalsCut};
 pub use traits::{DynamicSampler, FrozenSampler, PreparedSampler, Selector};
 
 /// All one-shot selectors in the crate behind one constructor, keyed by name.

@@ -11,11 +11,11 @@
 //! needs. [`ShardedArena::update_shared`] exposes the `&self` update path;
 //! the [`DynamicSampler`] implementation delegates to it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use lrb_core::error::SelectionError;
 use lrb_core::fitness::Fitness;
+use lrb_core::sharding::ShardTotals;
 use lrb_core::traits::DynamicSampler;
 use lrb_rng::RandomSource;
 
@@ -48,10 +48,12 @@ pub struct ShardedArena {
     /// `offsets[j]..offsets[j + 1]`.
     offsets: Vec<usize>,
     shards: Vec<RwLock<FenwickSampler>>,
-    /// Per-shard total weights, cached as `f64` bits so the shard pick in
-    /// [`DynamicSampler::sample`] is lock-free: each entry is refreshed by
+    /// Per-shard total weights, published through the shared
+    /// [`ShardTotals`] layer (the same level-one machinery the sharded
+    /// selection service routes on) so the shard pick in
+    /// [`DynamicSampler::sample`] is lock-free: each cell is refreshed by
     /// the writer while it still holds that shard's write lock.
-    cached_totals: Vec<AtomicU64>,
+    totals: ShardTotals,
 }
 
 impl ShardedArena {
@@ -90,17 +92,14 @@ impl ShardedArena {
             start += len;
         }
         offsets.push(n);
-        let cached_totals = shard_samplers
+        let initial: Vec<f64> = shard_samplers
             .iter()
-            .map(|shard| {
-                let total = shard.read().expect("fresh lock").total_weight();
-                AtomicU64::new(total.to_bits())
-            })
+            .map(|shard| shard.read().expect("fresh lock").total_weight())
             .collect();
         Self {
             offsets,
             shards: shard_samplers,
-            cached_totals,
+            totals: ShardTotals::from_totals(&initial),
         }
     }
 
@@ -129,16 +128,14 @@ impl ShardedArena {
         let shard = self.shard_of(index);
         let mut guard = self.shards[shard].write().expect("shard lock poisoned");
         guard.update(index - self.offsets[shard], new_weight)?;
-        self.cached_totals[shard].store(guard.total_weight().to_bits(), Ordering::Release);
+        self.totals.set(shard, guard.total_weight());
         Ok(())
     }
 
-    /// Per-shard total weights, read lock-free from the cached atomics.
+    /// Per-shard total weights, read lock-free from the shared
+    /// [`ShardTotals`] cells.
     pub fn shard_totals(&self) -> Vec<f64> {
-        self.cached_totals
-            .iter()
-            .map(|bits| f64::from_bits(bits.load(Ordering::Acquire)))
-            .collect()
+        self.totals.snapshot()
     }
 
     /// Freeze the arena into a flat [`FenwickSampler`] over a consistent cut
@@ -184,32 +181,24 @@ impl DynamicSampler for ShardedArena {
     }
 
     fn sample(&self, rng: &mut dyn RandomSource) -> Result<usize, SelectionError> {
-        // Two-level inverse CDF on one uniform: locate the shard by
-        // cumulative snapshot total (lock-free, from the cached atomics —
-        // only the single landing shard is then read-locked), and delegate
-        // the in-shard descent. The residual is renormalised against the
-        // *snapshot* total of the landing shard (not a re-read one), so a
-        // concurrent update racing between the snapshot and the shard lock
-        // rescales the draw proportionally into the shard's new mass
-        // instead of clamping it onto the rightmost index. Draws are exact
-        // whenever no update races this call; under racing updates they
-        // remain proportional per shard.
-        let totals = self.shard_totals();
-        let total: f64 = totals.iter().sum();
-        if total <= 0.0 {
+        // Two-level inverse CDF on one uniform: locate the shard through
+        // the shared level-one Fenwick (a `TotalsCut` frozen from the
+        // lock-free cells — only the single landing shard is then
+        // read-locked), and delegate the in-shard descent. The residual is
+        // renormalised against the *cut's* total of the landing shard (not
+        // a re-read one), so a concurrent update racing between the cut and
+        // the shard lock rescales the draw proportionally into the shard's
+        // new mass instead of clamping it onto the rightmost index. Draws
+        // are exact whenever no update races this call; under racing
+        // updates they remain proportional per shard.
+        let cut = self.totals.cut();
+        let Some((shard, mut r)) = cut.pick_uniform(rng.next_f64()) else {
             return Err(SelectionError::AllZeroFitness);
-        }
-        let mut r = rng.next_f64() * total;
-        let mut shard = totals.len() - 1;
-        for (j, &t) in totals.iter().enumerate() {
-            if r < t {
-                shard = j;
-                break;
-            }
-            r -= t;
-        }
+        };
+        let totals = cut.totals();
         // Walk left from the landing shard if it turned out empty (possible
-        // through rounding at a shard edge or a concurrent update).
+        // only through a concurrent update racing the cut — the cut itself
+        // never lands on a zero-total shard).
         for j in (0..=shard).rev() {
             let guard = self.shards[j].read().expect("shard lock poisoned");
             match guard.sample(&mut ClampedDraw {

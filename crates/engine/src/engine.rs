@@ -28,9 +28,11 @@
 //!   **incremental patch path** — the previous sampler plus the coalesced
 //!   batch, `O(d · log n)`-ish instead of `O(n)` for small batches — under
 //!   [`PatchPolicy`]; the cost model compares learned patch and rebuild
-//!   constants per publish. The batch mutex is held across the whole
-//!   publish, serialising publishers, so versions are strictly ordered and
-//!   no batch is ever lost.
+//!   constants per publish. Publishers serialise on a dedicated publish
+//!   mutex — the batch mutex is held only for the drain itself — so
+//!   versions are strictly ordered and no batch is ever lost, while
+//!   `enqueue`/`enqueue_many`/`scale_all` never wait on a backend build:
+//!   writes arriving mid-build simply land in the *next* batch.
 //!
 //! ## The decider
 //!
@@ -153,8 +155,9 @@ impl Default for EngineConfig {
 }
 
 /// Aggregate engine counters (all monotone since construction), read as one
-/// **coherent** snapshot: [`SelectionEngine::stats`] takes the publish lock,
-/// and every counter mutation happens under that same lock, so the fields
+/// **coherent** snapshot: [`SelectionEngine::stats`] takes the publish lock
+/// *and* the batch lock, the writer counters mutate only under the batch
+/// lock and the publish counters only under the publish lock, so the fields
 /// always describe a single instant between batch operations — a publish
 /// can never be half-visible (e.g. `publishes` bumped but `patched` not
 /// yet).
@@ -230,14 +233,18 @@ struct DeciderState {
 /// ```
 pub struct SelectionEngine {
     /// The current snapshot, behind the lock-free swap cell. Readers
-    /// acquire it without locks; writers swap it under the `pending` lock.
+    /// acquire it without locks; writers swap it under the `publish_lock`.
     current: HotSwap<Snapshot>,
     /// This engine's key in the thread-local snapshot caches.
     engine_id: u64,
-    /// Pending writer batch. Held across the whole publish, so publishers
-    /// are serialised and `current` only ever moves forward one batch at a
-    /// time.
+    /// Pending writer batch. Taken only for the brief enqueue/drain
+    /// critical sections — **never** across a backend build — so writers
+    /// stay responsive while a publish freezes.
     pending: Mutex<CoalescingQueue>,
+    /// Serialises publishers (`publish` and `maybe_rebalance`), so
+    /// `current` only ever moves forward one batch at a time and versions
+    /// are strictly ordered, without making writers wait on a build.
+    publish_lock: Mutex<()>,
     /// Pooled transient build buffers for the publish path (locked only by
     /// the already-serialised publishers).
     scratch: Mutex<BuildScratch>,
@@ -249,9 +256,10 @@ pub struct SelectionEngine {
     obs: Arc<EngineTelemetry>,
     config: EngineConfig,
     len: usize,
-    /// Counters behind [`EngineStats`]. All mutations happen under the
-    /// `pending` lock (see `stats()` for the coherence argument); they stay
-    /// atomics only so `Debug`/readers may take cheap incoherent peeks.
+    /// Counters behind [`EngineStats`]. Writer counters mutate under the
+    /// `pending` lock, publish counters under the `publish_lock` (see
+    /// `stats()` for the coherence argument); they stay atomics only so
+    /// `Debug`/readers may take cheap incoherent peeks.
     publishes: AtomicU64,
     enqueued_total: AtomicU64,
     coalesced_total: AtomicU64,
@@ -261,16 +269,16 @@ pub struct SelectionEngine {
 
 /// Failure path of [`SelectionEngine::publish`]: a failed freeze (a
 /// caller-registered backend erroring, or folded weights overflowing to
-/// `∞`) must not lose the batch — re-applying scale-then-overrides under
-/// the still-held lock reproduces the drained semantics exactly. Out of
-/// line: this never runs on a healthy engine.
+/// `∞`) must not lose the batch. Because the batch lock is released during
+/// the build, writes may have arrived since the drain; the restore merges
+/// the drained batch back **under** them with last-write-wins semantics
+/// (new overrides beat restored ones — see
+/// [`CoalescingQueue::restore_drained`]). Out of line: this never runs on
+/// a healthy engine.
 #[cold]
 #[inline(never)]
 fn restore_batch(pending: &mut CoalescingQueue, scale: f64, overrides: &[(usize, f64)]) {
-    pending.scale(scale);
-    for &(index, weight) in overrides {
-        pending.set(index, weight);
-    }
+    pending.restore_drained(scale, overrides);
 }
 
 impl SelectionEngine {
@@ -344,6 +352,7 @@ impl SelectionEngine {
             current: HotSwap::new(Arc::new(snapshot)),
             engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             pending: Mutex::new(CoalescingQueue::new()),
+            publish_lock: Mutex::new(()),
             scratch: Mutex::new(BuildScratch::default()),
             registry,
             decider: Mutex::new(decider),
@@ -464,6 +473,14 @@ impl SelectionEngine {
         self.with_current(|snapshot| snapshot.version())
     }
 
+    /// Total weight of the current snapshot, acquired lock-free. This is
+    /// the hook a sharding router needs after each publish: the shard's
+    /// published mass, fed into the two-level (Fenwick-over-shard-totals)
+    /// draw without forcing the router through `snapshot()`'s `Arc` clone.
+    pub fn total_weight(&self) -> f64 {
+        self.with_current(|snapshot| snapshot.total_weight())
+    }
+
     /// Convenience: one draw against the current snapshot. Loops that draw
     /// repeatedly should use [`read`](SelectionEngine::read) with a buffer
     /// (or hold a [`snapshot`](SelectionEngine::snapshot)) instead, both
@@ -488,6 +505,7 @@ impl SelectionEngine {
                 value: weight,
             });
         }
+        let started = Instant::now();
         let mut pending = self.pending.lock().expect("batch lock poisoned");
         let coalesced = pending.set(index, weight);
         // Counter updates happen while `pending` is held so `stats()` (which
@@ -497,6 +515,7 @@ impl SelectionEngine {
             self.coalesced_total.fetch_add(1, Ordering::Relaxed);
         }
         drop(pending);
+        self.obs.record_enqueue_span(started);
         Ok(())
     }
 
@@ -517,6 +536,7 @@ impl SelectionEngine {
                 });
             }
         }
+        let started = Instant::now();
         let mut pending = self.pending.lock().expect("batch lock poisoned");
         let mut coalesced = 0;
         for &(index, weight) in updates {
@@ -529,6 +549,7 @@ impl SelectionEngine {
             .fetch_add(updates.len() as u64, Ordering::Relaxed);
         self.coalesced_total.fetch_add(coalesced, Ordering::Relaxed);
         drop(pending);
+        self.obs.record_enqueue_span(started);
         Ok(())
     }
 
@@ -539,10 +560,12 @@ impl SelectionEngine {
         if !factor.is_finite() || factor < 0.0 {
             return Err(SelectionError::InvalidScale { factor });
         }
+        let started = Instant::now();
         self.pending
             .lock()
             .expect("batch lock poisoned")
             .scale(factor);
+        self.obs.record_enqueue_span(started);
         Ok(())
     }
 
@@ -552,18 +575,31 @@ impl SelectionEngine {
     /// it beats a rebuild — and atomically swap it in. Returns the version
     /// now current. A publish with nothing pending is a no-op returning the
     /// unchanged version.
+    ///
+    /// The batch mutex is held only for the drain itself: writers keep
+    /// enqueuing while the fold and freeze run, and their writes land in
+    /// the *next* batch. Concurrent publishers serialise on a dedicated
+    /// publish mutex, so versions stay strictly ordered. Should the freeze
+    /// fail, the drained batch is re-merged **under** whatever arrived
+    /// meanwhile (last write wins), so no accepted write is ever lost.
     pub fn publish(&self) -> Result<u64, SelectionError> {
         let started = Instant::now();
-        let mut pending = self.pending.lock().expect("batch lock poisoned");
-        if pending.is_empty() {
-            return Ok(self.version());
-        }
+        let _publisher = self.publish_lock.lock().expect("publish lock poisoned");
         let mut scratch = self.scratch.lock().expect("scratch lock poisoned");
         // The override buffer is taken out of the scratch so `install` can
         // borrow the batch and the (alias) build scratch independently; it
         // returns below either way, keeping the pooled capacity.
         let mut overrides = std::mem::take(&mut scratch.overrides);
-        let scale = pending.drain_into(&mut overrides);
+        let scale = {
+            let mut pending = self.pending.lock().expect("batch lock poisoned");
+            if pending.is_empty() {
+                scratch.overrides = overrides;
+                return Ok(self.version());
+            }
+            pending.drain_into(&mut overrides)
+            // `pending` unlocks here: writers are admitted again after the
+            // O(batch) drain, not after the O(n) build below.
+        };
         let previous = self.current.load();
         let mut weights = previous.weights().to_vec();
         if scale != 1.0 {
@@ -578,7 +614,9 @@ impl SelectionEngine {
         let version = match result {
             Ok(version) => version,
             Err(error) => {
+                let mut pending = self.pending.lock().expect("batch lock poisoned");
                 restore_batch(&mut pending, scale, &overrides);
+                drop(pending);
                 scratch.overrides = overrides;
                 return Err(error);
             }
@@ -586,7 +624,6 @@ impl SelectionEngine {
         scratch.overrides = overrides;
         self.publishes.fetch_add(1, Ordering::Relaxed);
         self.obs.record_publish_span(started);
-        // `pending` (still held) unlocks here, admitting the next publisher.
         Ok(version)
     }
 
@@ -603,10 +640,16 @@ impl SelectionEngine {
             return Ok(None);
         }
         let started = Instant::now();
-        // Serialise with publishers exactly like publish() does.
-        let pending = self.pending.lock().expect("batch lock poisoned");
-        if !pending.is_empty() {
-            return Ok(None);
+        // Serialise with publishers exactly like publish() does; the batch
+        // lock is taken only for the emptiness probe. A write that lands
+        // after the probe is not lost — the rebalance republishes the
+        // *current* weights, and the write folds into the next publish.
+        let _publisher = self.publish_lock.lock().expect("publish lock poisoned");
+        {
+            let pending = self.pending.lock().expect("batch lock poisoned");
+            if !pending.is_empty() {
+                return Ok(None);
+            }
         }
         let previous = self.current.load();
         let incumbent = self
@@ -635,7 +678,6 @@ impl SelectionEngine {
         )?;
         self.publishes.fetch_add(1, Ordering::Relaxed);
         self.obs.record_publish_span(started);
-        drop(pending);
         Ok(Some(version))
     }
 
@@ -812,15 +854,17 @@ impl SelectionEngine {
 
     /// Aggregate counters since construction, as one **coherent** snapshot.
     ///
-    /// The read holds the publish (`pending`) lock, and every counter
-    /// mutation in the engine happens while that lock is held — enqueues
-    /// bump their totals before releasing it, publishes and rebalances bump
+    /// The read holds the publish lock *and* the batch lock (in that order,
+    /// matching `publish()`). Writer counters mutate only under the batch
+    /// lock — enqueues bump their totals before releasing it — and publish
+    /// counters only under the publish lock — publishes and rebalances bump
     /// `publishes`/`patched`/`backend_switches` and swap the snapshot with
     /// it still held. The returned struct therefore describes a single
     /// instant between batch operations; a concurrent publish is either
     /// entirely visible (including the `backend` name of the snapshot it
     /// installed) or not at all.
     pub fn stats(&self) -> EngineStats {
+        let _publisher = self.publish_lock.lock().expect("publish lock poisoned");
         let _pending = self.pending.lock().expect("batch lock poisoned");
         EngineStats {
             publishes: self.publishes.load(Ordering::Relaxed),
@@ -887,6 +931,7 @@ impl SelectionEngine {
     /// | `lrb_cost_<backend>_{build,draw,patch}_ns_per_op` | gauge | cost-model EWMAs |
     /// | `lrb_publish_ns` | histogram | full publish spans |
     /// | `lrb_freeze_ns` | histogram | build-or-patch spans |
+    /// | `lrb_enqueue_ns` | histogram | writer enqueue/scale spans (always on) |
     /// | `lrb_reader_draw_ns` | histogram | sampled per-draw reader latency |
     pub fn metrics(&self) -> MetricsSnapshot {
         let stats = self.stats();
@@ -989,6 +1034,11 @@ impl SelectionEngine {
             &self.obs.freeze_latency(),
         )
         .histogram(
+            "lrb_enqueue_ns",
+            "Writer enqueue/enqueue_many/scale_all spans, nanoseconds",
+            &self.obs.enqueue_latency(),
+        )
+        .histogram(
             "lrb_reader_draw_ns",
             "Sampled per-draw reader latency, nanoseconds",
             &self.obs.reader_draw_latency(),
@@ -1078,6 +1128,99 @@ mod tests {
         // The failed batch enqueued nothing.
         assert_eq!(e.publish().unwrap(), 0);
         assert_eq!(e.stats().enqueued, 0);
+    }
+
+    #[test]
+    fn failed_enqueue_many_leaves_the_pending_batch_bit_identical() {
+        let e = engine(vec![1.0, 2.0, 3.0, 4.0]);
+        // Seed a non-trivial pending state: an override folded through a
+        // scale (its stored value is the product, exercising bit equality
+        // beyond round numbers) plus an absolute one after the scale.
+        e.enqueue(0, 0.3).unwrap();
+        e.scale_all(0.7).unwrap();
+        e.enqueue(2, 1.9).unwrap();
+        let before = e.pending.lock().unwrap().state();
+        let before_stats = e.stats();
+
+        let failing: [&[(usize, f64)]; 3] = [
+            &[(1, 5.0), (9, 1.0), (3, 2.0)], // index out of range mid-slice
+            &[(1, 5.0), (3, f64::NAN)],      // invalid weight at the tail
+            &[(1, -1.0)],                    // invalid weight up front
+        ];
+        for bad in failing {
+            assert!(e.enqueue_many(bad).is_err());
+        }
+
+        let after = e.pending.lock().unwrap().state();
+        assert_eq!(
+            before.0.to_bits(),
+            after.0.to_bits(),
+            "the folded scale must be untouched"
+        );
+        assert_eq!(before.1.len(), after.1.len());
+        for (&(bi, bw), &(ai, aw)) in before.1.iter().zip(after.1.iter()) {
+            assert_eq!(bi, ai);
+            assert_eq!(
+                bw.to_bits(),
+                aw.to_bits(),
+                "pending override {bi} must be bit-identical"
+            );
+        }
+        assert_eq!(
+            before_stats,
+            e.stats(),
+            "failed batches must not move any counter"
+        );
+    }
+
+    /// A registry-pluggable backend whose first build (the engine's initial
+    /// snapshot) succeeds and every later build fails — the deterministic
+    /// way to drive `publish()` down its restore path.
+    struct FailAfterFirstBuild {
+        builds: AtomicU64,
+    }
+
+    impl crate::backend::FrozenBackend for FailAfterFirstBuild {
+        fn name(&self) -> &'static str {
+            "fail-after-first"
+        }
+
+        fn build(
+            &self,
+            weights: &[f64],
+        ) -> Result<Box<dyn lrb_core::traits::FrozenSampler>, SelectionError> {
+            if self.builds.fetch_add(1, Ordering::Relaxed) == 0 {
+                crate::backend::FenwickBackend.build(weights)
+            } else {
+                Err(SelectionError::AllZeroFitness)
+            }
+        }
+
+        fn model_cost(&self, profile: &WorkloadProfile) -> crate::backend::BackendCost {
+            crate::backend::FenwickBackend.model_cost(profile)
+        }
+    }
+
+    #[test]
+    fn failed_publish_restores_the_drained_batch() {
+        let mut registry = crate::backend::BackendRegistry::empty();
+        registry.register(Arc::new(FailAfterFirstBuild {
+            builds: AtomicU64::new(0),
+        }));
+        let config = EngineConfig {
+            backend: BackendChoice::Fixed("fail-after-first"),
+            ..EngineConfig::default()
+        };
+        let e = SelectionEngine::with_registry(vec![8.0, 8.0], config, registry).unwrap();
+        e.enqueue(0, 4.0).unwrap();
+        e.scale_all(0.5).unwrap();
+        assert!(e.publish().is_err(), "the post-construction build fails");
+        assert_eq!(e.version(), 0, "no snapshot was installed");
+        // The drained batch went back into the queue exactly as it left:
+        // the override predated the scale, so its stored value is folded.
+        let (scale, overrides) = e.pending.lock().unwrap().state();
+        assert_eq!(scale, 0.5);
+        assert_eq!(overrides, vec![(0, 2.0)]);
     }
 
     #[test]

@@ -69,6 +69,41 @@ impl CoalescingQueue {
         }
     }
 
+    /// Re-merge a drained-but-unpublished batch **under** whatever has been
+    /// enqueued since the drain, preserving arrival-order semantics (the
+    /// drained operations happened first, so newer writes win):
+    ///
+    /// * the combined scale is `drained_scale · self.scale` — the drained
+    ///   scale precedes every factor that arrived after the drain;
+    /// * a category overridden in the drained batch and **not** since
+    ///   re-enters multiplied by the post-drain scale (had the drain never
+    ///   happened, those later `scale` calls would have folded into it);
+    /// * a category overridden **again** since the drain keeps the newer
+    ///   value untouched (last write wins — the restored write was older).
+    ///
+    /// This is the failure path of a publish whose freeze errored after the
+    /// batch lock was released: it reconstructs exactly the queue that
+    /// sequential application of every accepted operation would have built.
+    pub fn restore_drained(&mut self, drained_scale: f64, drained: &[(usize, f64)]) {
+        let arrived_since = self.scale;
+        self.scale *= drained_scale;
+        for &(index, weight) in drained {
+            self.overrides
+                .entry(index)
+                .or_insert(weight * arrived_since);
+        }
+    }
+
+    /// Non-destructive copy of the queue's exact state — the folded scale
+    /// and the overrides sorted by index — for bit-level assertions.
+    #[cfg(test)]
+    pub fn state(&self) -> (f64, Vec<(usize, f64)>) {
+        let mut overrides: Vec<(usize, f64)> =
+            self.overrides.iter().map(|(&i, &w)| (i, w)).collect();
+        overrides.sort_unstable_by_key(|&(index, _)| index);
+        (self.scale, overrides)
+    }
+
     /// Take the batch, leaving the queue empty.
     #[cfg(test)]
     pub fn drain(&mut self) -> DrainedBatch {
@@ -125,6 +160,43 @@ mod tests {
         let batch = q.drain();
         assert_eq!(batch.scale, 0.25);
         assert_eq!(batch.overrides, vec![(0, 1.0), (1, 4.0)]);
+    }
+
+    #[test]
+    fn restore_drained_into_empty_queue_reproduces_the_batch() {
+        let mut q = CoalescingQueue::new();
+        q.set(2, 3.0);
+        q.scale(0.5);
+        let drained = q.drain();
+        assert!(q.is_empty());
+        q.restore_drained(drained.scale, &drained.overrides);
+        assert_eq!(q.drain(), drained);
+    }
+
+    #[test]
+    fn restore_drained_merges_under_newer_writes() {
+        // Sequential truth: set(0,4), set(1,6), scale(0.5)  [drained batch]
+        // then set(1,9), scale(2.0), set(2,7)               [arrived since]
+        // equals scale 0.5·2.0 = 1.0 with overrides
+        // {0: 4·0.5·2.0 = 4, 1: 9·2.0 = 18 (the newer write at index 1
+        // wins over the restored one, and the later scale had already
+        // folded into it), 2: 7}.
+        let mut drained_q = CoalescingQueue::new();
+        drained_q.set(0, 4.0);
+        drained_q.set(1, 6.0);
+        drained_q.scale(0.5);
+        let drained = drained_q.drain();
+        assert_eq!(drained.overrides, vec![(0, 2.0), (1, 3.0)]);
+
+        let mut q = CoalescingQueue::new();
+        q.set(1, 9.0);
+        q.scale(2.0);
+        q.set(2, 7.0);
+        q.restore_drained(drained.scale, &drained.overrides);
+
+        let merged = q.drain();
+        assert_eq!(merged.scale, 0.5 * 2.0);
+        assert_eq!(merged.overrides, vec![(0, 4.0), (1, 18.0), (2, 7.0)]);
     }
 
     #[test]

@@ -108,6 +108,12 @@ pub struct EngineTelemetry {
     /// Freeze-only spans, nanoseconds (the build-or-patch section the cost
     /// model prices).
     freeze_ns: Histogram,
+    /// Writer-side `enqueue`/`enqueue_many`/`scale_all` spans, nanoseconds
+    /// (validation + batch-lock wait + the queue operation). Always on:
+    /// this is the histogram that catches a publish stalling writers —
+    /// after the drain/build split its tail must stay decoupled from
+    /// `freeze_ns`.
+    enqueue_ns: Histogram,
     /// Sampled per-draw reader latency, nanoseconds (amortised over the
     /// timed buffer; empty unless `reader_timing_every > 0`).
     reader_draw_ns: Histogram,
@@ -123,6 +129,7 @@ impl EngineTelemetry {
             started: Instant::now(),
             publish_ns: Histogram::new(),
             freeze_ns: Histogram::new(),
+            enqueue_ns: Histogram::new(),
             reader_draw_ns: Histogram::new(),
             simd_lanes: Gauge::new(),
             journal: FlightRecorder::new(JOURNAL_CAPACITY),
@@ -146,6 +153,11 @@ impl EngineTelemetry {
     }
 
     #[inline]
+    pub(crate) fn record_enqueue_span(&self, started: Instant) {
+        self.enqueue_ns.record_span(started);
+    }
+
+    #[inline]
     pub(crate) fn record_reader_draw_ns(&self, ns: u64) {
         self.reader_draw_ns.record(ns);
     }
@@ -166,6 +178,14 @@ impl EngineTelemetry {
     /// Distribution of freeze (build-or-patch) spans (nanoseconds).
     pub fn freeze_latency(&self) -> HistogramSnapshot {
         self.freeze_ns.snapshot()
+    }
+
+    /// Distribution of writer `enqueue`/`enqueue_many`/`scale_all` spans
+    /// (nanoseconds). Always on. A healthy engine keeps this tail a few
+    /// microseconds regardless of how long publishes freeze — writers only
+    /// ever wait for the batch drain, never for a backend build.
+    pub fn enqueue_latency(&self) -> HistogramSnapshot {
+        self.enqueue_ns.snapshot()
     }
 
     /// Distribution of sampled per-draw reader latency (nanoseconds,

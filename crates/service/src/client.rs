@@ -1,0 +1,199 @@
+//! A blocking client for the selection service's binary protocol.
+//!
+//! One [`ServiceClient`] owns one connection and issues one request at a
+//! time (the protocol is strictly request/response per connection; open
+//! more clients for pipelining — the server is thread-per-connection).
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::error::ServiceError;
+use crate::protocol::{read_response, write_frame, Cursor, OpCode, MAX_BATCH};
+use crate::server::ServerAddr;
+
+enum Transport {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking connection to a [`ServiceServer`](crate::ServiceServer).
+pub struct ServiceClient {
+    transport: Transport,
+}
+
+impl std::fmt::Debug for ServiceClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.transport {
+            Transport::Tcp(_) => "tcp",
+            #[cfg(unix)]
+            Transport::Unix(_) => "unix",
+        };
+        f.debug_struct("ServiceClient")
+            .field("transport", &kind)
+            .finish()
+    }
+}
+
+impl ServiceClient {
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            transport: Transport::Tcp(stream),
+        })
+    }
+
+    /// Connect over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self, ServiceError> {
+        Ok(Self {
+            transport: Transport::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Connect to wherever a server reports it is listening.
+    pub fn connect(addr: &ServerAddr) -> Result<Self, ServiceError> {
+        match addr {
+            ServerAddr::Tcp(addr) => Self::connect_tcp(addr),
+            #[cfg(unix)]
+            ServerAddr::Unix(path) => Self::connect_uds(path),
+        }
+    }
+
+    fn call(&mut self, opcode: OpCode, payload: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        write_frame(&mut self.transport, opcode, payload)?;
+        read_response(&mut self.transport)
+    }
+
+    /// One draw (server-side RNG, coalesced by the server's aggregator).
+    pub fn draw(&mut self) -> Result<usize, ServiceError> {
+        let payload = self.call(OpCode::Draw, &[])?;
+        let mut cursor = Cursor::new(&payload);
+        let index = cursor.u64()?;
+        cursor.done()?;
+        Ok(index as usize)
+    }
+
+    /// `count` draws in one round trip (`count <= MAX_BATCH`).
+    pub fn draw_batch(&mut self, count: u32) -> Result<Vec<usize>, ServiceError> {
+        if count > MAX_BATCH {
+            return Err(ServiceError::Protocol(format!(
+                "batch count {count} exceeds {MAX_BATCH}"
+            )));
+        }
+        let payload = self.call(OpCode::DrawBatch, &count.to_le_bytes())?;
+        let mut cursor = Cursor::new(&payload);
+        let returned = cursor.u32()?;
+        if returned != count {
+            return Err(ServiceError::Protocol(format!(
+                "asked for {count} draws, server answered {returned}"
+            )));
+        }
+        let mut indices = Vec::with_capacity(returned as usize);
+        for _ in 0..returned {
+            indices.push(cursor.u64()? as usize);
+        }
+        cursor.done()?;
+        Ok(indices)
+    }
+
+    /// Enqueue one weight override (visible after the owning shard's next
+    /// publish).
+    pub fn update(&mut self, index: usize, weight: f64) -> Result<(), ServiceError> {
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&(index as u64).to_le_bytes());
+        payload.extend_from_slice(&weight.to_bits().to_le_bytes());
+        let response = self.call(OpCode::Update, &payload)?;
+        Cursor::new(&response).done()
+    }
+
+    /// Enqueue a batch of overrides, all-or-nothing across shards.
+    pub fn update_many(&mut self, updates: &[(usize, f64)]) -> Result<(), ServiceError> {
+        if updates.len() as u64 > MAX_BATCH as u64 {
+            return Err(ServiceError::Protocol(format!(
+                "batch count {} exceeds {MAX_BATCH}",
+                updates.len()
+            )));
+        }
+        let mut payload = Vec::with_capacity(4 + 16 * updates.len());
+        payload.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+        for &(index, weight) in updates {
+            payload.extend_from_slice(&(index as u64).to_le_bytes());
+            payload.extend_from_slice(&weight.to_bits().to_le_bytes());
+        }
+        let response = self.call(OpCode::UpdateBatch, &payload)?;
+        Cursor::new(&response).done()
+    }
+
+    /// Fold one multiplicative scale into every shard's pending batch.
+    pub fn scale_all(&mut self, factor: f64) -> Result<(), ServiceError> {
+        let response = self.call(OpCode::Scale, &factor.to_bits().to_le_bytes())?;
+        Cursor::new(&response).done()
+    }
+
+    /// Publish every shard; returns the per-shard snapshot versions.
+    pub fn publish(&mut self) -> Result<Vec<u64>, ServiceError> {
+        let payload = self.call(OpCode::Publish, &[])?;
+        let mut cursor = Cursor::new(&payload);
+        let shards = cursor.u32()?;
+        let mut versions = Vec::with_capacity(shards as usize);
+        for _ in 0..shards {
+            versions.push(cursor.u64()?);
+        }
+        cursor.done()?;
+        Ok(versions)
+    }
+
+    /// The per-shard published total weights.
+    pub fn totals(&mut self) -> Result<Vec<f64>, ServiceError> {
+        let payload = self.call(OpCode::Totals, &[])?;
+        let mut cursor = Cursor::new(&payload);
+        let shards = cursor.u32()?;
+        let mut totals = Vec::with_capacity(shards as usize);
+        for _ in 0..shards {
+            totals.push(cursor.f64()?);
+        }
+        cursor.done()?;
+        Ok(totals)
+    }
+
+    /// The server's merged metrics document (JSON).
+    pub fn metrics_json(&mut self) -> Result<String, ServiceError> {
+        let payload = self.call(OpCode::Metrics, &[])?;
+        String::from_utf8(payload)
+            .map_err(|_| ServiceError::Protocol("metrics document is not UTF-8".into()))
+    }
+}

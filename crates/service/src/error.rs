@@ -1,0 +1,53 @@
+//! The client-facing error type: selection failures, transport failures,
+//! malformed frames, and errors reported by the remote side.
+
+use std::fmt;
+use std::io;
+
+use lrb_core::SelectionError;
+
+/// Anything a service call can fail with.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A local selection failure (validation, all-zero mass, …).
+    Selection(SelectionError),
+    /// A transport failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// A frame that violated the wire protocol.
+    Protocol(String),
+    /// An error status returned by the server, with the wire error code
+    /// (see [`crate::protocol::codes`]) and the server's message.
+    Remote {
+        /// The one-byte error code from the response frame.
+        code: u8,
+        /// The server's human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Selection(e) => write!(f, "selection failed: {e}"),
+            ServiceError::Io(e) => write!(f, "transport failed: {e}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServiceError::Remote { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SelectionError> for ServiceError {
+    fn from(e: SelectionError) -> Self {
+        ServiceError::Selection(e)
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}

@@ -1,0 +1,63 @@
+//! # lrb-service — the sharded selection service
+//!
+//! The ROADMAP's serving layer one level up from `lrb-engine`: the
+//! category space is partitioned across N [`SelectionEngine`] shards
+//! (one writer thread per shard), cross-shard draws run as a **two-level
+//! selection** through the shared [`lrb_core::sharding`] layer — a Fenwick
+//! prefix tree over the lock-free per-shard totals picks the shard, the
+//! shard's own lock-free snapshot draw finishes inside it — and a
+//! request layer fronts the whole thing: a length-prefixed binary
+//! protocol over TCP or Unix-domain sockets (plain `std::net`,
+//! thread-per-connection, no async runtime), with a **flat-combining
+//! aggregator** that coalesces concurrent single-draw requests into
+//! batched buffer fills against the engine's fused batch path.
+//!
+//! * [`ShardedService`] / [`ServiceCore`] — the in-process sharded core:
+//!   partitioning, two-level draws, cross-shard atomic update batches,
+//!   per-shard publisher threads, merged metrics.
+//! * [`DrawAggregator`] — flat combining for single draws.
+//! * [`ServiceServer`] / [`ServiceClient`] — the wire layer (see
+//!   [`protocol`] for the frame format).
+//! * [`ServiceTelemetry`] — request/draw/update histograms, routing
+//!   journal, shard-imbalance gauge; merged with each shard's engine
+//!   telemetry by [`ServiceCore::metrics`].
+//!
+//! ## Quickstart (in-process)
+//!
+//! ```
+//! use lrb_service::{ServiceConfig, ShardedService};
+//! use lrb_rng::{MersenneTwister64, SeedableSource};
+//!
+//! let service = ShardedService::new(
+//!     vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+//!     ServiceConfig { shards: 3, ..ServiceConfig::default() },
+//! )?;
+//! let mut rng = MersenneTwister64::seed_from_u64(7);
+//! let pick = service.draw(&mut rng)?;
+//! assert!(pick < 6);
+//!
+//! service.update(0, 9.0)?;          // enqueued on shard 0
+//! service.publish_all()?;           // all shards publish, totals refresh
+//! assert_eq!(service.shard_totals().iter().sum::<f64>(), 29.0);
+//! # Ok::<(), lrb_core::SelectionError>(())
+//! ```
+//!
+//! [`SelectionEngine`]: lrb_engine::SelectionEngine
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregator;
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod sharded;
+pub mod telemetry;
+
+pub use aggregator::DrawAggregator;
+pub use client::ServiceClient;
+pub use error::ServiceError;
+pub use server::{ServerAddr, ServiceServer, READ_TIMEOUT};
+pub use sharded::{ServiceConfig, ServiceCore, ShardedService};
+pub use telemetry::{ServiceEvent, ServiceTelemetry, SERVICE_JOURNAL_CAPACITY};

@@ -1,0 +1,385 @@
+//! The request layer: a thread-per-connection TCP/UDS server speaking the
+//! length-prefixed binary protocol of [`crate::protocol`].
+//!
+//! Single draws (`DRAW`) go through the shared [`DrawAggregator`], so
+//! concurrent clients are coalesced into batched two-level draws; batch
+//! draws (`DRAW_BATCH`) use a per-connection RNG and hit
+//! [`ServiceCore::draw_into`] directly. Every handled request lands in the
+//! service's request-latency histogram.
+//!
+//! Connections poll with a short read timeout so a server shutdown
+//! ([`ServiceServer::shutdown`] or drop) is observed within
+//! [`READ_TIMEOUT`]; the accept loop is unblocked by a dummy connection.
+//! Everything is plain `std::net` / `std::os::unix::net` — no async
+//! runtime.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lrb_rng::{MersenneTwister64, SeedableSource, SplitMix64};
+
+use crate::aggregator::DrawAggregator;
+use crate::protocol::{
+    codes, error_code, read_frame, write_err, write_ok, Cursor, OpCode, MAX_BATCH,
+};
+use crate::sharded::ServiceCore;
+
+/// Idle read timeout per connection: the shutdown-observation latency.
+pub const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Where a running server is listening.
+#[derive(Debug, Clone)]
+pub enum ServerAddr {
+    /// A TCP socket address (use with [`crate::ServiceClient::connect_tcp`]).
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path (use with
+    /// [`crate::ServiceClient::connect_uds`]).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+enum Incoming {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// A running selection server. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the accept loop, joins every
+/// connection handler and, for UDS, removes the socket file.
+pub struct ServiceServer {
+    addr: ServerAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServiceServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServiceServer {
+    /// Bind a TCP listener (e.g. `"127.0.0.1:0"` for an ephemeral port)
+    /// and start serving `core`. `seed` keys the server-side RNGs.
+    pub fn bind_tcp(
+        core: Arc<ServiceCore>,
+        addr: impl ToSocketAddrs,
+        seed: u64,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Self::start(core, Incoming::Tcp(listener), ServerAddr::Tcp(local), seed)
+    }
+
+    /// Bind a Unix-domain socket at `path` (removed on shutdown) and start
+    /// serving `core`.
+    #[cfg(unix)]
+    pub fn bind_uds(
+        core: Arc<ServiceCore>,
+        path: impl Into<PathBuf>,
+        seed: u64,
+    ) -> std::io::Result<Self> {
+        let path = path.into();
+        // A stale socket file from a crashed predecessor would fail the
+        // bind; remove it (ignoring "was not there").
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Self::start(core, Incoming::Unix(listener), ServerAddr::Unix(path), seed)
+    }
+
+    fn start(
+        core: Arc<ServiceCore>,
+        listener: Incoming,
+        addr: ServerAddr,
+        seed: u64,
+    ) -> std::io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let aggregator = Arc::new(DrawAggregator::new(Arc::clone(&core), seed));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, core, aggregator, stop, seed))
+        };
+        Ok(Self {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// Where the server is listening (for clients; the TCP variant carries
+    /// the resolved ephemeral port).
+    pub fn local_addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    /// Stop accepting, wake the accept loop, join every handler thread and
+    /// clean up the socket. Also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        // Unblock the blocking accept with a throwaway connection.
+        match &self.addr {
+            ServerAddr::Tcp(addr) => {
+                let _ = TcpStream::connect_timeout(addr, READ_TIMEOUT);
+            }
+            #[cfg(unix)]
+            ServerAddr::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let ServerAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for ServiceServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: Incoming,
+    core: Arc<ServiceCore>,
+    aggregator: Arc<DrawAggregator>,
+    stop: Arc<AtomicBool>,
+    seed: u64,
+) {
+    let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    let connections = AtomicU64::new(0);
+    loop {
+        // Accept one connection (blocking); any accept error while stopping
+        // means "time to exit".
+        let stream: Option<Box<dyn Conn>> = match &listener {
+            Incoming::Tcp(l) => l.accept().ok().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+            #[cfg(unix)]
+            Incoming::Unix(l) => l.accept().ok().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+        };
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Some(stream) = stream else { continue };
+        let conn_id = connections.fetch_add(1, Ordering::Relaxed);
+        let handler = {
+            let core = Arc::clone(&core);
+            let aggregator = Arc::clone(&aggregator);
+            let stop = Arc::clone(&stop);
+            // Derive a per-connection stream for DRAW_BATCH requests: the
+            // SplitMix mixer keeps connection seeds decorrelated even for
+            // adjacent ids.
+            let mut mixer = SplitMix64::new(seed ^ conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let rng_seed = lrb_rng::RandomSource::next_u64(&mut mixer);
+            std::thread::spawn(move || serve_connection(stream, core, aggregator, stop, rng_seed))
+        };
+        let mut workers = workers.lock().expect("worker list poisoned");
+        workers.push(handler);
+        // Opportunistically reap finished handlers so a long-lived server
+        // doesn't accumulate dead JoinHandles.
+        workers.retain(|h| !h.is_finished());
+    }
+    for handle in workers.lock().expect("worker list poisoned").drain(..) {
+        let _ = handle.join();
+    }
+}
+
+/// A duplex connection with a settable read timeout.
+trait Conn: Read + Write + Send {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+}
+
+fn serve_connection(
+    mut stream: Box<dyn Conn>,
+    core: Arc<ServiceCore>,
+    aggregator: Arc<DrawAggregator>,
+    stop: Arc<AtomicBool>,
+    rng_seed: u64,
+) {
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let mut rng = MersenneTwister64::seed_from_u64(rng_seed);
+    while !stop.load(Ordering::Acquire) {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // idle; re-check the stop flag
+            }
+            Err(_) => return, // disconnect or framing violation
+        };
+        let started = Instant::now();
+        let result = dispatch(&frame, &core, &aggregator, &mut rng, &mut stream);
+        core.telemetry().record_request_span(started);
+        if result.is_err() {
+            return; // the response could not be written
+        }
+    }
+}
+
+/// Handle one decoded frame; `Err` only for transport failures (protocol
+/// and selection errors are answered in-band).
+fn dispatch(
+    frame: &crate::protocol::Frame,
+    core: &Arc<ServiceCore>,
+    aggregator: &Arc<DrawAggregator>,
+    rng: &mut MersenneTwister64,
+    stream: &mut Box<dyn Conn>,
+) -> std::io::Result<()> {
+    let Some(opcode) = OpCode::from_u8(frame.opcode) else {
+        return write_err(
+            stream,
+            codes::PROTOCOL,
+            &format!("unknown opcode {:#04x}", frame.opcode),
+        );
+    };
+    // Decode-and-execute; any ServiceError becomes an in-band error frame.
+    let outcome: Result<Vec<u8>, (u8, String)> = match opcode {
+        OpCode::Draw => aggregator
+            .draw()
+            .map(|index| (index as u64).to_le_bytes().to_vec())
+            .map_err(|e| (error_code(&e), e.to_string())),
+        OpCode::DrawBatch => decode_count(&frame.payload).and_then(|count| {
+            core.draw_many(rng, count as usize)
+                .map(|indices| {
+                    let mut payload = Vec::with_capacity(4 + 8 * indices.len());
+                    payload.extend_from_slice(&count.to_le_bytes());
+                    for index in indices {
+                        payload.extend_from_slice(&(index as u64).to_le_bytes());
+                    }
+                    payload
+                })
+                .map_err(|e| (error_code(&e), e.to_string()))
+        }),
+        OpCode::Update => decode_update(&frame.payload).and_then(|(index, weight)| {
+            core.update(index, weight)
+                .map(|()| Vec::new())
+                .map_err(|e| (error_code(&e), e.to_string()))
+        }),
+        OpCode::UpdateBatch => decode_update_batch(&frame.payload).and_then(|updates| {
+            core.update_many(&updates)
+                .map(|()| Vec::new())
+                .map_err(|e| (error_code(&e), e.to_string()))
+        }),
+        OpCode::Scale => decode_scale(&frame.payload).and_then(|factor| {
+            core.scale_all(factor)
+                .map(|()| Vec::new())
+                .map_err(|e| (error_code(&e), e.to_string()))
+        }),
+        OpCode::Publish => core
+            .publish_all()
+            .map(|versions| {
+                let mut payload = Vec::with_capacity(4 + 8 * versions.len());
+                payload.extend_from_slice(&(versions.len() as u32).to_le_bytes());
+                for version in versions {
+                    payload.extend_from_slice(&version.to_le_bytes());
+                }
+                payload
+            })
+            .map_err(|e| (error_code(&e), e.to_string())),
+        OpCode::Totals => {
+            let totals = core.shard_totals();
+            let mut payload = Vec::with_capacity(4 + 8 * totals.len());
+            payload.extend_from_slice(&(totals.len() as u32).to_le_bytes());
+            for total in totals {
+                payload.extend_from_slice(&total.to_bits().to_le_bytes());
+            }
+            Ok(payload)
+        }
+        OpCode::Metrics => Ok(core.metrics().to_json().into_bytes()),
+    };
+    match outcome {
+        Ok(payload) => write_ok(stream, &payload),
+        Err((code, message)) => write_err(stream, code, &message),
+    }
+}
+
+fn decode_count(payload: &[u8]) -> Result<u32, (u8, String)> {
+    let mut cursor = Cursor::new(payload);
+    let count = cursor
+        .u32()
+        .and_then(|c| cursor.done().map(|()| c))
+        .map_err(|e| (codes::PROTOCOL, e.to_string()))?;
+    if count > MAX_BATCH {
+        return Err((
+            codes::PROTOCOL,
+            format!("batch count {count} exceeds {MAX_BATCH}"),
+        ));
+    }
+    Ok(count)
+}
+
+fn decode_update(payload: &[u8]) -> Result<(usize, f64), (u8, String)> {
+    fn inner(payload: &[u8]) -> Result<(usize, f64), crate::error::ServiceError> {
+        let mut cursor = Cursor::new(payload);
+        let index = cursor.u64()? as usize;
+        let weight = cursor.f64()?;
+        cursor.done()?;
+        Ok((index, weight))
+    }
+    inner(payload).map_err(|e| (codes::PROTOCOL, e.to_string()))
+}
+
+fn decode_update_batch(payload: &[u8]) -> Result<Vec<(usize, f64)>, (u8, String)> {
+    fn inner(payload: &[u8]) -> Result<Vec<(usize, f64)>, crate::error::ServiceError> {
+        let mut cursor = Cursor::new(payload);
+        let count = cursor.u32()?;
+        if count > MAX_BATCH {
+            return Err(crate::error::ServiceError::Protocol(format!(
+                "batch count {count} exceeds {MAX_BATCH}"
+            )));
+        }
+        let mut updates = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let index = cursor.u64()? as usize;
+            let weight = cursor.f64()?;
+            updates.push((index, weight));
+        }
+        cursor.done()?;
+        Ok(updates)
+    }
+    inner(payload).map_err(|e| (codes::PROTOCOL, e.to_string()))
+}
+
+fn decode_scale(payload: &[u8]) -> Result<f64, (u8, String)> {
+    fn inner(payload: &[u8]) -> Result<f64, crate::error::ServiceError> {
+        let mut cursor = Cursor::new(payload);
+        let factor = cursor.f64()?;
+        cursor.done()?;
+        Ok(factor)
+    }
+    inner(payload).map_err(|e| (codes::PROTOCOL, e.to_string()))
+}

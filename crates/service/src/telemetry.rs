@@ -1,0 +1,200 @@
+//! Service-level observability: request/draw/update latency histograms,
+//! routing counters, the shard-imbalance gauge and a flight-recorder
+//! journal of routing decisions and shard publishes.
+//!
+//! The per-shard engine telemetry (publish/enqueue/reader-draw histograms)
+//! stays inside each shard's [`EngineTelemetry`](lrb_engine::EngineTelemetry);
+//! [`ServiceCore::metrics`](crate::ServiceCore::metrics) merges those rows
+//! into the service's [`MetricsSnapshot`] under shard-prefixed names, so one
+//! scrape sees the whole two-level picture.
+//!
+//! [`MetricsSnapshot`]: lrb_obs::MetricsSnapshot
+
+use std::time::Instant;
+
+use lrb_obs::{Counter, FlightRecorder, Gauge, Histogram, HistogramSnapshot};
+
+/// Ring capacity of the service journal (same depth as the engine's).
+pub const SERVICE_JOURNAL_CAPACITY: usize = 256;
+
+/// One service-layer event for the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// A draw (or a coalesced batch of draws) was routed to a shard by the
+    /// level-one Fenwick pick.
+    Route {
+        /// The shard the level-one pick landed on.
+        shard: u32,
+        /// How many draws of the batch landed there.
+        draws: u32,
+    },
+    /// A shard republished its snapshot and refreshed its total cell.
+    ShardPublish {
+        /// The shard that published.
+        shard: u32,
+        /// The snapshot version it now serves.
+        version: u64,
+    },
+    /// The level-one totals were re-read from every shard (stale-cut
+    /// recovery or an explicit refresh).
+    TotalsRefresh,
+}
+
+/// Always-on service telemetry. All paths are lock-free (relaxed counter
+/// shards, atomic histogram buckets, a seqlock-free ring), so recording
+/// never blocks a request.
+#[derive(Debug)]
+pub struct ServiceTelemetry {
+    /// End-to-end request handling latency (decode → dispatch → encode).
+    request_ns: Histogram,
+    /// Per-draw service latency (two-level pick + in-shard draw, amortised
+    /// per draw for batches).
+    draw_ns: Histogram,
+    /// Update/scale enqueue latency at the service layer.
+    update_ns: Histogram,
+    /// Single draws served.
+    draws: Counter,
+    /// Weight updates accepted.
+    updates: Counter,
+    /// Shard publishes performed through the service.
+    publishes: Counter,
+    /// Coalesced batches executed by the draw aggregator.
+    batches: Counter,
+    /// Single-draw requests that rode in a coalesced batch.
+    batched_draws: Counter,
+    /// Max-over-mean of the per-shard totals (1.0 = perfectly balanced).
+    imbalance: Gauge,
+    /// Last-`SERVICE_JOURNAL_CAPACITY` service events.
+    journal: FlightRecorder<ServiceEvent>,
+}
+
+impl Default for ServiceTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceTelemetry {
+    /// Fresh, empty telemetry.
+    pub fn new() -> Self {
+        Self {
+            request_ns: Histogram::new(),
+            draw_ns: Histogram::new(),
+            update_ns: Histogram::new(),
+            draws: Counter::new(),
+            updates: Counter::new(),
+            publishes: Counter::new(),
+            batches: Counter::new(),
+            batched_draws: Counter::new(),
+            imbalance: Gauge::new(),
+            journal: FlightRecorder::new(SERVICE_JOURNAL_CAPACITY),
+        }
+    }
+
+    /// Record one handled request end-to-end.
+    pub(crate) fn record_request_span(&self, started: Instant) {
+        self.request_ns.record_span(started);
+    }
+
+    /// Record `draws` draws that together took `elapsed_ns` (amortised).
+    pub(crate) fn record_draws(&self, draws: u64, elapsed_ns: u64) {
+        if draws == 0 {
+            return;
+        }
+        self.draws.add(draws);
+        self.draw_ns.record(elapsed_ns / draws);
+    }
+
+    /// Record `updates` accepted weight updates that took one span.
+    pub(crate) fn record_updates(&self, updates: u64, started: Instant) {
+        self.updates.add(updates);
+        self.update_ns.record_span(started);
+    }
+
+    /// Record one shard publish.
+    pub(crate) fn record_publish(&self, shard: u32, version: u64) {
+        self.publishes.incr();
+        self.journal
+            .push(ServiceEvent::ShardPublish { shard, version });
+    }
+
+    /// Record one coalesced aggregator batch of `draws` single-draw
+    /// requests.
+    pub(crate) fn record_batch(&self, draws: u64) {
+        self.batches.incr();
+        self.batched_draws.add(draws);
+    }
+
+    /// Record a routing decision.
+    pub(crate) fn record_route(&self, shard: u32, draws: u32) {
+        self.journal.push(ServiceEvent::Route { shard, draws });
+    }
+
+    /// Record a full totals refresh.
+    pub(crate) fn record_refresh(&self) {
+        self.journal.push(ServiceEvent::TotalsRefresh);
+    }
+
+    /// Publish the shard-imbalance gauge from a totals cut.
+    pub(crate) fn set_imbalance(&self, totals: &[f64]) {
+        let sum: f64 = totals.iter().sum();
+        if sum <= 0.0 || totals.is_empty() {
+            self.imbalance.set(0.0);
+            return;
+        }
+        let mean = sum / totals.len() as f64;
+        let max = totals.iter().cloned().fold(0.0f64, f64::max);
+        self.imbalance.set(max / mean);
+    }
+
+    /// End-to-end request latency distribution.
+    pub fn request_latency(&self) -> HistogramSnapshot {
+        self.request_ns.snapshot()
+    }
+
+    /// Amortised per-draw latency distribution.
+    pub fn draw_latency(&self) -> HistogramSnapshot {
+        self.draw_ns.snapshot()
+    }
+
+    /// Update enqueue latency distribution.
+    pub fn update_latency(&self) -> HistogramSnapshot {
+        self.update_ns.snapshot()
+    }
+
+    /// Draws served so far.
+    pub fn draws(&self) -> u64 {
+        self.draws.get()
+    }
+
+    /// Updates accepted so far.
+    pub fn updates(&self) -> u64 {
+        self.updates.get()
+    }
+
+    /// Shard publishes performed so far.
+    pub fn publishes(&self) -> u64 {
+        self.publishes.get()
+    }
+
+    /// Coalesced aggregator batches so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.get()
+    }
+
+    /// Single draws that were served inside a coalesced batch.
+    pub fn batched_draws(&self) -> u64 {
+        self.batched_draws.get()
+    }
+
+    /// Current max-over-mean shard imbalance (1.0 = balanced, 0.0 = no
+    /// mass anywhere).
+    pub fn imbalance(&self) -> f64 {
+        self.imbalance.get()
+    }
+
+    /// The recent service events, oldest first.
+    pub fn journal(&self) -> Vec<ServiceEvent> {
+        self.journal.snapshot()
+    }
+}
