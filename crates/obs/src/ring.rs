@@ -20,12 +20,24 @@
 //!   per-slot mutual exclusion: at most one writer holds a slot claimed, so
 //!   the `&mut` created for the write is unique.
 //! * **Reader reads** use `ptr::read_volatile` on the `MaybeUninit`
-//!   payload, which may race a concurrent writer. Reading racing bytes
-//!   into a `MaybeUninit` is defined; the bytes are only *trusted* (via
-//!   `assume_init`) after the stamp is re-checked unchanged around the
-//!   read (`Acquire` load before, fence + load after), proving no writer
-//!   touched the slot during the copy. `T: Copy` guarantees a byte-wise
-//!   copy is a valid value and drops nothing.
+//!   payload, which may race a concurrent writer's plain store. Under a
+//!   strict reading of the Rust/C++ memory model this racing copy is a
+//!   data race, i.e. technically UB, even though the bytes are only
+//!   *trusted* (via `assume_init`) after the stamp is re-checked
+//!   unchanged around the read (`Acquire` load before, fence + load
+//!   after), which proves no writer touched the slot during the copy.
+//!   This is a **deliberate, accepted-in-practice deviation**: it is the
+//!   exact seqlock optimistic-read pattern used by crossbeam-utils'
+//!   `AtomicCell` (`read_volatile` between `optimistic_read` /
+//!   `validate_read`), it is what every production seqlock does pending a
+//!   `freeze`/tearable-atomics primitive in the language, and no known
+//!   compiler miscompiles it (the volatile read cannot be elided,
+//!   reordered across the fence, or invented from). A fully
+//!   model-sanctioned alternative — per-word `AtomicU64` copies of the
+//!   payload — would force `size_of::<T>()`/alignment round-tripping on
+//!   every event type for no observable behavioral difference. `T: Copy`
+//!   guarantees the byte-wise copy drops nothing and, once validated, is
+//!   a valid value.
 //!
 //! The `Sync` impl requires `T: Copy + Send`, matching that argument.
 
@@ -105,12 +117,19 @@ impl<T: Copy> FlightRecorder<T> {
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(seq & self.mask) as usize];
         let claimed = 2 * seq + 1;
-        // Claim the slot: its stamp must be even (no writer inside). Lap
-        // collisions (a writer `capacity` sequences behind still inside the
-        // slot) are resolved by spinning; with capacity ≫ writer count this
-        // path is never taken in practice.
+        // Claim the slot: its stamp must be even (no writer inside) AND
+        // belong to a sequence older than ours — a writer stalled a full
+        // lap must not reclaim a slot a *later* sequence already published
+        // (the stamp would regress and an old event would overwrite a
+        // newer one). If the slot has moved past us, this event was
+        // superseded `capacity` pushes ago; drop it. Lap collisions with
+        // an *older* writer still inside are resolved by spinning; with
+        // capacity ≫ writer count that path is never taken in practice.
         loop {
             let current = slot.stamp.load(Ordering::Relaxed);
+            if current > claimed {
+                return; // a later sequence owns this slot; we're stale
+            }
             if current.is_multiple_of(2)
                 && slot
                     .stamp
@@ -143,10 +162,13 @@ impl<T: Copy> FlightRecorder<T> {
             if before == 0 || before % 2 == 1 {
                 continue; // never written, or write in progress
             }
-            // SAFETY: racing bytes read into a MaybeUninit are defined; the
-            // value is only trusted after the stamp re-check below proves
-            // no writer touched the slot during the copy (seqlock read
-            // protocol; `T: Copy` so the byte copy is a valid value).
+            // SAFETY(accepted deviation): this volatile copy may race a
+            // writer's plain store — formally a data race; see the module
+            // docs for why this seqlock optimistic-read pattern (the same
+            // one crossbeam-utils' AtomicCell uses) is deliberately kept.
+            // The value is only trusted after the stamp re-check below
+            // proves no writer touched the slot during the copy (`T: Copy`
+            // so the validated byte copy is a valid value).
             let copied = unsafe { std::ptr::read_volatile(slot.value.get()) };
             fence(Ordering::Acquire);
             let after = slot.stamp.load(Ordering::Relaxed);
@@ -188,6 +210,22 @@ mod tests {
         }
         assert_eq!(ring.pushed(), 100);
         assert_eq!(ring.snapshot(), (92..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_lap_stalled_writer_drops_instead_of_regressing_a_slot() {
+        let ring = FlightRecorder::new(2);
+        for event in 0..4u64 {
+            ring.push(event);
+        }
+        assert_eq!(ring.snapshot(), vec![2, 3]);
+        // Rewind `head` to replay sequence 0: equivalent to a writer that
+        // claimed seq 0 from `fetch_add`, then stalled a full lap while
+        // seqs 1..4 published over its slot. Its late write must be
+        // dropped, not regress the slot's stamp to an older sequence.
+        ring.head.store(0, Ordering::Relaxed);
+        ring.push(999);
+        assert_eq!(ring.snapshot(), vec![2, 3], "stale write must be dropped");
     }
 
     #[test]

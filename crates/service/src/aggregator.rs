@@ -60,32 +60,50 @@ impl DrawAggregator {
 
     /// One draw, possibly served inside a coalesced batch. Blocks until a
     /// combiner (often the caller itself) produces the result.
+    ///
+    /// Survives a panicking combiner: if a combiner dies mid-combine
+    /// (queue drained, replies never sent), the stranded waiters observe a
+    /// disconnected reply channel and transparently re-enqueue, and the
+    /// poisoned combiner lock is recovered rather than abandoned.
     pub fn draw(&self) -> Result<usize, SelectionError> {
-        let (reply, result) = mpsc::sync_channel(1);
-        self.queue
-            .lock()
-            .expect("aggregator queue poisoned")
-            .push_back(reply);
+        // Outer loop: one iteration per enqueued reply slot. A slot is
+        // abandoned (and the draw re-enqueued) only if its sender was
+        // dropped unsent by a combiner that panicked mid-combine.
         loop {
-            if let Ok(mut rng) = self.combiner.try_lock() {
-                self.combine(&mut rng);
-            }
-            // Either we combined (our own result is posted) or someone else
-            // holds the role; check, then park briefly before re-contending.
-            match result.try_recv() {
-                Ok(outcome) => return outcome,
-                Err(TryRecvError::Empty) => {}
-                Err(TryRecvError::Disconnected) => {
-                    unreachable!("a reply slot is dropped only after sending")
+            let (reply, result) = mpsc::sync_channel(1);
+            self.queue
+                .lock()
+                .expect("aggregator queue poisoned")
+                .push_back(reply);
+            loop {
+                if let Some(mut rng) = self.try_combine_lock() {
+                    self.combine(&mut rng);
+                }
+                // Either we combined (our own result is posted) or someone
+                // else holds the role; check, then park briefly before
+                // re-contending.
+                match result.try_recv() {
+                    Ok(outcome) => return outcome,
+                    Err(TryRecvError::Empty) => {}
+                    Err(TryRecvError::Disconnected) => break, // combiner died; retry
+                }
+                match result.recv_timeout(RECONTEND) {
+                    Ok(outcome) => return outcome,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break, // combiner died; retry
                 }
             }
-            match result.recv_timeout(RECONTEND) {
-                Ok(outcome) => return outcome,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => {
-                    unreachable!("a reply slot is dropped only after sending")
-                }
-            }
+        }
+    }
+
+    /// Try to take the combiner role. A poisoned lock (a previous combiner
+    /// panicked) is recovered — the RNG state is always valid bits, and
+    /// refusing the role would strand every queued waiter forever.
+    fn try_combine_lock(&self) -> Option<std::sync::MutexGuard<'_, MersenneTwister64>> {
+        match self.combiner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 
@@ -154,6 +172,24 @@ mod tests {
         // there are at most as many batches as draws.
         let batches = telemetry.batches();
         assert!((1..=400).contains(&batches), "{batches}");
+    }
+
+    #[test]
+    fn draws_recover_after_a_combiner_panics() {
+        let service =
+            ShardedService::new((1..=16).map(f64::from).collect(), ServiceConfig::default())
+                .unwrap();
+        let aggregator = Arc::new(DrawAggregator::new(service.core(), 0xDEAD));
+        // Poison the combiner lock the way a panicking combiner would.
+        let poisoner = Arc::clone(&aggregator);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.combiner.lock().unwrap();
+            panic!("simulated combiner death");
+        })
+        .join();
+        assert!(aggregator.combiner.is_poisoned());
+        // Waiters must still be served: the poisoned lock is recovered.
+        assert!(aggregator.draw().unwrap() < 16);
     }
 
     #[test]

@@ -135,7 +135,11 @@ fn read_body(reader: &mut impl Read) -> io::Result<Vec<u8>> {
     Ok(body)
 }
 
-/// Read one request frame (server side).
+/// Read one request frame (server side) from a blocking reader.
+///
+/// Not timeout-safe: on `WouldBlock`/`TimedOut` any partially consumed
+/// bytes are lost, desynchronizing the stream. Connections that poll with
+/// a read timeout must use [`FrameReader`] instead.
 pub fn read_frame(reader: &mut impl Read) -> io::Result<Frame> {
     let mut body = read_body(reader)?;
     let opcode = body[0];
@@ -146,9 +150,121 @@ pub fn read_frame(reader: &mut impl Read) -> io::Result<Frame> {
     })
 }
 
-/// Assemble and write one `[len][lead][payload]` frame with a **single**
-/// `write_all`, so a whole frame hits the socket in one syscall and a
-/// reader-side idle timeout can never split it.
+/// Incremental request-frame reader that is safe under read timeouts.
+///
+/// A frame can arrive split across TCP segments, so a timed-out
+/// `read_exact` may fail *after* consuming part of the length prefix or
+/// body — those bytes would be lost and the stream desynchronized. This
+/// reader accumulates partial progress across [`poll`](Self::poll) calls:
+/// a `WouldBlock`/`TimedOut` mid-frame parks the state and resumes on the
+/// next call, never discarding consumed bytes.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Accumulator for the 4-byte length prefix.
+    len_bytes: [u8; 4],
+    /// How many of the 4 prefix bytes have arrived.
+    len_got: usize,
+    /// Body accumulator, sized once the prefix is complete.
+    body: Vec<u8>,
+    /// How many body bytes have arrived.
+    body_got: usize,
+}
+
+impl FrameReader {
+    /// A reader with no partial frame buffered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a partially received frame is buffered (a timeout now is a
+    /// stalled peer, not an idle connection).
+    pub fn mid_frame(&self) -> bool {
+        self.len_got > 0
+    }
+
+    /// Advance the frame in progress. Returns `Ok(Some(frame))` once a
+    /// whole frame has arrived, `Ok(None)` if the reader timed out
+    /// (`WouldBlock`/`TimedOut`) with progress preserved for the next
+    /// call, and `Err` on EOF, framing violation, or transport error.
+    pub fn poll(&mut self, reader: &mut impl Read) -> io::Result<Option<Frame>> {
+        loop {
+            if self.len_got < 4 {
+                match reader.read(&mut self.len_bytes[self.len_got..]) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            if self.len_got == 0 {
+                                "connection closed between frames"
+                            } else {
+                                "connection closed inside a length prefix"
+                            },
+                        ))
+                    }
+                    Ok(n) => {
+                        self.len_got += n;
+                        if self.len_got == 4 {
+                            let len = u32::from_le_bytes(self.len_bytes) as usize;
+                            if len == 0 || len > MAX_FRAME {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("frame length {len} outside 1..={MAX_FRAME}"),
+                                ));
+                            }
+                            self.body = vec![0u8; len];
+                            self.body_got = 0;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        return Ok(None)
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else if self.body_got < self.body.len() {
+                match reader.read(&mut self.body[self.body_got..]) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed inside a frame body",
+                        ))
+                    }
+                    Ok(n) => self.body_got += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        return Ok(None)
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                let mut body = std::mem::take(&mut self.body);
+                self.len_got = 0;
+                self.body_got = 0;
+                let opcode = body[0];
+                body.remove(0);
+                return Ok(Some(Frame {
+                    opcode,
+                    payload: body,
+                }));
+            }
+        }
+    }
+}
+
+/// Assemble and write one `[len][lead][payload]` frame with a single
+/// `write_all`. This keeps small frames to one syscall, but is **not** a
+/// delivery-atomicity guarantee — TCP may still segment a large frame, so
+/// readers polling with a timeout must tolerate partial arrival (see
+/// [`FrameReader`]).
 fn write_framed(writer: &mut impl Write, lead: &[u8], payload: &[u8]) -> io::Result<()> {
     let len = lead.len() + payload.len();
     debug_assert!(len <= MAX_FRAME);
@@ -308,6 +424,85 @@ mod tests {
         cursor.u32().unwrap();
         assert!(cursor.done().is_err());
         assert!(Cursor::new(&payload[..2]).u32().is_err());
+    }
+
+    /// Delivers one byte per `read`, interleaving a timeout error before
+    /// every byte — the worst-case TCP segmentation for a polling reader.
+    struct Trickle {
+        data: Vec<u8>,
+        at: usize,
+        starve_next: bool,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.starve_next {
+                self.starve_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "starved"));
+            }
+            self.starve_next = true;
+            if self.at == self.data.len() {
+                return Ok(0); // EOF
+            }
+            buf[0] = self.data[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, OpCode::Update, &7u64.to_le_bytes()).unwrap();
+        write_frame(&mut wire, OpCode::Scale, &2.5f64.to_bits().to_le_bytes()).unwrap();
+        let total = wire.len();
+        let mut trickle = Trickle {
+            data: wire,
+            at: 0,
+            starve_next: true,
+        };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut timeouts = 0usize;
+        loop {
+            match reader.poll(&mut trickle) {
+                Ok(Some(frame)) => frames.push(frame),
+                Ok(None) => timeouts += 1,
+                Err(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+                    assert!(!reader.mid_frame(), "EOF must land between frames");
+                    break;
+                }
+            }
+        }
+        // Every byte was preceded by a timeout; none may be dropped.
+        assert!(timeouts > total, "{timeouts} timeouts for {total} bytes");
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].opcode, OpCode::Update as u8);
+        assert_eq!(frames[0].payload, 7u64.to_le_bytes());
+        assert_eq!(frames[1].opcode, OpCode::Scale as u8);
+        assert_eq!(frames[1].payload, 2.5f64.to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn frame_reader_rejects_bad_lengths_and_reports_mid_frame() {
+        let mut reader = FrameReader::new();
+        assert!(!reader.mid_frame());
+        // Two bytes of the prefix, then starvation: state must persist.
+        let mut partial = Trickle {
+            data: 9u32.to_le_bytes()[..2].to_vec(),
+            at: 0,
+            starve_next: false,
+        };
+        assert!(matches!(reader.poll(&mut partial), Ok(None)));
+        assert!(reader.mid_frame());
+
+        let mut reader = FrameReader::new();
+        let wire = 0u32.to_le_bytes();
+        assert!(reader.poll(&mut wire.as_slice()).is_err());
+        let mut reader = FrameReader::new();
+        let wire = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert!(reader.poll(&mut wire.as_slice()).is_err());
     }
 
     #[test]

@@ -27,12 +27,16 @@ use lrb_rng::{MersenneTwister64, SeedableSource, SplitMix64};
 
 use crate::aggregator::DrawAggregator;
 use crate::protocol::{
-    codes, error_code, read_frame, write_err, write_ok, Cursor, OpCode, MAX_BATCH,
+    codes, error_code, write_err, write_ok, Cursor, FrameReader, OpCode, MAX_BATCH,
 };
 use crate::sharded::ServiceCore;
 
 /// Idle read timeout per connection: the shutdown-observation latency.
 pub const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Back-off before retrying a failed `accept()` (e.g. fd exhaustion), so a
+/// persistent error cannot busy-spin the accept loop.
+const ACCEPT_RETRY_DELAY: Duration = Duration::from_millis(20);
 
 /// Where a running server is listening.
 #[derive(Debug, Clone)]
@@ -167,15 +171,24 @@ fn accept_loop(
     loop {
         // Accept one connection (blocking); any accept error while stopping
         // means "time to exit".
-        let stream: Option<Box<dyn Conn>> = match &listener {
-            Incoming::Tcp(l) => l.accept().ok().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+        let stream: Result<Box<dyn Conn>, std::io::Error> = match &listener {
+            Incoming::Tcp(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
             #[cfg(unix)]
-            Incoming::Unix(l) => l.accept().ok().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+            Incoming::Unix(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
         };
         if stop.load(Ordering::Acquire) {
             break;
         }
-        let Some(stream) = stream else { continue };
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => {
+                // A persistent accept failure (e.g. EMFILE under fd
+                // exhaustion) would otherwise busy-spin this loop at 100%
+                // CPU; back off briefly before retrying.
+                std::thread::sleep(ACCEPT_RETRY_DELAY);
+                continue;
+            }
+        };
         let conn_id = connections.fetch_add(1, Ordering::Relaxed);
         let handler = {
             let core = Arc::clone(&core);
@@ -228,18 +241,16 @@ fn serve_connection(
         return;
     }
     let mut rng = MersenneTwister64::seed_from_u64(rng_seed);
+    // A frame may arrive split across TCP segments, so a read timeout can
+    // fire with part of a frame already consumed; the resumable reader
+    // buffers that progress instead of discarding it (which would
+    // desynchronize the stream and parse body bytes as a length/opcode).
+    let mut reader = FrameReader::new();
     while !stop.load(Ordering::Acquire) {
-        let frame = match read_frame(&mut stream) {
-            Ok(frame) => frame,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue; // idle; re-check the stop flag
-            }
-            Err(_) => return, // disconnect or framing violation
+        let frame = match reader.poll(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue, // idle or mid-frame; re-check the stop flag
+            Err(_) => return,     // disconnect or framing violation
         };
         let started = Instant::now();
         let result = dispatch(&frame, &core, &aggregator, &mut rng, &mut stream);
