@@ -14,9 +14,20 @@
 //! what a p999 is supposed to surface.
 //!
 //! Requests are striped round-robin across a configurable number of client
-//! connections (the protocol is strictly request/response per connection),
-//! and latencies land in one shared lock-free [`Histogram`] whose snapshot
-//! becomes a [`LatencySummary`].
+//! connections, and latencies land in one shared lock-free [`Histogram`]
+//! whose snapshot becomes a [`LatencySummary`].
+//!
+//! Two drivers live here:
+//!
+//! * [`run_open_loop`] — the original few-connection request/response
+//!   sections (`single` and `batch`);
+//! * [`run_fan_in`] — the 1000-connection storm: a handful of lane threads
+//!   each own hundreds of connections (so the *client* is not
+//!   thread-per-connection either, and the process thread count stays
+//!   meaningful), optionally keeping a pipelined window in flight per
+//!   connection. [`measure_pipeline_speedup`] is the closed-loop companion
+//!   comparing serialized draws against the pipelined client on one
+//!   connection.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -154,6 +165,239 @@ pub fn run_open_loop(
     })
 }
 
+/// Shape of one fan-in storm.
+#[derive(Debug, Clone, Copy)]
+pub struct FanInConfig {
+    /// Connections to open before the first draw (clamped to the process
+    /// fd budget by [`run_fan_in`]).
+    pub connections: usize,
+    /// Lane threads driving the connections (each lane owns
+    /// `connections / lanes` of them).
+    pub lanes: usize,
+    /// Offered request rate across all connections, requests per second.
+    pub rate_hz: f64,
+    /// Total requests to issue.
+    pub requests: u64,
+    /// Pipelined draws issued as one burst (queued, one flush, reaped in
+    /// order) per scheduled slot; `<= 1` is strict request/response.
+    pub window: usize,
+}
+
+impl Default for FanInConfig {
+    fn default() -> Self {
+        Self {
+            connections: 1_000,
+            lanes: 8,
+            rate_hz: 2_000.0,
+            requests: 4_000,
+            window: 1,
+        }
+    }
+}
+
+/// Measured outcome of one fan-in storm.
+#[derive(Debug, Clone, Serialize)]
+pub struct FanInReport {
+    /// `"fanin_single"` or `"fanin_pipelined"`.
+    pub mode: String,
+    /// Connections actually opened (after the fd-budget clamp).
+    pub connections: u64,
+    /// Lane threads used.
+    pub lanes: u64,
+    /// Pipelined window per connection (1 = request/response).
+    pub window: u64,
+    /// Offered request rate, requests per second.
+    pub rate_hz: f64,
+    /// Requests issued.
+    pub requests: u64,
+    /// Wall-clock seconds from the first scheduled instant to the last
+    /// completion.
+    pub duration_s: f64,
+    /// Achieved request completion rate.
+    pub achieved_rps: f64,
+    /// Process thread count observed while every connection was open
+    /// (server + lanes; the thread-per-connection regression detector).
+    pub process_threads: u64,
+    /// Request latency measured from the scheduled issue time.
+    pub latency: LatencySummary,
+}
+
+/// The soft fd limit from `/proc/self/limits`, with the classic default as
+/// the fallback (no `getrlimit` — this crate forbids unsafe code).
+fn fd_soft_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|limits| {
+            limits.lines().find_map(|line| {
+                line.strip_prefix("Max open files")?
+                    .split_whitespace()
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(1024)
+}
+
+/// Threads in this process (`/proc/self/status`); 0 when unavailable.
+pub fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find_map(|line| line.strip_prefix("Threads:")?.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Run one open-loop fan-in storm: open every connection (clamped to the
+/// fd budget), then drive draws across all of them from `config.lanes`
+/// threads. With `window > 1` each scheduled slot issues a whole window
+/// of pipelined draws on one connection (queued back-to-back, one flush,
+/// reaped in order), so the slot's requests share the wire and coalesce
+/// server-side into a fused batch. Latency is charged per request from
+/// the slot's scheduled instant — a stalled service is charged its full
+/// wait, never hidden by the driver slowing down.
+pub fn run_fan_in(addr: &ServerAddr, config: &FanInConfig) -> Result<FanInReport, ServiceError> {
+    // Each connection costs two fds in-process (client + server end).
+    let connections = config
+        .connections
+        .min(fd_soft_limit().saturating_sub(128) / 2)
+        .max(1);
+    let lanes = config.lanes.clamp(1, connections);
+    let window = config.window.max(1);
+    let rate_hz = config.rate_hz.max(1.0);
+
+    // Accept storm: every connection opens (and warms) before the clock
+    // starts.
+    let mut per_lane: Vec<Vec<ServiceClient>> = (0..lanes).map(|_| Vec::new()).collect();
+    for c in 0..connections {
+        let mut client = ServiceClient::connect(addr)?;
+        client.draw()?;
+        per_lane[c % lanes].push(client);
+    }
+    let threads = process_threads();
+
+    let histogram = Arc::new(Histogram::new());
+    let start = Instant::now() + Duration::from_millis(20);
+
+    let mut handles = Vec::with_capacity(lanes);
+    for (lane, mut clients) in per_lane.into_iter().enumerate() {
+        let histogram = Arc::clone(&histogram);
+        let requests = config.requests;
+        let stride = lanes as u64;
+        handles.push(std::thread::spawn(move || -> Result<(), ServiceError> {
+            // Request indices are striped across lanes in window-sized
+            // slots: lane `l` owns requests `[s*W, (s+1)*W)` for slots
+            // `s ≡ l (mod lanes)`. A slot is scheduled at its first
+            // request's instant, issues its whole window as one pipelined
+            // burst on one connection and reaps it in order.
+            let slot_stride = stride * window as u64;
+            let mut j = lane as u64 * window as u64;
+            let mut turn = 0usize;
+            while j < requests {
+                let burst = (window as u64).min(requests - j) as usize;
+                let scheduled = start + Duration::from_secs_f64(j as f64 / rate_hz);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                let c = turn % clients.len();
+                turn += 1;
+                if burst == 1 {
+                    clients[c].draw()?;
+                    histogram.record(scheduled.elapsed().as_nanos() as u64);
+                } else {
+                    for _ in 0..burst {
+                        clients[c].queue_draw();
+                    }
+                    clients[c].flush()?;
+                    for _ in 0..burst {
+                        clients[c].recv_draw()?;
+                        histogram.record(scheduled.elapsed().as_nanos() as u64);
+                    }
+                }
+                j += slot_stride;
+            }
+            Ok(())
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("fan-in lane panicked")?;
+    }
+    let duration_s = start.elapsed().as_secs_f64();
+
+    Ok(FanInReport {
+        mode: if window <= 1 {
+            "fanin_single"
+        } else {
+            "fanin_pipelined"
+        }
+        .to_string(),
+        connections: connections as u64,
+        lanes: lanes as u64,
+        window: window as u64,
+        rate_hz,
+        requests: config.requests,
+        duration_s,
+        achieved_rps: config.requests as f64 / duration_s.max(f64::MIN_POSITIVE),
+        process_threads: threads,
+        latency: LatencySummary::from_snapshot(&histogram.snapshot()),
+    })
+}
+
+/// Closed-loop comparison of the serialized client (one round trip per
+/// draw) against the pipelined client (`window` in flight) on one fresh
+/// connection each.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineReport {
+    /// Draws per side.
+    pub draws: u64,
+    /// Pipelined window.
+    pub window: u64,
+    /// Serialized draws per second.
+    pub serial_rps: f64,
+    /// Pipelined draws per second.
+    pub pipelined_rps: f64,
+    /// `pipelined_rps / serial_rps`.
+    pub speedup: f64,
+}
+
+/// Measure [`PipelineReport`]: `draws` serialized single draws, then the
+/// same count through [`ServiceClient::draw_pipelined`] with `window` in
+/// flight, each on its own fresh connection.
+pub fn measure_pipeline_speedup(
+    addr: &ServerAddr,
+    draws: u64,
+    window: usize,
+) -> Result<PipelineReport, ServiceError> {
+    let mut serial = ServiceClient::connect(addr)?;
+    serial.draw()?; // warm-up outside the timed window
+    let started = Instant::now();
+    for _ in 0..draws {
+        serial.draw()?;
+    }
+    let serial_s = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+
+    let mut pipelined = ServiceClient::connect(addr)?;
+    pipelined.draw()?;
+    let started = Instant::now();
+    let indices = pipelined.draw_pipelined(draws as usize, window)?;
+    let pipelined_s = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    assert_eq!(indices.len() as u64, draws, "pipelined run lost draws");
+
+    let serial_rps = draws as f64 / serial_s;
+    let pipelined_rps = draws as f64 / pipelined_s;
+    Ok(PipelineReport {
+        draws,
+        window: window as u64,
+        serial_rps,
+        pipelined_rps,
+        speedup: pipelined_rps / serial_rps.max(f64::MIN_POSITIVE),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +443,58 @@ mod tests {
         .unwrap();
         assert_eq!(batch.mode, "batch");
         assert_eq!(batch.draws, 20 * 16);
+        drop(server);
+    }
+
+    #[test]
+    fn fan_in_driver_answers_every_request_in_both_modes() {
+        let service = ShardedService::new(
+            (1..=32).map(f64::from).collect(),
+            ServiceConfig {
+                shards: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let server = ServiceServer::bind_tcp(service.core(), "127.0.0.1:0", 11).unwrap();
+        for window in [1usize, 4] {
+            let report = run_fan_in(
+                server.local_addr(),
+                &FanInConfig {
+                    connections: 32,
+                    lanes: 4,
+                    rate_hz: 4_000.0,
+                    requests: 256,
+                    window,
+                },
+            )
+            .unwrap();
+            assert_eq!(report.connections, 32);
+            assert_eq!(report.latency.count, 256);
+            assert!(report.process_threads > 0);
+            assert_eq!(
+                report.mode,
+                if window == 1 {
+                    "fanin_single"
+                } else {
+                    "fanin_pipelined"
+                }
+            );
+        }
+        drop(server);
+    }
+
+    #[test]
+    fn pipeline_speedup_measures_both_sides() {
+        let service =
+            ShardedService::new((1..=32).map(f64::from).collect(), ServiceConfig::default())
+                .unwrap();
+        let server = ServiceServer::bind_tcp(service.core(), "127.0.0.1:0", 13).unwrap();
+        let report = measure_pipeline_speedup(server.local_addr(), 200, 16).unwrap();
+        assert_eq!(report.draws, 200);
+        assert!(report.serial_rps > 0.0);
+        assert!(report.pipelined_rps > 0.0);
+        assert!(report.speedup > 0.0);
         drop(server);
     }
 }

@@ -1,8 +1,19 @@
 //! A blocking client for the selection service's binary protocol.
 //!
-//! One [`ServiceClient`] owns one connection and issues one request at a
-//! time (the protocol is strictly request/response per connection; open
-//! more clients for pipelining — the server is thread-per-connection).
+//! One [`ServiceClient`] owns one connection. The simple methods
+//! ([`draw`](ServiceClient::draw), [`update`](ServiceClient::update), …)
+//! are strict request/response; the **pipelined** surface
+//! ([`queue_draw`](ServiceClient::queue_draw) /
+//! [`flush`](ServiceClient::flush) /
+//! [`recv_draw`](ServiceClient::recv_draw), or the windowed
+//! [`draw_pipelined`](ServiceClient::draw_pipelined)) keeps up to a
+//! window of requests in flight on the one connection. The server
+//! executes a connection's frames strictly in order and answers in that
+//! order, so responses correlate by position — no message ids on the
+//! wire — and a run of consecutive pipelined draws coalesces server-side
+//! into one fused two-level batch.
+//!
+//! Response waits block on the socket (no read timeout, no polling).
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -11,7 +22,7 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 
 use crate::error::ServiceError;
-use crate::protocol::{read_response, write_frame, Cursor, OpCode, MAX_BATCH};
+use crate::protocol::{encode_request, read_response, write_frame, Cursor, OpCode, MAX_BATCH};
 use crate::server::ServerAddr;
 
 enum Transport {
@@ -51,6 +62,10 @@ impl Write for Transport {
 /// A blocking connection to a [`ServiceServer`](crate::ServiceServer).
 pub struct ServiceClient {
     transport: Transport,
+    /// Queued-but-unsent pipelined request bytes.
+    obuf: Vec<u8>,
+    /// Requests sent (or queued) whose responses have not been received.
+    outstanding: usize,
 }
 
 impl std::fmt::Debug for ServiceClient {
@@ -71,17 +86,13 @@ impl ServiceClient {
     pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self {
-            transport: Transport::Tcp(stream),
-        })
+        Ok(Self::over(Transport::Tcp(stream)))
     }
 
     /// Connect over a Unix-domain socket.
     #[cfg(unix)]
     pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self, ServiceError> {
-        Ok(Self {
-            transport: Transport::Unix(UnixStream::connect(path)?),
-        })
+        Ok(Self::over(Transport::Unix(UnixStream::connect(path)?)))
     }
 
     /// Connect to wherever a server reports it is listening.
@@ -93,9 +104,92 @@ impl ServiceClient {
         }
     }
 
+    fn over(transport: Transport) -> Self {
+        Self {
+            transport,
+            obuf: Vec::new(),
+            outstanding: 0,
+        }
+    }
+
     fn call(&mut self, opcode: OpCode, payload: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        // Interleaving a blocking call with un-received pipelined
+        // responses would mis-correlate by position.
+        if self.outstanding > 0 {
+            return Err(ServiceError::Protocol(format!(
+                "{} pipelined responses outstanding; recv them first",
+                self.outstanding
+            )));
+        }
         write_frame(&mut self.transport, opcode, payload)?;
         read_response(&mut self.transport)
+    }
+
+    // --- pipelined surface -------------------------------------------------
+
+    /// Queue one `DRAW` without awaiting its response. Call
+    /// [`flush`](Self::flush) to put queued requests on the wire and
+    /// [`recv_draw`](Self::recv_draw) once per queued draw, in order.
+    pub fn queue_draw(&mut self) {
+        encode_request(&mut self.obuf, OpCode::Draw, &[]);
+        self.outstanding += 1;
+    }
+
+    /// Write every queued request to the socket (one syscall for the
+    /// whole burst when the kernel accepts it).
+    pub fn flush(&mut self) -> Result<(), ServiceError> {
+        if !self.obuf.is_empty() {
+            self.transport.write_all(&self.obuf)?;
+            self.obuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Receive the next pipelined `DRAW` response, in queue order. Flushes
+    /// queued requests first so a caller cannot deadlock waiting on a
+    /// request that never left.
+    pub fn recv_draw(&mut self) -> Result<usize, ServiceError> {
+        if self.outstanding == 0 {
+            return Err(ServiceError::Protocol(
+                "recv_draw without an outstanding pipelined draw".into(),
+            ));
+        }
+        self.flush()?;
+        let payload = read_response(&mut self.transport)?;
+        self.outstanding -= 1;
+        let mut cursor = Cursor::new(&payload);
+        let index = cursor.u64()?;
+        cursor.done()?;
+        Ok(index as usize)
+    }
+
+    /// Requests queued or sent whose responses have not been received.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// `count` draws with up to `window` requests in flight: the windowed
+    /// pipelined mode. One connection, no round-trip-per-draw stall —
+    /// consecutive in-flight draws also coalesce server-side into fused
+    /// batches, so this is the cheapest way to stream single draws.
+    pub fn draw_pipelined(
+        &mut self,
+        count: usize,
+        window: usize,
+    ) -> Result<Vec<usize>, ServiceError> {
+        let window = window.max(1);
+        let mut indices = Vec::with_capacity(count);
+        let mut sent = 0usize;
+        while indices.len() < count {
+            let in_flight = sent - indices.len();
+            let burst = (count - sent).min(window - in_flight);
+            for _ in 0..burst {
+                self.queue_draw();
+            }
+            sent += burst;
+            indices.push(self.recv_draw()?);
+        }
+        Ok(indices)
     }
 
     /// One draw (server-side RNG, coalesced by the server's aggregator).

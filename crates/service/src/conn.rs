@@ -1,0 +1,394 @@
+//! Per-connection state machine for the event-driven server: a resumable
+//! [`FrameReader`] on the inbound side, an [`OutBuf`] write buffer with
+//! partial-write handling on the outbound side, and the **bounded
+//! in-flight budget** between them.
+//!
+//! The budget is the server's connection-level backpressure: a connection
+//! may have at most [`ServerConfig::inflight_budget`] decoded frames that
+//! have not yet been answered (queued + executing). Once the budget is
+//! reached the reactor stops reading that connection — the `k+1`st frame
+//! stays in the kernel socket buffer (and ultimately pushes back on the
+//! client through TCP flow control) until responses drain. Thread-per-
+//! connection needed an unbounded thread stack per client to get the same
+//! effect; here it is one counter.
+//!
+//! Responses are correlated **by order**: frames execute strictly in the
+//! order they arrived on the connection (one run of frames is in flight at
+//! a time), so a pipelining client matches the `n`th response to the `n`th
+//! request without any message ids on the wire.
+//!
+//! Everything here is transport-generic (`S: Read + Write`), so the budget
+//! and partial-write behaviour are unit-tested against in-memory streams —
+//! no sockets required — and the same state machine drives TCP and UDS
+//! connections identically.
+//!
+//! [`ServerConfig::inflight_budget`]: crate::server::ServerConfig
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
+
+use lrb_rng::{MersenneTwister64, SeedableSource};
+
+use crate::protocol::{Frame, FrameReader};
+
+/// Once this many already-written bytes accumulate at the front of the
+/// outbound buffer, they are compacted away so a long-lived connection's
+/// buffer does not grow monotonically.
+const COMPACT_THRESHOLD: usize = 16 * 1024;
+
+/// Outbound byte buffer with partial-write (`EWOULDBLOCK`) handling.
+///
+/// Responses for a connection append here (many frames coalesce into one
+/// contiguous buffer, so a pipelined burst leaves in one `write` syscall
+/// when the socket accepts it) and [`flush`](Self::flush) advances a write
+/// cursor instead of draining, so a short write costs no memmove.
+#[derive(Debug, Default)]
+pub(crate) struct OutBuf {
+    buf: Vec<u8>,
+    /// Bytes before `pos` are already written to the socket.
+    pos: usize,
+}
+
+impl OutBuf {
+    /// Bytes still waiting to be written.
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether anything is waiting to be written.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Queue `bytes` behind whatever is still unwritten.
+    pub(crate) fn append(&mut self, bytes: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write as much as the sink accepts. Returns `Ok(true)` when the
+    /// buffer fully drained, `Ok(false)` on `WouldBlock` with the cursor
+    /// parked mid-frame (the reactor arms `EPOLLOUT` and resumes later),
+    /// and `Err` on a transport failure.
+    pub(crate) fn flush(&mut self, sink: &mut impl Write) -> io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match sink.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+/// One multiplexed connection owned by a reactor thread.
+///
+/// The reactor does **all** socket I/O for the connection; workers only see
+/// cloned handles to [`rng`](Self::rng) and post finished response bytes
+/// back through the reactor's completion queue. That keeps every `read`/
+/// `write` on a given fd on one thread — no fd races with teardown.
+#[derive(Debug)]
+pub(crate) struct Connection<S> {
+    /// The nonblocking socket (TCP or UDS).
+    pub(crate) sock: S,
+    /// Resumable frame parser (survives frames split across segments).
+    reader: FrameReader,
+    /// Outbound responses, in request order.
+    out: OutBuf,
+    /// Decoded frames waiting for a worker (order preserved).
+    pending: VecDeque<Frame>,
+    /// Whether a run of frames is currently out with a worker.
+    executing: bool,
+    /// Decoded-but-unanswered frames (pending + executing run).
+    inflight: usize,
+    /// Per-connection RNG for `DRAW_BATCH` and coalesced draw runs;
+    /// shared with the worker executing this connection's current run
+    /// (runs are serial per connection, so the lock is never contended).
+    pub(crate) rng: Arc<Mutex<MersenneTwister64>>,
+    /// Reading is paused because the in-flight budget is exhausted.
+    pub(crate) read_deferred: bool,
+    /// The epoll interest mask currently registered for this connection.
+    pub(crate) interest: u32,
+}
+
+impl<S: Read + Write> Connection<S> {
+    /// A fresh connection over `sock`, drawing from an RNG seeded with
+    /// `rng_seed`.
+    pub(crate) fn new(sock: S, rng_seed: u64) -> Self {
+        Self {
+            sock,
+            reader: FrameReader::new(),
+            out: OutBuf::default(),
+            pending: VecDeque::new(),
+            executing: false,
+            inflight: 0,
+            rng: Arc::new(Mutex::new(MersenneTwister64::seed_from_u64(rng_seed))),
+            read_deferred: false,
+            interest: 0,
+        }
+    }
+
+    /// Decoded-but-unanswered frames on this connection.
+    pub(crate) fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Whether unwritten response bytes are buffered (the reactor keeps
+    /// `EPOLLOUT` armed while true).
+    pub(crate) fn wants_write(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// Read and decode frames until the socket drains (`WouldBlock`) or
+    /// the in-flight `budget` is reached. Returns `Ok(true)` if reading
+    /// was deferred by the budget — the caller must drop read interest
+    /// until [`complete`](Self::complete) frees budget — `Ok(false)` when
+    /// the kernel buffer drained, and `Err` on EOF / framing violation /
+    /// transport error (the caller closes the connection).
+    pub(crate) fn read_frames(&mut self, budget: usize) -> io::Result<bool> {
+        while self.inflight < budget {
+            match self.reader.poll(&mut self.sock)? {
+                Some(frame) => {
+                    self.pending.push_back(frame);
+                    self.inflight += 1;
+                }
+                None => return Ok(false),
+            }
+        }
+        self.read_deferred = true;
+        Ok(true)
+    }
+
+    /// Take the next run of frames for a worker: everything pending, in
+    /// arrival order, if no run is already executing. At most one run per
+    /// connection is in flight at a time, which is what makes response
+    /// order == request order without sequence numbers.
+    pub(crate) fn take_run(&mut self) -> Option<Vec<Frame>> {
+        if self.executing || self.pending.is_empty() {
+            return None;
+        }
+        self.executing = true;
+        Some(self.pending.drain(..).collect())
+    }
+
+    /// Accept a finished run's response bytes: `frames` requests are now
+    /// answered and their encoded responses queue for write. The caller
+    /// flushes and then checks [`outbound_len`](Self::outbound_len)
+    /// against the slow-consumer cap — the cap judges the backlog the
+    /// socket refused, not the size of a single response.
+    pub(crate) fn complete(&mut self, bytes: &[u8], frames: usize) {
+        debug_assert!(self.executing, "completion without an executing run");
+        self.executing = false;
+        self.inflight = self.inflight.saturating_sub(frames);
+        self.out.append(bytes);
+    }
+
+    /// Bytes buffered for write (the slow-consumer backlog).
+    pub(crate) fn outbound_len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Flush buffered responses; see [`OutBuf::flush`].
+    pub(crate) fn flush(&mut self) -> io::Result<bool> {
+        self.out.flush(&mut self.sock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_request, OpCode};
+
+    /// In-memory "socket": reads from `input` (then `WouldBlock`, like an
+    /// idle nonblocking socket), writes into `written` accepting at most
+    /// `write_cap` bytes per call with a `WouldBlock` interleaved after
+    /// every accepted chunk — the worst-case slow peer.
+    struct FakeSock {
+        input: Vec<u8>,
+        at: usize,
+        written: Vec<u8>,
+        write_cap: usize,
+        starve_write: bool,
+    }
+
+    impl FakeSock {
+        fn with_input(input: Vec<u8>) -> Self {
+            Self {
+                input,
+                at: 0,
+                written: Vec::new(),
+                write_cap: usize::MAX,
+                starve_write: false,
+            }
+        }
+        fn unread(&self) -> usize {
+            self.input.len() - self.at
+        }
+    }
+
+    impl Read for FakeSock {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.at == self.input.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "idle"));
+            }
+            let n = buf.len().min(self.input.len() - self.at);
+            buf[..n].copy_from_slice(&self.input[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for FakeSock {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.starve_write {
+                self.starve_write = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.write_cap);
+            self.written.extend_from_slice(&buf[..n]);
+            if self.write_cap != usize::MAX {
+                self.starve_write = true;
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn draw_frames(n: usize) -> Vec<u8> {
+        let mut wire = Vec::new();
+        for _ in 0..n {
+            encode_request(&mut wire, OpCode::Draw, &[]);
+        }
+        wire
+    }
+
+    #[test]
+    fn budget_defers_the_k_plus_first_frame_until_a_response_drains() {
+        // Six frames arrive at once; with a budget of 4 the reactor must
+        // decode exactly 4 and leave the rest unread in the "kernel".
+        let sock = FakeSock::with_input(draw_frames(6));
+        let mut conn = Connection::new(sock, 7);
+        let deferred = conn.read_frames(4).unwrap();
+        assert!(deferred, "budget was reached, reading must defer");
+        assert!(conn.read_deferred);
+        assert_eq!(conn.inflight(), 4);
+        assert_eq!(
+            conn.sock.unread(),
+            draw_frames(2).len(),
+            "the 5th and 6th frames must stay unread in the socket buffer"
+        );
+
+        // A worker takes the run; nothing more is readable until it
+        // completes.
+        let run = conn.take_run().unwrap();
+        assert_eq!(run.len(), 4);
+        assert!(conn.take_run().is_none(), "one run in flight at a time");
+
+        // Responses drain the budget: now (and only now) the remaining
+        // frames may be read.
+        let mut ok = Vec::new();
+        crate::protocol::encode_ok(&mut ok, &0u64.to_le_bytes());
+        let bytes: Vec<u8> = ok.repeat(4);
+        conn.complete(&bytes, 4);
+        conn.read_deferred = false;
+        assert_eq!(conn.inflight(), 0);
+        let deferred = conn.read_frames(4).unwrap();
+        assert!(!deferred);
+        assert_eq!(conn.inflight(), 2);
+        assert_eq!(conn.sock.unread(), 0);
+        assert_eq!(conn.take_run().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn torn_frames_resume_across_reads() {
+        // A frame split at every byte must decode once the bytes arrive.
+        let wire = draw_frames(2);
+        let mut conn = Connection::new(FakeSock::with_input(Vec::new()), 1);
+        for &byte in &wire {
+            conn.sock.input.push(byte);
+            let _ = conn.read_frames(64).unwrap();
+        }
+        assert_eq!(conn.inflight(), 2);
+        assert_eq!(conn.take_run().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn out_buf_survives_partial_writes_and_compaction() {
+        let mut out = OutBuf::default();
+        let payload: Vec<u8> = (0..=255u8).cycle().take(40_000).collect();
+        out.append(&payload);
+        let mut sink = FakeSock::with_input(Vec::new());
+        sink.write_cap = 3; // 3 bytes per write, WouldBlock in between
+        let mut rounds = 0usize;
+        while !out.flush(&mut sink).unwrap() {
+            rounds += 1;
+            assert!(rounds < 100_000, "flush never completed");
+            if rounds == 5 {
+                // Mid-flush append must not corrupt the stream.
+                out.append(&[0xAA, 0xBB]);
+            }
+        }
+        assert!(out.is_empty());
+        let mut expected = payload.clone();
+        expected.extend_from_slice(&[0xAA, 0xBB]);
+        assert_eq!(sink.written, expected);
+    }
+
+    #[test]
+    fn slow_consumer_backlog_is_what_the_socket_refused() {
+        let sock = FakeSock::with_input(draw_frames(1));
+        let mut conn = Connection::new(sock, 3);
+        conn.read_frames(64).unwrap();
+        conn.take_run().unwrap();
+        // The peer accepts 100 bytes and then stalls: the backlog the cap
+        // judges is what remains after flushing, not the response size.
+        conn.sock.write_cap = 100;
+        let big = vec![0u8; 4096];
+        conn.complete(&big, 1);
+        assert_eq!(conn.outbound_len(), 4096);
+        assert!(
+            !conn.flush().unwrap(),
+            "stalled peer must report WouldBlock"
+        );
+        assert_eq!(conn.outbound_len(), 4096 - 100);
+        assert!(conn.outbound_len() > 1024, "backlog exceeds a 1 KiB cap");
+    }
+
+    #[test]
+    fn write_zero_is_a_transport_error() {
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut out = OutBuf::default();
+        out.append(&[1, 2, 3]);
+        assert_eq!(
+            out.flush(&mut Dead).unwrap_err().kind(),
+            io::ErrorKind::WriteZero
+        );
+    }
+}

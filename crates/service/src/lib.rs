@@ -7,10 +7,13 @@
 //! prefix tree over the lock-free per-shard totals picks the shard, the
 //! shard's own lock-free snapshot draw finishes inside it — and a
 //! request layer fronts the whole thing: a length-prefixed binary
-//! protocol over TCP or Unix-domain sockets (plain `std::net`,
-//! thread-per-connection, no async runtime), with a **flat-combining
-//! aggregator** that coalesces concurrent single-draw requests into
-//! batched buffer fills against the engine's fused batch path.
+//! protocol over TCP or Unix-domain sockets served by hand-rolled
+//! **epoll reactor threads** (raw syscalls, no async runtime, no
+//! thread-per-connection — see [`server`] for the sizing and
+//! backpressure knobs), with a **flat-combining aggregator** that
+//! coalesces concurrent single-draw requests into batched buffer fills
+//! against the engine's fused batch path, and pipelined runs of draws
+//! per connection coalescing into fused batches.
 //!
 //! * [`ShardedService`] / [`ServiceCore`] — the in-process sharded core:
 //!   partitioning, two-level draws, cross-shard atomic update batches,
@@ -44,13 +47,19 @@
 //!
 //! [`SelectionEngine`]: lrb_engine::SelectionEngine
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single audited exception is the raw
+// epoll/eventfd syscall surface in `reactor::sys` (see its safety notes),
+// which opts back in with a module-level `#![allow(unsafe_code)]` — the
+// same audited-island idiom as `lrb-obs`'s ring and the engine's hot-swap.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregator;
 pub mod client;
+mod conn;
 pub mod error;
 pub mod protocol;
+mod reactor;
 pub mod server;
 pub mod sharded;
 pub mod telemetry;
@@ -58,6 +67,6 @@ pub mod telemetry;
 pub use aggregator::DrawAggregator;
 pub use client::ServiceClient;
 pub use error::ServiceError;
-pub use server::{ServerAddr, ServiceServer, READ_TIMEOUT};
+pub use server::{ServerAddr, ServerConfig, ServiceServer};
 pub use sharded::{ServiceConfig, ServiceCore, ShardedService};
 pub use telemetry::{ServiceEvent, ServiceTelemetry, SERVICE_JOURNAL_CAPACITY};

@@ -260,18 +260,43 @@ impl FrameReader {
     }
 }
 
-/// Assemble and write one `[len][lead][payload]` frame with a single
-/// `write_all`. This keeps small frames to one syscall, but is **not** a
-/// delivery-atomicity guarantee — TCP may still segment a large frame, so
-/// readers polling with a timeout must tolerate partial arrival (see
-/// [`FrameReader`]).
-fn write_framed(writer: &mut impl Write, lead: &[u8], payload: &[u8]) -> io::Result<()> {
+/// Append one `[len][lead][payload]` frame to `out`. The append-to-buffer
+/// form is what both the reactor's outbound write buffer and the client's
+/// pipelined send buffer build on: many frames coalesce into one buffer and
+/// leave in as few `write` syscalls as the socket accepts (a `writev`-style
+/// gathering write without the extra iovec bookkeeping).
+fn append_framed(out: &mut Vec<u8>, lead: &[u8], payload: &[u8]) {
     let len = lead.len() + payload.len();
     debug_assert!(len <= MAX_FRAME);
-    let mut frame = Vec::with_capacity(4 + len);
-    frame.extend_from_slice(&(len as u32).to_le_bytes());
-    frame.extend_from_slice(lead);
-    frame.extend_from_slice(payload);
+    out.reserve(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.extend_from_slice(lead);
+    out.extend_from_slice(payload);
+}
+
+/// Append one encoded request frame to a send buffer (client side).
+pub fn encode_request(out: &mut Vec<u8>, opcode: OpCode, payload: &[u8]) {
+    append_framed(out, &[opcode as u8], payload);
+}
+
+/// Append one encoded OK response (status `0`) to a response buffer.
+pub fn encode_ok(out: &mut Vec<u8>, payload: &[u8]) {
+    append_framed(out, &[0u8], payload);
+}
+
+/// Append one encoded error response (status `1`, payload
+/// `[code][UTF-8 message]`) to a response buffer.
+pub fn encode_err(out: &mut Vec<u8>, code: u8, message: &str) {
+    append_framed(out, &[1u8, code], message.as_bytes());
+}
+
+/// Assemble and write one frame with a single `write_all`. This keeps small
+/// frames to one syscall, but is **not** a delivery-atomicity guarantee —
+/// TCP may still segment a large frame, so readers polling with a timeout
+/// must tolerate partial arrival (see [`FrameReader`]).
+fn write_framed(writer: &mut impl Write, lead: &[u8], payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::new();
+    append_framed(&mut frame, lead, payload);
     writer.write_all(&frame)?;
     writer.flush()
 }

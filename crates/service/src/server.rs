@@ -1,42 +1,113 @@
-//! The request layer: a thread-per-connection TCP/UDS server speaking the
+//! The request layer: an event-driven TCP/UDS server speaking the
 //! length-prefixed binary protocol of [`crate::protocol`].
 //!
-//! Single draws (`DRAW`) go through the shared [`DrawAggregator`], so
-//! concurrent clients are coalesced into batched two-level draws; batch
-//! draws (`DRAW_BATCH`) use a per-connection RNG and hit
-//! [`ServiceCore::draw_into`] directly. Every handled request lands in the
-//! service's request-latency histogram.
+//! On Linux the server runs [`ServerConfig::reactors`] epoll reactor
+//! threads (the private `reactor` module) multiplexing every connection, plus a
+//! small worker pool that executes decoded frames against the shard /
+//! aggregator machinery — total thread count is **O(reactors + workers +
+//! shards)** regardless of how many connections are open. Connections are
+//! nonblocking; idle ones cost nothing (no poll-loop wakeups, no thread
+//! stacks). On other platforms a blocking thread-per-connection fallback
+//! keeps the same wire behaviour.
 //!
-//! Connections poll with a short read timeout so a server shutdown
-//! ([`ServiceServer::shutdown`] or drop) is observed within
-//! [`READ_TIMEOUT`]; the accept loop is unblocked by a dummy connection.
-//! Everything is plain `std::net` / `std::os::unix::net` — no async
-//! runtime.
+//! Request execution semantics per connection:
+//!
+//! * frames execute strictly in arrival order and responses are written in
+//!   that order, so a pipelining client correlates by position;
+//! * a **run** of consecutive `DRAW` frames from one connection coalesces
+//!   into a single fused two-level batch ([`ServiceCore::draw_many`]) —
+//!   pipelined single draws get batch-draw throughput automatically;
+//! * a lone `DRAW` goes through the shared [`DrawAggregator`], so
+//!   concurrent *connections* still coalesce with each other;
+//! * at most [`ServerConfig::inflight_budget`] decoded-but-unanswered
+//!   frames per connection; beyond that the reactor stops reading the
+//!   connection (TCP flow control pushes back on the client);
+//! * a connection whose buffered responses exceed
+//!   [`ServerConfig::max_outbound_bytes`] is disconnected (slow-consumer
+//!   policy) with a journaled [`ServiceEvent::SlowConsumer`] reason.
+//!
+//! [`ServiceEvent::SlowConsumer`]: crate::telemetry::ServiceEvent
 
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lrb_rng::{MersenneTwister64, SeedableSource, SplitMix64};
+use lrb_rng::MersenneTwister64;
 
 use crate::aggregator::DrawAggregator;
-use crate::protocol::{
-    codes, error_code, write_err, write_ok, Cursor, FrameReader, OpCode, MAX_BATCH,
-};
+use crate::protocol::{codes, encode_err, encode_ok, error_code, Cursor, Frame, OpCode, MAX_BATCH};
 use crate::sharded::ServiceCore;
-
-/// Idle read timeout per connection: the shutdown-observation latency.
-pub const READ_TIMEOUT: Duration = Duration::from_millis(100);
 
 /// Back-off before retrying a failed `accept()` (e.g. fd exhaustion), so a
 /// persistent error cannot busy-spin the accept loop.
 const ACCEPT_RETRY_DELAY: Duration = Duration::from_millis(20);
+
+/// Timeout on the throwaway connection that unblocks the accept loop at
+/// shutdown.
+const SHUTDOWN_CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Sizing and backpressure knobs for [`ServiceServer`].
+///
+/// The defaults suit a small host: reactors scale with cores up to 4
+/// (thousands of mostly-idle connections per reactor are fine — each costs
+/// one epoll registration and a couple of buffers, not a thread), workers
+/// with cores up to 8 (workers run the actual draws; more than cores just
+/// adds contention on the shard snapshots).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Reactor (event-loop) threads; `0` = `min(4, cores)`.
+    pub reactors: usize,
+    /// Worker (request-execution) threads; `0` = `max(2, min(8, cores))`.
+    pub workers: usize,
+    /// Max decoded-but-unanswered frames per connection before the server
+    /// stops reading it (connection-level backpressure).
+    pub inflight_budget: usize,
+    /// Max buffered outbound response bytes per connection before the
+    /// slow-consumer policy disconnects it.
+    pub max_outbound_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            reactors: 0,
+            workers: 0,
+            inflight_budget: 64,
+            max_outbound_bytes: 16 << 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn cores() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The reactor-thread count after resolving the `0 = auto` default.
+    pub fn resolved_reactors(&self) -> usize {
+        if self.reactors > 0 {
+            self.reactors
+        } else {
+            Self::cores().min(4)
+        }
+    }
+
+    /// The worker-thread count after resolving the `0 = auto` default.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            Self::cores().clamp(2, 8)
+        }
+    }
+}
 
 /// Where a running server is listening.
 #[derive(Debug, Clone)]
@@ -56,12 +127,14 @@ enum Incoming {
 }
 
 /// A running selection server. Dropping it (or calling
-/// [`shutdown`](Self::shutdown)) stops the accept loop, joins every
-/// connection handler and, for UDS, removes the socket file.
+/// [`shutdown`](Self::shutdown)) stops the accept loop, the reactors and
+/// the worker pool, closes every connection and, for UDS, removes the
+/// socket file.
 pub struct ServiceServer {
     addr: ServerAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    runtime: Runtime,
 }
 
 impl std::fmt::Debug for ServiceServer {
@@ -74,31 +147,65 @@ impl std::fmt::Debug for ServiceServer {
 
 impl ServiceServer {
     /// Bind a TCP listener (e.g. `"127.0.0.1:0"` for an ephemeral port)
-    /// and start serving `core`. `seed` keys the server-side RNGs.
+    /// and start serving `core` with default sizing. `seed` keys the
+    /// server-side RNGs.
     pub fn bind_tcp(
         core: Arc<ServiceCore>,
         addr: impl ToSocketAddrs,
         seed: u64,
     ) -> std::io::Result<Self> {
+        Self::bind_tcp_with(core, addr, seed, ServerConfig::default())
+    }
+
+    /// [`bind_tcp`](Self::bind_tcp) with explicit [`ServerConfig`] knobs.
+    pub fn bind_tcp_with(
+        core: Arc<ServiceCore>,
+        addr: impl ToSocketAddrs,
+        seed: u64,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        Self::start(core, Incoming::Tcp(listener), ServerAddr::Tcp(local), seed)
+        Self::start(
+            core,
+            Incoming::Tcp(listener),
+            ServerAddr::Tcp(local),
+            seed,
+            config,
+        )
     }
 
     /// Bind a Unix-domain socket at `path` (removed on shutdown) and start
-    /// serving `core`.
+    /// serving `core` with default sizing.
     #[cfg(unix)]
     pub fn bind_uds(
         core: Arc<ServiceCore>,
         path: impl Into<PathBuf>,
         seed: u64,
     ) -> std::io::Result<Self> {
+        Self::bind_uds_with(core, path, seed, ServerConfig::default())
+    }
+
+    /// [`bind_uds`](Self::bind_uds) with explicit [`ServerConfig`] knobs.
+    #[cfg(unix)]
+    pub fn bind_uds_with(
+        core: Arc<ServiceCore>,
+        path: impl Into<PathBuf>,
+        seed: u64,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let path = path.into();
         // A stale socket file from a crashed predecessor would fail the
         // bind; remove it (ignoring "was not there").
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
-        Self::start(core, Incoming::Unix(listener), ServerAddr::Unix(path), seed)
+        Self::start(
+            core,
+            Incoming::Unix(listener),
+            ServerAddr::Unix(path),
+            seed,
+            config,
+        )
     }
 
     fn start(
@@ -106,17 +213,17 @@ impl ServiceServer {
         listener: Incoming,
         addr: ServerAddr,
         seed: u64,
+        config: ServerConfig,
     ) -> std::io::Result<Self> {
         let stop = Arc::new(AtomicBool::new(false));
         let aggregator = Arc::new(DrawAggregator::new(Arc::clone(&core), seed));
-        let accept = {
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(listener, core, aggregator, stop, seed))
-        };
+        let (runtime, accept) =
+            Runtime::start(core, aggregator, listener, Arc::clone(&stop), seed, config)?;
         Ok(Self {
             addr,
             stop,
             accept: Some(accept),
+            runtime,
         })
     }
 
@@ -126,8 +233,8 @@ impl ServiceServer {
         &self.addr
     }
 
-    /// Stop accepting, wake the accept loop, join every handler thread and
-    /// clean up the socket. Also runs on drop.
+    /// Stop accepting, wake and join the reactors and workers, close every
+    /// connection and clean up the socket. Also runs on drop.
     pub fn shutdown(&mut self) {
         if self.accept.is_none() {
             return;
@@ -136,7 +243,7 @@ impl ServiceServer {
         // Unblock the blocking accept with a throwaway connection.
         match &self.addr {
             ServerAddr::Tcp(addr) => {
-                let _ = TcpStream::connect_timeout(addr, READ_TIMEOUT);
+                let _ = TcpStream::connect_timeout(addr, SHUTDOWN_CONNECT_TIMEOUT);
             }
             #[cfg(unix)]
             ServerAddr::Unix(path) => {
@@ -146,6 +253,7 @@ impl ServiceServer {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
+        self.runtime.shutdown();
         #[cfg(unix)]
         if let ServerAddr::Unix(path) = &self.addr {
             let _ = std::fs::remove_file(path);
@@ -159,28 +267,128 @@ impl Drop for ServiceServer {
     }
 }
 
+/// Derive the per-connection RNG seed for connection `token` (SplitMix
+/// keeps adjacent tokens decorrelated).
+fn connection_seed(seed: u64, token: u64) -> u64 {
+    let mut mixer = lrb_rng::SplitMix64::new(seed ^ token.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    lrb_rng::RandomSource::next_u64(&mut mixer)
+}
+
+// ---------------------------------------------------------------------------
+// Linux: epoll reactor runtime.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+struct Runtime {
+    reactors: Vec<Arc<crate::reactor::ReactorShared>>,
+    reactor_threads: Vec<JoinHandle<()>>,
+    jobs: Arc<crate::reactor::JobQueue>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+#[cfg(target_os = "linux")]
+impl Runtime {
+    fn start(
+        core: Arc<ServiceCore>,
+        aggregator: Arc<DrawAggregator>,
+        listener: Incoming,
+        stop: Arc<AtomicBool>,
+        seed: u64,
+        config: ServerConfig,
+    ) -> std::io::Result<(Self, JoinHandle<()>)> {
+        use crate::reactor::{JobQueue, ReactorContext, ReactorShared};
+
+        let reactor_count = config.resolved_reactors();
+        let worker_count = config.resolved_workers();
+        let jobs = Arc::new(JobQueue::new());
+
+        let mut reactors = Vec::with_capacity(reactor_count);
+        for _ in 0..reactor_count {
+            reactors.push(Arc::new(ReactorShared::new()?));
+        }
+        let reactors_shared = Arc::new(reactors.clone());
+
+        let mut reactor_threads = Vec::with_capacity(reactor_count);
+        for (index, shared) in reactors.iter().enumerate() {
+            let ctx = ReactorContext {
+                shared: Arc::clone(shared),
+                index,
+                core: Arc::clone(&core),
+                jobs: Arc::clone(&jobs),
+                budget: config.inflight_budget.max(1),
+                max_outbound: config.max_outbound_bytes.max(1),
+            };
+            reactor_threads.push(std::thread::spawn(move || crate::reactor::run_reactor(ctx)));
+        }
+
+        let mut worker_threads = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let jobs = Arc::clone(&jobs);
+            let reactors = Arc::clone(&reactors_shared);
+            let core = Arc::clone(&core);
+            let aggregator = Arc::clone(&aggregator);
+            worker_threads.push(std::thread::spawn(move || {
+                crate::reactor::run_worker(jobs, reactors, core, aggregator)
+            }));
+        }
+
+        let accept = {
+            let reactors = Arc::clone(&reactors_shared);
+            std::thread::spawn(move || accept_loop(listener, reactors, stop, seed))
+        };
+        Ok((
+            Self {
+                reactors,
+                reactor_threads,
+                jobs,
+                worker_threads,
+            },
+            accept,
+        ))
+    }
+
+    fn shutdown(&mut self) {
+        for reactor in &self.reactors {
+            reactor.request_shutdown();
+        }
+        for handle in self.reactor_threads.drain(..) {
+            let _ = handle.join();
+        }
+        self.jobs.shutdown();
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
 fn accept_loop(
     listener: Incoming,
-    core: Arc<ServiceCore>,
-    aggregator: Arc<DrawAggregator>,
+    reactors: Arc<Vec<Arc<crate::reactor::ReactorShared>>>,
     stop: Arc<AtomicBool>,
     seed: u64,
 ) {
-    let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
-    let connections = AtomicU64::new(0);
+    use crate::reactor::{Registration, Socket};
+
+    let mut next_token: u64 = 1; // u64::MAX is the reactors' wake token
     loop {
-        // Accept one connection (blocking); any accept error while stopping
-        // means "time to exit".
-        let stream: Result<Box<dyn Conn>, std::io::Error> = match &listener {
-            Incoming::Tcp(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+        let socket: std::io::Result<Socket> = match &listener {
+            Incoming::Tcp(l) => l.accept().and_then(|(s, _)| {
+                s.set_nodelay(true)?;
+                s.set_nonblocking(true)?;
+                Ok(Socket::Tcp(s))
+            }),
             #[cfg(unix)]
-            Incoming::Unix(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+            Incoming::Unix(l) => l.accept().and_then(|(s, _)| {
+                s.set_nonblocking(true)?;
+                Ok(Socket::Unix(s))
+            }),
         };
         if stop.load(Ordering::Acquire) {
             break;
         }
-        let stream = match stream {
-            Ok(stream) => stream,
+        let socket = match socket {
+            Ok(socket) => socket,
             Err(_) => {
                 // A persistent accept failure (e.g. EMFILE under fd
                 // exhaustion) would otherwise busy-spin this loop at 100%
@@ -189,93 +397,207 @@ fn accept_loop(
                 continue;
             }
         };
-        let conn_id = connections.fetch_add(1, Ordering::Relaxed);
-        let handler = {
-            let core = Arc::clone(&core);
-            let aggregator = Arc::clone(&aggregator);
-            let stop = Arc::clone(&stop);
-            // Derive a per-connection stream for DRAW_BATCH requests: the
-            // SplitMix mixer keeps connection seeds decorrelated even for
-            // adjacent ids.
-            let mut mixer = SplitMix64::new(seed ^ conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let rng_seed = lrb_rng::RandomSource::next_u64(&mut mixer);
-            std::thread::spawn(move || serve_connection(stream, core, aggregator, stop, rng_seed))
+        let token = next_token;
+        next_token += 1;
+        reactors[(token as usize) % reactors.len()].register(Registration {
+            socket,
+            token,
+            rng_seed: connection_seed(seed, token),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fallback (non-Linux): blocking thread-per-connection, same wire
+// behaviour, no backpressure beyond the socket buffers.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(target_os = "linux"))]
+struct Runtime {
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Runtime {
+    fn start(
+        core: Arc<ServiceCore>,
+        aggregator: Arc<DrawAggregator>,
+        listener: Incoming,
+        stop: Arc<AtomicBool>,
+        seed: u64,
+        _config: ServerConfig,
+    ) -> std::io::Result<(Self, JoinHandle<()>)> {
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let handlers = Arc::clone(&handlers);
+            std::thread::spawn(move || {
+                fallback_accept_loop(listener, core, aggregator, stop, seed, handlers)
+            })
         };
-        let mut workers = workers.lock().expect("worker list poisoned");
-        workers.push(handler);
-        // Opportunistically reap finished handlers so a long-lived server
-        // doesn't accumulate dead JoinHandles.
-        workers.retain(|h| !h.is_finished());
+        Ok((Self { handlers }, accept))
     }
-    for handle in workers.lock().expect("worker list poisoned").drain(..) {
-        let _ = handle.join();
-    }
-}
 
-/// A duplex connection with a settable read timeout.
-trait Conn: Read + Write + Send {
-    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
-}
-
-impl Conn for TcpStream {
-    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
-        TcpStream::set_read_timeout(self, timeout)
-    }
-}
-
-#[cfg(unix)]
-impl Conn for UnixStream {
-    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
-        UnixStream::set_read_timeout(self, timeout)
-    }
-}
-
-fn serve_connection(
-    mut stream: Box<dyn Conn>,
-    core: Arc<ServiceCore>,
-    aggregator: Arc<DrawAggregator>,
-    stop: Arc<AtomicBool>,
-    rng_seed: u64,
-) {
-    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
-        return;
-    }
-    let mut rng = MersenneTwister64::seed_from_u64(rng_seed);
-    // A frame may arrive split across TCP segments, so a read timeout can
-    // fire with part of a frame already consumed; the resumable reader
-    // buffers that progress instead of discarding it (which would
-    // desynchronize the stream and parse body bytes as a length/opcode).
-    let mut reader = FrameReader::new();
-    while !stop.load(Ordering::Acquire) {
-        let frame = match reader.poll(&mut stream) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => continue, // idle or mid-frame; re-check the stop flag
-            Err(_) => return,     // disconnect or framing violation
-        };
-        let started = Instant::now();
-        let result = dispatch(&frame, &core, &aggregator, &mut rng, &mut stream);
-        core.telemetry().record_request_span(started);
-        if result.is_err() {
-            return; // the response could not be written
+    fn shutdown(&mut self) {
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
         }
     }
 }
 
-/// Handle one decoded frame; `Err` only for transport failures (protocol
-/// and selection errors are answered in-band).
-fn dispatch(
-    frame: &crate::protocol::Frame,
+#[cfg(not(target_os = "linux"))]
+fn fallback_accept_loop(
+    listener: Incoming,
+    core: Arc<ServiceCore>,
+    aggregator: Arc<DrawAggregator>,
+    stop: Arc<AtomicBool>,
+    seed: u64,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    use std::io::Write;
+
+    /// Shutdown-observation latency of the blocking fallback.
+    const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+    trait Conn: std::io::Read + Write + Send {}
+    impl Conn for TcpStream {}
+    #[cfg(unix)]
+    impl Conn for UnixStream {}
+
+    let mut next_token: u64 = 1;
+    loop {
+        let stream: std::io::Result<Box<dyn Conn>> = match &listener {
+            Incoming::Tcp(l) => l.accept().and_then(|(s, _)| {
+                s.set_nodelay(true)?;
+                s.set_read_timeout(Some(READ_TIMEOUT))?;
+                Ok(Box::new(s) as Box<dyn Conn>)
+            }),
+            #[cfg(unix)]
+            Incoming::Unix(l) => l.accept().and_then(|(s, _)| {
+                s.set_read_timeout(Some(READ_TIMEOUT))?;
+                Ok(Box::new(s) as Box<dyn Conn>)
+            }),
+        };
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let mut stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => {
+                std::thread::sleep(ACCEPT_RETRY_DELAY);
+                continue;
+            }
+        };
+        let token = next_token;
+        next_token += 1;
+        let rng = Arc::new(Mutex::new(lrb_rng::SeedableSource::seed_from_u64(
+            connection_seed(seed, token),
+        )));
+        let handler = {
+            let core = Arc::clone(&core);
+            let aggregator = Arc::clone(&aggregator);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut reader = crate::protocol::FrameReader::new();
+                while !stop.load(Ordering::Acquire) {
+                    let frame = match reader.poll(&mut stream) {
+                        Ok(Some(frame)) => frame,
+                        Ok(None) => continue,
+                        Err(_) => return,
+                    };
+                    let bytes = execute_run(std::slice::from_ref(&frame), &core, &aggregator, &rng);
+                    if stream.write_all(&bytes).is_err() {
+                        return;
+                    }
+                }
+            })
+        };
+        let mut handlers = handlers.lock().expect("handler list poisoned");
+        handlers.push(handler);
+        handlers.retain(|h| !h.is_finished());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame execution (shared by the reactor workers and the fallback).
+// ---------------------------------------------------------------------------
+
+/// Execute a run of frames from one connection, in order, and return the
+/// encoded responses (one per frame, same order).
+///
+/// Consecutive `DRAW` frames coalesce into one fused two-level batch; a
+/// lone `DRAW` rides the cross-connection [`DrawAggregator`]. Protocol and
+/// selection errors are answered in-band, so this never fails — transport
+/// problems are the caller's (the reactor's) concern.
+pub(crate) fn execute_run(
+    frames: &[Frame],
+    core: &Arc<ServiceCore>,
+    aggregator: &Arc<DrawAggregator>,
+    rng: &Arc<Mutex<MersenneTwister64>>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    // Runs are serial per connection, so this lock is never contended.
+    let mut rng = rng.lock().expect("connection rng poisoned");
+    let telemetry = core.telemetry();
+    let mut i = 0;
+    while i < frames.len() {
+        let started = Instant::now();
+        // Coalesce a run of consecutive single draws into one fused batch.
+        if frames[i].opcode == OpCode::Draw as u8 && frames[i].payload.is_empty() {
+            let mut j = i + 1;
+            while j < frames.len()
+                && frames[j].opcode == OpCode::Draw as u8
+                && frames[j].payload.is_empty()
+            {
+                j += 1;
+            }
+            let n = j - i;
+            if n >= 2 {
+                match core.draw_many(&mut *rng, n) {
+                    Ok(indices) => {
+                        for index in indices {
+                            encode_ok(&mut out, &(index as u64).to_le_bytes());
+                        }
+                    }
+                    Err(e) => {
+                        let code = error_code(&e);
+                        let message = e.to_string();
+                        for _ in 0..n {
+                            encode_err(&mut out, code, &message);
+                        }
+                    }
+                }
+                for _ in 0..n {
+                    telemetry.record_request_span(started);
+                }
+                i = j;
+                continue;
+            }
+        }
+        execute_one(&frames[i], core, aggregator, &mut rng, &mut out);
+        telemetry.record_request_span(started);
+        i += 1;
+    }
+    out
+}
+
+/// Handle one decoded frame, appending its encoded response to `out`.
+/// Protocol and selection errors are answered in-band.
+fn execute_one(
+    frame: &Frame,
     core: &Arc<ServiceCore>,
     aggregator: &Arc<DrawAggregator>,
     rng: &mut MersenneTwister64,
-    stream: &mut Box<dyn Conn>,
-) -> std::io::Result<()> {
+    out: &mut Vec<u8>,
+) {
     let Some(opcode) = OpCode::from_u8(frame.opcode) else {
-        return write_err(
-            stream,
+        encode_err(
+            out,
             codes::PROTOCOL,
             &format!("unknown opcode {:#04x}", frame.opcode),
         );
+        return;
     };
     // Decode-and-execute; any ServiceError becomes an in-band error frame.
     let outcome: Result<Vec<u8>, (u8, String)> = match opcode {
@@ -333,8 +655,8 @@ fn dispatch(
         OpCode::Metrics => Ok(core.metrics().to_json().into_bytes()),
     };
     match outcome {
-        Ok(payload) => write_ok(stream, &payload),
-        Err((code, message)) => write_err(stream, code, &message),
+        Ok(payload) => encode_ok(out, &payload),
+        Err((code, message)) => encode_err(out, code, &message),
     }
 }
 

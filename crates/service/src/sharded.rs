@@ -409,6 +409,26 @@ impl ServiceCore {
                 "Single-draw requests served inside a coalesced batch",
                 t.batched_draws(),
             )
+            .counter(
+                "lrb_service_connects_total",
+                "Connections accepted by the server",
+                t.connects(),
+            )
+            .counter(
+                "lrb_service_disconnects_total",
+                "Connections closed (any reason)",
+                t.disconnects(),
+            )
+            .counter(
+                "lrb_service_read_deferrals_total",
+                "Times a connection's reads were paused by the in-flight budget",
+                t.read_deferrals(),
+            )
+            .counter(
+                "lrb_service_slow_consumer_disconnects_total",
+                "Connections dropped by the slow-consumer outbound cap",
+                t.slow_consumer_disconnects(),
+            )
             .gauge(
                 "lrb_service_shards",
                 "Number of category shards",
@@ -433,6 +453,11 @@ impl ServiceCore {
                 "lrb_service_update_ns",
                 "Service-side update enqueue latency",
                 &t.update_latency(),
+            )
+            .histogram(
+                "lrb_service_submit_depth",
+                "In-flight frame depth when runs were handed to workers",
+                &t.submit_depth(),
             );
         for (s, shard) in self.shards.iter().enumerate() {
             let obs = shard.engine.observability();

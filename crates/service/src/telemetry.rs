@@ -38,6 +38,14 @@ pub enum ServiceEvent {
     /// The level-one totals were re-read from every shard (stale-cut
     /// recovery or an explicit refresh).
     TotalsRefresh,
+    /// A connection was disconnected by the slow-consumer policy: its
+    /// outbound buffer exceeded the configured cap.
+    SlowConsumer {
+        /// The connection's reactor token.
+        token: u64,
+        /// Outbound bytes buffered when the cap tripped.
+        buffered: u64,
+    },
 }
 
 /// Always-on service telemetry. All paths are lock-free (relaxed counter
@@ -64,6 +72,17 @@ pub struct ServiceTelemetry {
     batched_draws: Counter,
     /// Max-over-mean of the per-shard totals (1.0 = perfectly balanced).
     imbalance: Gauge,
+    /// Connections accepted and registered with a reactor.
+    connects: Counter,
+    /// Connections closed (any reason).
+    disconnects: Counter,
+    /// Times a connection's reading was paused by the in-flight budget.
+    read_deferrals: Counter,
+    /// Connections disconnected by the slow-consumer outbound cap.
+    slow_consumer_disconnects: Counter,
+    /// In-flight frame depth observed when runs were handed to workers
+    /// (queue-depth distribution: how deep pipelining actually runs).
+    submit_depth: Histogram,
     /// Last-`SERVICE_JOURNAL_CAPACITY` service events.
     journal: FlightRecorder<ServiceEvent>,
 }
@@ -87,6 +106,11 @@ impl ServiceTelemetry {
             batches: Counter::new(),
             batched_draws: Counter::new(),
             imbalance: Gauge::new(),
+            connects: Counter::new(),
+            disconnects: Counter::new(),
+            read_deferrals: Counter::new(),
+            slow_consumer_disconnects: Counter::new(),
+            submit_depth: Histogram::new(),
             journal: FlightRecorder::new(SERVICE_JOURNAL_CAPACITY),
         }
     }
@@ -133,6 +157,33 @@ impl ServiceTelemetry {
     /// Record a full totals refresh.
     pub(crate) fn record_refresh(&self) {
         self.journal.push(ServiceEvent::TotalsRefresh);
+    }
+
+    /// Record one accepted connection.
+    pub(crate) fn record_connect(&self) {
+        self.connects.incr();
+    }
+
+    /// Record one closed connection (any reason).
+    pub(crate) fn record_disconnect(&self) {
+        self.disconnects.incr();
+    }
+
+    /// Record one budget-induced read deferral (backpressure engaged).
+    pub(crate) fn record_read_deferred(&self) {
+        self.read_deferrals.incr();
+    }
+
+    /// Record a slow-consumer disconnect and journal the reason.
+    pub(crate) fn record_slow_consumer(&self, token: u64, buffered: u64) {
+        self.slow_consumer_disconnects.incr();
+        self.journal
+            .push(ServiceEvent::SlowConsumer { token, buffered });
+    }
+
+    /// Record the in-flight depth at which a run was handed to a worker.
+    pub(crate) fn record_submit_depth(&self, depth: u64) {
+        self.submit_depth.record(depth);
     }
 
     /// Publish the shard-imbalance gauge from a totals cut.
@@ -191,6 +242,32 @@ impl ServiceTelemetry {
     /// mass anywhere).
     pub fn imbalance(&self) -> f64 {
         self.imbalance.get()
+    }
+
+    /// Connections accepted so far.
+    pub fn connects(&self) -> u64 {
+        self.connects.get()
+    }
+
+    /// Connections closed so far.
+    pub fn disconnects(&self) -> u64 {
+        self.disconnects.get()
+    }
+
+    /// Budget-induced read deferrals so far (how often backpressure
+    /// engaged).
+    pub fn read_deferrals(&self) -> u64 {
+        self.read_deferrals.get()
+    }
+
+    /// Slow-consumer disconnects so far.
+    pub fn slow_consumer_disconnects(&self) -> u64 {
+        self.slow_consumer_disconnects.get()
+    }
+
+    /// Distribution of in-flight depth when runs went to workers.
+    pub fn submit_depth(&self) -> HistogramSnapshot {
+        self.submit_depth.snapshot()
     }
 
     /// The recent service events, oldest first.
