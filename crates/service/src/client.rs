@@ -155,8 +155,15 @@ impl ServiceClient {
             ));
         }
         self.flush()?;
-        let payload = read_response(&mut self.transport)?;
-        self.outstanding -= 1;
+        let result = read_response(&mut self.transport);
+        // Any non-transport outcome (OK, Remote error, bad status byte)
+        // consumed a whole response frame off the wire, so the
+        // position-based correlation must advance even on Err — otherwise
+        // `outstanding` desyncs and the final recv_draw blocks forever.
+        if !matches!(result, Err(ServiceError::Io(_))) {
+            self.outstanding -= 1;
+        }
+        let payload = result?;
         let mut cursor = Cursor::new(&payload);
         let index = cursor.u64()?;
         cursor.done()?;

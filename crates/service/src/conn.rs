@@ -158,11 +158,19 @@ impl<S: Read + Write> Connection<S> {
 
     /// Read and decode frames until the socket drains (`WouldBlock`) or
     /// the in-flight `budget` is reached. Returns `Ok(true)` if reading
-    /// was deferred by the budget — the caller must drop read interest
-    /// until [`complete`](Self::complete) frees budget — `Ok(false)` when
-    /// the kernel buffer drained, and `Err` on EOF / framing violation /
-    /// transport error (the caller closes the connection).
+    /// was *newly* deferred by the budget — the caller must drop read
+    /// interest until [`complete`](Self::complete) frees budget —
+    /// `Ok(false)` when the kernel buffer drained (or the deferral was
+    /// already in force, so it must not be counted again), and `Err` on
+    /// EOF / framing violation / transport error (the caller closes the
+    /// connection).
     pub(crate) fn read_frames(&mut self, budget: usize) -> io::Result<bool> {
+        if self.read_deferred {
+            // EPOLLRDHUP stays armed while reads are deferred, so a
+            // half-close can land here with the budget still exhausted;
+            // the deferral is already accounted for.
+            return Ok(false);
+        }
         while self.inflight < budget {
             match self.reader.poll(&mut self.sock)? {
                 Some(frame) => {
@@ -291,6 +299,13 @@ mod tests {
         assert!(deferred, "budget was reached, reading must defer");
         assert!(conn.read_deferred);
         assert_eq!(conn.inflight(), 4);
+        // A second readiness event while deferred (e.g. EPOLLRDHUP on a
+        // half-close) must not report the deferral a second time.
+        assert!(
+            !conn.read_frames(4).unwrap(),
+            "an in-force deferral is not a new deferral"
+        );
+        assert!(conn.read_deferred, "the deferral itself stays in force");
         assert_eq!(
             conn.sock.unread(),
             draw_frames(2).len(),

@@ -37,8 +37,9 @@
 //!   eventfd's `File`) and closed exactly once on drop;
 //! * `epoll_wait` writes at most `events.len()` entries and only entries
 //!   `..n` are read back;
-//! * `epoll_event` is declared `#[repr(C, packed)]` to match the x86-64
-//!   kernel ABI, and packed fields are only ever copied out, never
+//! * `epoll_event` is declared `#[repr(C, packed)]` on x86-64 (the one
+//!   architecture where the kernel packs it) and plain `#[repr(C)]`
+//!   elsewhere, and its fields are only ever copied out, never
 //!   referenced.
 
 #[cfg(target_os = "linux")]
@@ -48,7 +49,7 @@ pub(crate) use imp::{
 
 #[cfg(target_os = "linux")]
 mod imp {
-    use std::collections::HashMap;
+    use std::collections::{HashMap, VecDeque};
     use std::fs::File;
     use std::io::{Read, Write};
     use std::net::TcpStream;
@@ -199,9 +200,10 @@ mod imp {
         }
     }
 
-    /// The worker pool's shared injection queue.
+    /// The worker pool's shared injection queue. FIFO, so a burst of
+    /// arrivals cannot starve the oldest waiting connection.
     pub(crate) struct JobQueue {
-        queue: Mutex<Vec<Job>>,
+        queue: Mutex<VecDeque<Job>>,
         available: Condvar,
         stop: AtomicBool,
     }
@@ -209,21 +211,24 @@ mod imp {
     impl JobQueue {
         pub(crate) fn new() -> Self {
             Self {
-                queue: Mutex::new(Vec::new()),
+                queue: Mutex::new(VecDeque::new()),
                 available: Condvar::new(),
                 stop: AtomicBool::new(false),
             }
         }
 
         fn push(&self, job: Job) {
-            self.queue.lock().expect("job queue poisoned").push(job);
+            self.queue
+                .lock()
+                .expect("job queue poisoned")
+                .push_back(job);
             self.available.notify_one();
         }
 
         fn pop(&self) -> Option<Job> {
             let mut queue = self.queue.lock().expect("job queue poisoned");
             loop {
-                if let Some(job) = queue.pop() {
+                if let Some(job) = queue.pop_front() {
                     return Some(job);
                 }
                 if self.stop.load(Ordering::Acquire) {
@@ -521,10 +526,13 @@ pub(crate) mod sys {
         fn close(fd: c_int) -> c_int;
     }
 
-    /// `struct epoll_event`, packed to match the x86-64 kernel ABI.
+    /// `struct epoll_event`, matching the kernel ABI for the target
+    /// architecture: the kernel packs it (12 bytes) only on x86-64;
+    /// everywhere else `data` keeps natural 8-byte alignment (16 bytes).
     /// Fields are only ever copied out ([`parts`](Self::parts)) — a
     /// reference to a packed field would be UB, so none are taken.
-    #[repr(C, packed)]
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
     #[derive(Clone, Copy)]
     pub(crate) struct EpollEvent {
         events: u32,
