@@ -48,6 +48,15 @@ pub enum SelectionError {
         /// The name that failed to resolve.
         name: &'static str,
     },
+    /// The durability layer failed — a WAL append could not be persisted
+    /// or recovery found irreconcilable state. The publish that hit it is
+    /// rolled back (its updates return to the pending queue), so a flaky
+    /// disk loses no writes, only progress.
+    Durability {
+        /// Which durability operation failed (`"wal-append"`,
+        /// `"recovery"`, ...).
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for SelectionError {
@@ -77,6 +86,9 @@ impl fmt::Display for SelectionError {
             ),
             SelectionError::UnknownBackend { name } => {
                 write!(f, "no sampler backend named '{name}' is registered")
+            }
+            SelectionError::Durability { op } => {
+                write!(f, "durability operation '{op}' failed; the publish was rolled back")
             }
         }
     }
@@ -158,6 +170,8 @@ mod tests {
         assert!(e.to_string().contains("-0.5"));
         let e = SelectionError::UnknownBackend { name: "gpu-table" };
         assert!(e.to_string().contains("gpu-table"));
+        let e = SelectionError::Durability { op: "wal-append" };
+        assert!(e.to_string().contains("wal-append"));
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Checkpoints: a versioned, CRC-framed serialization of a snapshot's
+//! full weight vector.
+//!
+//! A checkpoint subsumes every WAL record at or below its version, so
+//! writing one lets the store truncate the log. The blob is written to a
+//! temporary file, synced, then renamed into place — the rename is the
+//! commit point, so a crash mid-checkpoint leaves the previous
+//! checkpoint untouched and the WAL still authoritative.
+
+use crate::crc::crc32;
+
+/// `"LRBC"` little-endian — the checkpoint file magic.
+pub const CHECKPOINT_MAGIC: u32 = 0x4342_524C;
+
+/// Blob prefix: magic (u32) + crc (u32) + version (u64) + count (u64).
+const PREFIX_BYTES: usize = 4 + 4 + 8 + 8;
+/// Ceiling on the category count a decoder will allocate for.
+const MAX_CATEGORIES: u64 = 1 << 32;
+
+/// Serialize `(version, weights)` as one checkpoint blob. The CRC covers
+/// everything after the CRC field (version, count, weight bits).
+pub fn encode_checkpoint(version: u64, weights: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PREFIX_BYTES + 8 * weights.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // CRC back-patched below.
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+    for &weight in weights {
+        out.extend_from_slice(&weight.to_bits().to_le_bytes());
+    }
+    let crc = crc32(&out[8..]);
+    out[4..8].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode a checkpoint blob; `None` when the magic, CRC or framing is
+/// wrong (a corrupt checkpoint is simply not a checkpoint — recovery
+/// falls back to an older one).
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<(u64, Vec<f64>)> {
+    if bytes.len() < PREFIX_BYTES {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    if magic != CHECKPOINT_MAGIC {
+        return None;
+    }
+    let crc_expected = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    if crc32(&bytes[8..]) != crc_expected {
+        return None;
+    }
+    let version = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+    let count = u64::from_le_bytes(bytes[16..24].try_into().ok()?);
+    if count > MAX_CATEGORIES || bytes.len() != PREFIX_BYTES + 8 * count as usize {
+        return None;
+    }
+    let mut weights = Vec::with_capacity(count as usize);
+    let mut at = PREFIX_BYTES;
+    for _ in 0..count {
+        let bits = u64::from_le_bytes(bytes[at..at + 8].try_into().ok()?);
+        weights.push(f64::from_bits(bits));
+        at += 8;
+    }
+    Some((version, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let weights = vec![0.1 + 0.2, 1.0, f64::MIN_POSITIVE, 1e300];
+        let blob = encode_checkpoint(42, &weights);
+        let (version, decoded) = decode_checkpoint(&blob).unwrap();
+        assert_eq!(version, 42);
+        assert_eq!(decoded.len(), weights.len());
+        for (a, b) in decoded.iter().zip(&weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_weights_roundtrip() {
+        let blob = encode_checkpoint(7, &[]);
+        assert_eq!(decode_checkpoint(&blob), Some((7, Vec::new())));
+    }
+
+    #[test]
+    fn any_flipped_bit_is_rejected() {
+        let blob = encode_checkpoint(3, &[1.0, 2.0, 3.0]);
+        for byte in 0..blob.len() {
+            let mut damaged = blob.clone();
+            damaged[byte] ^= 0x01;
+            assert!(
+                decode_checkpoint(&damaged).is_none(),
+                "flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let blob = encode_checkpoint(3, &[1.0, 2.0]);
+        for keep in 0..blob.len() {
+            assert!(decode_checkpoint(&blob[..keep]).is_none());
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Deterministic fault injection for the durability layer.
+//!
+//! [`FaultyFile`] wraps any [`StorageFile`] and perturbs its write/sync
+//! operations according to a seeded [`FaultPlan`]: short writes (the
+//! kernel accepted fewer bytes), torn writes (a crash mid-`write` left a
+//! prefix on disk and the operation failed), fsync errors, and silent
+//! single-bit flips. Two files built from the same seed inject the same
+//! faults at the same operations — recovery proptests replay a schedule
+//! exactly.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+use lrb_rng::{RandomSource, SplitMix64};
+
+use crate::storage::StorageFile;
+
+/// One kind of injected storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The write accepts only a prefix of the buffer and reports the
+    /// short count — a well-behaved caller's `write_all` loop retries.
+    ShortWrite,
+    /// A seeded prefix of the buffer reaches the file, then the write
+    /// fails — the torn-tail shape a crash mid-append leaves behind.
+    TornWrite,
+    /// The next `sync` call fails (the write-back error an `fsync` can
+    /// surface).
+    SyncError,
+    /// The buffer is written in full but with one seeded bit flipped —
+    /// silent media corruption the CRC must catch.
+    BitFlip,
+}
+
+/// A deterministic schedule mapping operation indices (each `write` or
+/// `sync` call counts one) to faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, FaultKind>,
+}
+
+impl FaultPlan {
+    /// No faults — the wrapper becomes a transparent pass-through.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single fault at operation `at_op`.
+    pub fn single(at_op: u64, kind: FaultKind) -> Self {
+        let mut faults = BTreeMap::new();
+        faults.insert(at_op, kind);
+        Self { faults }
+    }
+
+    /// A seeded random schedule: over the first `horizon` operations,
+    /// roughly `per_mille`/1000 of them fault, with the kind drawn
+    /// uniformly. Identical `(seed, horizon, per_mille)` always produce
+    /// the identical schedule.
+    pub fn seeded(seed: u64, horizon: u64, per_mille: u32) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut faults = BTreeMap::new();
+        for op in 0..horizon {
+            if rng.next_u64() % 1000 < u64::from(per_mille) {
+                let kind = match rng.next_u64() % 4 {
+                    0 => FaultKind::ShortWrite,
+                    1 => FaultKind::TornWrite,
+                    2 => FaultKind::SyncError,
+                    _ => FaultKind::BitFlip,
+                };
+                faults.insert(op, kind);
+            }
+        }
+        Self { faults }
+    }
+
+    /// Faults in the schedule.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    fn at(&self, op: u64) -> Option<FaultKind> {
+        self.faults.get(&op).copied()
+    }
+}
+
+/// A [`StorageFile`] wrapper that injects the faults of a [`FaultPlan`].
+///
+/// Reads, seeks and truncates pass through untouched — corruption is a
+/// *write-side* phenomenon; the recovery reader must survive whatever the
+/// faulty writer left behind.
+#[derive(Debug)]
+pub struct FaultyFile<F: StorageFile> {
+    inner: F,
+    plan: FaultPlan,
+    rng: SplitMix64,
+    op: u64,
+    injected: u64,
+}
+
+impl<F: StorageFile> FaultyFile<F> {
+    /// Wrap `inner`, injecting `plan` (offsets drawn from `seed`).
+    pub fn new(inner: F, plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            inner,
+            plan,
+            rng: SplitMix64::new(seed),
+            op: 0,
+            injected: 0,
+        }
+    }
+
+    /// The wrapped file.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the fault state.
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+
+    /// Faults actually injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Write/sync operations observed so far.
+    pub fn operations(&self) -> u64 {
+        self.op
+    }
+
+    fn next_op(&mut self) -> Option<FaultKind> {
+        let fault = self.plan.at(self.op);
+        self.op += 1;
+        if fault.is_some() {
+            self.injected += 1;
+        }
+        fault
+    }
+}
+
+impl<F: StorageFile> Read for FaultyFile<F> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl<F: StorageFile> Write for FaultyFile<F> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.next_op() {
+            None | Some(FaultKind::SyncError) => self.inner.write(buf),
+            Some(FaultKind::ShortWrite) => {
+                let keep = (buf.len() / 2).max(1).min(buf.len());
+                self.inner.write(&buf[..keep])
+            }
+            Some(FaultKind::TornWrite) => {
+                let keep = if buf.is_empty() {
+                    0
+                } else {
+                    (self.rng.next_u64() % buf.len() as u64) as usize
+                };
+                self.inner.write_all(&buf[..keep])?;
+                Err(io::Error::other(
+                    "injected torn write after a partial prefix",
+                ))
+            }
+            Some(FaultKind::BitFlip) => {
+                if buf.is_empty() {
+                    return self.inner.write(buf);
+                }
+                let mut corrupted = buf.to_vec();
+                let bit = self.rng.next_u64() % (corrupted.len() as u64 * 8);
+                corrupted[(bit / 8) as usize] ^= 1 << (bit % 8);
+                self.inner.write_all(&corrupted)?;
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<F: StorageFile> Seek for FaultyFile<F> {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.inner.seek(pos)
+    }
+}
+
+impl<F: StorageFile> StorageFile for FaultyFile<F> {
+    fn sync(&mut self) -> io::Result<()> {
+        match self.next_op() {
+            Some(FaultKind::SyncError) => Err(io::Error::other("injected fsync error")),
+            _ => self.inner.sync(),
+        }
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn byte_len(&mut self) -> io::Result<u64> {
+        self.inner.byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemFile;
+
+    #[test]
+    fn pass_through_without_faults() {
+        let mut file = FaultyFile::new(MemFile::new(), FaultPlan::none(), 1);
+        file.write_all(b"hello").unwrap();
+        assert_eq!(file.inner().contents(), b"hello");
+        assert_eq!(file.injected(), 0);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix_and_errors() {
+        let mut file = FaultyFile::new(
+            MemFile::new(),
+            FaultPlan::single(0, FaultKind::TornWrite),
+            7,
+        );
+        let err = file.write_all(b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("torn"));
+        assert!(file.inner().contents().len() < 10);
+        assert!(b"0123456789".starts_with(file.inner().contents()));
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let mut file = FaultyFile::new(MemFile::new(), FaultPlan::single(0, FaultKind::BitFlip), 9);
+        file.write_all(b"abcdefgh").unwrap();
+        let differing_bits: u32 = file
+            .inner()
+            .contents()
+            .iter()
+            .zip(b"abcdefgh")
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing_bits, 1);
+    }
+
+    #[test]
+    fn sync_error_fires_on_sync() {
+        let mut file = FaultyFile::new(
+            MemFile::new(),
+            FaultPlan::single(1, FaultKind::SyncError),
+            3,
+        );
+        file.write_all(b"x").unwrap();
+        assert!(file.sync().is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(42, 1000, 50);
+        let b = FaultPlan::seeded(42, 1000, 50);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,486 @@
+//! [`DurableStore`]: the directory-backed WAL + checkpoint pair an
+//! engine persists through, and the recovery routine that rebuilds the
+//! last persisted `(version, weights)` from it.
+//!
+//! Directory layout:
+//!
+//! ```text
+//! <dir>/wal.log               append-only record log (see crate docs)
+//! <dir>/checkpoint-<v>.ckpt   full weight vector at version v
+//! <dir>/checkpoint.tmp        in-flight checkpoint (ignored by recovery)
+//! ```
+//!
+//! Opening a fresh directory writes a genesis checkpoint at version 0 so
+//! recovery always has a floor. Opening an existing one recovers: newest
+//! valid checkpoint, WAL suffix replayed in strict version order with the
+//! same scale-fold/override semantics the engine's publish used, torn
+//! tail truncated. The two newest checkpoints are retained; older ones
+//! are pruned after each new checkpoint commits.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::{decode_checkpoint, encode_checkpoint};
+use crate::wal::{replay_with, ReplayStep, Wal, WalRecord};
+use crate::WalOptions;
+
+/// Checkpoint generations kept on disk (the newest this many).
+const CHECKPOINTS_KEPT: usize = 2;
+
+/// What [`DurableStore::open`] recovered from an existing directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// Version of the recovered state (checkpoint version + applied
+    /// records).
+    pub version: u64,
+    /// The recovered weight vector, bit-identical to the one published
+    /// at `version`.
+    pub weights: Vec<f64>,
+    /// Version of the checkpoint replay started from.
+    pub checkpoint_version: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Bytes discarded from the WAL tail (torn frame, CRC failure or
+    /// version gap).
+    pub truncated_bytes: u64,
+}
+
+/// Outcome of one [`DurableStore::append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Append {
+    /// Frame bytes appended to the WAL.
+    pub bytes: u64,
+    /// Flush duration when the fsync policy flushed this append.
+    pub sync_ns: Option<u64>,
+}
+
+/// A directory-backed durability store: one WAL, checkpoint rotation,
+/// recovery-on-open.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: Wal<File>,
+    checkpoint_every: u64,
+    appended_since_checkpoint: u64,
+    last_version: u64,
+    checkpoint_version: u64,
+}
+
+impl DurableStore {
+    /// Open (creating if absent) the store under `options.dir`.
+    ///
+    /// Returns the store plus `Some(Recovery)` when the directory held a
+    /// previous incarnation's state, `None` when it was fresh — in which
+    /// case a genesis checkpoint of `initial` at version 0 is written so
+    /// a crash before the first publish still recovers.
+    pub fn open(options: &WalOptions, initial: &[f64]) -> io::Result<(Self, Option<Recovery>)> {
+        fs::create_dir_all(&options.dir)?;
+        let checkpoints = list_checkpoints(&options.dir)?;
+        let recovered = if checkpoints.is_empty() {
+            write_checkpoint_file(&options.dir, 0, initial)?;
+            None
+        } else {
+            Some(recover(&options.dir, &checkpoints)?)
+        };
+        let wal_path = options.dir.join("wal.log");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&wal_path)?;
+        let (valid_bytes, checkpoint_version, last_version) = match &recovered {
+            Some(recovery) => (
+                // recover() already truncated the file to the valid prefix.
+                file.metadata()?.len(),
+                recovery.checkpoint_version,
+                recovery.version,
+            ),
+            None => (0, 0, 0),
+        };
+        let wal = Wal::new(file, valid_bytes, options.fsync);
+        Ok((
+            Self {
+                dir: options.dir.clone(),
+                wal,
+                checkpoint_every: options.checkpoint_every,
+                appended_since_checkpoint: 0,
+                last_version,
+                checkpoint_version,
+            },
+            recovered,
+        ))
+    }
+
+    /// Log one drained batch. Rolls the WAL back and errors if the frame
+    /// (or its policy flush) cannot be persisted — the caller must fail
+    /// the publish so memory and log stay in step.
+    pub fn append(
+        &mut self,
+        version: u64,
+        scale: f64,
+        overrides: &[(usize, f64)],
+    ) -> io::Result<Append> {
+        let record = WalRecord {
+            version,
+            scale,
+            overrides: overrides.to_vec(),
+        };
+        let outcome = self.wal.append(&record)?;
+        self.last_version = version;
+        self.appended_since_checkpoint += 1;
+        Ok(Append {
+            bytes: outcome.bytes,
+            sync_ns: outcome.sync_ns,
+        })
+    }
+
+    /// Whether the checkpoint cadence is due (`checkpoint_every` records
+    /// appended since the last one).
+    pub fn should_checkpoint(&self) -> bool {
+        self.checkpoint_every > 0 && self.appended_since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Write a checkpoint of `weights` at `version`, truncate the WAL it
+    /// subsumes, prune old generations. Returns the blob size in bytes.
+    ///
+    /// Failure here is *non-fatal* for the caller: the WAL already holds
+    /// every record up to `version`, so durability is unaffected — only
+    /// recovery time grows until a later checkpoint succeeds.
+    pub fn checkpoint(&mut self, version: u64, weights: &[f64]) -> io::Result<u64> {
+        let bytes = write_checkpoint_file(&self.dir, version, weights)?;
+        // The rename above is the commit point; from here the WAL records
+        // at or below `version` are subsumed and the log can restart.
+        self.wal.reset()?;
+        self.checkpoint_version = version;
+        self.appended_since_checkpoint = 0;
+        prune_checkpoints(&self.dir);
+        Ok(bytes)
+    }
+
+    /// Bytes of valid records currently in the WAL.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// The last version appended (or recovered).
+    pub fn last_version(&self) -> u64 {
+        self.last_version
+    }
+
+    /// The version of the newest committed checkpoint.
+    pub fn checkpoint_version(&self) -> u64 {
+        self.checkpoint_version
+    }
+
+    /// Force-flush the WAL regardless of policy (shutdown hook).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+}
+
+/// Apply one WAL record to a weight vector exactly the way the engine's
+/// publish folds its drained batch: multiply everything by `scale` (only
+/// when it differs from `1.0` — the same guard publish uses, preserving
+/// bit-identity), then assign the overrides.
+pub fn apply_record(weights: &mut [f64], record: &WalRecord) {
+    if record.scale != 1.0 {
+        for w in weights.iter_mut() {
+            *w *= record.scale;
+        }
+    }
+    for &(index, weight) in &record.overrides {
+        weights[index] = weight;
+    }
+}
+
+fn recover(dir: &Path, checkpoints: &[(u64, PathBuf)]) -> io::Result<Recovery> {
+    // Newest checkpoint that actually decodes wins; a corrupt newest one
+    // falls back to its predecessor (whose WAL suffix may be gone — the
+    // recovered prefix is then just shorter, never wrong).
+    let mut base = None;
+    for (_, path) in checkpoints.iter().rev() {
+        let mut blob = Vec::new();
+        if File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut blob))
+            .is_err()
+        {
+            continue;
+        }
+        if let Some((version, weights)) = decode_checkpoint(&blob) {
+            base = Some((version, weights));
+            break;
+        }
+    }
+    let Some((checkpoint_version, mut weights)) = base else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "no checkpoint in the durability directory decodes",
+        ));
+    };
+    let wal_path = dir.join("wal.log");
+    let mut applied_version = checkpoint_version;
+    let mut summary = Default::default();
+    if wal_path.exists() {
+        let mut file = OpenOptions::new().read(true).write(true).open(&wal_path)?;
+        summary = replay_with(&mut file, |record| {
+            if record.version <= applied_version {
+                // Subsumed by the checkpoint (a crash between checkpoint
+                // commit and WAL truncation leaves these behind).
+                return ReplayStep::Skip;
+            }
+            if record.version != applied_version + 1
+                || record.overrides.iter().any(|&(i, _)| i >= weights.len())
+            {
+                // A version gap or out-of-range index means the log no
+                // longer matches this state; stop at the last good record.
+                return ReplayStep::Stop;
+            }
+            apply_record(&mut weights, record);
+            applied_version = record.version;
+            ReplayStep::Apply
+        })?;
+        file.set_len(summary.valid_bytes)?;
+    }
+    Ok(Recovery {
+        version: applied_version,
+        weights,
+        checkpoint_version,
+        replayed: summary.applied,
+        truncated_bytes: summary.truncated_bytes,
+    })
+}
+
+/// `checkpoint-<version>.ckpt` files under `dir`, sorted by version.
+fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(version) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|rest| rest.strip_suffix(".ckpt"))
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            found.push((version, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(version, _)| version);
+    Ok(found)
+}
+
+/// Write `(version, weights)` atomically: tmp + fsync + rename, then a
+/// best-effort directory sync so the rename itself is durable.
+fn write_checkpoint_file(dir: &Path, version: u64, weights: &[f64]) -> io::Result<u64> {
+    let blob = encode_checkpoint(version, weights);
+    let tmp = dir.join("checkpoint.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&blob)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join(format!("checkpoint-{version}.ckpt")))?;
+    if let Ok(dir_handle) = File::open(dir) {
+        let _ = dir_handle.sync_all();
+    }
+    Ok(blob.len() as u64)
+}
+
+/// Best-effort removal of all but the newest [`CHECKPOINTS_KEPT`]
+/// checkpoint files.
+fn prune_checkpoints(dir: &Path) {
+    let Ok(mut checkpoints) = list_checkpoints(dir) else {
+        return;
+    };
+    if checkpoints.len() <= CHECKPOINTS_KEPT {
+        return;
+    }
+    checkpoints.truncate(checkpoints.len() - CHECKPOINTS_KEPT);
+    for (_, path) in checkpoints {
+        let _ = fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FsyncPolicy;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("lrb-durable-test-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn options(dir: &TempDir) -> WalOptions {
+        WalOptions {
+            dir: dir.0.clone(),
+            fsync: FsyncPolicy::Off,
+            checkpoint_every: 0,
+        }
+    }
+
+    #[test]
+    fn fresh_open_writes_genesis_and_recovers_nothing() {
+        let dir = TempDir::new("genesis");
+        let (store, recovered) = DurableStore::open(&options(&dir), &[1.0, 2.0]).unwrap();
+        assert!(recovered.is_none());
+        assert_eq!(store.last_version(), 0);
+        drop(store);
+        // Reopen with different "initial" weights: the genesis checkpoint
+        // wins, proving recovery is authoritative.
+        let (_, recovered) = DurableStore::open(&options(&dir), &[9.0, 9.0]).unwrap();
+        let recovery = recovered.unwrap();
+        assert_eq!(recovery.version, 0);
+        assert_eq!(recovery.weights, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let dir = TempDir::new("replay");
+        let mut weights = vec![1.0, 2.0, 3.0];
+        let (mut store, _) = DurableStore::open(&options(&dir), &weights).unwrap();
+        // v1: override; v2: scale fold + override (mirrors a publish).
+        store.append(1, 1.0, &[(0, 5.0)]).unwrap();
+        apply_record(
+            &mut weights,
+            &WalRecord {
+                version: 1,
+                scale: 1.0,
+                overrides: vec![(0, 5.0)],
+            },
+        );
+        store.append(2, 0.5, &[(2, 8.0)]).unwrap();
+        apply_record(
+            &mut weights,
+            &WalRecord {
+                version: 2,
+                scale: 0.5,
+                overrides: vec![(2, 8.0)],
+            },
+        );
+        drop(store);
+        let (store, recovered) = DurableStore::open(&options(&dir), &[0.0; 3]).unwrap();
+        let recovery = recovered.unwrap();
+        assert_eq!(recovery.version, 2);
+        assert_eq!(recovery.replayed, 2);
+        assert_eq!(recovery.truncated_bytes, 0);
+        for (a, b) in recovery.weights.iter().zip(&weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(store.last_version(), 2);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_survives_reopen() {
+        let dir = TempDir::new("checkpoint");
+        let (mut store, _) = DurableStore::open(&options(&dir), &[1.0, 1.0]).unwrap();
+        store.append(1, 1.0, &[(0, 3.0)]).unwrap();
+        store.append(2, 1.0, &[(1, 4.0)]).unwrap();
+        assert!(store.wal_bytes() > 0);
+        store.checkpoint(2, &[3.0, 4.0]).unwrap();
+        assert_eq!(store.wal_bytes(), 0);
+        store.append(3, 1.0, &[(0, 7.0)]).unwrap();
+        drop(store);
+        let (_, recovered) = DurableStore::open(&options(&dir), &[0.0; 2]).unwrap();
+        let recovery = recovered.unwrap();
+        assert_eq!(recovery.checkpoint_version, 2);
+        assert_eq!(recovery.version, 3);
+        assert_eq!(recovery.weights, vec![7.0, 4.0]);
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_prefix() {
+        let dir = TempDir::new("torn");
+        let (mut store, _) = DurableStore::open(&options(&dir), &[1.0]).unwrap();
+        for v in 1..=3 {
+            store.append(v, 1.0, &[(0, v as f64)]).unwrap();
+        }
+        drop(store);
+        // Tear 3 bytes off the log tail.
+        let wal_path = dir.0.join("wal.log");
+        let len = fs::metadata(&wal_path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let (store, recovered) = DurableStore::open(&options(&dir), &[0.0]).unwrap();
+        let recovery = recovered.unwrap();
+        assert_eq!(recovery.version, 2);
+        assert_eq!(recovery.weights, vec![2.0]);
+        assert!(recovery.truncated_bytes > 0);
+        // The truncated tail is gone for good: the next append lands at
+        // the valid prefix and a further reopen sees version 3 again.
+        let mut store = store;
+        store.append(3, 1.0, &[(0, 30.0)]).unwrap();
+        drop(store);
+        let (_, recovered) = DurableStore::open(&options(&dir), &[0.0]).unwrap();
+        assert_eq!(recovered.unwrap().version, 3);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back() {
+        let dir = TempDir::new("fallback");
+        let (mut store, _) = DurableStore::open(&options(&dir), &[1.0, 1.0]).unwrap();
+        store.append(1, 1.0, &[(0, 2.0)]).unwrap();
+        store.checkpoint(1, &[2.0, 1.0]).unwrap();
+        drop(store);
+        // Damage the newest checkpoint; genesis (version 0) must win.
+        let newest = dir.0.join("checkpoint-1.ckpt");
+        let mut blob = fs::read(&newest).unwrap();
+        blob[10] ^= 0xFF;
+        fs::write(&newest, blob).unwrap();
+        let (_, recovered) = DurableStore::open(&options(&dir), &[0.0; 2]).unwrap();
+        let recovery = recovered.unwrap();
+        assert_eq!(recovery.checkpoint_version, 0);
+        // The WAL was truncated at checkpoint time, so the fallback can
+        // only see version 0 — a shorter valid prefix, never a wrong one.
+        assert_eq!(recovery.version, 0);
+        assert_eq!(recovery.weights, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn cadence_counts_appends() {
+        let dir = TempDir::new("cadence");
+        let opts = WalOptions {
+            checkpoint_every: 2,
+            ..options(&dir)
+        };
+        let (mut store, _) = DurableStore::open(&opts, &[1.0]).unwrap();
+        store.append(1, 1.0, &[(0, 2.0)]).unwrap();
+        assert!(!store.should_checkpoint());
+        store.append(2, 1.0, &[(0, 3.0)]).unwrap();
+        assert!(store.should_checkpoint());
+        store.checkpoint(2, &[3.0]).unwrap();
+        assert!(!store.should_checkpoint());
+    }
+
+    #[test]
+    fn old_checkpoints_are_pruned() {
+        let dir = TempDir::new("prune");
+        let opts = options(&dir);
+        let (mut store, _) = DurableStore::open(&opts, &[1.0]).unwrap();
+        for v in 1..=4u64 {
+            store.append(v, 1.0, &[(0, v as f64)]).unwrap();
+            store.checkpoint(v, &[v as f64]).unwrap();
+        }
+        let kept = list_checkpoints(&dir.0).unwrap();
+        assert_eq!(kept.len(), CHECKPOINTS_KEPT);
+        assert_eq!(kept.last().unwrap().0, 4);
+    }
+}

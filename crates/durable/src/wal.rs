@@ -1,0 +1,444 @@
+//! The write-ahead log: framed records of coalesced publish batches.
+//!
+//! One [`WalRecord`] is exactly what the engine's publish drains from its
+//! coalescing queue — `(version, scale, overrides)` — serialized as a
+//! length-prefixed, CRC32-framed record (grammar in the crate docs).
+//! [`Wal`] appends records under an [`FsyncPolicy`]; [`replay_with`]
+//! reads them back, stopping at the first torn or corrupt frame and
+//! reporting the byte offset a recovering store should truncate to.
+
+use std::io::{self, Read, SeekFrom};
+use std::time::Instant;
+
+use crate::crc::crc32;
+use crate::storage::StorageFile;
+use crate::FsyncPolicy;
+
+/// Frame header: payload length (u32) + payload CRC32 (u32).
+const HEADER_BYTES: usize = 8;
+/// Payload prefix: kind (u8) + version (u64) + scale bits (u64) + count (u32).
+const PAYLOAD_PREFIX_BYTES: usize = 1 + 8 + 8 + 4;
+/// Bytes per override entry: index (u64) + weight bits (u64).
+const ENTRY_BYTES: usize = 16;
+/// The only record kind so far: one coalesced publish batch.
+const KIND_BATCH: u8 = 1;
+/// Ceiling on a single record's payload — anything larger is treated as
+/// frame corruption rather than allocated on faith (a batch over ~4M
+/// overrides does not exist; `MAX_BATCH` upstream is 2^16).
+const MAX_PAYLOAD_BYTES: u32 = 1 << 26;
+
+/// One logged publish: the drained coalesced batch that produced
+/// snapshot `version`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Snapshot version the batch produced.
+    pub version: u64,
+    /// Multiplicative scale folded into every weight before the
+    /// overrides were applied (`1.0` = no fold, bit-preserved).
+    pub scale: f64,
+    /// Per-category overrides, in drain order (sorted by index).
+    pub overrides: Vec<(usize, f64)>,
+}
+
+impl WalRecord {
+    /// Encoded size of this record on the wire, header included.
+    pub fn frame_bytes(&self) -> usize {
+        HEADER_BYTES + PAYLOAD_PREFIX_BYTES + ENTRY_BYTES * self.overrides.len()
+    }
+
+    /// Append the full frame (header + payload) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let payload_len = PAYLOAD_PREFIX_BYTES + ENTRY_BYTES * self.overrides.len();
+        let payload_start = out.len() + HEADER_BYTES;
+        out.reserve(HEADER_BYTES + payload_len);
+        out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]); // CRC back-patched below.
+        out.push(KIND_BATCH);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.scale.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.overrides.len() as u32).to_le_bytes());
+        for &(index, weight) in &self.overrides {
+            out.extend_from_slice(&(index as u64).to_le_bytes());
+            out.extend_from_slice(&weight.to_bits().to_le_bytes());
+        }
+        let crc = crc32(&out[payload_start..]);
+        out[payload_start - 4..payload_start].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Decode one payload (header already verified). `None` on any
+    /// structural mismatch.
+    fn decode_payload(payload: &[u8]) -> Option<Self> {
+        if payload.len() < PAYLOAD_PREFIX_BYTES || payload[0] != KIND_BATCH {
+            return None;
+        }
+        let version = u64::from_le_bytes(payload[1..9].try_into().ok()?);
+        let scale = f64::from_bits(u64::from_le_bytes(payload[9..17].try_into().ok()?));
+        let count = u32::from_le_bytes(payload[17..21].try_into().ok()?) as usize;
+        if payload.len() != PAYLOAD_PREFIX_BYTES + ENTRY_BYTES * count {
+            return None;
+        }
+        let mut overrides = Vec::with_capacity(count);
+        let mut at = PAYLOAD_PREFIX_BYTES;
+        for _ in 0..count {
+            let index = u64::from_le_bytes(payload[at..at + 8].try_into().ok()?);
+            let weight = f64::from_bits(u64::from_le_bytes(
+                payload[at + 8..at + 16].try_into().ok()?,
+            ));
+            overrides.push((index as usize, weight));
+            at += ENTRY_BYTES;
+        }
+        Some(Self {
+            version,
+            scale,
+            overrides,
+        })
+    }
+}
+
+/// Outcome of one [`Wal::append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalAppend {
+    /// Frame bytes written.
+    pub bytes: u64,
+    /// Whether this append flushed to stable storage, and how long the
+    /// flush took (`None` when the policy skipped it).
+    pub sync_ns: Option<u64>,
+}
+
+/// An append-only record log over any [`StorageFile`].
+///
+/// The writer tracks the byte length of the valid record prefix itself;
+/// a failed append (including a failed policy flush) rolls the file back
+/// to that length, so the log never retains a frame for a publish that
+/// reported failure — the invariant recovery's "valid prefix" guarantee
+/// rests on.
+#[derive(Debug)]
+pub struct Wal<F: StorageFile> {
+    file: F,
+    len: u64,
+    fsync: FsyncPolicy,
+    unsynced: u32,
+    frame: Vec<u8>,
+}
+
+impl<F: StorageFile> Wal<F> {
+    /// Take over `file`, whose first `len` bytes are known-valid records
+    /// (0 for a fresh log; recovery's `valid_bytes` after a replay).
+    pub fn new(file: F, len: u64, fsync: FsyncPolicy) -> Self {
+        Self {
+            file,
+            len,
+            fsync,
+            unsynced: 0,
+            frame: Vec::new(),
+        }
+    }
+
+    /// Bytes of valid records in the log.
+    pub fn bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The wrapped file (tests inspect injected damage).
+    pub fn file_mut(&mut self) -> &mut F {
+        &mut self.file
+    }
+
+    /// Append one record and apply the fsync policy. On **any** failure
+    /// the log is rolled back to its pre-append length (best effort) and
+    /// the error returned — the caller must treat the publish as failed.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<WalAppend> {
+        self.frame.clear();
+        record.encode_into(&mut self.frame);
+        let result = self.append_frame(record);
+        if result.is_err() {
+            // Roll back: a half-written or unsynced frame must not
+            // survive as a "valid" record for a publish that failed.
+            let _ = self.file.set_len(self.len);
+            self.unsynced = 0;
+        }
+        result
+    }
+
+    fn append_frame(&mut self, _record: &WalRecord) -> io::Result<WalAppend> {
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(&self.frame)?;
+        self.unsynced = self.unsynced.saturating_add(1);
+        let must_sync = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            FsyncPolicy::Off => false,
+        };
+        let sync_ns = if must_sync {
+            let started = Instant::now();
+            self.file.sync()?;
+            self.unsynced = 0;
+            Some(started.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+        } else {
+            None
+        };
+        self.len += self.frame.len() as u64;
+        Ok(WalAppend {
+            bytes: self.frame.len() as u64,
+            sync_ns,
+        })
+    }
+
+    /// Force a flush regardless of policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Truncate the log to empty (after a checkpoint subsumed it).
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.len = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// What a replay visitor tells the reader to do with a decoded record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayStep {
+    /// Apply the record; it counts toward the valid prefix.
+    Apply,
+    /// Structurally valid but already covered (e.g. at or below the
+    /// checkpoint version); keep its bytes, do not apply.
+    Skip,
+    /// Stop replay *before* this record (e.g. a version gap); its bytes
+    /// are part of the truncated tail.
+    Stop,
+}
+
+/// Outcome of a [`replay_with`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplaySummary {
+    /// Records the visitor applied.
+    pub applied: u64,
+    /// Records the visitor skipped (valid but subsumed).
+    pub skipped: u64,
+    /// Byte length of the valid record prefix — what the file should be
+    /// truncated to.
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix (torn tail, corrupt frame, or
+    /// everything after a visitor `Stop`).
+    pub truncated_bytes: u64,
+    /// `true` when replay consumed the file exactly to EOF with no
+    /// damage and no early stop.
+    pub clean: bool,
+}
+
+/// Replay a WAL from byte 0, handing each structurally valid,
+/// CRC-verified record to `visit` in file order.
+///
+/// Stops — and reports the tail as truncated — at the first torn frame
+/// (short header or payload), CRC mismatch, malformed payload, or
+/// visitor [`ReplayStep::Stop`]. Read errors also stop the scan rather
+/// than propagate: recovery's contract is "never panic, never refuse —
+/// yield the longest provably valid prefix".
+pub fn replay_with<F: StorageFile>(
+    file: &mut F,
+    mut visit: impl FnMut(&WalRecord) -> ReplayStep,
+) -> io::Result<ReplaySummary> {
+    let total = file.byte_len()?;
+    file.seek(SeekFrom::Start(0))?;
+    let mut summary = ReplaySummary::default();
+    let mut offset = 0u64;
+    let mut header = [0u8; HEADER_BYTES];
+    let mut payload = Vec::new();
+    loop {
+        if offset == total {
+            summary.clean = true;
+            break;
+        }
+        if read_exact_or_eof(file, &mut header) != Ok(true) {
+            break; // torn header (or read error): truncate from here
+        }
+        let payload_len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let crc_expected = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if payload_len > MAX_PAYLOAD_BYTES {
+            break; // corrupt length — don't allocate on faith
+        }
+        payload.resize(payload_len as usize, 0);
+        if read_exact_or_eof(file, &mut payload) != Ok(true) {
+            break; // torn payload
+        }
+        if crc32(&payload) != crc_expected {
+            break; // CRC-failed record stops replay
+        }
+        let Some(record) = WalRecord::decode_payload(&payload) else {
+            break; // structurally malformed despite a passing CRC
+        };
+        match visit(&record) {
+            ReplayStep::Apply => summary.applied += 1,
+            ReplayStep::Skip => summary.skipped += 1,
+            ReplayStep::Stop => break,
+        }
+        offset += (HEADER_BYTES + payload_len as usize) as u64;
+        summary.valid_bytes = offset;
+    }
+    summary.truncated_bytes = total.saturating_sub(summary.valid_bytes);
+    Ok(summary)
+}
+
+/// `Ok(true)` when `buf` was filled, `Ok(false)` on clean-or-short EOF,
+/// `Err` only for seek-level failures (read errors map to `Ok(false)` —
+/// see [`replay_with`]).
+fn read_exact_or_eof<F: Read>(file: &mut F, buf: &mut [u8]) -> Result<bool, ()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemFile;
+
+    fn record(version: u64) -> WalRecord {
+        WalRecord {
+            version,
+            scale: 0.5 + version as f64,
+            overrides: vec![(version as usize, 2.0 * version as f64), (7, 0.25)],
+        }
+    }
+
+    fn collect(file: &mut MemFile) -> (Vec<WalRecord>, ReplaySummary) {
+        let mut seen = Vec::new();
+        let summary = replay_with(file, |r| {
+            seen.push(r.clone());
+            ReplayStep::Apply
+        })
+        .unwrap();
+        (seen, summary)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut wal = Wal::new(MemFile::new(), 0, FsyncPolicy::Off);
+        for v in 1..=5 {
+            wal.append(&record(v)).unwrap();
+        }
+        let (seen, summary) = collect(wal.file_mut());
+        assert_eq!(seen, (1..=5).map(record).collect::<Vec<_>>());
+        assert!(summary.clean);
+        assert_eq!(summary.applied, 5);
+        assert_eq!(summary.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn scale_bits_survive_roundtrip() {
+        let mut wal = Wal::new(MemFile::new(), 0, FsyncPolicy::Off);
+        let original = WalRecord {
+            version: 1,
+            scale: 0.1 + 0.2, // a value with an inexact binary tail
+            overrides: vec![(3, f64::MIN_POSITIVE)],
+        };
+        wal.append(&original).unwrap();
+        let (seen, _) = collect(wal.file_mut());
+        assert_eq!(seen[0].scale.to_bits(), original.scale.to_bits());
+        assert_eq!(
+            seen[0].overrides[0].1.to_bits(),
+            original.overrides[0].1.to_bits()
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let mut wal = Wal::new(MemFile::new(), 0, FsyncPolicy::Off);
+        wal.append(&record(1)).unwrap();
+        wal.append(&record(2)).unwrap();
+        let full = wal.bytes();
+        let tear_at = full - 5;
+        wal.file_mut().set_len(tear_at).unwrap();
+        let (seen, summary) = collect(wal.file_mut());
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].version, 1);
+        assert!(!summary.clean);
+        assert_eq!(summary.valid_bytes + summary.truncated_bytes, tear_at);
+    }
+
+    #[test]
+    fn crc_failure_stops_replay() {
+        let mut wal = Wal::new(MemFile::new(), 0, FsyncPolicy::Off);
+        wal.append(&record(1)).unwrap();
+        let second_starts = wal.bytes() as usize;
+        wal.append(&record(2)).unwrap();
+        wal.append(&record(3)).unwrap();
+        // Flip one payload bit inside record 2.
+        wal.file_mut().contents_mut()[second_starts + HEADER_BYTES + 3] ^= 0x40;
+        let (seen, summary) = collect(wal.file_mut());
+        assert_eq!(seen.len(), 1);
+        assert_eq!(summary.valid_bytes, second_starts as u64);
+        assert!(summary.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn visitor_stop_truncates_the_rest() {
+        let mut wal = Wal::new(MemFile::new(), 0, FsyncPolicy::Off);
+        for v in 1..=4 {
+            wal.append(&record(v)).unwrap();
+        }
+        let summary = replay_with(wal.file_mut(), |r| {
+            if r.version >= 3 {
+                ReplayStep::Stop
+            } else {
+                ReplayStep::Apply
+            }
+        })
+        .unwrap();
+        assert_eq!(summary.applied, 2);
+        assert!(!summary.clean);
+        assert!(summary.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn failed_append_rolls_back() {
+        use crate::fault::{FaultKind, FaultPlan, FaultyFile};
+        let faulty = FaultyFile::new(
+            MemFile::new(),
+            FaultPlan::single(1, FaultKind::TornWrite),
+            11,
+        );
+        let mut wal = Wal::new(faulty, 0, FsyncPolicy::Off);
+        wal.append(&record(1)).unwrap();
+        let before = wal.bytes();
+        assert!(wal.append(&record(2)).is_err());
+        assert_eq!(wal.bytes(), before);
+        assert_eq!(wal.file_mut().inner().contents().len() as u64, before);
+        // The log keeps working after a rolled-back failure.
+        wal.append(&record(2)).unwrap();
+        let mut clean = wal.file_mut().inner().clone();
+        let (seen, summary) = collect(&mut clean);
+        assert_eq!(seen.len(), 2);
+        assert!(summary.clean);
+    }
+
+    #[test]
+    fn fsync_policy_every_n_counts_appends() {
+        let mut wal = Wal::new(MemFile::new(), 0, FsyncPolicy::EveryN(3));
+        let synced: Vec<bool> = (1..=6)
+            .map(|v| wal.append(&record(v)).unwrap().sync_ns.is_some())
+            .collect();
+        assert_eq!(synced, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn empty_log_replays_clean() {
+        let mut file = MemFile::new();
+        let (seen, summary) = collect(&mut file);
+        assert!(seen.is_empty());
+        assert!(summary.clean);
+    }
+}

@@ -56,6 +56,7 @@ use std::time::Instant;
 
 use lrb_core::error::SelectionError;
 use lrb_core::fitness::Fitness;
+use lrb_durable::{Durability, DurableStore};
 use lrb_rng::{Philox4x32, RandomSource};
 
 use crate::backend::{BackendRegistry, BuildScratch};
@@ -113,7 +114,7 @@ pub enum PatchPolicy {
 }
 
 /// Tuning knobs for a [`SelectionEngine`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// How snapshot backends are chosen at publish time.
     pub backend: BackendChoice,
@@ -140,6 +141,14 @@ pub struct EngineConfig {
     /// even `1` — time every call — is safe, just measurably slower;
     /// serving deployments typically want `32`–`256`.
     pub reader_timing_every: u32,
+    /// Crash durability. [`Durability::Off`] (the default) persists
+    /// nothing and adds **zero** work to the publish path — the WAL hook
+    /// is behind an `Option` that is `None`. [`Durability::Wal`] logs
+    /// every published batch to a write-ahead log with periodic full
+    /// checkpoints under the configured directory, and the engine
+    /// recovers the last persisted state (bit-identical weights and
+    /// version) when reopened over it.
+    pub durability: Durability,
 }
 
 impl Default for EngineConfig {
@@ -150,6 +159,7 @@ impl Default for EngineConfig {
             calibrate: false,
             patch: PatchPolicy::default(),
             reader_timing_every: 0,
+            durability: Durability::Off,
         }
     }
 }
@@ -250,6 +260,11 @@ pub struct SelectionEngine {
     scratch: Mutex<BuildScratch>,
     registry: BackendRegistry,
     decider: Mutex<DeciderState>,
+    /// The WAL + checkpoint store under [`Durability::Wal`]; `None` under
+    /// [`Durability::Off`], so the publish path pays one `Option` check.
+    /// Locked only on the (already serialised) publish path — the mutex
+    /// is uncontended; it exists so `install` can take `&self`.
+    durable: Option<Mutex<DurableStore>>,
     /// Always-on instrumentation: latency histograms, the SIMD gauge and
     /// the flight-recorder journal. `Arc` because snapshots hold a handle
     /// for sampled reader timing.
@@ -325,6 +340,37 @@ impl SelectionEngine {
             tier,
             overridden: std::env::var_os("LRB_SIMD").is_some(),
         });
+        // Open the durability store (if configured) before the first
+        // snapshot is built: recovery replaces both the weights and the
+        // starting version, so a reopened engine resumes exactly where
+        // the previous incarnation's last persisted publish left it.
+        let mut initial_version = 0u64;
+        let mut weights = weights;
+        let durable = match &config.durability {
+            Durability::Off => None,
+            Durability::Wal(options) => {
+                let (store, recovered) = DurableStore::open(options, &weights)
+                    .map_err(|_| SelectionError::Durability { op: "open" })?;
+                if let Some(recovery) = recovered {
+                    if recovery.weights.len() != weights.len() {
+                        // The directory belongs to an engine of a
+                        // different shape; refusing is the only move that
+                        // cannot silently corrupt either state.
+                        return Err(SelectionError::Durability { op: "recovery" });
+                    }
+                    obs.record_recovery(recovery.replayed, recovery.truncated_bytes);
+                    obs.record(EngineEvent::Recovered {
+                        version: recovery.version,
+                        checkpoint_version: recovery.checkpoint_version,
+                        replayed: recovery.replayed,
+                        truncated_bytes: recovery.truncated_bytes,
+                    });
+                    initial_version = recovery.version;
+                    weights = recovery.weights;
+                }
+                Some(Mutex::new(store))
+            }
+        };
         let costs = if config.calibrate {
             let costs = CostEstimator::calibrate(&registry, len);
             for constants in costs.constants() {
@@ -344,7 +390,7 @@ impl SelectionEngine {
             BackendChoice::Fixed(name) => registry.index_of(name).expect("validated above"),
             BackendChoice::Auto => decider.costs.cheapest(&registry, &profile),
         };
-        let mut snapshot = Snapshot::build(0, weights, &registry.entries()[entry])?;
+        let mut snapshot = Snapshot::build(initial_version, weights, &registry.entries()[entry])?;
         if config.reader_timing_every > 0 {
             snapshot.set_reader_timing(config.reader_timing_every, Arc::clone(&obs));
         }
@@ -356,6 +402,7 @@ impl SelectionEngine {
             scratch: Mutex::new(BuildScratch::default()),
             registry,
             decider: Mutex::new(decider),
+            durable,
             obs,
             config,
             len,
@@ -815,6 +862,43 @@ impl SelectionEngine {
             }
         }
         let version = previous.version() + 1;
+        // Durability hook: log the drained batch *before* the swap makes
+        // it visible (write-ahead), still under the publish lock (so WAL
+        // versions are strictly ordered) but after the pending mutex was
+        // released (so writers never wait on an fsync). A failed append
+        // fails the whole publish — the store has already rolled the WAL
+        // back, and publish() re-merges the batch — so the log never
+        // trails memory. Under `Durability::Off` this is one `None` check.
+        if let Some(store) = &self.durable {
+            let mut store = store.lock().expect("durable store poisoned");
+            let append_started = Instant::now();
+            match store.append(version, scale, overrides) {
+                Ok(outcome) => {
+                    let sync_ns = outcome.sync_ns.unwrap_or(0);
+                    let append_ns =
+                        (append_started.elapsed().as_nanos() as u64).saturating_sub(sync_ns);
+                    self.obs.record_wal_append(append_ns, outcome.bytes);
+                    if let Some(sync_ns) = outcome.sync_ns {
+                        self.obs.record_fsync_ns(sync_ns);
+                    }
+                }
+                Err(_) => return Err(SelectionError::Durability { op: "wal-append" }),
+            }
+            if store.should_checkpoint() {
+                let checkpoint_started = Instant::now();
+                match store.checkpoint(version, &weights) {
+                    Ok(bytes) => {
+                        self.obs
+                            .record_checkpoint_ns(checkpoint_started.elapsed().as_nanos() as u64);
+                        self.obs.record(EngineEvent::Checkpoint { version, bytes });
+                    }
+                    // Non-fatal: the WAL holds every record up to
+                    // `version`; only recovery time grows until a later
+                    // checkpoint lands.
+                    Err(_) => self.obs.record_checkpoint_failure(),
+                }
+            }
+        }
         let mut snapshot = Snapshot::from_parts(version, weights, backend.name(), sampler);
         if self.config.reader_timing_every > 0 {
             snapshot.set_reader_timing(self.config.reader_timing_every, Arc::clone(&self.obs));
@@ -929,10 +1013,20 @@ impl SelectionEngine {
     /// | `lrb_simd_lanes` | gauge | Philox lanes per SIMD op (8/4/1) |
     /// | `lrb_draws_per_publish` | gauge | decider's observed draw-rate EWMA |
     /// | `lrb_cost_<backend>_{build,draw,patch}_ns_per_op` | gauge | cost-model EWMAs |
+    /// | `lrb_wal_records_total` | counter | WAL records appended |
+    /// | `lrb_wal_bytes_total` | counter | WAL frame bytes appended |
+    /// | `lrb_checkpoints_total` | counter | checkpoints committed |
+    /// | `lrb_checkpoint_failures_total` | counter | checkpoint attempts that failed (non-fatal) |
+    /// | `lrb_recoveries_total` | counter | recoveries performed at construction |
+    /// | `lrb_recovered_records_total` | counter | WAL records replayed during recovery |
+    /// | `lrb_recovery_truncated_bytes_total` | counter | WAL tail bytes discarded during recovery |
     /// | `lrb_publish_ns` | histogram | full publish spans |
     /// | `lrb_freeze_ns` | histogram | build-or-patch spans |
     /// | `lrb_enqueue_ns` | histogram | writer enqueue/scale spans (always on) |
     /// | `lrb_reader_draw_ns` | histogram | sampled per-draw reader latency |
+    /// | `lrb_wal_append_ns` | histogram | WAL append spans (excluding policy fsyncs) |
+    /// | `lrb_fsync_ns` | histogram | policy fsync spans within WAL appends |
+    /// | `lrb_checkpoint_ns` | histogram | checkpoint spans |
     pub fn metrics(&self) -> MetricsSnapshot {
         let stats = self.stats();
         let (version, served) = self.read(|s| (s.version(), s.served()));
@@ -966,6 +1060,41 @@ impl SelectionEngine {
             "lrb_journal_events_total",
             "Events pushed to the flight recorder",
             self.obs.events_recorded(),
+        )
+        .counter(
+            "lrb_wal_records_total",
+            "WAL records appended",
+            self.obs.wal_records(),
+        )
+        .counter(
+            "lrb_wal_bytes_total",
+            "WAL frame bytes appended",
+            self.obs.wal_bytes(),
+        )
+        .counter(
+            "lrb_checkpoints_total",
+            "Checkpoints committed",
+            self.obs.checkpoints(),
+        )
+        .counter(
+            "lrb_checkpoint_failures_total",
+            "Checkpoint attempts that failed (non-fatal)",
+            self.obs.checkpoint_failures(),
+        )
+        .counter(
+            "lrb_recoveries_total",
+            "Recoveries performed at construction",
+            self.obs.recoveries(),
+        )
+        .counter(
+            "lrb_recovered_records_total",
+            "WAL records replayed during recovery",
+            self.obs.recovered_records(),
+        )
+        .counter(
+            "lrb_recovery_truncated_bytes_total",
+            "WAL tail bytes discarded during recovery",
+            self.obs.recovery_truncated_bytes(),
         );
         // Process-wide bid-kernel counters (shared across engines): the
         // direct measurement of the lazy-ln filter's O(log n) claim.
@@ -1042,6 +1171,21 @@ impl SelectionEngine {
             "lrb_reader_draw_ns",
             "Sampled per-draw reader latency, nanoseconds",
             &self.obs.reader_draw_latency(),
+        )
+        .histogram(
+            "lrb_wal_append_ns",
+            "WAL append spans (excluding policy fsyncs), nanoseconds",
+            &self.obs.wal_append_latency(),
+        )
+        .histogram(
+            "lrb_fsync_ns",
+            "Policy fsync spans within WAL appends, nanoseconds",
+            &self.obs.fsync_latency(),
+        )
+        .histogram(
+            "lrb_checkpoint_ns",
+            "Checkpoint spans, nanoseconds",
+            &self.obs.checkpoint_latency(),
         );
         out
     }

@@ -90,5 +90,6 @@ pub use engine::{BackendSwitch, EngineConfig, EngineStats, PatchPolicy, Selectio
 pub use heuristic::{
     choose_backend, BackendChoice, CostConstants, CostEstimator, Ewma, WorkloadProfile,
 };
+pub use lrb_durable::{Durability, FsyncPolicy, WalOptions};
 pub use snapshot::Snapshot;
 pub use telemetry::{EngineEvent, EngineTelemetry, JournalEntry, JOURNAL_CAPACITY};

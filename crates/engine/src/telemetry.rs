@@ -24,7 +24,7 @@
 
 use std::time::Instant;
 
-use lrb_obs::{FlightRecorder, Gauge, Histogram, HistogramSnapshot};
+use lrb_obs::{Counter, FlightRecorder, Gauge, Histogram, HistogramSnapshot};
 use lrb_rng::SimdTier;
 
 use crate::heuristic::CostConstants;
@@ -64,6 +64,27 @@ pub enum EngineEvent {
         scaled: bool,
         /// Draws the outgoing snapshot had served.
         draws_served: u64,
+    },
+    /// The durability layer committed a checkpoint and truncated the WAL
+    /// it subsumes.
+    Checkpoint {
+        /// Version the checkpoint captured.
+        version: u64,
+        /// Checkpoint blob size in bytes.
+        bytes: u64,
+    },
+    /// The engine was reconstructed from a durability directory: newest
+    /// valid checkpoint plus the replayed WAL suffix.
+    Recovered {
+        /// Version of the recovered state now serving.
+        version: u64,
+        /// Version of the checkpoint replay started from.
+        checkpoint_version: u64,
+        /// WAL records replayed on top of the checkpoint.
+        replayed: u64,
+        /// Bytes discarded from the WAL tail (torn frame, CRC failure or
+        /// version gap).
+        truncated_bytes: u64,
     },
     /// The decider changed backends, with the cost-model inputs that drove
     /// the decision.
@@ -120,6 +141,32 @@ pub struct EngineTelemetry {
     /// Philox lanes per SIMD op at the detected tier (8 = AVX-512,
     /// 4 = AVX2, 1 = scalar).
     simd_lanes: Gauge,
+    /// WAL append spans, nanoseconds (encode + write; excludes any policy
+    /// fsync, which lands in `fsync_ns`). Empty under `Durability::Off` —
+    /// the durability hook is behind an `Option`, so the hot path carries
+    /// no cost when durability is off.
+    wal_append_ns: Histogram,
+    /// Policy fsync spans within WAL appends, nanoseconds.
+    fsync_ns: Histogram,
+    /// Checkpoint spans, nanoseconds (encode + tmp write + fsync + rename
+    /// + WAL truncate).
+    checkpoint_ns: Histogram,
+    /// WAL records appended since construction.
+    wal_records: Counter,
+    /// WAL frame bytes appended since construction.
+    wal_bytes: Counter,
+    /// Checkpoints committed since construction.
+    checkpoints: Counter,
+    /// Checkpoint attempts that failed (non-fatal: the WAL still holds
+    /// every record, only recovery time grows until one succeeds).
+    checkpoint_failures: Counter,
+    /// Recoveries performed (0 or 1 per engine: recovery happens at
+    /// construction).
+    recoveries: Counter,
+    /// WAL records replayed during recovery.
+    recovered_records: Counter,
+    /// WAL tail bytes discarded during recovery.
+    recovery_truncated_bytes: Counter,
     journal: FlightRecorder<JournalEntry>,
 }
 
@@ -132,6 +179,16 @@ impl EngineTelemetry {
             enqueue_ns: Histogram::new(),
             reader_draw_ns: Histogram::new(),
             simd_lanes: Gauge::new(),
+            wal_append_ns: Histogram::new(),
+            fsync_ns: Histogram::new(),
+            checkpoint_ns: Histogram::new(),
+            wal_records: Counter::new(),
+            wal_bytes: Counter::new(),
+            checkpoints: Counter::new(),
+            checkpoint_failures: Counter::new(),
+            recoveries: Counter::new(),
+            recovered_records: Counter::new(),
+            recovery_truncated_bytes: Counter::new(),
             journal: FlightRecorder::new(JOURNAL_CAPACITY),
         }
     }
@@ -160,6 +217,31 @@ impl EngineTelemetry {
     #[inline]
     pub(crate) fn record_reader_draw_ns(&self, ns: u64) {
         self.reader_draw_ns.record(ns);
+    }
+
+    pub(crate) fn record_wal_append(&self, ns: u64, bytes: u64) {
+        self.wal_append_ns.record(ns);
+        self.wal_records.incr();
+        self.wal_bytes.add(bytes);
+    }
+
+    pub(crate) fn record_fsync_ns(&self, ns: u64) {
+        self.fsync_ns.record(ns);
+    }
+
+    pub(crate) fn record_checkpoint_ns(&self, ns: u64) {
+        self.checkpoint_ns.record(ns);
+        self.checkpoints.incr();
+    }
+
+    pub(crate) fn record_checkpoint_failure(&self) {
+        self.checkpoint_failures.incr();
+    }
+
+    pub(crate) fn record_recovery(&self, replayed: u64, truncated_bytes: u64) {
+        self.recoveries.incr();
+        self.recovered_records.add(replayed);
+        self.recovery_truncated_bytes.add(truncated_bytes);
     }
 
     pub(crate) fn set_simd_tier(&self, tier: SimdTier) {
@@ -199,6 +281,59 @@ impl EngineTelemetry {
     /// Philox lanes per SIMD op at the active tier (8 / 4 / 1).
     pub fn simd_lanes(&self) -> f64 {
         self.simd_lanes.get()
+    }
+
+    /// Distribution of WAL append spans (nanoseconds; excludes policy
+    /// fsyncs). Empty under `Durability::Off`.
+    pub fn wal_append_latency(&self) -> HistogramSnapshot {
+        self.wal_append_ns.snapshot()
+    }
+
+    /// Distribution of policy fsync spans within WAL appends
+    /// (nanoseconds).
+    pub fn fsync_latency(&self) -> HistogramSnapshot {
+        self.fsync_ns.snapshot()
+    }
+
+    /// Distribution of checkpoint spans (nanoseconds).
+    pub fn checkpoint_latency(&self) -> HistogramSnapshot {
+        self.checkpoint_ns.snapshot()
+    }
+
+    /// WAL records appended since construction.
+    pub fn wal_records(&self) -> u64 {
+        self.wal_records.get()
+    }
+
+    /// WAL frame bytes appended since construction.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes.get()
+    }
+
+    /// Checkpoints committed since construction.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.get()
+    }
+
+    /// Checkpoint attempts that failed (non-fatal; see
+    /// [`EngineEvent::Checkpoint`]).
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.checkpoint_failures.get()
+    }
+
+    /// Recoveries performed (0 or 1 — recovery happens at construction).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.get()
+    }
+
+    /// WAL records replayed during recovery.
+    pub fn recovered_records(&self) -> u64 {
+        self.recovered_records.get()
+    }
+
+    /// WAL tail bytes discarded during recovery.
+    pub fn recovery_truncated_bytes(&self) -> u64 {
+        self.recovery_truncated_bytes.get()
     }
 
     /// The flight-recorder journal: the most recent

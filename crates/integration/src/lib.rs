@@ -12,6 +12,64 @@ pub use lrb_pram as pram;
 pub use lrb_rng as rng;
 pub use lrb_stats as stats;
 
+/// The deterministic publish storm shared by the `durable_storm` crash
+/// child and the recovery test's oracle.
+///
+/// Both sides must generate **bit-identical** workloads from the same
+/// `(seed, k)` — the kill-and-restore test's whole argument rests on the
+/// oracle replaying exactly the publishes the killed child performed, so
+/// the generator lives here, in one place, instead of being duplicated in
+/// the bin and the test.
+pub mod storm {
+    use lrb_core::SelectionError;
+    use lrb_engine::SelectionEngine;
+    use lrb_rng::{RandomSource, SplitMix64};
+
+    /// Every `SCALE_EVERY`-th publish folds a uniform scale in alongside
+    /// its overrides, so recovery is exercised against mixed records.
+    pub const SCALE_EVERY: u64 = 7;
+
+    /// The storm's initial weight vector: `1.0..=categories`.
+    pub fn initial_weights(categories: usize) -> Vec<f64> {
+        (1..=categories).map(|i| i as f64).collect()
+    }
+
+    /// Publish batch `k` (1-based) of the storm seeded by `seed`: an
+    /// optional uniform scale plus a few category overrides. Pure
+    /// function of `(seed, k, categories)`.
+    pub fn publish_batch(seed: u64, k: u64, categories: usize) -> (Option<f64>, Vec<(usize, f64)>) {
+        let mut rng = SplitMix64::new(seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let scale = k
+            .is_multiple_of(SCALE_EVERY)
+            .then(|| 0.5 + (rng.next_u64() % 1000) as f64 / 1000.0);
+        let count = 1 + (rng.next_u64() % 8) as usize;
+        let overrides = (0..count)
+            .map(|_| {
+                let index = (rng.next_u64() as usize) % categories;
+                let weight = 0.001 + (rng.next_u64() % 10_000) as f64 / 100.0;
+                (index, weight)
+            })
+            .collect();
+        (scale, overrides)
+    }
+
+    /// Enqueue batch `k` on `engine` (scale first, matching the publish
+    /// fold order) and publish it. Returns the published version.
+    pub fn apply_publish(
+        engine: &SelectionEngine,
+        seed: u64,
+        k: u64,
+        categories: usize,
+    ) -> Result<u64, SelectionError> {
+        let (scale, overrides) = publish_batch(seed, k, categories);
+        if let Some(factor) = scale {
+            engine.scale_all(factor)?;
+        }
+        engine.enqueue_many(&overrides)?;
+        engine.publish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -65,7 +65,7 @@ pub mod sharded;
 pub mod telemetry;
 
 pub use aggregator::DrawAggregator;
-pub use client::ServiceClient;
+pub use client::{ClientConfig, ClientStats, ServiceClient};
 pub use error::ServiceError;
 pub use server::{ServerAddr, ServerConfig, ServiceServer};
 pub use sharded::{ServiceConfig, ServiceCore, ShardedService};

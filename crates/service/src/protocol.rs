@@ -91,6 +91,8 @@ pub mod codes {
     pub const INVALID_SCALE: u8 = 6;
     /// [`SelectionError::UnknownBackend`](lrb_core::SelectionError::UnknownBackend).
     pub const UNKNOWN_BACKEND: u8 = 7;
+    /// [`SelectionError::Durability`](lrb_core::SelectionError::Durability).
+    pub const DURABILITY: u8 = 8;
     /// The request frame violated the protocol (bad opcode, bad length,
     /// oversized batch).
     pub const PROTOCOL: u8 = 20;
@@ -106,6 +108,7 @@ pub fn error_code(error: &SelectionError) -> u8 {
         SelectionError::IndexOutOfRange { .. } => codes::INDEX_OUT_OF_RANGE,
         SelectionError::InvalidScale { .. } => codes::INVALID_SCALE,
         SelectionError::UnknownBackend { .. } => codes::UNKNOWN_BACKEND,
+        SelectionError::Durability { .. } => codes::DURABILITY,
     }
 }
 

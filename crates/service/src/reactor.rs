@@ -57,6 +57,7 @@ mod imp {
     use std::os::unix::net::UnixStream;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Instant;
 
     use lrb_rng::MersenneTwister64;
 
@@ -73,6 +74,10 @@ mod imp {
 
     /// `epoll_wait` batch size per loop iteration.
     const MAX_EVENTS: usize = 256;
+
+    /// While draining, `epoll_wait` polls at this cadence so the loop can
+    /// observe the drain deadline even with no socket activity.
+    const DRAIN_POLL_MS: i32 = 10;
 
     /// A nonblocking accepted socket, TCP or UDS.
     #[derive(Debug)]
@@ -157,6 +162,12 @@ mod imp {
         registrations: Mutex<Vec<Registration>>,
         completions: Mutex<Vec<Completion>>,
         shutdown: AtomicBool,
+        /// Graceful-drain mode: stop reading new requests, let in-flight
+        /// runs complete and responses flush, then exit.
+        draining: AtomicBool,
+        /// Wall-clock bound on the drain; connections still busy past it
+        /// are abandoned.
+        drain_deadline: Mutex<Option<Instant>>,
     }
 
     impl ReactorShared {
@@ -167,6 +178,8 @@ mod imp {
                 registrations: Mutex::new(Vec::new()),
                 completions: Mutex::new(Vec::new()),
                 shutdown: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                drain_deadline: Mutex::new(None),
             })
         }
 
@@ -197,6 +210,23 @@ mod imp {
         pub(crate) fn request_shutdown(&self) {
             self.shutdown.store(true, Ordering::Release);
             self.wake();
+        }
+
+        /// Ask the reactor to drain gracefully: stop reading requests,
+        /// complete in-flight runs, flush responses, then exit — or
+        /// abandon whatever is still busy at `deadline`.
+        pub(crate) fn request_drain(&self, deadline: Instant) {
+            *self.drain_deadline.lock().expect("drain deadline poisoned") = Some(deadline);
+            self.draining.store(true, Ordering::Release);
+            self.wake();
+        }
+
+        fn is_draining(&self) -> bool {
+            self.draining.load(Ordering::Acquire)
+        }
+
+        fn deadline(&self) -> Option<Instant> {
+            *self.drain_deadline.lock().expect("drain deadline poisoned")
         }
     }
 
@@ -298,7 +328,16 @@ mod imp {
             return; // nothing can wake us; the server start aborts
         }
         let mut events = vec![sys::EpollEvent::zeroed(); MAX_EVENTS];
-        while let Ok(n) = ctx.shared.epoll.wait(&mut events) {
+        // Whether the one-shot entry into drain mode has run (read
+        // interest dropped on every connection).
+        let mut drain_started = false;
+        loop {
+            // Draining polls so the deadline is observed even when every
+            // socket is quiet; normal operation blocks indefinitely.
+            let timeout = if drain_started { DRAIN_POLL_MS } else { -1 };
+            let Ok(n) = ctx.shared.epoll.wait_timeout(&mut events, timeout) else {
+                break;
+            };
             for event in &events[..n] {
                 let (bits, token) = event.parts();
                 if token == WAKE_TOKEN {
@@ -339,6 +378,31 @@ mod imp {
                 let token = completion.token;
                 if matches!(handle_completion(&ctx, &mut conns, completion), Fate::Close) {
                     close_conn(&ctx, &mut conns, token);
+                }
+            }
+            if ctx.shared.is_draining() {
+                if !drain_started {
+                    drain_started = true;
+                    // Stop reading everywhere: update_interest excludes
+                    // EPOLLIN while draining, so one reconcile pass drops
+                    // read interest from every connection.
+                    for (&token, conn) in conns.iter_mut() {
+                        update_interest(&ctx, conn, token);
+                    }
+                }
+                let busy = conns
+                    .values()
+                    .filter(|conn| conn.inflight() > 0 || conn.wants_write())
+                    .count();
+                let expired = ctx
+                    .shared
+                    .deadline()
+                    .is_some_and(|deadline| Instant::now() >= deadline);
+                if busy == 0 || expired {
+                    ctx.core
+                        .telemetry()
+                        .record_drained(conns.len() as u64, busy as u64);
+                    break;
                 }
             }
         }
@@ -387,7 +451,10 @@ mod imp {
         if bits & sys::EPOLLOUT != 0 && conn.flush().is_err() {
             return Fate::Close;
         }
-        if bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+        // While draining, requests still sitting in the kernel buffer are
+        // not accepted — the drain completes what is in flight, nothing
+        // more. (A peer hangup still closes via EPOLLHUP/EPOLLERR above.)
+        if bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 && !ctx.shared.is_draining() {
             match conn.read_frames(ctx.budget) {
                 Ok(deferred) => {
                     if deferred {
@@ -455,11 +522,11 @@ mod imp {
     }
 
     /// Reconcile the connection's epoll interest mask with its state:
-    /// read interest unless the budget deferred it, write interest while
-    /// responses are buffered.
+    /// read interest unless the budget deferred it (or a drain closed the
+    /// read side for good), write interest while responses are buffered.
     fn update_interest(ctx: &ReactorContext, conn: &mut Connection<Socket>, token: u64) {
         let mut desired = sys::EPOLLRDHUP;
-        if !conn.read_deferred {
+        if !conn.read_deferred && !ctx.shared.is_draining() {
             desired |= sys::EPOLLIN;
         }
         if conn.wants_write() {
@@ -600,15 +667,28 @@ pub(crate) mod sys {
             self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
         }
 
-        /// Block until readiness; fills `events` and returns how many
-        /// entries are valid. Retries `EINTR` internally.
-        pub(crate) fn wait(&self, events: &mut [EpollEvent]) -> io::Result<usize> {
+        /// Block until readiness, or for `timeout_ms` milliseconds
+        /// (`-1` blocks forever, `0` polls); fills `events` and returns
+        /// how many entries are valid. Returns `Ok(0)` on timeout. An
+        /// `EINTR` retries with the full timeout — acceptable for the
+        /// drain polling the timeout exists for.
+        pub(crate) fn wait_timeout(
+            &self,
+            events: &mut [EpollEvent],
+            timeout_ms: c_int,
+        ) -> io::Result<usize> {
             loop {
                 // SAFETY: the kernel writes at most `events.len()` entries
                 // into the buffer, which is valid for that length; the
                 // return value bounds how many the caller may read.
-                let n =
-                    unsafe { epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, -1) };
+                let n = unsafe {
+                    epoll_wait(
+                        self.fd,
+                        events.as_mut_ptr(),
+                        events.len() as c_int,
+                        timeout_ms,
+                    )
+                };
                 if n >= 0 {
                     return Ok(n as usize);
                 }
@@ -664,7 +744,7 @@ pub(crate) mod sys {
             let mut seen = Vec::new();
             // Two waits at most: both may arrive in one batch.
             for _ in 0..2 {
-                let n = epoll.wait(&mut events).unwrap();
+                let n = epoll.wait_timeout(&mut events, -1).unwrap();
                 for event in &events[..n] {
                     let (bits, token) = event.parts();
                     assert!(bits & EPOLLIN != 0);

@@ -235,9 +235,41 @@ impl ServiceServer {
 
     /// Stop accepting, wake and join the reactors and workers, close every
     /// connection and clean up the socket. Also runs on drop.
+    ///
+    /// This is the *abrupt* path: connections close regardless of
+    /// in-flight work. For a graceful stop that lets in-flight requests
+    /// finish and flushes their responses first, use
+    /// [`shutdown_within`](Self::shutdown_within).
     pub fn shutdown(&mut self) {
+        if self.stop_accepting() {
+            self.runtime.shutdown();
+            self.cleanup_socket();
+        }
+    }
+
+    /// Gracefully drain and stop within `deadline`: stop accepting new
+    /// connections, stop *reading* on existing ones, let every in-flight
+    /// run complete and its response flush, then close. Connections still
+    /// busy when the deadline expires are closed anyway and counted as
+    /// abandoned in the journaled
+    /// [`ServiceEvent::Drained`](crate::ServiceEvent::Drained) (one entry
+    /// per reactor). Also safe to call after a shutdown (no-op).
+    ///
+    /// On non-Linux hosts (the thread-per-connection fallback) this is
+    /// plain [`shutdown`](Self::shutdown): in-flight requests there
+    /// complete on their own threads anyway.
+    pub fn shutdown_within(&mut self, deadline: Duration) {
+        if self.stop_accepting() {
+            self.runtime.shutdown_within(deadline);
+            self.cleanup_socket();
+        }
+    }
+
+    /// Set the stop flag, unblock and join the accept thread. Returns
+    /// false when shutdown already ran.
+    fn stop_accepting(&mut self) -> bool {
         if self.accept.is_none() {
-            return;
+            return false;
         }
         self.stop.store(true, Ordering::Release);
         // Unblock the blocking accept with a throwaway connection.
@@ -253,7 +285,10 @@ impl ServiceServer {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        self.runtime.shutdown();
+        true
+    }
+
+    fn cleanup_socket(&self) {
         #[cfg(unix)]
         if let ServerAddr::Unix(path) = &self.addr {
             let _ = std::fs::remove_file(path);
@@ -351,9 +386,26 @@ impl Runtime {
         for reactor in &self.reactors {
             reactor.request_shutdown();
         }
+        self.join_all();
+    }
+
+    /// Graceful drain: the reactors keep running (and the workers keep
+    /// executing their in-flight runs) until every connection is idle or
+    /// `deadline` elapses, then everything joins.
+    fn shutdown_within(&mut self, deadline: Duration) {
+        let by = std::time::Instant::now() + deadline;
+        for reactor in &self.reactors {
+            reactor.request_drain(by);
+        }
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
         for handle in self.reactor_threads.drain(..) {
             let _ = handle.join();
         }
+        // Workers stop only after the reactors exit: a draining reactor
+        // depends on them to finish the runs it is waiting on.
         self.jobs.shutdown();
         for handle in self.worker_threads.drain(..) {
             let _ = handle.join();
@@ -443,6 +495,12 @@ impl Runtime {
         for handle in handles {
             let _ = handle.join();
         }
+    }
+
+    /// The fallback's handlers each complete their current request before
+    /// observing the stop flag, so the plain shutdown already drains.
+    fn shutdown_within(&mut self, _deadline: Duration) {
+        self.shutdown();
     }
 }
 

@@ -37,7 +37,7 @@ use lrb_rng::RandomSource;
 use crate::telemetry::ServiceTelemetry;
 
 /// Tuning knobs for a [`ShardedService`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// How many shards to partition the category space into (clamped to
     /// the category count; at least one).
@@ -107,8 +107,16 @@ impl ServiceCore {
         for s in 0..shard_count {
             let len = base + usize::from(s < extra);
             let slice = weights[start..start + len].to_vec();
-            initial.push(slice.iter().sum());
-            let engine = SelectionEngine::new(slice, config.engine)?;
+            // Each shard persists (and recovers) under its own
+            // subdirectory, so a restarted service re-partitions into the
+            // same shard layout and every shard finds its own log.
+            let mut engine_config = config.engine.clone();
+            engine_config.durability = engine_config.durability.for_shard(s);
+            let engine = SelectionEngine::new(slice, engine_config)?;
+            // Seed the level-one cell from the engine, not the input
+            // slice: a durable shard may have recovered weights that
+            // supersede the caller's initial vector.
+            initial.push(engine.total_weight());
             offsets.push(start);
             shards.push(Shard { engine });
             start += len;

@@ -46,6 +46,17 @@ pub enum ServiceEvent {
         /// Outbound bytes buffered when the cap tripped.
         buffered: u64,
     },
+    /// One reactor finished a graceful drain
+    /// ([`ServiceServer::shutdown_within`](crate::ServiceServer::shutdown_within)):
+    /// it stopped reading, let in-flight runs complete and flushed
+    /// buffered responses before closing.
+    Drained {
+        /// Connections the reactor held when the drain ended.
+        conns: u64,
+        /// Connections closed with work still in flight or responses
+        /// still buffered because the drain deadline expired.
+        abandoned: u64,
+    },
 }
 
 /// Always-on service telemetry. All paths are lock-free (relaxed counter
@@ -175,6 +186,11 @@ impl ServiceTelemetry {
     }
 
     /// Record a slow-consumer disconnect and journal the reason.
+    pub(crate) fn record_drained(&self, conns: u64, abandoned: u64) {
+        self.journal
+            .push(ServiceEvent::Drained { conns, abandoned });
+    }
+
     pub(crate) fn record_slow_consumer(&self, token: u64, buffered: u64) {
         self.slow_consumer_disconnects.incr();
         self.journal

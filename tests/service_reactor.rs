@@ -216,6 +216,17 @@ fn slow_consumer_is_disconnected_and_journaled() {
     // blows the 64 KiB cap, and the policy disconnects us.
     let mut stream = UnixStream::connect(&path).unwrap();
     write_draw_batches(&mut stream, &[16_384; 8]);
+    // Stay slow until the policy has actually fired: reading concurrently
+    // with response production could drain fast enough that the backlog
+    // never tops the cap, and then no EOF ever comes.
+    let disconnect_deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while service.telemetry().slow_consumer_disconnects() == 0 {
+        assert!(
+            std::time::Instant::now() < disconnect_deadline,
+            "the stalled connection was never dropped by the cap"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
     // The disconnect closes the socket; draining what the socket buffered
     // must end in EOF, not hang.
     let mut sink = Vec::new();
@@ -309,5 +320,93 @@ fn torn_frames_trickle_through_the_reactor() {
         let payload = protocol::read_response(&mut stream).unwrap();
         assert_eq!(u32::from_le_bytes(payload[..4].try_into().unwrap()), expect);
     }
+    drop(server);
+}
+
+#[test]
+fn graceful_drain_flushes_pipelined_responses_then_closes() {
+    let service = ShardedService::new(weights_1_to_24(), ServiceConfig::default()).unwrap();
+    let path = socket_path("drain");
+    let mut server = ServiceServer::bind_uds(service.core(), &path, 0xD7A1).unwrap();
+
+    const FRAMES: usize = 32;
+    let mut stream = UnixStream::connect(&path).unwrap();
+    write_draw_batches(&mut stream, &[3; FRAMES]);
+    // Let the burst reach the reactor and its runs reach the workers
+    // before the drain stops reading new requests.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    server.shutdown_within(std::time::Duration::from_secs(5));
+
+    // Every pipelined response was completed and flushed before the
+    // close, in request order...
+    for _ in 0..FRAMES {
+        let payload = protocol::read_response(&mut stream).unwrap();
+        assert_eq!(u32::from_le_bytes(payload[..4].try_into().unwrap()), 3);
+    }
+    // ...and the connection then reads clean EOF.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "bytes after the last drained response");
+
+    // The drain journaled one Drained entry per reactor, none of them
+    // abandoning work, and the reactor that held this connection saw it.
+    let drained: Vec<(u64, u64)> = service
+        .telemetry()
+        .journal()
+        .iter()
+        .filter_map(|event| match event {
+            ServiceEvent::Drained { conns, abandoned } => Some((*conns, *abandoned)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !drained.is_empty(),
+        "no Drained event in the service journal"
+    );
+    assert!(
+        drained.iter().all(|&(_, abandoned)| abandoned == 0),
+        "drain abandoned in-flight work: {drained:?}"
+    );
+    assert!(
+        drained.iter().any(|&(conns, _)| conns >= 1),
+        "no reactor reported draining our connection: {drained:?}"
+    );
+}
+
+#[test]
+fn client_rides_through_a_server_restart() {
+    use std::time::Duration;
+
+    let service = ShardedService::new(weights_1_to_24(), ServiceConfig::default()).unwrap();
+    let path = socket_path("restart");
+    let server = ServiceServer::bind_uds(service.core(), &path, 0x0FF1).unwrap();
+
+    let config = lrb_service::ClientConfig {
+        deadline: Some(Duration::from_secs(2)),
+        retries: 3,
+        reconnect_attempts: 20,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(20),
+        seed: 0xC11E,
+    };
+    let mut client = lrb_service::ServiceClient::connect_with(
+        &lrb_service::ServerAddr::Unix(path.clone()),
+        config,
+    )
+    .unwrap();
+    assert!(client.draw().unwrap() < 24);
+
+    // Bounce the server: the client's connection goes stale, the socket
+    // file vanishes, a fresh server appears at the same address.
+    drop(server);
+    let server = ServiceServer::bind_uds(service.core(), &path, 0x0FF2).unwrap();
+
+    // An idempotent request after the bounce reconnects and retries
+    // transparently; the stats expose that it happened.
+    assert!(client.draw().unwrap() < 24);
+    let stats = client.stats();
+    assert!(stats.reconnects >= 1, "client never reconnected: {stats:?}");
+    assert!(stats.retries >= 1, "client never retried: {stats:?}");
+    assert!(client.is_connected());
     drop(server);
 }
