@@ -398,6 +398,121 @@ pub fn measure_pipeline_speedup(
     })
 }
 
+/// In-process comparison of the v2 parallel batch planner against the v1
+/// sequential oracle: same weights, same per-shard engines (fenwick
+/// pinned — see [`measure_batch_speedup`]), draws measured through
+/// [`ServiceCore::draw_into_with_plan`] with a warm
+/// [`DrawPlan`](lrb_service::DrawPlan) on each side.
+///
+/// [`ServiceCore::draw_into_with_plan`]: lrb_service::ServiceCore::draw_into_with_plan
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchPlanReport {
+    /// Categories served.
+    pub categories: u64,
+    /// Shards the space was partitioned into.
+    pub shards: u64,
+    /// Draws per batch.
+    pub batch: u64,
+    /// Timed batches per side.
+    pub iters: u64,
+    /// Fan-out lanes the parallel side resolved to (including the
+    /// submitting thread).
+    pub lanes: u64,
+    /// Threads the parallel side's pinner actually pinned (0 when the
+    /// policy is [`CoreMap::None`](lrb_service::CoreMap::None) or the
+    /// host refuses the syscall).
+    pub pinned_threads: u64,
+    /// Parallel-planner draws per second.
+    pub parallel_rps: f64,
+    /// Sequential-oracle draws per second.
+    pub sequential_rps: f64,
+    /// `parallel_rps / sequential_rps`.
+    pub speedup: f64,
+}
+
+/// Measure [`BatchPlanReport`]: two identical in-process services — one on
+/// [`RouteLayout::V2Parallel`](lrb_service::RouteLayout::V2Parallel) with
+/// auto fan-out, one on
+/// [`RouteLayout::V1Sequential`](lrb_service::RouteLayout::V1Sequential) —
+/// each timed over `iters` warm batches of `batch` draws (best of two
+/// rounds per side).
+///
+/// Both sides pin the **fenwick** backend: under the auto heuristic a
+/// draw-only workload drifts to stochastic acceptance, whose O(1) fills
+/// would leave the sequential level-one assignment as the Amdahl floor
+/// and make the comparison about backend choice, not the planner.
+pub fn measure_batch_speedup(
+    categories: usize,
+    shards: usize,
+    batch: usize,
+    iters: usize,
+    core_map: lrb_service::CoreMap,
+) -> Result<BatchPlanReport, ServiceError> {
+    use lrb_engine::{BackendChoice, EngineConfig};
+    use lrb_rng::{Philox4x32, RandomSource, SeedableSource};
+    use lrb_service::{DrawPlan, RouteLayout, ServiceConfig, ShardedService};
+
+    let weights: Vec<f64> = (0..categories).map(|i| ((i % 97) + 1) as f64).collect();
+    let engine = EngineConfig {
+        backend: BackendChoice::Fixed("fenwick"),
+        ..EngineConfig::default()
+    };
+    let build = |layout: RouteLayout, core_map: lrb_service::CoreMap| {
+        ShardedService::new(
+            weights.clone(),
+            ServiceConfig {
+                shards,
+                engine: engine.clone(),
+                route_layout: layout,
+                fanout_workers: 0,
+                core_map,
+                ..ServiceConfig::default()
+            },
+        )
+    };
+    let parallel = build(RouteLayout::V2Parallel, core_map)?;
+    let sequential = build(RouteLayout::V1Sequential, lrb_service::CoreMap::None)?;
+
+    let mut out = vec![0usize; batch.max(1)];
+    let iters = iters.max(1);
+    let mut time_side = |service: &ShardedService, seed: u64| -> f64 {
+        let mut plan = DrawPlan::new();
+        let mut rng = Philox4x32::seed_from_u64(seed);
+        // Warm the plan's buffers and every shard's snapshot out of the
+        // timed window.
+        for _ in 0..3 {
+            service
+                .draw_into_with_plan(&mut rng as &mut dyn RandomSource, &mut out, &mut plan)
+                .expect("warm-up batch failed");
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let started = Instant::now();
+            for _ in 0..iters {
+                service
+                    .draw_into_with_plan(&mut rng as &mut dyn RandomSource, &mut out, &mut plan)
+                    .expect("timed batch failed");
+            }
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        (iters * out.len()) as f64 / best.max(f64::MIN_POSITIVE)
+    };
+
+    let parallel_rps = time_side(&parallel, 0x5eed_0001);
+    let sequential_rps = time_side(&sequential, 0x5eed_0002);
+    Ok(BatchPlanReport {
+        categories: categories as u64,
+        shards: shards as u64,
+        batch: out.len() as u64,
+        iters: iters as u64,
+        lanes: parallel.fanout_lanes() as u64,
+        pinned_threads: parallel.pinner().pinned_threads(),
+        parallel_rps,
+        sequential_rps,
+        speedup: parallel_rps / sequential_rps.max(f64::MIN_POSITIVE),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +597,18 @@ mod tests {
             );
         }
         drop(server);
+    }
+
+    #[test]
+    fn batch_speedup_measures_both_planners() {
+        let report = measure_batch_speedup(256, 4, 512, 4, lrb_service::CoreMap::None).unwrap();
+        assert_eq!(report.categories, 256);
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.batch, 512);
+        assert!(report.lanes >= 1);
+        assert!(report.parallel_rps > 0.0);
+        assert!(report.sequential_rps > 0.0);
+        assert!(report.speedup > 0.0);
     }
 
     #[test]

@@ -98,6 +98,14 @@ impl ShardTotals {
     pub fn cut(&self) -> TotalsCut {
         TotalsCut::from_totals(self.snapshot())
     }
+
+    /// Rebuild `cut` in place from the current cells — the allocation-free
+    /// sibling of [`cut`](Self::cut) for pooled callers (`DrawPlan` scratch
+    /// in `lrb-service`): once `cut`'s buffers have grown to this table's
+    /// shard count, refreshing it touches no allocator.
+    pub fn refill_cut(&self, cut: &mut TotalsCut) {
+        cut.refill(self.len(), |shard| self.get(shard));
+    }
 }
 
 /// One frozen cut of the shard totals, with a Fenwick prefix tree over them
@@ -142,12 +150,57 @@ impl TotalsCut {
         }
     }
 
+    /// An empty cut for pooled scratch: carries no shards and no mass (so
+    /// [`pick`](Self::pick) returns `None`) until [`refill`](Self::refill)
+    /// rebuilds it over live totals. `const`, so it can seed
+    /// `thread_local!` plan scratch without a lazy initializer.
+    pub const fn empty() -> Self {
+        Self {
+            totals: Vec::new(),
+            tree: Vec::new(),
+            top: 0,
+            total: 0.0,
+        }
+    }
+
+    /// Rebuild this cut in place over `shards` totals read through `get` —
+    /// same result as [`from_totals`](Self::from_totals) over the same
+    /// values, but both internal buffers are reused, so refreshing a cut
+    /// whose capacity already covers `shards` performs no allocation.
+    pub fn refill(&mut self, shards: usize, get: impl Fn(usize) -> f64) {
+        assert!(shards > 0, "a totals cut needs at least one shard");
+        self.totals.clear();
+        self.totals.reserve(shards);
+        self.tree.clear();
+        self.tree.resize(shards + 1, 0.0);
+        let mut total = 0.0f64;
+        for i in 0..shards {
+            let t = get(i);
+            self.totals.push(t);
+            let clamped = t.max(0.0);
+            total += clamped;
+            self.tree[i + 1] += clamped;
+            let next = (i + 1) + ((i + 1) & (i + 1).wrapping_neg());
+            if next <= shards {
+                let carried = self.tree[i + 1];
+                self.tree[next] += carried;
+            }
+        }
+        let mut top = 1usize;
+        while top * 2 <= shards {
+            top *= 2;
+        }
+        self.top = top;
+        self.total = total;
+    }
+
     /// Number of shards in the cut.
     pub fn len(&self) -> usize {
         self.totals.len()
     }
 
-    /// Whether the cut has zero shards (never true by construction).
+    /// Whether the cut has zero shards (only true for a not-yet-refilled
+    /// [`empty`](Self::empty) cut).
     pub fn is_empty(&self) -> bool {
         self.totals.is_empty()
     }
@@ -275,6 +328,42 @@ mod tests {
 
         let seeded = ShardTotals::from_totals(&[2.0, 4.0]);
         assert_eq!(seeded.snapshot(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn refilled_cut_matches_a_fresh_one() {
+        let rounds = [
+            vec![3.0, 0.0, 2.0, 5.0, 0.0, 1.0, 4.0],
+            vec![1.0, 1.0],
+            vec![0.5, 9.5, 0.0, 0.25, 7.75],
+        ];
+        let mut cut = TotalsCut::empty();
+        assert!(cut.is_empty());
+        assert_eq!(cut.pick(0.0), None);
+        for totals in rounds {
+            cut.refill(totals.len(), |s| totals[s]);
+            let fresh = TotalsCut::from_totals(totals.clone());
+            assert_eq!(cut.totals(), fresh.totals());
+            assert_eq!(cut.total(), fresh.total());
+            for k in 0..1000 {
+                let r = k as f64 * cut.total() / 1000.0;
+                assert_eq!(cut.pick(r), fresh.pick(r), "r={r} totals={totals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refill_cut_reads_the_live_cells() {
+        let table = ShardTotals::new(3);
+        table.set(0, 1.5);
+        table.set(2, 3.5);
+        let mut cut = TotalsCut::empty();
+        table.refill_cut(&mut cut);
+        assert_eq!(cut.totals(), &[1.5, 0.0, 3.5]);
+        table.set(1, 2.0);
+        table.refill_cut(&mut cut);
+        assert_eq!(cut.totals(), &[1.5, 2.0, 3.5]);
+        assert_eq!(cut.total(), 7.0);
     }
 
     #[test]

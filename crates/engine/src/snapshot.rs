@@ -20,7 +20,7 @@ use std::time::Instant;
 use lrb_core::batch::BatchDriver;
 use lrb_core::error::SelectionError;
 use lrb_core::traits::FrozenSampler;
-use lrb_rng::RandomSource;
+use lrb_rng::{Philox4x32, RandomSource};
 
 use crate::backend::FrozenBackend;
 use crate::hot_swap::CachePadded;
@@ -244,6 +244,29 @@ impl Snapshot {
         self.sampler.sample_into(rng, out)?;
         self.record_served(out.len() as u64);
         Ok(())
+    }
+
+    /// Fill `out` from the deterministic counter-based substream
+    /// `substream` of `master_seed` — [`sample_into`](Self::sample_into)
+    /// with a [`Philox4x32::for_substream`] stream constructed on the
+    /// stack, no RNG state threaded by the caller.
+    ///
+    /// This is the fill primitive behind the service's parallel batch
+    /// planner (`ROUTE_LAYOUT` v2): each shard of a cross-shard batch
+    /// consumes its own substream of one master draw, so the batch's
+    /// output is a pure function of `(snapshots, master_seed)` no matter
+    /// which thread runs which shard — the same contract discipline as
+    /// [`batch_indices`](Self::batch_indices) and `STREAM_LAYOUT_VERSION`.
+    /// Allocation-free like `sample_into` (the Philox state is a stack
+    /// value).
+    pub fn sample_into_substream(
+        &self,
+        master_seed: u64,
+        substream: u64,
+        out: &mut [usize],
+    ) -> Result<(), SelectionError> {
+        let mut rng = Philox4x32::for_substream(master_seed, substream);
+        self.sample_into(&mut rng, out)
     }
 
     /// Draw `count` indices independently (with replacement; allocating,

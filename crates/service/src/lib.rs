@@ -17,7 +17,14 @@
 //!
 //! * [`ShardedService`] / [`ServiceCore`] — the in-process sharded core:
 //!   partitioning, two-level draws, cross-shard atomic update batches,
-//!   per-shard publisher threads, merged metrics.
+//!   per-shard publisher threads, merged metrics. Batched draws run
+//!   through the versioned **parallel batch planner** (see [`sharded`]'s
+//!   module docs): one master draw, per-shard Philox substreams,
+//!   reusable [`DrawPlan`] scratch and a persistent fan-out pool —
+//!   bit-deterministic at any lane count and allocation-free once warm.
+//! * [`affinity`] — core topology discovery and opt-in
+//!   [`CoreMap`]-driven pinning of the service's long-lived threads
+//!   (`LRB_PIN` overrides; a graceful no-op off Linux).
 //! * [`DrawAggregator`] — flat combining for single draws.
 //! * [`ServiceServer`] / [`ServiceClient`] — the wire layer (see
 //!   [`protocol`] for the frame format).
@@ -47,26 +54,33 @@
 //!
 //! [`SelectionEngine`]: lrb_engine::SelectionEngine
 
-// Unsafe is denied crate-wide; the single audited exception is the raw
-// epoll/eventfd syscall surface in `reactor::sys` (see its safety notes),
-// which opts back in with a module-level `#![allow(unsafe_code)]` — the
-// same audited-island idiom as `lrb-obs`'s ring and the engine's hot-swap.
+// Unsafe is denied crate-wide; the audited exceptions opt back in with a
+// module-level `#![allow(unsafe_code)]` — the same audited-island idiom
+// as `lrb-obs`'s ring and the engine's hot-swap. Three islands exist:
+// the raw epoll/eventfd syscall surface in `reactor::sys`, the
+// `sched_setaffinity` call in `affinity::sys`, and the scoped job
+// hand-off in `fanout::job` (see each module's safety notes).
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod aggregator;
 pub mod client;
 mod conn;
 pub mod error;
+mod fanout;
 pub mod protocol;
 mod reactor;
 pub mod server;
 pub mod sharded;
 pub mod telemetry;
 
+pub use affinity::{parse_cpu_list, CoreMap, Pinner, Topology};
 pub use aggregator::DrawAggregator;
 pub use client::{ClientConfig, ClientStats, ServiceClient};
 pub use error::ServiceError;
 pub use server::{ServerAddr, ServerConfig, ServiceServer};
-pub use sharded::{ServiceConfig, ServiceCore, ShardedService};
+pub use sharded::{
+    DrawPlan, RouteLayout, ServiceConfig, ServiceCore, ShardedService, ROUTE_LAYOUT_VERSION,
+};
 pub use telemetry::{ServiceEvent, ServiceTelemetry, SERVICE_JOURNAL_CAPACITY};

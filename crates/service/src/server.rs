@@ -353,7 +353,11 @@ impl Runtime {
                 budget: config.inflight_budget.max(1),
                 max_outbound: config.max_outbound_bytes.max(1),
             };
-            reactor_threads.push(std::thread::spawn(move || crate::reactor::run_reactor(ctx)));
+            let pinner = Arc::clone(core.pinner());
+            reactor_threads.push(std::thread::spawn(move || {
+                pinner.pin_current();
+                crate::reactor::run_reactor(ctx)
+            }));
         }
 
         let mut worker_threads = Vec::with_capacity(worker_count);
@@ -363,6 +367,7 @@ impl Runtime {
             let core = Arc::clone(&core);
             let aggregator = Arc::clone(&aggregator);
             worker_threads.push(std::thread::spawn(move || {
+                core.pinner().pin_current();
                 crate::reactor::run_worker(jobs, reactors, core, aggregator)
             }));
         }

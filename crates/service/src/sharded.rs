@@ -20,21 +20,82 @@
 //! draws that land on a shard whose snapshot went all-zero refresh the
 //! totals and retry once, so staleness costs latency, never correctness.
 //!
+//! ## Batch planning: `ROUTE_LAYOUT` v2
+//!
+//! Batched draws ([`ServiceCore::draw_into`]) run through a versioned
+//! **batch planner**. The current layout, v2
+//! ([`RouteLayout::V2Parallel`]), consumes exactly **one** master `u64`
+//! from the caller's RNG and derives everything else from counter-based
+//! Philox substreams: substream 0 yields the level-one assignment
+//! uniforms, substream `1 + s` yields shard `s`'s in-shard fill stream.
+//! Because each shard's stream is independent of execution order, the
+//! per-shard fills can run **in parallel** across the service's fan-out
+//! lanes while the result stays a pure function of `(snapshots, master
+//! draw)` — bit-identical at any lane count, the same contract discipline
+//! as the engine's `STREAM_LAYOUT_VERSION = 2` batch driver. The previous
+//! sequential layout ([`RouteLayout::V1Sequential`]) threads the caller's
+//! RNG through every pick and fill in shard order; it is kept as the
+//! deterministic oracle the parity tests diff against.
+//!
+//! Both layouts share the same three-phase shape over a reusable
+//! [`DrawPlan`]: assign (one level-one pick per slot, counting per-shard
+//! draws), fill (per touched shard, **one** fused
+//! [`Snapshot::sample_into`] into that shard's contiguous segment of the
+//! plan's fill buffer) and a **single-pass cursor scatter** back to slot
+//! order — `O(batch + shards)`, not the old `O(shards · batch)` rescan.
+//! With a warm plan the whole path performs no allocation (see
+//! `tests/service_alloc.rs`).
+//!
 //! [`Snapshot::sample_into`]: lrb_engine::Snapshot::sample_into
 //! [`TotalsCut`]: lrb_core::sharding::TotalsCut
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lrb_core::sharding::ShardTotals;
+use lrb_core::sharding::{ShardTotals, TotalsCut};
 use lrb_core::SelectionError;
 use lrb_engine::{EngineConfig, SelectionEngine};
 use lrb_obs::MetricsSnapshot;
 use lrb_rng::RandomSource;
 
+use crate::affinity::{CoreMap, Pinner};
+use crate::fanout::FanoutPool;
 use crate::telemetry::ServiceTelemetry;
+
+/// Version of the batch-planner route layout (how a batch's randomness is
+/// laid out across level-one picks and per-shard fills). Bumped when the
+/// derivation changes; [`RouteLayout::V2Parallel`] is this version.
+pub const ROUTE_LAYOUT_VERSION: u32 = 2;
+
+/// Substream of the master draw that yields level-one assignment uniforms.
+const ASSIGN_SUBSTREAM: u64 = 0;
+
+/// Substream of the master draw for shard `s`'s fill is
+/// `SHARD_SUBSTREAM_BASE + s`.
+const SHARD_SUBSTREAM_BASE: u64 = 1;
+
+/// Batches smaller than this run their v2 fills inline even when fan-out
+/// lanes exist: below it, the hand-off latency outweighs the parallel fill
+/// (determinism is unaffected — lane count never changes results).
+const FANOUT_MIN_BATCH: usize = 1024;
+
+/// Which batch-planner layout [`ServiceCore::draw_into`] uses. See the
+/// module docs for the derivation of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteLayout {
+    /// v1: the caller's RNG is threaded through every level-one pick and
+    /// then through each shard's fill, in shard order — strictly
+    /// sequential by construction. Kept as the parity oracle.
+    V1Sequential,
+    /// v2 (default, [`ROUTE_LAYOUT_VERSION`]): one master draw, substream
+    /// 0 for assignment, substream `1 + s` per shard — per-shard fills
+    /// are order-free and run across the fan-out lanes.
+    #[default]
+    V2Parallel,
+}
 
 /// Tuning knobs for a [`ShardedService`].
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +111,21 @@ pub struct ServiceConfig {
     /// only through [`ServiceCore::publish_all`] /
     /// [`ServiceCore::publish_shard`].
     pub publish_interval: Option<Duration>,
+    /// Which batch-planner layout draws use (default
+    /// [`RouteLayout::V2Parallel`]; see the module docs).
+    pub route_layout: RouteLayout,
+    /// Parallel fan-out lanes for the v2 planner, **including** the
+    /// submitting thread (`lanes - 1` helper threads are spawned once at
+    /// construction). `0` = auto: `min(shards, thread budget)`, where the
+    /// thread budget is the `LRB_THREADS` environment variable when set,
+    /// else the core count. `1` forces inline (sequential) execution —
+    /// results are bit-identical either way.
+    pub fanout_workers: usize,
+    /// Core-pinning policy for the service's long-lived threads (shard
+    /// publishers, fan-out lanes and — through
+    /// [`ServiceCore::pinner`] — the server's reactors and workers).
+    /// Overridable with `LRB_PIN`; see [`crate::affinity`].
+    pub core_map: CoreMap,
 }
 
 impl Default for ServiceConfig {
@@ -58,8 +134,91 @@ impl Default for ServiceConfig {
             shards: 4,
             engine: EngineConfig::default(),
             publish_interval: None,
+            route_layout: RouteLayout::default(),
+            fanout_workers: 0,
+            core_map: CoreMap::None,
         }
     }
+}
+
+impl ServiceConfig {
+    /// Resolve [`fanout_workers`](Self::fanout_workers)' `0 = auto`
+    /// default against the shard count and the host's thread budget.
+    fn resolved_fanout(&self, shards: usize) -> usize {
+        if self.fanout_workers > 0 {
+            return self.fanout_workers.min(shards.max(1));
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let budget = std::env::var("LRB_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(cores);
+        budget.min(shards).max(1)
+    }
+}
+
+/// Reusable scratch for the batch planner: the per-slot shard assignment,
+/// per-shard counts and cursors, the shard-grouped fill buffer and the
+/// level-one cut — everything a batch needs, owned by the caller and
+/// reused across batches so the steady-state path never allocates.
+///
+/// Hold one per worker/connection (the server's workers do, through a
+/// thread-local inside [`ServiceCore::draw_into`]) or pass your own to
+/// [`ServiceCore::draw_into_with_plan`]. Buffers grow to the largest
+/// batch/shard-count seen and stay there.
+#[derive(Debug)]
+pub struct DrawPlan {
+    /// Slot → owning shard (the level-one picks, in slot order).
+    assignment: Vec<u32>,
+    /// Draws routed to each shard this batch.
+    counts: Vec<usize>,
+    /// Per-shard write cursors into `fill`: seeded with each shard's
+    /// segment start (prefix sums of `counts`), consumed by the scatter.
+    cursors: Vec<usize>,
+    /// `(start, len)` of each **touched** shard's segment in `fill`,
+    /// ascending (the fan-out task list).
+    segments: Vec<(usize, usize)>,
+    /// Touched shard ids, parallel to `segments`.
+    segment_shards: Vec<usize>,
+    /// Shard-grouped local draws, scattered to slot order at the end.
+    fill: Vec<usize>,
+    /// The frozen level-one cut, refilled in place per batch.
+    cut: TotalsCut,
+    /// First fill error by task index (parallel fills report here; the
+    /// lowest task index wins so the surfaced error is deterministic).
+    error: Mutex<Option<(usize, SelectionError)>>,
+}
+
+impl DrawPlan {
+    /// An empty plan (`const`, so thread-locals need no lazy initializer);
+    /// buffers grow on first use.
+    pub const fn new() -> Self {
+        Self {
+            assignment: Vec::new(),
+            counts: Vec::new(),
+            cursors: Vec::new(),
+            segments: Vec::new(),
+            segment_shards: Vec::new(),
+            fill: Vec::new(),
+            cut: TotalsCut::empty(),
+            error: Mutex::new(None),
+        }
+    }
+}
+
+impl Default for DrawPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// The per-thread plan behind [`ServiceCore::draw_into`] — one warm
+    /// scratch per server worker / publisher / caller thread.
+    static THREAD_PLAN: RefCell<DrawPlan> = const { RefCell::new(DrawPlan::new()) };
 }
 
 /// One shard: a contiguous category range served by its own engine (the
@@ -82,6 +241,13 @@ pub struct ServiceCore {
     offsets: Vec<usize>,
     totals: ShardTotals,
     telemetry: ServiceTelemetry,
+    /// Which batch-planner layout draws run through.
+    layout: RouteLayout,
+    /// Persistent lanes for the v2 planner's parallel per-shard fills.
+    fanout: FanoutPool,
+    /// The service's core-pinning policy, shared with every long-lived
+    /// thread the service (or the server on top of it) spawns.
+    pinner: Arc<Pinner>,
 }
 
 impl ServiceCore {
@@ -124,11 +290,17 @@ impl ServiceCore {
         offsets.push(n);
         let telemetry = ServiceTelemetry::new();
         telemetry.set_imbalance(&initial);
+        let pinner = Arc::new(Pinner::from_config(&config.core_map));
+        let lanes = config.resolved_fanout(shard_count);
+        let fanout = FanoutPool::start(lanes, Arc::clone(&pinner));
         Ok(Self {
             shards,
             offsets,
             totals: ShardTotals::from_totals(&initial),
             telemetry,
+            layout: config.route_layout,
+            fanout,
+            pinner,
         })
     }
 
@@ -151,6 +323,25 @@ impl ServiceCore {
     /// The service telemetry.
     pub fn telemetry(&self) -> &ServiceTelemetry {
         &self.telemetry
+    }
+
+    /// The batch-planner layout this service draws through.
+    pub fn route_layout(&self) -> RouteLayout {
+        self.layout
+    }
+
+    /// Fan-out lanes available to the v2 planner (including the
+    /// submitting thread).
+    pub fn fanout_lanes(&self) -> usize {
+        self.fanout.lanes()
+    }
+
+    /// The service's core-pinning policy. Long-lived threads built on top
+    /// of the core (the server's reactors and workers) call
+    /// [`Pinner::pin_current`] on it at startup; so do the service's own
+    /// publisher and fan-out threads.
+    pub fn pinner(&self) -> &Arc<Pinner> {
+        &self.pinner
     }
 
     /// The shard owning global category `index`, as `(shard, local)`.
@@ -220,26 +411,47 @@ impl ServiceCore {
         Ok(self.offsets[shard] + local)
     }
 
-    /// Fill `out` with independent draws (with replacement): one level-one
-    /// pick per slot, then the slots are grouped per shard and each group
-    /// is served by **one** buffer fill through the shard's
+    /// Fill `out` with independent draws (with replacement) through the
+    /// batch planner: one level-one pick per slot, then the slots are
+    /// grouped per shard and each group is served by **one** buffer fill
+    /// through the shard's
     /// [`Snapshot::sample_into`](lrb_engine::Snapshot::sample_into) — the
     /// engine's fused batch path — so an aggregated batch costs one
     /// snapshot acquisition and one streamed fill per touched shard
-    /// instead of a draw-by-draw walk.
+    /// instead of a draw-by-draw walk. Under the default
+    /// [`RouteLayout::V2Parallel`] the per-shard fills run across the
+    /// fan-out lanes and the result is bit-identical at any lane count
+    /// (see the module docs).
+    ///
+    /// Scratch comes from a warm per-thread [`DrawPlan`], so the
+    /// steady-state path allocates nothing; callers that manage their own
+    /// scratch use [`draw_into_with_plan`](Self::draw_into_with_plan).
     pub fn draw_into(
         &self,
         rng: &mut dyn RandomSource,
         out: &mut [usize],
     ) -> Result<(), SelectionError> {
+        THREAD_PLAN.with(|plan| self.draw_into_with_plan(rng, out, &mut plan.borrow_mut()))
+    }
+
+    /// [`draw_into`](Self::draw_into) with caller-owned scratch: `plan`'s
+    /// buffers grow to the batch shape on first use and are reused as-is
+    /// afterwards, so a warm plan makes the whole batch path
+    /// allocation-free.
+    pub fn draw_into_with_plan(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+        plan: &mut DrawPlan,
+    ) -> Result<(), SelectionError> {
         if out.is_empty() {
             return Ok(());
         }
         let started = Instant::now();
-        let result = match self.try_draw_into(rng, out) {
+        let result = match self.try_draw_into(rng, out, plan) {
             Err(SelectionError::AllZeroFitness) => {
                 self.refresh_totals();
-                self.try_draw_into(rng, out)
+                self.try_draw_into(rng, out, plan)
             }
             other => other,
         };
@@ -256,36 +468,145 @@ impl ServiceCore {
         &self,
         rng: &mut dyn RandomSource,
         out: &mut [usize],
+        plan: &mut DrawPlan,
     ) -> Result<(), SelectionError> {
-        let cut = self.totals.cut();
-        let mut assignment = vec![0u32; out.len()];
-        let mut counts = vec![0usize; self.shards.len()];
-        for slot in assignment.iter_mut() {
-            let Some((shard, _)) = cut.pick_uniform(rng.next_f64()) else {
+        match self.layout {
+            RouteLayout::V1Sequential => self.try_draw_into_v1(rng, out, plan),
+            RouteLayout::V2Parallel => self.try_draw_into_v2(rng, out, plan),
+        }
+    }
+
+    /// Phase one of both layouts: refresh the plan's cut from the live
+    /// cells, assign every slot a shard with `pick(u)` over per-slot
+    /// uniforms, count per-shard draws, turn the counts into ascending
+    /// `(start, len)` segments of the fill buffer and seed the scatter
+    /// cursors with the segment starts. Also records per-shard routing
+    /// telemetry (deterministically, in shard order).
+    fn plan_assignments(
+        &self,
+        plan: &mut DrawPlan,
+        batch: usize,
+        mut uniform: impl FnMut() -> f64,
+    ) -> Result<(), SelectionError> {
+        let shard_count = self.shards.len();
+        self.totals.refill_cut(&mut plan.cut);
+        plan.assignment.clear();
+        plan.assignment.reserve(batch);
+        plan.counts.clear();
+        plan.counts.resize(shard_count, 0);
+        for _ in 0..batch {
+            let Some((shard, _)) = plan.cut.pick_uniform(uniform()) else {
                 return Err(SelectionError::AllZeroFitness);
             };
-            *slot = shard as u32;
-            counts[shard] += 1;
+            plan.assignment.push(shard as u32);
+            plan.counts[shard] += 1;
         }
-        let mut buffer = Vec::new();
-        for (shard, &count) in counts.iter().enumerate() {
-            if count == 0 {
-                continue;
+        plan.cursors.clear();
+        plan.cursors.reserve(shard_count);
+        plan.segments.clear();
+        plan.segment_shards.clear();
+        let mut start = 0usize;
+        for (shard, &count) in plan.counts.iter().enumerate() {
+            plan.cursors.push(start);
+            if count > 0 {
+                plan.segments.push((start, count));
+                plan.segment_shards.push(shard);
+                self.telemetry.record_route(shard as u32, count as u32);
+                start += count;
             }
-            self.telemetry.record_route(shard as u32, count as u32);
-            buffer.resize(count, 0usize);
+        }
+        plan.fill.resize(batch, 0usize);
+        Ok(())
+    }
+
+    /// Phase three of both layouts: one pass over the assignment, writing
+    /// each slot from its shard's segment through that shard's cursor —
+    /// `O(batch + shards)` total, replacing the old per-shard rescan of
+    /// the whole assignment (`O(shards · batch)`).
+    fn scatter_fill(&self, plan: &mut DrawPlan, out: &mut [usize]) {
+        for (slot, &owner) in plan.assignment.iter().enumerate() {
+            let shard = owner as usize;
+            let cursor = plan.cursors[shard];
+            out[slot] = self.offsets[shard] + plan.fill[cursor];
+            plan.cursors[shard] = cursor + 1;
+        }
+    }
+
+    /// The v1 (sequential oracle) layout: the caller's RNG is threaded
+    /// through every level-one pick, then through each touched shard's
+    /// fill in shard order — draw-for-draw identical to the service's
+    /// historical batch path.
+    fn try_draw_into_v1(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+        plan: &mut DrawPlan,
+    ) -> Result<(), SelectionError> {
+        self.plan_assignments(plan, out.len(), || rng.next_f64())?;
+        for (k, &(start, len)) in plan.segments.iter().enumerate() {
+            let shard = plan.segment_shards[k];
             self.shards[shard]
                 .engine
-                .read(|snapshot| snapshot.sample_into(rng, &mut buffer))?;
-            let offset = self.offsets[shard];
-            let mut filled = 0usize;
-            for (slot, &owner) in assignment.iter().enumerate() {
-                if owner == shard as u32 {
-                    out[slot] = offset + buffer[filled];
-                    filled += 1;
+                .read(|snapshot| snapshot.sample_into(rng, &mut plan.fill[start..start + len]))?;
+        }
+        self.scatter_fill(plan, out);
+        Ok(())
+    }
+
+    /// The v2 (parallel) layout: exactly one `rng.next_u64()` master
+    /// draw; assignment uniforms from Philox substream
+    /// [`ASSIGN_SUBSTREAM`], shard `s`'s fill from substream
+    /// `SHARD_SUBSTREAM_BASE + s`. Per-shard fills are pure functions of
+    /// `(snapshot, master)`, so they run across the fan-out lanes in any
+    /// order — or inline for small batches — with bit-identical results.
+    fn try_draw_into_v2(
+        &self,
+        rng: &mut dyn RandomSource,
+        out: &mut [usize],
+        plan: &mut DrawPlan,
+    ) -> Result<(), SelectionError> {
+        let master = rng.next_u64();
+        let mut assign_rng = lrb_rng::Philox4x32::for_substream(master, ASSIGN_SUBSTREAM);
+        self.plan_assignments(plan, out.len(), || assign_rng.next_f64())?;
+        self.telemetry.record_planner_batch();
+        {
+            let mut slot = plan.error.lock().unwrap_or_else(PoisonError::into_inner);
+            *slot = None;
+        }
+        let shards = &self.shards;
+        let segment_shards = &plan.segment_shards;
+        let error = &plan.error;
+        let fill_task = |k: usize, segment: &mut [usize]| {
+            let shard = segment_shards[k];
+            let outcome = shards[shard].engine.read(|snapshot| {
+                snapshot.sample_into_substream(master, SHARD_SUBSTREAM_BASE + shard as u64, segment)
+            });
+            if let Err(e) = outcome {
+                let mut slot = error.lock().unwrap_or_else(PoisonError::into_inner);
+                // Keep the lowest task index so the surfaced error does
+                // not depend on lane scheduling.
+                if slot.map(|(prev, _)| k < prev).unwrap_or(true) {
+                    *slot = Some((k, e));
                 }
             }
+        };
+        if plan.fill.len() < FANOUT_MIN_BATCH || plan.segments.len() < 2 {
+            for (k, &(start, len)) in plan.segments.iter().enumerate() {
+                fill_task(k, &mut plan.fill[start..start + len]);
+            }
+        } else {
+            self.fanout
+                .run_disjoint(&mut plan.fill, &plan.segments, &fill_task);
         }
+        let failed = plan
+            .error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some((_, e)) = failed {
+            return Err(e);
+        }
+        self.scatter_fill(plan, out);
         Ok(())
     }
 
@@ -318,18 +639,19 @@ impl ServiceCore {
     /// cross-shard extension of the engine's own `enqueue_many` contract.
     pub fn update_many(&self, updates: &[(usize, f64)]) -> Result<(), SelectionError> {
         let started = Instant::now();
+        // One pass resolves and validates together: each index is located
+        // exactly once and grouping happens as we go. All-or-nothing is
+        // preserved because a failure returns before anything below
+        // touches a shard — `grouped` is scratch, not shard state.
+        let mut grouped: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.shards.len()];
         for &(index, weight) in updates {
-            self.locate(index)?;
+            let (shard, local) = self.locate(index)?;
             if !weight.is_finite() || weight < 0.0 {
                 return Err(SelectionError::InvalidFitness {
                     index,
                     value: weight,
                 });
             }
-        }
-        let mut grouped: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.shards.len()];
-        for &(index, weight) in updates {
-            let (shard, local) = self.locate(index).expect("validated above");
             grouped[shard].push((local, weight));
         }
         for (shard, group) in grouped.iter().enumerate() {
@@ -418,6 +740,11 @@ impl ServiceCore {
                 t.batched_draws(),
             )
             .counter(
+                "lrb_service_planner_batches_total",
+                "Batches routed through the v2 parallel draw planner",
+                t.planner_batches(),
+            )
+            .counter(
                 "lrb_service_connects_total",
                 "Connections accepted by the server",
                 t.connects(),
@@ -441,6 +768,16 @@ impl ServiceCore {
                 "lrb_service_shards",
                 "Number of category shards",
                 self.shards.len() as f64,
+            )
+            .gauge(
+                "lrb_service_fanout_lanes",
+                "Parallel fan-out lanes serving the batch planner",
+                self.fanout.lanes() as f64,
+            )
+            .gauge(
+                "lrb_service_pinned_threads",
+                "Service threads successfully pinned to cores",
+                self.pinner.pinned_threads() as f64,
             )
             .gauge(
                 "lrb_service_shard_imbalance",
@@ -519,6 +856,7 @@ impl ShardedService {
                 let core = Arc::clone(&core);
                 let stop = Arc::clone(&stop);
                 publishers.push(std::thread::spawn(move || {
+                    core.pinner().pin_current();
                     while !stop.load(Ordering::Acquire) {
                         std::thread::sleep(interval);
                         // A failed publish restored the batch (the engine's

@@ -81,6 +81,8 @@ pub struct ServiceTelemetry {
     batches: Counter,
     /// Single-draw requests that rode in a coalesced batch.
     batched_draws: Counter,
+    /// Batches routed through the v2 parallel draw planner.
+    planner_batches: Counter,
     /// Max-over-mean of the per-shard totals (1.0 = perfectly balanced).
     imbalance: Gauge,
     /// Connections accepted and registered with a reactor.
@@ -116,6 +118,7 @@ impl ServiceTelemetry {
             publishes: Counter::new(),
             batches: Counter::new(),
             batched_draws: Counter::new(),
+            planner_batches: Counter::new(),
             imbalance: Gauge::new(),
             connects: Counter::new(),
             disconnects: Counter::new(),
@@ -163,6 +166,11 @@ impl ServiceTelemetry {
     /// Record a routing decision.
     pub(crate) fn record_route(&self, shard: u32, draws: u32) {
         self.journal.push(ServiceEvent::Route { shard, draws });
+    }
+
+    /// Record one batch planned through the v2 parallel layout.
+    pub(crate) fn record_planner_batch(&self) {
+        self.planner_batches.incr();
     }
 
     /// Record a full totals refresh.
@@ -242,6 +250,11 @@ impl ServiceTelemetry {
     /// Shard publishes performed so far.
     pub fn publishes(&self) -> u64 {
         self.publishes.get()
+    }
+
+    /// Batches routed through the v2 parallel draw planner so far.
+    pub fn planner_batches(&self) -> u64 {
+        self.planner_batches.get()
     }
 
     /// Coalesced aggregator batches so far.

@@ -354,7 +354,7 @@ fn sharded_service_recovers_each_shard() {
     let config = ServiceConfig {
         shards: 3,
         engine: wal_config(dir.path(), 16),
-        publish_interval: None,
+        ..ServiceConfig::default()
     };
     let service = ShardedService::new(weights.clone(), config.clone()).expect("durable service");
     for (index, weight) in [(0usize, 5.0), (7, 0.25), (12, 9.0), (23, 3.5)] {

@@ -1,0 +1,263 @@
+//! Cross-shard batch-planner contract tests: the v2 parallel layout must
+//! be a pure function of `(snapshots, master draw)` — bit-identical at
+//! any fan-out lane count and any `LRB_THREADS` budget — the v1
+//! sequential layout must stay draw-for-draw identical to a hand-rolled
+//! reference of the service's historical batch path, the two-level law
+//! must survive the parallel path statistically, and core-pinning must
+//! degrade to a graceful no-op when the policy names cores the host does
+//! not have.
+
+use lrb_core::sharding::TotalsCut;
+use lrb_rng::{Philox4x32, RandomSource, SeedableSource};
+use lrb_service::{
+    parse_cpu_list, CoreMap, RouteLayout, ServiceConfig, ShardedService, ROUTE_LAYOUT_VERSION,
+};
+use lrb_stats::chi_square_gof;
+use proptest::prelude::*;
+
+/// Deterministic, mildly lumpy weights (a few zeros to keep the
+/// zero-weight invariant honest).
+fn test_weights(categories: usize) -> Vec<f64> {
+    (0..categories)
+        .map(|i| {
+            if i % 17 == 3 {
+                0.0
+            } else {
+                ((i % 29) + 1) as f64
+            }
+        })
+        .collect()
+}
+
+fn service(
+    categories: usize,
+    shards: usize,
+    layout: RouteLayout,
+    fanout_workers: usize,
+) -> ShardedService {
+    ShardedService::new(
+        test_weights(categories),
+        ServiceConfig {
+            shards,
+            route_layout: layout,
+            fanout_workers,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("planner test service construction cannot fail")
+}
+
+#[test]
+fn route_layout_is_versioned_and_defaults_to_parallel() {
+    assert_eq!(ROUTE_LAYOUT_VERSION, 2);
+    assert_eq!(RouteLayout::default(), RouteLayout::V2Parallel);
+    let service = service(64, 4, RouteLayout::default(), 0);
+    assert_eq!(service.route_layout(), RouteLayout::V2Parallel);
+    assert!(service.fanout_lanes() >= 1);
+}
+
+proptest! {
+    /// The tentpole determinism contract: the v2 output is invariant in
+    /// the lane count. Lanes = 1 forces inline (sequential) execution, so
+    /// this is also a parallel-vs-sequential-execution parity oracle;
+    /// batches above the inline threshold exercise the pooled hand-off.
+    #[test]
+    fn prop_v2_output_is_invariant_across_lane_counts(
+        seed: u64,
+        small_batch in 1usize..192,
+    ) {
+        for batch in [small_batch, 2_048] {
+            let mut reference: Option<Vec<usize>> = None;
+            for lanes in [1usize, 2, 8] {
+                let service = service(384, 6, RouteLayout::V2Parallel, lanes);
+                let mut rng = Philox4x32::seed_from_u64(seed);
+                let mut out = vec![0usize; batch];
+                service
+                    .draw_into(&mut rng as &mut dyn RandomSource, &mut out)
+                    .expect("v2 batch draw failed");
+                match &reference {
+                    None => reference = Some(out),
+                    Some(expected) => prop_assert_eq!(
+                        expected,
+                        &out,
+                        "lane count changed v2 output (lanes {}, batch {})",
+                        lanes,
+                        batch
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The v1 oracle must be draw-for-draw identical to the service's
+    /// historical batch path, reconstructed here from public pieces: the
+    /// caller's RNG threads through one level-one pick per slot, then
+    /// through each touched shard's fused fill in shard order, and the
+    /// grouped fills scatter back to slot order.
+    #[test]
+    fn prop_v1_matches_the_handrolled_sequential_reference(
+        seed: u64,
+        batch in 1usize..512,
+    ) {
+        let categories = 300;
+        let shards = 5;
+        let service = service(categories, shards, RouteLayout::V1Sequential, 1);
+
+        let mut expected = vec![0usize; batch];
+        {
+            let mut rng = Philox4x32::seed_from_u64(seed);
+            let cut = TotalsCut::from_totals(service.shard_totals());
+            let mut assignment = vec![0usize; batch];
+            let mut counts = vec![0usize; shards];
+            for slot in assignment.iter_mut() {
+                let (shard, _) = cut
+                    .pick_uniform(rng.next_f64())
+                    .expect("live totals cannot be all-zero");
+                *slot = shard;
+                counts[shard] += 1;
+            }
+            // Shard starts within each shard's contiguous category range.
+            let offsets: Vec<usize> = {
+                let base = categories / shards;
+                let extra = categories % shards;
+                let mut offsets = vec![0usize];
+                for s in 0..shards {
+                    offsets.push(offsets[s] + base + usize::from(s < extra));
+                }
+                offsets
+            };
+            let mut buffer = Vec::new();
+            for (shard, &count) in counts.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                buffer.resize(count, 0usize);
+                service
+                    .shard_engine(shard)
+                    .read(|snapshot| snapshot.sample_into(&mut rng, &mut buffer))
+                    .expect("reference shard fill failed");
+                let mut filled = 0usize;
+                for (slot, &owner) in assignment.iter().enumerate() {
+                    if owner == shard {
+                        expected[slot] = offsets[shard] + buffer[filled];
+                        filled += 1;
+                    }
+                }
+            }
+        }
+
+        let mut rng = Philox4x32::seed_from_u64(seed);
+        let mut out = vec![0usize; batch];
+        service
+            .draw_into(&mut rng as &mut dyn RandomSource, &mut out)
+            .expect("v1 batch draw failed");
+        prop_assert_eq!(out, expected);
+    }
+}
+
+#[test]
+fn v2_output_is_invariant_in_the_lrb_threads_budget() {
+    // `fanout_workers: 0` resolves the lane count from `LRB_THREADS`;
+    // the drawn indices must not notice. (Only this test builds services
+    // with the auto budget while mutating the variable; every other test
+    // in this binary passes an explicit lane count.)
+    let saved = std::env::var("LRB_THREADS").ok();
+    let mut reference: Option<Vec<usize>> = None;
+    for budget in ["1", "2", "8"] {
+        std::env::set_var("LRB_THREADS", budget);
+        let service = service(512, 8, RouteLayout::V2Parallel, 0);
+        let mut rng = Philox4x32::seed_from_u64(0xBEEF);
+        let mut out = vec![0usize; 4_096];
+        service
+            .draw_into(&mut rng as &mut dyn RandomSource, &mut out)
+            .expect("budgeted batch draw failed");
+        match &reference {
+            None => reference = Some(out),
+            Some(expected) => {
+                assert_eq!(expected, &out, "LRB_THREADS={budget} changed v2 output")
+            }
+        }
+    }
+    match saved {
+        Some(value) => std::env::set_var("LRB_THREADS", value),
+        None => std::env::remove_var("LRB_THREADS"),
+    }
+}
+
+#[test]
+fn two_level_law_survives_the_parallel_path() {
+    // Chi-square conformance of the end-to-end two-level distribution
+    // through the v2 planner with real fan-out (4 lanes, batches above
+    // the inline threshold). Best of two seeds: a correct sampler fails
+    // both at the 1% level with probability ~1e-4.
+    let weights: Vec<f64> = (1..=24).map(f64::from).collect();
+    let total: f64 = weights.iter().sum();
+    let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    let consistent = |seed: u64| {
+        let service = ShardedService::new(
+            weights.clone(),
+            ServiceConfig {
+                shards: 6,
+                route_layout: RouteLayout::V2Parallel,
+                fanout_workers: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("conformance service construction cannot fail");
+        let mut rng = Philox4x32::seed_from_u64(seed);
+        let mut counts = vec![0u64; weights.len()];
+        let mut out = vec![0usize; 4_096];
+        for _ in 0..8 {
+            service
+                .draw_into(&mut rng as &mut dyn RandomSource, &mut out)
+                .expect("conformance batch draw failed");
+            for &index in &out {
+                counts[index] += 1;
+            }
+        }
+        chi_square_gof(&counts, &probs).is_consistent(0.01)
+    };
+    assert!(
+        consistent(0x2E11) || consistent(0x2E12),
+        "two-level law failed chi-square through the parallel planner twice"
+    );
+}
+
+#[test]
+fn pinning_to_impossible_cores_is_a_graceful_no_op() {
+    // A policy naming a core the host does not have must not break
+    // anything: draws keep working, nothing reports as pinned.
+    let service = ShardedService::new(
+        test_weights(96),
+        ServiceConfig {
+            shards: 4,
+            core_map: CoreMap::Explicit(vec![100_000]),
+            fanout_workers: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service with an impossible core map must still construct");
+    let mut rng = Philox4x32::seed_from_u64(0xC0DE);
+    let mut out = vec![0usize; 2_048];
+    service
+        .draw_into(&mut rng as &mut dyn RandomSource, &mut out)
+        .expect("draws must survive a failed pin");
+    assert!(service.pinner().is_active());
+    assert_eq!(
+        service.pinner().pinned_threads(),
+        0,
+        "a core the host does not have cannot be pinned"
+    );
+}
+
+#[test]
+fn cpu_list_parsing_round_trips_the_policy_surface() {
+    assert_eq!(parse_cpu_list("0-2,5"), Some(vec![0, 1, 2, 5]));
+    assert_eq!(parse_cpu_list(" 3 "), Some(vec![3]));
+    assert_eq!(parse_cpu_list("2-2,2"), Some(vec![2]));
+    assert_eq!(parse_cpu_list("banana"), None);
+    assert_eq!(parse_cpu_list("3-1"), None);
+    // The empty list is a valid (empty) policy — sysfs emits it for a
+    // node with no CPUs.
+    assert_eq!(parse_cpu_list(""), Some(Vec::new()));
+}
